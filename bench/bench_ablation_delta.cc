@@ -1,0 +1,73 @@
+// Ablation of the paper's §4.3 overflow-avoidance optimizations:
+// how much does each of (convergence reset, Δmin re-encoding) contribute
+// to delta encoding's re-encryption reduction?
+//
+// Four delta-counter variants observe the same writeback stream:
+//   none          : plain 7-bit frame-of-reference deltas
+//   reset-only    : + Fig 5b convergence reset
+//   reencode-only : + Fig 5c Δmin re-encoding
+//   both          : the paper's full scheme
+// Split counters are included as the external baseline.
+#include <cstdio>
+#include <cstdlib>
+
+#include "counters/delta_counter.h"
+#include "counters/split_counter.h"
+#include "bench_util.h"
+#include "sim/system_sim.h"
+
+namespace {
+using namespace secmem;
+}
+
+int main(int argc, char** argv) {
+  const std::uint64_t refs =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4000000;
+
+  // The workloads where Table 2 shows delta beating split — i.e. where
+  // the optimizations are doing the work.
+  const char* apps[] = {"facesim", "dedup", "ferret", "freqmine", "vips"};
+
+  std::printf(
+      "=== Ablation (paper $4.3): re-encryptions per 10^9 cycles by "
+      "optimization (%llu refs/core) ===\n\n",
+      static_cast<unsigned long long>(refs));
+  std::printf("%-14s %10s | %8s %12s %15s %8s\n", "program", "split[13]",
+              "none", "reset-only", "reencode-only", "both");
+
+  for (const char* app : apps) {
+    const WorkloadProfile& profile = profile_by_name(app);
+    SystemConfig config = secmem_bench::counter_dynamics_config();
+
+    const BlockIndex blocks = config.protected_bytes / 64;
+    SplitCounters split(blocks);
+    DeltaCounters none(blocks, DeltaConfig{false, false});
+    DeltaCounters reset_only(blocks, DeltaConfig{true, false});
+    DeltaCounters reencode_only(blocks, DeltaConfig{false, true});
+    DeltaCounters both(blocks, DeltaConfig{true, true});
+
+    SystemSimulator sim(config, profile);
+    sim.add_observer(&split);
+    sim.add_observer(&none);
+    sim.add_observer(&reset_only);
+    sim.add_observer(&reencode_only);
+    sim.add_observer(&both);
+    const SimResult result = sim.run(refs);
+
+    const double scale = 1e9 / static_cast<double>(result.cycles);
+    std::printf("%-14s %10.0f | %8.0f %12.0f %15.0f %8.0f\n", app,
+                split.reencryptions() * scale, none.reencryptions() * scale,
+                reset_only.reencryptions() * scale,
+                reencode_only.reencryptions() * scale,
+                both.reencryptions() * scale);
+  }
+
+  std::printf(
+      "\nexpected: 'none' tracks split[13] (same 7-bit ceiling). Reset\n"
+      "eliminates overflow on strictly-uniform streams (freqmine) but is\n"
+      "fragile to writeback coalescing noise; Δmin re-encoding is the\n"
+      "robust workhorse wherever every group member gets written (facesim,\n"
+      "dedup). Neither helps when group neighbours stay cold (vips:\n"
+      "Δmin = 0). 'both' is the paper's Table 2 delta column.\n");
+  return 0;
+}

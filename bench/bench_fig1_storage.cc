@@ -1,0 +1,85 @@
+// Figure 1 reproduction: storage overhead of authenticated memory
+// encryption, baseline vs the paper's optimizations.
+//
+// Prints, for a 512MB protected region, the counter / MAC / integrity-tree
+// overhead (as % of protected data) of:
+//   - SGX-style baseline: 56-bit counters + 56-bit MACs + Bonsai tree
+//   - split counters [13] + separate MACs
+//   - delta counters, separate MACs (counter optimization alone)
+//   - delta counters + MAC-in-ECC (the paper: ~22% -> ~2%)
+#include <cstdio>
+#include <memory>
+
+#include "counters/counter_scheme.h"
+#include "tree/bonsai_geometry.h"
+#include "engine/layout.h"
+
+namespace {
+
+struct Variant {
+  const char* name;
+  secmem::CounterSchemeKind scheme;
+  bool separate_macs;
+};
+
+void print_row(const Variant& variant) {
+  using namespace secmem;
+  const std::uint64_t data_bytes = 512ULL << 20;
+  const auto scheme = make_counter_scheme(variant.scheme, data_bytes / 64);
+
+  LayoutParams params;
+  params.data_bytes = data_bytes;
+  params.blocks_per_counter_line = scheme->blocks_per_storage_line();
+  params.separate_macs = variant.separate_macs;
+  params.counter_bits_per_block = scheme->bits_per_block();
+  const SecureRegionLayout layout(params);
+
+  std::printf("%-34s %8.2f%% %7.2f%% %7.2f%% %8.2f%%   %u\n", variant.name,
+              layout.counter_overhead_pct(), layout.mac_overhead_pct(),
+              layout.tree_overhead_pct(), layout.metadata_overhead_pct(),
+              layout.tree().offchip_levels());
+}
+
+}  // namespace
+
+void print_data_merkle_row() {
+  // Pre-Bonsai baseline (Gassend et al. [2]): the Merkle tree hashes the
+  // DATA blocks directly, so its leaves are all 8M blocks instead of the
+  // counter lines — the observation behind Bonsai Merkle trees is how
+  // much smaller the tree gets when only counters need tree protection.
+  using namespace secmem;
+  const std::uint64_t data_bytes = 512ULL << 20;
+  const BonsaiGeometry tree(data_bytes / 64, 3 * 1024);
+  const double tree_pct =
+      100.0 * static_cast<double>(tree.offchip_tree_bytes()) /
+      static_cast<double>(data_bytes);
+  const double counter_pct = 100.0 * 56.0 / 512.0;
+  std::printf("%-34s %8.2f%% %7.2f%% %7.2f%% %8.2f%%   %u\n",
+              "pre-Bonsai: Merkle tree over data", counter_pct, 0.0,
+              tree_pct, counter_pct + tree_pct, tree.offchip_levels());
+}
+
+int main() {
+  std::printf(
+      "=== Figure 1: encryption metadata storage overhead "
+      "(512MB protected region) ===\n\n");
+  std::printf("%-34s %9s %8s %8s %9s   %s\n", "configuration", "counters",
+              "MACs", "tree", "total", "tree levels (off-chip)");
+
+  const Variant variants[] = {
+      {"baseline: 56-bit ctr + stored MAC", secmem::CounterSchemeKind::kMonolithic56, true},
+      {"split counters [13] + stored MAC", secmem::CounterSchemeKind::kSplit, true},
+      {"delta ctr + stored MAC", secmem::CounterSchemeKind::kDelta, true},
+      {"dual-length delta + stored MAC", secmem::CounterSchemeKind::kDualDelta, true},
+      {"delta ctr + MAC-in-ECC (paper)", secmem::CounterSchemeKind::kDelta, false},
+      {"dual-length delta + MAC-in-ECC", secmem::CounterSchemeKind::kDualDelta, false},
+  };
+  print_data_merkle_row();
+  for (const Variant& variant : variants) print_row(variant);
+
+  std::printf(
+      "\npaper's headline: baseline ~22%% total -> optimized ~2%% total.\n"
+      "(the 12.5%% ECC-DIMM overhead exists in both cases and is excluded,\n"
+      " as in the paper; MAC-in-ECC reuses it instead of adding to it.)\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Figure 8 reproduction: performance impact of authenticated memory
+// encryption across PARSEC-like workloads.
+//
+// For each memory-sensitive workload, runs the full-system simulator
+// (paper Table 1 configuration: 4 OoO cores, 32K/256K/10M caches, 4ch
+// DDR3-1600, 512MB protected region, 32KB metadata cache, 3KB on-chip
+// tree roots) under:
+//   no-enc    : no memory protection (normalization baseline)
+//   bmt       : Bonsai-Merkle-tree baseline — 56-bit counters, MACs in a
+//               separate region (SGX-like)
+//   mac-ecc   : + MAC moved into the ECC lane (paper §3 alone)
+//   delta     : + delta counters, MAC still separate (paper §4 alone)
+//   optimized : MAC-in-ECC + delta counters (the paper's proposal)
+// and prints IPC normalized to no-enc. Paper's shape: optimized recovers
+// 1%-28% IPC over bmt; avg ~5%; mac-ecc alone ~3% (up to ~15%).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/system_sim.h"
+
+namespace {
+
+using namespace secmem;
+
+SystemConfig make_config(Protection protection, CounterSchemeKind scheme,
+                         MacPlacement placement, std::uint64_t warmup) {
+  SystemConfig config;
+  config.protection = protection;
+  config.scheme = scheme;
+  config.engine.mac_placement = placement;
+  config.warmup_refs = warmup;
+  return config;  // defaults = paper Table 1
+}
+
+double run_ipc(const SystemConfig& config, const WorkloadProfile& profile,
+               std::uint64_t refs) {
+  SystemSimulator sim(config, profile);
+  return sim.run(refs).ipc;
+}
+
+double run_variant(Protection protection, CounterSchemeKind scheme,
+                   MacPlacement placement, const WorkloadProfile& profile,
+                   std::uint64_t refs) {
+  return run_ipc(make_config(protection, scheme, placement, refs / 3),
+                 profile, refs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  std::uint64_t refs = 150000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--csv")
+      csv = true;
+    else
+      refs = std::strtoull(argv[i], nullptr, 10);
+  }
+
+  // The seven applications the paper's Figure 8 shows (the other four
+  // PARSEC apps are cache-resident and unaffected — see §5.2).
+  const char* apps[] = {"facesim",      "dedup",    "canneal", "ferret",
+                        "fluidanimate", "freqmine", "raytrace"};
+
+  std::printf(
+      "=== Figure 8: IPC normalized to unencrypted memory "
+      "(%llu refs/core) ===\n\n",
+      static_cast<unsigned long long>(refs));
+  std::printf("%-14s %8s %9s %8s %10s | %s\n", "workload", "bmt", "mac-ecc",
+              "delta", "optimized", "optimized gain over bmt");
+
+  double sum_bmt = 0, sum_opt = 0;
+  int n = 0;
+  for (const char* app : apps) {
+    const WorkloadProfile& profile = profile_by_name(app);
+    const double base =
+        run_variant(Protection::kNone, CounterSchemeKind::kMonolithic56,
+                    MacPlacement::kEccLane, profile, refs);
+    const double bmt =
+        run_variant(Protection::kEncrypted, CounterSchemeKind::kMonolithic56,
+                    MacPlacement::kSeparate, profile, refs);
+    const double mac_ecc =
+        run_variant(Protection::kEncrypted, CounterSchemeKind::kMonolithic56,
+                    MacPlacement::kEccLane, profile, refs);
+    const double delta =
+        run_variant(Protection::kEncrypted, CounterSchemeKind::kDelta,
+                    MacPlacement::kSeparate, profile, refs);
+    const double optimized =
+        run_variant(Protection::kEncrypted, CounterSchemeKind::kDelta,
+                    MacPlacement::kEccLane, profile, refs);
+
+    if (csv) {
+      std::printf("csv,%s,%.4f,%.4f,%.4f,%.4f\n", app, bmt / base,
+                  mac_ecc / base, delta / base, optimized / base);
+    } else {
+      std::printf("%-14s %8.3f %9.3f %8.3f %10.3f | %+.1f%%\n", app,
+                  bmt / base, mac_ecc / base, delta / base,
+                  optimized / base, 100.0 * (optimized - bmt) / bmt);
+    }
+    sum_bmt += bmt / base;
+    sum_opt += optimized / base;
+    ++n;
+  }
+  std::printf("%-14s %8.3f %38.3f | %+.1f%%\n", "geo-ish mean", sum_bmt / n,
+              sum_opt / n, 100.0 * (sum_opt - sum_bmt) / sum_bmt);
+  // §5.2's other claim: the cache-resident applications show no
+  // measurable impact — verify rather than assert.
+  std::printf("\ncache-resident apps (no measurable impact, paper §5.2):\n");
+  for (const char* app : {"swaptions", "blackscholes", "bodytrack"}) {
+    const WorkloadProfile& profile = profile_by_name(app);
+    const double base =
+        run_variant(Protection::kNone, CounterSchemeKind::kMonolithic56,
+                    MacPlacement::kEccLane, profile, refs / 2);
+    const double bmt =
+        run_variant(Protection::kEncrypted, CounterSchemeKind::kMonolithic56,
+                    MacPlacement::kSeparate, profile, refs / 2);
+    const double optimized =
+        run_variant(Protection::kEncrypted, CounterSchemeKind::kDelta,
+                    MacPlacement::kEccLane, profile, refs / 2);
+    std::printf("%-14s bmt=%.3f optimized=%.3f\n", app, bmt / base,
+                optimized / base);
+  }
+  std::printf(
+      "\npaper's shape: optimized >= bmt everywhere; average gain ~5%%, "
+      "up to ~28%%;\ncache-resident apps stay at ~1.000 under either "
+      "scheme.\n");
+  return 0;
+}

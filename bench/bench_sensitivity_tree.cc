@@ -1,0 +1,85 @@
+// Sensitivity: on-chip SRAM budget -> tree depth -> performance, and
+// protected-region size -> metadata overhead (paper Table 1 / §5.1-5.2).
+//
+// The paper fixes 3KB of on-chip SRAM (5 baseline levels, 4 with delta
+// counters). This bench sweeps the SRAM budget to show depth transitions
+// and their IPC effect, then sweeps the protected-region size to show how
+// the Figure 1 overheads and depths scale.
+#include <cstdio>
+#include <cstdlib>
+
+#include "engine/layout.h"
+#include "sim/system_sim.h"
+
+namespace {
+using namespace secmem;
+
+double run_ipc(std::uint64_t onchip_bytes, CounterSchemeKind scheme,
+               const WorkloadProfile& profile, std::uint64_t refs) {
+  SystemConfig config;
+  config.scheme = scheme;
+  config.onchip_bytes = onchip_bytes;
+  config.warmup_refs = refs / 3;
+  SystemSimulator sim(config, profile);
+  return sim.run(refs).ipc;
+}
+
+unsigned levels_for(std::uint64_t onchip_bytes, unsigned blocks_per_line) {
+  LayoutParams params;
+  params.onchip_bytes = onchip_bytes;
+  params.blocks_per_counter_line = blocks_per_line;
+  return SecureRegionLayout(params).tree().offchip_levels();
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t refs =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 60000;
+  const WorkloadProfile& profile = profile_by_name("canneal");
+
+  std::printf(
+      "=== Sensitivity: on-chip SRAM -> off-chip tree depth -> IPC "
+      "(512MB region, canneal, %llu refs/core) ===\n\n",
+      static_cast<unsigned long long>(refs));
+  std::printf("%-10s | %10s %12s | %10s %12s\n", "SRAM", "mono depth",
+              "mono IPC", "delta depth", "delta IPC");
+  for (const std::uint64_t kb : {1ULL, 3ULL, 16ULL, 128ULL, 1024ULL}) {
+    const std::uint64_t sram = kb * 1024;
+    std::printf("%7lluKB | %10u %12.3f | %10u %12.3f%s\n",
+                static_cast<unsigned long long>(kb),
+                levels_for(sram, 8),
+                run_ipc(sram, CounterSchemeKind::kMonolithic56, profile,
+                        refs),
+                levels_for(sram, 64),
+                run_ipc(sram, CounterSchemeKind::kDelta, profile, refs),
+                kb == 3 ? "   <- paper Table 1" : "");
+  }
+
+  std::printf(
+      "\n=== Protected-region scaling (3KB SRAM): Figure 1 overheads by "
+      "size ===\n\n");
+  std::printf("%-10s | %12s %12s | %12s %12s\n", "region", "mono depth",
+              "mono total", "delta depth", "delta total");
+  for (const std::uint64_t mb : {64ULL, 128ULL, 512ULL, 2048ULL, 8192ULL}) {
+    LayoutParams mono;
+    mono.data_bytes = mb << 20;
+    mono.blocks_per_counter_line = 8;
+    mono.separate_macs = true;
+    LayoutParams delta;
+    delta.data_bytes = mb << 20;
+    delta.blocks_per_counter_line = 64;
+    delta.separate_macs = false;
+    delta.counter_bits_per_block = 7.875;
+    const SecureRegionLayout lm(mono), ld(delta);
+    std::printf("%7lluMB | %12u %11.2f%% | %12u %11.2f%%%s\n",
+                static_cast<unsigned long long>(mb),
+                lm.tree().offchip_levels(), lm.metadata_overhead_pct(),
+                ld.tree().offchip_levels(), ld.metadata_overhead_pct(),
+                mb == 512 ? "   <- paper" : "");
+  }
+  std::printf(
+      "\nthe ~22%% -> ~2%% gap is size-independent; depth grows one level\n"
+      "per 8x region growth for both, with delta always one level "
+      "shallower.\n");
+  return 0;
+}

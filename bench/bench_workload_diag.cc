@@ -1,0 +1,55 @@
+// Workload diagnostic: per-profile writeback structure and counter-scheme
+// event breakdown. Used to calibrate the PARSEC-like profiles against
+// Table 2 (and handy when adding new profiles).
+#include <cstdio>
+#include <cstdlib>
+
+#include "counters/delta_counter.h"
+#include "counters/dual_length_delta.h"
+#include "counters/split_counter.h"
+#include "bench_util.h"
+#include "sim/system_sim.h"
+
+namespace {
+using namespace secmem;
+}
+
+int main(int argc, char** argv) {
+  const std::uint64_t refs =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4000000;
+
+  std::printf("workload diag: %llu refs/core\n\n",
+              static_cast<unsigned long long>(refs));
+  std::printf("%-14s %10s %11s %9s | %6s %6s %6s | %7s %8s | %9s\n",
+              "program", "cycles(M)", "writebacks", "l3missed",
+              "splitRE", "dltRE", "dualRE", "dltRST", "dltRENC", "ipc");
+
+  for (const WorkloadProfile& profile : parsec_profiles()) {
+    SystemConfig config = secmem_bench::counter_dynamics_config();
+
+    const BlockIndex blocks = config.protected_bytes / 64;
+    SplitCounters split(blocks);
+    DeltaCounters delta(blocks);
+    DualLengthDeltaCounters dual(blocks);
+
+    SystemSimulator sim(config, profile);
+    sim.add_observer(&split);
+    sim.add_observer(&delta);
+    sim.add_observer(&dual);
+    const SimResult result = sim.run(refs);
+
+    std::printf(
+        "%-14s %10.1f %11llu %9llu | %6llu %6llu %6llu | %7llu %8llu | "
+        "%9.3f\n",
+        profile.name.c_str(), result.cycles / 1e6,
+        static_cast<unsigned long long>(result.dram_writes),
+        static_cast<unsigned long long>(
+            sim.stats().counter_value("cache.l3.misses")),
+        static_cast<unsigned long long>(split.reencryptions()),
+        static_cast<unsigned long long>(delta.reencryptions()),
+        static_cast<unsigned long long>(dual.reencryptions()),
+        static_cast<unsigned long long>(delta.resets()),
+        static_cast<unsigned long long>(delta.reencodes()), result.ipc);
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// DRAM-fault recovery with MAC-based ECC (paper §3).
+//
+// Injects the fault patterns of the paper's Figure 3 into a SecureMemory
+// region configured with MAC-in-ECC, and shows the flip-and-check
+// corrector at work: which faults are repaired, which are detected, and
+// how many MAC evaluations the brute-force search needed (paper §3.4:
+// <= 512 for single-bit, <= 130,816 for double-bit). The same faults are
+// then replayed against a conventional SEC-DED + separate-MAC region for
+// contrast.
+//
+// Build & run:  ./examples/ecc_recovery
+#include <cstdio>
+
+#include "common/rng.h"
+#include "engine/secure_memory.h"
+
+namespace {
+
+using namespace secmem;
+
+DataBlock pattern(std::uint8_t seed) {
+  DataBlock block{};
+  for (std::size_t i = 0; i < 64; ++i)
+    block[i] = static_cast<std::uint8_t>(seed * 31 + i);
+  return block;
+}
+
+struct Scenario {
+  const char* name;
+  std::vector<unsigned> data_bits;  ///< ciphertext bits to flip
+  std::vector<unsigned> lane_bits;  ///< ECC/MAC-lane bits to flip
+};
+
+void run(SecureMemory& memory, const char* label,
+         const std::vector<Scenario>& scenarios) {
+  std::printf("%s\n", label);
+  std::uint64_t block = 40;
+  for (const Scenario& s : scenarios) {
+    memory.write_block(block, pattern(static_cast<std::uint8_t>(block)));
+    auto view = memory.untrusted();
+    for (unsigned bit : s.data_bits) view.flip_ciphertext_bit(block, bit);
+    for (unsigned bit : s.lane_bits) view.flip_lane_bit(block, bit);
+    const auto result = memory.read_block(block);
+    const bool data_ok =
+        (result.status != ReadStatus::kIntegrityViolation &&
+         result.status != ReadStatus::kCounterTampered) &&
+        result.data == pattern(static_cast<std::uint8_t>(block));
+    std::printf("  %-34s -> %-22s %s", s.name,
+                read_status_name(result.status),
+                data_ok ? "(data recovered)" : "");
+    if (result.mac_evaluations > 1)
+      std::printf(" [%llu flip-and-check MACs]",
+                  static_cast<unsigned long long>(result.mac_evaluations));
+    std::printf("\n");
+    ++block;
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<Scenario> scenarios = {
+      {"clean read", {}, {}},
+      {"1 bit in data", {77}, {}},
+      {"2 bits, same 8-byte word", {3, 60}, {}},
+      {"2 bits, different words", {10, 300}, {}},
+      {"3 bits in one word", {1, 2, 3}, {}},
+      {"1 bit in the MAC field", {}, {20}},
+      {"2 bits in the MAC field", {}, {20, 40}},
+      {"1 data bit + 1 MAC bit", {250}, {5}},
+  };
+
+  std::printf(
+      "=== DRAM-fault recovery: MAC-based ECC vs conventional SEC-DED "
+      "===\n\n");
+
+  {
+    SecureMemoryConfig config;
+    config.size_bytes = 64 * 1024;
+    config.mac_placement = MacPlacement::kEccLane;
+    SecureMemory memory(config);
+    run(memory, "MAC-in-ECC (paper $3): 56-bit MAC + 7-bit Hamming + scrub"
+                " bit", scenarios);
+  }
+  {
+    SecureMemoryConfig config;
+    config.size_bytes = 64 * 1024;
+    config.mac_placement = MacPlacement::kSeparate;
+    SecureMemory memory(config);
+    run(memory,
+        "conventional: per-word SEC-DED lane + MACs in their own region",
+        scenarios);
+  }
+
+  std::printf(
+      "note the two signature differences (paper Figure 3):\n"
+      "  - double-bit faults inside ONE word: SEC-DED detects only;\n"
+      "    flip-and-check repairs them.\n"
+      "  - faults spread across >2 words: SEC-DED repairs word-by-word;\n"
+      "    flip-and-check gives up beyond 2 total bits (but always "
+      "detects).\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Non-volatile main-memory wear under different counter schemes
+// (paper §2.2 "Non-Volatile Main Memory Encryption" and §4).
+//
+// On NVMM, every block (re-)encryption is a media write that costs
+// endurance. A block-group re-encryption rewrites all 64 blocks of the
+// group, so a counter representation that re-encrypts often multiplies
+// wear. This example drives one write-hot workload against all four
+// counter schemes and reports the write amplification each induces:
+//
+//   amplification = (application writes + re-encryption writes)
+//                   / application writes
+//
+// Build & run:  ./examples/nvmm_wear
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.h"
+#include "counters/counter_scheme.h"
+#include "counters/delta_counter.h"
+#include "counters/dual_length_delta.h"
+
+namespace {
+
+using namespace secmem;
+
+/// A dedup-like writeback stream: sequential passes over a buffer ring
+/// plus a skewed hot set — the kind of stream Table 2 shows separating
+/// the schemes.
+class WriteStream {
+ public:
+  explicit WriteStream(std::uint64_t seed) : rng_(seed) {}
+
+  BlockIndex next() {
+    if (rng_.chance(0.7)) {
+      const BlockIndex block = pos_;
+      pos_ = (pos_ + 1) % kRingBlocks;
+      return block;
+    }
+    // Hot updates, biased toward lower block numbers (rate skew).
+    const std::uint64_t r = rng_.next_below(64);
+    return kRingBlocks + std::min(r, rng_.next_below(64));
+  }
+
+  static constexpr BlockIndex kRingBlocks = 4096;  // 4 groups swept
+  static constexpr BlockIndex kTotalBlocks = kRingBlocks + 64;
+
+ private:
+  Xoshiro256 rng_;
+  BlockIndex pos_ = 0;
+};
+
+void report(CounterScheme& scheme, std::uint64_t app_writes,
+            std::uint64_t reencryptions) {
+  const std::uint64_t reenc_writes =
+      reencryptions * scheme.blocks_per_group();
+  const double amplification =
+      1.0 + static_cast<double>(reenc_writes) /
+                static_cast<double>(app_writes);
+  std::printf("%-22s %12llu %14llu %16.4fx\n", scheme.name().c_str(),
+              static_cast<unsigned long long>(reencryptions),
+              static_cast<unsigned long long>(reenc_writes), amplification);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t writes =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3000000;
+
+  std::printf(
+      "=== NVMM wear: media-write amplification from counter-overflow "
+      "re-encryption ===\n    (%llu application block writes)\n\n",
+      static_cast<unsigned long long>(writes));
+  std::printf("%-22s %12s %14s %16s\n", "counter scheme", "re-encrypts",
+              "extra writes", "amplification");
+
+  for (const CounterSchemeKind kind :
+       {CounterSchemeKind::kMonolithic56, CounterSchemeKind::kSplit,
+        CounterSchemeKind::kDelta, CounterSchemeKind::kDualDelta}) {
+    auto scheme = make_counter_scheme(kind, WriteStream::kTotalBlocks);
+    WriteStream stream(2018);
+    std::uint64_t reencryptions = 0;
+    for (std::uint64_t i = 0; i < writes; ++i) {
+      if (scheme->on_write(stream.next()).event == CounterEvent::kReencrypt)
+        ++reencryptions;
+    }
+    report(*scheme, writes, reencryptions);
+  }
+
+  std::printf(
+      "\nmonolithic counters never overflow but cost ~11%% storage;\n"
+      "delta encoding keeps split-counter compactness at a fraction of "
+      "the\nre-encryption wear (paper §2.2, §4.3) — exactly what an NVMM "
+      "deployment needs.\n");
+  return 0;
+}

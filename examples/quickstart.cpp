@@ -1,0 +1,81 @@
+// Quickstart: a protected memory region in a dozen lines.
+//
+// SecureMemory gives you a byte-addressable region whose off-chip backing
+// store holds only ciphertext and authentication metadata: AES-CTR
+// encryption with delta-encoded counters, 56-bit Carter-Wegman MACs
+// stored in the ECC lane, and a Bonsai Merkle tree guarding counter
+// freshness — the full construction from Yitbarek & Austin, DAC 2018.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "engine/secure_memory.h"
+
+int main() {
+  using namespace secmem;
+
+  // 1MB protected region with the paper's optimized configuration:
+  // delta-encoded counters + MAC-in-ECC.
+  SecureMemoryConfig config;
+  config.size_bytes = 1 * 1024 * 1024;
+  config.scheme = CounterSchemeKind::kDelta;
+  config.mac_placement = MacPlacement::kEccLane;
+  SecureMemory memory(config);
+
+  std::printf("secmem quickstart\n");
+  std::printf("  region:            %llu bytes (%llu blocks)\n",
+              static_cast<unsigned long long>(memory.size_bytes()),
+              static_cast<unsigned long long>(memory.num_blocks()));
+  std::printf("  counter scheme:    %s (%.3f bits/block)\n",
+              memory.counters().name().c_str(),
+              memory.counters().bits_per_block());
+  std::printf("  metadata overhead: %.2f%% of protected data\n\n",
+              memory.layout().metadata_overhead_pct());
+
+  // --- ordinary use: byte-level writes and verified reads -------------
+  const std::string secret = "attack at dawn; bring 128-bit keys";
+  memory.write(0x1234, std::span<const std::uint8_t>(
+                           reinterpret_cast<const std::uint8_t*>(
+                               secret.data()),
+                           secret.size()));
+
+  std::vector<std::uint8_t> readback(secret.size());
+  if (!memory.read(0x1234, readback)) {
+    std::printf("unexpected verification failure!\n");
+    return 1;
+  }
+  std::printf("round trip:  \"%s\"\n",
+              std::string(readback.begin(), readback.end()).c_str());
+
+  // --- what the attacker sees ------------------------------------------
+  // The block holding our secret, as it sits in (simulated) DRAM:
+  const std::uint64_t block = 0x1234 / 64;
+  auto view = memory.untrusted();
+  std::printf("ciphertext:  ");
+  for (int i = 0; i < 16; ++i)
+    std::printf("%02x", view.ciphertext(block)[i]);
+  std::printf("...  (no plaintext in DRAM)\n");
+
+  // --- tampering is detected -------------------------------------------
+  view.flip_ciphertext_bit(block, 7);
+  view.flip_ciphertext_bit(block, 8);
+  view.flip_ciphertext_bit(block, 9);  // 3 flips: beyond ECC, clearly hostile
+  const auto result = memory.read_block(block);
+  std::printf("after 3-bit tamper: %s\n", read_status_name(result.status));
+
+  // --- single-bit faults are corrected, not just detected ---------------
+  // Repair the block first (rewrite), then inject a realistic DRAM fault.
+  DataBlock plain{};
+  std::memcpy(plain.data(), secret.data(),
+              std::min<std::size_t>(secret.size(), 64));
+  memory.write_block(block, plain);
+  view.flip_ciphertext_bit(block, 100);
+  const auto fixed = memory.read_block(block);
+  std::printf("after 1-bit DRAM fault: %s (%llu MAC evaluations)\n",
+              read_status_name(fixed.status),
+              static_cast<unsigned long long>(fixed.mac_evaluations));
+  return 0;
+}

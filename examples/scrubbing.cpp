@@ -1,0 +1,108 @@
+// Periodic DRAM scrubbing with the MAC-ECC lane (paper §3.3).
+//
+// Simulates months of field operation at realistic DRAM fault rates
+// (Meza et al., DSN'15: most affected servers see at most ~9 correctable
+// errors per month [paper §3.4]) and contrasts two maintenance policies:
+//
+//   no scrubbing      latent single-bit faults accumulate until two land
+//                     in one block between accesses — then correction
+//                     costs a 130K-MAC search, or fails entirely at 3+
+//   monthly scrubbing the quick parity scan (2 checks/line, no MAC math)
+//                     catches and heals faults while they are single-bit
+//
+// Build & run:  ./examples/scrubbing
+#include <cstdio>
+
+#include "common/rng.h"
+#include "engine/secure_memory.h"
+
+namespace {
+
+using namespace secmem;
+
+DataBlock pattern(std::uint64_t block) {
+  DataBlock b{};
+  for (std::size_t i = 0; i < 64; ++i)
+    b[i] = static_cast<std::uint8_t>(block * 7 + i);
+  return b;
+}
+
+struct MonthOutcome {
+  std::uint64_t repaired = 0;
+  std::uint64_t uncorrectable = 0;
+  std::uint64_t flip_and_check_macs = 0;
+};
+
+MonthOutcome end_of_year_audit(SecureMemory& memory) {
+  MonthOutcome outcome;
+  for (std::uint64_t b = 0; b < memory.num_blocks(); ++b) {
+    const auto result = memory.read_block(b);
+    outcome.flip_and_check_macs += result.mac_evaluations;
+    switch (result.status) {
+      case ReadStatus::kOk: break;
+      case ReadStatus::kCorrectedData:
+      case ReadStatus::kCorrectedMacField:
+      case ReadStatus::kCorrectedWord:
+        ++outcome.repaired;
+        break;
+      default:
+        ++outcome.uncorrectable;
+    }
+  }
+  return outcome;
+}
+
+void simulate_year(bool scrub_monthly, unsigned faults_per_month,
+                   std::uint64_t seed) {
+  SecureMemoryConfig config;
+  config.size_bytes = 64 * 1024;  // a small DIMM stand-in
+  config.mac_placement = MacPlacement::kEccLane;
+  SecureMemory memory(config);
+  for (std::uint64_t b = 0; b < memory.num_blocks(); ++b)
+    memory.write_block(b, pattern(b));
+
+  Xoshiro256 rng(seed);
+  std::uint64_t scrub_repairs = 0;
+  for (int month = 0; month < 12; ++month) {
+    for (unsigned f = 0; f < faults_per_month; ++f) {
+      memory.untrusted().flip_ciphertext_bit(
+          rng.next_below(memory.num_blocks()),
+          static_cast<unsigned>(rng.next_below(512)));
+    }
+    if (scrub_monthly) {
+      const auto report = memory.scrub_all();
+      scrub_repairs += report.repaired_data + report.repaired_mac;
+    }
+  }
+
+  const MonthOutcome audit = end_of_year_audit(memory);
+  std::printf(
+      "  %-18s scrub-healed=%3llu  audit: repaired=%3llu "
+      "uncorrectable=%3llu  (%llu brute-force MAC evals)\n",
+      scrub_monthly ? "monthly scrubbing:" : "no scrubbing:",
+      static_cast<unsigned long long>(scrub_repairs),
+      static_cast<unsigned long long>(audit.repaired),
+      static_cast<unsigned long long>(audit.uncorrectable),
+      static_cast<unsigned long long>(audit.flip_and_check_macs));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned faults_per_month = argc > 1 ? std::atoi(argv[1]) : 9;
+  std::printf(
+      "=== one simulated year at %u single-bit DRAM faults/month "
+      "(64KB region) ===\n\n", faults_per_month);
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    std::printf("year with seed %llu:\n",
+                static_cast<unsigned long long>(seed));
+    simulate_year(false, faults_per_month, seed);
+    simulate_year(true, faults_per_month, seed);
+  }
+  std::printf(
+      "\nscrubbing keeps every fault single-bit — healed by a cheap scan "
+      "—\nwhile the unscrubbed region accumulates multi-bit blocks that "
+      "cost\nexpensive flip-and-check searches or become uncorrectable "
+      "(paper §3.3-3.4).\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "cache/cache.h"
+
+#include <cassert>
+
+#include "common/bitops.h"
+
+namespace secmem {
+
+SetAssocCache::SetAssocCache(const CacheConfig& config)
+    : line_bytes_(config.line_bytes),
+      sets_(config.size_bytes / (config.line_bytes * config.ways)),
+      ways_(config.ways) {
+  assert(is_pow2(line_bytes_));
+  assert(sets_ >= 1);
+  assert(is_pow2(sets_));
+  lines_.resize(sets_ * ways_);
+}
+
+std::size_t SetAssocCache::set_index(std::uint64_t addr) const noexcept {
+  return (addr / line_bytes_) & (sets_ - 1);
+}
+
+std::uint64_t SetAssocCache::tag_of(std::uint64_t addr) const noexcept {
+  return (addr / line_bytes_) / sets_;
+}
+
+SetAssocCache::Line* SetAssocCache::find(std::uint64_t addr) noexcept {
+  const std::size_t base = set_index(addr) * ways_;
+  const std::uint64_t tag = tag_of(addr);
+  for (unsigned w = 0; w < ways_; ++w) {
+    Line& line = lines_[base + w];
+    if (line.valid && line.tag == tag) return &line;
+  }
+  return nullptr;
+}
+
+const SetAssocCache::Line* SetAssocCache::find(
+    std::uint64_t addr) const noexcept {
+  return const_cast<SetAssocCache*>(this)->find(addr);
+}
+
+bool SetAssocCache::lookup(std::uint64_t addr) noexcept {
+  Line* line = find(addr);
+  if (line == nullptr) return false;
+  line->lru = next_lru_++;
+  return true;
+}
+
+bool SetAssocCache::contains(std::uint64_t addr) const noexcept {
+  return find(addr) != nullptr;
+}
+
+std::optional<Eviction> SetAssocCache::fill(std::uint64_t addr, bool dirty) {
+  assert(!contains(addr));
+  const std::size_t set = set_index(addr);
+  const std::size_t base = set * ways_;
+  Line* victim = &lines_[base];
+  for (unsigned w = 0; w < ways_; ++w) {
+    Line& line = lines_[base + w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.lru < victim->lru) victim = &line;
+  }
+
+  std::optional<Eviction> evicted;
+  if (victim->valid) {
+    const std::uint64_t victim_addr =
+        (victim->tag * sets_ + set) * line_bytes_;
+    evicted = Eviction{victim_addr, victim->dirty};
+  }
+  victim->tag = tag_of(addr);
+  victim->valid = true;
+  victim->dirty = dirty;
+  victim->lru = next_lru_++;
+  return evicted;
+}
+
+bool SetAssocCache::mark_dirty(std::uint64_t addr) noexcept {
+  Line* line = find(addr);
+  if (line == nullptr) return false;
+  line->dirty = true;
+  line->lru = next_lru_++;
+  return true;
+}
+
+std::optional<Eviction> SetAssocCache::invalidate(std::uint64_t addr) noexcept {
+  Line* line = find(addr);
+  if (line == nullptr) return std::nullopt;
+  line->valid = false;
+  return Eviction{line_address(addr), line->dirty};
+}
+
+std::vector<Eviction> SetAssocCache::flush() {
+  std::vector<Eviction> dirty_lines;
+  for (std::size_t set = 0; set < sets_; ++set) {
+    for (unsigned w = 0; w < ways_; ++w) {
+      Line& line = lines_[set * ways_ + w];
+      if (!line.valid) continue;
+      if (line.dirty) {
+        dirty_lines.push_back(
+            Eviction{(line.tag * sets_ + set) * line_bytes_, true});
+      }
+      line.valid = false;
+    }
+  }
+  return dirty_lines;
+}
+
+std::size_t SetAssocCache::occupied_lines() const noexcept {
+  std::size_t n = 0;
+  for (const Line& line : lines_)
+    if (line.valid) ++n;
+  return n;
+}
+
+}  // namespace secmem

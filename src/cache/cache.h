@@ -1,0 +1,80 @@
+// Generic set-associative, write-back, LRU cache model.
+//
+// This is a *tag* cache: it tracks presence and dirtiness of lines, not
+// their contents (functional data lives in the owning component). The same
+// class models the L1/L2/L3 data caches of the simulated CPU and the 32KB
+// 8-way counter/MAC metadata cache of the memory-encryption engine
+// (paper Table 1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace secmem {
+
+struct CacheConfig {
+  std::size_t size_bytes = 32 * 1024;
+  unsigned ways = 8;
+  std::size_t line_bytes = 64;
+};
+
+/// Result of a fill: the line that had to be evicted, if any.
+struct Eviction {
+  std::uint64_t line_addr;  ///< byte address of the evicted line
+  bool dirty;               ///< true if it must be written back
+};
+
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheConfig& config);
+
+  /// True if the line containing `addr` is present; updates LRU on hit.
+  bool lookup(std::uint64_t addr) noexcept;
+
+  /// Probe without disturbing LRU state.
+  bool contains(std::uint64_t addr) const noexcept;
+
+  /// Insert the line containing `addr` (must not already be present —
+  /// call lookup first). Returns the victim if a valid line was evicted.
+  std::optional<Eviction> fill(std::uint64_t addr, bool dirty = false);
+
+  /// Mark an already-present line dirty. Returns false if absent.
+  bool mark_dirty(std::uint64_t addr) noexcept;
+
+  /// Remove the line containing `addr` if present; reports its dirtiness.
+  std::optional<Eviction> invalidate(std::uint64_t addr) noexcept;
+
+  /// Drop every line; dirty victims are returned in unspecified order.
+  std::vector<Eviction> flush();
+
+  std::size_t line_bytes() const noexcept { return line_bytes_; }
+  std::size_t num_sets() const noexcept { return sets_; }
+  unsigned ways() const noexcept { return ways_; }
+  std::size_t occupied_lines() const noexcept;
+
+  std::uint64_t line_address(std::uint64_t addr) const noexcept {
+    return addr & ~static_cast<std::uint64_t>(line_bytes_ - 1);
+  }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // higher = more recently used
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::size_t set_index(std::uint64_t addr) const noexcept;
+  std::uint64_t tag_of(std::uint64_t addr) const noexcept;
+  Line* find(std::uint64_t addr) noexcept;
+  const Line* find(std::uint64_t addr) const noexcept;
+
+  std::size_t line_bytes_;
+  std::size_t sets_;
+  unsigned ways_;
+  std::uint64_t next_lru_ = 1;
+  std::vector<Line> lines_;  // sets_ x ways_, row-major
+};
+
+}  // namespace secmem

@@ -1,0 +1,100 @@
+#include "cache/hierarchy.h"
+
+namespace secmem {
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig& config,
+                               StatRegistry& stats)
+    : config_(config), l3_(config.l3), stats_(stats) {
+  l1_.reserve(config.cores);
+  l2_.reserve(config.cores);
+  for (unsigned c = 0; c < config.cores; ++c) {
+    l1_.emplace_back(config.l1);
+    l2_.emplace_back(config.l2);
+  }
+}
+
+void CacheHierarchy::fill_l3(std::uint64_t line, bool dirty,
+                             std::vector<std::uint64_t>& writebacks) {
+  if (l3_.lookup(line)) {
+    if (dirty) l3_.mark_dirty(line);
+    return;
+  }
+  if (auto victim = l3_.fill(line, dirty); victim && victim->dirty)
+    writebacks.push_back(victim->line_addr);
+}
+
+void CacheHierarchy::fill_l2(unsigned core, std::uint64_t line, bool dirty,
+                             std::vector<std::uint64_t>& writebacks) {
+  SetAssocCache& l2 = l2_[core];
+  if (l2.lookup(line)) {
+    if (dirty) l2.mark_dirty(line);
+    return;
+  }
+  if (auto victim = l2.fill(line, dirty); victim && victim->dirty)
+    fill_l3(victim->line_addr, /*dirty=*/true, writebacks);
+}
+
+AccessOutcome CacheHierarchy::access(unsigned core, std::uint64_t addr,
+                                     bool is_write) {
+  AccessOutcome outcome;
+  SetAssocCache& l1 = l1_[core];
+  SetAssocCache& l2 = l2_[core];
+  const std::uint64_t line = l1.line_address(addr);
+
+  if (l1.lookup(line)) {
+    if (is_write) l1.mark_dirty(line);
+    outcome.served_by = ServedBy::kL1;
+    outcome.hit_latency = config_.l1_latency;
+    stats_.counter("cache.l1.hits").inc();
+    return outcome;
+  }
+  stats_.counter("cache.l1.misses").inc();
+
+  // Allocate into L1 regardless of where the line is found below.
+  auto allocate_l1 = [&](bool dirty) {
+    if (auto victim = l1.fill(line, dirty); victim && victim->dirty)
+      fill_l2(core, victim->line_addr, /*dirty=*/true, outcome.writebacks);
+  };
+
+  if (l2.lookup(line)) {
+    // Line moves up to L1; its dirtiness migrates with it.
+    const auto removed = l2.invalidate(line);
+    allocate_l1(is_write || (removed && removed->dirty));
+    outcome.served_by = ServedBy::kL2;
+    outcome.hit_latency = config_.l2_latency;
+    stats_.counter("cache.l2.hits").inc();
+    return outcome;
+  }
+  stats_.counter("cache.l2.misses").inc();
+
+  if (l3_.lookup(line)) {
+    allocate_l1(is_write);
+    outcome.served_by = ServedBy::kL3;
+    outcome.hit_latency = config_.l3_latency;
+    stats_.counter("cache.l3.hits").inc();
+    return outcome;
+  }
+  stats_.counter("cache.l3.misses").inc();
+
+  // Miss everywhere: line comes from DRAM. Fill L3 (clean copy) and L1.
+  fill_l3(line, /*dirty=*/false, outcome.writebacks);
+  allocate_l1(is_write);
+  outcome.served_by = ServedBy::kMemory;
+  outcome.hit_latency = config_.l3_latency;  // time spent probing the chain
+  return outcome;
+}
+
+std::vector<std::uint64_t> CacheHierarchy::flush_all() {
+  std::vector<std::uint64_t> writebacks;
+  for (unsigned c = 0; c < config_.cores; ++c) {
+    for (const Eviction& ev : l1_[c].flush())
+      if (ev.dirty) fill_l2(c, ev.line_addr, true, writebacks);
+    for (const Eviction& ev : l2_[c].flush())
+      if (ev.dirty) fill_l3(ev.line_addr, true, writebacks);
+  }
+  for (const Eviction& ev : l3_.flush())
+    if (ev.dirty) writebacks.push_back(ev.line_addr);
+  return writebacks;
+}
+
+}  // namespace secmem

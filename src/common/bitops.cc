@@ -1,0 +1,48 @@
+#include "common/bitops.h"
+
+namespace secmem {
+
+unsigned parity_bytes(std::span<const std::uint8_t> bytes) noexcept {
+  unsigned p = 0;
+  for (std::uint8_t b : bytes) p ^= static_cast<unsigned>(std::popcount(b) & 1);
+  return p;
+}
+
+bool get_bit(std::span<const std::uint8_t> bytes, std::size_t pos) noexcept {
+  return (bytes[pos >> 3] >> (pos & 7)) & 1;
+}
+
+void set_bit(std::span<std::uint8_t> bytes, std::size_t pos,
+             bool value) noexcept {
+  const std::uint8_t mask = static_cast<std::uint8_t>(1u << (pos & 7));
+  if (value)
+    bytes[pos >> 3] |= mask;
+  else
+    bytes[pos >> 3] &= static_cast<std::uint8_t>(~mask);
+}
+
+void flip_bit(std::span<std::uint8_t> bytes, std::size_t pos) noexcept {
+  bytes[pos >> 3] ^= static_cast<std::uint8_t>(1u << (pos & 7));
+}
+
+std::size_t popcount_bytes(std::span<const std::uint8_t> bytes) noexcept {
+  std::size_t n = 0;
+  for (std::uint8_t b : bytes) n += static_cast<std::size_t>(std::popcount(b));
+  return n;
+}
+
+std::uint64_t extract_field(std::span<const std::uint8_t> bytes,
+                            std::size_t bit_pos, unsigned width) noexcept {
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < width; ++i)
+    if (get_bit(bytes, bit_pos + i)) v |= std::uint64_t{1} << i;
+  return v;
+}
+
+void insert_field(std::span<std::uint8_t> bytes, std::size_t bit_pos,
+                  unsigned width, std::uint64_t field) noexcept {
+  for (unsigned i = 0; i < width; ++i)
+    set_bit(bytes, bit_pos + i, (field >> i) & 1);
+}
+
+}  // namespace secmem

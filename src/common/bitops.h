@@ -1,0 +1,107 @@
+// Bit-manipulation primitives shared by the ECC codecs, counter encoders,
+// and crypto layers. All functions are constexpr-friendly and operate on
+// explicit-width integer types so codec layouts are unambiguous.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace secmem {
+
+/// Number of set bits.
+constexpr int popcount64(std::uint64_t v) noexcept { return std::popcount(v); }
+
+/// Even parity over a 64-bit word: 1 if an odd number of bits are set.
+constexpr unsigned parity64(std::uint64_t v) noexcept {
+  return static_cast<unsigned>(std::popcount(v) & 1);
+}
+
+/// Even parity over a byte buffer.
+unsigned parity_bytes(std::span<const std::uint8_t> bytes) noexcept;
+
+/// Extract `width` bits starting at bit `pos` (LSB-first) from `v`.
+/// `pos + width` must be <= 64; width == 64 returns v >> pos.
+constexpr std::uint64_t extract_bits(std::uint64_t v, unsigned pos,
+                                     unsigned width) noexcept {
+  const std::uint64_t shifted = v >> pos;
+  if (width >= 64) return shifted;
+  return shifted & ((std::uint64_t{1} << width) - 1);
+}
+
+/// Insert the low `width` bits of `field` into `v` at bit `pos`.
+constexpr std::uint64_t insert_bits(std::uint64_t v, unsigned pos,
+                                    unsigned width,
+                                    std::uint64_t field) noexcept {
+  const std::uint64_t mask =
+      (width >= 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+  return (v & ~(mask << pos)) | ((field & mask) << pos);
+}
+
+/// Test bit `pos` of an arbitrary-length bit string stored LSB-first in
+/// bytes (bit 0 = bit 0 of bytes[0]).
+bool get_bit(std::span<const std::uint8_t> bytes, std::size_t pos) noexcept;
+
+/// Set bit `pos` of a byte buffer to `value`.
+void set_bit(std::span<std::uint8_t> bytes, std::size_t pos,
+             bool value) noexcept;
+
+/// Flip bit `pos` of a byte buffer.
+void flip_bit(std::span<std::uint8_t> bytes, std::size_t pos) noexcept;
+
+/// Number of set bits over a byte buffer.
+std::size_t popcount_bytes(std::span<const std::uint8_t> bytes) noexcept;
+
+/// Extract a bit field of up to 64 bits from an arbitrary-length
+/// LSB-first bit string. `width` <= 64.
+std::uint64_t extract_field(std::span<const std::uint8_t> bytes,
+                            std::size_t bit_pos, unsigned width) noexcept;
+
+/// Write a bit field of up to 64 bits into an arbitrary-length LSB-first
+/// bit string.
+void insert_field(std::span<std::uint8_t> bytes, std::size_t bit_pos,
+                  unsigned width, std::uint64_t field) noexcept;
+
+/// Load a little-endian 64-bit word from 8 bytes.
+constexpr std::uint64_t load_le64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+/// Store a 64-bit word to 8 bytes little-endian.
+constexpr void store_le64(std::uint8_t* p, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/// Load a little-endian 32-bit word.
+constexpr std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+/// Store a little-endian 32-bit word.
+constexpr void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+/// True if v is a power of two (and nonzero).
+constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// log2 of a power of two.
+constexpr unsigned log2_pow2(std::uint64_t v) noexcept {
+  return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/// Ceil(a / b) for positive integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace secmem

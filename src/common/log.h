@@ -1,0 +1,46 @@
+// Minimal leveled logging. Simulation hot paths never log; this exists for
+// examples and debugging. Level is process-wide but explicitly settable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace secmem {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set/get the global minimum level that is emitted.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit one line to stderr if `level` >= the global threshold.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  log_line(level, oss.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  detail::log_fmt(LogLevel::kDebug, args...);
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  detail::log_fmt(LogLevel::kInfo, args...);
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  detail::log_fmt(LogLevel::kWarn, args...);
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  detail::log_fmt(LogLevel::kError, args...);
+}
+
+}  // namespace secmem

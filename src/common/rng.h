@@ -1,0 +1,38 @@
+// Deterministic pseudo-random number generation for simulation and test
+// reproducibility. We deliberately avoid std::mt19937 / std::random_device
+// in simulator code paths: every experiment in the paper reproduction must
+// replay bit-identically given the same seed.
+#pragma once
+
+#include <cstdint>
+
+namespace secmem {
+
+/// xoshiro256** by Blackman & Vigna — fast, high-quality, 256-bit state.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) noexcept { reseed(seed); }
+
+  /// Re-initialize state from a 64-bit seed via splitmix64 expansion.
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Bernoulli draw with probability p.
+  bool chance(double p) noexcept { return next_double() < p; }
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+/// splitmix64 — used to expand seeds; also a fine standalone mixer.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+}  // namespace secmem

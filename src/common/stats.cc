@@ -1,0 +1,51 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace secmem {
+
+void StatScalar::sample(double v) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  sum_ += v;
+  ++count_;
+}
+
+StatHistogram::StatHistogram(std::size_t buckets, std::uint64_t bucket_width)
+    : buckets_(buckets, 0), width_(bucket_width == 0 ? 1 : bucket_width) {}
+
+void StatHistogram::sample(std::uint64_t v) noexcept {
+  const std::size_t idx = static_cast<std::size_t>(v / width_);
+  if (idx < buckets_.size())
+    ++buckets_[idx];
+  else
+    ++overflow_;
+  ++total_;
+}
+
+std::uint64_t StatRegistry::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+void StatRegistry::reset() {
+  for (auto& [_, c] : counters_) c.reset();
+  for (auto& [_, s] : scalars_) s.reset();
+}
+
+void StatRegistry::dump(std::ostream& os) const {
+  for (const auto& [name, c] : counters_)
+    os << std::left << std::setw(48) << name << c.value() << '\n';
+  for (const auto& [name, s] : scalars_) {
+    os << std::left << std::setw(48) << name << "mean=" << s.mean()
+       << " min=" << s.min() << " max=" << s.max() << " n=" << s.count()
+       << '\n';
+  }
+}
+
+}  // namespace secmem

@@ -1,0 +1,85 @@
+// Lightweight statistics collection used across the simulator stack.
+// Components register named counters/histograms with a StatRegistry owned
+// by the top-level simulation; benches dump the registry at the end of a
+// run. No global state: registries are plain objects passed explicitly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace secmem {
+
+/// A monotonically increasing event counter.
+class StatCounter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Running mean/min/max over a stream of samples.
+class StatScalar {
+ public:
+  void sample(double v) noexcept;
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return sum_; }
+  void reset() noexcept { *this = StatScalar{}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Fixed-bucket histogram (linear buckets plus overflow).
+class StatHistogram {
+ public:
+  StatHistogram() : StatHistogram(16, 1) {}
+  StatHistogram(std::size_t buckets, std::uint64_t bucket_width);
+
+  void sample(std::uint64_t v) noexcept;
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t bucket_width() const noexcept { return width_; }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t width_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Name → stat map. Lookup lazily creates; names use dotted paths,
+/// e.g. "dram.ch0.row_hits".
+class StatRegistry {
+ public:
+  StatCounter& counter(const std::string& name) { return counters_[name]; }
+  StatScalar& scalar(const std::string& name) { return scalars_[name]; }
+
+  const std::map<std::string, StatCounter>& counters() const { return counters_; }
+  const std::map<std::string, StatScalar>& scalars() const { return scalars_; }
+
+  /// Value of a counter, 0 if never touched.
+  std::uint64_t counter_value(const std::string& name) const;
+
+  void reset();
+  void dump(std::ostream& os) const;
+
+ private:
+  std::map<std::string, StatCounter> counters_;
+  std::map<std::string, StatScalar> scalars_;
+};
+
+}  // namespace secmem

@@ -1,0 +1,46 @@
+#include "counters/counter_scheme.h"
+
+#include "counters/delta_counter.h"
+#include "counters/dual_length_delta.h"
+#include "counters/monolithic.h"
+#include "counters/split_counter.h"
+
+namespace secmem {
+
+const char* counter_scheme_kind_name(CounterSchemeKind kind) noexcept {
+  switch (kind) {
+    case CounterSchemeKind::kMonolithic56: return "monolithic-56bit";
+    case CounterSchemeKind::kSplit: return "split-counter";
+    case CounterSchemeKind::kDelta: return "delta-7bit";
+    case CounterSchemeKind::kDualDelta: return "delta-dual-length";
+  }
+  return "?";
+}
+
+std::unique_ptr<CounterScheme> make_counter_scheme(CounterSchemeKind kind,
+                                                   BlockIndex num_blocks) {
+  switch (kind) {
+    case CounterSchemeKind::kMonolithic56:
+      return std::make_unique<MonolithicCounters>(num_blocks);
+    case CounterSchemeKind::kSplit:
+      return std::make_unique<SplitCounters>(num_blocks);
+    case CounterSchemeKind::kDelta:
+      return std::make_unique<DeltaCounters>(num_blocks);
+    case CounterSchemeKind::kDualDelta:
+      return std::make_unique<DualLengthDeltaCounters>(num_blocks);
+  }
+  return nullptr;
+}
+
+const char* counter_event_name(CounterEvent event) noexcept {
+  switch (event) {
+    case CounterEvent::kIncrement: return "increment";
+    case CounterEvent::kReset: return "reset";
+    case CounterEvent::kReencode: return "reencode";
+    case CounterEvent::kExpand: return "expand";
+    case CounterEvent::kReencrypt: return "reencrypt";
+  }
+  return "?";
+}
+
+}  // namespace secmem

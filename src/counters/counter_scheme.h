@@ -1,0 +1,122 @@
+// Abstract interface over per-block write-counter storage schemes
+// (paper §2 and §4).
+//
+// Counter-mode encryption needs one monotonic counter per 64-byte block.
+// How those counters are *represented* in the off-chip counter region
+// determines storage overhead, metadata-cache reach, integrity-tree depth,
+// and how often whole block-groups must be re-encrypted. Implementations:
+//
+//   MonolithicCounters  — 56-bit counter per block (SGX-style baseline)
+//   SplitCounters       — 64-bit major + 7-bit minors  [Yan et al., ISCA'06]
+//   DeltaCounters       — 56-bit reference + 7-bit deltas (paper §4.1-4.3)
+//   DualLengthDeltaCounters — 6-bit deltas + overflow-extension (paper §4.3)
+//
+// The scheme is a *functional* model: it owns the true counter values and
+// reports, per write, which maintenance event fired. The encryption engine
+// turns those events into DRAM traffic and re-encryption work.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace secmem {
+
+/// Index of a protected 64-byte block within the secure region.
+using BlockIndex = std::uint64_t;
+
+/// What a write to a block required of the counter subsystem.
+/// Order matters: higher values are "heavier" events.
+enum class CounterEvent : std::uint8_t {
+  kIncrement,    ///< delta/minor counter bumped in place
+  kReset,        ///< deltas converged; folded into the reference (no crypto)
+  kReencode,     ///< Δmin subtracted into the reference (no crypto)
+  kExpand,       ///< delta-group granted the spare overflow bits (no crypto)
+  kReencrypt,    ///< block-group must be re-encrypted with a fresh counter
+};
+
+const char* counter_event_name(CounterEvent event) noexcept;
+
+struct WriteOutcome {
+  /// Counter value to encrypt the freshly written block with.
+  std::uint64_t counter;
+  /// The heaviest maintenance event this write triggered.
+  CounterEvent event;
+  /// Valid when event == kReencrypt: every *other* block in this group
+  /// must be re-read and re-encrypted with `counter` as well.
+  std::uint64_t group = 0;
+};
+
+class CounterScheme {
+ public:
+  virtual ~CounterScheme() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Current counter value of a block (as used for decryption).
+  virtual std::uint64_t read_counter(BlockIndex block) const = 0;
+
+  /// Record a write to `block`: bumps its counter, handling overflow per
+  /// the scheme's rules.
+  virtual WriteOutcome on_write(BlockIndex block) = 0;
+
+  /// Number of protected blocks whose counters share one 64-byte line of
+  /// counter storage (= metadata cache line reach, = tree leaf coverage).
+  virtual unsigned blocks_per_storage_line() const = 0;
+
+  /// Blocks per re-encryption group (1 when the scheme never groups).
+  virtual unsigned blocks_per_group() const = 0;
+
+  /// Bits of counter storage per protected block (for overhead figures).
+  virtual double bits_per_block() const = 0;
+
+  /// Extra cycles to decode a counter on the read path (paper §5.3:
+  /// 2 cycles for delta schemes, 0 for directly stored counters).
+  virtual unsigned decode_latency_cycles() const = 0;
+
+  /// Total blocks this instance manages.
+  virtual BlockIndex num_blocks() const = 0;
+
+  /// Bit-exact stored representation of counter-storage line `line`
+  /// (64 bytes) — what actually sits in untrusted DRAM and what the
+  /// Bonsai tree authenticates. Must change whenever any counter in the
+  /// line changes representation.
+  virtual void serialize_line(std::uint64_t line,
+                              std::span<std::uint8_t, 64> out) const = 0;
+
+  /// Inverse of serialize_line: adopt the stored representation as this
+  /// line's state — the decode a controller performs when counter lines
+  /// are brought in from DRAM/NVMM (and what persistence restores from).
+  /// Callers must authenticate the bytes first (integrity tree!).
+  virtual void deserialize_line(std::uint64_t line,
+                                std::span<const std::uint8_t, 64> in) = 0;
+
+  /// Index of the 64-byte counter-storage line holding `block`'s counter.
+  std::uint64_t storage_line_of(BlockIndex block) const {
+    return block / blocks_per_storage_line();
+  }
+
+  /// Number of 64-byte counter-storage lines for the whole region.
+  std::uint64_t num_storage_lines() const {
+    const unsigned per = blocks_per_storage_line();
+    return (num_blocks() + per - 1) / per;
+  }
+};
+
+/// Counter-representation choices exposed across the library.
+enum class CounterSchemeKind : std::uint8_t {
+  kMonolithic56,  ///< SGX-style full counters (baseline)
+  kSplit,         ///< split counters [Yan et al., ISCA'06]
+  kDelta,         ///< 7-bit frame-of-reference deltas (paper §4)
+  kDualDelta,     ///< dual-length deltas (paper §4.3)
+};
+
+const char* counter_scheme_kind_name(CounterSchemeKind kind) noexcept;
+
+/// Factory over the four implementations.
+std::unique_ptr<CounterScheme> make_counter_scheme(CounterSchemeKind kind,
+                                                   BlockIndex num_blocks);
+
+}  // namespace secmem

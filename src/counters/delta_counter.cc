@@ -1,0 +1,87 @@
+#include "counters/delta_counter.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+
+namespace secmem {
+
+DeltaCounters::DeltaCounters(BlockIndex num_blocks, DeltaConfig config)
+    : num_blocks_(num_blocks),
+      config_(config),
+      groups_((num_blocks + kGroupBlocks - 1) / kGroupBlocks) {}
+
+std::uint64_t DeltaCounters::read_counter(BlockIndex block) const {
+  const Group& g = groups_.at(block / kGroupBlocks);
+  return g.ref + g.delta[block % kGroupBlocks];
+}
+
+void DeltaCounters::serialize_line(std::uint64_t line,
+                                   std::span<std::uint8_t, 64> out) const {
+  // Layout (Figure 4/5): [ref:56][delta:7 x64] = 504 bits; 8 spare.
+  const Group& g = groups_.at(line);
+  std::fill(out.begin(), out.end(), 0);
+  std::span<std::uint8_t> bytes(out);
+  insert_field(bytes, 0, 56, g.ref);
+  for (unsigned i = 0; i < kGroupBlocks; ++i)
+    insert_field(bytes, 56 + i * kDeltaBits, kDeltaBits, g.delta[i]);
+}
+
+WriteOutcome DeltaCounters::on_write(BlockIndex block) {
+  const std::uint64_t group_idx = block / kGroupBlocks;
+  Group& g = groups_.at(group_idx);
+  std::uint8_t& d = g.delta[block % kGroupBlocks];
+
+  if (d < kDeltaMax) {
+    ++d;
+    const std::uint64_t counter = g.ref + d;
+    // Convergence reset (Fig 5b): purely representational, so the counter
+    // value returned above is unaffected.
+    if (config_.enable_reset && d != 0) {
+      const bool all_equal = std::all_of(
+          g.delta.begin(), g.delta.end(),
+          [v = d](std::uint8_t x) { return x == v; });
+      if (all_equal) {
+        g.ref += d;
+        g.delta.fill(0);
+        ++resets_;
+        return {counter, CounterEvent::kReset, group_idx};
+      }
+    }
+    return {counter, CounterEvent::kIncrement, group_idx};
+  }
+
+  // Delta would overflow. Try re-encoding with a larger reference
+  // (Fig 5c) before resorting to re-encryption.
+  if (config_.enable_reencode) {
+    const std::uint8_t dmin = *std::min_element(g.delta.begin(), g.delta.end());
+    if (dmin > 0) {
+      for (std::uint8_t& x : g.delta) x -= dmin;
+      g.ref += dmin;
+      ++reencodes_;
+      ++d;  // now fits: d was kDeltaMax - dmin after the subtraction
+      return {g.ref + d, CounterEvent::kReencode, group_idx};
+    }
+  }
+
+  // Re-encrypt (Fig 5a): the overflowing counter is the group's largest;
+  // its post-increment value ref + kDeltaMax + 1 becomes the new reference
+  // and every block is re-encrypted with it.
+  g.ref += kDeltaMax + 1;
+  g.delta.fill(0);
+  ++reencryptions_;
+  return {g.ref, CounterEvent::kReencrypt, group_idx};
+}
+
+
+void DeltaCounters::deserialize_line(std::uint64_t line,
+                                     std::span<const std::uint8_t, 64> in) {
+  Group& g = groups_.at(line);
+  std::span<const std::uint8_t> bytes(in);
+  g.ref = extract_field(bytes, 0, 56);
+  for (unsigned i = 0; i < kGroupBlocks; ++i)
+    g.delta[i] = static_cast<std::uint8_t>(
+        extract_field(bytes, 56 + i * kDeltaBits, kDeltaBits));
+}
+
+}  // namespace secmem

@@ -1,0 +1,79 @@
+// Frame-of-reference delta-encoded counters (paper §4.1-4.3, Figure 5).
+//
+// Each 4KB block-group (64 blocks) stores one 56-bit reference value and
+// 64 seven-bit deltas; block b's encryption counter is ref + delta[b].
+// 56 + 64x7 = 504 bits fit one 64-byte storage line with 8 bits spare.
+//
+// Overflow handling, in escalating order of cost:
+//   1. reset    (Fig 5b): when all deltas converge to one nonzero value v,
+//                fold v into the reference and zero the deltas — pure
+//                re-representation, no crypto work.
+//   2. re-encode(Fig 5c): when a delta would overflow, subtract
+//                Δmin = min(deltas) from every delta and add it to the
+//                reference. Effective iff Δmin > 0.
+//   3. re-encrypt(Fig 5a): nothing else helped — re-encrypt the whole
+//                group with a fresh counter ref + max(delta) + 1, which
+//                becomes the new reference; all deltas reset to zero.
+//
+// Both optimizations are individually toggleable for the §4.3 ablation.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "counters/counter_scheme.h"
+
+namespace secmem {
+
+struct DeltaConfig {
+  bool enable_reset = true;     ///< Fig 5b convergence reset
+  bool enable_reencode = true;  ///< Fig 5c Δmin re-encoding
+};
+
+class DeltaCounters final : public CounterScheme {
+ public:
+  static constexpr unsigned kGroupBlocks = 64;
+  static constexpr unsigned kDeltaBits = 7;
+  static constexpr std::uint64_t kDeltaMax = (1u << kDeltaBits) - 1;  // 127
+
+  explicit DeltaCounters(BlockIndex num_blocks, DeltaConfig config = {});
+
+  std::string name() const override { return "delta-7bit"; }
+  std::uint64_t read_counter(BlockIndex block) const override;
+  WriteOutcome on_write(BlockIndex block) override;
+  unsigned blocks_per_storage_line() const override { return kGroupBlocks; }
+  unsigned blocks_per_group() const override { return kGroupBlocks; }
+  double bits_per_block() const override {
+    return kDeltaBits + 56.0 / kGroupBlocks;
+  }
+  unsigned decode_latency_cycles() const override { return 2; }
+  BlockIndex num_blocks() const override { return num_blocks_; }
+  void serialize_line(std::uint64_t line,
+                      std::span<std::uint8_t, 64> out) const override;
+  void deserialize_line(std::uint64_t line,
+                        std::span<const std::uint8_t, 64> in) override;
+
+  std::uint64_t reencryptions() const noexcept { return reencryptions_; }
+  std::uint64_t resets() const noexcept { return resets_; }
+  std::uint64_t reencodes() const noexcept { return reencodes_; }
+
+  /// Reference value of a group (exposed for tests/verification).
+  std::uint64_t group_reference(std::uint64_t group) const {
+    return groups_.at(group).ref;
+  }
+
+ private:
+  struct Group {
+    std::uint64_t ref = 0;
+    std::array<std::uint8_t, kGroupBlocks> delta{};
+  };
+
+  BlockIndex num_blocks_;
+  DeltaConfig config_;
+  std::vector<Group> groups_;
+  std::uint64_t reencryptions_ = 0;
+  std::uint64_t resets_ = 0;
+  std::uint64_t reencodes_ = 0;
+};
+
+}  // namespace secmem

@@ -1,0 +1,135 @@
+#include "counters/dual_length_delta.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+
+namespace secmem {
+
+DualLengthDeltaCounters::DualLengthDeltaCounters(BlockIndex num_blocks,
+                                                 DeltaConfig config)
+    : num_blocks_(num_blocks),
+      config_(config),
+      groups_((num_blocks + kGroupBlocks - 1) / kGroupBlocks) {}
+
+std::uint64_t DualLengthDeltaCounters::read_counter(BlockIndex block) const {
+  const Group& g = groups_.at(block / kGroupBlocks);
+  return g.ref + g.delta[block % kGroupBlocks];
+}
+
+bool DualLengthDeltaCounters::encodable(const Group& g) const {
+  for (unsigned i = 0; i < kGroupBlocks; ++i)
+    if (g.delta[i] > limit_for(g, i / kDeltasPerGroup)) return false;
+  return true;
+}
+
+void DualLengthDeltaCounters::serialize_line(
+    std::uint64_t line, std::span<std::uint8_t, 64> out) const {
+  // Layout (Figure 6): [ref:56][group-index:8][6-bit deltas x64 = 384]
+  // [overflow extension: 4 bits x16 = 64] = 512 bits exactly.
+  // The group-index byte encodes which delta-group owns the overflow bits
+  // (0xFF = none). Expanded deltas store their low 6 bits in the base
+  // field and their high 4 bits in the extension field.
+  const Group& g = groups_.at(line);
+  std::fill(out.begin(), out.end(), 0);
+  std::span<std::uint8_t> bytes(out);
+  insert_field(bytes, 0, 56, g.ref);
+  insert_field(bytes, 56, 8,
+               g.expanded < 0 ? 0xFF : static_cast<std::uint64_t>(g.expanded));
+  for (unsigned i = 0; i < kGroupBlocks; ++i)
+    insert_field(bytes, 64 + i * kBaseBits, kBaseBits,
+                 g.delta[i] & kBaseMax);
+  if (g.expanded >= 0) {
+    const unsigned base = static_cast<unsigned>(g.expanded) * kDeltasPerGroup;
+    for (unsigned i = 0; i < kDeltasPerGroup; ++i)
+      insert_field(bytes, 448 + i * 4, 4,
+                   static_cast<std::uint64_t>(g.delta[base + i]) >> kBaseBits);
+  }
+}
+
+WriteOutcome DualLengthDeltaCounters::on_write(BlockIndex block) {
+  const std::uint64_t group_idx = block / kGroupBlocks;
+  const unsigned slot = static_cast<unsigned>(block % kGroupBlocks);
+  const unsigned delta_group = slot / kDeltasPerGroup;
+  Group& g = groups_.at(group_idx);
+  std::uint16_t& d = g.delta[slot];
+
+  if (d < limit_for(g, delta_group)) {
+    ++d;
+    const std::uint64_t counter = g.ref + d;
+    if (config_.enable_reset && d != 0) {
+      const bool all_equal = std::all_of(
+          g.delta.begin(), g.delta.end(),
+          [v = d](std::uint16_t x) { return x == v; });
+      if (all_equal) {
+        // Convergence reset also releases the overflow bits: all deltas
+        // become zero, which any width can represent.
+        g.ref += d;
+        g.delta.fill(0);
+        g.expanded = -1;
+        ++resets_;
+        return {counter, CounterEvent::kReset, group_idx};
+      }
+    }
+    return {counter, CounterEvent::kIncrement, group_idx};
+  }
+
+  // This delta cannot grow within its current width.
+  if (g.expanded < 0) {
+    // Spare overflow bits are unclaimed: expand this delta-group
+    // (Figure 6) and retry the increment with the wider limit.
+    g.expanded = static_cast<int>(delta_group);
+    ++expansions_;
+    ++d;
+    return {g.ref + d, CounterEvent::kExpand, group_idx};
+  }
+
+  // Overflow bits already spoken for (or this IS the expanded group at its
+  // 10-bit ceiling). Try Δmin re-encoding before re-encrypting.
+  if (config_.enable_reencode) {
+    const std::uint16_t dmin =
+        *std::min_element(g.delta.begin(), g.delta.end());
+    if (dmin > 0) {
+      Group trial = g;
+      for (std::uint16_t& x : trial.delta) x -= dmin;
+      trial.ref += dmin;
+      trial.delta[slot] += 1;
+      if (encodable(trial)) {
+        g = trial;
+        ++reencodes_;
+        return {g.ref + g.delta[slot], CounterEvent::kReencode, group_idx};
+      }
+    }
+  }
+
+  // Re-encrypt: new reference = largest counter in the group + 1, i.e.
+  // strictly above every nonce ever used by any block in this group.
+  const std::uint16_t dmax = *std::max_element(g.delta.begin(), g.delta.end());
+  g.ref += static_cast<std::uint64_t>(dmax) + 1;
+  g.delta.fill(0);
+  g.expanded = -1;
+  ++reencryptions_;
+  return {g.ref, CounterEvent::kReencrypt, group_idx};
+}
+
+
+void DualLengthDeltaCounters::deserialize_line(
+    std::uint64_t line, std::span<const std::uint8_t, 64> in) {
+  Group& g = groups_.at(line);
+  std::span<const std::uint8_t> bytes(in);
+  g.ref = extract_field(bytes, 0, 56);
+  const std::uint64_t idx = extract_field(bytes, 56, 8);
+  g.expanded = idx == 0xFF ? -1 : static_cast<int>(idx);
+  for (unsigned i = 0; i < kGroupBlocks; ++i)
+    g.delta[i] = static_cast<std::uint16_t>(
+        extract_field(bytes, 64 + i * kBaseBits, kBaseBits));
+  if (g.expanded >= 0) {
+    const unsigned base = static_cast<unsigned>(g.expanded) * kDeltasPerGroup;
+    for (unsigned i = 0; i < kDeltasPerGroup; ++i)
+      g.delta[base + i] = static_cast<std::uint16_t>(
+          g.delta[base + i] |
+          (extract_field(bytes, 448 + i * 4, 4) << kBaseBits));
+  }
+}
+
+}  // namespace secmem

@@ -1,0 +1,92 @@
+// Dual-length delta encoding (paper §4.3, Figure 6).
+//
+// The 64 deltas of a block-group are split into 4 logical *delta-groups*
+// of 16. Each delta is 6 bits by default (4x16x6 = 384 bits), leaving
+// 72 bits spare next to the 56-bit reference (56+384+72 = 512). When a
+// delta in some group would exceed 6 bits, that ONE group is expanded:
+// its 16 deltas each gain 4 overflow bits (16x4 = 64 of the 72 spare
+// bits; the rest index the expanded group), giving 10-bit deltas. A second
+// overflow — another group needing expansion, or the expanded group
+// exceeding 10 bits — falls back to reset / re-encode / re-encrypt, the
+// same ladder as plain delta encoding.
+//
+// This constrained variable-length code trades optimal compression for a
+// constant-latency decode (paper: 2 cycles), and reproduces the facesim
+// anomaly in Table 2: workloads where several delta-groups grow fast
+// concurrently re-encrypt *more* than plain 7-bit deltas because only one
+// group can hold the spare bits.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "counters/counter_scheme.h"
+#include "counters/delta_counter.h"  // DeltaConfig
+
+namespace secmem {
+
+class DualLengthDeltaCounters final : public CounterScheme {
+ public:
+  static constexpr unsigned kGroupBlocks = 64;
+  static constexpr unsigned kDeltaGroups = 4;
+  static constexpr unsigned kDeltasPerGroup = 16;
+  static constexpr unsigned kBaseBits = 6;
+  static constexpr unsigned kExpandedBits = 10;  // 6 + 4 overflow bits
+  static constexpr std::uint16_t kBaseMax = (1u << kBaseBits) - 1;      // 63
+  static constexpr std::uint16_t kExpandedMax = (1u << kExpandedBits) - 1;
+
+  explicit DualLengthDeltaCounters(BlockIndex num_blocks,
+                                   DeltaConfig config = {});
+
+  std::string name() const override { return "delta-dual-length"; }
+  std::uint64_t read_counter(BlockIndex block) const override;
+  WriteOutcome on_write(BlockIndex block) override;
+  unsigned blocks_per_storage_line() const override { return kGroupBlocks; }
+  unsigned blocks_per_group() const override { return kGroupBlocks; }
+  double bits_per_block() const override {
+    // Whole 512-bit line amortized: ref + deltas + spare/index bits.
+    return 512.0 / kGroupBlocks;
+  }
+  unsigned decode_latency_cycles() const override { return 2; }
+  BlockIndex num_blocks() const override { return num_blocks_; }
+  void serialize_line(std::uint64_t line,
+                      std::span<std::uint8_t, 64> out) const override;
+  void deserialize_line(std::uint64_t line,
+                        std::span<const std::uint8_t, 64> in) override;
+
+  std::uint64_t reencryptions() const noexcept { return reencryptions_; }
+  std::uint64_t resets() const noexcept { return resets_; }
+  std::uint64_t reencodes() const noexcept { return reencodes_; }
+  std::uint64_t expansions() const noexcept { return expansions_; }
+
+  /// Which delta-group of a block-group currently holds the overflow bits
+  /// (-1 if none) — exposed for tests.
+  int expanded_group_of(std::uint64_t group) const {
+    return groups_.at(group).expanded;
+  }
+
+ private:
+  struct Group {
+    std::uint64_t ref = 0;
+    std::array<std::uint16_t, kGroupBlocks> delta{};
+    int expanded = -1;  ///< delta-group index granted the overflow bits
+  };
+
+  std::uint16_t limit_for(const Group& g, unsigned delta_group) const {
+    return (g.expanded == static_cast<int>(delta_group)) ? kExpandedMax
+                                                         : kBaseMax;
+  }
+
+  /// True if every delta fits its group's current width.
+  bool encodable(const Group& g) const;
+
+  BlockIndex num_blocks_;
+  DeltaConfig config_;
+  std::vector<Group> groups_;
+  std::uint64_t reencryptions_ = 0;
+  std::uint64_t resets_ = 0;
+  std::uint64_t reencodes_ = 0;
+  std::uint64_t expansions_ = 0;
+};
+
+}  // namespace secmem

@@ -1,0 +1,99 @@
+#include "counters/generic_delta.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bitops.h"
+
+namespace secmem {
+
+unsigned GenericDeltaCounters::group_blocks_for(unsigned delta_bits) {
+  const unsigned fit = (512 - 56) / delta_bits;
+  return std::min(fit, 64u);
+}
+
+GenericDeltaCounters::GenericDeltaCounters(BlockIndex num_blocks,
+                                           unsigned delta_bits,
+                                           DeltaConfig config)
+    : num_blocks_(num_blocks),
+      delta_bits_(delta_bits),
+      delta_max_((std::uint64_t{1} << delta_bits) - 1),
+      group_blocks_(group_blocks_for(delta_bits)),
+      config_(config) {
+  assert(delta_bits >= 2 && delta_bits <= 16);
+  groups_.resize((num_blocks + group_blocks_ - 1) / group_blocks_);
+  for (Group& g : groups_) g.delta.assign(group_blocks_, 0);
+}
+
+std::string GenericDeltaCounters::name() const {
+  return "delta-" + std::to_string(delta_bits_) + "bit-g" +
+         std::to_string(group_blocks_);
+}
+
+std::uint64_t GenericDeltaCounters::read_counter(BlockIndex block) const {
+  const Group& g = groups_.at(block / group_blocks_);
+  return g.ref + g.delta[block % group_blocks_];
+}
+
+WriteOutcome GenericDeltaCounters::on_write(BlockIndex block) {
+  const std::uint64_t group_idx = block / group_blocks_;
+  Group& g = groups_.at(group_idx);
+  std::uint32_t& d = g.delta[block % group_blocks_];
+
+  if (d < delta_max_) {
+    ++d;
+    const std::uint64_t counter = g.ref + d;
+    if (config_.enable_reset && d != 0) {
+      const bool all_equal = std::all_of(
+          g.delta.begin(), g.delta.end(),
+          [v = d](std::uint32_t x) { return x == v; });
+      if (all_equal) {
+        g.ref += d;
+        std::fill(g.delta.begin(), g.delta.end(), 0);
+        ++resets_;
+        return {counter, CounterEvent::kReset, group_idx};
+      }
+    }
+    return {counter, CounterEvent::kIncrement, group_idx};
+  }
+
+  if (config_.enable_reencode) {
+    const std::uint32_t dmin =
+        *std::min_element(g.delta.begin(), g.delta.end());
+    if (dmin > 0) {
+      for (std::uint32_t& x : g.delta) x -= dmin;
+      g.ref += dmin;
+      ++reencodes_;
+      ++d;
+      return {g.ref + d, CounterEvent::kReencode, group_idx};
+    }
+  }
+
+  g.ref += delta_max_ + 1;
+  std::fill(g.delta.begin(), g.delta.end(), 0);
+  ++reencryptions_;
+  return {g.ref, CounterEvent::kReencrypt, group_idx};
+}
+
+void GenericDeltaCounters::serialize_line(
+    std::uint64_t line, std::span<std::uint8_t, 64> out) const {
+  const Group& g = groups_.at(line);
+  std::fill(out.begin(), out.end(), 0);
+  std::span<std::uint8_t> bytes(out);
+  insert_field(bytes, 0, 56, g.ref);
+  for (unsigned i = 0; i < group_blocks_; ++i)
+    insert_field(bytes, 56 + i * delta_bits_, delta_bits_, g.delta[i]);
+}
+
+
+void GenericDeltaCounters::deserialize_line(
+    std::uint64_t line, std::span<const std::uint8_t, 64> in) {
+  Group& g = groups_.at(line);
+  std::span<const std::uint8_t> bytes(in);
+  g.ref = extract_field(bytes, 0, 56);
+  for (unsigned i = 0; i < group_blocks_; ++i)
+    g.delta[i] = static_cast<std::uint32_t>(
+        extract_field(bytes, 56 + i * delta_bits_, delta_bits_));
+}
+
+}  // namespace secmem

@@ -1,0 +1,77 @@
+// Runtime-parameterized frame-of-reference delta counters.
+//
+// Paper §4.2, "Block Group and Delta Sizes": any (delta width, group
+// size) pair whose reference + deltas fit one 64-byte storage line keeps
+// single-read decode; the paper evaluates 7-bit deltas but notes
+// "multiple block group and delta size combinations" satisfy the
+// criterion. This scheme makes the width a runtime parameter so the
+// storage-vs-re-encryption trade-off can be swept (bench_delta_geometry):
+//
+//   width w, group size g = floor((512 - 56) / w)   (56-bit reference)
+//
+//   w = 4  -> g = 114 (capped at 64: group cannot exceed 64 blocks
+//                      without multi-line groups; we cap and waste bits)
+//   w = 6  -> g = 64   (the dual-length base width)
+//   w = 7  -> g = 64   (the paper's evaluated point, = DeltaCounters)
+//   w = 9  -> g = 50
+//   w = 12 -> g = 38
+//
+// Reset and Δmin re-encoding behave exactly as in DeltaCounters.
+#pragma once
+
+#include <vector>
+
+#include "counters/counter_scheme.h"
+#include "counters/delta_counter.h"  // DeltaConfig
+
+namespace secmem {
+
+class GenericDeltaCounters final : public CounterScheme {
+ public:
+  /// `delta_bits` in [2, 16].
+  GenericDeltaCounters(BlockIndex num_blocks, unsigned delta_bits,
+                       DeltaConfig config = {});
+
+  /// Largest group size whose reference + deltas fit one 64-byte line
+  /// (capped at 64 blocks so group index bits stay practical).
+  static unsigned group_blocks_for(unsigned delta_bits);
+
+  std::string name() const override;
+  std::uint64_t read_counter(BlockIndex block) const override;
+  WriteOutcome on_write(BlockIndex block) override;
+  unsigned blocks_per_storage_line() const override { return group_blocks_; }
+  unsigned blocks_per_group() const override { return group_blocks_; }
+  double bits_per_block() const override {
+    return delta_bits_ + 56.0 / group_blocks_;
+  }
+  unsigned decode_latency_cycles() const override { return 2; }
+  BlockIndex num_blocks() const override { return num_blocks_; }
+  void serialize_line(std::uint64_t line,
+                      std::span<std::uint8_t, 64> out) const override;
+  void deserialize_line(std::uint64_t line,
+                        std::span<const std::uint8_t, 64> in) override;
+
+  unsigned delta_bits() const noexcept { return delta_bits_; }
+  std::uint64_t delta_max() const noexcept { return delta_max_; }
+  std::uint64_t reencryptions() const noexcept { return reencryptions_; }
+  std::uint64_t resets() const noexcept { return resets_; }
+  std::uint64_t reencodes() const noexcept { return reencodes_; }
+
+ private:
+  struct Group {
+    std::uint64_t ref = 0;
+    std::vector<std::uint32_t> delta;  // group_blocks_ entries
+  };
+
+  BlockIndex num_blocks_;
+  unsigned delta_bits_;
+  std::uint64_t delta_max_;
+  unsigned group_blocks_;
+  DeltaConfig config_;
+  std::vector<Group> groups_;
+  std::uint64_t reencryptions_ = 0;
+  std::uint64_t resets_ = 0;
+  std::uint64_t reencodes_ = 0;
+};
+
+}  // namespace secmem

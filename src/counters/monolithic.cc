@@ -1,0 +1,45 @@
+#include "counters/monolithic.h"
+
+#include "common/bitops.h"
+
+namespace secmem {
+
+MonolithicCounters::MonolithicCounters(BlockIndex num_blocks,
+                                       unsigned counter_bits)
+    : counters_(num_blocks, 0),
+      counter_bits_(counter_bits),
+      name_("monolithic-" + std::to_string(counter_bits) + "bit") {}
+
+std::uint64_t MonolithicCounters::read_counter(BlockIndex block) const {
+  return counters_.at(block);
+}
+
+void MonolithicCounters::serialize_line(
+    std::uint64_t line, std::span<std::uint8_t, 64> out) const {
+  // Eight 64-bit counter slots per line (SGX packs 56-bit counters into
+  // 64-bit slots; the spare byte is zero).
+  for (unsigned i = 0; i < 8; ++i) {
+    const BlockIndex block = line * 8 + i;
+    const std::uint64_t v =
+        block < counters_.size() ? counters_[block] : 0;
+    store_le64(out.data() + 8 * i, v);
+  }
+}
+
+WriteOutcome MonolithicCounters::on_write(BlockIndex block) {
+  std::uint64_t& ctr = counters_.at(block);
+  ++ctr;
+  return {ctr, CounterEvent::kIncrement, 0};
+}
+
+
+void MonolithicCounters::deserialize_line(
+    std::uint64_t line, std::span<const std::uint8_t, 64> in) {
+  for (unsigned i = 0; i < 8; ++i) {
+    const BlockIndex block = line * 8 + i;
+    if (block < counters_.size())
+      counters_[block] = load_le64(in.data() + 8 * i);
+  }
+}
+
+}  // namespace secmem

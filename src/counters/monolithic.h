@@ -1,0 +1,40 @@
+// Baseline counter storage: one full-width counter per block (paper §2.1).
+//
+// Mirrors Intel SGX: a 56-bit counter per 64-byte block, eight counters
+// packed per 64-byte counter-storage line, ~11% storage overhead. A 56-bit
+// counter never overflows within a machine's lifetime, so no group
+// re-encryption machinery exists in this scheme.
+#pragma once
+
+#include <vector>
+
+#include "counters/counter_scheme.h"
+
+namespace secmem {
+
+class MonolithicCounters final : public CounterScheme {
+ public:
+  /// `counter_bits` is 56 (SGX) or 64; only affects overhead accounting.
+  explicit MonolithicCounters(BlockIndex num_blocks,
+                              unsigned counter_bits = 56);
+
+  std::string name() const override { return name_; }
+  std::uint64_t read_counter(BlockIndex block) const override;
+  WriteOutcome on_write(BlockIndex block) override;
+  unsigned blocks_per_storage_line() const override { return 8; }
+  unsigned blocks_per_group() const override { return 1; }
+  double bits_per_block() const override { return counter_bits_; }
+  unsigned decode_latency_cycles() const override { return 0; }
+  BlockIndex num_blocks() const override { return counters_.size(); }
+  void serialize_line(std::uint64_t line,
+                      std::span<std::uint8_t, 64> out) const override;
+  void deserialize_line(std::uint64_t line,
+                        std::span<const std::uint8_t, 64> in) override;
+
+ private:
+  std::vector<std::uint64_t> counters_;
+  unsigned counter_bits_;
+  std::string name_;
+};
+
+}  // namespace secmem

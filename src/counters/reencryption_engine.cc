@@ -1,0 +1,25 @@
+#include "counters/reencryption_engine.h"
+
+#include <algorithm>
+
+namespace secmem {
+
+std::uint64_t ReencryptionEngine::drain(std::uint64_t now) {
+  std::uint64_t done = now;
+  while (!queue_.empty()) {
+    const Job job = queue_.front();
+    queue_.pop_front();
+    for (unsigned b = 0; b < job.blocks; ++b) {
+      const std::uint64_t addr = job.group_base_addr + b * 64ULL;
+      // Read the old ciphertext, then write the re-encrypted block. The
+      // AES work overlaps the DRAM traffic, so traffic is the cost.
+      const std::uint64_t read_done = dram_.access(done, addr, false);
+      done = dram_.access(read_done, addr, true);
+      ++blocks_done_;
+    }
+    stats_.counter("reenc.jobs_drained").inc();
+  }
+  return done;
+}
+
+}  // namespace secmem

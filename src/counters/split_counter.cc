@@ -1,0 +1,58 @@
+#include "counters/split_counter.h"
+
+#include "common/bitops.h"
+
+namespace secmem {
+
+SplitCounters::SplitCounters(BlockIndex num_blocks)
+    : num_blocks_(num_blocks),
+      groups_((num_blocks + kGroupBlocks - 1) / kGroupBlocks) {}
+
+std::uint64_t SplitCounters::read_counter(BlockIndex block) const {
+  const Group& g = groups_.at(block / kGroupBlocks);
+  const std::uint8_t m = g.minor[block % kGroupBlocks];
+  return (g.major << kMinorBits) | m;
+}
+
+void SplitCounters::serialize_line(std::uint64_t line,
+                                   std::span<std::uint8_t, 64> out) const {
+  // Layout: [major:64][minor:7 x64] = exactly 512 bits.
+  const Group& g = groups_.at(line);
+  std::fill(out.begin(), out.end(), 0);
+  std::span<std::uint8_t> bytes(out);
+  insert_field(bytes, 0, 64, g.major);
+  for (unsigned i = 0; i < kGroupBlocks; ++i)
+    insert_field(bytes, 64 + i * kMinorBits, kMinorBits, g.minor[i]);
+}
+
+WriteOutcome SplitCounters::on_write(BlockIndex block) {
+  const std::uint64_t group_idx = block / kGroupBlocks;
+  Group& g = groups_.at(group_idx);
+  std::uint8_t& m = g.minor[block % kGroupBlocks];
+
+  if (m < kMinorMax) {
+    ++m;
+    return {(g.major << kMinorBits) | m, CounterEvent::kIncrement, group_idx};
+  }
+
+  // Minor overflow: bump the major, zero all minors, re-encrypt the group.
+  // Every block's new counter is M+1 ‖ 0, strictly greater than any value
+  // previously used in the group, so nonce freshness is preserved.
+  ++g.major;
+  g.minor.fill(0);
+  ++reencryptions_;
+  return {g.major << kMinorBits, CounterEvent::kReencrypt, group_idx};
+}
+
+
+void SplitCounters::deserialize_line(std::uint64_t line,
+                                     std::span<const std::uint8_t, 64> in) {
+  Group& g = groups_.at(line);
+  std::span<const std::uint8_t> bytes(in);
+  g.major = extract_field(bytes, 0, 64);
+  for (unsigned i = 0; i < kGroupBlocks; ++i)
+    g.minor[i] = static_cast<std::uint8_t>(
+        extract_field(bytes, 64 + i * kMinorBits, kMinorBits));
+}
+
+}  // namespace secmem

@@ -1,0 +1,48 @@
+// AES-128 block cipher (FIPS-197), portable software implementation.
+//
+// The memory-encryption engine uses AES-128 in counter mode to generate
+// keystreams (paper §2.1) and as the pseudo-random pad for the
+// Carter-Wegman MAC (paper §3.2). This is a straightforward table-free
+// byte-oriented implementation: clarity over throughput — the simulator
+// charges modeled hardware latencies, not host CPU time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace secmem {
+
+/// AES-128: 128-bit key, 128-bit block, 10 rounds.
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockBytes = 16;
+  static constexpr std::size_t kKeyBytes = 16;
+  static constexpr int kRounds = 10;
+
+  using Block = std::array<std::uint8_t, kBlockBytes>;
+  using Key = std::array<std::uint8_t, kKeyBytes>;
+
+  /// Expands the key schedule. The key is not retained beyond the schedule.
+  explicit Aes128(const Key& key) noexcept;
+
+  /// Encrypt one 16-byte block (out-of-place; in == out allowed).
+  void encrypt_block(std::span<const std::uint8_t, kBlockBytes> in,
+                     std::span<std::uint8_t, kBlockBytes> out) const noexcept;
+
+  /// Decrypt one 16-byte block (out-of-place; in == out allowed).
+  void decrypt_block(std::span<const std::uint8_t, kBlockBytes> in,
+                     std::span<std::uint8_t, kBlockBytes> out) const noexcept;
+
+  /// Convenience: encrypt a Block value.
+  Block encrypt(const Block& in) const noexcept;
+
+  /// Convenience: decrypt a Block value.
+  Block decrypt(const Block& in) const noexcept;
+
+ private:
+  // 11 round keys of 16 bytes each.
+  std::array<std::uint8_t, kBlockBytes*(kRounds + 1)> round_keys_{};
+};
+
+}  // namespace secmem

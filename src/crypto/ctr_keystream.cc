@@ -1,0 +1,36 @@
+#include "crypto/ctr_keystream.h"
+
+#include "common/bitops.h"
+
+namespace secmem {
+
+void CtrKeystream::generate(
+    std::uint64_t block_addr, std::uint64_t counter,
+    std::span<std::uint8_t, kBlockBytes> out) const noexcept {
+  // Tweak block: [ addr(8B) | counter(7B) | chunk(1B) ].
+  // The counter is at most 56 bits in every scheme we model (paper §2.1),
+  // so 7 bytes hold it exactly; the chunk index distinguishes the four
+  // 16-byte AES blocks inside one 64-byte keystream.
+  Aes128::Block tweak{};
+  store_le64(tweak.data(), block_addr);
+  for (int i = 0; i < 7; ++i)
+    tweak[8 + i] = static_cast<std::uint8_t>(counter >> (8 * i));
+  for (std::size_t chunk = 0; chunk < kBlockBytes / Aes128::kBlockBytes;
+       ++chunk) {
+    tweak[15] = static_cast<std::uint8_t>(chunk);
+    aes_.encrypt_block(
+        tweak, std::span<std::uint8_t, Aes128::kBlockBytes>(
+                   out.data() + chunk * Aes128::kBlockBytes,
+                   Aes128::kBlockBytes));
+  }
+}
+
+void CtrKeystream::crypt(std::uint64_t block_addr, std::uint64_t counter,
+                         std::span<std::uint8_t, kBlockBytes> data)
+    const noexcept {
+  DataBlock ks;
+  generate(block_addr, counter, ks);
+  for (std::size_t i = 0; i < kBlockBytes; ++i) data[i] ^= ks[i];
+}
+
+}  // namespace secmem

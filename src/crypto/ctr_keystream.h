@@ -1,0 +1,43 @@
+// Counter-mode keystream generation for 64-byte memory blocks (paper §2.1).
+//
+// Each protected 64-byte block has an associated write counter. The
+// keystream for a block is four AES-128 encryptions of the tweak
+//   (block physical address ‖ counter ‖ chunk index)
+// so the keystream is unique per (address, counter) pair — the address
+// binds the pad to its location (spatial uniqueness) and the counter makes
+// it one-time across writes (temporal uniqueness).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crypto/aes128.h"
+
+namespace secmem {
+
+/// Size of a protected memory block — one cache line.
+inline constexpr std::size_t kBlockBytes = 64;
+
+using DataBlock = std::array<std::uint8_t, kBlockBytes>;
+
+/// Generates per-block keystreams with AES-128 in counter mode.
+class CtrKeystream {
+ public:
+  explicit CtrKeystream(const Aes128::Key& key) noexcept : aes_(key) {}
+
+  /// Fill `out` with the keystream for (block_addr, counter).
+  /// `block_addr` is the 64-byte-aligned physical address of the block.
+  void generate(std::uint64_t block_addr, std::uint64_t counter,
+                std::span<std::uint8_t, kBlockBytes> out) const noexcept;
+
+  /// XOR the keystream for (block_addr, counter) into `data` in place.
+  /// Counter-mode encryption and decryption are the same operation.
+  void crypt(std::uint64_t block_addr, std::uint64_t counter,
+             std::span<std::uint8_t, kBlockBytes> data) const noexcept;
+
+ private:
+  Aes128 aes_;
+};
+
+}  // namespace secmem

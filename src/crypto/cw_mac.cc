@@ -1,0 +1,53 @@
+#include "crypto/cw_mac.h"
+
+#include "common/bitops.h"
+#include "crypto/gf64.h"
+
+namespace secmem {
+
+CwMac::CwMac(const CwMacKey& key) noexcept
+    : h_(key.hash_key | 1),  // avoid the degenerate h = 0 hash
+      mul_h_(h_),
+      pad_(key.pad_key) {}
+
+std::uint64_t CwMac::polyhash(
+    std::span<const std::uint8_t> message) const noexcept {
+  // Horner evaluation: acc = ((m0*h + m1)*h + m2)*h ... + len, all in
+  // GF(2^64). Absorbing the length defends against extension-style
+  // ambiguity between messages that differ only in trailing zeros.
+  std::uint64_t acc = 0;
+  std::size_t i = 0;
+  while (i + 8 <= message.size()) {
+    acc = mul_h_.mul(acc) ^ load_le64(message.data() + i);
+    i += 8;
+  }
+  if (i < message.size()) {
+    std::uint64_t last = 0;
+    for (std::size_t j = 0; i + j < message.size(); ++j)
+      last |= std::uint64_t{message[i + j]} << (8 * j);
+    acc = mul_h_.mul(acc) ^ last;
+  }
+  acc = mul_h_.mul(acc) ^ (static_cast<std::uint64_t>(message.size()) * 8);
+  return acc;
+}
+
+std::uint64_t CwMac::pad_for(std::uint64_t addr,
+                             std::uint64_t counter) const noexcept {
+  // One-time pad: AES_k2 over a tweak in a domain separated from the
+  // keystream tweaks by the final byte (0xA5 = "MAC domain").
+  Aes128::Block tweak{};
+  store_le64(tweak.data(), addr);
+  for (int i = 0; i < 7; ++i)
+    tweak[8 + i] = static_cast<std::uint8_t>(counter >> (8 * i));
+  tweak[15] = 0xA5;
+  const Aes128::Block pad_block = pad_.encrypt(tweak);
+  return load_le64(pad_block.data());
+}
+
+std::uint64_t CwMac::compute(
+    std::uint64_t addr, std::uint64_t counter,
+    std::span<const std::uint8_t> message) const noexcept {
+  return compute_with_pad(pad_for(addr, counter), message);
+}
+
+}  // namespace secmem

@@ -1,0 +1,89 @@
+// 56-bit Carter-Wegman message authentication code (paper §3.2).
+//
+// Construction (mirrors the SGX MAC described by Gueron, which the paper
+// adopts): a polynomial-evaluation universal hash over GF(2^64) of the
+// ciphertext, keyed by a secret field element h, is masked with a one-time
+// AES pad derived from the block address and the write counter, then
+// truncated to 56 bits:
+//
+//   tag = trunc56( polyhash_h(ct) XOR AES_k2(addr ‖ ctr ‖ MAC_DOMAIN) )
+//
+// Binding the pad to (addr, ctr) gives the Bonsai-Merkle-tree property
+// (Rogers et al. [10]): a data MAC is valid only for this address and this
+// counter value, so protecting counter integrity (via the tree) is enough
+// to prevent replay of data blocks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crypto/aes128.h"
+#include "crypto/ctr_keystream.h"
+#include "crypto/gf64.h"
+
+namespace secmem {
+
+/// Width of stored MAC tags. 56 bits leaves room for the 7-bit Hamming
+/// code + 1 scrub parity bit inside a 64-bit ECC lane (paper §3.3).
+inline constexpr unsigned kMacBits = 56;
+inline constexpr std::uint64_t kMacMask = (std::uint64_t{1} << kMacBits) - 1;
+
+/// Keys for the MAC: a GF(2^64) hash key and an AES pad key.
+struct CwMacKey {
+  std::uint64_t hash_key;  ///< h, the universal-hash evaluation point
+  Aes128::Key pad_key;     ///< k2, keys the one-time pad PRF
+};
+
+/// Computes 56-bit Carter-Wegman tags over 64-byte blocks.
+class CwMac {
+ public:
+  explicit CwMac(const CwMacKey& key) noexcept;
+
+  /// Tag over an arbitrary-length message bound to (addr, counter).
+  /// Message length need not be a multiple of 8; it is zero-padded and the
+  /// bit length is absorbed as a final hash coefficient.
+  std::uint64_t compute(std::uint64_t addr, std::uint64_t counter,
+                        std::span<const std::uint8_t> message) const noexcept;
+
+  /// Convenience for 64-byte data blocks.
+  std::uint64_t compute_block(std::uint64_t addr, std::uint64_t counter,
+                              const DataBlock& block) const noexcept {
+    return compute(addr, counter, std::span<const std::uint8_t>(block));
+  }
+
+  /// Constant-pattern check: true if tag matches the recomputed value.
+  bool verify(std::uint64_t addr, std::uint64_t counter,
+              std::span<const std::uint8_t> message,
+              std::uint64_t tag) const noexcept {
+    return compute(addr, counter, message) == (tag & kMacMask);
+  }
+
+  /// The AES one-time pad for (addr, counter). The pad is independent of
+  /// the message, so callers that check many candidate messages under one
+  /// (addr, counter) — flip-and-check error correction above all — hoist
+  /// this single AES call out of the loop.
+  std::uint64_t pad_for(std::uint64_t addr,
+                        std::uint64_t counter) const noexcept;
+
+  /// Tag given a precomputed pad (see pad_for).
+  std::uint64_t compute_with_pad(
+      std::uint64_t pad, std::span<const std::uint8_t> message) const noexcept {
+    return (polyhash(message) ^ pad) & kMacMask;
+  }
+
+  bool verify_with_pad(std::uint64_t pad,
+                       std::span<const std::uint8_t> message,
+                       std::uint64_t tag) const noexcept {
+    return compute_with_pad(pad, message) == (tag & kMacMask);
+  }
+
+ private:
+  std::uint64_t polyhash(std::span<const std::uint8_t> message) const noexcept;
+
+  std::uint64_t h_;
+  Gf64MulTable mul_h_;  ///< precomputed x -> x*h (hardware-multiplier model)
+  Aes128 pad_;
+};
+
+}  // namespace secmem

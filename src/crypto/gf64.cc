@@ -1,0 +1,50 @@
+#include "crypto/gf64.h"
+
+namespace secmem {
+
+Clmul128 clmul64(std::uint64_t a, std::uint64_t b) noexcept {
+  // Shift-and-xor schoolbook carry-less multiply. Branch on bits of b.
+  std::uint64_t lo = 0, hi = 0;
+  for (int i = 0; i < 64; ++i) {
+    if ((b >> i) & 1) {
+      lo ^= a << i;
+      if (i != 0) hi ^= a >> (64 - i);
+    }
+  }
+  return {lo, hi};
+}
+
+std::uint64_t gf64_mul(std::uint64_t a, std::uint64_t b) noexcept {
+  // Reduce the 128-bit product modulo x^64 + x^4 + x^3 + x + 1.
+  // x^64 ≡ x^4 + x^3 + x + 1 = 0x1b, so each high bit h_i contributes
+  // 0x1b << i; folding twice handles the <= 4-bit spill of the first fold.
+  const Clmul128 p = clmul64(a, b);
+  std::uint64_t lo = p.lo;
+  std::uint64_t hi = p.hi;
+  for (int fold = 0; fold < 2 && hi != 0; ++fold) {
+    const Clmul128 r = clmul64(hi, 0x1bULL);
+    lo ^= r.lo;
+    hi = r.hi;
+  }
+  return lo;
+}
+
+Gf64MulTable::Gf64MulTable(std::uint64_t h) noexcept {
+  for (int i = 0; i < 8; ++i)
+    for (int b = 0; b < 256; ++b)
+      table_[i][b] =
+          gf64_mul(static_cast<std::uint64_t>(b) << (8 * i), h);
+}
+
+std::uint64_t gf64_pow(std::uint64_t base, std::uint64_t exp) noexcept {
+  std::uint64_t result = 1;  // multiplicative identity: polynomial "1"
+  std::uint64_t acc = base;
+  while (exp != 0) {
+    if (exp & 1) result = gf64_mul(result, acc);
+    acc = gf64_mul(acc, acc);
+    exp >>= 1;
+  }
+  return result;
+}
+
+}  // namespace secmem

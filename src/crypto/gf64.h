@@ -1,0 +1,49 @@
+// Arithmetic in GF(2^64) for the Carter-Wegman universal hash.
+//
+// Elements are 64-bit polynomials over GF(2); multiplication is carry-less
+// multiply reduced modulo the irreducible polynomial
+//   x^64 + x^4 + x^3 + x + 1   (0x1B low word).
+// The paper (§3.2, citing Gueron's SGX description) notes MAC computation
+// is "essentially composed Galois field multiplications" — this is that
+// field.
+#pragma once
+
+#include <cstdint>
+
+namespace secmem {
+
+/// Carry-less multiply of two 64-bit polynomials -> 128-bit product.
+struct Clmul128 {
+  std::uint64_t lo;
+  std::uint64_t hi;
+};
+Clmul128 clmul64(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Multiply in GF(2^64) modulo x^64 + x^4 + x^3 + x + 1.
+std::uint64_t gf64_mul(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Exponentiation in GF(2^64) by square-and-multiply.
+std::uint64_t gf64_pow(std::uint64_t base, std::uint64_t exp) noexcept;
+
+/// Precomputed multiply-by-constant in GF(2^64), GHASH-style 8-bit
+/// windowed tables. Multiplication is GF(2)-linear in x, so
+///   x*h = XOR_i table[i][byte_i(x)]   with   table[i][b] = (b << 8i)*h.
+/// One-time 16KB table per key; each product is 8 loads + 7 XORs —
+/// mirrors how a single-cycle hardware GF multiplier would be keyed.
+class Gf64MulTable {
+ public:
+  explicit Gf64MulTable(std::uint64_t h) noexcept;
+
+  /// x * h in GF(2^64).
+  std::uint64_t mul(std::uint64_t x) const noexcept {
+    std::uint64_t acc = 0;
+    for (int i = 0; i < 8; ++i)
+      acc ^= table_[i][(x >> (8 * i)) & 0xFF];
+    return acc;
+  }
+
+ private:
+  std::uint64_t table_[8][256];
+};
+
+}  // namespace secmem

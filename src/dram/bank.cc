@@ -1,0 +1,51 @@
+#include "dram/bank.h"
+
+#include <algorithm>
+
+namespace secmem {
+
+DramBank::AccessResult DramBank::access(std::uint64_t now, std::uint64_t row,
+                                        bool is_write,
+                                        std::uint64_t bus_free) noexcept {
+  std::uint64_t t = std::max(now, ready_at_);
+  bool row_hit = false;
+
+  if (row_open_ && open_row_ == row) {
+    row_hit = true;
+  } else {
+    if (row_open_) {
+      // Precharge the old row: must respect tRAS from its activation and
+      // tWR after the last write into it.
+      const std::uint64_t precharge_ok =
+          std::max(activated_at_ + timing_.tRAS, write_done_);
+      t = std::max(t, precharge_ok) + timing_.tRP;
+    }
+    // Activate the new row.
+    activated_at_ = t;
+    t += timing_.tRCD;
+    row_open_ = true;
+    open_row_ = row;
+  }
+
+  // Column command: data appears tCL later, and the burst needs the bus.
+  std::uint64_t data_start = std::max(t + timing_.tCL, bus_free);
+  const std::uint64_t data_done = data_start + timing_.tBurst;
+
+  if (is_write) write_done_ = data_done + timing_.tWR;
+  // Next column command to this bank can issue once the burst completes.
+  ready_at_ = data_done;
+
+  if (!open_page_) {
+    // Closed-page: auto-precharge right after the burst (respecting tRAS
+    // and write recovery); the next access pays tRCD but never a
+    // conflict-precharge.
+    const std::uint64_t precharge_ok = std::max(
+        {data_done, activated_at_ + timing_.tRAS, write_done_});
+    ready_at_ = precharge_ok + timing_.tRP;
+    row_open_ = false;
+  }
+
+  return {data_start, data_done, row_hit};
+}
+
+}  // namespace secmem

@@ -1,0 +1,46 @@
+// Single DRAM bank state machine: row buffer + timing windows.
+//
+// Tracks the open row and the earliest cycle the next column/row command
+// may issue, honouring tRCD/tRP/tRAS/tCL/tWR. The channel layer arbitrates
+// the shared data bus; the bank only guarantees its own constraints.
+#pragma once
+
+#include <cstdint>
+
+#include "dram/dram_types.h"
+
+namespace secmem {
+
+class DramBank {
+ public:
+  /// `open_page`: keep the row open after an access (row-buffer hits
+  /// possible); closed-page precharges immediately after every access.
+  explicit DramBank(const DramTiming& timing, bool open_page = true) noexcept
+      : timing_(timing), open_page_(open_page) {}
+
+  struct AccessResult {
+    std::uint64_t data_start;  ///< cycle the burst begins on the bus
+    std::uint64_t data_done;   ///< cycle the burst completes
+    bool row_hit;              ///< served from the open row buffer
+  };
+
+  /// Schedule a read/write of one 64-byte block in row `row`, requested at
+  /// cycle `now`, with the data bus free from `bus_free` onward.
+  /// Updates bank state per the configured page policy.
+  AccessResult access(std::uint64_t now, std::uint64_t row, bool is_write,
+                      std::uint64_t bus_free) noexcept;
+
+  bool row_open() const noexcept { return row_open_; }
+  std::uint64_t open_row() const noexcept { return open_row_; }
+
+ private:
+  DramTiming timing_;
+  bool open_page_;
+  bool row_open_ = false;
+  std::uint64_t open_row_ = 0;
+  std::uint64_t ready_at_ = 0;      ///< earliest next column command
+  std::uint64_t activated_at_ = 0;  ///< when the open row was activated
+  std::uint64_t write_done_ = 0;    ///< last write-recovery deadline
+};
+
+}  // namespace secmem

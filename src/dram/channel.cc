@@ -1,0 +1,69 @@
+#include "dram/channel.h"
+
+#include <algorithm>
+
+namespace secmem {
+
+DramChannel::DramChannel(const DramConfig& config, unsigned index,
+                         StatRegistry& stats)
+    : banks_per_rank_(config.org.banks_per_rank),
+      refresh_enabled_(config.refresh_enabled),
+      tREFI_(config.timing.tREFI),
+      tRFC_(config.timing.tRFC),
+      burst_cycles_(config.timing.tBurst),
+      stats_(stats),
+      prefix_("dram.ch" + std::to_string(index)) {
+  const unsigned total =
+      config.org.ranks_per_channel * config.org.banks_per_rank;
+  banks_.reserve(total);
+  for (unsigned i = 0; i < total; ++i)
+    banks_.emplace_back(config.timing, config.open_page);
+}
+
+std::uint64_t DramChannel::after_refresh(std::uint64_t t) const noexcept {
+  if (!refresh_enabled_ || tREFI_ == 0) return t;
+  // All-bank refresh occupies [k*tREFI, k*tREFI + tRFC) for every k >= 1.
+  const std::uint64_t k = t / tREFI_;
+  if (k == 0) return t;
+  const std::uint64_t window_start = k * tREFI_;
+  if (t < window_start + tRFC_) return window_start + tRFC_;
+  return t;
+}
+
+DramChannel::Completion DramChannel::access(std::uint64_t now, unsigned rank,
+                                            unsigned bank, std::uint64_t row,
+                                            bool is_write) {
+  DramBank& b = banks_.at(rank * banks_per_rank_ + bank);
+
+  if (is_write) {
+    // Posted write: drains through the low-priority write queue without
+    // disturbing the banks' read-visible state (FR-FCFS would reorder
+    // reads around it anyway); its bandwidth cost accrues on the write
+    // horizon and surfaces to reads only as queue-full backpressure.
+    const std::uint64_t done =
+        std::max(now, write_bus_free_) + burst_cycles_;
+    write_bus_free_ = done;
+    stats_.counter(prefix_ + ".writes").inc();
+    return {done, true};
+  }
+
+  // Read: priority bus, but a full write queue forces reads to wait while
+  // it drains below capacity (finite-buffer backpressure), and refresh
+  // windows block the whole channel.
+  std::uint64_t earliest = after_refresh(now);
+  if (earliest != now) stats_.counter(prefix_ + ".refresh_delays").inc();
+  if (write_bus_free_ > earliest + kWriteQueueBursts * burst_cycles_)
+    earliest = write_bus_free_ - kWriteQueueBursts * burst_cycles_;
+
+  const auto result = b.access(earliest, row, false, bus_free_);
+  bus_free_ = result.data_done;
+  // The burst also occupies the physical bus from the writes' viewpoint.
+  write_bus_free_ = std::max(write_bus_free_, result.data_done);
+
+  stats_.counter(prefix_ + ".reads").inc();
+  stats_.counter(prefix_ + (result.row_hit ? ".row_hits" : ".row_misses"))
+      .inc();
+  return {result.data_done, result.row_hit};
+}
+
+}  // namespace secmem

@@ -1,0 +1,56 @@
+// One DRAM channel: a set of ranks x banks sharing a 64(+8)-bit data bus.
+//
+// Scheduling approximates FR-FCFS with read priority, as seen by a
+// closed-form model: requests are presented in arrival order; each is
+// scheduled at the earliest cycle its bank and the shared bus allow, and
+// row hits naturally complete sooner than row misses. Writes are posted:
+// they drain through a low-priority write queue and do not delay reads
+// unless the queue backs up past its capacity (standard memory-controller
+// read-priority behaviour). The x72 ECC lane means a block's ECC/MAC bits
+// ride the same burst — no separate transaction (paper §3.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "dram/bank.h"
+#include "dram/dram_types.h"
+
+namespace secmem {
+
+class DramChannel {
+ public:
+  DramChannel(const DramConfig& config, unsigned index, StatRegistry& stats);
+
+  struct Completion {
+    std::uint64_t done;  ///< cycle the data burst completes
+    bool row_hit;
+  };
+
+  /// Schedule one 64-byte block access at cycle `now`.
+  Completion access(std::uint64_t now, unsigned rank, unsigned bank,
+                    std::uint64_t row, bool is_write);
+
+  std::uint64_t bus_busy_until() const noexcept { return bus_free_; }
+
+ private:
+  /// Write-queue depth (in bursts) before writes start delaying reads.
+  static constexpr std::uint64_t kWriteQueueBursts = 32;
+
+  /// Push `t` past any all-bank refresh window it falls into.
+  std::uint64_t after_refresh(std::uint64_t t) const noexcept;
+
+  std::vector<DramBank> banks_;  // rank-major: banks_[rank*banks + bank]
+  unsigned banks_per_rank_;
+  bool refresh_enabled_;
+  std::uint32_t tREFI_;
+  std::uint32_t tRFC_;
+  std::uint64_t bus_free_ = 0;        ///< read-priority bus horizon
+  std::uint64_t write_bus_free_ = 0;  ///< posted-write drain horizon
+  std::uint32_t burst_cycles_;
+  StatRegistry& stats_;
+  std::string prefix_;
+};
+
+}  // namespace secmem

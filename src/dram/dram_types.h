@@ -1,0 +1,75 @@
+// DRAM organization and DDR3 timing parameters.
+//
+// Models the memory system of paper Table 1: 4 channels of DDR3-1600.
+// Timing constants are expressed in *memory-controller* cycles at the CPU
+// clock (3.2 GHz), i.e. DDR3-1600's 800 MHz command clock maps each DRAM
+// cycle to 4 CPU cycles. Values follow common DDR3-1600 (11-11-11) parts
+// as shipped with DRAMSim2's example configs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitops.h"
+
+namespace secmem {
+
+struct DramTiming {
+  // All values in CPU cycles (3.2 GHz). DDR3-1600 CL=11 => 13.75ns => 44.
+  std::uint32_t tCL = 44;    ///< CAS latency: column command -> first data
+  std::uint32_t tRCD = 44;   ///< RAS-to-CAS: activate -> column command
+  std::uint32_t tRP = 44;    ///< precharge period
+  std::uint32_t tRAS = 112;  ///< activate -> precharge minimum (35ns)
+  std::uint32_t tBurst = 16; ///< burst of 8 transfers on the 64(+8)-bit bus
+  std::uint32_t tWR = 48;    ///< write recovery before precharge (15ns)
+  std::uint32_t tREFI = 24960;  ///< refresh interval (7.8us)
+  std::uint32_t tRFC = 832;     ///< refresh cycle, 4Gb parts (260ns)
+};
+
+struct DramOrg {
+  unsigned channels = 4;
+  unsigned ranks_per_channel = 2;
+  unsigned banks_per_rank = 8;
+  std::uint64_t row_bytes = 8 * 1024;  ///< row-buffer (page) size per bank
+};
+
+/// Physical address interleaving granularity.
+enum class AddressMapping : std::uint8_t {
+  /// 1KB segments rotate channels, then banks; blocks within a segment
+  /// share a row — streams get row hits AND channel parallelism.
+  kSegmentInterleave,
+  /// Every 64B block rotates channels (fine-grained): maximum parallelism
+  /// for random traffic, zero row locality for streams.
+  kBlockInterleave,
+};
+
+struct DramConfig {
+  DramTiming timing{};
+  DramOrg org{};
+  AddressMapping mapping = AddressMapping::kSegmentInterleave;
+  /// Row-buffer management. Open-page is DRAMSim2's default and what
+  /// FR-FCFS scheduling expects; closed-page precharges after every
+  /// access (row hits impossible, conflicts cheaper).
+  bool open_page = true;
+  /// Model periodic all-bank refresh (tREFI/tRFC).
+  bool refresh_enabled = true;
+  /// True if DIMMs are x72 ECC parts: the 8 ECC bytes per 64-byte block
+  /// travel on the extra bus lines within the same burst, so reading or
+  /// writing a block's ECC lane costs zero additional transactions
+  /// (paper §3.1).
+  bool ecc_lane = true;
+};
+
+/// Where a physical address lands in the DRAM organization.
+struct DramCoord {
+  unsigned channel;
+  unsigned rank;
+  unsigned bank;
+  std::uint64_t row;
+};
+
+/// Map a physical address per the configured interleaving scheme.
+DramCoord map_address(const DramOrg& org, std::uint64_t addr,
+                      AddressMapping mapping =
+                          AddressMapping::kSegmentInterleave) noexcept;
+
+}  // namespace secmem

@@ -1,0 +1,89 @@
+#include "ecc/fault_model.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+
+namespace secmem {
+
+const char* fault_pattern_name(FaultPattern pattern) noexcept {
+  switch (pattern) {
+    case FaultPattern::kSingleBitData: return "single-bit (data)";
+    case FaultPattern::kDoubleBitSameWord: return "double-bit, same word";
+    case FaultPattern::kDoubleBitCrossWord: return "double-bit, cross word";
+    case FaultPattern::kTripleBitData: return "triple-bit (data)";
+    case FaultPattern::kManyBitSingleWord: return "many-bit, single word";
+    case FaultPattern::kSingleBitLane: return "single-bit (ECC/MAC lane)";
+    case FaultPattern::kDoubleBitLane: return "double-bit (ECC/MAC lane)";
+    case FaultPattern::kMixedDataAndLane: return "1 data bit + 1 lane bit";
+  }
+  return "?";
+}
+
+Fault FaultInjector::sample(FaultPattern pattern) {
+  Fault fault{pattern, {}};
+  auto push_unique = [&fault](std::uint16_t bit) {
+    if (std::find(fault.bits.begin(), fault.bits.end(), bit) ==
+        fault.bits.end()) {
+      fault.bits.push_back(bit);
+      return true;
+    }
+    return false;
+  };
+
+  switch (pattern) {
+    case FaultPattern::kSingleBitData:
+      fault.bits.push_back(random_data_bit());
+      break;
+    case FaultPattern::kDoubleBitSameWord: {
+      const auto word = static_cast<std::uint16_t>(rng_.next_below(8));
+      while (fault.bits.size() < 2)
+        push_unique(static_cast<std::uint16_t>(64 * word +
+                                               rng_.next_below(64)));
+      break;
+    }
+    case FaultPattern::kDoubleBitCrossWord: {
+      const auto w1 = static_cast<std::uint16_t>(rng_.next_below(8));
+      auto w2 = static_cast<std::uint16_t>(rng_.next_below(8));
+      while (w2 == w1) w2 = static_cast<std::uint16_t>(rng_.next_below(8));
+      fault.bits.push_back(
+          static_cast<std::uint16_t>(64 * w1 + rng_.next_below(64)));
+      fault.bits.push_back(
+          static_cast<std::uint16_t>(64 * w2 + rng_.next_below(64)));
+      break;
+    }
+    case FaultPattern::kTripleBitData:
+      while (fault.bits.size() < 3) push_unique(random_data_bit());
+      break;
+    case FaultPattern::kManyBitSingleWord: {
+      const auto word = static_cast<std::uint16_t>(rng_.next_below(8));
+      const std::size_t n = 3 + rng_.next_below(6);  // 3..8 flips
+      while (fault.bits.size() < n)
+        push_unique(static_cast<std::uint16_t>(64 * word +
+                                               rng_.next_below(64)));
+      break;
+    }
+    case FaultPattern::kSingleBitLane:
+      fault.bits.push_back(random_lane_bit());
+      break;
+    case FaultPattern::kDoubleBitLane:
+      while (fault.bits.size() < 2) push_unique(random_lane_bit());
+      break;
+    case FaultPattern::kMixedDataAndLane:
+      fault.bits.push_back(random_data_bit());
+      fault.bits.push_back(random_lane_bit());
+      break;
+  }
+  return fault;
+}
+
+void FaultInjector::apply(const Fault& fault, DataBlock& data, EccLane& lane) {
+  for (const std::uint16_t bit : fault.bits) {
+    if (bit < kDataBits)
+      flip_bit(data, bit);
+    else
+      flip_bit(lane, bit - kDataBits);
+  }
+}
+
+}  // namespace secmem

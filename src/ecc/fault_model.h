@@ -1,0 +1,67 @@
+// DRAM fault injection for the Figure 3 coverage comparison and for
+// failure-injection tests.
+//
+// Faults target a (64-byte data block, 8-byte ECC lane) pair — 576 bit
+// positions total, matching a x72 ECC DIMM line. Patterns mirror the
+// scenarios in the paper's Figure 3: single bit, double bits within one
+// 8-byte word, double bits across words, many-bit word faults (e.g. a
+// failed chip), and faults landing in the ECC/MAC lane itself.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/ctr_keystream.h"
+#include "ecc/secded72.h"
+
+namespace secmem {
+
+/// Fault pattern families compared in paper Figure 3.
+enum class FaultPattern : std::uint8_t {
+  kSingleBitData,        ///< 1 flip in the data block
+  kDoubleBitSameWord,    ///< 2 flips within one 8-byte data word
+  kDoubleBitCrossWord,   ///< 2 flips in two different data words
+  kTripleBitData,        ///< 3 flips anywhere in the data block
+  kManyBitSingleWord,    ///< 3..8 flips confined to one data word
+  kSingleBitLane,        ///< 1 flip in the ECC/MAC lane
+  kDoubleBitLane,        ///< 2 flips in the ECC/MAC lane
+  kMixedDataAndLane,     ///< 1 flip in data + 1 flip in lane
+};
+
+const char* fault_pattern_name(FaultPattern pattern) noexcept;
+
+/// A concrete injected fault: list of flipped bit positions.
+/// Positions [0, 512) index the data block; [512, 576) index the lane.
+struct Fault {
+  FaultPattern pattern;
+  std::vector<std::uint16_t> bits;
+};
+
+inline constexpr std::size_t kDataBits = kBlockBytes * 8;        // 512
+inline constexpr std::size_t kLaneBits = kEccLaneBytes * 8;      // 64
+inline constexpr std::size_t kLineBits = kDataBits + kLaneBits;  // 576
+
+/// Deterministically samples faults of a given pattern.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+  /// Draw a random fault of the given pattern.
+  Fault sample(FaultPattern pattern);
+
+  /// Apply a fault to a (data, lane) pair in place.
+  static void apply(const Fault& fault, DataBlock& data, EccLane& lane);
+
+ private:
+  std::uint16_t random_data_bit() {
+    return static_cast<std::uint16_t>(rng_.next_below(kDataBits));
+  }
+  std::uint16_t random_lane_bit() {
+    return static_cast<std::uint16_t>(kDataBits + rng_.next_below(kLaneBits));
+  }
+
+  Xoshiro256 rng_;
+};
+
+}  // namespace secmem

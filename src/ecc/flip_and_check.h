@@ -1,0 +1,67 @@
+// Brute-force "flip-and-check" MAC-based error correction (paper §3.4).
+//
+// A MAC detects that *some* bits flipped but not which; to correct, the
+// controller flips candidate bit(s) and re-verifies the MAC:
+//   - single-bit errors: <= 512 trials over a 64-byte block
+//   - double-bit errors: <= C(512,2) = 130,816 trials
+// The MAC field itself is protected by its own 7-bit Hamming code
+// (mac_ecc.h), so only data-bit flips need the brute-force search.
+//
+// The corrector is generic over a verification predicate so it can be used
+// directly against CwMac or in tests with toy checkers. It also reports
+// the number of MAC evaluations performed and a modeled hardware cycle
+// cost (one GF-multiply-based MAC evaluates in ~1 cycle, paper §3.4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "crypto/ctr_keystream.h"
+
+namespace secmem {
+
+/// Outcome of a flip-and-check correction attempt.
+enum class CorrectionStatus : std::uint8_t {
+  kClean,          ///< MAC verified without any flips
+  kCorrectedOne,   ///< one data bit repaired
+  kCorrectedTwo,   ///< two data bits repaired
+  kUncorrectable,  ///< no 0/1/2-bit variant verified
+};
+
+struct CorrectionResult {
+  CorrectionStatus status;
+  DataBlock data;                 ///< repaired block (valid unless kUncorrectable)
+  std::uint64_t mac_evaluations;  ///< verification attempts performed
+  std::uint64_t modeled_cycles;   ///< evaluations x cycles-per-MAC
+  int flipped_bits[2] = {-1, -1}; ///< bit positions repaired, -1 if unused
+};
+
+class FlipAndCheck {
+ public:
+  /// `verify(block)` returns true iff the block's MAC checks out.
+  using Verifier = std::function<bool(const DataBlock&)>;
+
+  struct Config {
+    /// Highest number of simultaneous bit errors to attempt (0..2).
+    /// The paper stops at 2: beyond that the worst case explodes to
+    /// millions of cycles (§3.4 item 1).
+    unsigned max_errors = 2;
+    /// Modeled cycles per MAC evaluation; state-of-the-art Galois-field
+    /// MACs compute in a single cycle in hardware (paper §3.4).
+    unsigned cycles_per_mac = 1;
+  };
+
+  FlipAndCheck() noexcept : config_(Config{}) {}
+  explicit FlipAndCheck(const Config& config) noexcept : config_(config) {}
+
+  /// Try to make `block` verify by flipping up to max_errors bits.
+  CorrectionResult correct(const DataBlock& block, const Verifier& verify) const;
+
+  /// Worst-case MAC evaluations for a given error count over 512 bits.
+  static std::uint64_t worst_case_checks(unsigned errors) noexcept;
+
+ private:
+  Config config_;
+};
+
+}  // namespace secmem

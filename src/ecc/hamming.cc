@@ -1,0 +1,128 @@
+#include "ecc/hamming.h"
+
+#include <cassert>
+
+#include "common/bitops.h"
+
+namespace secmem {
+
+namespace {
+// Even parity over a 128-bit codeword.
+unsigned parity128(HammingSecDed::Codeword cw) noexcept {
+  return parity64(static_cast<std::uint64_t>(cw)) ^
+         parity64(static_cast<std::uint64_t>(cw >> 64));
+}
+
+// Smallest r with 2^r - r - 1 >= k.
+unsigned parity_count_for(unsigned k) {
+  unsigned r = 1;
+  while (((1u << r) - r - 1) < k) ++r;
+  return r;
+}
+}  // namespace
+
+HammingSecDed::HammingSecDed(unsigned data_bits)
+    : k_(data_bits), r_(parity_count_for(data_bits)), n_(k_ + r_) {
+  assert(data_bits >= 1 && data_bits <= 64);
+  assert(n_ <= 127);  // codeword uses 1-indexed positions in a uint128
+}
+
+HammingSecDed::Codeword HammingSecDed::build_codeword(
+    std::uint64_t data, std::uint64_t hamming_parity) const noexcept {
+  Codeword cw = 0;
+  unsigned di = 0, pi = 0;
+  for (unsigned pos = 1; pos <= n_; ++pos) {
+    const bool is_parity = is_pow2(pos);
+    const bool bit = is_parity ? ((hamming_parity >> pi++) & 1)
+                               : ((data >> di++) & 1);
+    if (bit) cw |= Codeword{1} << pos;
+  }
+  return cw;
+}
+
+std::uint64_t HammingSecDed::syndrome_of(Codeword codeword) const noexcept {
+  // Syndrome bit j is the parity of all positions whose bit j is set.
+  std::uint64_t syn = 0;
+  for (unsigned pos = 1; pos <= n_; ++pos)
+    if ((codeword >> pos) & 1) syn ^= pos;
+  return syn;
+}
+
+std::uint64_t HammingSecDed::data_of(Codeword codeword) const noexcept {
+  std::uint64_t data = 0;
+  unsigned di = 0;
+  for (unsigned pos = 1; pos <= n_; ++pos) {
+    if (is_pow2(pos)) continue;
+    if ((codeword >> pos) & 1) data |= std::uint64_t{1} << di;
+    ++di;
+  }
+  return data;
+}
+
+std::uint64_t HammingSecDed::parity_field_of(
+    Codeword codeword) const noexcept {
+  std::uint64_t parity = 0;
+  unsigned pi = 0;
+  for (unsigned pos = 1; pos <= n_; ++pos) {
+    if (!is_pow2(pos)) continue;
+    if ((codeword >> pos) & 1) parity |= std::uint64_t{1} << pi;
+    ++pi;
+  }
+  return parity;
+}
+
+std::uint64_t HammingSecDed::encode(std::uint64_t data) const noexcept {
+  // Compute Hamming parity by building the codeword with zero parity and
+  // reading off the syndrome: a valid codeword has syndrome 0, so the
+  // required parity bits are exactly the syndrome of the parity-less word.
+  const Codeword cw0 = build_codeword(data, 0);
+  const std::uint64_t syn = syndrome_of(cw0);
+  // Syndrome bit j corresponds to parity position 2^j, which is parity
+  // index j in our packed field.
+  std::uint64_t parity = syn;
+  const Codeword cw = build_codeword(data, parity);
+  const std::uint64_t overall = parity128(cw);
+  return parity | (overall << r_);
+}
+
+HammingSecDed::Decoded HammingSecDed::decode(
+    std::uint64_t data, std::uint64_t parity) const noexcept {
+  const std::uint64_t hamming_parity = parity & ((std::uint64_t{1} << r_) - 1);
+  const unsigned stored_overall = (parity >> r_) & 1;
+
+  Codeword cw = build_codeword(data, hamming_parity);
+  const std::uint64_t syn = syndrome_of(cw);
+  const unsigned computed_overall = parity128(cw);
+  const bool overall_mismatch = (computed_overall != stored_overall);
+
+  if (syn == 0 && !overall_mismatch) return {Status::kOk, data, parity};
+
+  if (syn == 0 && overall_mismatch) {
+    // The overall parity bit itself flipped; data and Hamming bits intact.
+    const std::uint64_t fixed_parity =
+        hamming_parity | (std::uint64_t{computed_overall} << r_);
+    return {Status::kCorrectedSingle, data, fixed_parity};
+  }
+
+  if (overall_mismatch) {
+    // Odd number of flips with nonzero syndrome => single-bit error at
+    // position `syn` (could be a data or a Hamming-parity position).
+    if (syn >= 1 && syn <= n_) {
+      cw ^= Codeword{1} << syn;
+      const std::uint64_t fixed_data = data_of(cw);
+      const std::uint64_t fixed_ham = parity_field_of(cw);
+      const std::uint64_t fixed_parity =
+          fixed_ham | (std::uint64_t{parity128(cw)} << r_);
+      return {Status::kCorrectedSingle, fixed_data, fixed_parity};
+    }
+    // Syndrome points outside the codeword: at least 3 bits flipped.
+    // SEC-DED cannot distinguish this from a single-bit error in general;
+    // flag it as a detected (uncorrectable) multi-bit error.
+    return {Status::kDetectedDouble, data, parity};
+  }
+
+  // Nonzero syndrome with matching overall parity: even number of flips.
+  return {Status::kDetectedDouble, data, parity};
+}
+
+}  // namespace secmem

@@ -1,0 +1,65 @@
+// Generic SEC-DED (single-error-correct, double-error-detect) Hamming
+// codec over data words of up to 64 bits.
+//
+// A standard Hamming code with r parity bits protects up to 2^r - r - 1
+// data bits and corrects any single-bit error; an extra overall-parity bit
+// extends it to detect (without miscorrecting) any double-bit error.
+// Instances used in this project:
+//   - HammingSecDed(64): 8 parity bits per 8-byte word — classic DIMM ECC
+//     ("(72,64)" code, 12.5% overhead), see secded72.h.
+//   - HammingSecDed(56): 7 parity bits protecting a 56-bit MAC tag —
+//     exactly the "7-bit parity over the MAC" of paper §3.3.
+#pragma once
+
+#include <cstdint>
+
+namespace secmem {
+
+class HammingSecDed {
+ public:
+  /// Internal codeword representation: positions are 1-indexed, so a
+  /// (72,64) codeword needs bit positions up to 71 — wider than uint64.
+  using Codeword = unsigned __int128;
+
+  /// `data_bits` in [1, 64].
+  explicit HammingSecDed(unsigned data_bits);
+
+  unsigned data_bits() const noexcept { return k_; }
+  /// Hamming parity bits + 1 overall parity bit.
+  unsigned parity_bits() const noexcept { return r_ + 1; }
+  unsigned codeword_bits() const noexcept { return k_ + r_ + 1; }
+
+  /// Parity field for `data` (low `parity_bits()` bits used):
+  /// bits [0, r) are the Hamming parity bits, bit r is overall parity.
+  std::uint64_t encode(std::uint64_t data) const noexcept;
+
+  enum class Status {
+    kOk,               ///< no error
+    kCorrectedSingle,  ///< one flipped bit (data or parity), repaired
+    kDetectedDouble,   ///< two flipped bits, not correctable
+  };
+
+  struct Decoded {
+    Status status;
+    std::uint64_t data;    ///< corrected data (valid unless kDetectedDouble)
+    std::uint64_t parity;  ///< corrected parity field
+  };
+
+  /// Check/correct a (data, parity) pair as read from storage.
+  Decoded decode(std::uint64_t data, std::uint64_t parity) const noexcept;
+
+ private:
+  // Codeword layout: positions 1..n (1-indexed); parity bits sit at
+  // power-of-two positions, data bits fill the rest in increasing order.
+  Codeword build_codeword(std::uint64_t data,
+                          std::uint64_t hamming_parity) const noexcept;
+  std::uint64_t syndrome_of(Codeword codeword) const noexcept;
+  std::uint64_t data_of(Codeword codeword) const noexcept;
+  std::uint64_t parity_field_of(Codeword codeword) const noexcept;
+
+  unsigned k_;  // data bits
+  unsigned r_;  // Hamming parity bits (excluding overall parity)
+  unsigned n_;  // k_ + r_ (codeword bits, excluding overall parity)
+};
+
+}  // namespace secmem

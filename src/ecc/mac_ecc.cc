@@ -1,0 +1,55 @@
+#include "ecc/mac_ecc.h"
+
+#include "common/bitops.h"
+
+namespace secmem {
+
+std::uint64_t MacEccCodec::pack(std::uint64_t mac,
+                                const DataBlock& ciphertext) const noexcept {
+  const std::uint64_t m = mac & kMacMask;
+  const std::uint64_t parity = mac_code_.encode(m);  // 7 bits (6 + overall)
+  const std::uint64_t scrub = parity_bytes(ciphertext);
+  std::uint64_t lane = 0;
+  lane = insert_bits(lane, kMacFieldPos, kMacBits, m);
+  lane = insert_bits(lane, kMacParityPos, kMacParityBits, parity);
+  lane = insert_bits(lane, kScrubBitPos, 1, scrub);
+  return lane;
+}
+
+EccLane MacEccCodec::pack_lane(std::uint64_t mac,
+                               const DataBlock& ciphertext) const noexcept {
+  EccLane bytes{};
+  store_le64(bytes.data(), pack(mac, ciphertext));
+  return bytes;
+}
+
+MacEccCodec::Unpacked MacEccCodec::unpack(std::uint64_t lane) const noexcept {
+  const std::uint64_t mac = extract_bits(lane, kMacFieldPos, kMacBits);
+  const std::uint64_t parity =
+      extract_bits(lane, kMacParityPos, kMacParityBits);
+  const bool scrub = extract_bits(lane, kScrubBitPos, 1) != 0;
+
+  const auto decoded = mac_code_.decode(mac, parity);
+  switch (decoded.status) {
+    case HammingSecDed::Status::kOk:
+      return {decoded.data, MacStatus::kOk, scrub};
+    case HammingSecDed::Status::kCorrectedSingle:
+      return {decoded.data, MacStatus::kCorrectedSingle, scrub};
+    case HammingSecDed::Status::kDetectedDouble:
+      return {mac, MacStatus::kUncorrectable, scrub};
+  }
+  return {mac, MacStatus::kUncorrectable, scrub};
+}
+
+MacEccCodec::Unpacked MacEccCodec::unpack_lane(
+    const EccLane& lane) const noexcept {
+  return unpack(load_le64(lane.data()));
+}
+
+bool MacEccCodec::scrub_ok(std::uint64_t lane,
+                           const DataBlock& ciphertext) const noexcept {
+  const bool stored = extract_bits(lane, kScrubBitPos, 1) != 0;
+  return stored == (parity_bytes(ciphertext) != 0);
+}
+
+}  // namespace secmem

@@ -1,0 +1,71 @@
+// The paper's MAC-in-ECC lane layout (§3.3, Figure 2).
+//
+// The 64 bits an ECC DIMM reserves per 64-byte block are repurposed as:
+//
+//   bits [ 0..55]  56-bit Carter-Wegman MAC of the ciphertext
+//   bits [56..62]  7-bit SEC-DED Hamming parity protecting the MAC itself
+//   bit  [63]      1 parity bit over the ciphertext, for DRAM scrubbing
+//
+// The MAC gives authentication plus *unbounded* error detection on the
+// data; the 7 Hamming bits let the controller repair single-bit flips in
+// the MAC without touching the integrity tree; the scrub bit lets scrubbing
+// firmware sweep for single-bit data errors without recomputing MACs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/ctr_keystream.h"
+#include "crypto/cw_mac.h"
+#include "ecc/hamming.h"
+#include "ecc/secded72.h"  // EccLane
+
+namespace secmem {
+
+/// Bit layout constants for the MAC-ECC lane.
+inline constexpr unsigned kMacFieldPos = 0;
+inline constexpr unsigned kMacParityPos = 56;
+inline constexpr unsigned kMacParityBits = 7;
+inline constexpr unsigned kScrubBitPos = 63;
+
+/// Pack/unpack and check the combined MAC + parity + scrub-bit lane.
+class MacEccCodec {
+ public:
+  MacEccCodec() : mac_code_(kMacBits) {}
+
+  /// Build the 64-bit lane for a ciphertext block and its 56-bit MAC.
+  std::uint64_t pack(std::uint64_t mac, const DataBlock& ciphertext)
+      const noexcept;
+
+  /// Lane as the 8 ECC bytes stored on the DIMM.
+  EccLane pack_lane(std::uint64_t mac, const DataBlock& ciphertext)
+      const noexcept;
+
+  enum class MacStatus : std::uint8_t {
+    kOk,               ///< MAC field clean
+    kCorrectedSingle,  ///< single-bit flip in MAC/parity repaired
+    kUncorrectable,    ///< >=2 bit flips within the MAC field
+  };
+
+  struct Unpacked {
+    std::uint64_t mac;    ///< corrected 56-bit MAC
+    MacStatus status;     ///< health of the MAC field itself
+    bool scrub_bit;       ///< stored ciphertext-parity bit (as read)
+  };
+
+  /// Extract and self-check the MAC using its 7-bit Hamming code.
+  Unpacked unpack(std::uint64_t lane) const noexcept;
+  Unpacked unpack_lane(const EccLane& lane) const noexcept;
+
+  /// Scrubbing check (paper §3.3 "Enabling Efficient Scrubbing"): compare
+  /// the stored ciphertext-parity bit against the ciphertext. A mismatch
+  /// means an odd number of bit flips in (ciphertext + scrub bit); no MAC
+  /// computation required. Returns true when the parity is consistent.
+  bool scrub_ok(std::uint64_t lane, const DataBlock& ciphertext)
+      const noexcept;
+
+ private:
+  HammingSecDed mac_code_;
+};
+
+}  // namespace secmem

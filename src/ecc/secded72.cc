@@ -1,0 +1,43 @@
+#include "ecc/secded72.h"
+
+#include "common/bitops.h"
+
+namespace secmem {
+
+EccLane Secded72::encode(const DataBlock& block) const noexcept {
+  EccLane lane{};
+  for (std::size_t w = 0; w < kWordsPerBlock; ++w) {
+    const std::uint64_t word = load_le64(block.data() + 8 * w);
+    lane[w] = static_cast<std::uint8_t>(code_.encode(word));
+  }
+  return lane;
+}
+
+Secded72::BlockResult Secded72::decode(const DataBlock& block,
+                                       const EccLane& ecc) const noexcept {
+  BlockResult result;
+  result.data = block;
+  result.ecc = ecc;
+  for (std::size_t w = 0; w < kWordsPerBlock; ++w) {
+    const std::uint64_t word = load_le64(block.data() + 8 * w);
+    const auto decoded = code_.decode(word, ecc[w]);
+    switch (decoded.status) {
+      case HammingSecDed::Status::kOk:
+        result.words[w] = WordStatus::kOk;
+        break;
+      case HammingSecDed::Status::kCorrectedSingle:
+        result.words[w] = WordStatus::kCorrectedSingle;
+        store_le64(result.data.data() + 8 * w, decoded.data);
+        result.ecc[w] = static_cast<std::uint8_t>(decoded.parity);
+        result.any_corrected = true;
+        break;
+      case HammingSecDed::Status::kDetectedDouble:
+        result.words[w] = WordStatus::kDetectedDouble;
+        result.any_uncorrectable = true;
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace secmem

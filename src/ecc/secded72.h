@@ -1,0 +1,51 @@
+// Standard DIMM ECC: an independent (72,64) SEC-DED code per 8-byte word
+// (paper §3.1). A 64-byte block carries 8 words and therefore 8 ECC bytes
+// — the 64-bit "ECC lane" that travels on the extra chips/bus lines of an
+// ECC DIMM. This is the *conventional* scheme the paper's MAC-based layout
+// replaces; we implement it fully so Figure 3's coverage comparison runs
+// against the real thing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/ctr_keystream.h"  // DataBlock, kBlockBytes
+#include "ecc/hamming.h"
+
+namespace secmem {
+
+/// The 8 ECC bytes stored alongside one 64-byte block on an ECC DIMM.
+using EccLane = std::array<std::uint8_t, 8>;
+inline constexpr std::size_t kEccLaneBytes = 8;
+inline constexpr std::size_t kWordsPerBlock = kBlockBytes / 8;
+
+/// Conventional per-word SEC-DED over a 64-byte block.
+class Secded72 {
+ public:
+  Secded72() : code_(64) {}
+
+  /// ECC lane for a block: one SEC-DED parity byte per 8-byte word.
+  EccLane encode(const DataBlock& block) const noexcept;
+
+  enum class WordStatus : std::uint8_t {
+    kOk,
+    kCorrectedSingle,
+    kDetectedDouble,  ///< uncorrectable within this word
+  };
+
+  struct BlockResult {
+    DataBlock data;                                 ///< corrected data
+    EccLane ecc;                                    ///< corrected lane
+    std::array<WordStatus, kWordsPerBlock> words;   ///< per-word outcome
+    bool any_corrected = false;
+    bool any_uncorrectable = false;
+  };
+
+  /// Check/correct all 8 words of a block against its ECC lane.
+  BlockResult decode(const DataBlock& block, const EccLane& ecc) const noexcept;
+
+ private:
+  HammingSecDed code_;
+};
+
+}  // namespace secmem

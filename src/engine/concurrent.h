@@ -1,0 +1,75 @@
+// Thread-safe facade over SecureMemory.
+//
+// SecureMemory itself is single-threaded by design (a memory controller
+// serializes at the DRAM channel anyway); multi-threaded applications
+// wrap it in this coarse-grained monitor. Every operation takes the one
+// internal mutex — simple, correct, and adequate for software use of a
+// functional model. The untrusted attack surface is deliberately NOT
+// re-exported: concurrent attacker simulation must synchronize
+// explicitly via with_exclusive().
+#pragma once
+
+#include <mutex>
+#include <utility>
+
+#include "engine/secure_memory.h"
+
+namespace secmem {
+
+class ConcurrentSecureMemory {
+ public:
+  explicit ConcurrentSecureMemory(const SecureMemoryConfig& config)
+      : memory_(config) {}
+
+  std::uint64_t size_bytes() const noexcept { return memory_.size_bytes(); }
+  std::uint64_t num_blocks() const noexcept { return memory_.num_blocks(); }
+
+  void write_block(std::uint64_t block, const DataBlock& plaintext) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    memory_.write_block(block, plaintext);
+  }
+
+  SecureMemory::ReadResult read_block(std::uint64_t block) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return memory_.read_block(block);
+  }
+
+  bool write(std::uint64_t addr, std::span<const std::uint8_t> bytes) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return memory_.write(addr, bytes);
+  }
+
+  bool read(std::uint64_t addr, std::span<std::uint8_t> out) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return memory_.read(addr, out);
+  }
+
+  SecureMemory::ScrubReport scrub_all(bool deep = false) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return memory_.scrub_all(deep);
+  }
+
+  bool rotate_master_key(std::uint64_t new_master) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return memory_.rotate_master_key(new_master);
+  }
+
+  SecureMemory::Stats stats() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return memory_.stats();
+  }
+
+  /// Run `fn(SecureMemory&)` under the lock — for anything the facade
+  /// does not wrap (persistence, the untrusted view in tests, ...).
+  template <typename Fn>
+  auto with_exclusive(Fn&& fn) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return std::forward<Fn>(fn)(memory_);
+  }
+
+ private:
+  std::mutex mutex_;
+  SecureMemory memory_;
+};
+
+}  // namespace secmem

@@ -1,0 +1,80 @@
+#include "engine/layout.h"
+
+#include <cassert>
+
+#include "common/bitops.h"
+
+namespace secmem {
+
+SecureRegionLayout::SecureRegionLayout(const LayoutParams& params)
+    : params_(params),
+      num_blocks_(params.data_bytes / 64),
+      counter_lines_(ceil_div(num_blocks_, params.blocks_per_counter_line)),
+      counter_base_(params.data_bytes),
+      counter_bytes_(counter_lines_ * 64),
+      tree_(counter_lines_, params.onchip_bytes) {
+  assert(params.data_bytes % 64 == 0);
+
+  std::uint64_t cursor = counter_base_ + counter_bytes_;
+  // Interior off-chip levels 1 .. offchip_levels()-1 (the final level in
+  // the geometry is on-chip SRAM and occupies no DRAM).
+  tree_level_base_.push_back(0);  // level 0 = counter storage, placed above
+  for (unsigned lvl = 1; lvl + 1 < tree_.total_levels(); ++lvl) {
+    tree_level_base_.push_back(cursor);
+    cursor += tree_.nodes_at[lvl] * BonsaiGeometry::kNodeBytes;
+  }
+
+  if (params.separate_macs) {
+    mac_base_ = cursor;
+    mac_bytes_ = ceil_div(num_blocks_, 8) * 64;  // 8 MACs per 64B line
+    cursor += mac_bytes_;
+  }
+  total_bytes_ = cursor;
+}
+
+std::uint64_t SecureRegionLayout::tree_node_addr(unsigned level,
+                                                 std::uint64_t node) const {
+  assert(level >= 1 && level < tree_level_base_.size());
+  return tree_level_base_[level] + node * BonsaiGeometry::kNodeBytes;
+}
+
+SecureRegionLayout::Located SecureRegionLayout::locate(
+    std::uint64_t addr) const noexcept {
+  if (addr < counter_base_) return {Region::kData, 0, addr / 64};
+  if (addr < counter_base_ + counter_bytes_)
+    return {Region::kCounter, 0, (addr - counter_base_) / 64};
+  for (unsigned lvl = 1; lvl < tree_level_base_.size(); ++lvl) {
+    const std::uint64_t base = tree_level_base_[lvl];
+    const std::uint64_t bytes =
+        tree_.nodes_at[lvl] * BonsaiGeometry::kNodeBytes;
+    if (addr >= base && addr < base + bytes)
+      return {Region::kTree, lvl, (addr - base) / 64};
+  }
+  return {Region::kMac, 0, (addr - mac_base_) / 64};
+}
+
+double SecureRegionLayout::counter_overhead_pct() const noexcept {
+  // Bit-exact: 56-bit counters cost 56/512 = 10.9% even if the stored
+  // lines round up to 64-bit slots (the paper quotes the bit figure).
+  return 100.0 * params_.counter_bits_per_block / 512.0;
+}
+
+double SecureRegionLayout::mac_overhead_pct() const noexcept {
+  if (!params_.separate_macs) return 0.0;  // MACs live in the ECC lane
+  return 100.0 * 56.0 / 512.0;
+}
+
+double SecureRegionLayout::tree_overhead_pct() const noexcept {
+  return 100.0 * static_cast<double>(tree_.offchip_tree_bytes()) /
+         static_cast<double>(params_.data_bytes);
+}
+
+double SecureRegionLayout::ecc_overhead_pct() const noexcept {
+  return params_.ecc_dimm ? 12.5 : 0.0;
+}
+
+double SecureRegionLayout::metadata_overhead_pct() const noexcept {
+  return counter_overhead_pct() + mac_overhead_pct() + tree_overhead_pct();
+}
+
+}  // namespace secmem

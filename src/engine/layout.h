@@ -1,0 +1,97 @@
+// Physical layout of a protected region and its metadata, plus the
+// storage-overhead accounting behind paper Figure 1.
+//
+// The protected data, counter storage, off-chip tree levels, and (in the
+// separate-MAC baseline) MAC storage are carved out of one flat physical
+// address space, in that order. All simulator components agree on these
+// addresses, so metadata traffic contends with data traffic on the same
+// DRAM banks — exactly the effect the paper measures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tree/bonsai_geometry.h"
+
+namespace secmem {
+
+struct LayoutParams {
+  std::uint64_t data_bytes = 512ULL * 1024 * 1024;  ///< protected region
+  unsigned blocks_per_counter_line = 8;  ///< from the counter scheme
+  std::uint64_t onchip_bytes = 3 * 1024; ///< trusted SRAM for tree roots
+  bool separate_macs = false;  ///< true: 56-bit MACs in their own region
+                               ///< false: MACs ride the ECC lane (paper §3)
+  bool ecc_dimm = true;        ///< region backed by x72 ECC DIMMs
+  double counter_bits_per_block = 56.0;  ///< for bit-exact overhead figures
+};
+
+class SecureRegionLayout {
+ public:
+  explicit SecureRegionLayout(const LayoutParams& params);
+
+  std::uint64_t data_base() const noexcept { return 0; }
+  std::uint64_t data_bytes() const noexcept { return params_.data_bytes; }
+  std::uint64_t num_blocks() const noexcept { return num_blocks_; }
+
+  std::uint64_t counter_base() const noexcept { return counter_base_; }
+  std::uint64_t counter_bytes() const noexcept { return counter_bytes_; }
+  std::uint64_t num_counter_lines() const noexcept { return counter_lines_; }
+
+  const BonsaiGeometry& tree() const noexcept { return tree_; }
+
+  std::uint64_t mac_base() const noexcept { return mac_base_; }
+  std::uint64_t mac_bytes() const noexcept { return mac_bytes_; }
+
+  /// Total physical footprint (data + all off-chip metadata).
+  std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+
+  /// --- address helpers ---
+  std::uint64_t block_addr(std::uint64_t block) const noexcept {
+    return block * 64;
+  }
+  std::uint64_t counter_line_addr(std::uint64_t line) const noexcept {
+    return counter_base_ + line * 64;
+  }
+  /// Address of interior tree node (level >= 1) `node`.
+  std::uint64_t tree_node_addr(unsigned level, std::uint64_t node) const;
+  /// Address of the MAC line covering `block` (separate-MAC layouts only;
+  /// 8 x 56-bit MACs packed per 64-byte line, SGX-style).
+  std::uint64_t mac_line_addr(std::uint64_t block) const noexcept {
+    return mac_base_ + (block / 8) * 64;
+  }
+
+  /// What kind of line a metadata address belongs to.
+  enum class Region : std::uint8_t { kData, kCounter, kTree, kMac };
+  struct Located {
+    Region region;
+    unsigned level;      ///< tree level (0 = counter line) when kCounter/kTree
+    std::uint64_t index; ///< line/node index within its level
+  };
+  /// Classify a 64-byte-aligned physical address.
+  Located locate(std::uint64_t addr) const noexcept;
+
+  /// --- overhead accounting (Figure 1) ---
+  /// All as a percentage of the protected data size.
+  double counter_overhead_pct() const noexcept;
+  double mac_overhead_pct() const noexcept;
+  double tree_overhead_pct() const noexcept;
+  double ecc_overhead_pct() const noexcept;  ///< the DIMM's 12.5% (if ECC)
+  /// Encryption-metadata overhead: counters + MACs + tree. Excludes the
+  /// ECC DIMM's own 12.5%, which exists with or without encryption.
+  double metadata_overhead_pct() const noexcept;
+
+ private:
+  LayoutParams params_;
+  std::uint64_t num_blocks_;
+  std::uint64_t counter_lines_;
+  std::uint64_t counter_base_;
+  std::uint64_t counter_bytes_;
+  BonsaiGeometry tree_;
+  std::vector<std::uint64_t> tree_level_base_;  ///< per interior level
+  std::uint64_t mac_base_ = 0;
+  std::uint64_t mac_bytes_ = 0;
+  std::uint64_t total_bytes_;
+};
+
+}  // namespace secmem

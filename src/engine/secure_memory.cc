@@ -1,0 +1,526 @@
+#include "engine/secure_memory.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "counters/delta_counter.h"
+#include "counters/dual_length_delta.h"
+#include "counters/generic_delta.h"
+#include "counters/monolithic.h"
+#include "counters/split_counter.h"
+
+namespace secmem {
+
+const char* read_status_name(ReadStatus status) noexcept {
+  switch (status) {
+    case ReadStatus::kOk: return "ok";
+    case ReadStatus::kCorrectedMacField: return "corrected-mac-field";
+    case ReadStatus::kCorrectedData: return "corrected-data";
+    case ReadStatus::kCorrectedWord: return "corrected-word";
+    case ReadStatus::kIntegrityViolation: return "integrity-violation";
+    case ReadStatus::kCounterTampered: return "counter-tampered";
+  }
+  return "?";
+}
+
+namespace {
+/// Derive independent working keys from the master secret.
+struct DerivedKeys {
+  Aes128::Key data_key;
+  CwMacKey mac_key;
+  CwMacKey tree_key;
+};
+
+DerivedKeys derive_keys(std::uint64_t master) {
+  DerivedKeys keys{};
+  std::uint64_t state = master;
+  auto next_key = [&state](Aes128::Key& k) {
+    for (int half = 0; half < 2; ++half)
+      store_le64(k.data() + 8 * half, splitmix64(state));
+  };
+  next_key(keys.data_key);
+  keys.mac_key.hash_key = splitmix64(state);
+  next_key(keys.mac_key.pad_key);
+  keys.tree_key.hash_key = splitmix64(state);
+  next_key(keys.tree_key.pad_key);
+  return keys;
+}
+}  // namespace
+
+std::unique_ptr<CounterScheme> SecureMemory::make_scheme(
+    const SecureMemoryConfig& config) {
+  if (config.generic_delta_bits != 0) {
+    return std::make_unique<GenericDeltaCounters>(config.size_bytes / 64,
+                                                  config.generic_delta_bits);
+  }
+  return make_counter_scheme(config.scheme, config.size_bytes / 64);
+}
+
+LayoutParams SecureMemory::layout_params(const SecureMemoryConfig& config,
+                                         const CounterScheme& scheme) {
+  LayoutParams params;
+  params.data_bytes = config.size_bytes;
+  params.blocks_per_counter_line = scheme.blocks_per_storage_line();
+  params.onchip_bytes = config.onchip_bytes;
+  params.separate_macs = config.mac_placement == MacPlacement::kSeparate;
+  params.counter_bits_per_block = scheme.bits_per_block();
+  return params;
+}
+
+SecureMemory::SecureMemory(const SecureMemoryConfig& config)
+    : config_(config),
+      scheme_(make_scheme(config)),
+      layout_(layout_params(config, *scheme_)),
+      keystream_(derive_keys(config.master_key).data_key),
+      mac_(derive_keys(config.master_key).mac_key),
+      corrector_(FlipAndCheck::Config{config.max_correctable_errors, 1}),
+      tree_(layout_.tree(), derive_keys(config.master_key).tree_key),
+      ciphertext_(layout_.num_blocks()),
+      lanes_(layout_.num_blocks()),
+      counter_store_(layout_.num_counter_lines() * 64, 0),
+      shadow_ctr_(layout_.num_blocks(), 0) {
+  assert(config.size_bytes % 64 == 0 && config.size_bytes > 0);
+  if (config.mac_placement == MacPlacement::kSeparate)
+    macs_.resize(layout_.num_blocks(), 0);
+
+  // Initialize every block as encrypted zeros under counter 0, so reads
+  // before the first write still verify.
+  const DataBlock zeros{};
+  for (std::uint64_t b = 0; b < layout_.num_blocks(); ++b)
+    store_block(b, zeros, 0);
+  for (std::uint64_t line = 0; line < layout_.num_counter_lines(); ++line)
+    sync_counter_line(line);
+}
+
+std::uint64_t SecureMemory::data_mac(std::uint64_t block,
+                                     std::uint64_t counter,
+                                     const DataBlock& ciphertext) const {
+  // Bonsai binding: the data MAC covers (address, counter, ciphertext),
+  // so replaying stale data requires replaying a stale counter — which
+  // the tree catches.
+  return mac_.compute(layout_.block_addr(block), counter, ciphertext);
+}
+
+void SecureMemory::store_block(std::uint64_t block, const DataBlock& plaintext,
+                               std::uint64_t counter) {
+  DataBlock ct = plaintext;
+  keystream_.crypt(layout_.block_addr(block), counter, ct);
+  const std::uint64_t tag = data_mac(block, counter, ct);
+  ciphertext_[block] = ct;
+  if (config_.mac_placement == MacPlacement::kEccLane) {
+    lanes_[block] = mac_ecc_.pack_lane(tag, ct);
+  } else {
+    macs_[block] = tag;
+    lanes_[block] = secded_.encode(ct);
+  }
+  shadow_ctr_[block] = counter;
+}
+
+void SecureMemory::sync_counter_line(std::uint64_t line) {
+  std::span<std::uint8_t, 64> dest(counter_store_.data() + line * 64, 64);
+  scheme_->serialize_line(line, dest);
+  tree_.update_leaf(line, dest);
+}
+
+void SecureMemory::write_block(std::uint64_t block,
+                               const DataBlock& plaintext) {
+  if (block >= layout_.num_blocks())
+    throw std::out_of_range("SecureMemory::write_block: block " +
+                            std::to_string(block) + " out of range");
+  ++stats_.writes;
+  const WriteOutcome outcome = scheme_->on_write(block);
+
+  if (outcome.event == CounterEvent::kReencrypt) {
+    ++stats_.group_reencryptions;
+    // Re-encrypt every other block in the group under the new common
+    // counter (paper Fig 5a). Decrypt with each block's old counter from
+    // the shadow array, re-encrypt with outcome.counter.
+    const unsigned group_blocks = scheme_->blocks_per_group();
+    const std::uint64_t first = outcome.group * group_blocks;
+    for (std::uint64_t b = first;
+         b < first + group_blocks && b < layout_.num_blocks(); ++b) {
+      if (b == block) continue;
+      DataBlock plain = ciphertext_[b];
+      keystream_.crypt(layout_.block_addr(b), shadow_ctr_[b], plain);
+      store_block(b, plain, outcome.counter);
+    }
+  }
+
+  store_block(block, plaintext, outcome.counter);
+  sync_counter_line(scheme_->storage_line_of(block));
+}
+
+SecureMemory::ReadResult SecureMemory::read_block(std::uint64_t block) {
+  if (block >= layout_.num_blocks())
+    throw std::out_of_range("SecureMemory::read_block: block " +
+                            std::to_string(block) + " out of range");
+  ++stats_.reads;
+  ReadResult result{ReadStatus::kOk, {}, 0};
+  // Account the outcome on every exit path.
+  struct Accounting {
+    Stats& stats;
+    const ReadResult& r;
+    ~Accounting() {
+      stats.mac_evaluations += r.mac_evaluations;
+      switch (r.status) {
+        case ReadStatus::kOk: break;
+        case ReadStatus::kCorrectedMacField: ++stats.corrected_mac_field; break;
+        case ReadStatus::kCorrectedData: ++stats.corrected_data; break;
+        case ReadStatus::kCorrectedWord: ++stats.corrected_word; break;
+        case ReadStatus::kIntegrityViolation: ++stats.integrity_violations; break;
+        case ReadStatus::kCounterTampered: ++stats.counter_tampers; break;
+      }
+    }
+  } accounting{stats_, result};
+
+  // 1. Authenticate the stored counter line against the Bonsai tree.
+  const std::uint64_t line = scheme_->storage_line_of(block);
+  const std::span<const std::uint8_t, 64> line_bytes(
+      counter_store_.data() + line * 64, 64);
+  if (!tree_.verify_leaf(line, line_bytes)) {
+    result.status = ReadStatus::kCounterTampered;
+    return result;
+  }
+  // Verified: the stored representation is authentic, so the scheme's
+  // decoded value is the true counter.
+  const std::uint64_t counter = scheme_->read_counter(block);
+  const std::uint64_t addr = layout_.block_addr(block);
+
+  DataBlock ct = ciphertext_[block];
+
+  if (config_.mac_placement == MacPlacement::kEccLane) {
+    // 2a. Unpack the MAC lane; its own 7-bit Hamming code repairs
+    // single-bit lane faults (paper §3.3).
+    const auto unpacked = mac_ecc_.unpack_lane(lanes_[block]);
+    if (unpacked.status == MacEccCodec::MacStatus::kUncorrectable) {
+      result.status = ReadStatus::kIntegrityViolation;
+      return result;
+    }
+    const std::uint64_t tag = unpacked.mac;
+    bool corrected_mac =
+        unpacked.status == MacEccCodec::MacStatus::kCorrectedSingle;
+
+    // Hoist the AES pad: flip-and-check may evaluate >100k candidates
+    // under this one (addr, counter).
+    const std::uint64_t pad = mac_.pad_for(addr, counter);
+    auto verify = [&](const DataBlock& candidate) {
+      return mac_.verify_with_pad(pad, candidate, tag);
+    };
+    if (!verify(ct)) {
+      // 3a. Brute-force flip-and-check (paper §3.4).
+      const CorrectionResult fix = corrector_.correct(ct, verify);
+      result.mac_evaluations = fix.mac_evaluations;
+      if (fix.status == CorrectionStatus::kUncorrectable) {
+        result.status = ReadStatus::kIntegrityViolation;
+        return result;
+      }
+      ct = fix.data;
+      result.status = ReadStatus::kCorrectedData;
+    } else if (corrected_mac) {
+      result.status = ReadStatus::kCorrectedMacField;
+    }
+  } else {
+    // 2b. Conventional path: SEC-DED per word, then MAC from its region.
+    const auto decoded = secded_.decode(ct, lanes_[block]);
+    if (decoded.any_uncorrectable) {
+      result.status = ReadStatus::kIntegrityViolation;
+      return result;
+    }
+    ct = decoded.data;
+    if (!mac_.verify(addr, counter, ct, macs_[block])) {
+      result.status = ReadStatus::kIntegrityViolation;
+      return result;
+    }
+    if (decoded.any_corrected) result.status = ReadStatus::kCorrectedWord;
+  }
+
+  // 4. Decrypt.
+  keystream_.crypt(addr, counter, ct);
+  result.data = ct;
+  return result;
+}
+
+SecureMemory::ScrubStatus SecureMemory::scrub_block(std::uint64_t block,
+                                                    bool deep) {
+  if (block >= layout_.num_blocks())
+    throw std::out_of_range("SecureMemory::scrub_block: block " +
+                            std::to_string(block) + " out of range");
+  if (!deep && config_.mac_placement == MacPlacement::kEccLane) {
+    // Quick scan (paper §3.3): ciphertext parity vs the scrub bit, plus
+    // the MAC field's own Hamming syndrome — two parity-class checks, no
+    // MAC computation.
+    const std::uint64_t lane = load_le64(lanes_[block].data());
+    if (mac_ecc_.scrub_ok(lane, ciphertext_[block]) &&
+        mac_ecc_.unpack(lane).status == MacEccCodec::MacStatus::kOk) {
+      return ScrubStatus::kClean;
+    }
+  } else if (!deep) {
+    // Conventional lane: per-word syndromes are the quick check.
+    const auto decoded = secded_.decode(ciphertext_[block], lanes_[block]);
+    if (!decoded.any_corrected && !decoded.any_uncorrectable)
+      return ScrubStatus::kClean;
+  }
+
+  // Something looks off (or deep scrub requested): run the full verified
+  // read and heal the backing store from its corrected output.
+  const ReadResult result = read_block(block);
+  switch (result.status) {
+    case ReadStatus::kOk:
+      return ScrubStatus::kClean;
+    case ReadStatus::kCorrectedMacField:
+    case ReadStatus::kCorrectedData:
+    case ReadStatus::kCorrectedWord:
+      // Re-encrypting under the *same* counter reproduces the correct
+      // ciphertext + lane: the fault is scrubbed out of DRAM.
+      store_block(block, result.data, shadow_ctr_[block]);
+      return result.status == ReadStatus::kCorrectedMacField
+                 ? ScrubStatus::kRepairedMacField
+                 : ScrubStatus::kRepairedData;
+    case ReadStatus::kCounterTampered:
+      return ScrubStatus::kCounterTampered;
+    case ReadStatus::kIntegrityViolation:
+      return ScrubStatus::kUncorrectable;
+  }
+  return ScrubStatus::kUncorrectable;
+}
+
+SecureMemory::ScrubReport SecureMemory::scrub_all(bool deep) {
+  ScrubReport report;
+  for (std::uint64_t block = 0; block < layout_.num_blocks(); ++block) {
+    ++report.scanned;
+    switch (scrub_block(block, deep)) {
+      case ScrubStatus::kClean: ++report.quick_clean; break;
+      case ScrubStatus::kRepairedMacField: ++report.repaired_mac; break;
+      case ScrubStatus::kRepairedData: ++report.repaired_data; break;
+      case ScrubStatus::kUncorrectable: ++report.uncorrectable; break;
+      case ScrubStatus::kCounterTampered: ++report.counter_tampered; break;
+    }
+  }
+  return report;
+}
+
+namespace {
+constexpr char kImageMagic[8] = {'S', 'E', 'C', 'M', 'E', 'M', '0', '1'};
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  std::uint8_t buf[8];
+  store_le64(buf, v);
+  out.write(reinterpret_cast<const char*>(buf), 8);
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint8_t buf[8] = {};
+  in.read(reinterpret_cast<char*>(buf), 8);
+  return load_le64(buf);
+}
+}  // namespace
+
+void SecureMemory::save(std::ostream& out) const {
+  out.write(kImageMagic, sizeof(kImageMagic));
+  write_u64(out, config_.size_bytes);
+  write_u64(out, static_cast<std::uint64_t>(config_.scheme));
+  write_u64(out, static_cast<std::uint64_t>(config_.mac_placement));
+  write_u64(out, config_.generic_delta_bits);
+
+  // Off-chip state, exactly what sits on the (NV)DIMMs.
+  for (const DataBlock& ct : ciphertext_)
+    out.write(reinterpret_cast<const char*>(ct.data()), 64);
+  for (const EccLane& lane : lanes_)
+    out.write(reinterpret_cast<const char*>(lane.data()), 8);
+  for (const std::uint64_t mac : macs_) write_u64(out, mac);
+  out.write(reinterpret_cast<const char*>(counter_store_.data()),
+            static_cast<std::streamsize>(counter_store_.size()));
+
+  // Sealed root snapshot: the on-chip root level of the tree.
+  const unsigned top = layout_.tree().total_levels() - 1;
+  for (std::uint64_t node = 0; node < layout_.tree().nodes_at[top];
+       ++node) {
+    const auto bytes = tree_.read_node(top, node);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+}
+
+bool SecureMemory::restore(std::istream& in) {
+  auto fail = [this] {
+    // Leave the region in a valid, freshly-zeroed state.
+    scheme_ = make_scheme(config_);
+    tree_ =
+        BonsaiTree(layout_.tree(), derive_keys(config_.master_key).tree_key);
+    const DataBlock zeros{};
+    for (std::uint64_t b = 0; b < layout_.num_blocks(); ++b)
+      store_block(b, zeros, 0);
+    for (std::uint64_t line = 0; line < layout_.num_counter_lines(); ++line)
+      sync_counter_line(line);
+    return false;
+  };
+
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kImageMagic, sizeof(magic)) != 0)
+    return fail();
+  if (read_u64(in) != config_.size_bytes) return fail();
+  if (read_u64(in) != static_cast<std::uint64_t>(config_.scheme))
+    return fail();
+  if (read_u64(in) != static_cast<std::uint64_t>(config_.mac_placement))
+    return fail();
+  if (read_u64(in) != config_.generic_delta_bits) return fail();
+
+  // Read the off-chip image.
+  std::vector<DataBlock> ciphertext(layout_.num_blocks());
+  std::vector<EccLane> lanes(layout_.num_blocks());
+  std::vector<std::uint64_t> macs(macs_.size());
+  std::vector<std::uint8_t> counter_store(counter_store_.size());
+  for (DataBlock& ct : ciphertext)
+    in.read(reinterpret_cast<char*>(ct.data()), 64);
+  for (EccLane& lane : lanes)
+    in.read(reinterpret_cast<char*>(lane.data()), 8);
+  for (std::uint64_t& mac : macs) mac = read_u64(in);
+  in.read(reinterpret_cast<char*>(counter_store.data()),
+          static_cast<std::streamsize>(counter_store.size()));
+  if (!in) return fail();
+
+  // Rebuild the tree from the image's counter lines and check its root
+  // level against the sealed snapshot — offline counter tamper dies here.
+  BonsaiTree rebuilt(layout_.tree(),
+                     derive_keys(config_.master_key).tree_key);
+  for (std::uint64_t line = 0; line < layout_.num_counter_lines(); ++line) {
+    rebuilt.update_leaf(
+        line, BonsaiTree::LineView(counter_store.data() + line * 64, 64));
+  }
+  const unsigned top = layout_.tree().total_levels() - 1;
+  for (std::uint64_t node = 0; node < layout_.tree().nodes_at[top];
+       ++node) {
+    std::array<std::uint8_t, 64> sealed{};
+    in.read(reinterpret_cast<char*>(sealed.data()), 64);
+    const auto computed = rebuilt.read_node(top, node);
+    if (!in ||
+        !std::equal(computed.begin(), computed.end(), sealed.begin()))
+      return fail();
+  }
+
+  // Commit: adopt the image.
+  ciphertext_ = std::move(ciphertext);
+  lanes_ = std::move(lanes);
+  macs_ = std::move(macs);
+  counter_store_ = std::move(counter_store);
+  tree_ = std::move(rebuilt);
+  for (std::uint64_t line = 0; line < layout_.num_counter_lines(); ++line) {
+    scheme_->deserialize_line(
+        line, std::span<const std::uint8_t, 64>(
+                  counter_store_.data() + line * 64, 64));
+  }
+  for (std::uint64_t b = 0; b < layout_.num_blocks(); ++b)
+    shadow_ctr_[b] = scheme_->read_counter(b);
+  return true;
+}
+
+bool SecureMemory::rotate_master_key(std::uint64_t new_master) {
+  // Phase 1: recover every plaintext under the current keys. Any
+  // verification failure aborts with the region untouched — re-keying
+  // must never launder tampered data into a freshly-authenticated state.
+  std::vector<DataBlock> plaintexts(layout_.num_blocks());
+  for (std::uint64_t block = 0; block < layout_.num_blocks(); ++block) {
+    const ReadResult result = read_block(block);
+    if (result.status == ReadStatus::kIntegrityViolation ||
+        result.status == ReadStatus::kCounterTampered)
+      return false;
+    plaintexts[block] = result.data;
+  }
+
+  // Phase 2: rebuild the cryptographic state. Fresh keys make every
+  // (addr, counter) pair fresh again, so counters restart at zero.
+  config_.master_key = new_master;
+  const DerivedKeys keys = derive_keys(new_master);
+  keystream_ = CtrKeystream(keys.data_key);
+  mac_ = CwMac(keys.mac_key);
+  tree_ = BonsaiTree(layout_.tree(), keys.tree_key);
+  scheme_ = make_scheme(config_);
+  std::fill(shadow_ctr_.begin(), shadow_ctr_.end(), 0);
+
+  // Phase 3: re-encrypt everything and re-authenticate counter storage.
+  for (std::uint64_t block = 0; block < layout_.num_blocks(); ++block)
+    store_block(block, plaintexts[block], 0);
+  for (std::uint64_t line = 0; line < layout_.num_counter_lines(); ++line)
+    sync_counter_line(line);
+  return true;
+}
+
+bool SecureMemory::write(std::uint64_t addr,
+                         std::span<const std::uint8_t> bytes) {
+  if (addr + bytes.size() > config_.size_bytes)
+    throw std::out_of_range("SecureMemory::write: range exceeds region");
+  std::uint64_t pos = addr;
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const std::uint64_t block = pos / 64;
+    const std::size_t offset = pos % 64;
+    const std::size_t chunk = std::min<std::size_t>(64 - offset,
+                                                    bytes.size() - done);
+    DataBlock plain{};
+    if (chunk != 64) {
+      // Partial block: read-modify-write.
+      const ReadResult r = read_block(block);
+      if (r.status == ReadStatus::kIntegrityViolation ||
+          r.status == ReadStatus::kCounterTampered)
+        return false;
+      plain = r.data;
+    }
+    std::memcpy(plain.data() + offset, bytes.data() + done, chunk);
+    write_block(block, plain);
+    pos += chunk;
+    done += chunk;
+  }
+  return true;
+}
+
+bool SecureMemory::read(std::uint64_t addr, std::span<std::uint8_t> out) {
+  if (addr + out.size() > config_.size_bytes)
+    throw std::out_of_range("SecureMemory::read: range exceeds region");
+  std::uint64_t pos = addr;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::uint64_t block = pos / 64;
+    const std::size_t offset = pos % 64;
+    const std::size_t chunk =
+        std::min<std::size_t>(64 - offset, out.size() - done);
+    const ReadResult r = read_block(block);
+    if (r.status == ReadStatus::kIntegrityViolation ||
+        r.status == ReadStatus::kCounterTampered)
+      return false;
+    std::memcpy(out.data() + done, r.data.data() + offset, chunk);
+    pos += chunk;
+    done += chunk;
+  }
+  return true;
+}
+
+SecureMemory::UntrustedView::BlockSnapshot
+SecureMemory::UntrustedView::snapshot(std::uint64_t block) const {
+  const std::uint64_t line = m_.scheme_->storage_line_of(block);
+  BlockSnapshot snap;
+  snap.ciphertext = m_.ciphertext_.at(block);
+  snap.lane = m_.lanes_.at(block);
+  snap.mac = m_.macs_.empty() ? 0 : m_.macs_.at(block);
+  snap.counter_line.assign(m_.counter_store_.begin() + line * 64,
+                           m_.counter_store_.begin() + line * 64 + 64);
+  return snap;
+}
+
+void SecureMemory::UntrustedView::restore(std::uint64_t block,
+                                          const BlockSnapshot& snapshot) {
+  const std::uint64_t line = m_.scheme_->storage_line_of(block);
+  m_.ciphertext_.at(block) = snapshot.ciphertext;
+  m_.lanes_.at(block) = snapshot.lane;
+  if (!m_.macs_.empty()) m_.macs_.at(block) = snapshot.mac;
+  std::memcpy(m_.counter_store_.data() + line * 64,
+              snapshot.counter_line.data(), 64);
+}
+
+}  // namespace secmem

@@ -1,0 +1,258 @@
+// SecureMemory — a functional authenticated-encrypted memory region.
+//
+// This is the library's primary public API: a byte-addressable region
+// whose backing store holds only ciphertext, MAC/ECC lanes, counter
+// storage, and Bonsai-tree nodes — exactly the bits an attacker with
+// physical access to the DIMMs could see or flip. Reads perform real
+// AES-CTR decryption, Carter-Wegman verification, Bonsai-tree counter
+// authentication, and (in MAC-ECC mode) flip-and-check error correction.
+//
+// The `untrusted()` view exposes the attack/fault surface: everything that
+// lives off-chip can be read, flipped, or rolled back; on-chip state
+// (keys, tree root level, counter-scheme registers) cannot. This lets
+// tests and examples mount the paper's threat model directly: bus
+// tampering, cold-boot splicing, replay of stale (data, MAC, counter)
+// triples, and DRAM bit faults.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/bitops.h"
+#include "counters/counter_scheme.h"
+#include "crypto/aes128.h"
+#include "crypto/ctr_keystream.h"
+#include "crypto/cw_mac.h"
+#include "ecc/flip_and_check.h"
+#include "ecc/mac_ecc.h"
+#include "ecc/secded72.h"
+#include "engine/encryption_engine.h"  // MacPlacement
+#include "engine/layout.h"
+#include "tree/bonsai_tree.h"
+
+namespace secmem {
+
+struct SecureMemoryConfig {
+  std::uint64_t size_bytes = 4 * 1024 * 1024;
+  CounterSchemeKind scheme = CounterSchemeKind::kDelta;
+  MacPlacement mac_placement = MacPlacement::kEccLane;
+  std::uint64_t onchip_bytes = 3 * 1024;
+  /// Flip-and-check effort in MAC-ECC mode (0 disables correction).
+  unsigned max_correctable_errors = 2;
+  /// Nonzero: override `scheme` with a GenericDeltaCounters of this delta
+  /// width (2..16 bits) — the §4.2 design-space knob.
+  unsigned generic_delta_bits = 0;
+  /// Master secret; all working keys are derived from it.
+  std::uint64_t master_key = 0x5ec3e7'c0ffee;
+};
+
+/// Outcome of a verified read.
+enum class ReadStatus : std::uint8_t {
+  kOk,                  ///< verified clean
+  kCorrectedMacField,   ///< single-bit flip in the MAC lane repaired
+  kCorrectedData,       ///< 1-2 data bits repaired by flip-and-check
+  kCorrectedWord,       ///< SEC-DED corrected word(s) (separate-MAC mode)
+  kIntegrityViolation,  ///< tamper or uncorrectable fault in data/MAC
+  kCounterTampered,     ///< counter storage failed tree authentication
+};
+
+const char* read_status_name(ReadStatus status) noexcept;
+
+class SecureMemory {
+ public:
+  explicit SecureMemory(const SecureMemoryConfig& config);
+
+  std::uint64_t size_bytes() const noexcept { return config_.size_bytes; }
+  std::uint64_t num_blocks() const noexcept { return layout_.num_blocks(); }
+  const SecureRegionLayout& layout() const noexcept { return layout_; }
+  const CounterScheme& counters() const noexcept { return *scheme_; }
+
+  /// Write one 64-byte block of plaintext.
+  void write_block(std::uint64_t block, const DataBlock& plaintext);
+
+  struct ReadResult {
+    ReadStatus status;
+    DataBlock data;  ///< plaintext; zeroed unless status is kOk/kCorrected*
+    std::uint64_t mac_evaluations = 0;  ///< flip-and-check work performed
+  };
+
+  /// Verified read of one 64-byte block.
+  ReadResult read_block(std::uint64_t block);
+
+  /// Byte-level convenience (read-modify-write across blocks). Returns
+  /// false if any underlying block read fails verification.
+  bool write(std::uint64_t addr, std::span<const std::uint8_t> bytes);
+  bool read(std::uint64_t addr, std::span<std::uint8_t> out);
+
+  /// ------------------------------------------------------------------
+  /// Scrubbing (paper §3.3, "Enabling Efficient Scrubbing").
+  /// ------------------------------------------------------------------
+  /// The MAC-ECC lane keeps one parity bit over the ciphertext and a
+  /// Hamming code over the MAC, so scrubbing firmware can sweep for
+  /// latent single-bit faults with two parity checks per line — no MAC
+  /// recomputation. Lines that fail the quick check (or all lines, when
+  /// `deep`) go through full verification and are *healed* in place:
+  /// corrected data/MACs are re-written to the backing store.
+  enum class ScrubStatus : std::uint8_t {
+    kClean,            ///< quick parity checks passed (or full check did)
+    kRepairedMacField, ///< single-bit MAC-lane fault healed
+    kRepairedData,     ///< 1-2 bit data fault healed
+    kUncorrectable,    ///< fault beyond correction; data NOT healed
+    kCounterTampered,  ///< counter storage failed tree authentication
+  };
+
+  struct ScrubReport {
+    std::uint64_t scanned = 0;
+    std::uint64_t quick_clean = 0;   ///< passed the cheap parity checks
+    std::uint64_t repaired_mac = 0;
+    std::uint64_t repaired_data = 0;
+    std::uint64_t uncorrectable = 0;
+    std::uint64_t counter_tampered = 0;
+  };
+
+  /// Scrub one block. `deep` skips the cheap parity shortcut and runs the
+  /// full verification (catches even-parity faults the scrub bit is
+  /// blind to).
+  ScrubStatus scrub_block(std::uint64_t block, bool deep = false);
+
+  /// Sweep the whole region (what the scrubbing firmware does
+  /// periodically).
+  ScrubReport scrub_all(bool deep = false);
+
+  /// ------------------------------------------------------------------
+  /// Key management.
+  /// ------------------------------------------------------------------
+  /// Re-key the region under a new master secret: every block is
+  /// decrypted and verified under the old keys, the working keys and
+  /// integrity tree are rebuilt, counters restart at zero (a fresh key
+  /// makes every (addr, counter) nonce fresh again), and all data is
+  /// re-encrypted. Returns false — leaving the region untouched — if any
+  /// block fails verification under the old keys.
+  bool rotate_master_key(std::uint64_t new_master);
+
+  /// ------------------------------------------------------------------
+  /// Persistence (NVMM / hibernate model).
+  /// ------------------------------------------------------------------
+  /// `save` writes the off-chip state (ciphertext, ECC/MAC lanes,
+  /// counter storage) plus a *sealed root snapshot* — the tree's on-chip
+  /// root level, standing in for what a real deployment would keep in
+  /// tamper-proof non-volatile storage (TPM/fuses). Keys are NEVER
+  /// written; they derive from the master secret held by the caller.
+  ///
+  /// `restore` rebuilds the region from such an image: counter lines are
+  /// decoded, the tree is reconstructed bottom-up, and its computed root
+  /// level must match the sealed snapshot — any offline tamper of counter
+  /// storage is rejected before a single block is served. (Replay of a
+  /// complete, internally-consistent OLD image is accepted: image
+  /// freshness requires a fresh root store, see SECURITY.md.)
+  /// On any failure the region re-initializes to zeros and restore
+  /// returns false.
+  void save(std::ostream& out) const;
+  bool restore(std::istream& in);
+
+  /// ------------------------------------------------------------------
+  /// Operational statistics.
+  /// ------------------------------------------------------------------
+  struct Stats {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t corrected_data = 0;
+    std::uint64_t corrected_mac_field = 0;
+    std::uint64_t corrected_word = 0;
+    std::uint64_t integrity_violations = 0;
+    std::uint64_t counter_tampers = 0;
+    std::uint64_t group_reencryptions = 0;
+    std::uint64_t mac_evaluations = 0;  ///< flip-and-check work
+  };
+  const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = Stats{}; }
+
+  /// ------------------------------------------------------------------
+  /// Untrusted (off-chip) surface — the attacker's reach.
+  /// ------------------------------------------------------------------
+  class UntrustedView {
+   public:
+    explicit UntrustedView(SecureMemory& owner) : m_(owner) {}
+
+    /// Raw ciphertext / ECC-lane access for a block.
+    std::span<std::uint8_t, kBlockBytes> ciphertext(std::uint64_t block) {
+      return std::span<std::uint8_t, kBlockBytes>(m_.ciphertext_.at(block));
+    }
+    std::span<std::uint8_t, kEccLaneBytes> ecc_lane(std::uint64_t block) {
+      return std::span<std::uint8_t, kEccLaneBytes>(m_.lanes_.at(block));
+    }
+    /// Stored counter line bytes (authenticated by the tree).
+    std::span<std::uint8_t, 64> counter_line(std::uint64_t line) {
+      return std::span<std::uint8_t, 64>(
+          m_.counter_store_.data() + line * 64, 64);
+    }
+    /// Off-chip tree nodes (levels 1..offchip-1).
+    BonsaiTree& tree() { return m_.tree_; }
+    /// Stored 56-bit MACs (separate-MAC mode only).
+    std::vector<std::uint64_t>& macs() { return m_.macs_; }
+
+    void flip_ciphertext_bit(std::uint64_t block, unsigned bit) {
+      flip_bit(ciphertext(block), bit);
+    }
+    void flip_lane_bit(std::uint64_t block, unsigned bit) {
+      flip_bit(ecc_lane(block), bit);
+    }
+    void flip_counter_bit(std::uint64_t line, unsigned bit) {
+      flip_bit(counter_line(line), bit);
+    }
+
+    /// Cold-boot-style snapshot/rollback of a block's off-chip state —
+    /// the raw material of a replay attack.
+    struct BlockSnapshot {
+      DataBlock ciphertext;
+      EccLane lane;
+      std::uint64_t mac;  ///< separate-MAC mode
+      std::vector<std::uint8_t> counter_line;
+    };
+    BlockSnapshot snapshot(std::uint64_t block) const;
+    void restore(std::uint64_t block, const BlockSnapshot& snapshot);
+
+   private:
+    SecureMemory& m_;
+  };
+
+  UntrustedView untrusted() { return UntrustedView(*this); }
+
+ private:
+  friend class UntrustedView;
+
+  static std::unique_ptr<CounterScheme> make_scheme(
+      const SecureMemoryConfig& config);
+  static LayoutParams layout_params(const SecureMemoryConfig& config,
+                                    const CounterScheme& scheme);
+
+  /// Encrypt + MAC `plaintext` under `counter` and store everything.
+  void store_block(std::uint64_t block, const DataBlock& plaintext,
+                   std::uint64_t counter);
+  /// Refresh stored counter line `line` and its tree path.
+  void sync_counter_line(std::uint64_t line);
+  std::uint64_t data_mac(std::uint64_t block, std::uint64_t counter,
+                         const DataBlock& ciphertext) const;
+
+  SecureMemoryConfig config_;
+  std::unique_ptr<CounterScheme> scheme_;
+  SecureRegionLayout layout_;
+  CtrKeystream keystream_;
+  CwMac mac_;
+  MacEccCodec mac_ecc_;
+  Secded72 secded_;
+  FlipAndCheck corrector_;
+  BonsaiTree tree_;
+
+  std::vector<DataBlock> ciphertext_;
+  std::vector<EccLane> lanes_;
+  std::vector<std::uint64_t> macs_;          ///< separate-MAC mode
+  std::vector<std::uint8_t> counter_store_;  ///< serialized counter lines
+  std::vector<std::uint64_t> shadow_ctr_;    ///< current counter per block
+  Stats stats_;
+};
+
+}  // namespace secmem

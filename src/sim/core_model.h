@@ -1,0 +1,71 @@
+// Limited-MLP out-of-order core approximation.
+//
+// The MARSSx86 substitute (see DESIGN.md): what Figure 8 needs from a CPU
+// model is faithful translation of memory-latency differences into IPC.
+// An OoO window hides miss latency two ways: (i) non-memory work retires
+// underneath outstanding misses, and (ii) up to `mlp` independent misses
+// overlap. Both are modeled; dependent loads (pointer chases) stall the
+// core until the data returns, as they would in hardware.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+namespace secmem {
+
+class CoreModel {
+ public:
+  /// `base_ipc`: peak non-memory retire rate. `mlp`: max in-flight misses.
+  CoreModel(double base_ipc, unsigned mlp)
+      : base_ipc_(base_ipc), mlp_(mlp) {}
+
+  /// Retire `n` non-memory instructions.
+  void advance_compute(std::uint64_t n) {
+    clock_ += static_cast<double>(n) / base_ipc_;
+    instructions_ += n;
+  }
+
+  /// Account one memory instruction whose data returns at `completion`
+  /// (absolute cycles). `dependent` forces an immediate stall; otherwise
+  /// the miss occupies an MLP slot and only stalls when slots run out.
+  void memory_access(double completion, bool dependent) {
+    ++instructions_;
+    clock_ += 1.0 / base_ipc_;  // the instruction itself
+    if (dependent) {
+      if (completion > clock_) clock_ = completion;
+      return;
+    }
+    outstanding_.push_back(completion);
+    if (outstanding_.size() > mlp_) {
+      const double oldest = outstanding_.front();
+      outstanding_.pop_front();
+      if (oldest > clock_) clock_ = oldest;
+    }
+  }
+
+  /// A short-latency access (cache hit) that the window fully hides
+  /// except for a small exposed cost.
+  void fast_access(double exposed_cycles) {
+    ++instructions_;
+    clock_ += 1.0 / base_ipc_ + exposed_cycles;
+  }
+
+  /// Wait for all outstanding misses (end of run).
+  void drain() {
+    for (const double c : outstanding_)
+      if (c > clock_) clock_ = c;
+    outstanding_.clear();
+  }
+
+  double clock() const noexcept { return clock_; }
+  std::uint64_t instructions() const noexcept { return instructions_; }
+
+ private:
+  double base_ipc_;
+  unsigned mlp_;
+  double clock_ = 0;
+  std::uint64_t instructions_ = 0;
+  std::deque<double> outstanding_;
+};
+
+}  // namespace secmem

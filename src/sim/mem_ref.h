@@ -1,0 +1,20 @@
+// Memory-reference stream element produced by workload generators and
+// consumed by the system simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace secmem {
+
+struct MemRef {
+  std::uint64_t addr;      ///< byte address within the protected region
+  bool is_write;
+  /// Non-memory instructions executed before this reference (models the
+  /// workload's compute/memory ratio).
+  std::uint32_t gap;
+  /// True if the consuming instruction depends on the loaded value
+  /// immediately (pointer chase) — the core cannot hide the miss.
+  bool dependent;
+};
+
+}  // namespace secmem

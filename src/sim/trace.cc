@@ -1,0 +1,80 @@
+#include "sim/trace.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace secmem {
+
+CoreTraces load_trace(std::istream& in, unsigned min_cores) {
+  CoreTraces traces(min_cores);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    unsigned core;
+    std::string addr_text, rw;
+    if (!(fields >> core)) continue;  // blank / comment-only line
+    if (!(fields >> addr_text >> rw) ||
+        (rw != "R" && rw != "W" && rw != "r" && rw != "w")) {
+      throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                                  ": expected '<core> <hexaddr> <R|W>'");
+    }
+    MemRef ref{};
+    try {
+      ref.addr = std::stoull(addr_text, nullptr, 16);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                                  ": bad address '" + addr_text + "'");
+    }
+    ref.is_write = (rw == "W" || rw == "w");
+
+    std::string token;
+    while (fields >> token) {
+      if (token == "D" || token == "d") {
+        ref.dependent = true;
+      } else {
+        try {
+          ref.gap = static_cast<std::uint32_t>(std::stoul(token));
+        } catch (const std::exception&) {
+          throw std::invalid_argument("trace line " +
+                                      std::to_string(line_no) +
+                                      ": bad field '" + token + "'");
+        }
+      }
+    }
+    if (core >= traces.size()) traces.resize(core + 1);
+    traces[core].push_back(ref);
+  }
+  return traces;
+}
+
+CoreTraces load_trace_file(const std::string& path, unsigned min_cores) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return load_trace(in, min_cores);
+}
+
+void save_trace(std::ostream& out, const CoreTraces& traces) {
+  out << "# secmem trace: <core> <hexaddr> <R|W> [gap] [D]\n";
+  std::size_t longest = 0;
+  for (const auto& t : traces) longest = std::max(longest, t.size());
+  for (std::size_t i = 0; i < longest; ++i) {
+    for (std::size_t core = 0; core < traces.size(); ++core) {
+      if (i >= traces[core].size()) continue;
+      const MemRef& ref = traces[core][i];
+      out << core << " " << std::hex << ref.addr << std::dec << " "
+          << (ref.is_write ? 'W' : 'R');
+      if (ref.gap != 0) out << " " << ref.gap;
+      if (ref.dependent) out << " D";
+      out << "\n";
+    }
+  }
+}
+
+}  // namespace secmem

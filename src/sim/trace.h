@@ -1,0 +1,43 @@
+// Memory-trace file I/O: drive the system simulator from externally
+// recorded traces (e.g. converted from gem5/Pin/DynamoRIO output) instead
+// of the built-in synthetic workloads.
+//
+// Text format, one reference per line:
+//
+//   <core> <hex-address> <R|W> [gap] [D]
+//
+//   core     decimal core id (0-based)
+//   address  hex byte address, with or without 0x
+//   R|W      read or write
+//   gap      optional decimal count of non-memory instructions before
+//            this reference (default 0)
+//   D        optional flag: the consumer depends on this load immediately
+//
+// '#' starts a comment; blank lines are ignored. Malformed lines throw
+// std::invalid_argument with the line number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/mem_ref.h"
+
+namespace secmem {
+
+/// Per-core reference streams parsed from a trace.
+using CoreTraces = std::vector<std::vector<MemRef>>;
+
+/// Parse a trace from a stream. The result has max(core id)+1 entries
+/// (at least `min_cores`).
+CoreTraces load_trace(std::istream& in, unsigned min_cores = 1);
+
+/// Convenience: load from a file path (throws std::runtime_error if the
+/// file cannot be opened).
+CoreTraces load_trace_file(const std::string& path, unsigned min_cores = 1);
+
+/// Serialize per-core streams into the text format (interleaved
+/// round-robin so replays roughly preserve arrival order).
+void save_trace(std::ostream& out, const CoreTraces& traces);
+
+}  // namespace secmem

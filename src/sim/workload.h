@@ -1,0 +1,169 @@
+// Synthetic PARSEC-like workload generators (paper §5.1's "PARSEC 2.1,
+// sim-med, 4 threads" substitute — see DESIGN.md's substitution table).
+//
+// Table 2 and Figure 8 depend on the *structure* of each application's
+// write stream — how per-block write counters within a 4KB block-group
+// grow relative to each other — and on cache behaviour, not on
+// instruction semantics. Each profile composes three archetypal
+// behaviours whose parameters were set per application to reproduce the
+// paper's qualitative per-app results:
+//
+//   sweep   repeated passes over a per-thread ring buffer (streaming
+//           update loops). With skip_spread == 0 every block is updated
+//           once per pass: deltas converge and the Fig 5b reset fires.
+//           With skip_spread > 0 each block has a deterministic per-block
+//           skip rate, so per-block write rates diverge *linearly* —
+//           Δmin re-encoding defers re-encryption but 6-bit dual-length
+//           lanes overflow earlier (the facesim anomaly).
+//   random  single-block visits over the working set: background cache
+//           pressure and realistic read mixes.
+//   hot     update-heavy visits to a small hot region whose *structure*
+//           is the Table 2 mechanism under test — see HotMode.
+//
+// Every visit issues a burst of word-granular references within the
+// block (reads and writes), giving realistic L1/L2 locality; the counter
+// subsystem sees one writeback per dirtied block per residency.
+//
+// Every generator is deterministic given (profile, thread, seed).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/mem_ref.h"
+
+namespace secmem {
+
+/// How hot-set writes are distributed inside their 4KB block-groups —
+/// each mode isolates one of the paper's §4 dynamics:
+enum class HotMode : std::uint8_t {
+  /// Strict round-robin over whole groups: every block written exactly
+  /// once per pass -> deltas converge -> Fig 5b reset (dedup, freqmine).
+  kSequential,
+  /// Whole groups written at per-block rates spanning
+  /// [1 - hot_spread, 1]: linear divergence -> Δmin re-encoding defers
+  /// but cannot prevent re-encryption; 6-bit dual-length lanes overflow
+  /// ~2x sooner (facesim).
+  kSkewed,
+  /// hot_blocks_per_group blocks confined to ONE 16-delta sub-group,
+  /// rest of the group cold: Δmin = 0 so delta == split, while the
+  /// dual-length overflow bits absorb the whole hot sub-group (vips).
+  kSubgroup,
+  /// One hot block per group plus occasional writes to warm neighbours
+  /// in other sub-groups: Δmin = 0 AND expansion only covers the hot
+  /// sub-group -> dual-length helps only modestly (canneal).
+  kScatteredWarm,
+};
+
+struct WorkloadProfile {
+  std::string name;
+  /// Total data footprint across all 4 threads (cache-pressure knob).
+  std::uint64_t working_set_bytes = 32 * 1024 * 1024;
+  /// Per-thread streaming ring buffer swept by the sweep behaviour.
+  std::uint64_t sweep_region_bytes = 128 * 1024;
+  /// Mean non-memory instructions between memory references.
+  unsigned mean_gap = 3;
+  /// Fraction of loads whose consumer stalls immediately (pointer chase).
+  double dependent_fraction = 0.2;
+  /// Fraction of refs that are writes for the random behaviour.
+  double write_fraction = 0.3;
+
+  /// One hot-write component (a profile may have up to two).
+  struct HotSpec {
+    double weight = 0;  ///< share of block visits
+    HotMode mode = HotMode::kSubgroup;
+    unsigned groups = 2;            ///< hot 4KB groups per thread
+    unsigned blocks_per_group = 8;  ///< kSubgroup only
+    double spread = 0.14;           ///< kSkewed rate divergence
+    double warm_fraction = 0.3;     ///< kScatteredWarm neighbour share
+  };
+
+  /// Behaviour mix (weights over block *visits*; normalized internally).
+  double w_sweep = 0.0;
+  double w_random = 0.0;
+  HotSpec hot;   ///< primary counter-pressure component
+  HotSpec hot2;  ///< optional secondary component
+
+  /// Sweep: maximum per-block skip rate (0 = perfectly uniform passes;
+  /// 0.25 = block-dependent write rates spanning [0.75, 1.0] of passes).
+  double skip_spread = 0.0;
+
+  /// Word-granular refs issued per block visit, by behaviour.
+  unsigned sweep_burst = 8;
+  unsigned random_burst = 3;
+  unsigned hot_burst = 4;
+
+  /// Spatial run length of a random visit: the visit covers this many
+  /// consecutive 64-byte blocks (records/structs). Runs let consecutive
+  /// misses share counter-storage lines and low tree nodes, which is
+  /// what keeps real PARSEC's metadata amplification low; pointer-chasing
+  /// workloads (canneal) set 1.
+  unsigned random_run = 8;
+};
+
+/// The 11 PARSEC 2.1 applications the paper ran (§5.1), as profiles.
+const std::vector<WorkloadProfile>& parsec_profiles();
+
+/// Find a profile by name (throws std::out_of_range if unknown).
+const WorkloadProfile& profile_by_name(const std::string& name);
+
+/// Deterministic per-thread reference generator.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const WorkloadProfile& profile, unsigned thread,
+                    std::uint64_t seed);
+
+  /// Next memory reference of this thread's stream.
+  MemRef next();
+
+  /// Sweep passes completed so far (test/diagnostic hook).
+  std::uint64_t sweep_passes() const noexcept { return sweep_pass_; }
+
+ private:
+  /// Instantiated hot component: group bases + round-robin cursor.
+  struct HotState {
+    WorkloadProfile::HotSpec spec;
+    std::vector<std::uint64_t> group_base;  ///< first block of each group
+    std::uint64_t seq_pos = 0;              ///< kSequential cursor
+  };
+
+  void start_visit();
+  void start_sweep_visit();
+  void start_random_visit();
+  void start_hot_visit(HotState& hot);
+
+  /// Deterministic per-block skip rate in [0, skip_spread].
+  double skip_rate(std::uint64_t block) const;
+
+  WorkloadProfile profile_;
+  Xoshiro256 rng_;
+
+  // Thread-private address ranges (data-parallel split, like PARSEC).
+  std::uint64_t quarter_base_;   ///< first block of this thread's quarter
+  std::uint64_t quarter_blocks_;
+
+  // Sweep ring buffer state.
+  std::uint64_t sweep_blocks_;
+  std::uint64_t sweep_pos_ = 0;
+  std::uint64_t sweep_pass_ = 0;
+
+  HotState hot_;
+  HotState hot2_;
+
+  // Current visit: pending word refs within the visited block, plus the
+  // remaining consecutive blocks of a spatial run.
+  std::uint64_t visit_block_ = 0;
+  unsigned visit_remaining_ = 0;
+  unsigned run_remaining_ = 0;
+  unsigned run_burst_ = 0;
+  bool visit_writes_ = false;   ///< visit dirties the block
+  bool visit_dependent_ = false;
+  unsigned visit_word_ = 0;
+
+  std::array<double, 4> cumulative_weights_{};
+};
+
+}  // namespace secmem

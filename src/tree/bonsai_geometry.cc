@@ -1,0 +1,28 @@
+#include "tree/bonsai_geometry.h"
+
+#include "common/bitops.h"
+
+namespace secmem {
+
+BonsaiGeometry::BonsaiGeometry(std::uint64_t counter_lines,
+                               std::uint64_t onchip_bytes) {
+  nodes_at.push_back(counter_lines);
+  // Grow upward until a level fits in the on-chip SRAM; that level is the
+  // trusted root level. Counter lines (level 0) always live off-chip —
+  // only MAC levels can be on-chip — so at least one parent level exists
+  // even when the counter region itself is tiny.
+  do {
+    nodes_at.push_back(ceil_div(nodes_at.back(), kArity));
+  } while (nodes_at.back() * kNodeBytes > onchip_bytes);
+}
+
+std::uint64_t BonsaiGeometry::offchip_tree_bytes() const {
+  std::uint64_t bytes = 0;
+  // Level 0 is counter storage (accounted separately); the final level is
+  // on-chip. Everything between is off-chip tree storage.
+  for (std::size_t i = 1; i + 1 < nodes_at.size(); ++i)
+    bytes += nodes_at[i] * kNodeBytes;
+  return bytes;
+}
+
+}  // namespace secmem

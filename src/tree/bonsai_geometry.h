@@ -1,0 +1,58 @@
+// Bonsai Merkle tree geometry (paper §2.2, Table 1, §5.2).
+//
+// A Bonsai Merkle tree [Rogers et al., MICRO'07] protects only the
+// *counter storage* — data-block MACs are bound to counters, so counter
+// freshness implies data freshness. The tree's leaves are the 64-byte
+// counter-storage lines; each interior 64-byte node holds 8 children's
+// 64-bit MACs; the top level small enough to fit the on-chip SRAM (3KB in
+// the paper) is kept on chip and implicitly trusted.
+//
+// "Levels" follows the paper's accounting: the number of *off-chip* levels
+// a worst-case verification walks, counting the counter-storage line
+// itself. For 512MB protected with monolithic counters this yields 5
+// levels; delta-encoded counters shrink counter storage 8x, giving 4 —
+// the 5 -> 4 reduction behind Figure 8's delta-encoding speedup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace secmem {
+
+struct BonsaiGeometry {
+  static constexpr unsigned kArity = 8;        ///< 8x 64-bit MACs per node
+  static constexpr unsigned kNodeBytes = 64;
+
+  /// Build geometry for `counter_lines` 64-byte leaf lines with
+  /// `onchip_bytes` of trusted SRAM for the root level.
+  BonsaiGeometry(std::uint64_t counter_lines, std::uint64_t onchip_bytes);
+
+  /// nodes_at[0] = leaf (counter) lines; nodes_at[i] = nodes of level i.
+  /// The last entry is the on-chip root level.
+  std::vector<std::uint64_t> nodes_at;
+
+  /// Off-chip levels walked on a cold verification, counting the counter
+  /// line itself (paper's "5-level off-chip integrity tree").
+  unsigned offchip_levels() const {
+    return static_cast<unsigned>(nodes_at.size()) - 1;
+  }
+
+  /// Total level count including the on-chip root level.
+  unsigned total_levels() const {
+    return static_cast<unsigned>(nodes_at.size());
+  }
+
+  /// Parent node index of node `idx` at `level` (level+1's indexing).
+  static std::uint64_t parent_of(std::uint64_t idx) { return idx / kArity; }
+
+  /// Slot within the parent node.
+  static unsigned slot_in_parent(std::uint64_t idx) {
+    return static_cast<unsigned>(idx % kArity);
+  }
+
+  /// Bytes of off-chip storage used by interior (non-leaf, off-chip)
+  /// levels — the tree's own storage overhead.
+  std::uint64_t offchip_tree_bytes() const;
+};
+
+}  // namespace secmem

@@ -1,0 +1,105 @@
+#include "tree/bonsai_tree.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/bitops.h"
+
+namespace secmem {
+
+BonsaiTree::BonsaiTree(const BonsaiGeometry& geometry, const CwMacKey& mac_key)
+    : geometry_(geometry), mac_(mac_key) {
+  // Allocate interior levels 1..top. Level 0 (counter lines) belongs to
+  // the counter-storage owner.
+  for (std::size_t lvl = 1; lvl < geometry_.nodes_at.size(); ++lvl)
+    levels_.emplace_back(geometry_.nodes_at[lvl] * kLineBytes, 0);
+
+  // Initialize bottom-up so an all-zero counter region verifies from the
+  // start: every slot holds the MAC of an all-zero child.
+  std::vector<std::uint8_t> zero_line(kLineBytes, 0);
+  for (std::size_t lvl = 1; lvl < geometry_.nodes_at.size(); ++lvl) {
+    const std::uint64_t children = geometry_.nodes_at[lvl - 1];
+    for (std::uint64_t child = 0; child < children; ++child) {
+      const LineView child_view(
+          lvl == 1 ? zero_line.data() : node_ptr(static_cast<unsigned>(lvl - 1), child),
+          kLineBytes);
+      const std::uint64_t tag =
+          node_mac(static_cast<unsigned>(lvl - 1), child, child_view);
+      std::uint8_t* parent = node_ptr(static_cast<unsigned>(lvl),
+                                      BonsaiGeometry::parent_of(child));
+      store_le64(parent + 8 * BonsaiGeometry::slot_in_parent(child), tag);
+    }
+  }
+}
+
+std::uint8_t* BonsaiTree::node_ptr(unsigned level, std::uint64_t node) {
+  assert(level >= 1 && level < geometry_.nodes_at.size());
+  return levels_[level - 1].data() + node * kLineBytes;
+}
+
+const std::uint8_t* BonsaiTree::node_ptr(unsigned level,
+                                         std::uint64_t node) const {
+  assert(level >= 1 && level < geometry_.nodes_at.size());
+  return levels_[level - 1].data() + node * kLineBytes;
+}
+
+std::uint64_t BonsaiTree::node_mac(unsigned level, std::uint64_t index,
+                                   LineView content) const {
+  // Domain-separate node identities: (level, index) -> synthetic address.
+  const std::uint64_t node_id =
+      (static_cast<std::uint64_t>(level) << 48) | index;
+  return mac_.compute(node_id, /*counter=*/0, content);
+}
+
+void BonsaiTree::update_leaf(std::uint64_t line, LineView content) {
+  const unsigned top = geometry_.total_levels() - 1;
+  std::uint64_t child_idx = line;
+  std::uint64_t tag = node_mac(0, line, content);
+  for (unsigned lvl = 1; lvl <= top; ++lvl) {
+    const std::uint64_t parent_idx = BonsaiGeometry::parent_of(child_idx);
+    std::uint8_t* parent = node_ptr(lvl, parent_idx);
+    store_le64(parent + 8 * BonsaiGeometry::slot_in_parent(child_idx), tag);
+    if (lvl == top) break;  // root level is trusted storage; no parent
+    tag = node_mac(lvl, parent_idx, LineView(parent, kLineBytes));
+    child_idx = parent_idx;
+  }
+}
+
+bool BonsaiTree::verify_leaf(std::uint64_t line, LineView content) const {
+  const unsigned top = geometry_.total_levels() - 1;
+  std::uint64_t child_idx = line;
+  std::uint64_t tag = node_mac(0, line, content);
+  for (unsigned lvl = 1; lvl <= top; ++lvl) {
+    const std::uint64_t parent_idx = BonsaiGeometry::parent_of(child_idx);
+    const std::uint8_t* parent = node_ptr(lvl, parent_idx);
+    const std::uint64_t stored =
+        load_le64(parent + 8 * BonsaiGeometry::slot_in_parent(child_idx));
+    if (stored != tag) return false;
+    if (lvl == top) break;  // parent verified against trusted root level
+    tag = node_mac(lvl, parent_idx, LineView(parent, kLineBytes));
+    child_idx = parent_idx;
+  }
+  return true;
+}
+
+void BonsaiTree::corrupt_node(unsigned level, std::uint64_t node,
+                              unsigned bit) {
+  assert(level >= 1 && level + 1 < geometry_.total_levels() &&
+         "only off-chip interior nodes are attacker-reachable");
+  std::uint8_t* p = node_ptr(level, node);
+  p[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+std::vector<std::uint8_t> BonsaiTree::read_node(unsigned level,
+                                                std::uint64_t node) const {
+  const std::uint8_t* p = node_ptr(level, node);
+  return std::vector<std::uint8_t>(p, p + kLineBytes);
+}
+
+void BonsaiTree::write_node(unsigned level, std::uint64_t node,
+                            std::span<const std::uint8_t> bytes) {
+  assert(bytes.size() == kLineBytes);
+  std::memcpy(node_ptr(level, node), bytes.data(), kLineBytes);
+}
+
+}  // namespace secmem

@@ -1,0 +1,65 @@
+// Functional Bonsai Merkle tree over counter storage.
+//
+// Maintains real interior-node contents (8x 64-bit child MACs per 64-byte
+// node) and verifies/updates authentication paths with the Carter-Wegman
+// MAC. The top level lives in trusted on-chip SRAM: an attacker with
+// physical access may corrupt any *off-chip* level (leaves and interior
+// nodes below the root level) but never the root level — which is exactly
+// the attack surface the `corrupt_node` test hook exposes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/cw_mac.h"
+#include "tree/bonsai_geometry.h"
+
+namespace secmem {
+
+class BonsaiTree {
+ public:
+  static constexpr std::size_t kLineBytes = BonsaiGeometry::kNodeBytes;
+  using LineView = std::span<const std::uint8_t, kLineBytes>;
+
+  BonsaiTree(const BonsaiGeometry& geometry, const CwMacKey& mac_key);
+
+  /// Recompute the authentication path after counter line `line` changed
+  /// to `content`. Must be called for every counter-storage mutation.
+  void update_leaf(std::uint64_t line, LineView content);
+
+  /// Check `content` (as read back from untrusted storage) against the
+  /// tree. Walks leaf MAC -> parent -> ... -> on-chip root level; false on
+  /// any mismatch (tamper or replay).
+  bool verify_leaf(std::uint64_t line, LineView content) const;
+
+  const BonsaiGeometry& geometry() const noexcept { return geometry_; }
+
+  /// --- attack-surface hooks (tests / attack demos) ---
+  /// Flip one bit of an off-chip interior node. `level` in
+  /// [1, offchip_levels()); level 0 is counter storage, owned elsewhere.
+  void corrupt_node(unsigned level, std::uint64_t node, unsigned bit);
+
+  /// Snapshot/restore an interior node — lets tests mount replay attacks
+  /// (restore an old node alongside old counter data).
+  std::vector<std::uint8_t> read_node(unsigned level, std::uint64_t node) const;
+  void write_node(unsigned level, std::uint64_t node,
+                  std::span<const std::uint8_t> bytes);
+
+ private:
+  /// MAC of a 64-byte node/line, domain-separated by (level, index).
+  std::uint64_t node_mac(unsigned level, std::uint64_t index,
+                         LineView content) const;
+
+  std::uint8_t* node_ptr(unsigned level, std::uint64_t node);
+  const std::uint8_t* node_ptr(unsigned level, std::uint64_t node) const;
+
+  BonsaiGeometry geometry_;
+  CwMac mac_;
+  /// levels_[i] = contiguous node bytes of tree level i+1 (leaves are the
+  /// caller's counter storage and not duplicated here). The last level is
+  /// the trusted on-chip root level.
+  std::vector<std::vector<std::uint8_t>> levels_;
+};
+
+}  // namespace secmem

@@ -1,0 +1,144 @@
+#include "crypto/aes128.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace secmem {
+namespace {
+
+// FIPS-197 Appendix B / C.1 test vectors.
+TEST(Aes128, Fips197AppendixB) {
+  const Aes128::Key key{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                        0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const Aes128::Block plain{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                            0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  const Aes128::Block expected{0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc,
+                               0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97,
+                               0x19, 0x6a, 0x0b, 0x32};
+  Aes128 aes(key);
+  EXPECT_EQ(aes.encrypt(plain), expected);
+}
+
+TEST(Aes128, Fips197AppendixC1) {
+  const Aes128::Key key{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                        0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+  const Aes128::Block plain{0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                            0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  const Aes128::Block expected{0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b,
+                               0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80,
+                               0x70, 0xb4, 0xc5, 0x5a};
+  Aes128 aes(key);
+  EXPECT_EQ(aes.encrypt(plain), expected);
+  EXPECT_EQ(aes.decrypt(expected), plain);
+}
+
+TEST(Aes128, NistAesavsGfsboxVectors) {
+  // AESAVS Appendix B: zero key, GFSbox plaintexts.
+  const Aes128::Key zero_key{};
+  const Aes128 aes(zero_key);
+  const struct {
+    const char* plain;
+    const char* cipher;
+  } vectors[] = {
+      {"f34481ec3cc627bacd5dc3fb08f273e6",
+       "0336763e966d92595a567cc9ce537f5e"},
+      {"9798c4640bad75c7c3227db910174e72",
+       "a9a1631bf4996954ebc093957b234589"},
+      {"96ab5c2ff612d9dfaae8c31f30c42168",
+       "ff4f8391a6a40ca5b25d23bedd44a597"},
+      {"6a118a874519e64e9963798a503f1d35",
+       "dc43be40be0e53712f7e2bf5ca707209"},
+      {"cb9fceec81286ca3e989bd979b0cb284",
+       "92beedab1895a94faa69b632e5cc47ce"},
+      {"b26aeb1874e47ca8358ff22378f09144",
+       "459264f4798f6a78bacb89c15ed3d601"},
+      {"58c8e00b2631686d54eab84b91f0aca1",
+       "08a4e2efec8a8e3312ca7460b9040bbf"},
+  };
+  auto unhex = [](const char* text) {
+    Aes128::Block block{};
+    for (int i = 0; i < 16; ++i) {
+      unsigned byte;
+      std::sscanf(text + 2 * i, "%2x", &byte);
+      block[i] = static_cast<std::uint8_t>(byte);
+    }
+    return block;
+  };
+  for (const auto& vector : vectors) {
+    const Aes128::Block plain = unhex(vector.plain);
+    const Aes128::Block expected = unhex(vector.cipher);
+    EXPECT_EQ(aes.encrypt(plain), expected) << vector.plain;
+    EXPECT_EQ(aes.decrypt(expected), plain) << vector.plain;
+  }
+}
+
+TEST(Aes128, NistAesavsVarKeySamples) {
+  // AESAVS Appendix C: zero plaintext, single-bit keys (samples).
+  const Aes128::Block zero_plain{};
+  auto unhex = [](const char* text) {
+    Aes128::Block block{};
+    for (int i = 0; i < 16; ++i) {
+      unsigned byte;
+      std::sscanf(text + 2 * i, "%2x", &byte);
+      block[i] = static_cast<std::uint8_t>(byte);
+    }
+    return block;
+  };
+  {
+    Aes128::Key key{};
+    key[0] = 0x80;  // first key bit set
+    EXPECT_EQ(Aes128(key).encrypt(zero_plain),
+              unhex("0edd33d3c621e546455bd8ba1418bec8"));
+  }
+  {
+    Aes128::Key key{};
+    key[0] = 0xc0;
+    EXPECT_EQ(Aes128(key).encrypt(zero_plain),
+              unhex("4bc3f883450c113c64ca42e1112a9e87"));
+  }
+}
+
+TEST(Aes128, DecryptInvertsEncryptRandom) {
+  Xoshiro256 rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    Aes128::Key key;
+    Aes128::Block block;
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+    for (auto& b : block) b = static_cast<std::uint8_t>(rng.next());
+    Aes128 aes(key);
+    EXPECT_EQ(aes.decrypt(aes.encrypt(block)), block);
+  }
+}
+
+TEST(Aes128, InPlaceEncryptAllowed) {
+  const Aes128::Key key{};
+  Aes128 aes(key);
+  Aes128::Block buf{1, 2, 3, 4};
+  const Aes128::Block expected = aes.encrypt(buf);
+  aes.encrypt_block(buf, buf);
+  EXPECT_EQ(buf, expected);
+}
+
+TEST(Aes128, DifferentKeysDifferentCiphertext) {
+  Aes128::Key k1{}, k2{};
+  k2[0] = 1;
+  const Aes128::Block plain{};
+  EXPECT_NE(Aes128(k1).encrypt(plain), Aes128(k2).encrypt(plain));
+}
+
+TEST(Aes128, AvalancheSingleBitKeyFlip) {
+  Aes128::Key k1{}, k2{};
+  k2[15] ^= 0x80;
+  const Aes128::Block plain{};
+  const auto c1 = Aes128(k1).encrypt(plain);
+  const auto c2 = Aes128(k2).encrypt(plain);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i)
+    differing += std::popcount(static_cast<unsigned>(c1[i] ^ c2[i]));
+  // Expect roughly half of 128 bits to flip; anything >30 shows diffusion.
+  EXPECT_GT(differing, 30);
+}
+
+}  // namespace
+}  // namespace secmem

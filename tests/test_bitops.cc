@@ -1,0 +1,111 @@
+#include "common/bitops.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+namespace secmem {
+namespace {
+
+TEST(Bitops, Parity64) {
+  EXPECT_EQ(parity64(0), 0u);
+  EXPECT_EQ(parity64(1), 1u);
+  EXPECT_EQ(parity64(0b11), 0u);
+  EXPECT_EQ(parity64(~std::uint64_t{0}), 0u);
+  EXPECT_EQ(parity64(std::uint64_t{1} << 63), 1u);
+}
+
+TEST(Bitops, ParityBytes) {
+  std::array<std::uint8_t, 4> bytes{0x01, 0x00, 0x00, 0x00};
+  EXPECT_EQ(parity_bytes(bytes), 1u);
+  bytes[3] = 0x80;
+  EXPECT_EQ(parity_bytes(bytes), 0u);
+  bytes[1] = 0x07;
+  EXPECT_EQ(parity_bytes(bytes), 1u);
+}
+
+TEST(Bitops, ExtractInsertRoundTrip) {
+  const std::uint64_t v = 0xDEADBEEFCAFEF00DULL;
+  for (unsigned pos = 0; pos < 64; pos += 7) {
+    for (unsigned width = 1; width <= 64 - pos; width += 5) {
+      const std::uint64_t field = extract_bits(v, pos, width);
+      const std::uint64_t rebuilt = insert_bits(v, pos, width, field);
+      EXPECT_EQ(rebuilt, v) << "pos=" << pos << " width=" << width;
+    }
+  }
+}
+
+TEST(Bitops, InsertOverwritesOnlyTargetField) {
+  const std::uint64_t v = 0;
+  const std::uint64_t r = insert_bits(v, 8, 8, 0xFF);
+  EXPECT_EQ(r, 0xFF00u);
+  EXPECT_EQ(insert_bits(r, 8, 8, 0), 0u);
+}
+
+TEST(Bitops, ExtractWidth64) {
+  EXPECT_EQ(extract_bits(0x1234, 0, 64), 0x1234u);
+  EXPECT_EQ(extract_bits(~std::uint64_t{0}, 0, 64), ~std::uint64_t{0});
+}
+
+TEST(Bitops, GetSetFlipBit) {
+  std::array<std::uint8_t, 8> buf{};
+  EXPECT_FALSE(get_bit(buf, 13));
+  set_bit(buf, 13, true);
+  EXPECT_TRUE(get_bit(buf, 13));
+  EXPECT_EQ(buf[1], 0x20);
+  flip_bit(buf, 13);
+  EXPECT_FALSE(get_bit(buf, 13));
+  set_bit(buf, 63, true);
+  EXPECT_EQ(buf[7], 0x80);
+}
+
+TEST(Bitops, PopcountBytes) {
+  std::array<std::uint8_t, 3> buf{0xFF, 0x0F, 0x01};
+  EXPECT_EQ(popcount_bytes(buf), 13u);
+}
+
+TEST(Bitops, FieldAcrossByteBoundary) {
+  std::array<std::uint8_t, 16> buf{};
+  insert_field(buf, 5, 13, 0x1ABF);
+  EXPECT_EQ(extract_field(buf, 5, 13), 0x1ABFu & ((1u << 13) - 1));
+  // Neighbouring bits stay clear.
+  EXPECT_FALSE(get_bit(buf, 4));
+  EXPECT_FALSE(get_bit(buf, 18));
+}
+
+TEST(Bitops, FieldRoundTripSweep) {
+  std::array<std::uint8_t, 64> buf{};
+  // The delta-counter layouts pack 7-bit fields at arbitrary offsets.
+  for (unsigned i = 0; i < 64; ++i)
+    insert_field(buf, 56 + i * 7, 7, (i * 37) & 0x7F);
+  for (unsigned i = 0; i < 64; ++i)
+    EXPECT_EQ(extract_field(buf, 56 + i * 7, 7), (i * 37) & 0x7Fu) << i;
+}
+
+TEST(Bitops, Le64RoundTrip) {
+  std::uint8_t buf[8];
+  store_le64(buf, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(buf[0], 0xEF);
+  EXPECT_EQ(buf[7], 0x01);
+  EXPECT_EQ(load_le64(buf), 0x0123456789ABCDEFULL);
+}
+
+TEST(Bitops, Le32RoundTrip) {
+  std::uint8_t buf[4];
+  store_le32(buf, 0xA1B2C3D4u);
+  EXPECT_EQ(load_le32(buf), 0xA1B2C3D4u);
+}
+
+TEST(Bitops, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+  EXPECT_EQ(log2_pow2(64), 6u);
+  EXPECT_EQ(ceil_div(10, 3), 4u);
+  EXPECT_EQ(ceil_div(9, 3), 3u);
+}
+
+}  // namespace
+}  // namespace secmem

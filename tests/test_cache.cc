@@ -1,0 +1,107 @@
+#include "cache/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace secmem {
+namespace {
+
+CacheConfig small_cache() { return CacheConfig{1024, 2, 64}; }  // 8 sets
+
+TEST(Cache, MissThenHit) {
+  SetAssocCache cache(small_cache());
+  EXPECT_FALSE(cache.lookup(0x1000));
+  cache.fill(0x1000);
+  EXPECT_TRUE(cache.lookup(0x1000));
+}
+
+TEST(Cache, LineGranularity) {
+  SetAssocCache cache(small_cache());
+  cache.fill(0x1000);
+  EXPECT_TRUE(cache.lookup(0x103F));   // same 64B line
+  EXPECT_FALSE(cache.lookup(0x1040));  // next line
+}
+
+TEST(Cache, LruEviction) {
+  SetAssocCache cache(small_cache());
+  // Three lines mapping to the same set (set stride = 8 sets * 64B = 512B).
+  const std::uint64_t a = 0x0000, b = 0x0200, c = 0x0400;
+  cache.fill(a);
+  cache.fill(b);
+  cache.lookup(a);  // a is now MRU
+  const auto victim = cache.fill(c);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->line_addr, b);  // LRU way evicted
+  EXPECT_TRUE(cache.contains(a));
+  EXPECT_FALSE(cache.contains(b));
+}
+
+TEST(Cache, DirtyEvictionReported) {
+  SetAssocCache cache(small_cache());
+  cache.fill(0x0000, /*dirty=*/true);
+  cache.fill(0x0200);
+  const auto victim = cache.fill(0x0400);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->line_addr, 0x0000u);
+  EXPECT_TRUE(victim->dirty);
+}
+
+TEST(Cache, MarkDirtyRequiresPresence) {
+  SetAssocCache cache(small_cache());
+  EXPECT_FALSE(cache.mark_dirty(0x1000));
+  cache.fill(0x1000);
+  EXPECT_TRUE(cache.mark_dirty(0x1000));
+  const auto removed = cache.invalidate(0x1000);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_TRUE(removed->dirty);
+}
+
+TEST(Cache, InvalidateAbsentLine) {
+  SetAssocCache cache(small_cache());
+  EXPECT_FALSE(cache.invalidate(0x5000).has_value());
+}
+
+TEST(Cache, ContainsDoesNotTouchLru) {
+  SetAssocCache cache(small_cache());
+  cache.fill(0x0000);
+  cache.fill(0x0200);
+  // contains() must not promote a; otherwise b would be evicted next.
+  cache.contains(0x0000);
+  const auto victim = cache.fill(0x0400);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->line_addr, 0x0000u);
+}
+
+TEST(Cache, FlushReturnsOnlyDirtyAndEmptiesCache) {
+  SetAssocCache cache(small_cache());
+  cache.fill(0x0000, true);   // set 0
+  cache.fill(0x0040, false);  // set 1
+  cache.fill(0x0080, true);   // set 2
+  const auto dirty = cache.flush();
+  EXPECT_EQ(dirty.size(), 2u);
+  EXPECT_EQ(cache.occupied_lines(), 0u);
+}
+
+TEST(Cache, CapacityRespected) {
+  SetAssocCache cache(small_cache());  // 16 lines total
+  for (std::uint64_t i = 0; i < 100; ++i) cache.fill(i * 64);
+  EXPECT_EQ(cache.occupied_lines(), 16u);
+}
+
+TEST(Cache, GeometryAccessors) {
+  SetAssocCache cache(CacheConfig{32 * 1024, 8, 64});
+  EXPECT_EQ(cache.num_sets(), 64u);
+  EXPECT_EQ(cache.ways(), 8u);
+  EXPECT_EQ(cache.line_bytes(), 64u);
+  EXPECT_EQ(cache.line_address(0x1234), 0x1200u);
+}
+
+TEST(Cache, DistinctTagsSameSet) {
+  // Two addresses with the same set index but different tags must not
+  // alias (regression guard for tag extraction).
+  SetAssocCache cache(small_cache());
+  cache.fill(0x0000);
+  EXPECT_FALSE(cache.lookup(0x0200));
+}
+
+}  // namespace
+}  // namespace secmem

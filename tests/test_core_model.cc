@@ -1,0 +1,71 @@
+#include "sim/core_model.h"
+
+#include <gtest/gtest.h>
+
+namespace secmem {
+namespace {
+
+TEST(CoreModel, ComputeAdvancesAtBaseIpc) {
+  CoreModel core(2.0, 8);
+  core.advance_compute(100);
+  EXPECT_DOUBLE_EQ(core.clock(), 50.0);
+  EXPECT_EQ(core.instructions(), 100u);
+}
+
+TEST(CoreModel, DependentLoadStallsUntilCompletion) {
+  CoreModel core(1.0, 8);
+  core.memory_access(/*completion=*/200.0, /*dependent=*/true);
+  EXPECT_GE(core.clock(), 200.0);
+}
+
+TEST(CoreModel, IndependentMissesOverlapWithinMlp) {
+  CoreModel core(1.0, 4);
+  // 4 misses completing at t=100 issued back-to-back: all fit the window,
+  // so the clock stays near the issue cost.
+  for (int i = 0; i < 4; ++i) core.memory_access(100.0, false);
+  EXPECT_LT(core.clock(), 10.0);
+  core.drain();
+  EXPECT_GE(core.clock(), 100.0);
+}
+
+TEST(CoreModel, MlpExhaustionStalls) {
+  CoreModel core(1.0, 2);
+  core.memory_access(1000.0, false);
+  core.memory_access(1000.0, false);
+  EXPECT_LT(core.clock(), 10.0);
+  core.memory_access(1000.0, false);  // third miss: window full
+  EXPECT_GE(core.clock(), 1000.0);
+}
+
+TEST(CoreModel, FastAccessAddsExposedCycles) {
+  CoreModel core(1.0, 8);
+  core.fast_access(12.0);
+  EXPECT_DOUBLE_EQ(core.clock(), 13.0);  // 1 issue cycle + 12 exposed
+  EXPECT_EQ(core.instructions(), 1u);
+}
+
+TEST(CoreModel, HigherLatencyLowersIpc) {
+  // Identical instruction streams, different memory latency: IPC order.
+  auto run = [](double latency) {
+    CoreModel core(2.0, 4);
+    for (int i = 0; i < 1000; ++i) {
+      core.advance_compute(10);
+      core.memory_access(core.clock() + latency, i % 4 == 0);
+    }
+    core.drain();
+    return static_cast<double>(core.instructions()) / core.clock();
+  };
+  EXPECT_GT(run(50.0), run(300.0));
+}
+
+TEST(CoreModel, DrainIdempotent) {
+  CoreModel core(1.0, 4);
+  core.memory_access(500.0, false);
+  core.drain();
+  const double t = core.clock();
+  core.drain();
+  EXPECT_DOUBLE_EQ(core.clock(), t);
+}
+
+}  // namespace
+}  // namespace secmem

@@ -1,0 +1,143 @@
+// Cross-scheme property tests: every counter representation must provide
+// the same *semantics* — monotone counters and nonce freshness — no
+// matter how it packs bits or when it re-encrypts.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "counters/counter_scheme.h"
+
+namespace secmem {
+namespace {
+
+class CounterSchemeProperty
+    : public ::testing::TestWithParam<CounterSchemeKind> {
+ protected:
+  static constexpr BlockIndex kBlocks = 512;  // 8 groups of 64
+  std::unique_ptr<CounterScheme> scheme =
+      make_counter_scheme(GetParam(), kBlocks);
+};
+
+TEST_P(CounterSchemeProperty, StartsAtZero) {
+  for (BlockIndex b = 0; b < kBlocks; b += 17)
+    EXPECT_EQ(scheme->read_counter(b), 0u);
+}
+
+TEST_P(CounterSchemeProperty, WriteReturnsReadableCounter) {
+  const auto outcome = scheme->on_write(5);
+  EXPECT_EQ(outcome.counter, scheme->read_counter(5));
+  EXPECT_EQ(outcome.counter, 1u);
+}
+
+TEST_P(CounterSchemeProperty, NonceFreshnessUnderRandomWrites) {
+  // THE security invariant of counter-mode: the (address, counter) pair
+  // used to encrypt a block must never repeat. Track the last counter
+  // used per block; every new encryption counter must be strictly larger.
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 7);
+  std::map<BlockIndex, std::uint64_t> last_used;
+  for (int i = 0; i < 60000; ++i) {
+    // Skew writes toward a hot set to force frequent overflow handling.
+    const BlockIndex block = rng.chance(0.7)
+                                 ? rng.next_below(8)
+                                 : rng.next_below(kBlocks);
+    const auto outcome = scheme->on_write(block);
+    auto it = last_used.find(block);
+    if (it != last_used.end()) {
+      EXPECT_GT(outcome.counter, it->second)
+          << "nonce reuse on block " << block << " at write " << i;
+    }
+    last_used[block] = outcome.counter;
+
+    if (outcome.event == CounterEvent::kReencrypt) {
+      // Every group member is re-encrypted under outcome.counter: that
+      // value must be fresh for each of them too.
+      const BlockIndex first = outcome.group * scheme->blocks_per_group();
+      for (BlockIndex b = first;
+           b < first + scheme->blocks_per_group() && b < kBlocks; ++b) {
+        auto member = last_used.find(b);
+        if (member != last_used.end() && b != block) {
+          EXPECT_GE(outcome.counter, member->second)
+              << "stale re-encryption counter for block " << b;
+        }
+        last_used[b] = outcome.counter;
+      }
+    }
+  }
+}
+
+TEST_P(CounterSchemeProperty, ReadCounterMonotone) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 13);
+  std::vector<std::uint64_t> previous(kBlocks, 0);
+  for (int i = 0; i < 30000; ++i) {
+    const BlockIndex block = rng.next_below(64);  // all in one group
+    scheme->on_write(block);
+    for (BlockIndex b = 0; b < 64; ++b) {
+      const std::uint64_t now = scheme->read_counter(b);
+      EXPECT_GE(now, previous[b]) << "counter decreased on block " << b;
+      previous[b] = now;
+    }
+  }
+}
+
+TEST_P(CounterSchemeProperty, RepresentationEventsPreserveOtherCounters) {
+  // kReset / kReencode / kExpand are re-*representations*: no counter
+  // value other than the written block's may change.
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 21);
+  for (int i = 0; i < 20000; ++i) {
+    const BlockIndex block = rng.next_below(64);
+    std::vector<std::uint64_t> before(64);
+    for (BlockIndex b = 0; b < 64; ++b) before[b] = scheme->read_counter(b);
+    const auto outcome = scheme->on_write(block);
+    if (outcome.event == CounterEvent::kReencrypt) continue;
+    for (BlockIndex b = 0; b < 64; ++b) {
+      if (b == block) continue;
+      EXPECT_EQ(scheme->read_counter(b), before[b])
+          << counter_event_name(outcome.event) << " corrupted block " << b;
+    }
+    EXPECT_EQ(scheme->read_counter(block), before[block] + 1);
+  }
+}
+
+TEST_P(CounterSchemeProperty, SerializationTracksState) {
+  std::array<std::uint8_t, 64> before{}, after{};
+  scheme->serialize_line(0, before);
+  scheme->on_write(3);
+  scheme->serialize_line(0, after);
+  EXPECT_NE(before, after) << "write did not change the stored line";
+  // Serialization is a pure function of state.
+  std::array<std::uint8_t, 64> again{};
+  scheme->serialize_line(0, again);
+  EXPECT_EQ(after, again);
+}
+
+TEST_P(CounterSchemeProperty, StorageGeometryConsistent) {
+  EXPECT_GT(scheme->blocks_per_storage_line(), 0u);
+  EXPECT_GT(scheme->blocks_per_group(), 0u);
+  EXPECT_EQ(scheme->num_blocks(), kBlocks);
+  EXPECT_EQ(scheme->num_storage_lines(),
+            (kBlocks + scheme->blocks_per_storage_line() - 1) /
+                scheme->blocks_per_storage_line());
+  EXPECT_GT(scheme->bits_per_block(), 0.0);
+  EXPECT_LE(scheme->bits_per_block(), 64.0);
+}
+
+TEST_P(CounterSchemeProperty, NameStable) {
+  EXPECT_FALSE(scheme->name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, CounterSchemeProperty,
+                         ::testing::Values(CounterSchemeKind::kMonolithic56,
+                                           CounterSchemeKind::kSplit,
+                                           CounterSchemeKind::kDelta,
+                                           CounterSchemeKind::kDualDelta),
+                         [](const auto& info) {
+                           return std::string(
+                               counter_scheme_kind_name(info.param))
+                               .substr(0, 5) +
+                               std::to_string(static_cast<int>(info.param));
+                         });
+
+}  // namespace
+}  // namespace secmem

@@ -1,0 +1,119 @@
+#include "ecc/fault_model.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitops.h"
+
+namespace secmem {
+namespace {
+
+class FaultPatternTest : public ::testing::TestWithParam<FaultPattern> {};
+
+TEST_P(FaultPatternTest, BitsAreUniqueAndInRange) {
+  FaultInjector injector(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Fault fault = injector.sample(GetParam());
+    std::set<std::uint16_t> unique(fault.bits.begin(), fault.bits.end());
+    EXPECT_EQ(unique.size(), fault.bits.size());
+    for (const auto bit : fault.bits) EXPECT_LT(bit, kLineBits);
+  }
+}
+
+TEST_P(FaultPatternTest, ApplyFlipsExactlyThoseBits) {
+  FaultInjector injector(99);
+  const Fault fault = injector.sample(GetParam());
+  DataBlock data{};
+  EccLane lane{};
+  FaultInjector::apply(fault, data, lane);
+  EXPECT_EQ(popcount_bytes(data) + popcount_bytes(lane), fault.bits.size());
+  // Applying twice restores the original.
+  FaultInjector::apply(fault, data, lane);
+  EXPECT_EQ(popcount_bytes(data), 0u);
+  EXPECT_EQ(popcount_bytes(lane), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatterns, FaultPatternTest,
+    ::testing::Values(FaultPattern::kSingleBitData,
+                      FaultPattern::kDoubleBitSameWord,
+                      FaultPattern::kDoubleBitCrossWord,
+                      FaultPattern::kTripleBitData,
+                      FaultPattern::kManyBitSingleWord,
+                      FaultPattern::kSingleBitLane,
+                      FaultPattern::kDoubleBitLane,
+                      FaultPattern::kMixedDataAndLane));
+
+TEST(FaultModel, SingleBitDataHasOneDataBit) {
+  FaultInjector injector(5);
+  const Fault fault = injector.sample(FaultPattern::kSingleBitData);
+  ASSERT_EQ(fault.bits.size(), 1u);
+  EXPECT_LT(fault.bits[0], kDataBits);
+}
+
+TEST(FaultModel, DoubleSameWordStaysInOneWord) {
+  FaultInjector injector(6);
+  for (int i = 0; i < 100; ++i) {
+    const Fault fault = injector.sample(FaultPattern::kDoubleBitSameWord);
+    ASSERT_EQ(fault.bits.size(), 2u);
+    EXPECT_EQ(fault.bits[0] / 64, fault.bits[1] / 64);
+  }
+}
+
+TEST(FaultModel, DoubleCrossWordSpansTwoWords) {
+  FaultInjector injector(7);
+  for (int i = 0; i < 100; ++i) {
+    const Fault fault = injector.sample(FaultPattern::kDoubleBitCrossWord);
+    ASSERT_EQ(fault.bits.size(), 2u);
+    EXPECT_NE(fault.bits[0] / 64, fault.bits[1] / 64);
+  }
+}
+
+TEST(FaultModel, LanePatternsStayInLane) {
+  FaultInjector injector(8);
+  for (int i = 0; i < 100; ++i) {
+    for (const auto bit :
+         injector.sample(FaultPattern::kDoubleBitLane).bits) {
+      EXPECT_GE(bit, kDataBits);
+      EXPECT_LT(bit, kLineBits);
+    }
+  }
+}
+
+TEST(FaultModel, MixedPatternHasOneOfEach) {
+  FaultInjector injector(9);
+  const Fault fault = injector.sample(FaultPattern::kMixedDataAndLane);
+  ASSERT_EQ(fault.bits.size(), 2u);
+  EXPECT_LT(fault.bits[0], kDataBits);
+  EXPECT_GE(fault.bits[1], kDataBits);
+}
+
+TEST(FaultModel, ManyBitSingleWordBounds) {
+  FaultInjector injector(10);
+  for (int i = 0; i < 100; ++i) {
+    const Fault fault = injector.sample(FaultPattern::kManyBitSingleWord);
+    EXPECT_GE(fault.bits.size(), 3u);
+    EXPECT_LE(fault.bits.size(), 8u);
+    const auto word = fault.bits[0] / 64;
+    for (const auto bit : fault.bits) EXPECT_EQ(bit / 64, word);
+  }
+}
+
+TEST(FaultModel, DeterministicGivenSeed) {
+  FaultInjector a(42), b(42);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.sample(FaultPattern::kTripleBitData).bits,
+              b.sample(FaultPattern::kTripleBitData).bits);
+  }
+}
+
+TEST(FaultModel, PatternNamesNonEmpty) {
+  for (int p = 0; p <= static_cast<int>(FaultPattern::kMixedDataAndLane);
+       ++p) {
+    EXPECT_STRNE(fault_pattern_name(static_cast<FaultPattern>(p)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace secmem

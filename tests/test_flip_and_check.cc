@@ -1,0 +1,162 @@
+#include "ecc/flip_and_check.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "crypto/cw_mac.h"
+
+namespace secmem {
+namespace {
+
+CwMacKey test_key() {
+  CwMacKey key{};
+  key.hash_key = 0xfeedface12345678ULL;
+  for (int i = 0; i < 16; ++i) key.pad_key[i] = static_cast<std::uint8_t>(i);
+  return key;
+}
+
+struct Fixture {
+  CwMac mac{test_key()};
+  DataBlock block{};
+  std::uint64_t tag = 0;
+  FlipAndCheck::Verifier verifier;
+
+  explicit Fixture(std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    for (auto& b : block) b = static_cast<std::uint8_t>(rng.next());
+    tag = mac.compute_block(0x40, 1, block);
+    verifier = [this](const DataBlock& candidate) {
+      return mac.verify(0x40, 1, candidate, tag);
+    };
+  }
+};
+
+TEST(FlipAndCheck, CleanBlockNoWork) {
+  Fixture f(1);
+  FlipAndCheck corrector;
+  const auto result = corrector.correct(f.block, f.verifier);
+  EXPECT_EQ(result.status, CorrectionStatus::kClean);
+  EXPECT_EQ(result.mac_evaluations, 1u);
+  EXPECT_EQ(result.data, f.block);
+}
+
+TEST(FlipAndCheck, SingleBitErrorsSampledAcrossBlock) {
+  Fixture f(2);
+  FlipAndCheck corrector;
+  for (std::size_t bit = 0; bit < 512; bit += 23) {
+    DataBlock corrupted = f.block;
+    flip_bit(corrupted, bit);
+    const auto result = corrector.correct(corrupted, f.verifier);
+    EXPECT_EQ(result.status, CorrectionStatus::kCorrectedOne) << bit;
+    EXPECT_EQ(result.data, f.block) << bit;
+    EXPECT_EQ(result.flipped_bits[0], static_cast<int>(bit));
+    EXPECT_LE(result.mac_evaluations, 1 + 512u);
+  }
+}
+
+TEST(FlipAndCheck, FirstAndLastBitPositions) {
+  Fixture f(3);
+  FlipAndCheck corrector;
+  for (std::size_t bit : {std::size_t{0}, std::size_t{511}}) {
+    DataBlock corrupted = f.block;
+    flip_bit(corrupted, bit);
+    const auto result = corrector.correct(corrupted, f.verifier);
+    EXPECT_EQ(result.status, CorrectionStatus::kCorrectedOne);
+    EXPECT_EQ(result.data, f.block);
+  }
+}
+
+TEST(FlipAndCheck, DoubleBitErrorsCorrected) {
+  Fixture f(4);
+  FlipAndCheck corrector;
+  const std::pair<std::size_t, std::size_t> cases[] = {
+      {0, 1},      // adjacent, same word — standard SEC-DED would fail
+      {3, 60},     // same word
+      {10, 200},   // across words
+      {500, 511},  // tail
+  };
+  for (const auto& [i, j] : cases) {
+    DataBlock corrupted = f.block;
+    flip_bit(corrupted, i);
+    flip_bit(corrupted, j);
+    const auto result = corrector.correct(corrupted, f.verifier);
+    EXPECT_EQ(result.status, CorrectionStatus::kCorrectedTwo)
+        << i << "," << j;
+    EXPECT_EQ(result.data, f.block) << i << "," << j;
+    EXPECT_LE(result.mac_evaluations,
+              1 + 512u + FlipAndCheck::worst_case_checks(2));
+  }
+}
+
+TEST(FlipAndCheck, TripleBitErrorUncorrectableAtMaxTwo) {
+  Fixture f(5);
+  FlipAndCheck corrector;
+  DataBlock corrupted = f.block;
+  flip_bit(corrupted, 1);
+  flip_bit(corrupted, 77);
+  flip_bit(corrupted, 401);
+  const auto result = corrector.correct(corrupted, f.verifier);
+  EXPECT_EQ(result.status, CorrectionStatus::kUncorrectable);
+}
+
+TEST(FlipAndCheck, MaxErrorsZeroOnlyDetects) {
+  Fixture f(6);
+  FlipAndCheck corrector(FlipAndCheck::Config{0, 1});
+  DataBlock corrupted = f.block;
+  flip_bit(corrupted, 42);
+  const auto result = corrector.correct(corrupted, f.verifier);
+  EXPECT_EQ(result.status, CorrectionStatus::kUncorrectable);
+  EXPECT_EQ(result.mac_evaluations, 1u);
+}
+
+TEST(FlipAndCheck, MaxErrorsOneSkipsPairSearch) {
+  Fixture f(7);
+  FlipAndCheck corrector(FlipAndCheck::Config{1, 1});
+  DataBlock corrupted = f.block;
+  flip_bit(corrupted, 3);
+  flip_bit(corrupted, 300);
+  const auto result = corrector.correct(corrupted, f.verifier);
+  EXPECT_EQ(result.status, CorrectionStatus::kUncorrectable);
+  EXPECT_LE(result.mac_evaluations, 1 + 512u);
+}
+
+TEST(FlipAndCheck, WorstCaseCheckCountsMatchPaper) {
+  // Paper §3.4: 512 checks for single-bit, C(512,2) = 130,816 for double.
+  EXPECT_EQ(FlipAndCheck::worst_case_checks(1), 512u);
+  EXPECT_EQ(FlipAndCheck::worst_case_checks(2), 130816u);
+}
+
+TEST(FlipAndCheck, ModeledCyclesScaleWithCyclesPerMac) {
+  Fixture f(8);
+  FlipAndCheck fast(FlipAndCheck::Config{2, 1});
+  FlipAndCheck slow(FlipAndCheck::Config{2, 4});
+  DataBlock corrupted = f.block;
+  flip_bit(corrupted, 128);
+  const auto r1 = fast.correct(corrupted, f.verifier);
+  const auto r2 = slow.correct(corrupted, f.verifier);
+  EXPECT_EQ(r1.mac_evaluations, r2.mac_evaluations);
+  EXPECT_EQ(r2.modeled_cycles, 4 * r1.modeled_cycles);
+}
+
+TEST(FlipAndCheck, NeverMiscorrects) {
+  // With a real 56-bit MAC, the corrector must only ever return the true
+  // original block — a wrong candidate verifying would be a MAC collision.
+  Fixture f(9);
+  FlipAndCheck corrector;
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    DataBlock corrupted = f.block;
+    flip_bit(corrupted, rng.next_below(512));
+    flip_bit(corrupted, rng.next_below(512));
+    const auto result = corrector.correct(corrupted, f.verifier);
+    if (result.status == CorrectionStatus::kCorrectedOne ||
+        result.status == CorrectionStatus::kCorrectedTwo ||
+        result.status == CorrectionStatus::kClean) {
+      EXPECT_EQ(result.data, f.block);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace secmem

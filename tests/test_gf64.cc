@@ -1,0 +1,100 @@
+#include "crypto/gf64.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace secmem {
+namespace {
+
+TEST(Gf64, ClmulBasic) {
+  // (x+1)*(x+1) = x^2+1 in GF(2)[x].
+  const auto p = clmul64(0b11, 0b11);
+  EXPECT_EQ(p.lo, 0b101u);
+  EXPECT_EQ(p.hi, 0u);
+}
+
+TEST(Gf64, ClmulHighBits) {
+  const auto p = clmul64(std::uint64_t{1} << 63, 0b10);
+  EXPECT_EQ(p.lo, 0u);
+  EXPECT_EQ(p.hi, 1u);
+}
+
+TEST(Gf64, MulIdentity) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t a = rng.next();
+    EXPECT_EQ(gf64_mul(a, 1), a);
+    EXPECT_EQ(gf64_mul(1, a), a);
+    EXPECT_EQ(gf64_mul(a, 0), 0u);
+  }
+}
+
+TEST(Gf64, MulCommutative) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.next(), b = rng.next();
+    EXPECT_EQ(gf64_mul(a, b), gf64_mul(b, a));
+  }
+}
+
+TEST(Gf64, MulAssociative) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t a = rng.next(), b = rng.next(), c = rng.next();
+    EXPECT_EQ(gf64_mul(gf64_mul(a, b), c), gf64_mul(a, gf64_mul(b, c)));
+  }
+}
+
+TEST(Gf64, MulDistributesOverXor) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t a = rng.next(), b = rng.next(), c = rng.next();
+    EXPECT_EQ(gf64_mul(a, b ^ c), gf64_mul(a, b) ^ gf64_mul(a, c));
+  }
+}
+
+TEST(Gf64, ReductionPolynomial) {
+  // x^63 * x = x^64 ≡ x^4+x^3+x+1 = 0x1b.
+  EXPECT_EQ(gf64_mul(std::uint64_t{1} << 63, 2), 0x1bu);
+}
+
+TEST(Gf64, PowMatchesRepeatedMul) {
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t base = rng.next();
+    std::uint64_t acc = 1;
+    for (unsigned e = 0; e <= 16; ++e) {
+      EXPECT_EQ(gf64_pow(base, e), acc) << "e=" << e;
+      acc = gf64_mul(acc, base);
+    }
+  }
+}
+
+TEST(Gf64, TableMulMatchesSchoolbook) {
+  Xoshiro256 rng(7);
+  for (int key = 0; key < 4; ++key) {
+    const std::uint64_t h = rng.next();
+    const Gf64MulTable table(h);
+    EXPECT_EQ(table.mul(0), 0u);
+    EXPECT_EQ(table.mul(1), h);
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t x = rng.next();
+      EXPECT_EQ(table.mul(x), gf64_mul(x, h));
+    }
+  }
+}
+
+TEST(Gf64, FermatLikeOrder) {
+  // The multiplicative group has order 2^64-1: a^(2^64-1) == 1 for a != 0.
+  // (Also confirms the reduction polynomial is primitive enough for use.)
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 5; ++i) {
+    std::uint64_t a = rng.next();
+    if (a == 0) a = 1;
+    EXPECT_EQ(gf64_pow(a, ~std::uint64_t{0}), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace secmem

@@ -1,0 +1,126 @@
+#include "ecc/hamming.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace secmem {
+namespace {
+
+TEST(Hamming, ParityWidths) {
+  // (72,64): 7 Hamming + 1 overall = 8 parity bits — classic DIMM ECC.
+  EXPECT_EQ(HammingSecDed(64).parity_bits(), 8u);
+  // 56-bit MAC protection: 6 Hamming + 1 overall = 7 bits (paper §3.3).
+  EXPECT_EQ(HammingSecDed(56).parity_bits(), 7u);
+  EXPECT_EQ(HammingSecDed(4).parity_bits(), 4u);
+  EXPECT_EQ(HammingSecDed(11).parity_bits(), 5u);
+}
+
+TEST(Hamming, CleanDecode) {
+  Xoshiro256 rng(1);
+  for (unsigned k : {4u, 11u, 26u, 56u, 64u}) {
+    HammingSecDed code(k);
+    for (int i = 0; i < 20; ++i) {
+      const std::uint64_t data =
+          rng.next() & (k == 64 ? ~0ULL : ((1ULL << k) - 1));
+      const std::uint64_t parity = code.encode(data);
+      const auto decoded = code.decode(data, parity);
+      EXPECT_EQ(decoded.status, HammingSecDed::Status::kOk);
+      EXPECT_EQ(decoded.data, data);
+    }
+  }
+}
+
+// Property sweep: every single-bit error — in data or parity — must be
+// corrected; parameterized over the data widths the project uses.
+class HammingSingleBit : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HammingSingleBit, AllDataBitFlipsCorrected) {
+  const unsigned k = GetParam();
+  HammingSecDed code(k);
+  Xoshiro256 rng(k);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::uint64_t data =
+        rng.next() & (k == 64 ? ~0ULL : ((1ULL << k) - 1));
+    const std::uint64_t parity = code.encode(data);
+    for (unsigned bit = 0; bit < k; ++bit) {
+      const auto decoded = code.decode(data ^ (1ULL << bit), parity);
+      EXPECT_EQ(decoded.status, HammingSecDed::Status::kCorrectedSingle)
+          << "k=" << k << " bit=" << bit;
+      EXPECT_EQ(decoded.data, data);
+    }
+  }
+}
+
+TEST_P(HammingSingleBit, AllParityBitFlipsCorrected) {
+  const unsigned k = GetParam();
+  HammingSecDed code(k);
+  Xoshiro256 rng(k + 1000);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::uint64_t data =
+        rng.next() & (k == 64 ? ~0ULL : ((1ULL << k) - 1));
+    const std::uint64_t parity = code.encode(data);
+    for (unsigned bit = 0; bit < code.parity_bits(); ++bit) {
+      const auto decoded = code.decode(data, parity ^ (1ULL << bit));
+      EXPECT_EQ(decoded.status, HammingSecDed::Status::kCorrectedSingle)
+          << "k=" << k << " parity bit=" << bit;
+      EXPECT_EQ(decoded.data, data) << "k=" << k << " parity bit=" << bit;
+    }
+  }
+}
+
+TEST_P(HammingSingleBit, DoubleBitFlipsDetectedNotMiscorrected) {
+  const unsigned k = GetParam();
+  HammingSecDed code(k);
+  Xoshiro256 rng(k + 2000);
+  const std::uint64_t data =
+      rng.next() & (k == 64 ? ~0ULL : ((1ULL << k) - 1));
+  const std::uint64_t parity = code.encode(data);
+  // Exhaustive data-data pairs.
+  for (unsigned i = 0; i < k; ++i) {
+    for (unsigned j = i + 1; j < k; ++j) {
+      const auto decoded =
+          code.decode(data ^ (1ULL << i) ^ (1ULL << j), parity);
+      EXPECT_EQ(decoded.status, HammingSecDed::Status::kDetectedDouble)
+          << "k=" << k << " bits " << i << "," << j;
+    }
+  }
+  // Data-parity pairs.
+  for (unsigned i = 0; i < k; ++i) {
+    for (unsigned p = 0; p < code.parity_bits(); ++p) {
+      const auto decoded =
+          code.decode(data ^ (1ULL << i), parity ^ (1ULL << p));
+      EXPECT_EQ(decoded.status, HammingSecDed::Status::kDetectedDouble)
+          << "k=" << k << " data bit " << i << " parity bit " << p;
+    }
+  }
+  // Parity-parity pairs.
+  for (unsigned p = 0; p + 1 < code.parity_bits(); ++p) {
+    for (unsigned q = p + 1; q < code.parity_bits(); ++q) {
+      const auto decoded =
+          code.decode(data, parity ^ (1ULL << p) ^ (1ULL << q));
+      EXPECT_EQ(decoded.status, HammingSecDed::Status::kDetectedDouble)
+          << "k=" << k << " parity bits " << p << "," << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HammingSingleBit,
+                         ::testing::Values(4u, 8u, 16u, 26u, 56u, 64u));
+
+TEST(Hamming, CorrectedParityFieldIsConsistent) {
+  // After correcting a parity-bit error, re-decoding the returned pair
+  // must be clean.
+  HammingSecDed code(56);
+  const std::uint64_t data = 0x00FEDCBA98765432ULL;
+  const std::uint64_t parity = code.encode(data);
+  for (unsigned p = 0; p < code.parity_bits(); ++p) {
+    const auto decoded = code.decode(data, parity ^ (1ULL << p));
+    ASSERT_EQ(decoded.status, HammingSecDed::Status::kCorrectedSingle);
+    const auto redecoded = code.decode(decoded.data, decoded.parity);
+    EXPECT_EQ(redecoded.status, HammingSecDed::Status::kOk);
+  }
+}
+
+}  // namespace
+}  // namespace secmem

@@ -1,0 +1,128 @@
+// Key-rotation and statistics tests.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "engine/secure_memory.h"
+
+namespace secmem {
+namespace {
+
+DataBlock pattern(std::uint8_t seed) {
+  DataBlock b{};
+  for (std::size_t i = 0; i < b.size(); ++i)
+    b[i] = static_cast<std::uint8_t>(seed ^ (i * 29));
+  return b;
+}
+
+SecureMemoryConfig small_config() {
+  SecureMemoryConfig c;
+  c.size_bytes = 16 * 1024;
+  return c;
+}
+
+TEST(KeyRotation, DataSurvivesRekey) {
+  SecureMemory memory(small_config());
+  for (std::uint64_t b = 0; b < 64; ++b)
+    memory.write_block(b, pattern(static_cast<std::uint8_t>(b)));
+  ASSERT_TRUE(memory.rotate_master_key(0xD00DULL));
+  for (std::uint64_t b = 0; b < 64; ++b) {
+    const auto result = memory.read_block(b);
+    EXPECT_EQ(result.status, ReadStatus::kOk) << b;
+    EXPECT_EQ(result.data, pattern(static_cast<std::uint8_t>(b))) << b;
+  }
+}
+
+TEST(KeyRotation, CiphertextActuallyChanges) {
+  SecureMemory memory(small_config());
+  memory.write_block(3, pattern(9));
+  DataBlock before;
+  std::memcpy(before.data(), memory.untrusted().ciphertext(3).data(), 64);
+  ASSERT_TRUE(memory.rotate_master_key(0x12345));
+  DataBlock after;
+  std::memcpy(after.data(), memory.untrusted().ciphertext(3).data(), 64);
+  EXPECT_NE(before, after) << "re-keying left old ciphertext in place";
+}
+
+TEST(KeyRotation, CountersRestartAtZero) {
+  SecureMemory memory(small_config());
+  for (int i = 0; i < 50; ++i) memory.write_block(4, pattern(1));
+  EXPECT_GT(memory.counters().read_counter(4), 0u);
+  ASSERT_TRUE(memory.rotate_master_key(0x777));
+  EXPECT_EQ(memory.counters().read_counter(4), 0u);
+  // And the region still works.
+  memory.write_block(4, pattern(2));
+  EXPECT_EQ(memory.read_block(4).data, pattern(2));
+}
+
+TEST(KeyRotation, RefusesToLaunderTamperedData) {
+  SecureMemory memory(small_config());
+  memory.write_block(5, pattern(3));
+  for (unsigned bit : {1u, 2u, 3u})
+    memory.untrusted().flip_ciphertext_bit(5, bit);
+  EXPECT_FALSE(memory.rotate_master_key(0xBAD));
+  // Region is untouched: the tamper is still detectable.
+  EXPECT_EQ(memory.read_block(5).status, ReadStatus::kIntegrityViolation);
+}
+
+TEST(KeyRotation, HealsCorrectableFaultsWhileRekeying) {
+  SecureMemory memory(small_config());
+  memory.write_block(6, pattern(4));
+  memory.untrusted().flip_ciphertext_bit(6, 77);  // correctable
+  ASSERT_TRUE(memory.rotate_master_key(0x600D));
+  const auto result = memory.read_block(6);
+  EXPECT_EQ(result.status, ReadStatus::kOk);
+  EXPECT_EQ(result.data, pattern(4));
+}
+
+TEST(KeyRotation, OldSnapshotsUselessAfterRekey) {
+  SecureMemory memory(small_config());
+  memory.write_block(7, pattern(5));
+  const auto snapshot = memory.untrusted().snapshot(7);
+  ASSERT_TRUE(memory.rotate_master_key(0xF00));
+  memory.untrusted().restore(7, snapshot);
+  EXPECT_NE(memory.read_block(7).status, ReadStatus::kOk)
+      << "pre-rotation snapshot replayed successfully!";
+}
+
+TEST(SecureMemoryStats, CountsEveryOutcome) {
+  SecureMemory memory(small_config());
+  memory.reset_stats();
+  memory.write_block(1, pattern(1));
+  memory.read_block(1);                                  // ok
+  memory.untrusted().flip_ciphertext_bit(1, 5);
+  memory.read_block(1);                                  // corrected-data
+  memory.write_block(1, pattern(2));                     // heals
+  memory.untrusted().flip_lane_bit(1, 10);
+  memory.read_block(1);                                  // corrected-mac
+  for (unsigned bit : {100u, 101u, 102u})
+    memory.untrusted().flip_ciphertext_bit(1, bit);
+  memory.read_block(1);                                  // violation
+  const auto& stats = memory.stats();
+  EXPECT_EQ(stats.writes, 2u);
+  EXPECT_EQ(stats.reads, 4u);
+  EXPECT_EQ(stats.corrected_data, 1u);
+  EXPECT_EQ(stats.corrected_mac_field, 1u);
+  EXPECT_EQ(stats.integrity_violations, 1u);
+  EXPECT_GT(stats.mac_evaluations, 512u);  // the failed search ran
+}
+
+TEST(SecureMemoryStats, GroupReencryptionsCounted) {
+  SecureMemoryConfig config = small_config();
+  config.scheme = CounterSchemeKind::kSplit;
+  SecureMemory memory(config);
+  memory.reset_stats();
+  for (int i = 0; i < 128; ++i) memory.write_block(0, pattern(1));
+  EXPECT_EQ(memory.stats().group_reencryptions, 1u);
+}
+
+TEST(SecureMemoryStats, ResetClears) {
+  SecureMemory memory(small_config());
+  memory.write_block(1, pattern(1));
+  memory.reset_stats();
+  EXPECT_EQ(memory.stats().writes, 0u);
+  EXPECT_EQ(memory.stats().reads, 0u);
+}
+
+}  // namespace
+}  // namespace secmem

@@ -1,0 +1,161 @@
+#include "engine/layout.h"
+
+#include <gtest/gtest.h>
+
+namespace secmem {
+namespace {
+
+LayoutParams baseline_params() {
+  LayoutParams params;
+  params.data_bytes = 512ULL << 20;
+  params.blocks_per_counter_line = 8;  // monolithic
+  params.separate_macs = true;         // BMT baseline stores MACs
+  return params;
+}
+
+LayoutParams optimized_params() {
+  LayoutParams params;
+  params.data_bytes = 512ULL << 20;
+  params.blocks_per_counter_line = 64;  // delta encoding
+  params.separate_macs = false;         // MACs ride the ECC lane
+  params.counter_bits_per_block = 7.875;
+  return params;
+}
+
+TEST(Layout, RegionOrderingAndAlignment) {
+  SecureRegionLayout layout(baseline_params());
+  EXPECT_EQ(layout.data_base(), 0u);
+  EXPECT_EQ(layout.counter_base(), 512ULL << 20);
+  EXPECT_GT(layout.mac_base(), layout.counter_base());
+  EXPECT_EQ(layout.counter_base() % 64, 0u);
+  EXPECT_EQ(layout.mac_base() % 64, 0u);
+  EXPECT_EQ(layout.total_bytes(),
+            layout.mac_base() + layout.mac_bytes());
+}
+
+TEST(Layout, BlockAndCounterAddresses) {
+  SecureRegionLayout layout(baseline_params());
+  EXPECT_EQ(layout.block_addr(3), 192u);
+  EXPECT_EQ(layout.counter_line_addr(0), layout.counter_base());
+  EXPECT_EQ(layout.counter_line_addr(5), layout.counter_base() + 5 * 64);
+}
+
+TEST(Layout, MacLineAddressPacksEightPerLine) {
+  SecureRegionLayout layout(baseline_params());
+  EXPECT_EQ(layout.mac_line_addr(0), layout.mac_line_addr(7));
+  EXPECT_EQ(layout.mac_line_addr(8), layout.mac_line_addr(0) + 64);
+}
+
+TEST(Layout, TreeNodeAddressesDisjointFromCounters) {
+  SecureRegionLayout layout(baseline_params());
+  const std::uint64_t counters_end =
+      layout.counter_base() + layout.counter_bytes();
+  EXPECT_GE(layout.tree_node_addr(1, 0), counters_end);
+}
+
+TEST(Layout, BaselineOverheadMatchesPaperFigure1) {
+  // Paper: ~11% counters + ~11% MACs + tree > 22% total.
+  SecureRegionLayout layout(baseline_params());
+  EXPECT_NEAR(layout.counter_overhead_pct(), 10.94, 0.1);
+  EXPECT_NEAR(layout.mac_overhead_pct(), 10.94, 0.1);
+  EXPECT_GT(layout.metadata_overhead_pct(), 22.0);
+}
+
+TEST(Layout, OptimizedOverheadAboutTwoPercent) {
+  // Paper abstract: "from ~22% to just ~2%".
+  SecureRegionLayout layout(optimized_params());
+  EXPECT_EQ(layout.mac_overhead_pct(), 0.0);
+  EXPECT_LT(layout.metadata_overhead_pct(), 2.5);
+  EXPECT_GT(layout.metadata_overhead_pct(), 1.0);
+}
+
+TEST(Layout, TreeDepthsMatchPaper) {
+  EXPECT_EQ(SecureRegionLayout(baseline_params()).tree().offchip_levels(),
+            5u);
+  EXPECT_EQ(SecureRegionLayout(optimized_params()).tree().offchip_levels(),
+            4u);
+}
+
+TEST(Layout, EccOverheadConstant) {
+  SecureRegionLayout layout(baseline_params());
+  EXPECT_DOUBLE_EQ(layout.ecc_overhead_pct(), 12.5);
+  LayoutParams no_ecc = baseline_params();
+  no_ecc.ecc_dimm = false;
+  EXPECT_DOUBLE_EQ(SecureRegionLayout(no_ecc).ecc_overhead_pct(), 0.0);
+}
+
+TEST(Layout, SmallRegionStillWorks) {
+  LayoutParams params;
+  params.data_bytes = 1 << 20;  // 1MB
+  params.blocks_per_counter_line = 64;
+  SecureRegionLayout layout(params);
+  EXPECT_EQ(layout.num_blocks(), (1u << 20) / 64);
+  EXPECT_EQ(layout.num_counter_lines(), (1u << 20) / 64 / 64);
+  EXPECT_GT(layout.total_bytes(), params.data_bytes);
+}
+
+TEST(Layout, RegionsArePairwiseDisjoint) {
+  // Property: data, counter storage, every tree level, and the MAC region
+  // occupy non-overlapping address ranges, for a spread of configs.
+  for (const std::uint64_t mb : {16ULL, 64ULL, 512ULL}) {
+    for (const unsigned per_line : {8u, 64u}) {
+      for (const bool macs : {false, true}) {
+        LayoutParams params;
+        params.data_bytes = mb << 20;
+        params.blocks_per_counter_line = per_line;
+        params.separate_macs = macs;
+        const SecureRegionLayout layout(params);
+
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+        ranges.emplace_back(0, layout.data_bytes());
+        ranges.emplace_back(layout.counter_base(),
+                            layout.counter_base() + layout.counter_bytes());
+        for (unsigned lvl = 1; lvl + 1 < layout.tree().total_levels();
+             ++lvl) {
+          ranges.emplace_back(
+              layout.tree_node_addr(lvl, 0),
+              layout.tree_node_addr(lvl,
+                                    layout.tree().nodes_at[lvl] - 1) +
+                  64);
+        }
+        if (macs)
+          ranges.emplace_back(layout.mac_base(),
+                              layout.mac_base() + layout.mac_bytes());
+        for (std::size_t i = 0; i < ranges.size(); ++i) {
+          for (std::size_t j = i + 1; j < ranges.size(); ++j) {
+            const bool overlap = ranges[i].first < ranges[j].second &&
+                                 ranges[j].first < ranges[i].second;
+            EXPECT_FALSE(overlap)
+                << "regions " << i << " and " << j << " overlap (mb=" << mb
+                << " per_line=" << per_line << " macs=" << macs << ")";
+          }
+        }
+        // Everything fits in the declared total.
+        for (const auto& [lo, hi] : ranges)
+          EXPECT_LE(hi, layout.total_bytes());
+      }
+    }
+  }
+}
+
+TEST(Layout, LocateClassifiesEveryRegion) {
+  LayoutParams params;
+  params.data_bytes = 64ULL << 20;
+  params.blocks_per_counter_line = 64;
+  params.separate_macs = true;
+  const SecureRegionLayout layout(params);
+
+  EXPECT_EQ(layout.locate(0x40).region, SecureRegionLayout::Region::kData);
+  const auto counter = layout.locate(layout.counter_line_addr(5));
+  EXPECT_EQ(counter.region, SecureRegionLayout::Region::kCounter);
+  EXPECT_EQ(counter.index, 5u);
+  const auto node = layout.locate(layout.tree_node_addr(1, 3));
+  EXPECT_EQ(node.region, SecureRegionLayout::Region::kTree);
+  EXPECT_EQ(node.level, 1u);
+  EXPECT_EQ(node.index, 3u);
+  EXPECT_EQ(layout.locate(layout.mac_line_addr(100)).region,
+            SecureRegionLayout::Region::kMac);
+}
+
+}  // namespace
+}  // namespace secmem

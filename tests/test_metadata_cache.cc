@@ -1,0 +1,54 @@
+#include "tree/metadata_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace secmem {
+namespace {
+
+class MetadataCacheTest : public ::testing::Test {
+ protected:
+  StatRegistry stats;
+  MetadataCache cache{CacheConfig{1024, 2, 64}, stats};  // 16 lines
+};
+
+TEST_F(MetadataCacheTest, MissThenHit) {
+  EXPECT_FALSE(cache.access(0x1000, false).hit);
+  EXPECT_TRUE(cache.access(0x1000, false).hit);
+  EXPECT_EQ(stats.counter_value("metacache.hits"), 1u);
+  EXPECT_EQ(stats.counter_value("metacache.misses"), 1u);
+}
+
+TEST_F(MetadataCacheTest, DirtyEvictionSurfacesAsWriteback) {
+  cache.access(0x0000, /*dirty=*/true);
+  cache.access(0x0200, false);
+  const auto result = cache.access(0x0400, false);  // evicts dirty 0x0
+  ASSERT_EQ(result.writebacks.size(), 1u);
+  EXPECT_EQ(result.writebacks[0], 0x0000u);
+}
+
+TEST_F(MetadataCacheTest, CleanEvictionSilent) {
+  cache.access(0x0000, false);
+  cache.access(0x0200, false);
+  const auto result = cache.access(0x0400, false);
+  EXPECT_TRUE(result.writebacks.empty());
+}
+
+TEST_F(MetadataCacheTest, RedirtyOnHit) {
+  cache.access(0x0000, false);
+  cache.access(0x0000, true);  // hit, now dirty
+  cache.access(0x0200, false);
+  const auto result = cache.access(0x0400, false);
+  ASSERT_EQ(result.writebacks.size(), 1u);
+}
+
+TEST_F(MetadataCacheTest, FlushReturnsDirtyLines) {
+  cache.access(0x0000, true);   // set 0
+  cache.access(0x0040, false);  // set 1
+  cache.access(0x0080, true);   // set 2
+  const auto dirty = cache.flush();
+  EXPECT_EQ(dirty.size(), 2u);
+  EXPECT_FALSE(cache.contains(0x0000));
+}
+
+}  // namespace
+}  // namespace secmem

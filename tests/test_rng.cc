@@ -1,0 +1,80 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace secmem {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Xoshiro256 rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Xoshiro256 rng(13);
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i)
+    if (rng.chance(0.25)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.25, 0.02);
+}
+
+TEST(Rng, ReseedResets) {
+  Xoshiro256 rng(17);
+  const std::uint64_t first = rng.next();
+  rng.next();
+  rng.reseed(17);
+  EXPECT_EQ(rng.next(), first);
+}
+
+TEST(Rng, SplitmixAdvancesState) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 0u);
+}
+
+}  // namespace
+}  // namespace secmem

@@ -1,0 +1,120 @@
+#include "ecc/secded72.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+
+namespace secmem {
+namespace {
+
+DataBlock random_block(Xoshiro256& rng) {
+  DataBlock b;
+  for (auto& byte : b) byte = static_cast<std::uint8_t>(rng.next());
+  return b;
+}
+
+TEST(Secded72, CleanRoundTrip) {
+  Secded72 codec;
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const DataBlock block = random_block(rng);
+    const EccLane lane = codec.encode(block);
+    const auto result = codec.decode(block, lane);
+    EXPECT_FALSE(result.any_corrected);
+    EXPECT_FALSE(result.any_uncorrectable);
+    EXPECT_EQ(result.data, block);
+    for (const auto status : result.words)
+      EXPECT_EQ(status, Secded72::WordStatus::kOk);
+  }
+}
+
+TEST(Secded72, EverySingleDataBitCorrected) {
+  Secded72 codec;
+  Xoshiro256 rng(2);
+  const DataBlock block = random_block(rng);
+  const EccLane lane = codec.encode(block);
+  for (std::size_t bit = 0; bit < 512; ++bit) {
+    DataBlock corrupted = block;
+    flip_bit(corrupted, bit);
+    const auto result = codec.decode(corrupted, lane);
+    EXPECT_TRUE(result.any_corrected) << "bit " << bit;
+    EXPECT_FALSE(result.any_uncorrectable) << "bit " << bit;
+    EXPECT_EQ(result.data, block) << "bit " << bit;
+  }
+}
+
+TEST(Secded72, EccLaneBitFlipsCorrected) {
+  Secded72 codec;
+  Xoshiro256 rng(3);
+  const DataBlock block = random_block(rng);
+  const EccLane lane = codec.encode(block);
+  for (std::size_t bit = 0; bit < 64; ++bit) {
+    EccLane corrupted = lane;
+    flip_bit(corrupted, bit);
+    const auto result = codec.decode(block, corrupted);
+    EXPECT_FALSE(result.any_uncorrectable) << "lane bit " << bit;
+    EXPECT_EQ(result.data, block) << "lane bit " << bit;
+  }
+}
+
+TEST(Secded72, DoubleBitSameWordDetected) {
+  Secded72 codec;
+  Xoshiro256 rng(4);
+  const DataBlock block = random_block(rng);
+  const EccLane lane = codec.encode(block);
+  for (unsigned word = 0; word < 8; ++word) {
+    DataBlock corrupted = block;
+    flip_bit(corrupted, word * 64 + 3);
+    flip_bit(corrupted, word * 64 + 47);
+    const auto result = codec.decode(corrupted, lane);
+    EXPECT_TRUE(result.any_uncorrectable) << "word " << word;
+    EXPECT_EQ(result.words[word], Secded72::WordStatus::kDetectedDouble);
+  }
+}
+
+TEST(Secded72, DoubleBitAcrossWordsBothCorrected) {
+  // The paper's Figure 3 point: per-word SEC-DED *can* fix two flips when
+  // they land in different words.
+  Secded72 codec;
+  Xoshiro256 rng(5);
+  const DataBlock block = random_block(rng);
+  const EccLane lane = codec.encode(block);
+  DataBlock corrupted = block;
+  flip_bit(corrupted, 0 * 64 + 10);
+  flip_bit(corrupted, 5 * 64 + 33);
+  const auto result = codec.decode(corrupted, lane);
+  EXPECT_TRUE(result.any_corrected);
+  EXPECT_FALSE(result.any_uncorrectable);
+  EXPECT_EQ(result.data, block);
+}
+
+TEST(Secded72, EightSpreadFlipsAllCorrected) {
+  // Up to one flip per word -> 8 corrections in one block.
+  Secded72 codec;
+  Xoshiro256 rng(6);
+  const DataBlock block = random_block(rng);
+  const EccLane lane = codec.encode(block);
+  DataBlock corrupted = block;
+  for (unsigned word = 0; word < 8; ++word)
+    flip_bit(corrupted, word * 64 + (word * 7 + 1));
+  const auto result = codec.decode(corrupted, lane);
+  EXPECT_EQ(result.data, block);
+  EXPECT_FALSE(result.any_uncorrectable);
+  for (const auto status : result.words)
+    EXPECT_EQ(status, Secded72::WordStatus::kCorrectedSingle);
+}
+
+TEST(Secded72, CorrectedLaneMatchesReencode) {
+  Secded72 codec;
+  Xoshiro256 rng(7);
+  const DataBlock block = random_block(rng);
+  const EccLane lane = codec.encode(block);
+  DataBlock corrupted = block;
+  flip_bit(corrupted, 100);
+  const auto result = codec.decode(corrupted, lane);
+  EXPECT_EQ(result.ecc, codec.encode(result.data));
+}
+
+}  // namespace
+}  // namespace secmem

@@ -1,0 +1,77 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace secmem {
+namespace {
+
+TEST(Stats, CounterStartsAtZeroAndIncrements) {
+  StatCounter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, ScalarTracksMinMaxMean) {
+  StatScalar s;
+  s.sample(2.0);
+  s.sample(4.0);
+  s.sample(9.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, ScalarEmptyMeanIsZero) {
+  StatScalar s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Stats, HistogramBucketsAndOverflow) {
+  StatHistogram h(4, 10);
+  h.sample(0);
+  h.sample(9);
+  h.sample(10);
+  h.sample(39);
+  h.sample(40);   // overflow
+  h.sample(1000); // overflow
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Stats, RegistryLazyCreateAndLookup) {
+  StatRegistry reg;
+  reg.counter("a.b").inc(5);
+  EXPECT_EQ(reg.counter_value("a.b"), 5u);
+  EXPECT_EQ(reg.counter_value("missing"), 0u);
+}
+
+TEST(Stats, RegistryResetClearsEverything) {
+  StatRegistry reg;
+  reg.counter("x").inc(3);
+  reg.scalar("y").sample(7);
+  reg.reset();
+  EXPECT_EQ(reg.counter_value("x"), 0u);
+  EXPECT_EQ(reg.scalars().at("y").count(), 0u);
+}
+
+TEST(Stats, DumpContainsNamesAndValues) {
+  StatRegistry reg;
+  reg.counter("dram.reads").inc(12);
+  std::ostringstream oss;
+  reg.dump(oss);
+  EXPECT_NE(oss.str().find("dram.reads"), std::string::npos);
+  EXPECT_NE(oss.str().find("12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace secmem

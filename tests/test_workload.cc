@@ -1,0 +1,255 @@
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace secmem {
+namespace {
+
+TEST(Workload, ElevenParsecProfiles) {
+  EXPECT_EQ(parsec_profiles().size(), 11u);
+  std::set<std::string> names;
+  for (const auto& profile : parsec_profiles()) names.insert(profile.name);
+  EXPECT_EQ(names.size(), 11u);
+  for (const char* name :
+       {"facesim", "dedup", "canneal", "vips", "ferret", "fluidanimate",
+        "freqmine", "raytrace", "swaptions", "blackscholes", "bodytrack"}) {
+    EXPECT_TRUE(names.count(name)) << name;
+  }
+}
+
+TEST(Workload, ProfileLookupByName) {
+  EXPECT_EQ(profile_by_name("canneal").name, "canneal");
+  EXPECT_THROW(profile_by_name("doesnotexist"), std::out_of_range);
+}
+
+TEST(Workload, DeterministicStreams) {
+  const auto& profile = profile_by_name("facesim");
+  WorkloadGenerator a(profile, 0, 42), b(profile, 0, 42);
+  for (int i = 0; i < 2000; ++i) {
+    const MemRef ra = a.next(), rb = b.next();
+    EXPECT_EQ(ra.addr, rb.addr);
+    EXPECT_EQ(ra.is_write, rb.is_write);
+    EXPECT_EQ(ra.gap, rb.gap);
+  }
+}
+
+TEST(Workload, ThreadsWorkDisjointQuarters) {
+  const auto& profile = profile_by_name("dedup");
+  const std::uint64_t quarter = profile.working_set_bytes / 4;
+  for (unsigned t = 0; t < 4; ++t) {
+    WorkloadGenerator gen(profile, t, 1);
+    for (int i = 0; i < 5000; ++i) {
+      const std::uint64_t addr = gen.next().addr;
+      EXPECT_GE(addr, t * quarter);
+      EXPECT_LT(addr, (t + 1) * quarter);
+    }
+  }
+}
+
+TEST(Workload, AddressesWithinWorkingSet) {
+  for (const auto& profile : parsec_profiles()) {
+    WorkloadGenerator gen(profile, 3, 7);
+    for (int i = 0; i < 2000; ++i)
+      EXPECT_LT(gen.next().addr, profile.working_set_bytes) << profile.name;
+  }
+}
+
+TEST(Workload, VisitsIssueWordBursts) {
+  // Consecutive refs of one visit land in the same 64-byte block —
+  // that's where the L1 locality comes from.
+  const auto& profile = profile_by_name("freqmine");
+  WorkloadGenerator gen(profile, 0, 3);
+  std::map<std::uint64_t, int> run_lengths;
+  std::uint64_t current_block = ~0ULL;
+  int run = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t block = gen.next().addr / 64;
+    if (block == current_block) {
+      ++run;
+    } else {
+      if (current_block != ~0ULL) ++run_lengths[run];
+      current_block = block;
+      run = 1;
+    }
+  }
+  // freqmine sweeps with burst 8 and random runs with burst 3: block
+  // visits should almost never be single-ref.
+  int long_runs = 0, total = 0;
+  for (const auto& [length, count] : run_lengths) {
+    total += count;
+    if (length >= 3) long_runs += count;
+  }
+  EXPECT_GT(long_runs, (3 * total) / 4);
+}
+
+TEST(Workload, UniformSweepWritesEveryRingBlockOncePerPass) {
+  // freqmine is sweep-dominated with skip_spread 0: over one pass, every
+  // ring block must be dirtied exactly once.
+  WorkloadProfile p = profile_by_name("freqmine");
+  p.w_sweep = 1.0;
+  p.w_random = 0;
+  p.hot.weight = 0;
+  p.hot2.weight = 0;
+  WorkloadGenerator gen(p, 0, 3);
+  const std::uint64_t ring_blocks = p.sweep_region_bytes / 64;
+  std::map<std::uint64_t, int> dirtied;
+  while (gen.sweep_passes() == 0) {
+    const MemRef ref = gen.next();
+    if (ref.is_write) dirtied[ref.addr / 64] = 1;
+  }
+  // The pass counter ticks when the last block is *selected*; drain its
+  // in-flight burst so its store is observed too.
+  for (unsigned i = 0; i < p.sweep_burst; ++i) {
+    const MemRef ref = gen.next();
+    if (ref.is_write) dirtied[ref.addr / 64] = 1;
+  }
+  EXPECT_EQ(dirtied.size(), ring_blocks);
+}
+
+TEST(Workload, SkipSpreadMakesRatesDiverge) {
+  WorkloadProfile p = profile_by_name("facesim");
+  p.w_sweep = 1.0;
+  p.w_random = 0;
+  p.hot.weight = 0;
+  p.hot2.weight = 0;
+  p.skip_spread = 0.2;
+  WorkloadGenerator gen(p, 0, 5);
+  std::map<std::uint64_t, int> visits;
+  while (gen.sweep_passes() < 40) ++visits[gen.next().addr / 64];
+  int vmin = 1 << 30, vmax = 0;
+  for (const auto& [block, count] : visits) {
+    vmin = std::min(vmin, count);
+    vmax = std::max(vmax, count);
+  }
+  EXPECT_GT(vmax - vmin, 8) << "per-block rates did not diverge";
+  EXPECT_GT(vmin, 0);
+}
+
+TEST(Workload, ScatteredWarmHasOneHotBlockPerGroup) {
+  // canneal's hot component must never place two *hot* blocks in one 4KB
+  // group — that is what pins Δmin at 0 — while warm writes land in other
+  // sub-groups of the same group.
+  WorkloadProfile p = profile_by_name("canneal");
+  p.hot.weight = 1.0;
+  p.w_random = 0;
+  ASSERT_EQ(p.hot.mode, HotMode::kScatteredWarm);
+  WorkloadGenerator gen(p, 0, 9);
+  std::map<std::uint64_t, std::set<std::uint64_t>> hot_per_group;
+  std::map<std::uint64_t, int> visit_counts;
+  for (int i = 0; i < 100000; ++i) ++visit_counts[gen.next().addr / 64];
+  // Per group: exactly one dominant (hot) block, in sub-group 0, plus
+  // warm blocks in the other sub-groups.
+  std::map<std::uint64_t, std::pair<std::uint64_t, int>> hottest;
+  bool any_warm = false;
+  for (const auto& [block, count] : visit_counts) {
+    auto& top = hottest[block / 64];
+    if (count > top.second) top = {block, count};
+    if ((block % 64) >= 16 && count > 100) any_warm = true;
+  }
+  EXPECT_GE(hottest.size(), 3u);
+  for (const auto& [group, top] : hottest) {
+    EXPECT_LT(top.first % 64, 16u)
+        << "dominant block of group " << group << " outside sub-group 0";
+    hot_per_group[group].insert(top.first);
+  }
+  EXPECT_TRUE(any_warm) << "no warm writes in other sub-groups";
+}
+
+TEST(Workload, SubgroupHotBlocksShareSubgroup) {
+  WorkloadProfile p = profile_by_name("vips");
+  p.hot.weight = 1.0;
+  p.w_random = 0;
+  ASSERT_EQ(p.hot.mode, HotMode::kSubgroup);
+  WorkloadGenerator gen(p, 0, 9);
+  std::map<std::uint64_t, std::set<unsigned>> subgroups_touched;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t block = gen.next().addr / 64;
+    subgroups_touched[block / 64].insert((block % 64) / 16);
+  }
+  EXPECT_GE(subgroups_touched.size(), 2u);
+  for (const auto& [group, subs] : subgroups_touched)
+    EXPECT_EQ(subs.size(), 1u) << "group " << group;
+}
+
+TEST(Workload, SkewedModeCoversWholeGroupsAtDivergentRates) {
+  WorkloadProfile p = profile_by_name("facesim");
+  p.hot.weight = 1.0;
+  p.w_sweep = 0;
+  p.w_random = 0;
+  ASSERT_EQ(p.hot.mode, HotMode::kSkewed);
+  WorkloadGenerator gen(p, 0, 9);
+  std::map<std::uint64_t, int> visits;
+  for (int i = 0; i < 200000; ++i) ++visits[gen.next().addr / 64];
+  // Whole 64-block groups are hot...
+  std::map<std::uint64_t, int> blocks_per_group;
+  for (const auto& [block, count] : visits) ++blocks_per_group[block / 64];
+  for (const auto& [group, nblocks] : blocks_per_group)
+    EXPECT_EQ(nblocks, 64) << "group " << group;
+  // ...with visibly divergent per-block rates.
+  int vmin = 1 << 30, vmax = 0;
+  for (const auto& [block, count] : visits) {
+    vmin = std::min(vmin, count);
+    vmax = std::max(vmax, count);
+  }
+  EXPECT_GT(static_cast<double>(vmax),
+            1.05 * static_cast<double>(vmin));
+}
+
+TEST(Workload, SequentialModeWritesEachHotBlockOncePerPass) {
+  WorkloadProfile p = profile_by_name("dedup");
+  p.hot.weight = 1.0;
+  p.hot2.weight = 0;
+  p.w_sweep = 0;
+  p.w_random = 0;
+  ASSERT_EQ(p.hot.mode, HotMode::kSequential);
+  WorkloadGenerator gen(p, 0, 11);
+  const std::uint64_t hot_blocks = p.hot.groups * 64;
+  std::map<std::uint64_t, int> writes;
+  for (std::uint64_t v = 0; v < hot_blocks * p.hot_burst; ++v) {
+    const MemRef ref = gen.next();
+    if (ref.is_write) writes[ref.addr / 64] = writes[ref.addr / 64];
+    writes[ref.addr / 64] |= ref.is_write ? 1 : 0;
+  }
+  EXPECT_EQ(writes.size(), hot_blocks);
+}
+
+TEST(Workload, SweepVisitsEndDirty) {
+  // Every sweep visit must leave the line dirty (its last ref a store),
+  // or counters would never advance on streaming workloads.
+  WorkloadProfile p = profile_by_name("dedup");
+  p.w_sweep = 1.0;
+  p.w_random = 0;
+  p.hot.weight = 0;
+  p.hot2.weight = 0;
+  WorkloadGenerator gen(p, 0, 13);
+  int last_is_write = 0, visits = 0;
+  MemRef prev = gen.next();
+  for (int i = 0; i < 5000; ++i) {
+    const MemRef ref = gen.next();
+    if (ref.addr / 64 != prev.addr / 64) {  // visit boundary
+      ++visits;
+      if (prev.is_write) ++last_is_write;
+    }
+    prev = ref;
+  }
+  EXPECT_EQ(last_is_write, visits);
+}
+
+TEST(Workload, GapsBoundedByProfile) {
+  const auto& profile = profile_by_name("raytrace");
+  WorkloadGenerator gen(profile, 0, 13);
+  for (int i = 0; i < 2000; ++i)
+    EXPECT_LE(gen.next().gap, 2 * profile.mean_gap);
+}
+
+TEST(Workload, CacheResidentProfilesStaySmall) {
+  for (const char* name : {"swaptions", "blackscholes", "bodytrack"}) {
+    EXPECT_LE(profile_by_name(name).working_set_bytes, 8ULL << 20) << name;
+  }
+}
+
+}  // namespace
+}  // namespace secmem

@@ -1,0 +1,63 @@
+// secmem-tracegen — record a synthetic workload profile into a trace file
+// replayable by secmem-sim --trace (or any external consumer of the
+// format documented in sim/trace.h).
+//
+//   secmem-tracegen --workload dedup --refs 50000 --seed 7 > dedup.trace
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "sim/trace.h"
+#include "sim/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace secmem;
+  std::string workload = "canneal";
+  std::uint64_t refs = 10000;
+  std::uint64_t seed = 42;
+  unsigned cores = 4;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      workload = value();
+    } else if (arg == "--refs") {
+      refs = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--seed") {
+      seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--cores") {
+      cores = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--workload NAME] [--refs N] [--seed N] "
+                   "[--cores N]  > out.trace\n",
+                   argv[0]);
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  try {
+    const WorkloadProfile& profile = profile_by_name(workload);
+    CoreTraces traces(cores);
+    for (unsigned core = 0; core < cores; ++core) {
+      WorkloadGenerator generator(profile, core, seed);
+      traces[core].reserve(refs);
+      for (std::uint64_t i = 0; i < refs; ++i)
+        traces[core].push_back(generator.next());
+    }
+    save_trace(std::cout, traces);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}
