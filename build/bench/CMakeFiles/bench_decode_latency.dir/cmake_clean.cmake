@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decode_latency.dir/bench_decode_latency.cc.o"
+  "CMakeFiles/bench_decode_latency.dir/bench_decode_latency.cc.o.d"
+  "bench_decode_latency"
+  "bench_decode_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decode_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delta_geometry.dir/bench_delta_geometry.cc.o"
+  "CMakeFiles/bench_delta_geometry.dir/bench_delta_geometry.cc.o.d"
+  "bench_delta_geometry"
+  "bench_delta_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delta_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_error_coverage.dir/bench_fig3_error_coverage.cc.o"
+  "CMakeFiles/bench_fig3_error_coverage.dir/bench_fig3_error_coverage.cc.o.d"
+  "bench_fig3_error_coverage"
+  "bench_fig3_error_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_error_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sensitivity_metacache.dir/bench_sensitivity_metacache.cc.o"
+  "CMakeFiles/bench_sensitivity_metacache.dir/bench_sensitivity_metacache.cc.o.d"
+  "bench_sensitivity_metacache"
+  "bench_sensitivity_metacache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensitivity_metacache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sensitivity_tree.dir/bench_sensitivity_tree.cc.o"
+  "CMakeFiles/bench_sensitivity_tree.dir/bench_sensitivity_tree.cc.o.d"
+  "bench_sensitivity_tree"
+  "bench_sensitivity_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensitivity_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

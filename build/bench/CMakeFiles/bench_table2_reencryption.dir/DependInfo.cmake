@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_reencryption.cc" "bench/CMakeFiles/bench_table2_reencryption.dir/bench_table2_reencryption.cc.o" "gcc" "bench/CMakeFiles/bench_table2_reencryption.dir/bench_table2_reencryption.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/secmem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/secmem_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/counters/CMakeFiles/secmem_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/secmem_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/secmem_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/secmem_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/secmem_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/secmem_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/secmem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_reencryption.dir/bench_table2_reencryption.cc.o"
+  "CMakeFiles/bench_table2_reencryption.dir/bench_table2_reencryption.cc.o.d"
+  "bench_table2_reencryption"
+  "bench_table2_reencryption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_reencryption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

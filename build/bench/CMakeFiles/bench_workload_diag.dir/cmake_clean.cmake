@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workload_diag.dir/bench_workload_diag.cc.o"
+  "CMakeFiles/bench_workload_diag.dir/bench_workload_diag.cc.o.d"
+  "bench_workload_diag"
+  "bench_workload_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workload_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_boot_attack.dir/cold_boot_attack.cpp.o"
+  "CMakeFiles/cold_boot_attack.dir/cold_boot_attack.cpp.o.d"
+  "cold_boot_attack"
+  "cold_boot_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_boot_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

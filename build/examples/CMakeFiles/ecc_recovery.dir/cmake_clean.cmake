@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_recovery.dir/ecc_recovery.cpp.o"
+  "CMakeFiles/ecc_recovery.dir/ecc_recovery.cpp.o.d"
+  "ecc_recovery"
+  "ecc_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmm_wear.dir/nvmm_wear.cpp.o"
+  "CMakeFiles/nvmm_wear.dir/nvmm_wear.cpp.o.d"
+  "nvmm_wear"
+  "nvmm_wear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmm_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrubbing.dir/scrubbing.cpp.o"
+  "CMakeFiles/scrubbing.dir/scrubbing.cpp.o.d"
+  "scrubbing"
+  "scrubbing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrubbing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

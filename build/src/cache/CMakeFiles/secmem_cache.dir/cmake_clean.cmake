@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmem_cache.dir/cache.cc.o"
+  "CMakeFiles/secmem_cache.dir/cache.cc.o.d"
+  "CMakeFiles/secmem_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/secmem_cache.dir/hierarchy.cc.o.d"
+  "libsecmem_cache.a"
+  "libsecmem_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmem_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmem_common.dir/bitops.cc.o"
+  "CMakeFiles/secmem_common.dir/bitops.cc.o.d"
+  "CMakeFiles/secmem_common.dir/log.cc.o"
+  "CMakeFiles/secmem_common.dir/log.cc.o.d"
+  "CMakeFiles/secmem_common.dir/rng.cc.o"
+  "CMakeFiles/secmem_common.dir/rng.cc.o.d"
+  "CMakeFiles/secmem_common.dir/stats.cc.o"
+  "CMakeFiles/secmem_common.dir/stats.cc.o.d"
+  "libsecmem_common.a"
+  "libsecmem_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmem_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/counters/counter_scheme.cc" "src/counters/CMakeFiles/secmem_counters.dir/counter_scheme.cc.o" "gcc" "src/counters/CMakeFiles/secmem_counters.dir/counter_scheme.cc.o.d"
+  "/root/repo/src/counters/delta_counter.cc" "src/counters/CMakeFiles/secmem_counters.dir/delta_counter.cc.o" "gcc" "src/counters/CMakeFiles/secmem_counters.dir/delta_counter.cc.o.d"
+  "/root/repo/src/counters/dual_length_delta.cc" "src/counters/CMakeFiles/secmem_counters.dir/dual_length_delta.cc.o" "gcc" "src/counters/CMakeFiles/secmem_counters.dir/dual_length_delta.cc.o.d"
+  "/root/repo/src/counters/generic_delta.cc" "src/counters/CMakeFiles/secmem_counters.dir/generic_delta.cc.o" "gcc" "src/counters/CMakeFiles/secmem_counters.dir/generic_delta.cc.o.d"
+  "/root/repo/src/counters/monolithic.cc" "src/counters/CMakeFiles/secmem_counters.dir/monolithic.cc.o" "gcc" "src/counters/CMakeFiles/secmem_counters.dir/monolithic.cc.o.d"
+  "/root/repo/src/counters/reencryption_engine.cc" "src/counters/CMakeFiles/secmem_counters.dir/reencryption_engine.cc.o" "gcc" "src/counters/CMakeFiles/secmem_counters.dir/reencryption_engine.cc.o.d"
+  "/root/repo/src/counters/split_counter.cc" "src/counters/CMakeFiles/secmem_counters.dir/split_counter.cc.o" "gcc" "src/counters/CMakeFiles/secmem_counters.dir/split_counter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/secmem_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/secmem_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

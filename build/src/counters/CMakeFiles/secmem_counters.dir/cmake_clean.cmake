@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmem_counters.dir/counter_scheme.cc.o"
+  "CMakeFiles/secmem_counters.dir/counter_scheme.cc.o.d"
+  "CMakeFiles/secmem_counters.dir/delta_counter.cc.o"
+  "CMakeFiles/secmem_counters.dir/delta_counter.cc.o.d"
+  "CMakeFiles/secmem_counters.dir/dual_length_delta.cc.o"
+  "CMakeFiles/secmem_counters.dir/dual_length_delta.cc.o.d"
+  "CMakeFiles/secmem_counters.dir/generic_delta.cc.o"
+  "CMakeFiles/secmem_counters.dir/generic_delta.cc.o.d"
+  "CMakeFiles/secmem_counters.dir/monolithic.cc.o"
+  "CMakeFiles/secmem_counters.dir/monolithic.cc.o.d"
+  "CMakeFiles/secmem_counters.dir/reencryption_engine.cc.o"
+  "CMakeFiles/secmem_counters.dir/reencryption_engine.cc.o.d"
+  "CMakeFiles/secmem_counters.dir/split_counter.cc.o"
+  "CMakeFiles/secmem_counters.dir/split_counter.cc.o.d"
+  "libsecmem_counters.a"
+  "libsecmem_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmem_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes128.cc" "src/crypto/CMakeFiles/secmem_crypto.dir/aes128.cc.o" "gcc" "src/crypto/CMakeFiles/secmem_crypto.dir/aes128.cc.o.d"
+  "/root/repo/src/crypto/ctr_keystream.cc" "src/crypto/CMakeFiles/secmem_crypto.dir/ctr_keystream.cc.o" "gcc" "src/crypto/CMakeFiles/secmem_crypto.dir/ctr_keystream.cc.o.d"
+  "/root/repo/src/crypto/cw_mac.cc" "src/crypto/CMakeFiles/secmem_crypto.dir/cw_mac.cc.o" "gcc" "src/crypto/CMakeFiles/secmem_crypto.dir/cw_mac.cc.o.d"
+  "/root/repo/src/crypto/gf64.cc" "src/crypto/CMakeFiles/secmem_crypto.dir/gf64.cc.o" "gcc" "src/crypto/CMakeFiles/secmem_crypto.dir/gf64.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/secmem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

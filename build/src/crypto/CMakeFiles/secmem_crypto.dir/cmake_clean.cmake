@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmem_crypto.dir/aes128.cc.o"
+  "CMakeFiles/secmem_crypto.dir/aes128.cc.o.d"
+  "CMakeFiles/secmem_crypto.dir/ctr_keystream.cc.o"
+  "CMakeFiles/secmem_crypto.dir/ctr_keystream.cc.o.d"
+  "CMakeFiles/secmem_crypto.dir/cw_mac.cc.o"
+  "CMakeFiles/secmem_crypto.dir/cw_mac.cc.o.d"
+  "CMakeFiles/secmem_crypto.dir/gf64.cc.o"
+  "CMakeFiles/secmem_crypto.dir/gf64.cc.o.d"
+  "libsecmem_crypto.a"
+  "libsecmem_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmem_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

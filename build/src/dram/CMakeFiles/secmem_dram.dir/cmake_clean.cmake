@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmem_dram.dir/bank.cc.o"
+  "CMakeFiles/secmem_dram.dir/bank.cc.o.d"
+  "CMakeFiles/secmem_dram.dir/channel.cc.o"
+  "CMakeFiles/secmem_dram.dir/channel.cc.o.d"
+  "CMakeFiles/secmem_dram.dir/dram_system.cc.o"
+  "CMakeFiles/secmem_dram.dir/dram_system.cc.o.d"
+  "libsecmem_dram.a"
+  "libsecmem_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmem_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/fault_model.cc" "src/ecc/CMakeFiles/secmem_ecc.dir/fault_model.cc.o" "gcc" "src/ecc/CMakeFiles/secmem_ecc.dir/fault_model.cc.o.d"
+  "/root/repo/src/ecc/flip_and_check.cc" "src/ecc/CMakeFiles/secmem_ecc.dir/flip_and_check.cc.o" "gcc" "src/ecc/CMakeFiles/secmem_ecc.dir/flip_and_check.cc.o.d"
+  "/root/repo/src/ecc/hamming.cc" "src/ecc/CMakeFiles/secmem_ecc.dir/hamming.cc.o" "gcc" "src/ecc/CMakeFiles/secmem_ecc.dir/hamming.cc.o.d"
+  "/root/repo/src/ecc/mac_ecc.cc" "src/ecc/CMakeFiles/secmem_ecc.dir/mac_ecc.cc.o" "gcc" "src/ecc/CMakeFiles/secmem_ecc.dir/mac_ecc.cc.o.d"
+  "/root/repo/src/ecc/secded72.cc" "src/ecc/CMakeFiles/secmem_ecc.dir/secded72.cc.o" "gcc" "src/ecc/CMakeFiles/secmem_ecc.dir/secded72.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/secmem_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/secmem_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmem_ecc.dir/fault_model.cc.o"
+  "CMakeFiles/secmem_ecc.dir/fault_model.cc.o.d"
+  "CMakeFiles/secmem_ecc.dir/flip_and_check.cc.o"
+  "CMakeFiles/secmem_ecc.dir/flip_and_check.cc.o.d"
+  "CMakeFiles/secmem_ecc.dir/hamming.cc.o"
+  "CMakeFiles/secmem_ecc.dir/hamming.cc.o.d"
+  "CMakeFiles/secmem_ecc.dir/mac_ecc.cc.o"
+  "CMakeFiles/secmem_ecc.dir/mac_ecc.cc.o.d"
+  "CMakeFiles/secmem_ecc.dir/secded72.cc.o"
+  "CMakeFiles/secmem_ecc.dir/secded72.cc.o.d"
+  "libsecmem_ecc.a"
+  "libsecmem_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmem_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmem_engine.dir/encryption_engine.cc.o"
+  "CMakeFiles/secmem_engine.dir/encryption_engine.cc.o.d"
+  "CMakeFiles/secmem_engine.dir/layout.cc.o"
+  "CMakeFiles/secmem_engine.dir/layout.cc.o.d"
+  "CMakeFiles/secmem_engine.dir/secure_memory.cc.o"
+  "CMakeFiles/secmem_engine.dir/secure_memory.cc.o.d"
+  "libsecmem_engine.a"
+  "libsecmem_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmem_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsecmem_engine.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmem_sim.dir/system_sim.cc.o"
+  "CMakeFiles/secmem_sim.dir/system_sim.cc.o.d"
+  "CMakeFiles/secmem_sim.dir/trace.cc.o"
+  "CMakeFiles/secmem_sim.dir/trace.cc.o.d"
+  "CMakeFiles/secmem_sim.dir/workload.cc.o"
+  "CMakeFiles/secmem_sim.dir/workload.cc.o.d"
+  "libsecmem_sim.a"
+  "libsecmem_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmem_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/bonsai_geometry.cc" "src/tree/CMakeFiles/secmem_tree.dir/bonsai_geometry.cc.o" "gcc" "src/tree/CMakeFiles/secmem_tree.dir/bonsai_geometry.cc.o.d"
+  "/root/repo/src/tree/bonsai_tree.cc" "src/tree/CMakeFiles/secmem_tree.dir/bonsai_tree.cc.o" "gcc" "src/tree/CMakeFiles/secmem_tree.dir/bonsai_tree.cc.o.d"
+  "/root/repo/src/tree/metadata_cache.cc" "src/tree/CMakeFiles/secmem_tree.dir/metadata_cache.cc.o" "gcc" "src/tree/CMakeFiles/secmem_tree.dir/metadata_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/secmem_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/secmem_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/secmem_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

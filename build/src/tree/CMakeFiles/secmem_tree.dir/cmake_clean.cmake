@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmem_tree.dir/bonsai_geometry.cc.o"
+  "CMakeFiles/secmem_tree.dir/bonsai_geometry.cc.o.d"
+  "CMakeFiles/secmem_tree.dir/bonsai_tree.cc.o"
+  "CMakeFiles/secmem_tree.dir/bonsai_tree.cc.o.d"
+  "CMakeFiles/secmem_tree.dir/metadata_cache.cc.o"
+  "CMakeFiles/secmem_tree.dir/metadata_cache.cc.o.d"
+  "libsecmem_tree.a"
+  "libsecmem_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmem_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

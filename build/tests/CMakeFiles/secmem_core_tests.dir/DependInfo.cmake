@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aes128.cc" "tests/CMakeFiles/secmem_core_tests.dir/test_aes128.cc.o" "gcc" "tests/CMakeFiles/secmem_core_tests.dir/test_aes128.cc.o.d"
+  "/root/repo/tests/test_bitops.cc" "tests/CMakeFiles/secmem_core_tests.dir/test_bitops.cc.o" "gcc" "tests/CMakeFiles/secmem_core_tests.dir/test_bitops.cc.o.d"
+  "/root/repo/tests/test_ctr_keystream.cc" "tests/CMakeFiles/secmem_core_tests.dir/test_ctr_keystream.cc.o" "gcc" "tests/CMakeFiles/secmem_core_tests.dir/test_ctr_keystream.cc.o.d"
+  "/root/repo/tests/test_cw_mac.cc" "tests/CMakeFiles/secmem_core_tests.dir/test_cw_mac.cc.o" "gcc" "tests/CMakeFiles/secmem_core_tests.dir/test_cw_mac.cc.o.d"
+  "/root/repo/tests/test_fault_model.cc" "tests/CMakeFiles/secmem_core_tests.dir/test_fault_model.cc.o" "gcc" "tests/CMakeFiles/secmem_core_tests.dir/test_fault_model.cc.o.d"
+  "/root/repo/tests/test_flip_and_check.cc" "tests/CMakeFiles/secmem_core_tests.dir/test_flip_and_check.cc.o" "gcc" "tests/CMakeFiles/secmem_core_tests.dir/test_flip_and_check.cc.o.d"
+  "/root/repo/tests/test_gf64.cc" "tests/CMakeFiles/secmem_core_tests.dir/test_gf64.cc.o" "gcc" "tests/CMakeFiles/secmem_core_tests.dir/test_gf64.cc.o.d"
+  "/root/repo/tests/test_hamming.cc" "tests/CMakeFiles/secmem_core_tests.dir/test_hamming.cc.o" "gcc" "tests/CMakeFiles/secmem_core_tests.dir/test_hamming.cc.o.d"
+  "/root/repo/tests/test_log.cc" "tests/CMakeFiles/secmem_core_tests.dir/test_log.cc.o" "gcc" "tests/CMakeFiles/secmem_core_tests.dir/test_log.cc.o.d"
+  "/root/repo/tests/test_mac_ecc.cc" "tests/CMakeFiles/secmem_core_tests.dir/test_mac_ecc.cc.o" "gcc" "tests/CMakeFiles/secmem_core_tests.dir/test_mac_ecc.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/secmem_core_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/secmem_core_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_secded72.cc" "tests/CMakeFiles/secmem_core_tests.dir/test_secded72.cc.o" "gcc" "tests/CMakeFiles/secmem_core_tests.dir/test_secded72.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/secmem_core_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/secmem_core_tests.dir/test_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/secmem_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/secmem_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/secmem_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

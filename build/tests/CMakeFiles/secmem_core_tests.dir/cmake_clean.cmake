@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmem_core_tests.dir/test_aes128.cc.o"
+  "CMakeFiles/secmem_core_tests.dir/test_aes128.cc.o.d"
+  "CMakeFiles/secmem_core_tests.dir/test_bitops.cc.o"
+  "CMakeFiles/secmem_core_tests.dir/test_bitops.cc.o.d"
+  "CMakeFiles/secmem_core_tests.dir/test_ctr_keystream.cc.o"
+  "CMakeFiles/secmem_core_tests.dir/test_ctr_keystream.cc.o.d"
+  "CMakeFiles/secmem_core_tests.dir/test_cw_mac.cc.o"
+  "CMakeFiles/secmem_core_tests.dir/test_cw_mac.cc.o.d"
+  "CMakeFiles/secmem_core_tests.dir/test_fault_model.cc.o"
+  "CMakeFiles/secmem_core_tests.dir/test_fault_model.cc.o.d"
+  "CMakeFiles/secmem_core_tests.dir/test_flip_and_check.cc.o"
+  "CMakeFiles/secmem_core_tests.dir/test_flip_and_check.cc.o.d"
+  "CMakeFiles/secmem_core_tests.dir/test_gf64.cc.o"
+  "CMakeFiles/secmem_core_tests.dir/test_gf64.cc.o.d"
+  "CMakeFiles/secmem_core_tests.dir/test_hamming.cc.o"
+  "CMakeFiles/secmem_core_tests.dir/test_hamming.cc.o.d"
+  "CMakeFiles/secmem_core_tests.dir/test_log.cc.o"
+  "CMakeFiles/secmem_core_tests.dir/test_log.cc.o.d"
+  "CMakeFiles/secmem_core_tests.dir/test_mac_ecc.cc.o"
+  "CMakeFiles/secmem_core_tests.dir/test_mac_ecc.cc.o.d"
+  "CMakeFiles/secmem_core_tests.dir/test_rng.cc.o"
+  "CMakeFiles/secmem_core_tests.dir/test_rng.cc.o.d"
+  "CMakeFiles/secmem_core_tests.dir/test_secded72.cc.o"
+  "CMakeFiles/secmem_core_tests.dir/test_secded72.cc.o.d"
+  "CMakeFiles/secmem_core_tests.dir/test_stats.cc.o"
+  "CMakeFiles/secmem_core_tests.dir/test_stats.cc.o.d"
+  "secmem_core_tests"
+  "secmem_core_tests.pdb"
+  "secmem_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmem_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

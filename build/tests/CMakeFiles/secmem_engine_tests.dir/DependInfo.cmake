@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_concurrent.cc" "tests/CMakeFiles/secmem_engine_tests.dir/test_concurrent.cc.o" "gcc" "tests/CMakeFiles/secmem_engine_tests.dir/test_concurrent.cc.o.d"
+  "/root/repo/tests/test_core_model.cc" "tests/CMakeFiles/secmem_engine_tests.dir/test_core_model.cc.o" "gcc" "tests/CMakeFiles/secmem_engine_tests.dir/test_core_model.cc.o.d"
+  "/root/repo/tests/test_encryption_engine.cc" "tests/CMakeFiles/secmem_engine_tests.dir/test_encryption_engine.cc.o" "gcc" "tests/CMakeFiles/secmem_engine_tests.dir/test_encryption_engine.cc.o.d"
+  "/root/repo/tests/test_engine_timing.cc" "tests/CMakeFiles/secmem_engine_tests.dir/test_engine_timing.cc.o" "gcc" "tests/CMakeFiles/secmem_engine_tests.dir/test_engine_timing.cc.o.d"
+  "/root/repo/tests/test_key_rotation.cc" "tests/CMakeFiles/secmem_engine_tests.dir/test_key_rotation.cc.o" "gcc" "tests/CMakeFiles/secmem_engine_tests.dir/test_key_rotation.cc.o.d"
+  "/root/repo/tests/test_persistence.cc" "tests/CMakeFiles/secmem_engine_tests.dir/test_persistence.cc.o" "gcc" "tests/CMakeFiles/secmem_engine_tests.dir/test_persistence.cc.o.d"
+  "/root/repo/tests/test_scrubbing.cc" "tests/CMakeFiles/secmem_engine_tests.dir/test_scrubbing.cc.o" "gcc" "tests/CMakeFiles/secmem_engine_tests.dir/test_scrubbing.cc.o.d"
+  "/root/repo/tests/test_secure_memory.cc" "tests/CMakeFiles/secmem_engine_tests.dir/test_secure_memory.cc.o" "gcc" "tests/CMakeFiles/secmem_engine_tests.dir/test_secure_memory.cc.o.d"
+  "/root/repo/tests/test_secure_memory_fuzz.cc" "tests/CMakeFiles/secmem_engine_tests.dir/test_secure_memory_fuzz.cc.o" "gcc" "tests/CMakeFiles/secmem_engine_tests.dir/test_secure_memory_fuzz.cc.o.d"
+  "/root/repo/tests/test_system_sim.cc" "tests/CMakeFiles/secmem_engine_tests.dir/test_system_sim.cc.o" "gcc" "tests/CMakeFiles/secmem_engine_tests.dir/test_system_sim.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/secmem_engine_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/secmem_engine_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/secmem_engine_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/secmem_engine_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/secmem_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/secmem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/secmem_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/counters/CMakeFiles/secmem_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/secmem_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/secmem_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/secmem_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/secmem_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/secmem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmem_engine_tests.dir/test_concurrent.cc.o"
+  "CMakeFiles/secmem_engine_tests.dir/test_concurrent.cc.o.d"
+  "CMakeFiles/secmem_engine_tests.dir/test_core_model.cc.o"
+  "CMakeFiles/secmem_engine_tests.dir/test_core_model.cc.o.d"
+  "CMakeFiles/secmem_engine_tests.dir/test_encryption_engine.cc.o"
+  "CMakeFiles/secmem_engine_tests.dir/test_encryption_engine.cc.o.d"
+  "CMakeFiles/secmem_engine_tests.dir/test_engine_timing.cc.o"
+  "CMakeFiles/secmem_engine_tests.dir/test_engine_timing.cc.o.d"
+  "CMakeFiles/secmem_engine_tests.dir/test_key_rotation.cc.o"
+  "CMakeFiles/secmem_engine_tests.dir/test_key_rotation.cc.o.d"
+  "CMakeFiles/secmem_engine_tests.dir/test_persistence.cc.o"
+  "CMakeFiles/secmem_engine_tests.dir/test_persistence.cc.o.d"
+  "CMakeFiles/secmem_engine_tests.dir/test_scrubbing.cc.o"
+  "CMakeFiles/secmem_engine_tests.dir/test_scrubbing.cc.o.d"
+  "CMakeFiles/secmem_engine_tests.dir/test_secure_memory.cc.o"
+  "CMakeFiles/secmem_engine_tests.dir/test_secure_memory.cc.o.d"
+  "CMakeFiles/secmem_engine_tests.dir/test_secure_memory_fuzz.cc.o"
+  "CMakeFiles/secmem_engine_tests.dir/test_secure_memory_fuzz.cc.o.d"
+  "CMakeFiles/secmem_engine_tests.dir/test_system_sim.cc.o"
+  "CMakeFiles/secmem_engine_tests.dir/test_system_sim.cc.o.d"
+  "CMakeFiles/secmem_engine_tests.dir/test_trace.cc.o"
+  "CMakeFiles/secmem_engine_tests.dir/test_trace.cc.o.d"
+  "CMakeFiles/secmem_engine_tests.dir/test_workload.cc.o"
+  "CMakeFiles/secmem_engine_tests.dir/test_workload.cc.o.d"
+  "secmem_engine_tests"
+  "secmem_engine_tests.pdb"
+  "secmem_engine_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmem_engine_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bonsai.cc" "tests/CMakeFiles/secmem_system_tests.dir/test_bonsai.cc.o" "gcc" "tests/CMakeFiles/secmem_system_tests.dir/test_bonsai.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/secmem_system_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/secmem_system_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_counters.cc" "tests/CMakeFiles/secmem_system_tests.dir/test_counters.cc.o" "gcc" "tests/CMakeFiles/secmem_system_tests.dir/test_counters.cc.o.d"
+  "/root/repo/tests/test_delta_schemes.cc" "tests/CMakeFiles/secmem_system_tests.dir/test_delta_schemes.cc.o" "gcc" "tests/CMakeFiles/secmem_system_tests.dir/test_delta_schemes.cc.o.d"
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/secmem_system_tests.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/secmem_system_tests.dir/test_dram.cc.o.d"
+  "/root/repo/tests/test_generic_delta.cc" "tests/CMakeFiles/secmem_system_tests.dir/test_generic_delta.cc.o" "gcc" "tests/CMakeFiles/secmem_system_tests.dir/test_generic_delta.cc.o.d"
+  "/root/repo/tests/test_hierarchy.cc" "tests/CMakeFiles/secmem_system_tests.dir/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/secmem_system_tests.dir/test_hierarchy.cc.o.d"
+  "/root/repo/tests/test_layout.cc" "tests/CMakeFiles/secmem_system_tests.dir/test_layout.cc.o" "gcc" "tests/CMakeFiles/secmem_system_tests.dir/test_layout.cc.o.d"
+  "/root/repo/tests/test_metadata_cache.cc" "tests/CMakeFiles/secmem_system_tests.dir/test_metadata_cache.cc.o" "gcc" "tests/CMakeFiles/secmem_system_tests.dir/test_metadata_cache.cc.o.d"
+  "/root/repo/tests/test_reencryption_engine.cc" "tests/CMakeFiles/secmem_system_tests.dir/test_reencryption_engine.cc.o" "gcc" "tests/CMakeFiles/secmem_system_tests.dir/test_reencryption_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/secmem_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/secmem_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/counters/CMakeFiles/secmem_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/secmem_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/secmem_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/secmem_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/secmem_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/secmem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmem_system_tests.dir/test_bonsai.cc.o"
+  "CMakeFiles/secmem_system_tests.dir/test_bonsai.cc.o.d"
+  "CMakeFiles/secmem_system_tests.dir/test_cache.cc.o"
+  "CMakeFiles/secmem_system_tests.dir/test_cache.cc.o.d"
+  "CMakeFiles/secmem_system_tests.dir/test_counters.cc.o"
+  "CMakeFiles/secmem_system_tests.dir/test_counters.cc.o.d"
+  "CMakeFiles/secmem_system_tests.dir/test_delta_schemes.cc.o"
+  "CMakeFiles/secmem_system_tests.dir/test_delta_schemes.cc.o.d"
+  "CMakeFiles/secmem_system_tests.dir/test_dram.cc.o"
+  "CMakeFiles/secmem_system_tests.dir/test_dram.cc.o.d"
+  "CMakeFiles/secmem_system_tests.dir/test_generic_delta.cc.o"
+  "CMakeFiles/secmem_system_tests.dir/test_generic_delta.cc.o.d"
+  "CMakeFiles/secmem_system_tests.dir/test_hierarchy.cc.o"
+  "CMakeFiles/secmem_system_tests.dir/test_hierarchy.cc.o.d"
+  "CMakeFiles/secmem_system_tests.dir/test_layout.cc.o"
+  "CMakeFiles/secmem_system_tests.dir/test_layout.cc.o.d"
+  "CMakeFiles/secmem_system_tests.dir/test_metadata_cache.cc.o"
+  "CMakeFiles/secmem_system_tests.dir/test_metadata_cache.cc.o.d"
+  "CMakeFiles/secmem_system_tests.dir/test_reencryption_engine.cc.o"
+  "CMakeFiles/secmem_system_tests.dir/test_reencryption_engine.cc.o.d"
+  "secmem_system_tests"
+  "secmem_system_tests.pdb"
+  "secmem_system_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmem_system_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

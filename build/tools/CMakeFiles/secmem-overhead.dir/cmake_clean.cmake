@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmem-overhead.dir/secmem_overhead.cc.o"
+  "CMakeFiles/secmem-overhead.dir/secmem_overhead.cc.o.d"
+  "secmem-overhead"
+  "secmem-overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmem-overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

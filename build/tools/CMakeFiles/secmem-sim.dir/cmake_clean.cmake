@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmem-sim.dir/secmem_sim.cc.o"
+  "CMakeFiles/secmem-sim.dir/secmem_sim.cc.o.d"
+  "secmem-sim"
+  "secmem-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmem-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmem-tracegen.dir/secmem_tracegen.cc.o"
+  "CMakeFiles/secmem-tracegen.dir/secmem_tracegen.cc.o.d"
+  "secmem-tracegen"
+  "secmem-tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmem-tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
