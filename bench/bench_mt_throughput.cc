@@ -1,0 +1,208 @@
+// Multithreaded throughput scaling: the single-mutex facade vs the
+// sharded engine (and its batch API), at 1/2/4/8 threads.
+//
+// Every read is the real datapath — AES-CTR keystream, Carter-Wegman
+// verify, Bonsai counter authentication — so the crypto dominates and
+// the experiment isolates what the ISSUE targets: whether the locking
+// architecture lets threads do that work in parallel. Results are
+// emitted as JSON (stdout + a *.bench.json file, git-ignored) so CI can
+// trend them.
+//
+//   bench_mt_throughput [--mib N] [--shards N] [--reads-per-thread N]
+//                       [--out FILE]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/concurrent.h"
+#include "engine/sharded_memory.h"
+
+namespace {
+
+using namespace secmem;
+
+struct Sample {
+  std::string engine;
+  unsigned threads;
+  std::uint64_t total_reads;
+  double seconds;
+  double ops_per_sec;
+};
+
+/// Fan `threads` workers out over `engine`, each issuing
+/// `reads_per_thread` verified single-block reads at uniformly random
+/// block ids; returns wall seconds for the whole fan-out.
+template <typename Engine>
+double timed_reads(Engine& engine, unsigned threads,
+                   std::uint64_t reads_per_thread, std::atomic<int>& bad) {
+  const std::uint64_t blocks = engine.num_blocks();
+  std::vector<std::thread> workers;
+  const auto start = std::chrono::steady_clock::now();
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&engine, &bad, blocks, reads_per_thread, t] {
+      Xoshiro256 rng(0xbe7c + t);
+      for (std::uint64_t i = 0; i < reads_per_thread; ++i) {
+        const auto result = engine.read_block(rng.next_below(blocks));
+        if (result.status != ReadStatus::kOk) ++bad;
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+/// Same workload through the batch API: 64-block shard-sorted batches,
+/// one lock acquisition per shard per batch.
+double timed_batch_reads(ShardedSecureMemory& engine, unsigned threads,
+                         std::uint64_t reads_per_thread,
+                         std::atomic<int>& bad) {
+  const std::uint64_t blocks = engine.num_blocks();
+  constexpr std::uint64_t kBatch = 64;
+  std::vector<std::thread> workers;
+  const auto start = std::chrono::steady_clock::now();
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&engine, &bad, blocks, reads_per_thread, t] {
+      Xoshiro256 rng(0xba7c + t);
+      std::vector<std::uint64_t> batch(kBatch);
+      for (std::uint64_t done = 0; done < reads_per_thread;
+           done += kBatch) {
+        for (std::uint64_t& b : batch) b = rng.next_below(blocks);
+        for (const auto& result : engine.read_blocks(batch))
+          if (result.status != ReadStatus::kOk) ++bad;
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+void emit_json(std::FILE* out, const std::vector<Sample>& samples,
+               std::uint64_t mib, unsigned shards,
+               std::uint64_t reads_per_thread) {
+  std::fprintf(out,
+               "{\n  \"bench\": \"mt_throughput\",\n"
+               "  \"region_mib\": %llu,\n  \"shards\": %u,\n"
+               "  \"reads_per_thread\": %llu,\n  \"results\": [\n",
+               static_cast<unsigned long long>(mib), shards,
+               static_cast<unsigned long long>(reads_per_thread));
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(out,
+                 "    {\"engine\": \"%s\", \"threads\": %u, "
+                 "\"total_reads\": %llu, \"seconds\": %.4f, "
+                 "\"ops_per_sec\": %.0f}%s\n",
+                 s.engine.c_str(), s.threads,
+                 static_cast<unsigned long long>(s.total_reads), s.seconds,
+                 s.ops_per_sec, i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t mib = 8;
+  unsigned shards = 8;
+  std::uint64_t reads_per_thread = 20000;
+  std::string out_path = "mt_throughput.bench.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--mib") {
+      mib = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--shards") {
+      shards = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--reads-per-thread") {
+      reads_per_thread = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--out") {
+      out_path = value();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--mib N] [--shards N] "
+                   "[--reads-per-thread N] [--out FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  SecureMemoryConfig config;
+  config.size_bytes = mib << 20;
+  std::optional<ConcurrentSecureMemory> single_mem;
+  std::optional<ShardedSecureMemory> sharded_mem;
+  try {
+    single_mem.emplace(config);
+    sharded_mem.emplace(config, shards);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  ConcurrentSecureMemory& single = *single_mem;
+  ShardedSecureMemory& sharded = *sharded_mem;
+
+  // Touch a spread of blocks so reads hit written (non-zero) lines too.
+  Xoshiro256 rng(7);
+  for (unsigned i = 0; i < 512; ++i) {
+    DataBlock block{};
+    block[0] = static_cast<std::uint8_t>(i);
+    const std::uint64_t target = rng.next_below(single.num_blocks());
+    single.write_block(target, block);
+    sharded.write_block(target, block);
+  }
+
+  std::vector<Sample> samples;
+  std::atomic<int> bad{0};
+  const unsigned thread_counts[] = {1, 2, 4, 8};
+  for (const unsigned threads : thread_counts) {
+    const std::uint64_t total = threads * reads_per_thread;
+    const double base_s = timed_reads(single, threads, reads_per_thread, bad);
+    samples.push_back(
+        {"single-mutex", threads, total, base_s, total / base_s});
+    const double shard_s =
+        timed_reads(sharded, threads, reads_per_thread, bad);
+    samples.push_back(
+        {"sharded", threads, total, shard_s, total / shard_s});
+    const double batch_s =
+        timed_batch_reads(sharded, threads, reads_per_thread, bad);
+    samples.push_back(
+        {"sharded-batch", threads, total, batch_s, total / batch_s});
+    std::fprintf(stderr,
+                 "%u thread(s): single %.0f ops/s | sharded %.0f ops/s "
+                 "(%.2fx) | batch %.0f ops/s (%.2fx)\n",
+                 threads, total / base_s, total / shard_s,
+                 base_s / shard_s, total / batch_s, base_s / batch_s);
+  }
+  if (bad.load() != 0) {
+    std::fprintf(stderr, "FAIL: %d reads did not verify\n", bad.load());
+    return 1;
+  }
+
+  emit_json(stdout, samples, mib, shards, reads_per_thread);
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f) {
+      emit_json(f, samples, mib, shards, reads_per_thread);
+      std::fclose(f);
+      std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+    }
+  }
+  return 0;
+}

@@ -3,15 +3,17 @@
 // SecureMemory itself is single-threaded by design (a memory controller
 // serializes at the DRAM channel anyway); multi-threaded applications
 // wrap it in this coarse-grained monitor. Every operation takes the one
-// internal mutex — simple, correct, and adequate for software use of a
-// functional model. The untrusted attack surface is deliberately NOT
-// re-exported: concurrent attacker simulation must synchronize
-// explicitly via with_exclusive().
+// lock-table entry — simple, correct, and adequate for software use of a
+// functional model; see engine/sharded_memory.h for the facade that
+// actually scales with threads. The untrusted attack surface is
+// deliberately NOT re-exported: concurrent attacker simulation must
+// synchronize explicitly via with_exclusive().
 #pragma once
 
-#include <mutex>
+#include <iosfwd>
 #include <utility>
 
+#include "engine/lock_table.h"
 #include "engine/secure_memory.h"
 
 namespace secmem {
@@ -19,56 +21,80 @@ namespace secmem {
 class ConcurrentSecureMemory {
  public:
   explicit ConcurrentSecureMemory(const SecureMemoryConfig& config)
-      : memory_(config) {}
+      : locks_(1), memory_(config) {}
 
   std::uint64_t size_bytes() const noexcept { return memory_.size_bytes(); }
   std::uint64_t num_blocks() const noexcept { return memory_.num_blocks(); }
 
   void write_block(std::uint64_t block, const DataBlock& plaintext) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto lock = locks_.lock(0);
     memory_.write_block(block, plaintext);
   }
 
   SecureMemory::ReadResult read_block(std::uint64_t block) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto lock = locks_.lock(0);
     return memory_.read_block(block);
   }
 
   bool write(std::uint64_t addr, std::span<const std::uint8_t> bytes) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto lock = locks_.lock(0);
     return memory_.write(addr, bytes);
   }
 
   bool read(std::uint64_t addr, std::span<std::uint8_t> out) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto lock = locks_.lock(0);
     return memory_.read(addr, out);
   }
 
+  SecureMemory::ScrubStatus scrub_block(std::uint64_t block,
+                                        bool deep = false) {
+    const auto lock = locks_.lock(0);
+    return memory_.scrub_block(block, deep);
+  }
+
   SecureMemory::ScrubReport scrub_all(bool deep = false) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto lock = locks_.lock(0);
     return memory_.scrub_all(deep);
   }
 
   bool rotate_master_key(std::uint64_t new_master) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto lock = locks_.lock(0);
     return memory_.rotate_master_key(new_master);
   }
 
   SecureMemory::Stats stats() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto lock = locks_.lock(0);
     return memory_.stats();
   }
 
+  void reset_stats() {
+    const auto lock = locks_.lock(0);
+    memory_.reset_stats();
+  }
+
+  /// Persistence under the lock. Note the stream I/O happens while the
+  /// lock is held — that is the point: a save must observe a quiescent
+  /// region, and a restore must not race concurrent readers.
+  void save(std::ostream& out) {
+    const auto lock = locks_.lock(0);
+    memory_.save(out);
+  }
+
+  bool restore(std::istream& in) {
+    const auto lock = locks_.lock(0);
+    return memory_.restore(in);
+  }
+
   /// Run `fn(SecureMemory&)` under the lock — for anything the facade
-  /// does not wrap (persistence, the untrusted view in tests, ...).
+  /// does not wrap (the untrusted view in tests, ...).
   template <typename Fn>
   auto with_exclusive(Fn&& fn) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto lock = locks_.lock(0);
     return std::forward<Fn>(fn)(memory_);
   }
 
  private:
-  std::mutex mutex_;
+  ShardLockTable locks_;
   SecureMemory memory_;
 };
 

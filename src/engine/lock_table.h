@@ -1,0 +1,63 @@
+// ShardLockTable — the locking machinery shared by the concurrency
+// facades over SecureMemory.
+//
+// A fixed-size table of mutexes, one per shard, each padded to its own
+// cache line so uncontended acquisitions on different shards never
+// false-share. ConcurrentSecureMemory is the degenerate single-entry
+// table; ShardedSecureMemory uses one entry per shard and the ordered
+// multi-lock below for operations that span shards.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace secmem {
+
+class ShardLockTable {
+ public:
+  explicit ShardLockTable(std::size_t size)
+      : size_(size), slots_(std::make_unique<Slot[]>(size)) {
+    assert(size > 0);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+  /// Acquire the lock for one shard.
+  std::unique_lock<std::mutex> lock(std::size_t shard) {
+    assert(shard < size_);
+    return std::unique_lock<std::mutex>(slots_[shard].mu);
+  }
+
+  /// Acquire several shard locks deadlock-free. `shards` must be sorted
+  /// ascending and duplicate-free — the fixed global order is what makes
+  /// concurrent multi-shard operations (batch I/O, cross-shard byte
+  /// ranges) safe against each other.
+  std::vector<std::unique_lock<std::mutex>> lock_many(
+      std::span<const std::size_t> shards) {
+    std::vector<std::unique_lock<std::mutex>> held;
+    held.reserve(shards.size());
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      assert(shards[i] < size_);
+      assert(i == 0 || shards[i] > shards[i - 1]);
+      held.push_back(lock(shards[i]));
+    }
+    return held;
+  }
+
+ private:
+  /// Destructive-interference padding. A fixed 64 bytes rather than
+  /// std::hardware_destructive_interference_size: the constant must not
+  /// vary across TUs compiled with different tuning flags.
+  struct alignas(64) Slot {
+    std::mutex mu;
+  };
+
+  std::size_t size_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace secmem

@@ -454,8 +454,38 @@ bool SecureMemory::rotate_master_key(std::uint64_t new_master) {
 
 bool SecureMemory::write(std::uint64_t addr,
                          std::span<const std::uint8_t> bytes) {
-  if (addr + bytes.size() > config_.size_bytes)
+  // Overflow-safe: `addr + bytes.size()` wraps for addr near UINT64_MAX
+  // and would sail past the range check.
+  if (addr > config_.size_bytes || bytes.size() > config_.size_bytes - addr)
     throw std::out_of_range("SecureMemory::write: range exceeds region");
+  if (bytes.empty()) return true;
+
+  // All-or-nothing: only the partial blocks at the edges of the range
+  // need their old contents, so they are the only blocks whose
+  // verification can fail. Pre-verify them BEFORE mutating anything —
+  // a mid-range failure must not leave a torn write behind.
+  const std::uint64_t first_block = addr / 64;
+  const std::uint64_t last_block = (addr + bytes.size() - 1) / 64;
+  const bool head_partial = addr % 64 != 0 || bytes.size() < 64;
+  const bool tail_partial = (addr + bytes.size()) % 64 != 0;
+
+  DataBlock head_plain{};
+  DataBlock tail_plain{};
+  if (head_partial) {
+    const ReadResult r = read_block(first_block);
+    if (r.status == ReadStatus::kIntegrityViolation ||
+        r.status == ReadStatus::kCounterTampered)
+      return false;
+    head_plain = r.data;
+  }
+  if (tail_partial && last_block != first_block) {
+    const ReadResult r = read_block(last_block);
+    if (r.status == ReadStatus::kIntegrityViolation ||
+        r.status == ReadStatus::kCounterTampered)
+      return false;
+    tail_plain = r.data;
+  }
+
   std::uint64_t pos = addr;
   std::size_t done = 0;
   while (done < bytes.size()) {
@@ -463,15 +493,13 @@ bool SecureMemory::write(std::uint64_t addr,
     const std::size_t offset = pos % 64;
     const std::size_t chunk = std::min<std::size_t>(64 - offset,
                                                     bytes.size() - done);
+    // Middle blocks are fully overwritten; edge blocks merge into the
+    // pre-verified plaintext. (Group re-encryptions triggered by earlier
+    // iterations change ciphertexts, never plaintexts, so the cached
+    // copies stay valid.)
     DataBlock plain{};
-    if (chunk != 64) {
-      // Partial block: read-modify-write.
-      const ReadResult r = read_block(block);
-      if (r.status == ReadStatus::kIntegrityViolation ||
-          r.status == ReadStatus::kCounterTampered)
-        return false;
-      plain = r.data;
-    }
+    if (chunk != 64)
+      plain = block == first_block ? head_plain : tail_plain;
     std::memcpy(plain.data() + offset, bytes.data() + done, chunk);
     write_block(block, plain);
     pos += chunk;
@@ -481,7 +509,7 @@ bool SecureMemory::write(std::uint64_t addr,
 }
 
 bool SecureMemory::read(std::uint64_t addr, std::span<std::uint8_t> out) {
-  if (addr + out.size() > config_.size_bytes)
+  if (addr > config_.size_bytes || out.size() > config_.size_bytes - addr)
     throw std::out_of_range("SecureMemory::read: range exceeds region");
   std::uint64_t pos = addr;
   std::size_t done = 0;

@@ -84,6 +84,13 @@ class SecureMemory {
 
   /// Byte-level convenience (read-modify-write across blocks). Returns
   /// false if any underlying block read fails verification.
+  ///
+  /// `write` is all-or-nothing: the partial blocks at the edges of the
+  /// range (the only blocks whose old contents must still verify) are
+  /// pre-verified before anything is mutated, so a false return means the
+  /// region is exactly as it was — no torn multi-block writes. Both calls
+  /// reject ranges that fall outside the region (including `addr + len`
+  /// overflow) with std::out_of_range.
   bool write(std::uint64_t addr, std::span<const std::uint8_t> bytes);
   bool read(std::uint64_t addr, std::span<std::uint8_t> out);
 
@@ -221,11 +228,14 @@ class SecureMemory {
 
   UntrustedView untrusted() { return UntrustedView(*this); }
 
- private:
-  friend class UntrustedView;
-
+  /// Instantiate the counter scheme a config resolves to — exposed so
+  /// ShardedSecureMemory can probe group/storage-line geometry when
+  /// choosing its routing granule.
   static std::unique_ptr<CounterScheme> make_scheme(
       const SecureMemoryConfig& config);
+
+ private:
+  friend class UntrustedView;
   static LayoutParams layout_params(const SecureMemoryConfig& config,
                                     const CounterScheme& scheme);
 

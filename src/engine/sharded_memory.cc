@@ -1,0 +1,394 @@
+#include "engine/sharded_memory.h"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+
+namespace secmem {
+
+namespace {
+
+/// Independent per-shard master secret. Mixing the shard index through
+/// splitmix64 keeps shard keys unrelated, so identical plaintexts at the
+/// same shard-local (addr, counter) in two shards still encrypt under
+/// distinct pads.
+std::uint64_t shard_master_key(std::uint64_t master, unsigned shard) {
+  std::uint64_t state = master ^ (0x5ec'da7a'5a2dULL + shard);
+  return splitmix64(state);
+}
+
+/// Probe the counter scheme a config resolves to and return the routing
+/// granule: the smallest block count that is a whole number of
+/// re-encryption groups AND counter-storage lines (and at least a 4 KB
+/// block-group), so striping granules across shards never splits either
+/// unit of locality.
+unsigned routing_granule_blocks(const SecureMemoryConfig& config) {
+  SecureMemoryConfig probe = config;
+  probe.size_bytes = 256 * 1024;  // geometry is size-independent
+  const auto scheme = SecureMemory::make_scheme(probe);
+  unsigned granule = std::lcm(scheme->blocks_per_group(),
+                              scheme->blocks_per_storage_line());
+  return std::lcm(granule, 64u);  // >= one 4 KB block-group
+}
+
+constexpr char kShardMagic[8] = {'S', 'E', 'C', 'S', 'H', 'R', 'D', '1'};
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  std::uint8_t buf[8];
+  store_le64(buf, v);
+  out.write(reinterpret_cast<const char*>(buf), 8);
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint8_t buf[8] = {};
+  in.read(reinterpret_cast<char*>(buf), 8);
+  return load_le64(buf);
+}
+
+}  // namespace
+
+ShardedSecureMemory::ShardedSecureMemory(const SecureMemoryConfig& config,
+                                         unsigned num_shards)
+    : config_(config),
+      num_shards_(num_shards),
+      granule_blocks_(routing_granule_blocks(config)),
+      num_blocks_(config.size_bytes / 64),
+      locks_(num_shards ? num_shards : 1) {
+  if (num_shards == 0)
+    throw std::invalid_argument("ShardedSecureMemory: need >= 1 shard");
+  const std::uint64_t granule_bytes = granule_blocks_ * 64ULL;
+  if (config.size_bytes == 0 ||
+      config.size_bytes % (num_shards * granule_bytes) != 0) {
+    throw std::invalid_argument(
+        "ShardedSecureMemory: region size " +
+        std::to_string(config.size_bytes) + " is not a multiple of " +
+        std::to_string(num_shards) + " shards x " +
+        std::to_string(granule_bytes) + "-byte granule");
+  }
+  SecureMemoryConfig shard_config = config;
+  shard_config.size_bytes = config.size_bytes / num_shards;
+  shards_.reserve(num_shards);
+  for (unsigned s = 0; s < num_shards; ++s) {
+    shard_config.master_key = shard_master_key(config.master_key, s);
+    shards_.push_back(std::make_unique<SecureMemory>(shard_config));
+  }
+}
+
+void ShardedSecureMemory::check_block(std::uint64_t block) const {
+  if (block >= num_blocks_)
+    throw std::out_of_range("ShardedSecureMemory: block " +
+                            std::to_string(block) + " out of range");
+}
+
+ShardedSecureMemory::Route ShardedSecureMemory::route(
+    std::uint64_t block) const {
+  const std::uint64_t granule = block / granule_blocks_;
+  return Route{
+      static_cast<unsigned>(granule % num_shards_),
+      (granule / num_shards_) * granule_blocks_ + block % granule_blocks_};
+}
+
+void ShardedSecureMemory::write_block(std::uint64_t block,
+                                      const DataBlock& plaintext) {
+  check_block(block);
+  const Route r = route(block);
+  const auto lock = locks_.lock(r.shard);
+  shards_[r.shard]->write_block(r.local_block, plaintext);
+}
+
+SecureMemory::ReadResult ShardedSecureMemory::read_block(
+    std::uint64_t block) {
+  check_block(block);
+  const Route r = route(block);
+  const auto lock = locks_.lock(r.shard);
+  return shards_[r.shard]->read_block(r.local_block);
+}
+
+SecureMemory::ScrubStatus ShardedSecureMemory::scrub_block(
+    std::uint64_t block, bool deep) {
+  check_block(block);
+  const Route r = route(block);
+  const auto lock = locks_.lock(r.shard);
+  return shards_[r.shard]->scrub_block(r.local_block, deep);
+}
+
+std::vector<SecureMemory::ReadResult> ShardedSecureMemory::read_blocks(
+    std::span<const std::uint64_t> blocks) {
+  for (const std::uint64_t block : blocks) check_block(block);
+
+  // Visit requests grouped by shard so each shard lock is taken once per
+  // batch; a stable sort keeps same-shard requests in caller order.
+  std::vector<std::uint32_t> order(blocks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return shard_of_block(blocks[a]) <
+                            shard_of_block(blocks[b]);
+                   });
+
+  std::vector<SecureMemory::ReadResult> results(blocks.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const unsigned shard = shard_of_block(blocks[order[i]]);
+    const auto lock = locks_.lock(shard);
+    for (; i < order.size() && shard_of_block(blocks[order[i]]) == shard;
+         ++i) {
+      results[order[i]] =
+          shards_[shard]->read_block(route(blocks[order[i]]).local_block);
+    }
+  }
+  return results;
+}
+
+void ShardedSecureMemory::write_blocks(std::span<const BlockWrite> writes) {
+  for (const BlockWrite& w : writes) check_block(w.block);
+
+  std::vector<std::uint32_t> order(writes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return shard_of_block(writes[a].block) <
+                            shard_of_block(writes[b].block);
+                   });
+
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const unsigned shard = shard_of_block(writes[order[i]].block);
+    const auto lock = locks_.lock(shard);
+    for (; i < order.size() &&
+           shard_of_block(writes[order[i]].block) == shard;
+         ++i) {
+      const BlockWrite& w = writes[order[i]];
+      shards_[shard]->write_block(route(w.block).local_block, w.data);
+    }
+  }
+}
+
+std::vector<std::size_t> ShardedSecureMemory::shards_in_range(
+    std::uint64_t first_block, std::uint64_t last_block) const {
+  const std::uint64_t first_granule = first_block / granule_blocks_;
+  const std::uint64_t last_granule = last_block / granule_blocks_;
+  std::vector<std::size_t> shards;
+  if (last_granule - first_granule + 1 >= num_shards_) {
+    shards.resize(num_shards_);
+    std::iota(shards.begin(), shards.end(), std::size_t{0});
+    return shards;
+  }
+  for (std::uint64_t g = first_granule; g <= last_granule; ++g)
+    shards.push_back(static_cast<std::size_t>(g % num_shards_));
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  return shards;
+}
+
+bool ShardedSecureMemory::write(std::uint64_t addr,
+                                std::span<const std::uint8_t> bytes) {
+  if (addr > config_.size_bytes || bytes.size() > config_.size_bytes - addr)
+    throw std::out_of_range("ShardedSecureMemory::write: range exceeds region");
+  if (bytes.empty()) return true;
+
+  const std::uint64_t first_block = addr / 64;
+  const std::uint64_t last_block = (addr + bytes.size() - 1) / 64;
+  const auto involved = shards_in_range(first_block, last_block);
+  const auto locks = locks_.lock_many(involved);
+
+  // Same all-or-nothing protocol as SecureMemory::write, but with every
+  // touched shard held: pre-verify the partial edge blocks — the only
+  // reads this operation depends on — before mutating any shard.
+  const bool head_partial = addr % 64 != 0 || bytes.size() < 64;
+  const bool tail_partial = (addr + bytes.size()) % 64 != 0;
+  DataBlock head_plain{};
+  DataBlock tail_plain{};
+  if (head_partial) {
+    const Route r = route(first_block);
+    const auto res = shards_[r.shard]->read_block(r.local_block);
+    if (res.status == ReadStatus::kIntegrityViolation ||
+        res.status == ReadStatus::kCounterTampered)
+      return false;
+    head_plain = res.data;
+  }
+  if (tail_partial && last_block != first_block) {
+    const Route r = route(last_block);
+    const auto res = shards_[r.shard]->read_block(r.local_block);
+    if (res.status == ReadStatus::kIntegrityViolation ||
+        res.status == ReadStatus::kCounterTampered)
+      return false;
+    tail_plain = res.data;
+  }
+
+  std::uint64_t pos = addr;
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const std::uint64_t block = pos / 64;
+    const std::size_t offset = pos % 64;
+    const std::size_t chunk =
+        std::min<std::size_t>(64 - offset, bytes.size() - done);
+    DataBlock plain{};
+    if (chunk != 64)
+      plain = block == first_block ? head_plain : tail_plain;
+    std::memcpy(plain.data() + offset, bytes.data() + done, chunk);
+    const Route r = route(block);
+    shards_[r.shard]->write_block(r.local_block, plain);
+    pos += chunk;
+    done += chunk;
+  }
+  return true;
+}
+
+bool ShardedSecureMemory::read(std::uint64_t addr,
+                               std::span<std::uint8_t> out) {
+  if (addr > config_.size_bytes || out.size() > config_.size_bytes - addr)
+    throw std::out_of_range("ShardedSecureMemory::read: range exceeds region");
+  if (out.empty()) return true;
+
+  const std::uint64_t first_block = addr / 64;
+  const std::uint64_t last_block = (addr + out.size() - 1) / 64;
+  const auto involved = shards_in_range(first_block, last_block);
+  const auto locks = locks_.lock_many(involved);
+
+  std::uint64_t pos = addr;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::uint64_t block = pos / 64;
+    const std::size_t offset = pos % 64;
+    const std::size_t chunk =
+        std::min<std::size_t>(64 - offset, out.size() - done);
+    const Route r = route(block);
+    const auto res = shards_[r.shard]->read_block(r.local_block);
+    if (res.status == ReadStatus::kIntegrityViolation ||
+        res.status == ReadStatus::kCounterTampered)
+      return false;
+    std::memcpy(out.data() + done, res.data.data() + offset, chunk);
+    pos += chunk;
+    done += chunk;
+  }
+  return true;
+}
+
+SecureMemory::ScrubReport ShardedSecureMemory::scrub_all(bool deep) {
+  std::vector<SecureMemory::ScrubReport> reports(num_shards_);
+  std::vector<std::thread> sweepers;
+  sweepers.reserve(num_shards_);
+  for (unsigned s = 0; s < num_shards_; ++s) {
+    sweepers.emplace_back([this, s, deep, &reports] {
+      const auto lock = locks_.lock(s);
+      reports[s] = shards_[s]->scrub_all(deep);
+    });
+  }
+  for (std::thread& t : sweepers) t.join();
+
+  SecureMemory::ScrubReport total;
+  for (const SecureMemory::ScrubReport& r : reports) {
+    total.scanned += r.scanned;
+    total.quick_clean += r.quick_clean;
+    total.repaired_mac += r.repaired_mac;
+    total.repaired_data += r.repaired_data;
+    total.uncorrectable += r.uncorrectable;
+    total.counter_tampered += r.counter_tampered;
+  }
+  return total;
+}
+
+bool ShardedSecureMemory::rotate_master_key(std::uint64_t new_master) {
+  const std::uint64_t old_master = config_.master_key;
+  const auto rotate_all_to = [this](std::uint64_t master,
+                                    std::vector<char>& ok) {
+    std::vector<std::thread> rotators;
+    rotators.reserve(num_shards_);
+    for (unsigned s = 0; s < num_shards_; ++s) {
+      rotators.emplace_back([this, s, master, &ok] {
+        const auto lock = locks_.lock(s);
+        ok[s] = shards_[s]->rotate_master_key(shard_master_key(master, s))
+                    ? 1
+                    : 0;
+      });
+    }
+    for (std::thread& t : rotators) t.join();
+  };
+
+  std::vector<char> rotated(num_shards_, 0);
+  rotate_all_to(new_master, rotated);
+  if (std::all_of(rotated.begin(), rotated.end(),
+                  [](char ok) { return ok != 0; })) {
+    config_.master_key = new_master;
+    return true;
+  }
+
+  // Partial failure: a shard refused (verification failed under its old
+  // keys) and is untouched. Roll the shards that DID rotate back to the
+  // old master so the region stays uniformly keyed. Rolling back re-reads
+  // freshly re-encrypted data, so it cannot fail.
+  std::vector<char> rolled_back(num_shards_, 1);
+  std::vector<std::thread> rollback;
+  for (unsigned s = 0; s < num_shards_; ++s) {
+    if (!rotated[s]) continue;
+    rollback.emplace_back([this, s, old_master, &rolled_back] {
+      const auto lock = locks_.lock(s);
+      rolled_back[s] =
+          shards_[s]->rotate_master_key(shard_master_key(old_master, s)) ? 1
+                                                                         : 0;
+    });
+  }
+  for (std::thread& t : rollback) t.join();
+  return false;
+}
+
+SecureMemory::Stats ShardedSecureMemory::stats() {
+  SecureMemory::Stats total;
+  for (unsigned s = 0; s < num_shards_; ++s) {
+    const auto lock = locks_.lock(s);
+    const SecureMemory::Stats& st = shards_[s]->stats();
+    total.reads += st.reads;
+    total.writes += st.writes;
+    total.corrected_data += st.corrected_data;
+    total.corrected_mac_field += st.corrected_mac_field;
+    total.corrected_word += st.corrected_word;
+    total.integrity_violations += st.integrity_violations;
+    total.counter_tampers += st.counter_tampers;
+    total.group_reencryptions += st.group_reencryptions;
+    total.mac_evaluations += st.mac_evaluations;
+  }
+  return total;
+}
+
+void ShardedSecureMemory::reset_stats() {
+  for (unsigned s = 0; s < num_shards_; ++s) {
+    const auto lock = locks_.lock(s);
+    shards_[s]->reset_stats();
+  }
+}
+
+void ShardedSecureMemory::save(std::ostream& out) {
+  out.write(kShardMagic, sizeof(kShardMagic));
+  write_u64(out, num_shards_);
+  write_u64(out, granule_blocks_);
+  for (unsigned s = 0; s < num_shards_; ++s) {
+    const auto lock = locks_.lock(s);
+    shards_[s]->save(out);
+  }
+}
+
+bool ShardedSecureMemory::restore(std::istream& in) {
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kShardMagic, sizeof(magic)) != 0)
+    return false;
+  if (read_u64(in) != num_shards_) return false;
+  if (read_u64(in) != granule_blocks_) return false;
+  bool all_ok = true;
+  for (unsigned s = 0; s < num_shards_; ++s) {
+    const auto lock = locks_.lock(s);
+    all_ok = shards_[s]->restore(in) && all_ok;
+  }
+  return all_ok;
+}
+
+}  // namespace secmem

@@ -1,0 +1,134 @@
+// ShardedSecureMemory — a concurrent, horizontally-partitioned secure
+// region.
+//
+// The single-mutex ConcurrentSecureMemory facade serializes every
+// operation, so adding threads adds zero throughput. This engine instead
+// partitions the region across N independent SecureMemory shards — each
+// with its own working keys, counter scheme, Bonsai tree, and backing
+// store — guarded by one ShardLockTable entry per shard. Operations on
+// different shards proceed fully in parallel; the cryptographic work
+// (AES-CTR, Carter-Wegman, tree walks) dominates the lock cost, so read
+// throughput scales with min(threads, shards).
+//
+// Routing granularity is the *block-group* (4 KB for the paper's delta
+// schemes): groups are striped round-robin across shards. A group is the
+// unit of delta-counter locality — one reference counter, one
+// re-encryption blast radius, one counter-storage line — so keeping each
+// group whole inside one shard preserves the paper's §4 dynamics exactly;
+// only the assignment of groups to trees changes. Each shard derives its
+// own master secret from the region key, so identical plaintexts in
+// different shards never share (key, addr, counter) nonces.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "engine/lock_table.h"
+#include "engine/secure_memory.h"
+
+namespace secmem {
+
+class ShardedSecureMemory {
+ public:
+  /// `config.size_bytes` is the TOTAL region size; it must divide evenly
+  /// into `num_shards` shards of a whole number of routing granules
+  /// (std::invalid_argument otherwise).
+  ShardedSecureMemory(const SecureMemoryConfig& config, unsigned num_shards);
+
+  unsigned num_shards() const noexcept { return num_shards_; }
+  std::uint64_t size_bytes() const noexcept { return config_.size_bytes; }
+  std::uint64_t num_blocks() const noexcept { return num_blocks_; }
+  /// Blocks per routing granule (= one block-group, ≥ one counter line).
+  unsigned granule_blocks() const noexcept { return granule_blocks_; }
+  /// Which shard owns a (global) block.
+  unsigned shard_of_block(std::uint64_t block) const noexcept {
+    return static_cast<unsigned>((block / granule_blocks_) % num_shards_);
+  }
+
+  /// ------------------------------------------------------------------
+  /// Single-block operations (lock the owning shard only).
+  /// ------------------------------------------------------------------
+  void write_block(std::uint64_t block, const DataBlock& plaintext);
+  SecureMemory::ReadResult read_block(std::uint64_t block);
+  SecureMemory::ScrubStatus scrub_block(std::uint64_t block,
+                                        bool deep = false);
+
+  /// ------------------------------------------------------------------
+  /// Batch I/O — sorts requests by shard and acquires each shard lock
+  /// once per batch, amortizing synchronization over many blocks.
+  /// Results come back in request order. Requests to the same shard are
+  /// applied atomically per shard; the batch as a whole is NOT a
+  /// cross-shard snapshot.
+  /// ------------------------------------------------------------------
+  struct BlockWrite {
+    std::uint64_t block;
+    DataBlock data;
+  };
+  std::vector<SecureMemory::ReadResult> read_blocks(
+      std::span<const std::uint64_t> blocks);
+  void write_blocks(std::span<const BlockWrite> writes);
+
+  /// ------------------------------------------------------------------
+  /// Byte-level API. Locks every shard the range touches (in table
+  /// order) for the duration, so ranges are read/written atomically even
+  /// across shard boundaries. `write` keeps SecureMemory's all-or-nothing
+  /// guarantee: edge blocks are pre-verified before any shard is mutated.
+  /// ------------------------------------------------------------------
+  bool write(std::uint64_t addr, std::span<const std::uint8_t> bytes);
+  bool read(std::uint64_t addr, std::span<std::uint8_t> out);
+
+  /// ------------------------------------------------------------------
+  /// Region-wide maintenance, shard-parallel: each shard is swept by its
+  /// own thread while the other shards keep serving their callers.
+  /// ------------------------------------------------------------------
+  SecureMemory::ScrubReport scrub_all(bool deep = false);
+
+  /// Re-key every shard (in parallel) under secrets derived from
+  /// `new_master`. All-or-nothing across shards: if any shard fails
+  /// verification, already-rotated shards are rotated back to the old
+  /// master and false is returned with the region's contents intact.
+  bool rotate_master_key(std::uint64_t new_master);
+
+  /// Aggregated operational statistics across all shards.
+  SecureMemory::Stats stats();
+  void reset_stats();
+
+  /// Persistence: a shard-count-tagged container of per-shard images.
+  /// On restore failure, false is returned and the region is left in a
+  /// valid but unspecified mix of restored/re-zeroed shards — treat the
+  /// contents as lost, exactly as SecureMemory::restore does.
+  void save(std::ostream& out);
+  bool restore(std::istream& in);
+
+  /// Run `fn(SecureMemory&)` against one shard under its lock — for
+  /// tests and attacker simulation (the untrusted view is per shard).
+  template <typename Fn>
+  auto with_shard_exclusive(unsigned shard, Fn&& fn) {
+    const auto lock = locks_.lock(shard);
+    return std::forward<Fn>(fn)(*shards_[shard]);
+  }
+
+ private:
+  struct Route {
+    unsigned shard;
+    std::uint64_t local_block;
+  };
+  Route route(std::uint64_t block) const;
+  void check_block(std::uint64_t block) const;
+  /// Sorted, duplicate-free shard ids touched by blocks [first, last].
+  std::vector<std::size_t> shards_in_range(std::uint64_t first_block,
+                                           std::uint64_t last_block) const;
+
+  SecureMemoryConfig config_;  ///< region-level config (total size)
+  unsigned num_shards_;
+  unsigned granule_blocks_;
+  std::uint64_t num_blocks_;
+  ShardLockTable locks_;
+  std::vector<std::unique_ptr<SecureMemory>> shards_;
+};
+
+}  // namespace secmem

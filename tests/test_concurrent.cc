@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -76,6 +77,37 @@ TEST(ConcurrentSecureMemory, ContendedSameGroupWritesStayConsistent) {
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(bad_reads.load(), 0);
   EXPECT_GE(memory.stats().group_reencryptions, 1u);
+}
+
+TEST(ConcurrentSecureMemory, FacadeWrapsScrubStatsAndPersistence) {
+  // Regression: scrub_block / reset_stats / save / restore used to be
+  // missing from the facade, pushing callers toward with_exclusive (and
+  // holding the lock across arbitrary I/O by accident).
+  SecureMemoryConfig config;
+  config.size_bytes = 16 * 1024;
+  ConcurrentSecureMemory memory(config);
+  memory.write_block(2, stamp(3, 4));
+
+  // scrub_block heals a planted single-bit fault.
+  memory.with_exclusive([](SecureMemory& inner) {
+    inner.untrusted().flip_ciphertext_bit(2, 9);
+  });
+  EXPECT_EQ(memory.scrub_block(2),
+            SecureMemory::ScrubStatus::kRepairedData);
+  EXPECT_EQ(memory.read_block(2).status, ReadStatus::kOk);
+
+  EXPECT_GT(memory.stats().reads, 0u);
+  memory.reset_stats();
+  EXPECT_EQ(memory.stats().reads, 0u);
+
+  // save / restore round-trip through the locked wrappers.
+  std::stringstream image;
+  memory.save(image);
+  memory.write_block(2, stamp(9, 9));
+  ASSERT_TRUE(memory.restore(image));
+  const auto result = memory.read_block(2);
+  EXPECT_EQ(result.status, ReadStatus::kOk);
+  EXPECT_EQ(result.data, stamp(3, 4));
 }
 
 TEST(ConcurrentSecureMemory, WithExclusiveExposesFullApi) {

@@ -260,6 +260,81 @@ TEST(SecureMemoryBounds, OutOfRangeAccessesThrow) {
   EXPECT_TRUE(memory.read(config.size_bytes - 64, tail));
 }
 
+TEST(SecureMemoryBounds, OverflowingByteRangesThrowInsteadOfWrapping) {
+  // Regression: the byte APIs used to test `addr + len > size`, which
+  // wraps for addr near UINT64_MAX and sailed past the range check.
+  SecureMemoryConfig config;
+  config.size_bytes = 16 * 1024;
+  SecureMemory memory(config);
+  std::vector<std::uint8_t> buffer(128);
+  const std::uint64_t wrap_addr = UINT64_MAX - 63;  // addr + 128 wraps to 64
+  EXPECT_THROW(memory.read(wrap_addr, buffer), std::out_of_range);
+  EXPECT_THROW(memory.write(wrap_addr, buffer), std::out_of_range);
+  EXPECT_THROW(memory.read(UINT64_MAX, buffer), std::out_of_range);
+  EXPECT_THROW(memory.write(UINT64_MAX, buffer), std::out_of_range);
+  // Zero-length ranges: fine at the end of the region, rejected past it.
+  std::span<std::uint8_t> empty;
+  EXPECT_TRUE(memory.read(config.size_bytes, empty));
+  EXPECT_THROW(memory.read(config.size_bytes + 1, empty), std::out_of_range);
+}
+
+// ------------------------------------------------ byte-API atomicity
+
+TEST(SecureMemoryByteApi, UnalignedWriteReadRoundTrip) {
+  SecureMemoryConfig config;
+  config.size_bytes = 16 * 1024;
+  SecureMemory memory(config);
+  memory.write_block(0, pattern(0x21));
+  memory.write_block(3, pattern(0x22));
+  std::vector<std::uint8_t> incoming(3 * 64 + 17);
+  for (std::size_t i = 0; i < incoming.size(); ++i)
+    incoming[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  ASSERT_TRUE(memory.write(33, incoming));  // blocks 0..3, both edges partial
+  std::vector<std::uint8_t> readback(incoming.size());
+  ASSERT_TRUE(memory.read(33, readback));
+  EXPECT_EQ(readback, incoming);
+  // Bytes outside the range survived the read-modify-write.
+  DataBlock head = memory.read_block(0).data;
+  EXPECT_EQ(std::memcmp(head.data(), pattern(0x21).data(), 33), 0);
+}
+
+TEST(SecureMemoryByteApi, FailedWriteWithTamperedTailIsAllOrNothing) {
+  // Regression: a verification failure on the partial TAIL block used to
+  // surface only after the leading blocks had already been overwritten —
+  // a torn write. The edges must be pre-verified before any mutation.
+  SecureMemoryConfig config;
+  config.size_bytes = 16 * 1024;
+  SecureMemory memory(config);
+  memory.write_block(0, pattern(1));
+  memory.write_block(1, pattern(2));
+  memory.write_block(2, pattern(3));
+  // Three flips exceed the correction budget: block 2 cannot verify.
+  memory.untrusted().flip_ciphertext_bit(2, 1);
+  memory.untrusted().flip_ciphertext_bit(2, 2);
+  memory.untrusted().flip_ciphertext_bit(2, 3);
+
+  std::vector<std::uint8_t> incoming(2 * 64 + 2, 0xEE);  // partial tail in 2
+  EXPECT_FALSE(memory.write(0, incoming));
+  // Nothing was mutated: blocks 0 and 1 still hold their original data.
+  EXPECT_EQ(memory.read_block(0).data, pattern(1));
+  EXPECT_EQ(memory.read_block(1).data, pattern(2));
+}
+
+TEST(SecureMemoryByteApi, FailedWriteWithTamperedHeadIsAllOrNothing) {
+  SecureMemoryConfig config;
+  config.size_bytes = 16 * 1024;
+  SecureMemory memory(config);
+  memory.write_block(0, pattern(4));
+  memory.write_block(1, pattern(5));
+  memory.untrusted().flip_ciphertext_bit(0, 1);
+  memory.untrusted().flip_ciphertext_bit(0, 2);
+  memory.untrusted().flip_ciphertext_bit(0, 3);
+
+  std::vector<std::uint8_t> incoming(100, 0xAB);  // partial head in block 0
+  EXPECT_FALSE(memory.write(7, incoming));
+  EXPECT_EQ(memory.read_block(1).data, pattern(5));  // untouched
+}
+
 // --------------------------------------- generic-delta width override
 
 TEST(GenericWidthSecureMemory, RoundTripAndReencryptAtWidth5) {

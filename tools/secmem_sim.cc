@@ -9,12 +9,19 @@
 // Prints cycles, IPC, DRAM traffic and counter events; --stats dumps the
 // full counter registry (cache hit rates, per-channel DRAM behaviour,
 // metadata traffic, ...).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "common/rng.h"
+#include "engine/sharded_memory.h"
 #include "sim/system_sim.h"
 #include "sim/trace.h"
 
@@ -35,8 +42,92 @@ void usage(const char* argv0) {
       "  --protected-mb N    protected region size in MB    (default 512)\n"
       "  --seed N            workload seed                  (default 42)\n"
       "  --stats             dump the full statistics registry\n"
-      "  --list-workloads    print available profiles and exit\n",
+      "  --list-workloads    print available profiles and exit\n"
+      "  --shards N          run the functional ShardedSecureMemory engine\n"
+      "                      instead of the timing simulator: N shards,\n"
+      "                      multithreaded, workload-shaped read/write mix\n"
+      "                      (default region 16MB unless --protected-mb)\n"
+      "  --threads N         worker threads in --shards mode (default 4)\n",
       argv0);
+}
+
+/// --shards mode: drive the functional concurrent engine with a
+/// workload-shaped access mix (the profile's working set and write
+/// fraction) and report aggregate throughput plus engine statistics —
+/// the operational counterpart of the cycle-level simulation.
+int run_sharded_engine(const SystemConfig& config,
+                       const WorkloadProfile& profile, unsigned shards,
+                       unsigned threads, std::uint64_t refs_per_thread,
+                       bool dump_stats) {
+  SecureMemoryConfig mem_config;
+  mem_config.size_bytes = config.protected_bytes;
+  mem_config.scheme = config.scheme;
+  mem_config.mac_placement = config.engine.mac_placement;
+  ShardedSecureMemory memory(mem_config, shards);
+
+  const std::uint64_t hot_blocks =
+      std::clamp<std::uint64_t>(profile.working_set_bytes / 64, 64,
+                                memory.num_blocks());
+  const double write_fraction = profile.write_fraction;
+
+  std::atomic<std::uint64_t> failures{0};
+  std::vector<std::thread> workers;
+  const auto start = std::chrono::steady_clock::now();
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256 rng(config.seed + t);
+      DataBlock block_data{};
+      block_data[0] = static_cast<std::uint8_t>(t);
+      for (std::uint64_t i = 0; i < refs_per_thread; ++i) {
+        const std::uint64_t block = rng.next_below(hot_blocks);
+        if (rng.chance(write_fraction)) {
+          memory.write_block(block, block_data);
+        } else if (memory.read_block(block).status != ReadStatus::kOk) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  const SecureMemory::Stats stats = memory.stats();
+  const std::uint64_t total_ops = threads * refs_per_thread;
+  std::printf("workload        %s (functional engine)\n",
+              profile.name.c_str());
+  std::printf("protection      %s + %s\n",
+              counter_scheme_kind_name(config.scheme),
+              mem_config.mac_placement == MacPlacement::kEccLane
+                  ? "MAC-in-ECC"
+                  : "separate MACs");
+  std::printf("shards          %u\n", shards);
+  std::printf("threads         %u\n", threads);
+  std::printf("region          %llu MB\n",
+              static_cast<unsigned long long>(
+                  mem_config.size_bytes >> 20));
+  std::printf("ops             %llu\n",
+              static_cast<unsigned long long>(total_ops));
+  std::printf("seconds         %.3f\n", elapsed.count());
+  std::printf("ops/sec         %.0f\n", total_ops / elapsed.count());
+  std::printf("reads           %llu\n",
+              static_cast<unsigned long long>(stats.reads));
+  std::printf("writes          %llu\n",
+              static_cast<unsigned long long>(stats.writes));
+  std::printf("re-encryptions  %llu\n",
+              static_cast<unsigned long long>(stats.group_reencryptions));
+  if (dump_stats) {
+    std::printf("mac evals       %llu\n",
+                static_cast<unsigned long long>(stats.mac_evaluations));
+    std::printf("violations      %llu\n",
+                static_cast<unsigned long long>(stats.integrity_violations));
+  }
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "error: %llu reads failed verification\n",
+                 static_cast<unsigned long long>(failures.load()));
+    return 1;
+  }
+  return 0;
 }
 
 bool parse_scheme(const std::string& text, CounterSchemeKind& out) {
@@ -63,6 +154,9 @@ int main(int argc, char** argv) {
   std::uint64_t refs = 100000;
   std::uint64_t warmup = ~0ULL;  // sentinel: default refs/3
   bool dump_stats = false;
+  unsigned shards = 0;  // 0 = timing-simulator mode
+  unsigned threads = 4;
+  bool protected_mb_given = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -100,6 +194,11 @@ int main(int argc, char** argv) {
       warmup = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--protected-mb") {
       config.protected_bytes = std::strtoull(value(), nullptr, 10) << 20;
+      protected_mb_given = true;
+    } else if (arg == "--shards") {
+      shards = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--threads") {
+      threads = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
     } else if (arg == "--seed") {
       config.seed = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--stats") {
@@ -125,6 +224,15 @@ int main(int argc, char** argv) {
   config.warmup_refs = (warmup == ~0ULL) ? refs / 3 : warmup;
 
   try {
+    if (shards > 0) {
+      // Functional concurrent-engine mode. A full-crypto region is far
+      // more expensive to initialize than the timing model's, so the
+      // default size drops to 16MB unless the caller sized it.
+      if (!protected_mb_given) config.protected_bytes = 16ULL << 20;
+      if (threads == 0) threads = 1;
+      return run_sharded_engine(config, profile_by_name(workload), shards,
+                                threads, refs, dump_stats);
+    }
     const WorkloadProfile& profile = profile_by_name(workload);
     SystemSimulator sim(config, profile);
     const SimResult result =
