@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_metrics.h"
 #include "counters/delta_counter.h"
 #include "counters/split_counter.h"
 #include "bench_util.h"
@@ -27,6 +28,8 @@ int main(int argc, char** argv) {
   // The workloads where Table 2 shows delta beating split — i.e. where
   // the optimizations are doing the work.
   const char* apps[] = {"facesim", "dedup", "ferret", "freqmine", "vips"};
+
+  secmem_bench::MetricsDump metrics("ablation_delta");
 
   std::printf(
       "=== Ablation (paper $4.3): re-encryptions per 10^9 cycles by "
@@ -55,6 +58,12 @@ int main(int argc, char** argv) {
     const SimResult result = sim.run(refs);
 
     const double scale = 1e9 / static_cast<double>(result.cycles);
+    metrics.registry().merge_from(sim.stats(), app);
+    StatRegistry& reg = metrics.registry();
+    reg.scalar(std::string(app) + ".split_per_gcycle")
+        .sample(split.reencryptions() * scale);
+    reg.scalar(std::string(app) + ".both_per_gcycle")
+        .sample(both.reencryptions() * scale);
     std::printf("%-14s %10.0f | %8.0f %12.0f %15.0f %8.0f\n", app,
                 split.reencryptions() * scale, none.reencryptions() * scale,
                 reset_only.reencryptions() * scale,

@@ -10,6 +10,7 @@
 
 #include <array>
 
+#include "bench_gbench_metrics.h"
 #include "common/bitops.h"
 #include "counters/delta_counter.h"
 #include "counters/dual_length_delta.h"
@@ -94,4 +95,7 @@ BENCHMARK(BM_RawDeltaDecodeKernel);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return secmem_bench::run_benchmarks_with_metrics(argc, argv,
+                                                   "decode_latency");
+}

@@ -9,7 +9,9 @@
 // the paper's choice is visible.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
+#include "bench_metrics.h"
 #include "common/rng.h"
 #include "counters/generic_delta.h"
 
@@ -61,11 +63,17 @@ int main(int argc, char** argv) {
               "group", "bits/block", "overhead", "skewed re-enc",
               "hot-spot re-enc");
 
+  secmem_bench::MetricsDump metrics("delta_geometry");
   for (unsigned width : {4u, 5u, 6u, 7u, 8u, 9u, 10u, 12u, 14u, 16u}) {
     GenericDeltaCounters skewed(kBlocks, width);
     GenericDeltaCounters hotspot(kBlocks, width);
     const std::uint64_t re_skewed = run_skewed(skewed, writes);
     const std::uint64_t re_hot = run_hotspot(hotspot, writes);
+    const std::string base = "width" + std::to_string(width);
+    secmem::StatRegistry& reg = metrics.registry();
+    reg.counter(base + ".skewed_reencryptions").inc(re_skewed);
+    reg.counter(base + ".hotspot_reencryptions").inc(re_hot);
+    reg.scalar(base + ".bits_per_block").sample(skewed.bits_per_block());
     std::printf("%-6u %-8u %-12.3f %-11.2f%% | %16llu %16llu%s\n", width,
                 skewed.blocks_per_group(), skewed.bits_per_block(),
                 100.0 * skewed.bits_per_block() / 512.0,

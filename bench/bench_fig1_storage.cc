@@ -9,7 +9,9 @@
 //   - delta counters + MAC-in-ECC (the paper: ~22% -> ~2%)
 #include <cstdio>
 #include <memory>
+#include <string>
 
+#include "bench_metrics.h"
 #include "counters/counter_scheme.h"
 #include "tree/bonsai_geometry.h"
 #include "engine/layout.h"
@@ -18,11 +20,12 @@ namespace {
 
 struct Variant {
   const char* name;
+  const char* slug;  ///< metrics key: fig1.<slug>.*
   secmem::CounterSchemeKind scheme;
   bool separate_macs;
 };
 
-void print_row(const Variant& variant) {
+void print_row(const Variant& variant, secmem::StatRegistry& reg) {
   using namespace secmem;
   const std::uint64_t data_bytes = 512ULL << 20;
   const auto scheme = make_counter_scheme(variant.scheme, data_bytes / 64);
@@ -33,6 +36,13 @@ void print_row(const Variant& variant) {
   params.separate_macs = variant.separate_macs;
   params.counter_bits_per_block = scheme->bits_per_block();
   const SecureRegionLayout layout(params);
+
+  const std::string base = std::string("fig1.") + variant.slug;
+  reg.scalar(base + ".counter_pct").sample(layout.counter_overhead_pct());
+  reg.scalar(base + ".mac_pct").sample(layout.mac_overhead_pct());
+  reg.scalar(base + ".tree_pct").sample(layout.tree_overhead_pct());
+  reg.scalar(base + ".total_pct").sample(layout.metadata_overhead_pct());
+  reg.counter(base + ".offchip_levels").inc(layout.tree().offchip_levels());
 
   std::printf("%-34s %8.2f%% %7.2f%% %7.2f%% %8.2f%%   %u\n", variant.name,
               layout.counter_overhead_pct(), layout.mac_overhead_pct(),
@@ -67,15 +77,23 @@ int main() {
               "MACs", "tree", "total", "tree levels (off-chip)");
 
   const Variant variants[] = {
-      {"baseline: 56-bit ctr + stored MAC", secmem::CounterSchemeKind::kMonolithic56, true},
-      {"split counters [13] + stored MAC", secmem::CounterSchemeKind::kSplit, true},
-      {"delta ctr + stored MAC", secmem::CounterSchemeKind::kDelta, true},
-      {"dual-length delta + stored MAC", secmem::CounterSchemeKind::kDualDelta, true},
-      {"delta ctr + MAC-in-ECC (paper)", secmem::CounterSchemeKind::kDelta, false},
-      {"dual-length delta + MAC-in-ECC", secmem::CounterSchemeKind::kDualDelta, false},
+      {"baseline: 56-bit ctr + stored MAC", "baseline",
+       secmem::CounterSchemeKind::kMonolithic56, true},
+      {"split counters [13] + stored MAC", "split_stored_mac",
+       secmem::CounterSchemeKind::kSplit, true},
+      {"delta ctr + stored MAC", "delta_stored_mac",
+       secmem::CounterSchemeKind::kDelta, true},
+      {"dual-length delta + stored MAC", "dual_stored_mac",
+       secmem::CounterSchemeKind::kDualDelta, true},
+      {"delta ctr + MAC-in-ECC (paper)", "delta_mac_ecc",
+       secmem::CounterSchemeKind::kDelta, false},
+      {"dual-length delta + MAC-in-ECC", "dual_mac_ecc",
+       secmem::CounterSchemeKind::kDualDelta, false},
   };
+  secmem_bench::MetricsDump metrics("fig1_storage");
   print_data_merkle_row();
-  for (const Variant& variant : variants) print_row(variant);
+  for (const Variant& variant : variants)
+    print_row(variant, metrics.registry());
 
   std::printf(
       "\npaper's headline: baseline ~22%% total -> optimized ~2%% total.\n"

@@ -9,7 +9,9 @@
 // Reported per scheme: corrected / detected-only / undetected(+miscorrect).
 #include <cstdio>
 #include <cstring>
+#include <string>
 
+#include "bench_metrics.h"
 #include "common/rng.h"
 #include "crypto/cw_mac.h"
 #include "ecc/fault_model.h"
@@ -61,6 +63,7 @@ int main(int argc, char** argv) {
               "corrected", "detected", "missed", "corrected", "detected",
               "missed");
 
+  secmem_bench::MetricsDump metrics("fig3_error_coverage");
   for (const FaultPattern pattern : patterns) {
     Tally secded_tally, mac_tally;
     FaultInjector injector(static_cast<std::uint64_t>(pattern) * 977 + 1);
@@ -113,6 +116,16 @@ int main(int argc, char** argv) {
         }
       }
     }
+
+    const std::string base =
+        std::string("fig3.") + fault_pattern_name(pattern);
+    secmem::StatRegistry& reg = metrics.registry();
+    reg.counter(base + ".secded.corrected").inc(secded_tally.corrected);
+    reg.counter(base + ".secded.detected").inc(secded_tally.detected);
+    reg.counter(base + ".secded.undetected").inc(secded_tally.undetected);
+    reg.counter(base + ".mac_ecc.corrected").inc(mac_tally.corrected);
+    reg.counter(base + ".mac_ecc.detected").inc(mac_tally.detected);
+    reg.counter(base + ".mac_ecc.undetected").inc(mac_tally.undetected);
 
     std::printf("%-26s | %9d %9d %8d | %9d %9d %8d\n",
                 fault_pattern_name(pattern), secded_tally.corrected,

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_metrics.h"
 #include "sim/system_sim.h"
 
 namespace {
@@ -35,16 +36,22 @@ SystemConfig make_config(Protection protection, CounterSchemeKind scheme,
 }
 
 double run_ipc(const SystemConfig& config, const WorkloadProfile& profile,
-               std::uint64_t refs) {
+               std::uint64_t refs, StatRegistry& collect,
+               const std::string& prefix) {
   SystemSimulator sim(config, profile);
-  return sim.run(refs).ipc;
+  const double ipc = sim.run(refs).ipc;
+  collect.merge_from(sim.stats(), prefix);
+  collect.scalar(prefix + ".ipc").sample(ipc);
+  return ipc;
 }
 
 double run_variant(Protection protection, CounterSchemeKind scheme,
                    MacPlacement placement, const WorkloadProfile& profile,
-                   std::uint64_t refs) {
+                   std::uint64_t refs, StatRegistry& collect,
+                   const std::string& variant) {
   return run_ipc(make_config(protection, scheme, placement, refs / 3),
-                 profile, refs);
+                 profile, refs, collect,
+                 metric_path({profile.name, variant}));
 }
 
 }  // namespace
@@ -64,6 +71,10 @@ int main(int argc, char** argv) {
   const char* apps[] = {"facesim",      "dedup",    "canneal", "ferret",
                         "fluidanimate", "freqmine", "raytrace"};
 
+  // Per-run sim registries merge here under "<app>.<variant>.*".
+  secmem_bench::MetricsDump metrics("fig8_performance");
+  StatRegistry& reg = metrics.registry();
+
   std::printf(
       "=== Figure 8: IPC normalized to unencrypted memory "
       "(%llu refs/core) ===\n\n",
@@ -77,19 +88,19 @@ int main(int argc, char** argv) {
     const WorkloadProfile& profile = profile_by_name(app);
     const double base =
         run_variant(Protection::kNone, CounterSchemeKind::kMonolithic56,
-                    MacPlacement::kEccLane, profile, refs);
+                    MacPlacement::kEccLane, profile, refs, reg, "no_enc");
     const double bmt =
         run_variant(Protection::kEncrypted, CounterSchemeKind::kMonolithic56,
-                    MacPlacement::kSeparate, profile, refs);
+                    MacPlacement::kSeparate, profile, refs, reg, "bmt");
     const double mac_ecc =
         run_variant(Protection::kEncrypted, CounterSchemeKind::kMonolithic56,
-                    MacPlacement::kEccLane, profile, refs);
+                    MacPlacement::kEccLane, profile, refs, reg, "mac_ecc");
     const double delta =
         run_variant(Protection::kEncrypted, CounterSchemeKind::kDelta,
-                    MacPlacement::kSeparate, profile, refs);
+                    MacPlacement::kSeparate, profile, refs, reg, "delta");
     const double optimized =
         run_variant(Protection::kEncrypted, CounterSchemeKind::kDelta,
-                    MacPlacement::kEccLane, profile, refs);
+                    MacPlacement::kEccLane, profile, refs, reg, "optimized");
 
     if (csv) {
       std::printf("csv,%s,%.4f,%.4f,%.4f,%.4f\n", app, bmt / base,
@@ -112,13 +123,14 @@ int main(int argc, char** argv) {
     const WorkloadProfile& profile = profile_by_name(app);
     const double base =
         run_variant(Protection::kNone, CounterSchemeKind::kMonolithic56,
-                    MacPlacement::kEccLane, profile, refs / 2);
+                    MacPlacement::kEccLane, profile, refs / 2, reg, "no_enc");
     const double bmt =
         run_variant(Protection::kEncrypted, CounterSchemeKind::kMonolithic56,
-                    MacPlacement::kSeparate, profile, refs / 2);
+                    MacPlacement::kSeparate, profile, refs / 2, reg, "bmt");
     const double optimized =
         run_variant(Protection::kEncrypted, CounterSchemeKind::kDelta,
-                    MacPlacement::kEccLane, profile, refs / 2);
+                    MacPlacement::kEccLane, profile, refs / 2, reg,
+                    "optimized");
     std::printf("%-14s bmt=%.3f optimized=%.3f\n", app, bmt / base,
                 optimized / base);
   }

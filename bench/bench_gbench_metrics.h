@@ -1,0 +1,54 @@
+// google-benchmark adapter for the unified metrics layer: a console
+// reporter that mirrors every completed run into a StatRegistry, and the
+// main-function body the microbench suites use in place of
+// BENCHMARK_MAIN() so they emit the same `<tag>.metrics.json` export as
+// every other bench binary.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_metrics.h"
+
+namespace secmem_bench {
+
+class RegistryReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit RegistryReporter(secmem::StatRegistry& registry)
+      : registry_(registry) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        registry_.counter("bench.errors").inc();
+        continue;
+      }
+      const std::string base = "bench." + run.benchmark_name();
+      registry_.scalar(base + ".time_per_iter").sample(run.GetAdjustedRealTime());
+      registry_.counter(base + ".iterations").inc(static_cast<std::uint64_t>(run.iterations));
+      for (const auto& [name, counter] : run.counters)
+        registry_.scalar(base + "." + name).sample(counter.value);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  secmem::StatRegistry& registry_;
+};
+
+/// Initialize + run the registered benchmarks, mirroring results into a
+/// `<tag>.metrics.json` dump (see MetricsDump).
+inline int run_benchmarks_with_metrics(int argc, char** argv,
+                                       const std::string& tag) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  MetricsDump metrics(tag);
+  RegistryReporter reporter(metrics.registry());
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return metrics.write() ? 0 : 1;
+}
+
+}  // namespace secmem_bench

@@ -1,0 +1,62 @@
+// Unified metrics emission for the reproduction benches — the bench-side
+// entry point into the secmem observability layer (see ARCHITECTURE.md,
+// "Observability").
+//
+// Every bench binary writes a `<tag>.metrics.json` StatRegistry export
+// (git-ignored) next to its human-readable stdout report, so CI consumes
+// one machine-readable format across the whole suite. The
+// SECMEM_METRICS_JSON environment variable overrides the output path; an
+// empty value suppresses the file.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "common/stats.h"
+
+namespace secmem_bench {
+
+inline std::string metrics_output_path(const std::string& tag) {
+  if (const char* env = std::getenv("SECMEM_METRICS_JSON")) return env;
+  return tag + ".metrics.json";
+}
+
+/// Scope guard owning the bench's StatRegistry: benches record run-level
+/// scalars/counters into registry() (or merge_from() whole per-run sim
+/// registries) and the destructor writes the JSON export.
+class MetricsDump {
+ public:
+  explicit MetricsDump(const std::string& tag)
+      : path_(metrics_output_path(tag)) {}
+  ~MetricsDump() { write(); }
+
+  MetricsDump(const MetricsDump&) = delete;
+  MetricsDump& operator=(const MetricsDump&) = delete;
+
+  secmem::StatRegistry& registry() noexcept { return registry_; }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Write the export now (the destructor is a no-op afterwards).
+  bool write() {
+    if (written_ || path_.empty()) return true;
+    written_ = true;
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "metrics: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    registry_.write_json(out);
+    if (out.good())
+      std::fprintf(stderr, "metrics: wrote %s\n", path_.c_str());
+    return out.good();
+  }
+
+ private:
+  std::string path_;
+  secmem::StatRegistry registry_;
+  bool written_ = false;
+};
+
+}  // namespace secmem_bench

@@ -4,6 +4,7 @@
 // paper's §3.4 worst cases (512 checks single-bit, 130,816 double-bit).
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_metrics.h"
 #include "common/bitops.h"
 #include "common/rng.h"
 #include "crypto/aes128.h"
@@ -162,4 +163,7 @@ BENCHMARK(BM_FlipAndCheckDoubleBitWorstCase)->Iterations(3);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return secmem_bench::run_benchmarks_with_metrics(argc, argv,
+                                                   "micro_crypto");
+}

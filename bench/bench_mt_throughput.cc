@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_metrics.h"
 #include "common/rng.h"
 #include "engine/concurrent.h"
 #include "engine/sharded_memory.h"
@@ -194,6 +195,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: %d reads did not verify\n", bad.load());
     return 1;
   }
+
+  // Unified observability export: the engines' own metrics (lock-free
+  // per-shard cells aggregated on read) plus the throughput samples, in
+  // the same registry-JSON format every other bench emits.
+  secmem_bench::MetricsDump metrics("mt_throughput");
+  single.publish_metrics(metrics.registry(), "single");
+  sharded.publish_metrics(metrics.registry(), "sharded");
+  for (const Sample& s : samples)
+    metrics.registry()
+        .scalar(metric_path({"bench", s.engine,
+                             "t" + std::to_string(s.threads), "ops_per_sec"}))
+        .sample(s.ops_per_sec);
+  if (!metrics.write()) return 1;
 
   emit_json(stdout, samples, mib, shards, reads_per_thread);
   if (!out_path.empty()) {

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_metrics.h"
 #include "sim/system_sim.h"
 
 namespace {
@@ -17,7 +18,8 @@ using namespace secmem;
 
 double run_ipc(unsigned metacache_bytes, MacPlacement placement,
                Protection protection, const WorkloadProfile& profile,
-               std::uint64_t refs) {
+               std::uint64_t refs, StatRegistry& collect,
+               const std::string& prefix) {
   SystemConfig config;
   config.protection = protection;
   config.scheme = CounterSchemeKind::kMonolithic56;  // isolate the MAC knob
@@ -25,7 +27,10 @@ double run_ipc(unsigned metacache_bytes, MacPlacement placement,
   config.engine.metadata_cache = CacheConfig{metacache_bytes, 8, 64};
   config.warmup_refs = refs / 3;
   SystemSimulator sim(config, profile);
-  return sim.run(refs).ipc;
+  const double ipc = sim.run(refs).ipc;
+  collect.merge_from(sim.stats(), prefix);
+  collect.scalar(prefix + ".ipc").sample(ipc);
+  return ipc;
 }
 }  // namespace
 
@@ -41,13 +46,19 @@ int main(int argc, char** argv) {
   std::printf("%-12s %14s %14s %16s\n", "cache size", "separate MAC",
               "MAC-in-ECC", "ECC-lane gain");
 
+  secmem_bench::MetricsDump metrics("sensitivity_metacache");
+  StatRegistry& reg = metrics.registry();
   const double base = run_ipc(32 * 1024, MacPlacement::kEccLane,
-                              Protection::kNone, profile, refs);
+                              Protection::kNone, profile, refs, reg,
+                              "baseline");
   for (const unsigned kb : {8u, 16u, 32u, 64u, 128u}) {
-    const double separate = run_ipc(kb * 1024, MacPlacement::kSeparate,
-                                    Protection::kEncrypted, profile, refs);
-    const double ecc = run_ipc(kb * 1024, MacPlacement::kEccLane,
-                               Protection::kEncrypted, profile, refs);
+    const std::string tag = std::to_string(kb) + "kb";
+    const double separate =
+        run_ipc(kb * 1024, MacPlacement::kSeparate, Protection::kEncrypted,
+                profile, refs, reg, tag + ".separate");
+    const double ecc =
+        run_ipc(kb * 1024, MacPlacement::kEccLane, Protection::kEncrypted,
+                profile, refs, reg, tag + ".ecc_lane");
     std::printf("%8uKB %13.3f %14.3f %15.1f%%%s\n", kb, separate / base,
                 ecc / base, 100.0 * (ecc - separate) / separate,
                 kb == 32 ? "   <- paper Table 1" : "");

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_metrics.h"
 #include "engine/layout.h"
 #include "sim/system_sim.h"
 
@@ -15,13 +16,17 @@ namespace {
 using namespace secmem;
 
 double run_ipc(std::uint64_t onchip_bytes, CounterSchemeKind scheme,
-               const WorkloadProfile& profile, std::uint64_t refs) {
+               const WorkloadProfile& profile, std::uint64_t refs,
+               StatRegistry& collect, const std::string& prefix) {
   SystemConfig config;
   config.scheme = scheme;
   config.onchip_bytes = onchip_bytes;
   config.warmup_refs = refs / 3;
   SystemSimulator sim(config, profile);
-  return sim.run(refs).ipc;
+  const double ipc = sim.run(refs).ipc;
+  collect.merge_from(sim.stats(), prefix);
+  collect.scalar(prefix + ".ipc").sample(ipc);
+  return ipc;
 }
 
 unsigned levels_for(std::uint64_t onchip_bytes, unsigned blocks_per_line) {
@@ -43,15 +48,19 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(refs));
   std::printf("%-10s | %10s %12s | %10s %12s\n", "SRAM", "mono depth",
               "mono IPC", "delta depth", "delta IPC");
+  secmem_bench::MetricsDump metrics("sensitivity_tree");
+  StatRegistry& reg = metrics.registry();
   for (const std::uint64_t kb : {1ULL, 3ULL, 16ULL, 128ULL, 1024ULL}) {
     const std::uint64_t sram = kb * 1024;
+    const std::string tag = std::to_string(kb) + "kb";
     std::printf("%7lluKB | %10u %12.3f | %10u %12.3f%s\n",
                 static_cast<unsigned long long>(kb),
                 levels_for(sram, 8),
                 run_ipc(sram, CounterSchemeKind::kMonolithic56, profile,
-                        refs),
+                        refs, reg, tag + ".mono"),
                 levels_for(sram, 64),
-                run_ipc(sram, CounterSchemeKind::kDelta, profile, refs),
+                run_ipc(sram, CounterSchemeKind::kDelta, profile, refs, reg,
+                        tag + ".delta"),
                 kb == 3 ? "   <- paper Table 1" : "");
   }
 

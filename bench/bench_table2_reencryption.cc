@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "bench_metrics.h"
 #include "counters/delta_counter.h"
 #include "counters/dual_length_delta.h"
 #include "counters/split_counter.h"
@@ -43,6 +44,7 @@ int main(int argc, char** argv) {
   std::printf("%-14s %18s %14s %20s\n", "program", "7-bit split [13]",
               "7-bit delta", "dual-length delta");
 
+  secmem_bench::MetricsDump metrics("table2_reencryption");
   for (const WorkloadProfile& profile : parsec_profiles()) {
     double split_rate = 0, delta_rate = 0, dual_rate = 0;
     for (int run = 0; run < runs; ++run) {
@@ -64,7 +66,14 @@ int main(int argc, char** argv) {
       split_rate += static_cast<double>(split.reencryptions()) * scale;
       delta_rate += static_cast<double>(delta.reencryptions()) * scale;
       dual_rate += static_cast<double>(dual.reencryptions()) * scale;
+      metrics.registry().merge_from(
+          sim.stats(),
+          metric_path({profile.name, "run" + std::to_string(run)}));
     }
+    StatRegistry& reg = metrics.registry();
+    reg.scalar(profile.name + ".split_per_gcycle").sample(split_rate / runs);
+    reg.scalar(profile.name + ".delta_per_gcycle").sample(delta_rate / runs);
+    reg.scalar(profile.name + ".dual_per_gcycle").sample(dual_rate / runs);
     if (csv) {
       std::printf("csv,%s,%.0f,%.0f,%.0f\n", profile.name.c_str(),
                   split_rate / runs, delta_rate / runs, dual_rate / runs);

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_metrics.h"
 #include "counters/delta_counter.h"
 #include "counters/dual_length_delta.h"
 #include "counters/split_counter.h"
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
               "program", "cycles(M)", "writebacks", "l3missed",
               "splitRE", "dltRE", "dualRE", "dltRST", "dltRENC", "ipc");
 
+  secmem_bench::MetricsDump metrics("workload_diag");
   for (const WorkloadProfile& profile : parsec_profiles()) {
     SystemConfig config = secmem_bench::counter_dynamics_config();
 
@@ -37,6 +39,8 @@ int main(int argc, char** argv) {
     sim.add_observer(&delta);
     sim.add_observer(&dual);
     const SimResult result = sim.run(refs);
+    metrics.registry().merge_from(sim.stats(), profile.name);
+    metrics.registry().scalar(profile.name + ".ipc").sample(result.ipc);
 
     std::printf(
         "%-14s %10.1f %11llu %9llu | %6llu %6llu %6llu | %7llu %8llu | "

@@ -37,13 +37,13 @@ int main() {
 
   // --- ordinary use: byte-level writes and verified reads -------------
   const std::string secret = "attack at dawn; bring 128-bit keys";
-  memory.write(0x1234, std::span<const std::uint8_t>(
+  memory.write_bytes(0x1234, std::span<const std::uint8_t>(
                            reinterpret_cast<const std::uint8_t*>(
                                secret.data()),
                            secret.size()));
 
   std::vector<std::uint8_t> readback(secret.size());
-  if (!memory.read(0x1234, readback)) {
+  if (!secmem::status_ok(memory.read_bytes(0x1234, readback))) {
     std::printf("unexpected verification failure!\n");
     return 1;
   }

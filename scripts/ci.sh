@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build + full ctest on the default preset, then the
+# ASan+UBSan and TSan presets (TSan runs the concurrency suites), then a
+# metrics-export smoke check — every bench-style JSON dump must parse.
+# Any sanitizer report fails the run (halt_on_error).
+#
+#   scripts/ci.sh            # everything
+#   scripts/ci.sh --fast     # default preset only (skip sanitizers)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[ "${1:-}" = "--fast" ] && fast=1
+
+echo "=== tier 1: default preset build + ctest ==="
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+ctest --preset default -j "$(nproc)"
+
+if [ "$fast" -eq 0 ]; then
+  echo "=== ASan + UBSan ==="
+  ASAN_OPTIONS="halt_on_error=1:abort_on_error=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    bash -c 'cmake --preset asan &&
+             cmake --build --preset asan -j "$(nproc)" &&
+             ctest --preset asan -j "$(nproc)"'
+
+  echo "=== TSan (concurrency suites) ==="
+  TSAN_OPTIONS="halt_on_error=1" \
+    bash -c 'cmake --preset tsan &&
+             cmake --build --preset tsan -j "$(nproc)" &&
+             ctest --preset tsan -j "$(nproc)"'
+fi
+
+echo "=== metrics JSON smoke ==="
+# A quick engine run through the CLI plus one bench; both exports must be
+# valid JSON (python3 is the only parser dependency).
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+./build/tools/secmem-sim --engine sharded --refs 2000 \
+  --metrics-json "$tmp/engine.metrics.json" >/dev/null
+(cd "$tmp" && "$OLDPWD/build/bench/bench_fig1_storage" >/dev/null)
+for f in "$tmp"/*.metrics.json; do
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$f"
+  echo "ok: $f"
+done
+
+echo "CI PASSED"

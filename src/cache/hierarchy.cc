@@ -4,7 +4,14 @@ namespace secmem {
 
 CacheHierarchy::CacheHierarchy(const HierarchyConfig& config,
                                StatRegistry& stats)
-    : config_(config), l3_(config.l3), stats_(stats) {
+    : config_(config),
+      l3_(config.l3),
+      l1_stats_{stats.counter("cache.l1.hits"),
+                stats.counter("cache.l1.misses")},
+      l2_stats_{stats.counter("cache.l2.hits"),
+                stats.counter("cache.l2.misses")},
+      l3_stats_{stats.counter("cache.l3.hits"),
+                stats.counter("cache.l3.misses")} {
   l1_.reserve(config.cores);
   l2_.reserve(config.cores);
   for (unsigned c = 0; c < config.cores; ++c) {
@@ -45,10 +52,10 @@ AccessOutcome CacheHierarchy::access(unsigned core, std::uint64_t addr,
     if (is_write) l1.mark_dirty(line);
     outcome.served_by = ServedBy::kL1;
     outcome.hit_latency = config_.l1_latency;
-    stats_.counter("cache.l1.hits").inc();
+    l1_stats_.hits.inc();
     return outcome;
   }
-  stats_.counter("cache.l1.misses").inc();
+  l1_stats_.misses.inc();
 
   // Allocate into L1 regardless of where the line is found below.
   auto allocate_l1 = [&](bool dirty) {
@@ -62,19 +69,19 @@ AccessOutcome CacheHierarchy::access(unsigned core, std::uint64_t addr,
     allocate_l1(is_write || (removed && removed->dirty));
     outcome.served_by = ServedBy::kL2;
     outcome.hit_latency = config_.l2_latency;
-    stats_.counter("cache.l2.hits").inc();
+    l2_stats_.hits.inc();
     return outcome;
   }
-  stats_.counter("cache.l2.misses").inc();
+  l2_stats_.misses.inc();
 
   if (l3_.lookup(line)) {
     allocate_l1(is_write);
     outcome.served_by = ServedBy::kL3;
     outcome.hit_latency = config_.l3_latency;
-    stats_.counter("cache.l3.hits").inc();
+    l3_stats_.hits.inc();
     return outcome;
   }
-  stats_.counter("cache.l3.misses").inc();
+  l3_stats_.misses.inc();
 
   // Miss everywhere: line comes from DRAM. Fill L3 (clean copy) and L1.
   fill_l3(line, /*dirty=*/false, outcome.writebacks);

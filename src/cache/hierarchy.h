@@ -61,7 +61,15 @@ class CacheHierarchy {
   std::vector<SetAssocCache> l1_;  // one per core
   std::vector<SetAssocCache> l2_;  // one per core
   SetAssocCache l3_;
-  StatRegistry& stats_;
+  // Cached registry counters (stable references, see StatRegistry) —
+  // the map lookups happen once at construction, not per access.
+  struct LevelCounters {
+    StatCounter& hits;
+    StatCounter& misses;
+  };
+  LevelCounters l1_stats_;
+  LevelCounters l2_stats_;
+  LevelCounters l3_stats_;
 };
 
 }  // namespace secmem

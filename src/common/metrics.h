@@ -1,0 +1,198 @@
+// secmem::metrics — the hot-path half of the observability layer.
+//
+// StatRegistry (common/stats.h) is the named, exportable view; it is a
+// plain map and must not be touched from concurrent hot paths. This file
+// provides what the engines record into instead:
+//
+//  - MetricsCell: a cache-line-aligned block of relaxed atomic counters
+//    and log2 histograms, indexed by fixed enums — one fetch_add per
+//    event, no locks, no string hashing. Safe to write from the cell
+//    owner's thread(s) and read from any other.
+//  - MetricsSink: N cells (one per shard or per thread) aggregated on
+//    read, so concurrent writers never share a cache line.
+//  - TraceRing: a bounded ring of recent events (kind, block, shard,
+//    outcome) for post-mortem debugging of integrity violations and
+//    scrub findings. Mutex-guarded: tracing is an opt-in debug facility,
+//    engines skip it entirely (one branch) when no ring is attached.
+//
+// publish() bridges the two worlds: it folds a sink's current totals into
+// a StatRegistry under a dotted prefix, where they become part of the
+// snapshot/diff/JSON pipeline.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace secmem {
+
+/// Fixed ids for the engines' hot-path event counters. metric_name()
+/// gives the dotted-path suffix each publishes under.
+enum class MetricId : unsigned {
+  kReads,                ///< verified block reads
+  kWrites,               ///< encrypted block writes
+  kByteReads,            ///< byte-level read() calls
+  kByteWrites,           ///< byte-level write() calls
+  kCorrectedData,        ///< reads healed by flip-and-check
+  kCorrectedMacField,    ///< reads with a repaired MAC-lane bit
+  kCorrectedWord,        ///< reads with SEC-DED-corrected words
+  kIntegrityViolations,  ///< uncorrectable/tampered reads
+  kCounterTampers,       ///< counter lines failing tree authentication
+  kGroupReencryptions,   ///< delta-scheme group re-encryption events
+  kMacEvaluations,       ///< flip-and-check MAC computations
+  kScrubbedBlocks,       ///< blocks swept by scrub_block/scrub_all
+  kScrubRepairs,         ///< scrubbed blocks healed in place
+  kScrubUncorrectable,   ///< scrubbed blocks beyond repair
+  kKeyRotations,         ///< successful master-key rotations
+  kRestores,             ///< successful restores from a saved image
+  kCount_,               ///< sentinel
+};
+inline constexpr std::size_t kMetricCount =
+    static_cast<std::size_t>(MetricId::kCount_);
+
+const char* metric_name(MetricId id) noexcept;
+
+/// Fixed ids for the engines' hot-path histograms (all log2-bucketed).
+enum class EngineHistId : unsigned {
+  kMacEvalsPerCorrection,  ///< flip-and-check cost per corrective read
+  kReadLatencyNs,          ///< verified-read wall time (config.time_ops)
+  kWriteLatencyNs,         ///< block-write wall time (config.time_ops)
+  kByteReadBytes,          ///< byte-level read() request size
+  kByteWriteBytes,         ///< byte-level write() request size
+  kReencryptedBlocks,      ///< blocks rewritten per group re-encryption
+  kCount_,                 ///< sentinel
+};
+inline constexpr std::size_t kEngineHistCount =
+    static_cast<std::size_t>(EngineHistId::kCount_);
+/// log2 buckets: [0], [1], [2,3), ... — 40 buckets cover up to ~2^39.
+inline constexpr std::size_t kEngineHistBuckets = 40;
+
+const char* engine_hist_name(EngineHistId id) noexcept;
+
+/// One writer's slice of the metrics plane. All mutation is relaxed
+/// atomic; readers may observe the counters mid-operation (monotonic but
+/// not a cross-counter snapshot), which is exactly the contract a stats
+/// poller wants on a hot path.
+class MetricsCell {
+ public:
+  void add(MetricId id, std::uint64_t n = 1) noexcept {
+    counters_[static_cast<std::size_t>(id)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void sample(EngineHistId hist, std::uint64_t v) noexcept {
+    hists_[static_cast<std::size_t>(hist)][log2_bucket(v)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value(MetricId id) const noexcept {
+    return counters_[static_cast<std::size_t>(id)].load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t hist_bucket(EngineHistId hist,
+                            std::size_t bucket) const noexcept {
+    return hists_[static_cast<std::size_t>(hist)][bucket].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Zero every counter and bucket (relaxed stores; callers reset while
+  /// quiescent or accept losing concurrent increments).
+  void reset() noexcept;
+
+  static std::size_t log2_bucket(std::uint64_t v) noexcept;
+
+ private:
+  // 64-byte alignment keeps cells in a MetricsSink from false-sharing
+  // their first (hottest) counters across writer threads.
+  alignas(64) std::array<std::atomic<std::uint64_t>, kMetricCount>
+      counters_{};
+  std::array<std::array<std::atomic<std::uint64_t>, kEngineHistBuckets>,
+             kEngineHistCount>
+      hists_{};
+};
+
+/// A fixed set of MetricsCells — per shard or per worker thread —
+/// aggregated on read. Writers call sink.cell(i).add(...); readers call
+/// total()/publish() without synchronizing with writers.
+class MetricsSink {
+ public:
+  explicit MetricsSink(std::size_t cells = 1) : cells_(cells ? cells : 1) {}
+
+  std::size_t cell_count() const noexcept { return cells_.size(); }
+  MetricsCell& cell(std::size_t i) { return cells_[i]; }
+  const MetricsCell& cell(std::size_t i) const { return cells_[i]; }
+
+  std::uint64_t total(MetricId id) const noexcept;
+  void reset() noexcept;
+
+  /// Fold current totals into `registry` under `prefix` (e.g. "engine" →
+  /// "engine.reads"). Adds to whatever the registry already holds, so
+  /// publish into a fresh registry (or diff snapshots) for absolute
+  /// values.
+  void publish(StatRegistry& registry, const std::string& prefix) const;
+
+ private:
+  std::vector<MetricsCell> cells_;
+};
+
+/// Publish an arbitrary group of cells (e.g. one per shard, owned by the
+/// shards themselves) into a registry — the aggregation primitive behind
+/// both MetricsSink::publish and ShardedSecureMemory.
+void publish_cells(const std::vector<const MetricsCell*>& cells,
+                   StatRegistry& registry, const std::string& prefix);
+
+/// One entry of the post-mortem trace.
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kRead,
+    kWrite,
+    kByteRead,
+    kByteWrite,
+    kScrub,
+    kReencrypt,
+    kKeyRotation,
+    kRestore,
+  };
+  Kind kind = Kind::kRead;
+  Status outcome = Status::kOk;
+  std::uint16_t shard = 0;   ///< owning shard (0 for unsharded engines)
+  std::uint64_t block = 0;   ///< shard-local block index
+  std::uint64_t seq = 0;     ///< global record order, assigned by the ring
+};
+
+const char* trace_kind_name(TraceEvent::Kind kind) noexcept;
+
+/// Bounded ring buffer of recent TraceEvents; the newest `capacity`
+/// events win. Thread-safe via a mutex — attach one only when debugging
+/// (engines test a single pointer when no ring is attached).
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity)
+      : ring_(capacity ? capacity : 1) {}
+
+  void record(TraceEvent::Kind kind, Status outcome, std::uint64_t block,
+              std::uint16_t shard = 0) noexcept;
+
+  std::size_t capacity() const noexcept { return ring_.size(); }
+  /// Total events ever recorded (>= size of snapshot()).
+  std::uint64_t recorded() const noexcept;
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+  void clear() noexcept;
+  /// One line per retained event, oldest first — the post-mortem dump
+  /// hook for integrity violations and scrub reports.
+  void dump(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::uint64_t next_ = 0;  ///< total recorded; next_ % size is the head
+};
+
+}  // namespace secmem

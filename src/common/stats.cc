@@ -1,6 +1,8 @@
 #include "common/stats.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdio>
 #include <iomanip>
 
 namespace secmem {
@@ -16,11 +18,33 @@ void StatScalar::sample(double v) noexcept {
   ++count_;
 }
 
-StatHistogram::StatHistogram(std::size_t buckets, std::uint64_t bucket_width)
-    : buckets_(buckets, 0), width_(bucket_width == 0 ? 1 : bucket_width) {}
+void StatScalar::merge(const StatScalar& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+const char* hist_scale_name(HistScale scale) noexcept {
+  return scale == HistScale::kLog2 ? "log2" : "linear";
+}
+
+StatHistogram::StatHistogram(std::size_t buckets, std::uint64_t bucket_width,
+                             HistScale scale)
+    : buckets_(buckets ? buckets : 1, 0),
+      width_(bucket_width == 0 ? 1 : bucket_width),
+      scale_(scale) {}
 
 void StatHistogram::sample(std::uint64_t v) noexcept {
-  const std::size_t idx = static_cast<std::size_t>(v / width_);
+  const std::size_t idx =
+      scale_ == HistScale::kLog2
+          ? static_cast<std::size_t>(std::bit_width(v))
+          : static_cast<std::size_t>(v / width_);
   if (idx < buckets_.size())
     ++buckets_[idx];
   else
@@ -28,14 +52,130 @@ void StatHistogram::sample(std::uint64_t v) noexcept {
   ++total_;
 }
 
+void StatHistogram::add_bucket_count(std::size_t i,
+                                     std::uint64_t n) noexcept {
+  if (n == 0) return;
+  if (i < buckets_.size())
+    buckets_[i] += n;
+  else
+    overflow_ += n;
+  total_ += n;
+}
+
+std::uint64_t StatHistogram::bucket_lower_bound(
+    std::size_t i) const noexcept {
+  if (scale_ == HistScale::kLog2)
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  return i * width_;
+}
+
+void StatHistogram::reset() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  overflow_ = 0;
+  total_ = 0;
+}
+
+StatHistogram& StatRegistry::histogram(const std::string& name,
+                                       std::size_t buckets,
+                                       std::uint64_t bucket_width,
+                                       HistScale scale) {
+  auto [it, inserted] = histograms_.try_emplace(
+      name, StatHistogram(buckets, bucket_width, scale));
+  return it->second;
+}
+
 std::uint64_t StatRegistry::counter_value(const std::string& name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value();
 }
 
+namespace {
+std::string joined(const std::string& prefix, const std::string& name) {
+  return prefix.empty() ? name : prefix + "." + name;
+}
+}  // namespace
+
+void StatRegistry::merge_from(const StatRegistry& other,
+                              const std::string& prefix) {
+  for (const auto& [name, c] : other.counters_)
+    counters_[joined(prefix, name)].inc(c.value());
+  for (const auto& [name, s] : other.scalars_)
+    scalars_[joined(prefix, name)].merge(s);
+  for (const auto& [name, h] : other.histograms_) {
+    auto [it, inserted] = histograms_.try_emplace(
+        joined(prefix, name),
+        StatHistogram(h.bucket_count(), h.bucket_width(), h.scale()));
+    StatHistogram& dest = it->second;
+    const std::size_t common =
+        std::min(dest.bucket_count(), h.bucket_count());
+    for (std::size_t i = 0; i < common; ++i)
+      dest.add_bucket_count(i, h.bucket(i));
+    for (std::size_t i = common; i < h.bucket_count(); ++i)
+      dest.add_bucket_count(dest.bucket_count(), h.bucket(i));
+    dest.add_bucket_count(dest.bucket_count(), h.overflow());
+  }
+}
+
+RegistrySnapshot StatRegistry::snapshot() const {
+  RegistrySnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
+  for (const auto& [name, s] : scalars_)
+    snap.scalars[name] = {s.count(), s.sum(), s.min(), s.max()};
+  for (const auto& [name, h] : histograms_) {
+    RegistrySnapshot::Histogram out;
+    out.scale = h.scale();
+    out.bucket_width = h.bucket_width();
+    out.buckets.resize(h.bucket_count());
+    for (std::size_t i = 0; i < h.bucket_count(); ++i)
+      out.buckets[i] = h.bucket(i);
+    out.overflow = h.overflow();
+    out.total = h.total();
+    snap.histograms[name] = std::move(out);
+  }
+  return snap;
+}
+
+RegistrySnapshot snapshot_diff(const RegistrySnapshot& after,
+                               const RegistrySnapshot& before) {
+  RegistrySnapshot diff = after;
+  for (auto& [name, value] : diff.counters) {
+    auto it = before.counters.find(name);
+    if (it != before.counters.end())
+      value -= std::min(value, it->second);
+  }
+  for (auto& [name, s] : diff.scalars) {
+    auto it = before.scalars.find(name);
+    if (it == before.scalars.end()) continue;
+    s.count -= std::min(s.count, it->second.count);
+    s.sum -= it->second.sum;
+  }
+  for (auto& [name, h] : diff.histograms) {
+    auto it = before.histograms.find(name);
+    if (it == before.histograms.end()) continue;
+    const auto& old = it->second;
+    for (std::size_t i = 0;
+         i < std::min(h.buckets.size(), old.buckets.size()); ++i)
+      h.buckets[i] -= std::min(h.buckets[i], old.buckets[i]);
+    h.overflow -= std::min(h.overflow, old.overflow);
+    h.total -= std::min(h.total, old.total);
+  }
+  return diff;
+}
+
+std::string metric_path(std::initializer_list<std::string_view> parts) {
+  std::string path;
+  for (const std::string_view part : parts) {
+    if (part.empty()) continue;
+    if (!path.empty()) path += '.';
+    path += part;
+  }
+  return path;
+}
+
 void StatRegistry::reset() {
   for (auto& [_, c] : counters_) c.reset();
   for (auto& [_, s] : scalars_) s.reset();
+  for (auto& [_, h] : histograms_) h.reset();
 }
 
 void StatRegistry::dump(std::ostream& os) const {
@@ -46,6 +186,90 @@ void StatRegistry::dump(std::ostream& os) const {
        << " min=" << s.min() << " max=" << s.max() << " n=" << s.count()
        << '\n';
   }
+  for (const auto& [name, h] : histograms_) {
+    os << std::left << std::setw(48) << name << "n=" << h.total()
+       << " scale=" << hist_scale_name(h.scale());
+    for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+      if (h.bucket(i) == 0) continue;
+      os << " [" << h.bucket_lower_bound(i) << "]=" << h.bucket(i);
+    }
+    if (h.overflow() != 0) os << " overflow=" << h.overflow();
+    os << '\n';
+  }
+}
+
+namespace {
+
+// Locale-independent JSON number/string helpers.
+void json_double(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+void json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void RegistrySnapshot::write_json(std::ostream& os) const {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_string(os, name);
+    os << ": " << value;
+  }
+  os << (first ? "}" : "\n  }") << ",\n  \"scalars\": {";
+  first = true;
+  for (const auto& [name, s] : scalars) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_string(os, name);
+    os << ": {\"count\": " << s.count << ", \"sum\": ";
+    json_double(os, s.sum);
+    os << ", \"mean\": ";
+    json_double(os, s.mean());
+    os << ", \"min\": ";
+    json_double(os, s.min);
+    os << ", \"max\": ";
+    json_double(os, s.max);
+    os << "}";
+  }
+  os << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_string(os, name);
+    os << ": {\"scale\": \"" << hist_scale_name(h.scale)
+       << "\", \"bucket_width\": " << h.bucket_width
+       << ", \"total\": " << h.total << ", \"overflow\": " << h.overflow
+       << ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i)
+      os << (i ? ", " : "") << h.buckets[i];
+    os << "]}";
+  }
+  os << (first ? "}" : "\n  }") << "\n}\n";
 }
 
 }  // namespace secmem

@@ -1,13 +1,22 @@
-// Lightweight statistics collection used across the simulator stack.
-// Components register named counters/histograms with a StatRegistry owned
-// by the top-level simulation; benches dump the registry at the end of a
-// run. No global state: registries are plain objects passed explicitly.
+// Lightweight statistics collection used across the simulator and engine
+// stack. Components register named counters/scalars/histograms with a
+// StatRegistry; benches and tools dump or JSON-export the registry at the
+// end of a run. No global state: registries are plain objects passed
+// explicitly.
+//
+// Names are dotted hierarchical paths ("dram.ch0.row_hits",
+// "engine.shard3.reads"); metric_path() builds them from segments.
+// snapshot() captures the registry's current values as plain data;
+// snapshot_diff() subtracts two captures, which is how benches report
+// per-phase deltas without resetting live counters.
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace secmem {
@@ -23,10 +32,16 @@ class StatCounter {
   std::uint64_t value_ = 0;
 };
 
-/// Running mean/min/max over a stream of samples.
+/// Running mean/min/max over a stream of samples. min()/max() are 0 until
+/// the first sample; from then on they track the observed extrema (a
+/// first positive sample yields a positive min, never 0).
 class StatScalar {
  public:
   void sample(double v) noexcept;
+  /// Fold another scalar's samples into this one. Empty sources are
+  /// ignored, so merging a populated scalar with untouched per-shard
+  /// slots never drags min() down to 0.
+  void merge(const StatScalar& other) noexcept;
   std::uint64_t count() const noexcept { return count_; }
   double mean() const noexcept { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
   double min() const noexcept { return min_; }
@@ -41,45 +56,125 @@ class StatScalar {
   double max_ = 0;
 };
 
-/// Fixed-bucket histogram (linear buckets plus overflow).
+/// Bucketing rule for a StatHistogram.
+enum class HistScale : std::uint8_t {
+  kLinear,  ///< bucket i covers [i*width, (i+1)*width)
+  kLog2,    ///< bucket 0 is {0}; bucket i>0 covers [2^(i-1), 2^i)
+};
+
+const char* hist_scale_name(HistScale scale) noexcept;
+
+/// Fixed-bucket histogram (linear or log2 buckets plus overflow).
 class StatHistogram {
  public:
   StatHistogram() : StatHistogram(16, 1) {}
-  StatHistogram(std::size_t buckets, std::uint64_t bucket_width);
+  StatHistogram(std::size_t buckets, std::uint64_t bucket_width,
+                HistScale scale = HistScale::kLinear);
 
   void sample(std::uint64_t v) noexcept;
+  /// Bulk-add `n` events to bucket `i` (`i == bucket_count()` targets the
+  /// overflow bucket) — how MetricsSink publishes its atomic buckets.
+  void add_bucket_count(std::size_t i, std::uint64_t n) noexcept;
+
   std::uint64_t total() const noexcept { return total_; }
   std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
   std::size_t bucket_count() const noexcept { return buckets_.size(); }
   std::uint64_t overflow() const noexcept { return overflow_; }
   std::uint64_t bucket_width() const noexcept { return width_; }
+  HistScale scale() const noexcept { return scale_; }
+  /// Smallest value that lands in bucket `i`.
+  std::uint64_t bucket_lower_bound(std::size_t i) const noexcept;
+  void reset() noexcept;
 
  private:
   std::vector<std::uint64_t> buckets_;
   std::uint64_t width_;
+  HistScale scale_;
   std::uint64_t overflow_ = 0;
   std::uint64_t total_ = 0;
 };
 
+/// Plain-data capture of a registry at one instant (see
+/// StatRegistry::snapshot). Subtractable and JSON-serializable.
+struct RegistrySnapshot {
+  struct Scalar {
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    double mean() const noexcept {
+      return count ? sum / static_cast<double>(count) : 0.0;
+    }
+  };
+  struct Histogram {
+    HistScale scale = HistScale::kLinear;
+    std::uint64_t bucket_width = 1;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t overflow = 0;
+    std::uint64_t total = 0;
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, Scalar> scalars;
+  std::map<std::string, Histogram> histograms;
+
+  void write_json(std::ostream& os) const;
+};
+
+/// `after - before`, element-wise: counters, histogram buckets, and scalar
+/// count/sum subtract; scalar min/max are taken from `after` (extrema are
+/// not invertible). Entries missing from `before` pass through unchanged.
+RegistrySnapshot snapshot_diff(const RegistrySnapshot& after,
+                               const RegistrySnapshot& before);
+
+/// Join non-empty segments with dots: metric_path({"engine", "shard3",
+/// "reads"}) == "engine.shard3.reads".
+std::string metric_path(std::initializer_list<std::string_view> parts);
+
 /// Name → stat map. Lookup lazily creates; names use dotted paths,
-/// e.g. "dram.ch0.row_hits".
+/// e.g. "dram.ch0.row_hits". References returned by counter() / scalar()
+/// / histogram() stay valid for the registry's lifetime (std::map node
+/// stability), so hot paths should look up once and cache the pointer.
 class StatRegistry {
  public:
   StatCounter& counter(const std::string& name) { return counters_[name]; }
   StatScalar& scalar(const std::string& name) { return scalars_[name]; }
+  /// Lazily creates with default shape (16 linear buckets of width 1).
+  StatHistogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+  /// Lazily creates with the given shape; an existing histogram keeps its
+  /// original shape (first registration wins).
+  StatHistogram& histogram(const std::string& name, std::size_t buckets,
+                           std::uint64_t bucket_width,
+                           HistScale scale = HistScale::kLinear);
 
   const std::map<std::string, StatCounter>& counters() const { return counters_; }
   const std::map<std::string, StatScalar>& scalars() const { return scalars_; }
+  const std::map<std::string, StatHistogram>& histograms() const {
+    return histograms_;
+  }
 
   /// Value of a counter, 0 if never touched.
   std::uint64_t counter_value(const std::string& name) const;
 
+  /// Fold `other`'s stats into this registry, each name prefixed with
+  /// `prefix` (joined with a dot when non-empty) — how benches collect
+  /// several per-run registries into one report.
+  void merge_from(const StatRegistry& other, const std::string& prefix = "");
+
+  RegistrySnapshot snapshot() const;
+
   void reset();
+  /// Human-readable table: counters, scalars, and histograms.
   void dump(std::ostream& os) const;
+  /// Machine-readable export; see RegistrySnapshot::write_json.
+  void write_json(std::ostream& os) const { snapshot().write_json(os); }
 
  private:
   std::map<std::string, StatCounter> counters_;
   std::map<std::string, StatScalar> scalars_;
+  std::map<std::string, StatHistogram> histograms_;
 };
 
 }  // namespace secmem

@@ -27,9 +27,15 @@ class ReencryptionEngine {
 
   /// `capacity`: overflow-buffer depth (paper Fig 7). A full buffer
   /// forces a synchronous drain — the stall the buffer exists to avoid.
+  // Counter references are registry-stable, so the name lookups happen
+  // once here instead of per enqueue/drain.
   ReencryptionEngine(DramSystem& dram, StatRegistry& stats,
                      std::size_t capacity = 8)
-      : dram_(dram), stats_(stats), capacity_(capacity) {}
+      : dram_(dram),
+        stalls_(stats.counter("reenc.buffer_full_stalls")),
+        enqueued_(stats.counter("reenc.jobs_enqueued")),
+        drained_(stats.counter("reenc.jobs_drained")),
+        capacity_(capacity) {}
 
   /// Queue a block-group for re-encryption. Returns the cycle work
   /// completed if the buffer was full and had to drain synchronously at
@@ -37,11 +43,11 @@ class ReencryptionEngine {
   std::uint64_t enqueue(const Job& job, std::uint64_t now = 0) {
     std::uint64_t stall_done = 0;
     if (queue_.size() >= capacity_) {
-      stats_.counter("reenc.buffer_full_stalls").inc();
+      stalls_.inc();
       stall_done = drain(now);
     }
     queue_.push_back(job);
-    stats_.counter("reenc.jobs_enqueued").inc();
+    enqueued_.inc();
     high_water_ = std::max(high_water_, queue_.size());
     return stall_done;
   }
@@ -58,7 +64,9 @@ class ReencryptionEngine {
 
  private:
   DramSystem& dram_;
-  StatRegistry& stats_;
+  StatCounter& stalls_;
+  StatCounter& enqueued_;
+  StatCounter& drained_;
   std::size_t capacity_;
   std::size_t high_water_ = 0;
   std::deque<Job> queue_;

@@ -11,8 +11,14 @@ DramChannel::DramChannel(const DramConfig& config, unsigned index,
       tREFI_(config.timing.tREFI),
       tRFC_(config.timing.tRFC),
       burst_cycles_(config.timing.tBurst),
-      stats_(stats),
-      prefix_("dram.ch" + std::to_string(index)) {
+      writes_(stats.counter("dram.ch" + std::to_string(index) + ".writes")),
+      reads_(stats.counter("dram.ch" + std::to_string(index) + ".reads")),
+      row_hits_(
+          stats.counter("dram.ch" + std::to_string(index) + ".row_hits")),
+      row_misses_(
+          stats.counter("dram.ch" + std::to_string(index) + ".row_misses")),
+      refresh_delays_(stats.counter("dram.ch" + std::to_string(index) +
+                                    ".refresh_delays")) {
   const unsigned total =
       config.org.ranks_per_channel * config.org.banks_per_rank;
   banks_.reserve(total);
@@ -43,7 +49,7 @@ DramChannel::Completion DramChannel::access(std::uint64_t now, unsigned rank,
     const std::uint64_t done =
         std::max(now, write_bus_free_) + burst_cycles_;
     write_bus_free_ = done;
-    stats_.counter(prefix_ + ".writes").inc();
+    writes_.inc();
     return {done, true};
   }
 
@@ -51,7 +57,7 @@ DramChannel::Completion DramChannel::access(std::uint64_t now, unsigned rank,
   // it drains below capacity (finite-buffer backpressure), and refresh
   // windows block the whole channel.
   std::uint64_t earliest = after_refresh(now);
-  if (earliest != now) stats_.counter(prefix_ + ".refresh_delays").inc();
+  if (earliest != now) refresh_delays_.inc();
   if (write_bus_free_ > earliest + kWriteQueueBursts * burst_cycles_)
     earliest = write_bus_free_ - kWriteQueueBursts * burst_cycles_;
 
@@ -60,9 +66,8 @@ DramChannel::Completion DramChannel::access(std::uint64_t now, unsigned rank,
   // The burst also occupies the physical bus from the writes' viewpoint.
   write_bus_free_ = std::max(write_bus_free_, result.data_done);
 
-  stats_.counter(prefix_ + ".reads").inc();
-  stats_.counter(prefix_ + (result.row_hit ? ".row_hits" : ".row_misses"))
-      .inc();
+  reads_.inc();
+  (result.row_hit ? row_hits_ : row_misses_).inc();
   return {result.data_done, result.row_hit};
 }
 

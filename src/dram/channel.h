@@ -49,8 +49,14 @@ class DramChannel {
   std::uint64_t bus_free_ = 0;        ///< read-priority bus horizon
   std::uint64_t write_bus_free_ = 0;  ///< posted-write drain horizon
   std::uint32_t burst_cycles_;
-  StatRegistry& stats_;
-  std::string prefix_;
+  // Cached registry counters ("dram.chN.*"): the per-access string
+  // concatenation + map lookup this used to do dwarfed the scheduling
+  // arithmetic itself. References stay valid for the registry's lifetime.
+  StatCounter& writes_;
+  StatCounter& reads_;
+  StatCounter& row_hits_;
+  StatCounter& row_misses_;
+  StatCounter& refresh_delays_;
 };
 
 }  // namespace secmem

@@ -8,6 +8,10 @@
 // actually scales with threads. The untrusted attack surface is
 // deliberately NOT re-exported: concurrent attacker simulation must
 // synchronize explicitly via with_exclusive().
+//
+// Metrics bypass the lock entirely: the wrapped engine records into
+// relaxed atomics, so stats()/publish_metrics() never contend with the
+// datapath.
 #pragma once
 
 #include <iosfwd>
@@ -15,72 +19,79 @@
 
 #include "engine/lock_table.h"
 #include "engine/secure_memory.h"
+#include "engine/secure_memory_like.h"
 
 namespace secmem {
 
-class ConcurrentSecureMemory {
+class ConcurrentSecureMemory : public SecureMemoryLike {
  public:
   explicit ConcurrentSecureMemory(const SecureMemoryConfig& config)
       : locks_(1), memory_(config) {}
 
-  std::uint64_t size_bytes() const noexcept { return memory_.size_bytes(); }
-  std::uint64_t num_blocks() const noexcept { return memory_.num_blocks(); }
+  std::uint64_t size_bytes() const noexcept override {
+    return memory_.size_bytes();
+  }
+  std::uint64_t num_blocks() const noexcept override {
+    return memory_.num_blocks();
+  }
 
-  void write_block(std::uint64_t block, const DataBlock& plaintext) {
+  void write_block(std::uint64_t block, const DataBlock& plaintext) override {
     const auto lock = locks_.lock(0);
     memory_.write_block(block, plaintext);
   }
 
-  SecureMemory::ReadResult read_block(std::uint64_t block) {
+  ReadResult read_block(std::uint64_t block) override {
     const auto lock = locks_.lock(0);
     return memory_.read_block(block);
   }
 
-  bool write(std::uint64_t addr, std::span<const std::uint8_t> bytes) {
+  Status write_bytes(std::uint64_t addr,
+                     std::span<const std::uint8_t> bytes) override {
     const auto lock = locks_.lock(0);
-    return memory_.write(addr, bytes);
+    return memory_.write_bytes(addr, bytes);
   }
 
-  bool read(std::uint64_t addr, std::span<std::uint8_t> out) {
+  Status read_bytes(std::uint64_t addr,
+                    std::span<std::uint8_t> out) override {
     const auto lock = locks_.lock(0);
-    return memory_.read(addr, out);
+    return memory_.read_bytes(addr, out);
   }
 
-  SecureMemory::ScrubStatus scrub_block(std::uint64_t block,
-                                        bool deep = false) {
+  ScrubStatus scrub_block(std::uint64_t block, bool deep = false) override {
     const auto lock = locks_.lock(0);
     return memory_.scrub_block(block, deep);
   }
 
-  SecureMemory::ScrubReport scrub_all(bool deep = false) {
+  ScrubReport scrub_all(bool deep = false) override {
     const auto lock = locks_.lock(0);
     return memory_.scrub_all(deep);
   }
 
-  bool rotate_master_key(std::uint64_t new_master) {
+  bool rotate_master_key(std::uint64_t new_master) override {
     const auto lock = locks_.lock(0);
     return memory_.rotate_master_key(new_master);
   }
 
-  SecureMemory::Stats stats() {
-    const auto lock = locks_.lock(0);
-    return memory_.stats();
+  /// Lock-free: reads the wrapped engine's relaxed-atomic cell directly.
+  EngineStats stats() const noexcept override { return memory_.stats(); }
+  void reset_stats() noexcept override { memory_.reset_stats(); }
+
+  void publish_metrics(StatRegistry& registry,
+                       const std::string& prefix = "engine") const override {
+    memory_.publish_metrics(registry, prefix);
   }
 
-  void reset_stats() {
-    const auto lock = locks_.lock(0);
-    memory_.reset_stats();
-  }
+  void attach_trace(TraceRing* ring) override { memory_.attach_trace(ring); }
 
   /// Persistence under the lock. Note the stream I/O happens while the
   /// lock is held — that is the point: a save must observe a quiescent
   /// region, and a restore must not race concurrent readers.
-  void save(std::ostream& out) {
+  void save(std::ostream& out) override {
     const auto lock = locks_.lock(0);
     memory_.save(out);
   }
 
-  bool restore(std::istream& in) {
+  bool restore(std::istream& in) override {
     const auto lock = locks_.lock(0);
     return memory_.restore(in);
   }

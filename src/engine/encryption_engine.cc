@@ -12,9 +12,24 @@ EncryptionEngine::EncryptionEngine(const EngineConfig& config,
       scheme_(scheme),
       layout_(layout),
       dram_(dram),
-      stats_(stats),
+      reads_(stats.counter("engine.reads")),
+      writes_(stats.counter("engine.writes")),
+      counter_hits_(stats.counter("engine.counter_hits")),
+      counter_misses_(stats.counter("engine.counter_misses")),
+      counter_misses_write_(stats.counter("engine.counter_misses_write")),
+      tree_node_fetches_(stats.counter("engine.tree_node_fetches")),
+      parent_fetches_(stats.counter("engine.parent_fetches")),
+      metadata_writebacks_(stats.counter("engine.metadata_writebacks")),
+      mac_hits_(stats.counter("engine.mac_hits")),
+      mac_misses_(stats.counter("engine.mac_misses")),
       metadata_cache_(config.metadata_cache, stats),
-      reenc_(dram, stats) {}
+      reenc_(dram, stats) {
+  for (std::size_t e = 0; e < ctr_events_.size(); ++e) {
+    ctr_events_[e] = &stats.counter(
+        std::string("engine.ctr_event.") +
+        counter_event_name(static_cast<CounterEvent>(e)));
+  }
+}
 
 void EncryptionEngine::dirty_parent(std::uint64_t now, unsigned level,
                                     std::uint64_t index) {
@@ -27,7 +42,7 @@ void EncryptionEngine::dirty_parent(std::uint64_t now, unsigned level,
   post_metadata_writebacks(now, access.writebacks);
   if (!access.hit) {
     dram_.access(now, parent_addr, /*is_write=*/false);
-    stats_.counter("engine.parent_fetches").inc();
+    parent_fetches_.inc();
   }
 }
 
@@ -35,7 +50,7 @@ void EncryptionEngine::post_metadata_writebacks(
     std::uint64_t now, const std::vector<std::uint64_t>& lines) {
   for (const std::uint64_t addr : lines) {
     dram_.access(now, addr, /*is_write=*/true);
-    stats_.counter("engine.metadata_writebacks").inc();
+    metadata_writebacks_.inc();
     // A dirty counter line / tree node carries fresh child MACs: its own
     // MAC changes, so its parent must absorb the update (lazy
     // propagation; MAC-region lines have no tree above them).
@@ -55,10 +70,10 @@ std::uint64_t EncryptionEngine::fetch_counter(std::uint64_t now,
   auto counter_access = metadata_cache_.access(line_addr, /*dirty=*/false);
   post_metadata_writebacks(now, counter_access.writebacks);
   if (counter_access.hit) {
-    stats_.counter("engine.counter_hits").inc();
+    counter_hits_.inc();
     return now + config_.meta_hit_latency + scheme_.decode_latency_cycles();
   }
-  stats_.counter("engine.counter_misses").inc();
+  counter_misses_.inc();
 
   // Counter miss: fetch the line and every uncached ancestor up to the
   // first resident (already-verified) tree node or the on-chip roots.
@@ -78,7 +93,7 @@ std::uint64_t EncryptionEngine::fetch_counter(std::uint64_t now,
     latest = std::max(latest, dram_.access(now, node_addr, false));
     ++fetched_levels;
   }
-  stats_.counter("engine.tree_node_fetches").inc(fetched_levels - 1);
+  tree_node_fetches_.inc(fetched_levels - 1);
 
   return latest + fetched_levels * config_.mac_latency +
          config_.meta_hit_latency + scheme_.decode_latency_cycles();
@@ -86,7 +101,7 @@ std::uint64_t EncryptionEngine::fetch_counter(std::uint64_t now,
 
 std::uint64_t EncryptionEngine::read_block(std::uint64_t now,
                                            std::uint64_t addr) {
-  stats_.counter("engine.reads").inc();
+  reads_.inc();
   const BlockIndex block = addr / 64;
 
   // Ciphertext fetch; with x72 DIMMs the ECC/MAC lane arrives in the same
@@ -110,10 +125,10 @@ std::uint64_t EncryptionEngine::read_block(std::uint64_t now,
     post_metadata_writebacks(now, access.writebacks);
     if (access.hit) {
       t_mac = now + config_.meta_hit_latency;
-      stats_.counter("engine.mac_hits").inc();
+      mac_hits_.inc();
     } else {
       t_mac = dram_.access(now, mac_addr, /*is_write=*/false);
-      stats_.counter("engine.mac_misses").inc();
+      mac_misses_.inc();
     }
   }
 
@@ -138,7 +153,7 @@ void EncryptionEngine::touch_write_path(std::uint64_t now, BlockIndex block) {
   if (counter_access.hit) return;
 
   dram_.access(now, line_addr, /*is_write=*/false);
-  stats_.counter("engine.counter_misses_write").inc();
+  counter_misses_write_.inc();
   const BonsaiGeometry& tree = layout_.tree();
   std::uint64_t node = line;
   for (unsigned lvl = 1; lvl + 1 < tree.total_levels(); ++lvl) {
@@ -152,14 +167,11 @@ void EncryptionEngine::touch_write_path(std::uint64_t now, BlockIndex block) {
 }
 
 void EncryptionEngine::write_block(std::uint64_t now, std::uint64_t addr) {
-  stats_.counter("engine.writes").inc();
+  writes_.inc();
   const BlockIndex block = addr / 64;
 
   const WriteOutcome outcome = scheme_.on_write(block);
-  stats_
-      .counter(std::string("engine.ctr_event.") +
-               counter_event_name(outcome.event))
-      .inc();
+  ctr_events_[static_cast<std::size_t>(outcome.event)]->inc();
 
   touch_write_path(now, block);
 

@@ -16,6 +16,7 @@
 //   - the CounterScheme decides counter-storage size and hence tree depth.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 
@@ -90,7 +91,20 @@ class EncryptionEngine {
   CounterScheme& scheme_;
   const SecureRegionLayout& layout_;
   DramSystem& dram_;
-  StatRegistry& stats_;
+  // Cached registry counters (stable references, see StatRegistry): the
+  // engine sits on the simulator's per-access path, so the name lookups
+  // happen once at construction.
+  StatCounter& reads_;
+  StatCounter& writes_;
+  StatCounter& counter_hits_;
+  StatCounter& counter_misses_;
+  StatCounter& counter_misses_write_;
+  StatCounter& tree_node_fetches_;
+  StatCounter& parent_fetches_;
+  StatCounter& metadata_writebacks_;
+  StatCounter& mac_hits_;
+  StatCounter& mac_misses_;
+  std::array<StatCounter*, 5> ctr_events_;  ///< indexed by CounterEvent
   MetadataCache metadata_cache_;
   ReencryptionEngine reenc_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstring>
 #include <istream>
 #include <ostream>
@@ -16,18 +17,6 @@
 #include "counters/split_counter.h"
 
 namespace secmem {
-
-const char* read_status_name(ReadStatus status) noexcept {
-  switch (status) {
-    case ReadStatus::kOk: return "ok";
-    case ReadStatus::kCorrectedMacField: return "corrected-mac-field";
-    case ReadStatus::kCorrectedData: return "corrected-data";
-    case ReadStatus::kCorrectedWord: return "corrected-word";
-    case ReadStatus::kIntegrityViolation: return "integrity-violation";
-    case ReadStatus::kCounterTampered: return "counter-tampered";
-  }
-  return "?";
-}
 
 namespace {
 /// Derive independent working keys from the master secret.
@@ -51,6 +40,30 @@ DerivedKeys derive_keys(std::uint64_t master) {
   next_key(keys.tree_key.pad_key);
   return keys;
 }
+
+/// Optional wall-clock sampling for the latency histograms. Costs two
+/// steady_clock reads per operation, so it is gated on config.time_ops
+/// and compiles down to a single branch when disabled.
+class OpTimer {
+ public:
+  OpTimer(bool enabled, MetricsCell& cell, EngineHistId hist) noexcept
+      : cell_(cell), hist_(hist), enabled_(enabled) {
+    if (enabled_) start_ = std::chrono::steady_clock::now();
+  }
+  ~OpTimer() {
+    if (!enabled_) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    cell_.sample(hist_, ns < 0 ? 0 : static_cast<std::uint64_t>(ns));
+  }
+
+ private:
+  MetricsCell& cell_;
+  EngineHistId hist_;
+  bool enabled_;
+  std::chrono::steady_clock::time_point start_;
+};
 }  // namespace
 
 std::unique_ptr<CounterScheme> SecureMemory::make_scheme(
@@ -133,51 +146,76 @@ void SecureMemory::write_block(std::uint64_t block,
   if (block >= layout_.num_blocks())
     throw std::out_of_range("SecureMemory::write_block: block " +
                             std::to_string(block) + " out of range");
-  ++stats_.writes;
+  const OpTimer timer(config_.time_ops, metrics_,
+                      EngineHistId::kWriteLatencyNs);
+  metrics_.add(MetricId::kWrites);
   const WriteOutcome outcome = scheme_->on_write(block);
 
   if (outcome.event == CounterEvent::kReencrypt) {
-    ++stats_.group_reencryptions;
+    metrics_.add(MetricId::kGroupReencryptions);
     // Re-encrypt every other block in the group under the new common
     // counter (paper Fig 5a). Decrypt with each block's old counter from
     // the shadow array, re-encrypt with outcome.counter.
     const unsigned group_blocks = scheme_->blocks_per_group();
     const std::uint64_t first = outcome.group * group_blocks;
+    std::uint64_t rewritten = 0;
     for (std::uint64_t b = first;
          b < first + group_blocks && b < layout_.num_blocks(); ++b) {
       if (b == block) continue;
       DataBlock plain = ciphertext_[b];
       keystream_.crypt(layout_.block_addr(b), shadow_ctr_[b], plain);
       store_block(b, plain, outcome.counter);
+      ++rewritten;
     }
+    metrics_.sample(EngineHistId::kReencryptedBlocks, rewritten);
+    trace(TraceEvent::Kind::kReencrypt, Status::kOk, block);
   }
 
   store_block(block, plaintext, outcome.counter);
   sync_counter_line(scheme_->storage_line_of(block));
+  trace(TraceEvent::Kind::kWrite, Status::kOk, block);
 }
 
-SecureMemory::ReadResult SecureMemory::read_block(std::uint64_t block) {
+ReadResult SecureMemory::read_block(std::uint64_t block) {
   if (block >= layout_.num_blocks())
     throw std::out_of_range("SecureMemory::read_block: block " +
                             std::to_string(block) + " out of range");
-  ++stats_.reads;
+  const OpTimer timer(config_.time_ops, metrics_,
+                      EngineHistId::kReadLatencyNs);
   ReadResult result{ReadStatus::kOk, {}, 0};
   // Account the outcome on every exit path.
   struct Accounting {
-    Stats& stats;
+    SecureMemory& m;
     const ReadResult& r;
+    std::uint64_t block;
     ~Accounting() {
-      stats.mac_evaluations += r.mac_evaluations;
+      m.metrics_.add(MetricId::kReads);
+      if (r.mac_evaluations != 0) {
+        m.metrics_.add(MetricId::kMacEvaluations, r.mac_evaluations);
+        m.metrics_.sample(EngineHistId::kMacEvalsPerCorrection,
+                          r.mac_evaluations);
+      }
       switch (r.status) {
         case ReadStatus::kOk: break;
-        case ReadStatus::kCorrectedMacField: ++stats.corrected_mac_field; break;
-        case ReadStatus::kCorrectedData: ++stats.corrected_data; break;
-        case ReadStatus::kCorrectedWord: ++stats.corrected_word; break;
-        case ReadStatus::kIntegrityViolation: ++stats.integrity_violations; break;
-        case ReadStatus::kCounterTampered: ++stats.counter_tampers; break;
+        case ReadStatus::kCorrectedMacField:
+          m.metrics_.add(MetricId::kCorrectedMacField);
+          break;
+        case ReadStatus::kCorrectedData:
+          m.metrics_.add(MetricId::kCorrectedData);
+          break;
+        case ReadStatus::kCorrectedWord:
+          m.metrics_.add(MetricId::kCorrectedWord);
+          break;
+        case ReadStatus::kIntegrityViolation:
+          m.metrics_.add(MetricId::kIntegrityViolations);
+          break;
+        case ReadStatus::kCounterTampered:
+          m.metrics_.add(MetricId::kCounterTampers);
+          break;
       }
+      m.trace(TraceEvent::Kind::kRead, r.status, block);
     }
-  } accounting{stats_, result};
+  } accounting{*this, result, block};
 
   // 1. Authenticate the stored counter line against the Bonsai tree.
   const std::uint64_t line = scheme_->storage_line_of(block);
@@ -246,11 +284,11 @@ SecureMemory::ReadResult SecureMemory::read_block(std::uint64_t block) {
   return result;
 }
 
-SecureMemory::ScrubStatus SecureMemory::scrub_block(std::uint64_t block,
-                                                    bool deep) {
+ScrubStatus SecureMemory::scrub_block(std::uint64_t block, bool deep) {
   if (block >= layout_.num_blocks())
     throw std::out_of_range("SecureMemory::scrub_block: block " +
                             std::to_string(block) + " out of range");
+  metrics_.add(MetricId::kScrubbedBlocks);
   if (!deep && config_.mac_placement == MacPlacement::kEccLane) {
     // Quick scan (paper §3.3): ciphertext parity vs the scrub bit, plus
     // the MAC field's own Hamming syndrome — two parity-class checks, no
@@ -270,27 +308,37 @@ SecureMemory::ScrubStatus SecureMemory::scrub_block(std::uint64_t block,
   // Something looks off (or deep scrub requested): run the full verified
   // read and heal the backing store from its corrected output.
   const ReadResult result = read_block(block);
+  ScrubStatus scrubbed = ScrubStatus::kUncorrectable;
   switch (result.status) {
     case ReadStatus::kOk:
-      return ScrubStatus::kClean;
+      scrubbed = ScrubStatus::kClean;
+      break;
     case ReadStatus::kCorrectedMacField:
     case ReadStatus::kCorrectedData:
     case ReadStatus::kCorrectedWord:
       // Re-encrypting under the *same* counter reproduces the correct
       // ciphertext + lane: the fault is scrubbed out of DRAM.
       store_block(block, result.data, shadow_ctr_[block]);
-      return result.status == ReadStatus::kCorrectedMacField
-                 ? ScrubStatus::kRepairedMacField
-                 : ScrubStatus::kRepairedData;
+      metrics_.add(MetricId::kScrubRepairs);
+      scrubbed = result.status == ReadStatus::kCorrectedMacField
+                     ? ScrubStatus::kRepairedMacField
+                     : ScrubStatus::kRepairedData;
+      break;
     case ReadStatus::kCounterTampered:
-      return ScrubStatus::kCounterTampered;
+      scrubbed = ScrubStatus::kCounterTampered;
+      break;
     case ReadStatus::kIntegrityViolation:
-      return ScrubStatus::kUncorrectable;
+      scrubbed = ScrubStatus::kUncorrectable;
+      break;
   }
-  return ScrubStatus::kUncorrectable;
+  if (scrubbed == ScrubStatus::kUncorrectable ||
+      scrubbed == ScrubStatus::kCounterTampered)
+    metrics_.add(MetricId::kScrubUncorrectable);
+  trace(TraceEvent::Kind::kScrub, to_status(scrubbed), block);
+  return scrubbed;
 }
 
-SecureMemory::ScrubReport SecureMemory::scrub_all(bool deep) {
+ScrubReport SecureMemory::scrub_all(bool deep) {
   ScrubReport report;
   for (std::uint64_t block = 0; block < layout_.num_blocks(); ++block) {
     ++report.scanned;
@@ -321,7 +369,7 @@ std::uint64_t read_u64(std::istream& in) {
 }
 }  // namespace
 
-void SecureMemory::save(std::ostream& out) const {
+void SecureMemory::save(std::ostream& out) {
   out.write(kImageMagic, sizeof(kImageMagic));
   write_u64(out, config_.size_bytes);
   write_u64(out, static_cast<std::uint64_t>(config_.scheme));
@@ -358,6 +406,7 @@ bool SecureMemory::restore(std::istream& in) {
       store_block(b, zeros, 0);
     for (std::uint64_t line = 0; line < layout_.num_counter_lines(); ++line)
       sync_counter_line(line);
+    trace(TraceEvent::Kind::kRestore, Status::kIntegrityViolation, 0);
     return false;
   };
 
@@ -418,6 +467,8 @@ bool SecureMemory::restore(std::istream& in) {
   }
   for (std::uint64_t b = 0; b < layout_.num_blocks(); ++b)
     shadow_ctr_[b] = scheme_->read_counter(b);
+  metrics_.add(MetricId::kRestores);
+  trace(TraceEvent::Kind::kRestore, Status::kOk, 0);
   return true;
 }
 
@@ -428,9 +479,10 @@ bool SecureMemory::rotate_master_key(std::uint64_t new_master) {
   std::vector<DataBlock> plaintexts(layout_.num_blocks());
   for (std::uint64_t block = 0; block < layout_.num_blocks(); ++block) {
     const ReadResult result = read_block(block);
-    if (result.status == ReadStatus::kIntegrityViolation ||
-        result.status == ReadStatus::kCounterTampered)
+    if (!status_ok(result.status)) {
+      trace(TraceEvent::Kind::kKeyRotation, result.status, block);
       return false;
+    }
     plaintexts[block] = result.data;
   }
 
@@ -449,16 +501,21 @@ bool SecureMemory::rotate_master_key(std::uint64_t new_master) {
     store_block(block, plaintexts[block], 0);
   for (std::uint64_t line = 0; line < layout_.num_counter_lines(); ++line)
     sync_counter_line(line);
+  metrics_.add(MetricId::kKeyRotations);
+  trace(TraceEvent::Kind::kKeyRotation, Status::kOk, 0);
   return true;
 }
 
-bool SecureMemory::write(std::uint64_t addr,
-                         std::span<const std::uint8_t> bytes) {
+Status SecureMemory::write_bytes(std::uint64_t addr,
+                                 std::span<const std::uint8_t> bytes) {
   // Overflow-safe: `addr + bytes.size()` wraps for addr near UINT64_MAX
   // and would sail past the range check.
   if (addr > config_.size_bytes || bytes.size() > config_.size_bytes - addr)
-    throw std::out_of_range("SecureMemory::write: range exceeds region");
-  if (bytes.empty()) return true;
+    throw std::out_of_range("SecureMemory::write_bytes: range exceeds region");
+  metrics_.add(MetricId::kByteWrites);
+  metrics_.sample(EngineHistId::kByteWriteBytes, bytes.size());
+  if (bytes.empty()) return Status::kOk;
+  Status folded = Status::kOk;
 
   // All-or-nothing: only the partial blocks at the edges of the range
   // need their old contents, so they are the only blocks whose
@@ -473,16 +530,20 @@ bool SecureMemory::write(std::uint64_t addr,
   DataBlock tail_plain{};
   if (head_partial) {
     const ReadResult r = read_block(first_block);
-    if (r.status == ReadStatus::kIntegrityViolation ||
-        r.status == ReadStatus::kCounterTampered)
-      return false;
+    folded = worse(folded, r.status);
+    if (!status_ok(r.status)) {
+      trace(TraceEvent::Kind::kByteWrite, r.status, first_block);
+      return r.status;
+    }
     head_plain = r.data;
   }
   if (tail_partial && last_block != first_block) {
     const ReadResult r = read_block(last_block);
-    if (r.status == ReadStatus::kIntegrityViolation ||
-        r.status == ReadStatus::kCounterTampered)
-      return false;
+    folded = worse(folded, r.status);
+    if (!status_ok(r.status)) {
+      trace(TraceEvent::Kind::kByteWrite, r.status, last_block);
+      return r.status;
+    }
     tail_plain = r.data;
   }
 
@@ -505,12 +566,17 @@ bool SecureMemory::write(std::uint64_t addr,
     pos += chunk;
     done += chunk;
   }
-  return true;
+  trace(TraceEvent::Kind::kByteWrite, folded, first_block);
+  return folded;
 }
 
-bool SecureMemory::read(std::uint64_t addr, std::span<std::uint8_t> out) {
+Status SecureMemory::read_bytes(std::uint64_t addr,
+                                std::span<std::uint8_t> out) {
   if (addr > config_.size_bytes || out.size() > config_.size_bytes - addr)
-    throw std::out_of_range("SecureMemory::read: range exceeds region");
+    throw std::out_of_range("SecureMemory::read_bytes: range exceeds region");
+  metrics_.add(MetricId::kByteReads);
+  metrics_.sample(EngineHistId::kByteReadBytes, out.size());
+  Status folded = Status::kOk;
   std::uint64_t pos = addr;
   std::size_t done = 0;
   while (done < out.size()) {
@@ -519,14 +585,28 @@ bool SecureMemory::read(std::uint64_t addr, std::span<std::uint8_t> out) {
     const std::size_t chunk =
         std::min<std::size_t>(64 - offset, out.size() - done);
     const ReadResult r = read_block(block);
-    if (r.status == ReadStatus::kIntegrityViolation ||
-        r.status == ReadStatus::kCounterTampered)
-      return false;
+    folded = worse(folded, r.status);
+    if (!status_ok(r.status)) {
+      trace(TraceEvent::Kind::kByteRead, r.status, block);
+      return r.status;
+    }
     std::memcpy(out.data() + done, r.data.data() + offset, chunk);
     pos += chunk;
     done += chunk;
   }
-  return true;
+  trace(TraceEvent::Kind::kByteRead, folded, addr / 64);
+  return folded;
+}
+
+EngineStats SecureMemory::stats() const noexcept {
+  return engine_stats_from({&metrics_});
+}
+
+void SecureMemory::reset_stats() noexcept { metrics_.reset(); }
+
+void SecureMemory::publish_metrics(StatRegistry& registry,
+                                   const std::string& prefix) const {
+  publish_cells({&metrics_}, registry, prefix);
 }
 
 SecureMemory::UntrustedView::BlockSnapshot

@@ -13,6 +13,12 @@
 // tests and examples mount the paper's threat model directly: bus
 // tampering, cold-boot splicing, replay of stale (data, MAC, counter)
 // triples, and DRAM bit faults.
+//
+// Observability: every operation records into a MetricsCell (relaxed
+// atomics — see common/metrics.h), so stats() and publish_metrics() are
+// safe to call from any thread without stalling the datapath, and an
+// optional TraceRing captures recent (op, block, outcome) events for
+// post-mortem analysis of integrity violations.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +28,8 @@
 #include <vector>
 
 #include "common/bitops.h"
+#include "common/metrics.h"
+#include "common/status.h"
 #include "counters/counter_scheme.h"
 #include "crypto/aes128.h"
 #include "crypto/ctr_keystream.h"
@@ -31,6 +39,7 @@
 #include "ecc/secded72.h"
 #include "engine/encryption_engine.h"  // MacPlacement
 #include "engine/layout.h"
+#include "engine/secure_memory_like.h"
 #include "tree/bonsai_tree.h"
 
 namespace secmem {
@@ -45,54 +54,52 @@ struct SecureMemoryConfig {
   /// Nonzero: override `scheme` with a GenericDeltaCounters of this delta
   /// width (2..16 bits) — the §4.2 design-space knob.
   unsigned generic_delta_bits = 0;
+  /// Record per-operation wall-time into the engine's latency histograms
+  /// (read_latency_ns / write_latency_ns). Off by default: two clock
+  /// reads per op are measurable on the hot path.
+  bool time_ops = false;
   /// Master secret; all working keys are derived from it.
   std::uint64_t master_key = 0x5ec3e7'c0ffee;
 };
 
-/// Outcome of a verified read.
-enum class ReadStatus : std::uint8_t {
-  kOk,                  ///< verified clean
-  kCorrectedMacField,   ///< single-bit flip in the MAC lane repaired
-  kCorrectedData,       ///< 1-2 data bits repaired by flip-and-check
-  kCorrectedWord,       ///< SEC-DED corrected word(s) (separate-MAC mode)
-  kIntegrityViolation,  ///< tamper or uncorrectable fault in data/MAC
-  kCounterTampered,     ///< counter storage failed tree authentication
-};
-
-const char* read_status_name(ReadStatus status) noexcept;
-
-class SecureMemory {
+class SecureMemory : public SecureMemoryLike {
  public:
+  // Result/report types predate the shared interface; they now live at
+  // namespace scope (engine/secure_memory_like.h) and are re-exported
+  // here for source compatibility.
+  using ReadResult = secmem::ReadResult;
+  using ScrubStatus = secmem::ScrubStatus;
+  using ScrubReport = secmem::ScrubReport;
+  using Stats = EngineStats;
+
   explicit SecureMemory(const SecureMemoryConfig& config);
 
-  std::uint64_t size_bytes() const noexcept { return config_.size_bytes; }
-  std::uint64_t num_blocks() const noexcept { return layout_.num_blocks(); }
+  std::uint64_t size_bytes() const noexcept override {
+    return config_.size_bytes;
+  }
+  std::uint64_t num_blocks() const noexcept override {
+    return layout_.num_blocks();
+  }
   const SecureRegionLayout& layout() const noexcept { return layout_; }
   const CounterScheme& counters() const noexcept { return *scheme_; }
 
   /// Write one 64-byte block of plaintext.
-  void write_block(std::uint64_t block, const DataBlock& plaintext);
-
-  struct ReadResult {
-    ReadStatus status;
-    DataBlock data;  ///< plaintext; zeroed unless status is kOk/kCorrected*
-    std::uint64_t mac_evaluations = 0;  ///< flip-and-check work performed
-  };
+  void write_block(std::uint64_t block, const DataBlock& plaintext) override;
 
   /// Verified read of one 64-byte block.
-  ReadResult read_block(std::uint64_t block);
+  ReadResult read_block(std::uint64_t block) override;
 
-  /// Byte-level convenience (read-modify-write across blocks). Returns
-  /// false if any underlying block read fails verification.
-  ///
-  /// `write` is all-or-nothing: the partial blocks at the edges of the
-  /// range (the only blocks whose old contents must still verify) are
-  /// pre-verified before anything is mutated, so a false return means the
-  /// region is exactly as it was — no torn multi-block writes. Both calls
-  /// reject ranges that fall outside the region (including `addr + len`
-  /// overflow) with std::out_of_range.
-  bool write(std::uint64_t addr, std::span<const std::uint8_t> bytes);
-  bool read(std::uint64_t addr, std::span<std::uint8_t> out);
+  /// Byte-level API; see SecureMemoryLike for the Status contract.
+  /// `write_bytes` is all-or-nothing: the partial blocks at the edges of
+  /// the range (the only blocks whose old contents must still verify) are
+  /// pre-verified before anything is mutated, so a failure status means
+  /// the region is exactly as it was — no torn multi-block writes. Both
+  /// calls reject ranges that fall outside the region (including
+  /// `addr + len` overflow) with std::out_of_range.
+  Status write_bytes(std::uint64_t addr,
+                     std::span<const std::uint8_t> bytes) override;
+  Status read_bytes(std::uint64_t addr,
+                    std::span<std::uint8_t> out) override;
 
   /// ------------------------------------------------------------------
   /// Scrubbing (paper §3.3, "Enabling Efficient Scrubbing").
@@ -103,31 +110,11 @@ class SecureMemory {
   /// recomputation. Lines that fail the quick check (or all lines, when
   /// `deep`) go through full verification and are *healed* in place:
   /// corrected data/MACs are re-written to the backing store.
-  enum class ScrubStatus : std::uint8_t {
-    kClean,            ///< quick parity checks passed (or full check did)
-    kRepairedMacField, ///< single-bit MAC-lane fault healed
-    kRepairedData,     ///< 1-2 bit data fault healed
-    kUncorrectable,    ///< fault beyond correction; data NOT healed
-    kCounterTampered,  ///< counter storage failed tree authentication
-  };
-
-  struct ScrubReport {
-    std::uint64_t scanned = 0;
-    std::uint64_t quick_clean = 0;   ///< passed the cheap parity checks
-    std::uint64_t repaired_mac = 0;
-    std::uint64_t repaired_data = 0;
-    std::uint64_t uncorrectable = 0;
-    std::uint64_t counter_tampered = 0;
-  };
-
-  /// Scrub one block. `deep` skips the cheap parity shortcut and runs the
-  /// full verification (catches even-parity faults the scrub bit is
-  /// blind to).
-  ScrubStatus scrub_block(std::uint64_t block, bool deep = false);
+  ScrubStatus scrub_block(std::uint64_t block, bool deep = false) override;
 
   /// Sweep the whole region (what the scrubbing firmware does
   /// periodically).
-  ScrubReport scrub_all(bool deep = false);
+  ScrubReport scrub_all(bool deep = false) override;
 
   /// ------------------------------------------------------------------
   /// Key management.
@@ -138,7 +125,7 @@ class SecureMemory {
   /// makes every (addr, counter) nonce fresh again), and all data is
   /// re-encrypted. Returns false — leaving the region untouched — if any
   /// block fails verification under the old keys.
-  bool rotate_master_key(std::uint64_t new_master);
+  bool rotate_master_key(std::uint64_t new_master) override;
 
   /// ------------------------------------------------------------------
   /// Persistence (NVMM / hibernate model).
@@ -157,25 +144,30 @@ class SecureMemory {
   /// freshness requires a fresh root store, see SECURITY.md.)
   /// On any failure the region re-initializes to zeros and restore
   /// returns false.
-  void save(std::ostream& out) const;
-  bool restore(std::istream& in);
+  void save(std::ostream& out) override;
+  bool restore(std::istream& in) override;
 
   /// ------------------------------------------------------------------
-  /// Operational statistics.
+  /// Observability.
   /// ------------------------------------------------------------------
-  struct Stats {
-    std::uint64_t reads = 0;
-    std::uint64_t writes = 0;
-    std::uint64_t corrected_data = 0;
-    std::uint64_t corrected_mac_field = 0;
-    std::uint64_t corrected_word = 0;
-    std::uint64_t integrity_violations = 0;
-    std::uint64_t counter_tampers = 0;
-    std::uint64_t group_reencryptions = 0;
-    std::uint64_t mac_evaluations = 0;  ///< flip-and-check work
-  };
-  const Stats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = Stats{}; }
+  /// Lock-free aggregate of the operation counters (compatibility view;
+  /// the registry export below also carries the histograms).
+  EngineStats stats() const noexcept override;
+  void reset_stats() noexcept override;
+
+  void publish_metrics(StatRegistry& registry,
+                       const std::string& prefix = "engine") const override;
+
+  /// The raw hot-path cell — sharded engines aggregate these directly.
+  const MetricsCell& metrics_cell() const noexcept { return metrics_; }
+
+  void attach_trace(TraceRing* ring) override { attach_trace(ring, 0); }
+  /// Shard-aware attachment: events record with `shard` so a ring shared
+  /// across a sharded region stays attributable.
+  void attach_trace(TraceRing* ring, std::uint16_t shard) noexcept {
+    trace_ = ring;
+    trace_shard_ = shard;
+  }
 
   /// ------------------------------------------------------------------
   /// Untrusted (off-chip) surface — the attacker's reach.
@@ -246,6 +238,10 @@ class SecureMemory {
   void sync_counter_line(std::uint64_t line);
   std::uint64_t data_mac(std::uint64_t block, std::uint64_t counter,
                          const DataBlock& ciphertext) const;
+  void trace(TraceEvent::Kind kind, Status outcome,
+             std::uint64_t block) noexcept {
+    if (trace_) trace_->record(kind, outcome, block, trace_shard_);
+  }
 
   SecureMemoryConfig config_;
   std::unique_ptr<CounterScheme> scheme_;
@@ -262,7 +258,9 @@ class SecureMemory {
   std::vector<std::uint64_t> macs_;          ///< separate-MAC mode
   std::vector<std::uint8_t> counter_store_;  ///< serialized counter lines
   std::vector<std::uint64_t> shadow_ctr_;    ///< current counter per block
-  Stats stats_;
+  MetricsCell metrics_;
+  TraceRing* trace_ = nullptr;
+  std::uint16_t trace_shard_ = 0;
 };
 
 }  // namespace secmem

@@ -1,0 +1,160 @@
+// SecureMemoryLike — the interface every secure-memory engine implements.
+//
+// SecureMemory (single-threaded), ConcurrentSecureMemory (single mutex)
+// and ShardedSecureMemory (partitioned, shard-parallel) expose the same
+// operations; this abstract base lets tools and benches pick an engine at
+// runtime (see make_engine) instead of duplicating per-engine branches.
+//
+// The operation result types live at namespace scope here so the
+// interface can name them; the concrete engines re-export them as nested
+// aliases (SecureMemory::ReadResult, ...) for source compatibility.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "crypto/ctr_keystream.h"  // DataBlock
+
+namespace secmem {
+
+/// Outcome of a verified read (alias of the unified Status vocabulary).
+using ReadStatus = Status;
+
+const char* read_status_name(ReadStatus status) noexcept;
+
+struct ReadResult {
+  ReadStatus status = Status::kOk;
+  DataBlock data{};  ///< plaintext; zeroed unless status is kOk/kCorrected*
+  std::uint64_t mac_evaluations = 0;  ///< flip-and-check work performed
+};
+
+/// Outcome of scrubbing one block (paper §3.3).
+enum class ScrubStatus : std::uint8_t {
+  kClean,            ///< quick parity checks passed (or full check did)
+  kRepairedMacField, ///< single-bit MAC-lane fault healed
+  kRepairedData,     ///< 1-2 bit data fault healed
+  kUncorrectable,    ///< fault beyond correction; data NOT healed
+  kCounterTampered,  ///< counter storage failed tree authentication
+};
+
+const char* scrub_status_name(ScrubStatus status) noexcept;
+Status to_status(ScrubStatus status) noexcept;
+
+struct ScrubReport {
+  std::uint64_t scanned = 0;
+  std::uint64_t quick_clean = 0;   ///< passed the cheap parity checks
+  std::uint64_t repaired_mac = 0;
+  std::uint64_t repaired_data = 0;
+  std::uint64_t uncorrectable = 0;
+  std::uint64_t counter_tampered = 0;
+};
+
+/// Aggregate operational counters — a point-in-time copy assembled from
+/// the engine's MetricsCell(s); see publish_metrics() for the richer
+/// registry-backed view (histograms, per-shard breakdown).
+struct EngineStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t corrected_data = 0;
+  std::uint64_t corrected_mac_field = 0;
+  std::uint64_t corrected_word = 0;
+  std::uint64_t integrity_violations = 0;
+  std::uint64_t counter_tampers = 0;
+  std::uint64_t group_reencryptions = 0;
+  std::uint64_t mac_evaluations = 0;  ///< flip-and-check work
+};
+
+/// Build an EngineStats from hot-path cells (relaxed reads, no locks).
+EngineStats engine_stats_from(
+    const std::vector<const MetricsCell*>& cells) noexcept;
+
+class SecureMemoryLike {
+ public:
+  virtual ~SecureMemoryLike() = default;
+
+  virtual std::uint64_t size_bytes() const noexcept = 0;
+  virtual std::uint64_t num_blocks() const noexcept = 0;
+
+  /// Write one 64-byte block of plaintext.
+  virtual void write_block(std::uint64_t block,
+                           const DataBlock& plaintext) = 0;
+  /// Verified read of one 64-byte block.
+  virtual ReadResult read_block(std::uint64_t block) = 0;
+
+  /// Byte-level convenience (read-modify-write across blocks). Returns
+  /// the most severe block status encountered: status_ok() values mean
+  /// the operation completed (possibly with corrections); failure values
+  /// mean it aborted. `write_bytes` is all-or-nothing: a failure status
+  /// leaves the region exactly as it was. Ranges outside the region
+  /// (including addr+len overflow) throw std::out_of_range.
+  virtual Status write_bytes(std::uint64_t addr,
+                             std::span<const std::uint8_t> bytes) = 0;
+  virtual Status read_bytes(std::uint64_t addr,
+                            std::span<std::uint8_t> out) = 0;
+
+  /// Deprecated boolean shims over read_bytes/write_bytes — one PR of
+  /// grace for callers that still branch on bool.
+  [[deprecated("use write_bytes(); it reports a secmem::Status")]]
+  bool write(std::uint64_t addr, std::span<const std::uint8_t> bytes) {
+    return status_ok(write_bytes(addr, bytes));
+  }
+  [[deprecated("use read_bytes(); it reports a secmem::Status")]]
+  bool read(std::uint64_t addr, std::span<std::uint8_t> out) {
+    return status_ok(read_bytes(addr, out));
+  }
+
+  /// Scrubbing sweep (paper §3.3): quick parity scan unless `deep`.
+  virtual ScrubStatus scrub_block(std::uint64_t block,
+                                  bool deep = false) = 0;
+  virtual ScrubReport scrub_all(bool deep = false) = 0;
+
+  /// Re-key under a new master secret; false leaves the region intact.
+  virtual bool rotate_master_key(std::uint64_t new_master) = 0;
+
+  /// Persistence (NVMM / hibernate model); see SecureMemory for the
+  /// image-format and threat-model contract.
+  virtual void save(std::ostream& out) = 0;
+  virtual bool restore(std::istream& in) = 0;
+
+  /// ------------------------------------------------------------------
+  /// Observability.
+  /// ------------------------------------------------------------------
+  /// Point-in-time aggregate counters (lock-free; see EngineStats).
+  virtual EngineStats stats() const noexcept = 0;
+  virtual void reset_stats() noexcept = 0;
+
+  /// Fold this engine's counters and histograms into `registry` under
+  /// `prefix` ("engine" → "engine.reads", sharded engines additionally
+  /// publish "engine.shardN.*"). Adds to existing registry contents.
+  virtual void publish_metrics(StatRegistry& registry,
+                               const std::string& prefix = "engine")
+      const = 0;
+
+  /// Attach (or detach with nullptr) a post-mortem trace ring; every
+  /// subsequent operation records its outcome. The ring must outlive the
+  /// attachment and is shared across shards in sharded engines.
+  virtual void attach_trace(TraceRing* ring) = 0;
+};
+
+/// Which concrete engine make_engine() instantiates.
+enum class EngineKind : std::uint8_t {
+  kPlain,       ///< SecureMemory — single-threaded callers only
+  kConcurrent,  ///< ConcurrentSecureMemory — one mutex, any thread count
+  kSharded,     ///< ShardedSecureMemory — shard-parallel
+};
+
+const char* engine_kind_name(EngineKind kind) noexcept;
+/// Parse "plain" | "concurrent" | "sharded"; false on anything else.
+bool parse_engine_kind(const std::string& text, EngineKind& out) noexcept;
+
+/// Instantiate an engine. `shards` only matters for kSharded (0 picks 8).
+std::unique_ptr<SecureMemoryLike> make_engine(
+    const struct SecureMemoryConfig& config, EngineKind kind,
+    unsigned shards = 0);
+
+}  // namespace secmem

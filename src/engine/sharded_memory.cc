@@ -189,38 +189,47 @@ std::vector<std::size_t> ShardedSecureMemory::shards_in_range(
   return shards;
 }
 
-bool ShardedSecureMemory::write(std::uint64_t addr,
-                                std::span<const std::uint8_t> bytes) {
+Status ShardedSecureMemory::write_bytes(std::uint64_t addr,
+                                        std::span<const std::uint8_t> bytes) {
   if (addr > config_.size_bytes || bytes.size() > config_.size_bytes - addr)
-    throw std::out_of_range("ShardedSecureMemory::write: range exceeds region");
-  if (bytes.empty()) return true;
+    throw std::out_of_range(
+        "ShardedSecureMemory::write_bytes: range exceeds region");
+  metrics_.add(MetricId::kByteWrites);
+  metrics_.sample(EngineHistId::kByteWriteBytes, bytes.size());
+  if (bytes.empty()) return Status::kOk;
 
   const std::uint64_t first_block = addr / 64;
   const std::uint64_t last_block = (addr + bytes.size() - 1) / 64;
   const auto involved = shards_in_range(first_block, last_block);
   const auto locks = locks_.lock_many(involved);
+  const std::uint16_t owner =
+      static_cast<std::uint16_t>(shard_of_block(first_block));
+  auto trace_result = [&](Status s) {
+    if (trace_)
+      trace_->record(TraceEvent::Kind::kByteWrite, s, first_block, owner);
+    return s;
+  };
 
-  // Same all-or-nothing protocol as SecureMemory::write, but with every
-  // touched shard held: pre-verify the partial edge blocks — the only
-  // reads this operation depends on — before mutating any shard.
+  // Same all-or-nothing protocol as SecureMemory::write_bytes, but with
+  // every touched shard held: pre-verify the partial edge blocks — the
+  // only reads this operation depends on — before mutating any shard.
   const bool head_partial = addr % 64 != 0 || bytes.size() < 64;
   const bool tail_partial = (addr + bytes.size()) % 64 != 0;
+  Status folded = Status::kOk;
   DataBlock head_plain{};
   DataBlock tail_plain{};
   if (head_partial) {
     const Route r = route(first_block);
     const auto res = shards_[r.shard]->read_block(r.local_block);
-    if (res.status == ReadStatus::kIntegrityViolation ||
-        res.status == ReadStatus::kCounterTampered)
-      return false;
+    folded = worse(folded, res.status);
+    if (!status_ok(res.status)) return trace_result(res.status);
     head_plain = res.data;
   }
   if (tail_partial && last_block != first_block) {
     const Route r = route(last_block);
     const auto res = shards_[r.shard]->read_block(r.local_block);
-    if (res.status == ReadStatus::kIntegrityViolation ||
-        res.status == ReadStatus::kCounterTampered)
-      return false;
+    folded = worse(folded, res.status);
+    if (!status_ok(res.status)) return trace_result(res.status);
     tail_plain = res.data;
   }
 
@@ -240,20 +249,31 @@ bool ShardedSecureMemory::write(std::uint64_t addr,
     pos += chunk;
     done += chunk;
   }
-  return true;
+  return trace_result(folded);
 }
 
-bool ShardedSecureMemory::read(std::uint64_t addr,
-                               std::span<std::uint8_t> out) {
+Status ShardedSecureMemory::read_bytes(std::uint64_t addr,
+                                       std::span<std::uint8_t> out) {
   if (addr > config_.size_bytes || out.size() > config_.size_bytes - addr)
-    throw std::out_of_range("ShardedSecureMemory::read: range exceeds region");
-  if (out.empty()) return true;
+    throw std::out_of_range(
+        "ShardedSecureMemory::read_bytes: range exceeds region");
+  metrics_.add(MetricId::kByteReads);
+  metrics_.sample(EngineHistId::kByteReadBytes, out.size());
+  if (out.empty()) return Status::kOk;
 
   const std::uint64_t first_block = addr / 64;
   const std::uint64_t last_block = (addr + out.size() - 1) / 64;
   const auto involved = shards_in_range(first_block, last_block);
   const auto locks = locks_.lock_many(involved);
+  const std::uint16_t owner =
+      static_cast<std::uint16_t>(shard_of_block(first_block));
+  auto trace_result = [&](Status s) {
+    if (trace_)
+      trace_->record(TraceEvent::Kind::kByteRead, s, first_block, owner);
+    return s;
+  };
 
+  Status folded = Status::kOk;
   std::uint64_t pos = addr;
   std::size_t done = 0;
   while (done < out.size()) {
@@ -263,14 +283,13 @@ bool ShardedSecureMemory::read(std::uint64_t addr,
         std::min<std::size_t>(64 - offset, out.size() - done);
     const Route r = route(block);
     const auto res = shards_[r.shard]->read_block(r.local_block);
-    if (res.status == ReadStatus::kIntegrityViolation ||
-        res.status == ReadStatus::kCounterTampered)
-      return false;
+    folded = worse(folded, res.status);
+    if (!status_ok(res.status)) return trace_result(res.status);
     std::memcpy(out.data() + done, res.data.data() + offset, chunk);
     pos += chunk;
     done += chunk;
   }
-  return true;
+  return trace_result(folded);
 }
 
 SecureMemory::ScrubReport ShardedSecureMemory::scrub_all(bool deep) {
@@ -341,28 +360,40 @@ bool ShardedSecureMemory::rotate_master_key(std::uint64_t new_master) {
   return false;
 }
 
-SecureMemory::Stats ShardedSecureMemory::stats() {
-  SecureMemory::Stats total;
-  for (unsigned s = 0; s < num_shards_; ++s) {
-    const auto lock = locks_.lock(s);
-    const SecureMemory::Stats& st = shards_[s]->stats();
-    total.reads += st.reads;
-    total.writes += st.writes;
-    total.corrected_data += st.corrected_data;
-    total.corrected_mac_field += st.corrected_mac_field;
-    total.corrected_word += st.corrected_word;
-    total.integrity_violations += st.integrity_violations;
-    total.counter_tampers += st.counter_tampers;
-    total.group_reencryptions += st.group_reencryptions;
-    total.mac_evaluations += st.mac_evaluations;
-  }
-  return total;
+std::vector<const MetricsCell*> ShardedSecureMemory::all_cells() const {
+  std::vector<const MetricsCell*> cells;
+  cells.reserve(num_shards_ + 1);
+  for (const auto& shard : shards_) cells.push_back(&shard->metrics_cell());
+  cells.push_back(&metrics_);
+  return cells;
 }
 
-void ShardedSecureMemory::reset_stats() {
+EngineStats ShardedSecureMemory::stats() const noexcept {
+  // No locks: the cells are relaxed atomics, so this is safe to call
+  // while worker threads are mid-operation (the result is monotonic per
+  // counter, not a cross-shard snapshot).
+  return engine_stats_from(all_cells());
+}
+
+void ShardedSecureMemory::reset_stats() noexcept {
+  for (const auto& shard : shards_) shard->reset_stats();
+  metrics_.reset();
+}
+
+void ShardedSecureMemory::publish_metrics(StatRegistry& registry,
+                                          const std::string& prefix) const {
+  publish_cells(all_cells(), registry, prefix);
+  for (unsigned s = 0; s < num_shards_; ++s) {
+    shards_[s]->publish_metrics(
+        registry, metric_path({prefix, "shard" + std::to_string(s)}));
+  }
+}
+
+void ShardedSecureMemory::attach_trace(TraceRing* ring) {
+  trace_ = ring;
   for (unsigned s = 0; s < num_shards_; ++s) {
     const auto lock = locks_.lock(s);
-    shards_[s]->reset_stats();
+    shards_[s]->attach_trace(ring, static_cast<std::uint16_t>(s));
   }
 }
 

@@ -18,6 +18,11 @@
 // only the assignment of groups to trees changes. Each shard derives its
 // own master secret from the region key, so identical plaintexts in
 // different shards never share (key, addr, counter) nonces.
+//
+// Metrics: each shard records into its own cache-line-aligned MetricsCell
+// (relaxed atomics), and the region keeps one more cell for byte-level
+// operations. stats()/publish_metrics() aggregate the cells without
+// taking any shard lock, so observability never stalls the datapath.
 #pragma once
 
 #include <cstdint>
@@ -27,12 +32,14 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "engine/lock_table.h"
 #include "engine/secure_memory.h"
+#include "engine/secure_memory_like.h"
 
 namespace secmem {
 
-class ShardedSecureMemory {
+class ShardedSecureMemory : public SecureMemoryLike {
  public:
   /// `config.size_bytes` is the TOTAL region size; it must divide evenly
   /// into `num_shards` shards of a whole number of routing granules
@@ -40,8 +47,10 @@ class ShardedSecureMemory {
   ShardedSecureMemory(const SecureMemoryConfig& config, unsigned num_shards);
 
   unsigned num_shards() const noexcept { return num_shards_; }
-  std::uint64_t size_bytes() const noexcept { return config_.size_bytes; }
-  std::uint64_t num_blocks() const noexcept { return num_blocks_; }
+  std::uint64_t size_bytes() const noexcept override {
+    return config_.size_bytes;
+  }
+  std::uint64_t num_blocks() const noexcept override { return num_blocks_; }
   /// Blocks per routing granule (= one block-group, ≥ one counter line).
   unsigned granule_blocks() const noexcept { return granule_blocks_; }
   /// Which shard owns a (global) block.
@@ -52,10 +61,9 @@ class ShardedSecureMemory {
   /// ------------------------------------------------------------------
   /// Single-block operations (lock the owning shard only).
   /// ------------------------------------------------------------------
-  void write_block(std::uint64_t block, const DataBlock& plaintext);
-  SecureMemory::ReadResult read_block(std::uint64_t block);
-  SecureMemory::ScrubStatus scrub_block(std::uint64_t block,
-                                        bool deep = false);
+  void write_block(std::uint64_t block, const DataBlock& plaintext) override;
+  ReadResult read_block(std::uint64_t block) override;
+  ScrubStatus scrub_block(std::uint64_t block, bool deep = false) override;
 
   /// ------------------------------------------------------------------
   /// Batch I/O — sorts requests by shard and acquires each shard lock
@@ -68,41 +76,54 @@ class ShardedSecureMemory {
     std::uint64_t block;
     DataBlock data;
   };
-  std::vector<SecureMemory::ReadResult> read_blocks(
-      std::span<const std::uint64_t> blocks);
+  std::vector<ReadResult> read_blocks(std::span<const std::uint64_t> blocks);
   void write_blocks(std::span<const BlockWrite> writes);
 
   /// ------------------------------------------------------------------
   /// Byte-level API. Locks every shard the range touches (in table
   /// order) for the duration, so ranges are read/written atomically even
-  /// across shard boundaries. `write` keeps SecureMemory's all-or-nothing
-  /// guarantee: edge blocks are pre-verified before any shard is mutated.
+  /// across shard boundaries. `write_bytes` keeps SecureMemory's
+  /// all-or-nothing guarantee: edge blocks are pre-verified before any
+  /// shard is mutated.
   /// ------------------------------------------------------------------
-  bool write(std::uint64_t addr, std::span<const std::uint8_t> bytes);
-  bool read(std::uint64_t addr, std::span<std::uint8_t> out);
+  Status write_bytes(std::uint64_t addr,
+                     std::span<const std::uint8_t> bytes) override;
+  Status read_bytes(std::uint64_t addr,
+                    std::span<std::uint8_t> out) override;
 
   /// ------------------------------------------------------------------
   /// Region-wide maintenance, shard-parallel: each shard is swept by its
   /// own thread while the other shards keep serving their callers.
   /// ------------------------------------------------------------------
-  SecureMemory::ScrubReport scrub_all(bool deep = false);
+  ScrubReport scrub_all(bool deep = false) override;
 
   /// Re-key every shard (in parallel) under secrets derived from
   /// `new_master`. All-or-nothing across shards: if any shard fails
   /// verification, already-rotated shards are rotated back to the old
   /// master and false is returned with the region's contents intact.
-  bool rotate_master_key(std::uint64_t new_master);
+  bool rotate_master_key(std::uint64_t new_master) override;
 
-  /// Aggregated operational statistics across all shards.
-  SecureMemory::Stats stats();
-  void reset_stats();
+  /// Aggregated operational statistics across all shards — lock-free:
+  /// sums the shards' relaxed-atomic cells without touching the locks.
+  EngineStats stats() const noexcept override;
+  void reset_stats() noexcept override;
+
+  /// Publishes the region aggregate under `prefix` plus a per-shard
+  /// breakdown under "<prefix>.shard<N>".
+  void publish_metrics(StatRegistry& registry,
+                       const std::string& prefix = "engine") const override;
+
+  /// The shared ring receives every shard's events, tagged with the shard
+  /// index; region-level byte operations record under the owning shard of
+  /// their first block.
+  void attach_trace(TraceRing* ring) override;
 
   /// Persistence: a shard-count-tagged container of per-shard images.
   /// On restore failure, false is returned and the region is left in a
   /// valid but unspecified mix of restored/re-zeroed shards — treat the
   /// contents as lost, exactly as SecureMemory::restore does.
-  void save(std::ostream& out);
-  bool restore(std::istream& in);
+  void save(std::ostream& out) override;
+  bool restore(std::istream& in) override;
 
   /// Run `fn(SecureMemory&)` against one shard under its lock — for
   /// tests and attacker simulation (the untrusted view is per shard).
@@ -122,6 +143,8 @@ class ShardedSecureMemory {
   /// Sorted, duplicate-free shard ids touched by blocks [first, last].
   std::vector<std::size_t> shards_in_range(std::uint64_t first_block,
                                            std::uint64_t last_block) const;
+  /// Every cell backing this region: each shard's, then the region's own.
+  std::vector<const MetricsCell*> all_cells() const;
 
   SecureMemoryConfig config_;  ///< region-level config (total size)
   unsigned num_shards_;
@@ -129,6 +152,8 @@ class ShardedSecureMemory {
   std::uint64_t num_blocks_;
   ShardLockTable locks_;
   std::vector<std::unique_ptr<SecureMemory>> shards_;
+  MetricsCell metrics_;  ///< region-level (byte-op) counters
+  TraceRing* trace_ = nullptr;
 };
 
 }  // namespace secmem

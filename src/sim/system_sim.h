@@ -77,6 +77,7 @@ class SystemSimulator {
   SimResult run_trace(const std::vector<std::vector<MemRef>>& traces);
 
   StatRegistry& stats() noexcept { return stats_; }
+  const StatRegistry& stats() const noexcept { return stats_; }
 
   const CounterScheme* scheme() const noexcept { return scheme_.get(); }
 

@@ -7,11 +7,11 @@ MetadataCache::Access MetadataCache::access(std::uint64_t addr, bool dirty) {
   if (cache_.lookup(addr)) {
     if (dirty) cache_.mark_dirty(addr);
     result.hit = true;
-    stats_.counter("metacache.hits").inc();
+    hits_.inc();
     return result;
   }
   result.hit = false;
-  stats_.counter("metacache.misses").inc();
+  misses_.inc();
   if (auto victim = cache_.fill(addr, dirty); victim && victim->dirty)
     result.writebacks.push_back(victim->line_addr);
   return result;

@@ -18,8 +18,12 @@ namespace secmem {
 
 class MetadataCache {
  public:
+  // Counter references stay valid for the registry's lifetime (see
+  // StatRegistry), so the map lookups happen once here, not per access.
   MetadataCache(const CacheConfig& config, StatRegistry& stats)
-      : cache_(config), stats_(stats) {}
+      : cache_(config),
+        hits_(stats.counter("metacache.hits")),
+        misses_(stats.counter("metacache.misses")) {}
 
   struct Access {
     bool hit;
@@ -38,7 +42,8 @@ class MetadataCache {
 
  private:
   SetAssocCache cache_;
-  StatRegistry& stats_;
+  StatCounter& hits_;
+  StatCounter& misses_;
 };
 
 }  // namespace secmem

@@ -1,0 +1,192 @@
+// Minimal recursive-descent JSON parser for test assertions on the
+// registry export (common/stats.h write_json). Supports the full JSON
+// grammar minus \uXXXX escapes — enough to round-trip every metrics dump
+// the repo emits, with no third-party dependency in the test tree.
+#pragma once
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace json_lite {
+
+struct Value;
+using Object = std::map<std::string, Value>;
+using Array = std::vector<Value>;
+
+struct Value {
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      data = nullptr;
+
+  bool is_object() const { return std::holds_alternative<Object>(data); }
+  bool is_array() const { return std::holds_alternative<Array>(data); }
+  bool is_number() const { return std::holds_alternative<double>(data); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(data);
+  }
+
+  const Object& object() const { return std::get<Object>(data); }
+  const Array& array() const { return std::get<Array>(data); }
+  double number() const { return std::get<double>(data); }
+  const std::string& str() const { return std::get<std::string>(data); }
+
+  /// Member lookup; throws if absent or not an object.
+  const Value& at(const std::string& key) const {
+    const auto it = object().find(key);
+    if (it == object().end())
+      throw std::out_of_range("json_lite: no member '" + key + "'");
+    return it->second;
+  }
+  bool has(const std::string& key) const {
+    return is_object() && object().count(key) != 0;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size())
+      throw std::runtime_error("json_lite: trailing characters");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size())
+      throw std::runtime_error("json_lite: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c)
+      throw std::runtime_error(std::string("json_lite: expected '") + c +
+                               "' got '" + text_[pos_] + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value{parse_string()};
+      case 't':
+        if (consume_literal("true")) return Value{true};
+        break;
+      case 'f':
+        if (consume_literal("false")) return Value{false};
+        break;
+      case 'n':
+        if (consume_literal("null")) return Value{nullptr};
+        break;
+      default: return parse_number();
+    }
+    throw std::runtime_error("json_lite: invalid literal");
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object members;
+    if (peek() == '}') {
+      ++pos_;
+      return Value{std::move(members)};
+    }
+    while (true) {
+      std::string key = parse_string();
+      expect(':');
+      members.emplace(std::move(key), parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Value{std::move(members)};
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array items;
+    if (peek() == ']') {
+      ++pos_;
+      return Value{std::move(items)};
+    }
+    while (true) {
+      items.push_back(parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Value{std::move(items)};
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size())
+          throw std::runtime_error("json_lite: bad escape");
+        switch (text_[pos_++]) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          default:
+            throw std::runtime_error("json_lite: unsupported escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size())
+      throw std::runtime_error("json_lite: unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) throw std::runtime_error("json_lite: bad number");
+    return Value{std::stod(std::string(text_.substr(start, pos_ - start)))};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+inline Value parse(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace json_lite

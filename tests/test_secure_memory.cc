@@ -137,12 +137,12 @@ TEST_P(SecureMemoryContract, CrossBlockSplicingDetected) {
 
 TEST_P(SecureMemoryContract, ByteLevelApiRoundTrip) {
   const std::string text = "authenticated memory encryption";
-  ASSERT_TRUE(memory.write(
+  ASSERT_EQ(Status::kOk, memory.write_bytes(
       100, std::span<const std::uint8_t>(
                reinterpret_cast<const std::uint8_t*>(text.data()),
                text.size())));
   std::vector<std::uint8_t> buffer(text.size());
-  ASSERT_TRUE(memory.read(100, buffer));
+  ASSERT_EQ(Status::kOk, memory.read_bytes(100, buffer));
   EXPECT_EQ(std::string(buffer.begin(), buffer.end()), text);
 }
 
@@ -150,9 +150,9 @@ TEST_P(SecureMemoryContract, ByteApiSpansBlockBoundary) {
   std::vector<std::uint8_t> data(200);
   for (std::size_t i = 0; i < data.size(); ++i)
     data[i] = static_cast<std::uint8_t>(i);
-  ASSERT_TRUE(memory.write(60, data));  // crosses 4 block boundaries
+  ASSERT_EQ(Status::kOk, memory.write_bytes(60, data));  // crosses 4 block boundaries
   std::vector<std::uint8_t> readback(200);
-  ASSERT_TRUE(memory.read(60, readback));
+  ASSERT_EQ(Status::kOk, memory.read_bytes(60, readback));
   EXPECT_EQ(readback, data);
 }
 
@@ -250,14 +250,14 @@ TEST(SecureMemoryBounds, OutOfRangeAccessesThrow) {
                std::out_of_range);
   EXPECT_THROW(memory.scrub_block(blocks), std::out_of_range);
   std::vector<std::uint8_t> buffer(128);
-  EXPECT_THROW(memory.read(config.size_bytes - 64, buffer),
+  EXPECT_THROW(memory.read_bytes(config.size_bytes - 64, buffer),
                std::out_of_range);
-  EXPECT_THROW(memory.write(config.size_bytes - 64, buffer),
+  EXPECT_THROW(memory.write_bytes(config.size_bytes - 64, buffer),
                std::out_of_range);
   // The last valid block / byte range still work.
   EXPECT_EQ(memory.read_block(blocks - 1).status, ReadStatus::kOk);
   std::vector<std::uint8_t> tail(64);
-  EXPECT_TRUE(memory.read(config.size_bytes - 64, tail));
+  EXPECT_EQ(Status::kOk, memory.read_bytes(config.size_bytes - 64, tail));
 }
 
 TEST(SecureMemoryBounds, OverflowingByteRangesThrowInsteadOfWrapping) {
@@ -268,14 +268,14 @@ TEST(SecureMemoryBounds, OverflowingByteRangesThrowInsteadOfWrapping) {
   SecureMemory memory(config);
   std::vector<std::uint8_t> buffer(128);
   const std::uint64_t wrap_addr = UINT64_MAX - 63;  // addr + 128 wraps to 64
-  EXPECT_THROW(memory.read(wrap_addr, buffer), std::out_of_range);
-  EXPECT_THROW(memory.write(wrap_addr, buffer), std::out_of_range);
-  EXPECT_THROW(memory.read(UINT64_MAX, buffer), std::out_of_range);
-  EXPECT_THROW(memory.write(UINT64_MAX, buffer), std::out_of_range);
+  EXPECT_THROW(memory.read_bytes(wrap_addr, buffer), std::out_of_range);
+  EXPECT_THROW(memory.write_bytes(wrap_addr, buffer), std::out_of_range);
+  EXPECT_THROW(memory.read_bytes(UINT64_MAX, buffer), std::out_of_range);
+  EXPECT_THROW(memory.write_bytes(UINT64_MAX, buffer), std::out_of_range);
   // Zero-length ranges: fine at the end of the region, rejected past it.
   std::span<std::uint8_t> empty;
-  EXPECT_TRUE(memory.read(config.size_bytes, empty));
-  EXPECT_THROW(memory.read(config.size_bytes + 1, empty), std::out_of_range);
+  EXPECT_EQ(Status::kOk, memory.read_bytes(config.size_bytes, empty));
+  EXPECT_THROW(memory.read_bytes(config.size_bytes + 1, empty), std::out_of_range);
 }
 
 // ------------------------------------------------ byte-API atomicity
@@ -289,9 +289,9 @@ TEST(SecureMemoryByteApi, UnalignedWriteReadRoundTrip) {
   std::vector<std::uint8_t> incoming(3 * 64 + 17);
   for (std::size_t i = 0; i < incoming.size(); ++i)
     incoming[i] = static_cast<std::uint8_t>(i * 7 + 1);
-  ASSERT_TRUE(memory.write(33, incoming));  // blocks 0..3, both edges partial
+  ASSERT_EQ(Status::kOk, memory.write_bytes(33, incoming));  // blocks 0..3, both edges partial
   std::vector<std::uint8_t> readback(incoming.size());
-  ASSERT_TRUE(memory.read(33, readback));
+  ASSERT_EQ(Status::kOk, memory.read_bytes(33, readback));
   EXPECT_EQ(readback, incoming);
   // Bytes outside the range survived the read-modify-write.
   DataBlock head = memory.read_block(0).data;
@@ -314,7 +314,7 @@ TEST(SecureMemoryByteApi, FailedWriteWithTamperedTailIsAllOrNothing) {
   memory.untrusted().flip_ciphertext_bit(2, 3);
 
   std::vector<std::uint8_t> incoming(2 * 64 + 2, 0xEE);  // partial tail in 2
-  EXPECT_FALSE(memory.write(0, incoming));
+  EXPECT_FALSE(status_ok(memory.write_bytes(0, incoming)));
   // Nothing was mutated: blocks 0 and 1 still hold their original data.
   EXPECT_EQ(memory.read_block(0).data, pattern(1));
   EXPECT_EQ(memory.read_block(1).data, pattern(2));
@@ -331,7 +331,7 @@ TEST(SecureMemoryByteApi, FailedWriteWithTamperedHeadIsAllOrNothing) {
   memory.untrusted().flip_ciphertext_bit(0, 3);
 
   std::vector<std::uint8_t> incoming(100, 0xAB);  // partial head in block 0
-  EXPECT_FALSE(memory.write(7, incoming));
+  EXPECT_FALSE(status_ok(memory.write_bytes(7, incoming)));
   EXPECT_EQ(memory.read_block(1).data, pattern(5));  // untouched
 }
 

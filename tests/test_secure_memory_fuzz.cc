@@ -43,18 +43,18 @@ TEST_P(SecureMemoryFuzz, DifferentialAgainstPlainMemory) {
     if (rng.chance(0.5)) {
       std::vector<std::uint8_t> data(len);
       for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
-      ASSERT_TRUE(memory.write(addr, data));
+      ASSERT_TRUE(status_ok(memory.write_bytes(addr, data)));
       std::memcpy(model.data() + addr, data.data(), len);
     } else {
       std::vector<std::uint8_t> out(len);
-      ASSERT_TRUE(memory.read(addr, out));
+      ASSERT_TRUE(status_ok(memory.read_bytes(addr, out)));
       ASSERT_EQ(std::memcmp(out.data(), model.data() + addr, len), 0)
           << "divergence at op " << op << " addr " << addr;
     }
   }
   // Full final sweep.
   std::vector<std::uint8_t> all(memory.size_bytes());
-  ASSERT_TRUE(memory.read(0, all));
+  ASSERT_TRUE(status_ok(memory.read_bytes(0, all)));
   EXPECT_EQ(all, model);
 }
 

@@ -117,14 +117,14 @@ TEST(ShardedSecureMemory, ByteRangeSpanningShardsRoundTrips) {
   std::vector<std::uint8_t> incoming(2 * granule_bytes + 20);
   for (std::size_t i = 0; i < incoming.size(); ++i)
     incoming[i] = static_cast<std::uint8_t>(i * 31 + 5);
-  ASSERT_TRUE(memory.write(addr, incoming));
+  ASSERT_EQ(Status::kOk, memory.write_bytes(addr, incoming));
   std::vector<std::uint8_t> readback(incoming.size());
-  ASSERT_TRUE(memory.read(addr, readback));
+  ASSERT_EQ(Status::kOk, memory.read_bytes(addr, readback));
   EXPECT_EQ(readback, incoming);
 
   std::vector<std::uint8_t> buffer(128);
-  EXPECT_THROW(memory.read(UINT64_MAX - 63, buffer), std::out_of_range);
-  EXPECT_THROW(memory.write(UINT64_MAX - 63, buffer), std::out_of_range);
+  EXPECT_THROW(memory.read_bytes(UINT64_MAX - 63, buffer), std::out_of_range);
+  EXPECT_THROW(memory.write_bytes(UINT64_MAX - 63, buffer), std::out_of_range);
 }
 
 TEST(ShardedSecureMemory, CrossShardWriteIsAllOrNothing) {
@@ -142,7 +142,7 @@ TEST(ShardedSecureMemory, CrossShardWriteIsAllOrNothing) {
 
   // Whole of shard 0's granule plus 2 bytes into the tampered block.
   std::vector<std::uint8_t> incoming(granule * 64ULL + 2, 0xEE);
-  EXPECT_FALSE(memory.write(0, incoming));
+  EXPECT_FALSE(status_ok(memory.write_bytes(0, incoming)));
   // Shard 0 was not touched.
   EXPECT_EQ(memory.read_block(0).data, pattern(1));
 }
@@ -266,7 +266,7 @@ TEST(ShardedSecureMemoryStress, ReadersWritersAndScrubAcrossShards) {
           std::vector<std::uint8_t> buffer(512);
           const std::uint64_t addr =
               rng.next_below(memory.size_bytes() - buffer.size());
-          if (!memory.read(addr, buffer)) ++failures;
+          if (!status_ok(memory.read_bytes(addr, buffer))) ++failures;
         }
       }
     });
@@ -300,9 +300,10 @@ TEST(ShardedSecureMemoryStress, ConcurrentBatchesAndCrossShardWrites) {
       for (unsigned round = 0; round < kRounds; ++round) {
         std::vector<std::uint8_t> lane(
             256, static_cast<std::uint8_t>(t * 50 + round));
-        if (!memory.write(addr, lane)) ++failures;
+        if (!status_ok(memory.write_bytes(addr, lane))) ++failures;
         std::vector<std::uint8_t> readback(lane.size());
-        if (!memory.read(addr, readback) || readback != lane) ++failures;
+        if (!status_ok(memory.read_bytes(addr, readback)) || readback != lane)
+          ++failures;
 
         // Plus a shard-scattered block batch in the upper half of the
         // region — disjoint from every thread's byte lane (all of which

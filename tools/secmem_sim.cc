@@ -15,12 +15,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
+#include "engine/secure_memory_like.h"
 #include "engine/sharded_memory.h"
 #include "sim/system_sim.h"
 #include "sim/trace.h"
@@ -42,32 +44,53 @@ void usage(const char* argv0) {
       "  --protected-mb N    protected region size in MB    (default 512)\n"
       "  --seed N            workload seed                  (default 42)\n"
       "  --stats             dump the full statistics registry\n"
+      "  --metrics-json F    write the statistics registry as JSON to F\n"
+      "                      (engine metrics in engine mode, simulator\n"
+      "                      registry in timing mode)\n"
       "  --list-workloads    print available profiles and exit\n"
-      "  --shards N          run the functional ShardedSecureMemory engine\n"
-      "                      instead of the timing simulator: N shards,\n"
-      "                      multithreaded, workload-shaped read/write mix\n"
+      "  --engine KIND       run a functional engine instead of the timing\n"
+      "                      simulator: plain | concurrent | sharded;\n"
+      "                      multithreaded workload-shaped read/write mix\n"
       "                      (default region 16MB unless --protected-mb)\n"
-      "  --threads N         worker threads in --shards mode (default 4)\n",
+      "  --shards N          shard count for --engine sharded (implies it)\n"
+      "  --threads N         worker threads in engine mode (default 4;\n"
+      "                      forced to 1 for --engine plain)\n",
       argv0);
 }
 
-/// --shards mode: drive the functional concurrent engine with a
-/// workload-shaped access mix (the profile's working set and write
-/// fraction) and report aggregate throughput plus engine statistics —
-/// the operational counterpart of the cycle-level simulation.
-int run_sharded_engine(const SystemConfig& config,
-                       const WorkloadProfile& profile, unsigned shards,
-                       unsigned threads, std::uint64_t refs_per_thread,
-                       bool dump_stats) {
+/// Write the registry's JSON export to `path`; false (with a message on
+/// stderr) if the file cannot be written.
+bool write_metrics_json(const StatRegistry& registry,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  registry.write_json(out);
+  return out.good();
+}
+
+/// Engine mode: drive a functional engine — selected by EngineKind via the
+/// shared SecureMemoryLike interface — with a workload-shaped access mix
+/// (the profile's working set and write fraction) and report aggregate
+/// throughput plus engine statistics — the operational counterpart of the
+/// cycle-level simulation.
+int run_functional_engine(const SystemConfig& config,
+                          const WorkloadProfile& profile, EngineKind kind,
+                          unsigned shards, unsigned threads,
+                          std::uint64_t refs_per_thread, bool dump_stats,
+                          const std::string& metrics_json) {
   SecureMemoryConfig mem_config;
   mem_config.size_bytes = config.protected_bytes;
   mem_config.scheme = config.scheme;
   mem_config.mac_placement = config.engine.mac_placement;
-  ShardedSecureMemory memory(mem_config, shards);
+  const std::unique_ptr<SecureMemoryLike> memory =
+      make_engine(mem_config, kind, shards);
 
   const std::uint64_t hot_blocks =
       std::clamp<std::uint64_t>(profile.working_set_bytes / 64, 64,
-                                memory.num_blocks());
+                                memory->num_blocks());
   const double write_fraction = profile.write_fraction;
 
   std::atomic<std::uint64_t> failures{0};
@@ -81,8 +104,8 @@ int run_sharded_engine(const SystemConfig& config,
       for (std::uint64_t i = 0; i < refs_per_thread; ++i) {
         const std::uint64_t block = rng.next_below(hot_blocks);
         if (rng.chance(write_fraction)) {
-          memory.write_block(block, block_data);
-        } else if (memory.read_block(block).status != ReadStatus::kOk) {
+          memory->write_block(block, block_data);
+        } else if (memory->read_block(block).status != ReadStatus::kOk) {
           ++failures;
         }
       }
@@ -92,7 +115,7 @@ int run_sharded_engine(const SystemConfig& config,
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
 
-  const SecureMemory::Stats stats = memory.stats();
+  const EngineStats stats = memory->stats();
   const std::uint64_t total_ops = threads * refs_per_thread;
   std::printf("workload        %s (functional engine)\n",
               profile.name.c_str());
@@ -101,7 +124,9 @@ int run_sharded_engine(const SystemConfig& config,
               mem_config.mac_placement == MacPlacement::kEccLane
                   ? "MAC-in-ECC"
                   : "separate MACs");
-  std::printf("shards          %u\n", shards);
+  std::printf("engine          %s\n", engine_kind_name(kind));
+  if (kind == EngineKind::kSharded)
+    std::printf("shards          %u\n", shards ? shards : 8);
   std::printf("threads         %u\n", threads);
   std::printf("region          %llu MB\n",
               static_cast<unsigned long long>(
@@ -121,6 +146,11 @@ int run_sharded_engine(const SystemConfig& config,
                 static_cast<unsigned long long>(stats.mac_evaluations));
     std::printf("violations      %llu\n",
                 static_cast<unsigned long long>(stats.integrity_violations));
+  }
+  if (!metrics_json.empty()) {
+    StatRegistry registry;
+    memory->publish_metrics(registry);
+    if (!write_metrics_json(registry, metrics_json)) return 1;
   }
   if (failures.load() != 0) {
     std::fprintf(stderr, "error: %llu reads failed verification\n",
@@ -154,7 +184,10 @@ int main(int argc, char** argv) {
   std::uint64_t refs = 100000;
   std::uint64_t warmup = ~0ULL;  // sentinel: default refs/3
   bool dump_stats = false;
-  unsigned shards = 0;  // 0 = timing-simulator mode
+  std::string metrics_json;
+  bool engine_mode = false;
+  EngineKind engine_kind = EngineKind::kSharded;
+  unsigned shards = 0;  // 0 = engine default (8)
   unsigned threads = 4;
   bool protected_mb_given = false;
 
@@ -195,8 +228,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--protected-mb") {
       config.protected_bytes = std::strtoull(value(), nullptr, 10) << 20;
       protected_mb_given = true;
+    } else if (arg == "--engine") {
+      if (!parse_engine_kind(value(), engine_kind)) {
+        std::fprintf(stderr, "unknown engine kind\n");
+        return 2;
+      }
+      engine_mode = true;
     } else if (arg == "--shards") {
       shards = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+      engine_mode = true;
+      engine_kind = EngineKind::kSharded;
+    } else if (arg == "--metrics-json") {
+      metrics_json = value();
     } else if (arg == "--threads") {
       threads = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
     } else if (arg == "--seed") {
@@ -224,14 +267,18 @@ int main(int argc, char** argv) {
   config.warmup_refs = (warmup == ~0ULL) ? refs / 3 : warmup;
 
   try {
-    if (shards > 0) {
-      // Functional concurrent-engine mode. A full-crypto region is far
-      // more expensive to initialize than the timing model's, so the
-      // default size drops to 16MB unless the caller sized it.
+    if (engine_mode) {
+      // Functional-engine mode. A full-crypto region is far more
+      // expensive to initialize than the timing model's, so the default
+      // size drops to 16MB unless the caller sized it.
       if (!protected_mb_given) config.protected_bytes = 16ULL << 20;
       if (threads == 0) threads = 1;
-      return run_sharded_engine(config, profile_by_name(workload), shards,
-                                threads, refs, dump_stats);
+      // SecureMemory has no internal locking; never drive it from more
+      // than one thread.
+      if (engine_kind == EngineKind::kPlain) threads = 1;
+      return run_functional_engine(config, profile_by_name(workload),
+                                   engine_kind, shards, threads, refs,
+                                   dump_stats, metrics_json);
     }
     const WorkloadProfile& profile = profile_by_name(workload);
     SystemSimulator sim(config, profile);
@@ -266,6 +313,9 @@ int main(int argc, char** argv) {
       std::printf("\n--- statistics registry ---\n");
       sim.stats().dump(std::cout);
     }
+    if (!metrics_json.empty() &&
+        !write_metrics_json(sim.stats(), metrics_json))
+      return 1;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
