@@ -4,10 +4,13 @@
 // paper's §3.4 worst cases (512 checks single-bit, 130,816 double-bit).
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "bench_gbench_metrics.h"
 #include "common/bitops.h"
 #include "common/rng.h"
 #include "crypto/aes128.h"
+#include "crypto/crypto_backend.h"
 #include "crypto/ctr_keystream.h"
 #include "crypto/cw_mac.h"
 #include "crypto/gf64.h"
@@ -57,8 +60,57 @@ void BM_CtrKeystream64B(benchmark::State& state) {
     ks.generate(0x1000, ++ctr, out);
     benchmark::DoNotOptimize(out);
   }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBlockBytes));
+  state.SetLabel(ks.backend_name());
 }
 BENCHMARK(BM_CtrKeystream64B);
+
+// Per-backend AES-CTR keystream: the tentpole before/after pair. The
+// accelerated entry reports an error (rather than silently benchmarking
+// the fallback) on hosts without AES-NI.
+void BM_CtrKeystream64BBackend(benchmark::State& state,
+                               const Aes128Ops* ops) {
+  if (ops == nullptr) {
+    state.SkipWithError("backend unavailable on this host");
+    return;
+  }
+  const CtrKeystream ks(aes_key(), *ops);
+  DataBlock out{};
+  std::uint64_t ctr = 0;
+  for (auto _ : state) {
+    ks.generate(0x1000, ++ctr, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBlockBytes));
+  state.SetLabel(ops->name);
+}
+BENCHMARK_CAPTURE(BM_CtrKeystream64BBackend, portable,
+                  &aes128_ops_portable());
+BENCHMARK_CAPTURE(BM_CtrKeystream64BBackend, accel,
+                  aes128_ops_accelerated());
+
+void BM_CtrKeystreamBatch64(benchmark::State& state) {
+  // What read_blocks/write_blocks feed the kernel: 64 keystreams
+  // back-to-back through generate_batch.
+  const CtrKeystream ks(aes_key());
+  constexpr std::size_t kBatch = 64;
+  std::vector<std::uint64_t> addrs(kBatch), ctrs(kBatch);
+  std::vector<DataBlock> out(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) addrs[i] = i * kBlockBytes;
+  std::uint64_t epoch = 0;
+  for (auto _ : state) {
+    ++epoch;
+    for (auto& c : ctrs) c = epoch;
+    ks.generate_batch(addrs, ctrs, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBatch * kBlockBytes));
+  state.SetLabel(ks.backend_name());
+}
+BENCHMARK(BM_CtrKeystreamBatch64);
 
 void BM_Gf64Mul(benchmark::State& state) {
   std::uint64_t a = 0x0123456789ABCDEFULL, b = 0xFEDCBA9876543210ULL;
@@ -69,6 +121,21 @@ void BM_Gf64Mul(benchmark::State& state) {
 }
 BENCHMARK(BM_Gf64Mul);
 
+void BM_Gf64MulBackend(benchmark::State& state, const Gf64Ops* ops) {
+  if (ops == nullptr) {
+    state.SkipWithError("backend unavailable on this host");
+    return;
+  }
+  std::uint64_t a = 0x0123456789ABCDEFULL, b = 0xFEDCBA9876543210ULL;
+  for (auto _ : state) {
+    a = ops->mul(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetLabel(ops->name);
+}
+BENCHMARK_CAPTURE(BM_Gf64MulBackend, portable, &gf64_ops_portable());
+BENCHMARK_CAPTURE(BM_Gf64MulBackend, accel, gf64_ops_accelerated());
+
 void BM_CwMacBlock(benchmark::State& state) {
   const CwMac mac(mac_key());
   const DataBlock block = sample_block();
@@ -76,8 +143,47 @@ void BM_CwMacBlock(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(mac.compute_block(0x40, ++ctr, block));
   }
+  state.SetLabel(mac.gf_backend_name());
 }
 BENCHMARK(BM_CwMacBlock);
+
+void BM_CwMacBlockBackend(benchmark::State& state, const Aes128Ops* aes_ops,
+                          const Gf64Ops* gf_ops) {
+  if (aes_ops == nullptr || gf_ops == nullptr) {
+    state.SkipWithError("backend unavailable on this host");
+    return;
+  }
+  const CwMac mac(mac_key(), *aes_ops, *gf_ops);
+  const DataBlock block = sample_block();
+  std::uint64_t ctr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mac.compute_block(0x40, ++ctr, block));
+  }
+  state.SetLabel(mac.gf_backend_name());
+}
+BENCHMARK_CAPTURE(BM_CwMacBlockBackend, portable, &aes128_ops_portable(),
+                  &gf64_ops_portable());
+BENCHMARK_CAPTURE(BM_CwMacBlockBackend, accel, aes128_ops_accelerated(),
+                  gf64_ops_accelerated());
+
+void BM_CwMacComputeBatch64(benchmark::State& state) {
+  const CwMac mac(mac_key());
+  constexpr std::size_t kBatch = 64;
+  std::vector<std::uint64_t> addrs(kBatch), ctrs(kBatch), tags(kBatch);
+  std::vector<DataBlock> blocks(kBatch, sample_block());
+  for (std::size_t i = 0; i < kBatch; ++i) addrs[i] = i * kBlockBytes;
+  std::uint64_t epoch = 0;
+  for (auto _ : state) {
+    ++epoch;
+    for (auto& c : ctrs) c = epoch;
+    mac.compute_batch(addrs, ctrs, blocks, tags);
+    benchmark::DoNotOptimize(tags.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBatch * kBlockBytes));
+  state.SetLabel(mac.gf_backend_name());
+}
+BENCHMARK(BM_CwMacComputeBatch64);
 
 void BM_CwMacVerifyWithHoistedPad(benchmark::State& state) {
   // The flip-and-check inner loop: pad hoisted, polyhash only.
@@ -160,6 +266,46 @@ void BM_FlipAndCheckDoubleBitWorstCase(benchmark::State& state) {
       static_cast<double>(FlipAndCheck::worst_case_checks(2));
 }
 BENCHMARK(BM_FlipAndCheckDoubleBitWorstCase)->Iterations(3);
+
+// Incremental correction (polyhash linearity): the same searches with
+// each candidate check reduced from a full 8-multiply polyhash to one
+// XOR + compare. Same search order, same result, same evaluation count —
+// only the cost per evaluation changes.
+void BM_FlipAndCheckSingleBitWorstCaseIncremental(benchmark::State& state) {
+  const CwMac mac(mac_key());
+  const DataBlock block = sample_block();
+  const std::uint64_t tag = mac.compute_block(0x40, 1, block);
+  const std::uint64_t pad = mac.pad_for(0x40, 1);
+  DataBlock corrupted = block;
+  flip_bit(corrupted, 511);
+  const FlipAndCheck corrector(FlipAndCheck::Config{1, 1});
+  for (auto _ : state) {
+    auto result = corrector.correct_incremental(corrupted, mac, pad, tag);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["mac_evals"] = 1 + 512;
+  state.SetLabel(mac.gf_backend_name());
+}
+BENCHMARK(BM_FlipAndCheckSingleBitWorstCaseIncremental);
+
+void BM_FlipAndCheckDoubleBitWorstCaseIncremental(benchmark::State& state) {
+  const CwMac mac(mac_key());
+  const DataBlock block = sample_block();
+  const std::uint64_t tag = mac.compute_block(0x40, 1, block);
+  const std::uint64_t pad = mac.pad_for(0x40, 1);
+  DataBlock corrupted = block;
+  flip_bit(corrupted, 510);
+  flip_bit(corrupted, 511);
+  const FlipAndCheck corrector;
+  for (auto _ : state) {
+    auto result = corrector.correct_incremental(corrupted, mac, pad, tag);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["mac_evals_worst"] =
+      static_cast<double>(FlipAndCheck::worst_case_checks(2));
+  state.SetLabel(mac.gf_backend_name());
+}
+BENCHMARK(BM_FlipAndCheckDoubleBitWorstCaseIncremental);
 
 }  // namespace
 

@@ -17,6 +17,11 @@ cmake --preset default
 cmake --build --preset default -j "$(nproc)"
 ctest --preset default -j "$(nproc)"
 
+echo "=== tier 1: portable crypto kernels (SECMEM_FORCE_PORTABLE=1) ==="
+# Same binaries, dispatch pinned to the scalar reference kernels — the
+# path CI machines without AES-NI/PCLMULQDQ (and non-x86 ports) take.
+SECMEM_FORCE_PORTABLE=1 ctest --preset default -j "$(nproc)"
+
 if [ "$fast" -eq 0 ]; then
   echo "=== ASan + UBSan ==="
   ASAN_OPTIONS="halt_on_error=1:abort_on_error=1" \

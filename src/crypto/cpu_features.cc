@@ -1,0 +1,55 @@
+#include "crypto/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace secmem {
+
+namespace {
+
+CpuFeatures probe() noexcept {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    f.pclmul = (ecx & bit_PCLMUL) != 0;
+    f.aesni = (ecx & bit_AES) != 0;
+    f.sse41 = (ecx & bit_SSE4_1) != 0;
+  }
+#endif
+  return f;
+}
+
+bool probe_forced_portable() noexcept {
+  const char* v = std::getenv("SECMEM_FORCE_PORTABLE");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+std::atomic<CryptoBackendChoice> g_choice{CryptoBackendChoice::kAuto};
+
+}  // namespace
+
+const CpuFeatures& cpu_features() noexcept {
+  static const CpuFeatures features = probe();
+  return features;
+}
+
+bool forced_portable_env() noexcept {
+  static const bool forced = probe_forced_portable();
+  return forced;
+}
+
+void set_crypto_backend_choice(CryptoBackendChoice choice) noexcept {
+  g_choice.store(choice, std::memory_order_relaxed);
+}
+
+CryptoBackendChoice crypto_backend_choice() noexcept {
+  return g_choice.load(std::memory_order_relaxed);
+}
+
+}  // namespace secmem

@@ -1,0 +1,49 @@
+// Runtime CPU capability detection + crypto backend selection policy.
+//
+// The crypto layer ships two implementations of its hot kernels: the
+// portable scalar code (always available, the reference for differential
+// tests) and hardware-accelerated variants using AES-NI and PCLMULQDQ.
+// Which one a newly constructed Aes128/CwMac/CtrKeystream binds to is
+// decided here:
+//
+//   1. `SECMEM_FORCE_PORTABLE=1` in the environment pins the portable
+//      kernels process-wide (read once, at first query) — the CI escape
+//      hatch and the way to benchmark the fallback on capable hardware.
+//   2. set_crypto_backend_choice() overrides the policy at runtime for
+//      objects constructed afterwards — how differential tests and
+//      benches hold both backends in one process.
+//   3. Otherwise cpuid decides: accelerated kernels are used only when
+//      the CPU actually advertises the instructions (and the binary was
+//      built with a compiler that could emit them).
+#pragma once
+
+#include <cstdint>
+
+namespace secmem {
+
+/// What the host CPU advertises (cached after the first probe). All
+/// fields are false on non-x86 builds.
+struct CpuFeatures {
+  bool aesni = false;   ///< AESENC/AESDEC/AESKEYGENASSIST
+  bool pclmul = false;  ///< PCLMULQDQ
+  bool sse41 = false;   ///< baseline the vector kernels assume
+};
+
+/// Raw cpuid probe; ignores the env var and runtime overrides.
+const CpuFeatures& cpu_features() noexcept;
+
+/// True if SECMEM_FORCE_PORTABLE=1 (or any nonempty value other than
+/// "0") was set when first queried.
+bool forced_portable_env() noexcept;
+
+/// Backend selection policy for objects constructed after the call.
+enum class CryptoBackendChoice : std::uint8_t {
+  kAuto,         ///< cpuid + SECMEM_FORCE_PORTABLE decide (default)
+  kPortable,     ///< scalar reference kernels
+  kAccelerated,  ///< hardware kernels; degrades to portable if absent
+};
+
+void set_crypto_backend_choice(CryptoBackendChoice choice) noexcept;
+CryptoBackendChoice crypto_backend_choice() noexcept;
+
+}  // namespace secmem

@@ -1,0 +1,42 @@
+#include "crypto/crypto_backend.h"
+
+#include "crypto/cpu_features.h"
+
+namespace secmem {
+
+namespace {
+
+template <typename Ops>
+const Ops& select(const Ops& portable, const Ops* accelerated) noexcept {
+  switch (crypto_backend_choice()) {
+    case CryptoBackendChoice::kPortable:
+      return portable;
+    case CryptoBackendChoice::kAccelerated:
+      return accelerated != nullptr ? *accelerated : portable;
+    case CryptoBackendChoice::kAuto:
+      break;
+  }
+  if (forced_portable_env() || accelerated == nullptr) return portable;
+  return *accelerated;
+}
+
+}  // namespace
+
+const Aes128Ops& aes128_ops() noexcept {
+  return select(aes128_ops_portable(), aes128_ops_accelerated());
+}
+
+const Gf64Ops& gf64_ops() noexcept {
+  return select(gf64_ops_portable(), gf64_ops_accelerated());
+}
+
+const char* crypto_backend_summary() noexcept {
+  const bool aes = &aes128_ops() != &aes128_ops_portable();
+  const bool clmul = &gf64_ops() != &gf64_ops_portable();
+  if (aes && clmul) return "aes-ni+pclmul";
+  if (aes) return "aes-ni";
+  if (clmul) return "pclmul";
+  return "portable";
+}
+
+}  // namespace secmem

@@ -1,0 +1,62 @@
+// Dispatch tables for the crypto hot kernels.
+//
+// Each primitive family exposes an ops struct: a portable instance
+// (always present — the reference implementation and the fallback), an
+// accelerated instance (AES-NI / PCLMULQDQ; null when the build or the
+// host CPU lacks the instructions), and a selector that applies the
+// policy from cpu_features.h. Objects (Aes128, CwMac, CtrKeystream)
+// bind to an ops table at construction, so a policy change via
+// set_crypto_backend_choice() affects objects constructed afterwards —
+// which is exactly what differential tests and per-backend benches need.
+//
+// Round-key layout is part of the contract: expand_key produces the
+// FIPS-197 byte-serialized schedule (11 x 16 bytes), identical across
+// backends, so schedules and ops are freely mixable.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/gf64.h"  // Clmul128
+
+namespace secmem {
+
+/// AES-128 kernel ops. `rk` is the 176-byte expanded schedule.
+struct Aes128Ops {
+  const char* name;
+  /// FIPS-197 §5.2 key expansion: 16-byte key -> 176-byte schedule.
+  void (*expand_key)(const std::uint8_t* key, std::uint8_t* rk);
+  /// Encrypt one 16-byte block (in == out allowed).
+  void (*encrypt1)(const std::uint8_t* rk, const std::uint8_t* in,
+                   std::uint8_t* out);
+  /// Encrypt four independent 16-byte blocks (64 bytes in/out). The
+  /// AES-NI kernel interleaves the four AESENC chains to fill the
+  /// pipeline; portable falls back to four sequential encryptions.
+  void (*encrypt4)(const std::uint8_t* rk, const std::uint8_t* in,
+                   std::uint8_t* out);
+  /// Decrypt one 16-byte block (in == out allowed).
+  void (*decrypt1)(const std::uint8_t* rk, const std::uint8_t* in,
+                   std::uint8_t* out);
+};
+
+/// GF(2^64) kernel ops (reduction modulo x^64 + x^4 + x^3 + x + 1).
+struct Gf64Ops {
+  const char* name;
+  Clmul128 (*clmul)(std::uint64_t a, std::uint64_t b);
+  std::uint64_t (*mul)(std::uint64_t a, std::uint64_t b);
+};
+
+const Aes128Ops& aes128_ops_portable() noexcept;
+/// Null when the build lacks AES-NI support or the CPU doesn't have it.
+const Aes128Ops* aes128_ops_accelerated() noexcept;
+/// The table the current policy selects (see cpu_features.h).
+const Aes128Ops& aes128_ops() noexcept;
+
+const Gf64Ops& gf64_ops_portable() noexcept;
+const Gf64Ops* gf64_ops_accelerated() noexcept;
+const Gf64Ops& gf64_ops() noexcept;
+
+/// Human-readable summary of what the current policy resolves to, e.g.
+/// "aes-ni+pclmul" or "portable" — for logs, benches, and docs.
+const char* crypto_backend_summary() noexcept;
+
+}  // namespace secmem

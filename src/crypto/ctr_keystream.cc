@@ -1,28 +1,49 @@
 #include "crypto/ctr_keystream.h"
 
+#include <cassert>
+#include <cstring>
+
 #include "common/bitops.h"
 
 namespace secmem {
 
+namespace {
+
+// Tweak block: [ addr(8B) | counter(7B) | chunk(1B) ].
+// The counter is at most 56 bits in every scheme we model (paper §2.1),
+// so 7 bytes hold it exactly; the chunk index distinguishes the four
+// 16-byte AES blocks inside one 64-byte keystream.
+void fill_tweaks(std::uint64_t block_addr, std::uint64_t counter,
+                 std::uint8_t* tweaks) noexcept {
+  static_assert(kBlockBytes ==
+                Aes128::kParallelBlocks * Aes128::kBlockBytes);
+  store_le64(tweaks, block_addr);
+  for (int i = 0; i < 7; ++i)
+    tweaks[8 + i] = static_cast<std::uint8_t>(counter >> (8 * i));
+  tweaks[15] = 0;
+  for (std::size_t chunk = 1; chunk < Aes128::kParallelBlocks; ++chunk) {
+    std::uint8_t* t = tweaks + chunk * Aes128::kBlockBytes;
+    std::memcpy(t, tweaks, Aes128::kBlockBytes);
+    t[15] = static_cast<std::uint8_t>(chunk);
+  }
+}
+
+}  // namespace
+
 void CtrKeystream::generate(
     std::uint64_t block_addr, std::uint64_t counter,
     std::span<std::uint8_t, kBlockBytes> out) const noexcept {
-  // Tweak block: [ addr(8B) | counter(7B) | chunk(1B) ].
-  // The counter is at most 56 bits in every scheme we model (paper §2.1),
-  // so 7 bytes hold it exactly; the chunk index distinguishes the four
-  // 16-byte AES blocks inside one 64-byte keystream.
-  Aes128::Block tweak{};
-  store_le64(tweak.data(), block_addr);
-  for (int i = 0; i < 7; ++i)
-    tweak[8 + i] = static_cast<std::uint8_t>(counter >> (8 * i));
-  for (std::size_t chunk = 0; chunk < kBlockBytes / Aes128::kBlockBytes;
-       ++chunk) {
-    tweak[15] = static_cast<std::uint8_t>(chunk);
-    aes_.encrypt_block(
-        tweak, std::span<std::uint8_t, Aes128::kBlockBytes>(
-                   out.data() + chunk * Aes128::kBlockBytes,
-                   Aes128::kBlockBytes));
-  }
+  DataBlock tweaks;
+  fill_tweaks(block_addr, counter, tweaks.data());
+  aes_.encrypt_blocks4(tweaks, out);
+}
+
+void CtrKeystream::generate_batch(std::span<const std::uint64_t> addrs,
+                                  std::span<const std::uint64_t> counters,
+                                  std::span<DataBlock> out) const noexcept {
+  assert(addrs.size() == counters.size() && addrs.size() == out.size());
+  for (std::size_t i = 0; i < addrs.size(); ++i)
+    generate(addrs[i], counters[i], out[i]);
 }
 
 void CtrKeystream::crypt(std::uint64_t block_addr, std::uint64_t counter,
@@ -31,6 +52,14 @@ void CtrKeystream::crypt(std::uint64_t block_addr, std::uint64_t counter,
   DataBlock ks;
   generate(block_addr, counter, ks);
   for (std::size_t i = 0; i < kBlockBytes; ++i) data[i] ^= ks[i];
+}
+
+void CtrKeystream::crypt_batch(std::span<const std::uint64_t> addrs,
+                               std::span<const std::uint64_t> counters,
+                               std::span<DataBlock> blocks) const noexcept {
+  assert(addrs.size() == counters.size() && addrs.size() == blocks.size());
+  for (std::size_t i = 0; i < addrs.size(); ++i)
+    crypt(addrs[i], counters[i], blocks[i]);
 }
 
 }  // namespace secmem

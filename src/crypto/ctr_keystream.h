@@ -6,6 +6,10 @@
 // so the keystream is unique per (address, counter) pair — the address
 // binds the pad to its location (spatial uniqueness) and the counter makes
 // it one-time across writes (temporal uniqueness).
+//
+// The four tweak blocks are independent, so one keystream is exactly one
+// Aes128::encrypt_blocks4 call — on AES-NI the four AESENC chains
+// interleave and fill the pipeline.
 #pragma once
 
 #include <array>
@@ -26,15 +30,36 @@ class CtrKeystream {
  public:
   explicit CtrKeystream(const Aes128::Key& key) noexcept : aes_(key) {}
 
+  /// Construct on an explicit kernel backend (differential tests,
+  /// per-backend benches).
+  CtrKeystream(const Aes128::Key& key, const Aes128Ops& ops) noexcept
+      : aes_(key, ops) {}
+
   /// Fill `out` with the keystream for (block_addr, counter).
   /// `block_addr` is the 64-byte-aligned physical address of the block.
   void generate(std::uint64_t block_addr, std::uint64_t counter,
                 std::span<std::uint8_t, kBlockBytes> out) const noexcept;
 
+  /// Batch variant: out[i] = keystream(addrs[i], counters[i]). All three
+  /// spans have the same length. Engines use this from read_blocks /
+  /// write_blocks so pads for a whole request batch are produced
+  /// back-to-back without re-entering the per-block pipeline.
+  void generate_batch(std::span<const std::uint64_t> addrs,
+                      std::span<const std::uint64_t> counters,
+                      std::span<DataBlock> out) const noexcept;
+
   /// XOR the keystream for (block_addr, counter) into `data` in place.
   /// Counter-mode encryption and decryption are the same operation.
   void crypt(std::uint64_t block_addr, std::uint64_t counter,
              std::span<std::uint8_t, kBlockBytes> data) const noexcept;
+
+  /// Batch variant of crypt: blocks[i] ^= keystream(addrs[i], counters[i]).
+  void crypt_batch(std::span<const std::uint64_t> addrs,
+                   std::span<const std::uint64_t> counters,
+                   std::span<DataBlock> blocks) const noexcept;
+
+  /// Kernel backend the underlying cipher bound to.
+  const char* backend_name() const noexcept { return aes_.backend_name(); }
 
  private:
   Aes128 aes_;

@@ -1,14 +1,52 @@
 #include "crypto/cw_mac.h"
 
+#include <algorithm>
+#include <cassert>
+
 #include "common/bitops.h"
+#include "crypto/crypto_backend.h"
 #include "crypto/gf64.h"
 
 namespace secmem {
 
+namespace {
+
+// Pad tweak: [ addr(8B) | counter(7B) | 0xA5 ]. The final byte domain-
+// separates MAC pads from the 0..3 chunk bytes of keystream tweaks.
+void fill_pad_tweak(std::uint64_t addr, std::uint64_t counter,
+                    std::uint8_t* tweak) noexcept {
+  store_le64(tweak, addr);
+  for (int i = 0; i < 7; ++i)
+    tweak[8 + i] = static_cast<std::uint8_t>(counter >> (8 * i));
+  tweak[15] = 0xA5;
+}
+
+}  // namespace
+
 CwMac::CwMac(const CwMacKey& key) noexcept
+    : CwMac(key, aes128_ops(), gf64_ops()) {}
+
+CwMac::CwMac(const CwMacKey& key, const Aes128Ops& aes_ops,
+             const Gf64Ops& gf_ops) noexcept
     : h_(key.hash_key | 1),  // avoid the degenerate h = 0 hash
-      mul_h_(h_),
-      pad_(key.pad_key) {}
+      gf_(&gf_ops),
+      mul_h_(gf_ == &gf64_ops_portable()
+                 ? std::make_unique<Gf64MulTable>(h_)
+                 : nullptr),
+      pad_(key.pad_key, aes_ops) {
+  // word_coeff_[j] = h^(8-j): coefficient of word j in the block hash.
+  std::uint64_t p = h_;
+  for (std::size_t j = kBlockWords; j-- > 0;) {
+    word_coeff_[j] = p;
+    p = gf_->mul(p, h_);
+  }
+}
+
+const char* CwMac::gf_backend_name() const noexcept { return gf_->name; }
+
+std::uint64_t CwMac::mul_h(std::uint64_t x) const noexcept {
+  return mul_h_ ? mul_h_->mul(x) : gf_->mul(x, h_);
+}
 
 std::uint64_t CwMac::polyhash(
     std::span<const std::uint8_t> message) const noexcept {
@@ -18,36 +56,71 @@ std::uint64_t CwMac::polyhash(
   std::uint64_t acc = 0;
   std::size_t i = 0;
   while (i + 8 <= message.size()) {
-    acc = mul_h_.mul(acc) ^ load_le64(message.data() + i);
+    acc = mul_h(acc) ^ load_le64(message.data() + i);
     i += 8;
   }
   if (i < message.size()) {
     std::uint64_t last = 0;
     for (std::size_t j = 0; i + j < message.size(); ++j)
       last |= std::uint64_t{message[i + j]} << (8 * j);
-    acc = mul_h_.mul(acc) ^ last;
+    acc = mul_h(acc) ^ last;
   }
-  acc = mul_h_.mul(acc) ^ (static_cast<std::uint64_t>(message.size()) * 8);
+  acc = mul_h(acc) ^ (static_cast<std::uint64_t>(message.size()) * 8);
   return acc;
+}
+
+std::uint64_t CwMac::block_polyhash(const DataBlock& block) const noexcept {
+  return polyhash(std::span<const std::uint8_t>(block));
 }
 
 std::uint64_t CwMac::pad_for(std::uint64_t addr,
                              std::uint64_t counter) const noexcept {
-  // One-time pad: AES_k2 over a tweak in a domain separated from the
-  // keystream tweaks by the final byte (0xA5 = "MAC domain").
   Aes128::Block tweak{};
-  store_le64(tweak.data(), addr);
-  for (int i = 0; i < 7; ++i)
-    tweak[8 + i] = static_cast<std::uint8_t>(counter >> (8 * i));
-  tweak[15] = 0xA5;
+  fill_pad_tweak(addr, counter, tweak.data());
   const Aes128::Block pad_block = pad_.encrypt(tweak);
   return load_le64(pad_block.data());
+}
+
+void CwMac::pad_batch(std::span<const std::uint64_t> addrs,
+                      std::span<const std::uint64_t> counters,
+                      std::span<std::uint64_t> pads) const noexcept {
+  assert(addrs.size() == counters.size() && addrs.size() == pads.size());
+  constexpr std::size_t kLane = Aes128::kParallelBlocks;
+  std::size_t i = 0;
+  std::array<std::uint8_t, kLane * Aes128::kBlockBytes> tweaks{};
+  std::array<std::uint8_t, kLane * Aes128::kBlockBytes> enc;
+  for (; i + kLane <= addrs.size(); i += kLane) {
+    for (std::size_t l = 0; l < kLane; ++l)
+      fill_pad_tweak(addrs[i + l], counters[i + l],
+                     tweaks.data() + l * Aes128::kBlockBytes);
+    pad_.encrypt_blocks4(tweaks, enc);
+    for (std::size_t l = 0; l < kLane; ++l)
+      pads[i + l] = load_le64(enc.data() + l * Aes128::kBlockBytes);
+  }
+  for (; i < addrs.size(); ++i) pads[i] = pad_for(addrs[i], counters[i]);
 }
 
 std::uint64_t CwMac::compute(
     std::uint64_t addr, std::uint64_t counter,
     std::span<const std::uint8_t> message) const noexcept {
   return compute_with_pad(pad_for(addr, counter), message);
+}
+
+void CwMac::compute_batch(std::span<const std::uint64_t> addrs,
+                          std::span<const std::uint64_t> counters,
+                          std::span<const DataBlock> blocks,
+                          std::span<std::uint64_t> tags) const noexcept {
+  assert(addrs.size() == counters.size() && addrs.size() == blocks.size() &&
+         addrs.size() == tags.size());
+  constexpr std::size_t kChunk = 32;
+  std::array<std::uint64_t, kChunk> pads;
+  for (std::size_t base = 0; base < addrs.size(); base += kChunk) {
+    const std::size_t n = std::min(kChunk, addrs.size() - base);
+    pad_batch(addrs.subspan(base, n), counters.subspan(base, n),
+              std::span<std::uint64_t>(pads.data(), n));
+    for (std::size_t i = 0; i < n; ++i)
+      tags[base + i] = (block_polyhash(blocks[base + i]) ^ pads[i]) & kMacMask;
+  }
 }
 
 }  // namespace secmem

@@ -12,10 +12,16 @@
 // (Rogers et al. [10]): a data MAC is valid only for this address and this
 // counter value, so protecting counter integrity (via the tree) is enough
 // to prevent replay of data blocks.
+//
+// The GF(2^64) multiplies dispatch with the rest of the crypto kernels:
+// on a PCLMULQDQ host each multiply-by-h is three carry-less multiplies
+// and the 16KB windowed table is never built; on the portable path the
+// table is built once per key and each product is 8 loads + 7 XORs.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <span>
 
 #include "crypto/aes128.h"
@@ -23,6 +29,8 @@
 #include "crypto/gf64.h"
 
 namespace secmem {
+
+struct Gf64Ops;
 
 /// Width of stored MAC tags. 56 bits leaves room for the 7-bit Hamming
 /// code + 1 scrub parity bit inside a 64-bit ECC lane (paper §3.3).
@@ -38,7 +46,15 @@ struct CwMacKey {
 /// Computes 56-bit Carter-Wegman tags over 64-byte blocks.
 class CwMac {
  public:
+  /// Number of 64-bit words hashed per 64-byte data block.
+  static constexpr std::size_t kBlockWords = kBlockBytes / 8;
+
   explicit CwMac(const CwMacKey& key) noexcept;
+
+  /// Construct on explicit kernel backends (differential tests,
+  /// per-backend benches).
+  CwMac(const CwMacKey& key, const Aes128Ops& aes_ops,
+        const Gf64Ops& gf_ops) noexcept;
 
   /// Tag over an arbitrary-length message bound to (addr, counter).
   /// Message length need not be a multiple of 8; it is zero-padded and the
@@ -51,6 +67,13 @@ class CwMac {
                               const DataBlock& block) const noexcept {
     return compute(addr, counter, std::span<const std::uint8_t>(block));
   }
+
+  /// Batch variant: tags[i] over blocks[i] bound to (addrs[i],
+  /// counters[i]). Pads are produced through the 4-wide AES kernel.
+  void compute_batch(std::span<const std::uint64_t> addrs,
+                     std::span<const std::uint64_t> counters,
+                     std::span<const DataBlock> blocks,
+                     std::span<std::uint64_t> tags) const noexcept;
 
   /// Constant-pattern check: true if tag matches the recomputed value.
   bool verify(std::uint64_t addr, std::uint64_t counter,
@@ -66,6 +89,12 @@ class CwMac {
   std::uint64_t pad_for(std::uint64_t addr,
                         std::uint64_t counter) const noexcept;
 
+  /// Batch variant of pad_for: pads[i] for (addrs[i], counters[i]). Four
+  /// pad tweaks go through one interleaved AES call.
+  void pad_batch(std::span<const std::uint64_t> addrs,
+                 std::span<const std::uint64_t> counters,
+                 std::span<std::uint64_t> pads) const noexcept;
+
   /// Tag given a precomputed pad (see pad_for).
   std::uint64_t compute_with_pad(
       std::uint64_t pad, std::span<const std::uint8_t> message) const noexcept {
@@ -78,11 +107,40 @@ class CwMac {
     return compute_with_pad(pad, message) == (tag & kMacMask);
   }
 
+  /// Full (unmasked) 64-bit universal hash of a 64-byte block:
+  ///   H = sum_j m_j * h^(8-j)  XOR  512            (j = 0..7)
+  /// The hash is GF(2)-linear in the message, so flipping bit k of word j
+  /// shifts H by exactly x^k * h^(8-j) — the identity incremental
+  /// flip-and-check is built on. tag = (H ^ pad) & kMacMask.
+  std::uint64_t block_polyhash(const DataBlock& block) const noexcept;
+
+  /// h^(8-word): the hash coefficient of 64-bit word `word` (0..7) of a
+  /// 64-byte block. Precomputed at construction.
+  std::uint64_t word_coefficient(std::size_t word) const noexcept {
+    return word_coeff_[word];
+  }
+
+  /// GF(2^64) kernel this instance bound to ("portable", "pclmul").
+  const char* gf_backend_name() const noexcept;
+
+  /// AES kernel the pad cipher bound to ("portable", "aes-ni").
+  const char* aes_backend_name() const noexcept {
+    return pad_.backend_name();
+  }
+
  private:
   std::uint64_t polyhash(std::span<const std::uint8_t> message) const noexcept;
 
+  /// x * h on whichever path this key bound to.
+  std::uint64_t mul_h(std::uint64_t x) const noexcept;
+
   std::uint64_t h_;
-  Gf64MulTable mul_h_;  ///< precomputed x -> x*h (hardware-multiplier model)
+  const Gf64Ops* gf_;
+  /// Windowed multiply-by-h table — built only on the portable path
+  /// (with PCLMULQDQ the direct product beats the 16KB table walk).
+  std::unique_ptr<Gf64MulTable> mul_h_;
+  /// word_coeff_[j] = h^(8-j), the coefficient of block word j.
+  std::array<std::uint64_t, kBlockWords> word_coeff_;
   Aes128 pad_;
 };
 

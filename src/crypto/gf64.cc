@@ -1,8 +1,10 @@
 #include "crypto/gf64.h"
 
+#include "crypto/crypto_backend.h"
+
 namespace secmem {
 
-Clmul128 clmul64(std::uint64_t a, std::uint64_t b) noexcept {
+Clmul128 clmul64_portable(std::uint64_t a, std::uint64_t b) noexcept {
   // Shift-and-xor schoolbook carry-less multiply. Branch on bits of b.
   std::uint64_t lo = 0, hi = 0;
   for (int i = 0; i < 64; ++i) {
@@ -14,19 +16,33 @@ Clmul128 clmul64(std::uint64_t a, std::uint64_t b) noexcept {
   return {lo, hi};
 }
 
-std::uint64_t gf64_mul(std::uint64_t a, std::uint64_t b) noexcept {
+std::uint64_t gf64_mul_portable(std::uint64_t a, std::uint64_t b) noexcept {
   // Reduce the 128-bit product modulo x^64 + x^4 + x^3 + x + 1.
   // x^64 ≡ x^4 + x^3 + x + 1 = 0x1b, so each high bit h_i contributes
   // 0x1b << i; folding twice handles the <= 4-bit spill of the first fold.
-  const Clmul128 p = clmul64(a, b);
+  const Clmul128 p = clmul64_portable(a, b);
   std::uint64_t lo = p.lo;
   std::uint64_t hi = p.hi;
   for (int fold = 0; fold < 2 && hi != 0; ++fold) {
-    const Clmul128 r = clmul64(hi, 0x1bULL);
+    const Clmul128 r = clmul64_portable(hi, 0x1bULL);
     lo ^= r.lo;
     hi = r.hi;
   }
   return lo;
+}
+
+Clmul128 clmul64(std::uint64_t a, std::uint64_t b) noexcept {
+  return gf64_ops().clmul(a, b);
+}
+
+std::uint64_t gf64_mul(std::uint64_t a, std::uint64_t b) noexcept {
+  return gf64_ops().mul(a, b);
+}
+
+const Gf64Ops& gf64_ops_portable() noexcept {
+  static constexpr Gf64Ops ops = {"portable", clmul64_portable,
+                                  gf64_mul_portable};
+  return ops;
 }
 
 Gf64MulTable::Gf64MulTable(std::uint64_t h) noexcept {

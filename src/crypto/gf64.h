@@ -6,6 +6,11 @@
 // The paper (§3.2, citing Gueron's SGX description) notes MAC computation
 // is "essentially composed Galois field multiplications" — this is that
 // field.
+//
+// clmul64/gf64_mul dispatch at runtime to a PCLMULQDQ kernel when the CPU
+// has one (see crypto_backend.h); the *_portable variants are the scalar
+// reference implementations, always available and bit-identical to the
+// hardware path.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +27,17 @@ Clmul128 clmul64(std::uint64_t a, std::uint64_t b) noexcept;
 /// Multiply in GF(2^64) modulo x^64 + x^4 + x^3 + x + 1.
 std::uint64_t gf64_mul(std::uint64_t a, std::uint64_t b) noexcept;
 
+/// Scalar reference implementations (the dispatch fallback).
+Clmul128 clmul64_portable(std::uint64_t a, std::uint64_t b) noexcept;
+std::uint64_t gf64_mul_portable(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Multiply by x (one reduced shift) — O(1). Incremental flip-and-check
+/// walks per-bit hash deltas with this: bit k+1's delta is x times
+/// bit k's.
+constexpr std::uint64_t gf64_mul_x(std::uint64_t a) noexcept {
+  return (a << 1) ^ ((a >> 63) != 0 ? std::uint64_t{0x1b} : 0);
+}
+
 /// Exponentiation in GF(2^64) by square-and-multiply.
 std::uint64_t gf64_pow(std::uint64_t base, std::uint64_t exp) noexcept;
 
@@ -30,6 +46,8 @@ std::uint64_t gf64_pow(std::uint64_t base, std::uint64_t exp) noexcept;
 ///   x*h = XOR_i table[i][byte_i(x)]   with   table[i][b] = (b << 8i)*h.
 /// One-time 16KB table per key; each product is 8 loads + 7 XORs —
 /// mirrors how a single-cycle hardware GF multiplier would be keyed.
+/// CwMac only builds one on the portable path; with PCLMULQDQ the direct
+/// product is faster than the table walk.
 class Gf64MulTable {
  public:
   explicit Gf64MulTable(std::uint64_t h) noexcept;

@@ -7,16 +7,28 @@
 // The MAC field itself is protected by its own 7-bit Hamming code
 // (mac_ecc.h), so only data-bit flips need the brute-force search.
 //
-// The corrector is generic over a verification predicate so it can be used
-// directly against CwMac or in tests with toy checkers. It also reports
-// the number of MAC evaluations performed and a modeled hardware cycle
-// cost (one GF-multiply-based MAC evaluates in ~1 cycle, paper §3.4).
+// Two engines are provided:
+//   - correct() is generic over a verification predicate, so it works
+//     against CwMac or toy checkers in tests. Every trial re-hashes the
+//     whole 64-byte candidate.
+//   - correct_incremental() exploits that the Carter-Wegman hash is
+//     GF(2)-linear in the message: flipping bit k of 64-bit word j shifts
+//     the full hash by exactly x^k * h^(8-j). The 512 per-bit hash deltas
+//     are walked in O(1) each (multiply-by-x), and every candidate trial
+//     is then one XOR and one masked compare instead of a fresh 8-word
+//     polynomial hash. Results (status, repaired bits, trial counts) are
+//     bit-identical to the generic path by linearity.
+//
+// Both report the number of MAC evaluations performed and a modeled
+// hardware cycle cost (one GF-multiply-based MAC evaluates in ~1 cycle,
+// paper §3.4).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 
 #include "crypto/ctr_keystream.h"
+#include "crypto/cw_mac.h"
 
 namespace secmem {
 
@@ -57,7 +69,19 @@ class FlipAndCheck {
   /// Try to make `block` verify by flipping up to max_errors bits.
   CorrectionResult correct(const DataBlock& block, const Verifier& verify) const;
 
-  /// Worst-case MAC evaluations for a given error count over 512 bits.
+  /// Incremental variant for the CwMac construction. `pad` is
+  /// mac.pad_for(addr, counter) and `tag` the stored (56-bit) tag; a
+  /// candidate verifies iff (hash ^ pad) & kMacMask == tag & kMacMask,
+  /// the same predicate CwMac::verify_with_pad applies. Candidate order,
+  /// result fields, and evaluation counts match correct() exactly — only
+  /// the per-trial cost drops from a full block hash to O(1).
+  CorrectionResult correct_incremental(const DataBlock& block,
+                                       const CwMac& mac, std::uint64_t pad,
+                                       std::uint64_t tag) const;
+
+  /// Worst-case MAC evaluations for a given error count over 512 bits:
+  /// C(512, errors), saturating to UINT64_MAX when the true value
+  /// exceeds 64 bits (first at errors = 10) and 0 for errors > 512.
   static std::uint64_t worst_case_checks(unsigned errors) noexcept;
 
  private:

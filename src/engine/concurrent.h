@@ -45,6 +45,19 @@ class ConcurrentSecureMemory : public SecureMemoryLike {
     return memory_.read_block(block);
   }
 
+  /// Batch I/O under one lock acquisition — the batch crypto kernels run
+  /// in the wrapped engine.
+  std::vector<ReadResult> read_blocks(
+      std::span<const std::uint64_t> blocks) override {
+    const auto lock = locks_.lock(0);
+    return memory_.read_blocks(blocks);
+  }
+
+  void write_blocks(std::span<const BlockWrite> writes) override {
+    const auto lock = locks_.lock(0);
+    memory_.write_blocks(writes);
+  }
+
   Status write_bytes(std::uint64_t addr,
                      std::span<const std::uint8_t> bytes) override {
     const auto lock = locks_.lock(0);

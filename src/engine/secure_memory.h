@@ -89,6 +89,17 @@ class SecureMemory : public SecureMemoryLike {
   /// Verified read of one 64-byte block.
   ReadResult read_block(std::uint64_t block) override;
 
+  /// Batch I/O (see SecureMemoryLike). The overrides keep single-block
+  /// semantics — identical statuses, corrections, metrics, and trace
+  /// events — while running the crypto over the whole batch: counter
+  /// lines authenticate once per line, AES pads stream through the
+  /// 4-wide kernel, and counter-line/tree syncs coalesce per dirty line.
+  /// Any block that needs more than the clean verify path (corrections,
+  /// tampering) falls back to the scalar routine for that block.
+  std::vector<ReadResult> read_blocks(
+      std::span<const std::uint64_t> blocks) override;
+  void write_blocks(std::span<const BlockWrite> writes) override;
+
   /// Byte-level API; see SecureMemoryLike for the Status contract.
   /// `write_bytes` is all-or-nothing: the partial blocks at the edges of
   /// the range (the only blocks whose old contents must still verify) are
@@ -234,8 +245,22 @@ class SecureMemory : public SecureMemoryLike {
   /// Encrypt + MAC `plaintext` under `counter` and store everything.
   void store_block(std::uint64_t block, const DataBlock& plaintext,
                    std::uint64_t counter);
+  /// Batch store_block: keystreams and MAC pads go through the batched
+  /// crypto kernels. Equivalent to calling store_block per element in
+  /// order (counter lines are NOT synced — callers do that per line).
+  void store_blocks(std::span<const std::uint64_t> blocks,
+                    std::span<const DataBlock> plaintexts,
+                    std::span<const std::uint64_t> counters);
+  /// Re-store every block under `counter`. `plaintexts` holds one block
+  /// each, or is empty for all-zeros (init / failed-restore wipe). Syncs
+  /// all counter lines afterwards.
+  void reset_all_blocks(std::span<const DataBlock> plaintexts,
+                        std::uint64_t counter);
   /// Refresh stored counter line `line` and its tree path.
   void sync_counter_line(std::uint64_t line);
+  /// Metrics/trace bookkeeping shared by read_block and the batch fast
+  /// path.
+  void account_read(const ReadResult& result, std::uint64_t block) noexcept;
   std::uint64_t data_mac(std::uint64_t block, std::uint64_t counter,
                          const DataBlock& ciphertext) const;
   void trace(TraceEvent::Kind kind, Status outcome,

@@ -1,5 +1,7 @@
 #include "engine/secure_memory_like.h"
 
+#include <stdexcept>
+
 #include "engine/concurrent.h"
 #include "engine/secure_memory.h"
 #include "engine/sharded_memory.h"
@@ -8,6 +10,26 @@ namespace secmem {
 
 const char* read_status_name(ReadStatus status) noexcept {
   return to_string(status);
+}
+
+std::vector<ReadResult> SecureMemoryLike::read_blocks(
+    std::span<const std::uint64_t> blocks) {
+  for (const std::uint64_t block : blocks)
+    if (block >= num_blocks())
+      throw std::out_of_range("read_blocks: block " + std::to_string(block) +
+                              " out of range");
+  std::vector<ReadResult> results(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i)
+    results[i] = read_block(blocks[i]);
+  return results;
+}
+
+void SecureMemoryLike::write_blocks(std::span<const BlockWrite> writes) {
+  for (const BlockWrite& w : writes)
+    if (w.block >= num_blocks())
+      throw std::out_of_range("write_blocks: block " +
+                              std::to_string(w.block) + " out of range");
+  for (const BlockWrite& w : writes) write_block(w.block, w.data);
 }
 
 const char* scrub_status_name(ScrubStatus status) noexcept {

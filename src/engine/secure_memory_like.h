@@ -15,6 +15,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/status.h"
@@ -31,6 +32,12 @@ struct ReadResult {
   ReadStatus status = Status::kOk;
   DataBlock data{};  ///< plaintext; zeroed unless status is kOk/kCorrected*
   std::uint64_t mac_evaluations = 0;  ///< flip-and-check work performed
+};
+
+/// One request of a write_blocks batch.
+struct BlockWrite {
+  std::uint64_t block;
+  DataBlock data;
 };
 
 /// Outcome of scrubbing one block (paper §3.3).
@@ -97,16 +104,20 @@ class SecureMemoryLike {
   virtual Status read_bytes(std::uint64_t addr,
                             std::span<std::uint8_t> out) = 0;
 
-  /// Deprecated boolean shims over read_bytes/write_bytes — one PR of
-  /// grace for callers that still branch on bool.
-  [[deprecated("use write_bytes(); it reports a secmem::Status")]]
-  bool write(std::uint64_t addr, std::span<const std::uint8_t> bytes) {
-    return status_ok(write_bytes(addr, bytes));
-  }
-  [[deprecated("use read_bytes(); it reports a secmem::Status")]]
-  bool read(std::uint64_t addr, std::span<std::uint8_t> out) {
-    return status_ok(read_bytes(addr, out));
-  }
+  /// ------------------------------------------------------------------
+  /// Batch block I/O.
+  /// ------------------------------------------------------------------
+  /// Semantically equivalent to looping the single-block calls in request
+  /// order (the base-class default does exactly that), but engines
+  /// override these to amortize work across the batch: crypto kernels run
+  /// over the whole request set (4-wide AES pads, deduplicated tree-leaf
+  /// verifications, one counter-line sync per dirty line) and sharded
+  /// engines take each shard lock once per batch. Unlike the single-block
+  /// calls, ALL block indices are validated up front — std::out_of_range
+  /// is thrown before anything is mutated.
+  virtual std::vector<ReadResult> read_blocks(
+      std::span<const std::uint64_t> blocks);
+  virtual void write_blocks(std::span<const BlockWrite> writes);
 
   /// Scrubbing sweep (paper §3.3): quick parity scan unless `deep`.
   virtual ScrubStatus scrub_block(std::uint64_t block,

@@ -135,15 +135,20 @@ std::vector<SecureMemory::ReadResult> ShardedSecureMemory::read_blocks(
                    });
 
   std::vector<SecureMemory::ReadResult> results(blocks.size());
+  std::vector<std::uint64_t> local_blocks;
   std::size_t i = 0;
   while (i < order.size()) {
     const unsigned shard = shard_of_block(blocks[order[i]]);
-    const auto lock = locks_.lock(shard);
+    const std::size_t run_start = i;
+    local_blocks.clear();
     for (; i < order.size() && shard_of_block(blocks[order[i]]) == shard;
          ++i) {
-      results[order[i]] =
-          shards_[shard]->read_block(route(blocks[order[i]]).local_block);
+      local_blocks.push_back(route(blocks[order[i]]).local_block);
     }
+    const auto lock = locks_.lock(shard);
+    auto shard_results = shards_[shard]->read_blocks(local_blocks);
+    for (std::size_t k = 0; k < shard_results.size(); ++k)
+      results[order[run_start + k]] = std::move(shard_results[k]);
   }
   return results;
 }
@@ -159,16 +164,19 @@ void ShardedSecureMemory::write_blocks(std::span<const BlockWrite> writes) {
                             shard_of_block(writes[b].block);
                    });
 
+  std::vector<BlockWrite> local_writes;
   std::size_t i = 0;
   while (i < order.size()) {
     const unsigned shard = shard_of_block(writes[order[i]].block);
-    const auto lock = locks_.lock(shard);
+    local_writes.clear();
     for (; i < order.size() &&
            shard_of_block(writes[order[i]].block) == shard;
          ++i) {
       const BlockWrite& w = writes[order[i]];
-      shards_[shard]->write_block(route(w.block).local_block, w.data);
+      local_writes.push_back({route(w.block).local_block, w.data});
     }
+    const auto lock = locks_.lock(shard);
+    shards_[shard]->write_blocks(local_writes);
   }
 }
 

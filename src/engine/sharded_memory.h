@@ -66,18 +66,17 @@ class ShardedSecureMemory : public SecureMemoryLike {
   ScrubStatus scrub_block(std::uint64_t block, bool deep = false) override;
 
   /// ------------------------------------------------------------------
-  /// Batch I/O — sorts requests by shard and acquires each shard lock
-  /// once per batch, amortizing synchronization over many blocks.
-  /// Results come back in request order. Requests to the same shard are
-  /// applied atomically per shard; the batch as a whole is NOT a
-  /// cross-shard snapshot.
+  /// Batch I/O — sorts requests by shard, acquires each shard lock once
+  /// per batch, and runs each shard's run of requests through the
+  /// shard's own batch routine (batched crypto kernels, deduplicated
+  /// tree verifications). Results come back in request order. Requests
+  /// to the same shard are applied atomically per shard; the batch as a
+  /// whole is NOT a cross-shard snapshot.
   /// ------------------------------------------------------------------
-  struct BlockWrite {
-    std::uint64_t block;
-    DataBlock data;
-  };
-  std::vector<ReadResult> read_blocks(std::span<const std::uint64_t> blocks);
-  void write_blocks(std::span<const BlockWrite> writes);
+  using BlockWrite = secmem::BlockWrite;
+  std::vector<ReadResult> read_blocks(
+      std::span<const std::uint64_t> blocks) override;
+  void write_blocks(std::span<const BlockWrite> writes) override;
 
   /// ------------------------------------------------------------------
   /// Byte-level API. Locks every shard the range touches (in table

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/bitops.h"
 #include "common/rng.h"
 #include "crypto/cw_mac.h"
@@ -127,6 +129,34 @@ TEST(FlipAndCheck, WorstCaseCheckCountsMatchPaper) {
   EXPECT_EQ(FlipAndCheck::worst_case_checks(2), 130816u);
 }
 
+TEST(FlipAndCheck, WorstCaseChecksExactAboveTwo) {
+  EXPECT_EQ(FlipAndCheck::worst_case_checks(0), 1u);
+  EXPECT_EQ(FlipAndCheck::worst_case_checks(3), 22238720u);  // C(512,3)
+  EXPECT_EQ(FlipAndCheck::worst_case_checks(4), 2829877120u);
+}
+
+TEST(FlipAndCheck, WorstCaseChecksSaturatesInsteadOfOverflowing) {
+  // C(512,9) still fits in 64 bits; C(512,10) ≈ 3.1e20 does not. The old
+  // running-product implementation silently wrapped; now it saturates.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_LT(FlipAndCheck::worst_case_checks(9), kMax);
+  EXPECT_GT(FlipAndCheck::worst_case_checks(9),
+            FlipAndCheck::worst_case_checks(8));
+  EXPECT_EQ(FlipAndCheck::worst_case_checks(10), kMax);
+  EXPECT_EQ(FlipAndCheck::worst_case_checks(256), kMax);
+}
+
+TEST(FlipAndCheck, WorstCaseChecksSymmetryAndRange) {
+  // C(512,k) == C(512,512-k); more flips than bits is impossible.
+  EXPECT_EQ(FlipAndCheck::worst_case_checks(512), 1u);
+  EXPECT_EQ(FlipAndCheck::worst_case_checks(511), 512u);
+  EXPECT_EQ(FlipAndCheck::worst_case_checks(510), 130816u);
+  EXPECT_EQ(FlipAndCheck::worst_case_checks(509),
+            FlipAndCheck::worst_case_checks(3));
+  EXPECT_EQ(FlipAndCheck::worst_case_checks(513), 0u);
+  EXPECT_EQ(FlipAndCheck::worst_case_checks(100000), 0u);
+}
+
 TEST(FlipAndCheck, ModeledCyclesScaleWithCyclesPerMac) {
   Fixture f(8);
   FlipAndCheck fast(FlipAndCheck::Config{2, 1});
@@ -155,6 +185,99 @@ TEST(FlipAndCheck, NeverMiscorrects) {
         result.status == CorrectionStatus::kClean) {
       EXPECT_EQ(result.data, f.block);
     }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Incremental corrector: same searches via per-bit GF(2^64) hash deltas.
+// ---------------------------------------------------------------------
+
+struct IncrementalFixture : Fixture {
+  std::uint64_t pad;
+  explicit IncrementalFixture(std::uint64_t seed)
+      : Fixture(seed), pad(mac.pad_for(0x40, 1)) {}
+};
+
+TEST(FlipAndCheckIncremental, CleanBlockNoWork) {
+  IncrementalFixture f(21);
+  FlipAndCheck corrector;
+  const auto result = corrector.correct_incremental(f.block, f.mac, f.pad,
+                                                    f.tag);
+  EXPECT_EQ(result.status, CorrectionStatus::kClean);
+  EXPECT_EQ(result.mac_evaluations, 1u);
+  EXPECT_EQ(result.data, f.block);
+}
+
+TEST(FlipAndCheckIncremental, MatchesGenericOnSingleBitErrors) {
+  IncrementalFixture f(22);
+  FlipAndCheck corrector;
+  for (std::size_t bit = 0; bit < 512; bit += 17) {
+    DataBlock corrupted = f.block;
+    flip_bit(corrupted, bit);
+    const auto fast =
+        corrector.correct_incremental(corrupted, f.mac, f.pad, f.tag);
+    const auto slow = corrector.correct(corrupted, f.verifier);
+    EXPECT_EQ(fast.status, slow.status) << bit;
+    EXPECT_EQ(fast.data, slow.data) << bit;
+    EXPECT_EQ(fast.mac_evaluations, slow.mac_evaluations) << bit;
+    EXPECT_EQ(fast.flipped_bits[0], slow.flipped_bits[0]) << bit;
+    EXPECT_EQ(fast.data, f.block) << bit;
+  }
+}
+
+TEST(FlipAndCheckIncremental, MatchesGenericOnDoubleBitErrors) {
+  IncrementalFixture f(23);
+  FlipAndCheck corrector;
+  Xoshiro256 rng(777);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t i = rng.next_below(512);
+    std::size_t j = rng.next_below(512);
+    if (j == i) j = (j + 1) % 512;
+    DataBlock corrupted = f.block;
+    flip_bit(corrupted, i);
+    flip_bit(corrupted, j);
+    const auto fast =
+        corrector.correct_incremental(corrupted, f.mac, f.pad, f.tag);
+    const auto slow = corrector.correct(corrupted, f.verifier);
+    EXPECT_EQ(fast.status, slow.status) << i << "," << j;
+    EXPECT_EQ(fast.data, slow.data) << i << "," << j;
+    EXPECT_EQ(fast.mac_evaluations, slow.mac_evaluations) << i << "," << j;
+    EXPECT_EQ(fast.flipped_bits[0], slow.flipped_bits[0]);
+    EXPECT_EQ(fast.flipped_bits[1], slow.flipped_bits[1]);
+  }
+}
+
+TEST(FlipAndCheckIncremental, TripleBitErrorUncorrectableWithFullCount) {
+  IncrementalFixture f(24);
+  FlipAndCheck corrector;
+  DataBlock corrupted = f.block;
+  flip_bit(corrupted, 1);
+  flip_bit(corrupted, 77);
+  flip_bit(corrupted, 401);
+  const auto result =
+      corrector.correct_incremental(corrupted, f.mac, f.pad, f.tag);
+  EXPECT_EQ(result.status, CorrectionStatus::kUncorrectable);
+  EXPECT_EQ(result.mac_evaluations,
+            1 + 512u + FlipAndCheck::worst_case_checks(2));
+}
+
+TEST(FlipAndCheckIncremental, RespectsMaxErrorsConfig) {
+  IncrementalFixture f(25);
+  DataBlock corrupted = f.block;
+  flip_bit(corrupted, 42);
+  {
+    FlipAndCheck detect_only(FlipAndCheck::Config{0, 1});
+    const auto result =
+        detect_only.correct_incremental(corrupted, f.mac, f.pad, f.tag);
+    EXPECT_EQ(result.status, CorrectionStatus::kUncorrectable);
+    EXPECT_EQ(result.mac_evaluations, 1u);
+  }
+  {
+    FlipAndCheck single(FlipAndCheck::Config{1, 1});
+    const auto result =
+        single.correct_incremental(corrupted, f.mac, f.pad, f.tag);
+    EXPECT_EQ(result.status, CorrectionStatus::kCorrectedOne);
+    EXPECT_EQ(result.data, f.block);
   }
 }
 
