@@ -4,9 +4,12 @@
 //
 // Every bench binary writes a `<tag>.metrics.json` StatRegistry export
 // (git-ignored) next to its human-readable stdout report, so CI consumes
-// one machine-readable format across the whole suite. The
-// SECMEM_METRICS_JSON environment variable overrides the output path; an
-// empty value suppresses the file.
+// one machine-readable format across the whole suite. The file lands
+// next to the bench *binary* (i.e. in the build tree), never in whatever
+// directory the bench happens to be run from — running benches from a
+// source checkout must not litter the repo. The SECMEM_METRICS_JSON
+// environment variable overrides the output path; an empty value
+// suppresses the file.
 #pragma once
 
 #include <cstdio>
@@ -14,13 +17,27 @@
 #include <fstream>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "common/stats.h"
 
 namespace secmem_bench {
 
 inline std::string metrics_output_path(const std::string& tag) {
   if (const char* env = std::getenv("SECMEM_METRICS_JSON")) return env;
-  return tag + ".metrics.json";
+  const std::string name = tag + ".metrics.json";
+#if defined(__linux__)
+  char exe[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  if (n > 0) {
+    const std::string path(exe, static_cast<std::size_t>(n));
+    const std::size_t slash = path.rfind('/');
+    if (slash != std::string::npos) return path.substr(0, slash + 1) + name;
+  }
+#endif
+  return name;  // fallback: current directory
 }
 
 /// Scope guard owning the bench's StatRegistry: benches record run-level

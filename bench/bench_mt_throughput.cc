@@ -8,7 +8,14 @@
 // emitted as JSON (stdout + a *.bench.json file, git-ignored) so CI can
 // trend them.
 //
+// A hot-set phase runs first: a single-threaded plain engine re-reading a
+// small working set, with the verified-frontier tree cache off (eager
+// root-reaching walks) vs on (walks truncate at the frontier; hot counter
+// lines verify by compare). This isolates the tree-walk cost the cache
+// removes, the functional analog of the paper's metadata-cache argument.
+//
 //   bench_mt_throughput [--mib N] [--shards N] [--reads-per-thread N]
+//                       [--hot-mib N] [--hot-blocks N] [--hot-reads N]
 //                       [--out FILE]
 #include <atomic>
 #include <chrono>
@@ -90,6 +97,21 @@ double timed_batch_reads(ShardedSecureMemory& engine, unsigned threads,
   return elapsed.count();
 }
 
+/// Single-threaded hot-set reads on a plain engine: `reads` verified
+/// reads uniformly over the first `hot_blocks` blocks.
+double timed_hot_reads(SecureMemory& engine, std::uint64_t hot_blocks,
+                       std::uint64_t reads, std::atomic<int>& bad) {
+  Xoshiro256 rng(0x407);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < reads; ++i) {
+    const auto result = engine.read_block(rng.next_below(hot_blocks));
+    if (result.status != ReadStatus::kOk) ++bad;
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
 void emit_json(std::FILE* out, const std::vector<Sample>& samples,
                std::uint64_t mib, unsigned shards,
                std::uint64_t reads_per_thread) {
@@ -118,6 +140,13 @@ int main(int argc, char** argv) {
   std::uint64_t mib = 8;
   unsigned shards = 8;
   std::uint64_t reads_per_thread = 20000;
+  // Hot-set phase defaults: a 32 MiB region is deep enough (3 off-chip
+  // MAC levels with the 3 KB on-chip root budget) that eager walks carry
+  // real cost, and 1024 hot blocks = 16 delta counter lines — the whole
+  // frontier fits in the default 8 KB cache.
+  std::uint64_t hot_mib = 32;
+  std::uint64_t hot_blocks = 1024;
+  std::uint64_t hot_reads = 200000;
   std::string out_path = "mt_throughput.bench.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -134,12 +163,19 @@ int main(int argc, char** argv) {
       shards = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
     } else if (arg == "--reads-per-thread") {
       reads_per_thread = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--hot-mib") {
+      hot_mib = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--hot-blocks") {
+      hot_blocks = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--hot-reads") {
+      hot_reads = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--out") {
       out_path = value();
     } else {
       std::fprintf(stderr,
                    "usage: %s [--mib N] [--shards N] "
-                   "[--reads-per-thread N] [--out FILE]\n",
+                   "[--reads-per-thread N] [--hot-mib N] [--hot-blocks N] "
+                   "[--hot-reads N] [--out FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -171,6 +207,40 @@ int main(int argc, char** argv) {
 
   std::vector<Sample> samples;
   std::atomic<int> bad{0};
+
+  // Phase 0: hot-set reads, eager vs verified-frontier, single thread.
+  {
+    SecureMemoryConfig hot_config;
+    hot_config.size_bytes = hot_mib << 20;
+    SecureMemoryConfig eager_config = hot_config;
+    eager_config.tree_cache_kb = 0;
+    SecureMemory eager(eager_config);
+    SecureMemory cached(hot_config);
+    hot_blocks = std::min(hot_blocks, eager.num_blocks());
+    DataBlock block{};
+    for (std::uint64_t b = 0; b < hot_blocks; ++b) {
+      block[0] = static_cast<std::uint8_t>(b);
+      eager.write_block(b, block);
+      cached.write_block(b, block);
+    }
+    const double eager_s = timed_hot_reads(eager, hot_blocks, hot_reads, bad);
+    const double cached_s =
+        timed_hot_reads(cached, hot_blocks, hot_reads, bad);
+    samples.push_back(
+        {"hot-eager", 1, hot_reads, eager_s, hot_reads / eager_s});
+    samples.push_back(
+        {"hot-cached", 1, hot_reads, cached_s, hot_reads / cached_s});
+    const EngineStats cs = cached.stats();
+    std::fprintf(stderr,
+                 "hot set (%llu blocks, %llu MiB region): eager %.0f ops/s "
+                 "| cached %.0f ops/s (%.2fx; %llu cache hits)\n",
+                 static_cast<unsigned long long>(hot_blocks),
+                 static_cast<unsigned long long>(hot_mib),
+                 hot_reads / eager_s, hot_reads / cached_s,
+                 eager_s / cached_s,
+                 static_cast<unsigned long long>(cs.tree_cache_hits));
+  }
+
   const unsigned thread_counts[] = {1, 2, 4, 8};
   for (const unsigned threads : thread_counts) {
     const std::uint64_t total = threads * reads_per_thread;

@@ -1,0 +1,191 @@
+// Verified-frontier tree cache microbench (tree/tree_cache.h).
+//
+// Measures what the cache removes from the verified-read datapath — the
+// leaf-to-root Carter-Wegman walk — and what the write-back buffer
+// coalesces on the write path, on a single-threaded plain engine:
+//
+//  - hot workload: re-reads (or re-writes) a working set whose frontier
+//    fits in the cache; steady state is all hits, so reads verify by a
+//    64-byte compare and writes land their tag in a resident node.
+//  - uniform workload: reads spread over the whole region, far beyond
+//    any configured capacity — the miss path, which still pays the full
+//    walk plus fill bookkeeping. This bounds the overhead the cache can
+//    add when it never helps.
+//
+// Capacity sweeps 0 (eager baseline) / 4 / 8 / 16 / 32 KB. Results go to
+// stdout as JSON plus the standard metrics export; BENCH_tree.json in the
+// repo root holds a seeded snapshot.
+//
+//   bench_tree_cache [--mib N] [--hot-blocks N] [--reads N] [--writes N]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_metrics.h"
+#include "common/rng.h"
+#include "engine/secure_memory.h"
+
+namespace {
+
+using namespace secmem;
+
+struct Sample {
+  std::string workload;  // "hot-read" | "uniform-read" | "hot-write"
+  unsigned cache_kb;
+  std::uint64_t ops;
+  double ns_per_op;
+  double ops_per_sec;
+  std::uint64_t hits;
+  std::uint64_t misses;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+Sample run_reads(const char* workload, SecureMemoryConfig config,
+                 std::uint64_t span_blocks, std::uint64_t ops, int& bad) {
+  SecureMemory mem(config);
+  if (span_blocks == 0 || span_blocks > mem.num_blocks())
+    span_blocks = mem.num_blocks();
+  DataBlock block{};
+  for (std::uint64_t b = 0; b < std::min<std::uint64_t>(span_blocks, 4096);
+       ++b) {
+    block[0] = static_cast<std::uint8_t>(b);
+    mem.write_block(b, block);
+  }
+  Xoshiro256 rng(0x7ee);
+  // Warm-up pass populates the frontier so the timed loop measures the
+  // steady state, not compulsory misses.
+  for (std::uint64_t i = 0; i < std::min<std::uint64_t>(ops / 10, 20000); ++i)
+    if (mem.read_block(rng.next_below(span_blocks)).status != ReadStatus::kOk)
+      ++bad;
+  mem.reset_stats();
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i)
+    if (mem.read_block(rng.next_below(span_blocks)).status != ReadStatus::kOk)
+      ++bad;
+  const double s = seconds_since(start);
+  const EngineStats stats = mem.stats();
+  return {workload,        config.tree_cache_kb,   ops, s * 1e9 / ops,
+          ops / s,         stats.tree_cache_hits,  stats.tree_cache_misses};
+}
+
+Sample run_writes(const char* workload, SecureMemoryConfig config,
+                  std::uint64_t span_blocks, std::uint64_t ops) {
+  SecureMemory mem(config);
+  if (span_blocks == 0 || span_blocks > mem.num_blocks())
+    span_blocks = mem.num_blocks();
+  Xoshiro256 rng(0x3a1);
+  DataBlock block{};
+  for (std::uint64_t i = 0; i < std::min<std::uint64_t>(ops / 10, 20000); ++i)
+    mem.write_block(rng.next_below(span_blocks), block);
+  mem.reset_stats();
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    block[0] = static_cast<std::uint8_t>(i);
+    mem.write_block(rng.next_below(span_blocks), block);
+  }
+  const double s = seconds_since(start);
+  const EngineStats stats = mem.stats();
+  return {workload,        config.tree_cache_kb,   ops, s * 1e9 / ops,
+          ops / s,         stats.tree_cache_hits,  stats.tree_cache_misses};
+}
+
+void emit_json(std::FILE* out, const std::vector<Sample>& samples,
+               std::uint64_t mib, std::uint64_t hot_blocks) {
+  std::fprintf(out,
+               "{\n  \"bench\": \"tree_cache\",\n"
+               "  \"region_mib\": %llu,\n  \"hot_blocks\": %llu,\n"
+               "  \"results\": [\n",
+               static_cast<unsigned long long>(mib),
+               static_cast<unsigned long long>(hot_blocks));
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(out,
+                 "    {\"workload\": \"%s\", \"cache_kb\": %u, "
+                 "\"ns_per_op\": %.1f, \"ops_per_sec\": %.0f, "
+                 "\"hits\": %llu, \"misses\": %llu}%s\n",
+                 s.workload.c_str(), s.cache_kb, s.ns_per_op, s.ops_per_sec,
+                 static_cast<unsigned long long>(s.hits),
+                 static_cast<unsigned long long>(s.misses),
+                 i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t mib = 32;  // 3 off-chip MAC levels under the 3 KB root
+  std::uint64_t hot_blocks = 1024;
+  std::uint64_t reads = 200000;
+  std::uint64_t writes = 100000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--mib") {
+      mib = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--hot-blocks") {
+      hot_blocks = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--reads") {
+      reads = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--writes") {
+      writes = std::strtoull(value(), nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--mib N] [--hot-blocks N] [--reads N] "
+                   "[--writes N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  SecureMemoryConfig config;
+  config.size_bytes = mib << 20;
+  int bad = 0;
+  std::vector<Sample> samples;
+  const unsigned sweep[] = {0, 4, 8, 16, 32};
+  for (const unsigned kb : sweep) {
+    config.tree_cache_kb = kb;
+    samples.push_back(run_reads("hot-read", config, hot_blocks, reads, bad));
+    samples.push_back(run_reads("uniform-read", config, 0, reads, bad));
+    samples.push_back(run_writes("hot-write", config, hot_blocks, writes));
+    const Sample& hot = samples[samples.size() - 3];
+    const Sample& uni = samples[samples.size() - 2];
+    const Sample& wr = samples.back();
+    std::fprintf(stderr,
+                 "%2u KB: hot-read %6.1f ns | uniform-read %6.1f ns | "
+                 "hot-write %6.1f ns\n",
+                 kb, hot.ns_per_op, uni.ns_per_op, wr.ns_per_op);
+  }
+  if (bad != 0) {
+    std::fprintf(stderr, "FAIL: %d reads did not verify\n", bad);
+    return 1;
+  }
+
+  secmem_bench::MetricsDump metrics("tree_cache");
+  for (const Sample& s : samples) {
+    const std::string prefix = metric_path(
+        {"bench", s.workload, "kb" + std::to_string(s.cache_kb)});
+    metrics.registry().scalar(metric_path({prefix, "ns_per_op"}))
+        .sample(s.ns_per_op);
+    metrics.registry().scalar(metric_path({prefix, "ops_per_sec"}))
+        .sample(s.ops_per_sec);
+  }
+  if (!metrics.write()) return 1;
+
+  emit_json(stdout, samples, mib, hot_blocks);
+  return 0;
+}

@@ -22,6 +22,12 @@ echo "=== tier 1: portable crypto kernels (SECMEM_FORCE_PORTABLE=1) ==="
 # path CI machines without AES-NI/PCLMULQDQ (and non-x86 ports) take.
 SECMEM_FORCE_PORTABLE=1 ctest --preset default -j "$(nproc)"
 
+echo "=== tier 1: eager tree walks (SECMEM_TREE_CACHE=0) ==="
+# Same binaries with the verified-frontier tree cache kill-switched, so
+# the eager BonsaiTree path stays covered end to end (the default run
+# above covers the cached path).
+SECMEM_TREE_CACHE=0 ctest --preset default -j "$(nproc)"
+
 if [ "$fast" -eq 0 ]; then
   echo "=== ASan + UBSan ==="
   ASAN_OPTIONS="halt_on_error=1:abort_on_error=1" \
@@ -44,7 +50,9 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 ./build/tools/secmem-sim --engine sharded --refs 2000 \
   --metrics-json "$tmp/engine.metrics.json" >/dev/null
-(cd "$tmp" && "$OLDPWD/build/bench/bench_fig1_storage" >/dev/null)
+# Benches default their export to the build tree; pin it into $tmp here.
+SECMEM_METRICS_JSON="$tmp/fig1_storage.metrics.json" \
+  ./build/bench/bench_fig1_storage >/dev/null
 for f in "$tmp"/*.metrics.json; do
   python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$f"
   echo "ok: $f"

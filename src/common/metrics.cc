@@ -24,6 +24,11 @@ const char* metric_name(MetricId id) noexcept {
     case MetricId::kScrubUncorrectable: return "scrub_uncorrectable";
     case MetricId::kKeyRotations: return "key_rotations";
     case MetricId::kRestores: return "restores";
+    case MetricId::kTreeCacheHits: return "tree_cache.hits";
+    case MetricId::kTreeCacheMisses: return "tree_cache.misses";
+    case MetricId::kTreeCacheFills: return "tree_cache.fills";
+    case MetricId::kTreeCacheWritebacks: return "tree_cache.writebacks";
+    case MetricId::kTreeCacheFlushes: return "tree_cache.flushes";
     case MetricId::kCount_: break;
   }
   return "?";

@@ -52,6 +52,11 @@ enum class MetricId : unsigned {
   kScrubUncorrectable,   ///< scrubbed blocks beyond repair
   kKeyRotations,         ///< successful master-key rotations
   kRestores,             ///< successful restores from a saved image
+  kTreeCacheHits,        ///< tree walks truncated by the verified frontier
+  kTreeCacheMisses,      ///< tree walks that reached the on-chip root
+  kTreeCacheFills,       ///< nodes installed into the verified frontier
+  kTreeCacheWritebacks,  ///< dirty nodes written back (evict or flush)
+  kTreeCacheFlushes,     ///< explicit flush barriers
   kCount_,               ///< sentinel
 };
 inline constexpr std::size_t kMetricCount =

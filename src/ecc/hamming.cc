@@ -25,6 +25,25 @@ HammingSecDed::HammingSecDed(unsigned data_bits)
     : k_(data_bits), r_(parity_count_for(data_bits)), n_(k_ + r_) {
   assert(data_bits >= 1 && data_bits <= 64);
   assert(n_ <= 127);  // codeword uses 1-indexed positions in a uint128
+  assert(r_ <= syndrome_masks_.size());
+  // Precompute, per syndrome bit, which data bits feed it — the hot
+  // encode/decode paths then reduce to r_ parity64 calls instead of two
+  // bit-by-bit passes over a 128-bit codeword.
+  unsigned di = 0;
+  for (unsigned pos = 1; pos <= n_; ++pos) {
+    if (is_pow2(pos)) continue;
+    for (unsigned j = 0; j < r_; ++j)
+      if ((pos >> j) & 1) syndrome_masks_[j] |= std::uint64_t{1} << di;
+    ++di;
+  }
+}
+
+std::uint64_t HammingSecDed::fast_syndrome(
+    std::uint64_t data, std::uint64_t hamming_parity) const noexcept {
+  std::uint64_t syn = 0;
+  for (unsigned j = 0; j < r_; ++j)
+    syn |= std::uint64_t{parity64(data & syndrome_masks_[j])} << j;
+  return syn ^ hamming_parity;
 }
 
 HammingSecDed::Codeword HammingSecDed::build_codeword(
@@ -72,16 +91,11 @@ std::uint64_t HammingSecDed::parity_field_of(
 }
 
 std::uint64_t HammingSecDed::encode(std::uint64_t data) const noexcept {
-  // Compute Hamming parity by building the codeword with zero parity and
-  // reading off the syndrome: a valid codeword has syndrome 0, so the
-  // required parity bits are exactly the syndrome of the parity-less word.
-  const Codeword cw0 = build_codeword(data, 0);
-  const std::uint64_t syn = syndrome_of(cw0);
-  // Syndrome bit j corresponds to parity position 2^j, which is parity
-  // index j in our packed field.
-  std::uint64_t parity = syn;
-  const Codeword cw = build_codeword(data, parity);
-  const std::uint64_t overall = parity128(cw);
+  // A valid codeword has syndrome 0, so the required parity bits are
+  // exactly the data's syndrome contributions; the overall bit covers
+  // data and Hamming parity together.
+  const std::uint64_t parity = fast_syndrome(data, 0);
+  const std::uint64_t overall = parity64(data) ^ parity64(parity);
   return parity | (overall << r_);
 }
 
@@ -90,9 +104,11 @@ HammingSecDed::Decoded HammingSecDed::decode(
   const std::uint64_t hamming_parity = parity & ((std::uint64_t{1} << r_) - 1);
   const unsigned stored_overall = (parity >> r_) & 1;
 
-  Codeword cw = build_codeword(data, hamming_parity);
-  const std::uint64_t syn = syndrome_of(cw);
-  const unsigned computed_overall = parity128(cw);
+  // Mask-based syndrome/overall: identical values to walking the built
+  // codeword, at a handful of parity64s. The no-error exit below is the
+  // clean-read hot path; the codeword is only materialized to repair.
+  const std::uint64_t syn = fast_syndrome(data, hamming_parity);
+  const unsigned computed_overall = parity64(data) ^ parity64(hamming_parity);
   const bool overall_mismatch = (computed_overall != stored_overall);
 
   if (syn == 0 && !overall_mismatch) return {Status::kOk, data, parity};
@@ -108,6 +124,7 @@ HammingSecDed::Decoded HammingSecDed::decode(
     // Odd number of flips with nonzero syndrome => single-bit error at
     // position `syn` (could be a data or a Hamming-parity position).
     if (syn >= 1 && syn <= n_) {
+      Codeword cw = build_codeword(data, hamming_parity);
       cw ^= Codeword{1} << syn;
       const std::uint64_t fixed_data = data_of(cw);
       const std::uint64_t fixed_ham = parity_field_of(cw);

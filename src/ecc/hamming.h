@@ -11,6 +11,7 @@
 //     exactly the "7-bit parity over the MAC" of paper §3.3.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace secmem {
@@ -49,6 +50,14 @@ class HammingSecDed {
   Decoded decode(std::uint64_t data, std::uint64_t parity) const noexcept;
 
  private:
+  /// Syndrome of a (data, hamming_parity) pair without materializing the
+  /// codeword: syndrome bit j is the parity of the data bits whose
+  /// codeword position has bit j set (precomputed masks) XOR parity bit j
+  /// (which sits at position 2^j). This is the whole decode for the
+  /// no-error case — the loop-based codeword machinery below only runs
+  /// when something actually flipped.
+  std::uint64_t fast_syndrome(std::uint64_t data,
+                              std::uint64_t hamming_parity) const noexcept;
   // Codeword layout: positions 1..n (1-indexed); parity bits sit at
   // power-of-two positions, data bits fill the rest in increasing order.
   Codeword build_codeword(std::uint64_t data,
@@ -60,6 +69,9 @@ class HammingSecDed {
   unsigned k_;  // data bits
   unsigned r_;  // Hamming parity bits (excluding overall parity)
   unsigned n_;  // k_ + r_ (codeword bits, excluding overall parity)
+  /// syndrome_masks_[j]: data bits whose codeword position has bit j set
+  /// (r_ <= 7 for data widths up to 64).
+  std::array<std::uint64_t, 7> syndrome_masks_{};
 };
 
 }  // namespace secmem

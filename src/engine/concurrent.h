@@ -12,6 +12,10 @@
 // Metrics bypass the lock entirely: the wrapped engine records into
 // relaxed atomics, so stats()/publish_metrics() never contend with the
 // datapath.
+//
+// The wrapped engine's verified-frontier tree cache (tree/tree_cache.h)
+// mutates on every read; holding the one lock for reads too is what
+// makes that safe here.
 #pragma once
 
 #include <iosfwd>

@@ -4,6 +4,7 @@
 #include <array>
 #include <cassert>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <istream>
 #include <ostream>
@@ -27,6 +28,17 @@ struct DerivedKeys {
   CwMacKey mac_key;
   CwMacKey tree_key;
 };
+
+/// Resolve the tree-cache capacity: SECMEM_TREE_CACHE (an integer KB
+/// count; "0" is the kill switch) overrides the config knob.
+unsigned resolved_tree_cache_kb(const SecureMemoryConfig& config) {
+  if (const char* env = std::getenv("SECMEM_TREE_CACHE")) {
+    char* end = nullptr;
+    const unsigned long kb = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<unsigned>(kb);
+  }
+  return config.tree_cache_kb;
+}
 
 DerivedKeys derive_keys(std::uint64_t master) {
   DerivedKeys keys{};
@@ -96,6 +108,8 @@ SecureMemory::SecureMemory(const SecureMemoryConfig& config)
       mac_(derive_keys(config.master_key).mac_key),
       corrector_(FlipAndCheck::Config{config.max_correctable_errors, 1}),
       tree_(layout_.tree(), derive_keys(config.master_key).tree_key),
+      tree_cache_(tree_, TreeCacheConfig{resolved_tree_cache_kb(config), 8},
+                  &metrics_),
       ciphertext_(layout_.num_blocks()),
       lanes_(layout_.num_blocks()),
       counter_store_(layout_.num_counter_lines() * 64, 0),
@@ -182,7 +196,13 @@ void SecureMemory::reset_all_blocks(std::span<const DataBlock> plaintexts,
 void SecureMemory::sync_counter_line(std::uint64_t line) {
   std::span<std::uint8_t, 64> dest(counter_store_.data() + line * 64, 64);
   scheme_->serialize_line(line, dest);
-  tree_.update_leaf(line, dest);
+  tree_cache_.update(line, dest);
+}
+
+bool SecureMemory::verify_counter_line(std::uint64_t line) {
+  const std::span<const std::uint8_t, 64> line_bytes(
+      counter_store_.data() + line * 64, 64);
+  return tree_cache_.verify(line, line_bytes);
 }
 
 void SecureMemory::write_block(std::uint64_t block,
@@ -235,11 +255,9 @@ ReadResult SecureMemory::read_block(std::uint64_t block) {
     ~Accounting() { m.account_read(r, block); }
   } accounting{*this, result, block};
 
-  // 1. Authenticate the stored counter line against the Bonsai tree.
-  const std::uint64_t line = scheme_->storage_line_of(block);
-  const std::span<const std::uint8_t, 64> line_bytes(
-      counter_store_.data() + line * 64, 64);
-  if (!tree_.verify_leaf(line, line_bytes)) {
+  // 1. Authenticate the stored counter line against the Bonsai tree
+  // (through the verified frontier: walks truncate at cached ancestors).
+  if (!verify_counter_line(scheme_->storage_line_of(block))) {
     result.status = ReadStatus::kCounterTampered;
     return result;
   }
@@ -355,9 +373,7 @@ std::vector<ReadResult> SecureMemory::read_blocks(
   for (const std::uint64_t block : blocks) {
     const std::uint64_t line = scheme_->storage_line_of(block);
     if (line_ok.contains(line)) continue;
-    const std::span<const std::uint8_t, 64> line_bytes(
-        counter_store_.data() + line * 64, 64);
-    line_ok.emplace(line, tree_.verify_leaf(line, line_bytes));
+    line_ok.emplace(line, verify_counter_line(line));
   }
 
   // Phase 2: MAC pads for the whole batch through the 4-wide AES kernel.
@@ -522,6 +538,10 @@ ScrubStatus SecureMemory::scrub_block(std::uint64_t block, bool deep) {
 }
 
 ScrubReport SecureMemory::scrub_all(bool deep) {
+  // Flush barrier: the sweep must observe off-chip truth, not trusted
+  // resident copies — a latent fault in a tree node that happens to be
+  // cached would otherwise be masked for the whole scan.
+  tree_cache_.flush();
   ScrubReport report;
   for (std::uint64_t block = 0; block < layout_.num_blocks(); ++block) {
     ++report.scanned;
@@ -553,6 +573,9 @@ std::uint64_t read_u64(std::istream& in) {
 }  // namespace
 
 void SecureMemory::save(std::ostream& out) {
+  // Flush barrier: write-back the deferred MAC propagation so the image
+  // is bit-identical to what the eager path would persist.
+  tree_cache_.flush();
   out.write(kImageMagic, sizeof(kImageMagic));
   write_u64(out, config_.size_bytes);
   write_u64(out, static_cast<std::uint64_t>(config_.scheme));
@@ -580,10 +603,13 @@ void SecureMemory::save(std::ostream& out) {
 
 bool SecureMemory::restore(std::istream& in) {
   auto fail = [this] {
-    // Leave the region in a valid, freshly-zeroed state.
+    // Leave the region in a valid, freshly-zeroed state. The cache is
+    // dropped without write-back: it describes the pre-restore tree,
+    // which is being discarded either way.
     scheme_ = make_scheme(config_);
     tree_ =
         BonsaiTree(layout_.tree(), derive_keys(config_.master_key).tree_key);
+    tree_cache_.invalidate_all();
     reset_all_blocks({}, 0);
     trace(TraceEvent::Kind::kRestore, Status::kIntegrityViolation, 0);
     return false;
@@ -639,6 +665,7 @@ bool SecureMemory::restore(std::istream& in) {
   macs_ = std::move(macs);
   counter_store_ = std::move(counter_store);
   tree_ = std::move(rebuilt);
+  tree_cache_.invalidate_all();  // cached state described the old tree
   for (std::uint64_t line = 0; line < layout_.num_counter_lines(); ++line) {
     scheme_->deserialize_line(
         line, std::span<const std::uint8_t, 64>(
@@ -652,6 +679,9 @@ bool SecureMemory::restore(std::istream& in) {
 }
 
 bool SecureMemory::rotate_master_key(std::uint64_t new_master) {
+  // Flush barrier: phase 1 must authenticate against off-chip truth so a
+  // rotation cannot launder state the eager path would have rejected.
+  tree_cache_.flush();
   // Phase 1: recover every plaintext under the current keys. Any
   // verification failure aborts with the region untouched — re-keying
   // must never launder tampered data into a freshly-authenticated state.
@@ -682,6 +712,7 @@ bool SecureMemory::rotate_master_key(std::uint64_t new_master) {
   keystream_ = CtrKeystream(keys.data_key);
   mac_ = CwMac(keys.mac_key);
   tree_ = BonsaiTree(layout_.tree(), keys.tree_key);
+  tree_cache_.invalidate_all();  // phase-1 reads refilled it; old tree
   scheme_ = make_scheme(config_);
   std::fill(shadow_ctr_.begin(), shadow_ctr_.end(), 0);
 

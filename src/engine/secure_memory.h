@@ -41,6 +41,7 @@
 #include "engine/layout.h"
 #include "engine/secure_memory_like.h"
 #include "tree/bonsai_tree.h"
+#include "tree/tree_cache.h"
 
 namespace secmem {
 
@@ -58,6 +59,14 @@ struct SecureMemoryConfig {
   /// (read_latency_ns / write_latency_ns). Off by default: two clock
   /// reads per op are measurable on the hot path.
   bool time_ops = false;
+  /// Verified-frontier tree cache capacity in KB (tree/tree_cache.h) —
+  /// the functional counterpart of the paper's 8 KB metadata cache. 0
+  /// disables it (every operation walks the tree to the root). The
+  /// SECMEM_TREE_CACHE environment variable overrides this at engine
+  /// construction: "0" is the kill switch, any other integer is a KB
+  /// capacity. Sharded engines pass the config through per shard, so
+  /// each shard gets its own cache inside its shard lock.
+  unsigned tree_cache_kb = 8;
   /// Master secret; all working keys are derived from it.
   std::uint64_t master_key = 0x5ec3e7'c0ffee;
 };
@@ -199,8 +208,14 @@ class SecureMemory : public SecureMemoryLike {
       return std::span<std::uint8_t, 64>(
           m_.counter_store_.data() + line * 64, 64);
     }
-    /// Off-chip tree nodes (levels 1..offchip-1).
-    BonsaiTree& tree() { return m_.tree_; }
+    /// Off-chip tree nodes (levels 1..offchip-1). Flush barrier: the
+    /// verified-frontier cache writes back and drops residency first, so
+    /// the returned backing state is exactly the eager path's and any
+    /// tampering done through it is seen by subsequent verifies.
+    BonsaiTree& tree() {
+      m_.tree_cache_.flush();
+      return m_.tree_;
+    }
     /// Stored 56-bit MACs (separate-MAC mode only).
     std::vector<std::uint64_t>& macs() { return m_.macs_; }
 
@@ -256,8 +271,13 @@ class SecureMemory : public SecureMemoryLike {
   /// all counter lines afterwards.
   void reset_all_blocks(std::span<const DataBlock> plaintexts,
                         std::uint64_t counter);
-  /// Refresh stored counter line `line` and its tree path.
+  /// Refresh stored counter line `line` and its tree path (write-back:
+  /// ancestor MAC propagation defers to the tree cache when enabled).
   void sync_counter_line(std::uint64_t line);
+  /// Authenticate stored counter line `line` through the verified
+  /// frontier — the single tree-read entry point for read_block and the
+  /// batch paths.
+  bool verify_counter_line(std::uint64_t line);
   /// Metrics/trace bookkeeping shared by read_block and the batch fast
   /// path.
   void account_read(const ReadResult& result, std::uint64_t block) noexcept;
@@ -277,6 +297,9 @@ class SecureMemory : public SecureMemoryLike {
   Secded72 secded_;
   FlipAndCheck corrector_;
   BonsaiTree tree_;
+  /// Declared directly after tree_: holds a reference to it and must be
+  /// constructed after (and destroyed before) the tree it fronts.
+  VerifiedTreeCache tree_cache_;
 
   std::vector<DataBlock> ciphertext_;
   std::vector<EccLane> lanes_;

@@ -69,6 +69,8 @@ EngineStats engine_stats_from(
     stats.group_reencryptions +=
         cell->value(MetricId::kGroupReencryptions);
     stats.mac_evaluations += cell->value(MetricId::kMacEvaluations);
+    stats.tree_cache_hits += cell->value(MetricId::kTreeCacheHits);
+    stats.tree_cache_misses += cell->value(MetricId::kTreeCacheMisses);
   }
   return stats;
 }

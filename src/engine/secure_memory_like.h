@@ -74,6 +74,8 @@ struct EngineStats {
   std::uint64_t counter_tampers = 0;
   std::uint64_t group_reencryptions = 0;
   std::uint64_t mac_evaluations = 0;  ///< flip-and-check work
+  std::uint64_t tree_cache_hits = 0;    ///< truncated authentication walks
+  std::uint64_t tree_cache_misses = 0;  ///< full root-reaching walks
 };
 
 /// Build an EngineStats from hot-path cells (relaxed reads, no locks).

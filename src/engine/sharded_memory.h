@@ -19,6 +19,11 @@
 // own master secret from the region key, so identical plaintexts in
 // different shards never share (key, addr, counter) nonces.
 //
+// Each shard also carries its own verified-frontier tree cache
+// (config.tree_cache_kb per shard, see tree/tree_cache.h), mutated only
+// under that shard's lock — per-shard caches fall out of per-shard
+// SecureMemory instances with no extra synchronization.
+//
 // Metrics: each shard records into its own cache-line-aligned MetricsCell
 // (relaxed atomics), and the region keeps one more cell for byte-level
 // operations. stats()/publish_metrics() aggregate the cells without

@@ -24,7 +24,7 @@ BonsaiTree::BonsaiTree(const BonsaiGeometry& geometry, const CwMacKey& mac_key)
           lvl == 1 ? zero_line.data() : node_ptr(static_cast<unsigned>(lvl - 1), child),
           kLineBytes);
       const std::uint64_t tag =
-          node_mac(static_cast<unsigned>(lvl - 1), child, child_view);
+          mac_of(static_cast<unsigned>(lvl - 1), child, child_view);
       std::uint8_t* parent = node_ptr(static_cast<unsigned>(lvl),
                                       BonsaiGeometry::parent_of(child));
       store_le64(parent + 8 * BonsaiGeometry::slot_in_parent(child), tag);
@@ -43,43 +43,44 @@ const std::uint8_t* BonsaiTree::node_ptr(unsigned level,
   return levels_[level - 1].data() + node * kLineBytes;
 }
 
-std::uint64_t BonsaiTree::node_mac(unsigned level, std::uint64_t index,
-                                   LineView content) const {
+std::uint64_t BonsaiTree::mac_of(unsigned level, std::uint64_t index,
+                                 LineView content) const {
   // Domain-separate node identities: (level, index) -> synthetic address.
   const std::uint64_t node_id =
       (static_cast<std::uint64_t>(level) << 48) | index;
   return mac_.compute(node_id, /*counter=*/0, content);
 }
 
+std::span<std::uint8_t, BonsaiTree::kLineBytes> BonsaiTree::node_span(
+    unsigned level, std::uint64_t node) {
+  return std::span<std::uint8_t, kLineBytes>(node_ptr(level, node),
+                                             kLineBytes);
+}
+
+std::span<const std::uint8_t, BonsaiTree::kLineBytes> BonsaiTree::node_span(
+    unsigned level, std::uint64_t node) const {
+  return std::span<const std::uint8_t, kLineBytes>(node_ptr(level, node),
+                                                   kLineBytes);
+}
+
 void BonsaiTree::update_leaf(std::uint64_t line, LineView content) {
-  const unsigned top = geometry_.total_levels() - 1;
-  std::uint64_t child_idx = line;
-  std::uint64_t tag = node_mac(0, line, content);
-  for (unsigned lvl = 1; lvl <= top; ++lvl) {
-    const std::uint64_t parent_idx = BonsaiGeometry::parent_of(child_idx);
-    std::uint8_t* parent = node_ptr(lvl, parent_idx);
-    store_le64(parent + 8 * BonsaiGeometry::slot_in_parent(child_idx), tag);
-    if (lvl == top) break;  // root level is trusted storage; no parent
-    tag = node_mac(lvl, parent_idx, LineView(parent, kLineBytes));
-    child_idx = parent_idx;
-  }
+  walk_from(0, line, mac_of(0, line, content),
+            [this](unsigned lvl, std::uint64_t node, unsigned slot,
+                   std::uint64_t tag) {
+              store_le64(node_span(lvl, node).data() + 8 * slot, tag);
+              return StepAction::kContinue;
+            });
 }
 
 bool BonsaiTree::verify_leaf(std::uint64_t line, LineView content) const {
-  const unsigned top = geometry_.total_levels() - 1;
-  std::uint64_t child_idx = line;
-  std::uint64_t tag = node_mac(0, line, content);
-  for (unsigned lvl = 1; lvl <= top; ++lvl) {
-    const std::uint64_t parent_idx = BonsaiGeometry::parent_of(child_idx);
-    const std::uint8_t* parent = node_ptr(lvl, parent_idx);
-    const std::uint64_t stored =
-        load_le64(parent + 8 * BonsaiGeometry::slot_in_parent(child_idx));
-    if (stored != tag) return false;
-    if (lvl == top) break;  // parent verified against trusted root level
-    tag = node_mac(lvl, parent_idx, LineView(parent, kLineBytes));
-    child_idx = parent_idx;
-  }
-  return true;
+  return walk_from(
+      0, line, mac_of(0, line, content),
+      [this](unsigned lvl, std::uint64_t node, unsigned slot,
+             std::uint64_t tag) {
+        return load_le64(node_span(lvl, node).data() + 8 * slot) == tag
+                   ? StepAction::kContinue
+                   : StepAction::kStopFail;
+      });
 }
 
 void BonsaiTree::corrupt_node(unsigned level, std::uint64_t node,

@@ -35,6 +35,56 @@ class BonsaiTree {
 
   const BonsaiGeometry& geometry() const noexcept { return geometry_; }
 
+  /// ------------------------------------------------------------------
+  /// Traversal primitive — THE leaf-to-root walk.
+  /// ------------------------------------------------------------------
+  /// update_leaf, verify_leaf, and the VerifiedTreeCache (tree_cache.h)
+  /// are all thin step functions over this one loop, so a caching layer
+  /// hooks into every path exactly once.
+  enum class StepAction : std::uint8_t {
+    kContinue,  ///< keep climbing; the walk recomputes `tag` from backing
+    kStopOk,    ///< path resolved (trusted ancestor reached) — success
+    kStopFail,  ///< mismatch — abort the walk
+  };
+
+  /// Index of the trusted on-chip root level.
+  unsigned top_level() const noexcept { return geometry_.total_levels() - 1; }
+
+  /// MAC of a 64-byte node/line, domain-separated by (level, index).
+  std::uint64_t mac_of(unsigned level, std::uint64_t index,
+                       LineView content) const;
+
+  /// Raw backing bytes of an interior/root node (levels 1..top).
+  std::span<std::uint8_t, kLineBytes> node_span(unsigned level,
+                                                std::uint64_t node);
+  std::span<const std::uint8_t, kLineBytes> node_span(
+      unsigned level, std::uint64_t node) const;
+
+  /// Walk from the entity at (`child_level`, `child`) — whose MAC is
+  /// `tag` — up to the root level. At each parent level the walk invokes
+  /// `step(level, node, slot, tag)`; on kContinue it recomputes `tag`
+  /// from the node's current *backing* content and climbs. Returns false
+  /// iff a step reported kStopFail. Steps may mutate node contents (they
+  /// run before the tag recompute); the walk itself only reads.
+  template <typename StepFn>
+  bool walk_from(unsigned child_level, std::uint64_t child,
+                 std::uint64_t tag, StepFn&& step) const {
+    const unsigned top = top_level();
+    for (unsigned lvl = child_level + 1; lvl <= top; ++lvl) {
+      const std::uint64_t node = BonsaiGeometry::parent_of(child);
+      const unsigned slot = BonsaiGeometry::slot_in_parent(child);
+      switch (step(lvl, node, slot, tag)) {
+        case StepAction::kStopOk: return true;
+        case StepAction::kStopFail: return false;
+        case StepAction::kContinue: break;
+      }
+      if (lvl == top) break;  // root level is trusted storage; no parent
+      tag = mac_of(lvl, node, LineView(node_span(lvl, node)));
+      child = node;
+    }
+    return true;
+  }
+
   /// --- attack-surface hooks (tests / attack demos) ---
   /// Flip one bit of an off-chip interior node. `level` in
   /// [1, offchip_levels()); level 0 is counter storage, owned elsewhere.
@@ -47,10 +97,6 @@ class BonsaiTree {
                   std::span<const std::uint8_t> bytes);
 
  private:
-  /// MAC of a 64-byte node/line, domain-separated by (level, index).
-  std::uint64_t node_mac(unsigned level, std::uint64_t index,
-                         LineView content) const;
-
   std::uint8_t* node_ptr(unsigned level, std::uint64_t node);
   const std::uint8_t* node_ptr(unsigned level, std::uint64_t node) const;
 

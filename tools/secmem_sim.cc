@@ -54,7 +54,10 @@ void usage(const char* argv0) {
       "                      (default region 16MB unless --protected-mb)\n"
       "  --shards N          shard count for --engine sharded (implies it)\n"
       "  --threads N         worker threads in engine mode (default 4;\n"
-      "                      forced to 1 for --engine plain)\n",
+      "                      forced to 1 for --engine plain)\n"
+      "  --tree-cache-kb N   verified-frontier tree cache per engine/shard\n"
+      "                      in KB; 0 = eager tree walks  (default 8;\n"
+      "                      SECMEM_TREE_CACHE env var wins)\n",
       argv0);
 }
 
@@ -80,11 +83,13 @@ int run_functional_engine(const SystemConfig& config,
                           const WorkloadProfile& profile, EngineKind kind,
                           unsigned shards, unsigned threads,
                           std::uint64_t refs_per_thread, bool dump_stats,
-                          const std::string& metrics_json) {
+                          const std::string& metrics_json,
+                          unsigned tree_cache_kb) {
   SecureMemoryConfig mem_config;
   mem_config.size_bytes = config.protected_bytes;
   mem_config.scheme = config.scheme;
   mem_config.mac_placement = config.engine.mac_placement;
+  mem_config.tree_cache_kb = tree_cache_kb;
   const std::unique_ptr<SecureMemoryLike> memory =
       make_engine(mem_config, kind, shards);
 
@@ -146,6 +151,9 @@ int run_functional_engine(const SystemConfig& config,
                 static_cast<unsigned long long>(stats.mac_evaluations));
     std::printf("violations      %llu\n",
                 static_cast<unsigned long long>(stats.integrity_violations));
+    std::printf("tree-cache      %llu hits / %llu misses\n",
+                static_cast<unsigned long long>(stats.tree_cache_hits),
+                static_cast<unsigned long long>(stats.tree_cache_misses));
   }
   if (!metrics_json.empty()) {
     StatRegistry registry;
@@ -189,6 +197,7 @@ int main(int argc, char** argv) {
   EngineKind engine_kind = EngineKind::kSharded;
   unsigned shards = 0;  // 0 = engine default (8)
   unsigned threads = 4;
+  unsigned tree_cache_kb = SecureMemoryConfig{}.tree_cache_kb;
   bool protected_mb_given = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -242,6 +251,9 @@ int main(int argc, char** argv) {
       metrics_json = value();
     } else if (arg == "--threads") {
       threads = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--tree-cache-kb") {
+      tree_cache_kb = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+      engine_mode = true;
     } else if (arg == "--seed") {
       config.seed = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--stats") {
@@ -278,7 +290,7 @@ int main(int argc, char** argv) {
       if (engine_kind == EngineKind::kPlain) threads = 1;
       return run_functional_engine(config, profile_by_name(workload),
                                    engine_kind, shards, threads, refs,
-                                   dump_stats, metrics_json);
+                                   dump_stats, metrics_json, tree_cache_kb);
     }
     const WorkloadProfile& profile = profile_by_name(workload);
     SystemSimulator sim(config, profile);
