@@ -37,10 +37,13 @@ int main() {
 
   // --- ordinary use: byte-level writes and verified reads -------------
   const std::string secret = "attack at dawn; bring 128-bit keys";
-  memory.write_bytes(0x1234, std::span<const std::uint8_t>(
-                           reinterpret_cast<const std::uint8_t*>(
-                               secret.data()),
-                           secret.size()));
+  if (!secmem::status_ok(memory.write_bytes(
+          0x1234, std::span<const std::uint8_t>(
+                      reinterpret_cast<const std::uint8_t*>(secret.data()),
+                      secret.size())))) {
+    std::printf("unexpected write failure!\n");
+    return 1;
+  }
 
   std::vector<std::uint8_t> readback(secret.size());
   if (!secmem::status_ok(memory.read_bytes(0x1234, readback))) {

@@ -17,6 +17,12 @@ cmake --preset default
 cmake --build --preset default -j "$(nproc)"
 ctest --preset default -j "$(nproc)"
 
+echo "=== tier 1: secmem-lint (repository invariants) ==="
+# Constant-time compares, annotated mutexes, seeded sim randomness, stat
+# namespaces, crypto-backend seam — see tools/secmem_lint.cc and
+# ARCHITECTURE.md "Static analysis & enforced invariants".
+scripts/lint.sh
+
 echo "=== tier 1: portable crypto kernels (SECMEM_FORCE_PORTABLE=1) ==="
 # Same binaries, dispatch pinned to the scalar reference kernels — the
 # path CI machines without AES-NI/PCLMULQDQ (and non-x86 ports) take.
@@ -41,6 +47,27 @@ if [ "$fast" -eq 0 ]; then
     bash -c 'cmake --preset tsan &&
              cmake --build --preset tsan -j "$(nproc)" &&
              ctest --preset tsan -j "$(nproc)"'
+
+  # Clang-only legs, gated on availability: containers that ship only gcc
+  # still pass tier 1; machines with clang get the full static analysis.
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "=== clang thread-safety analysis (tidy preset) ==="
+    # -Wthread-safety -Werror=thread-safety over the whole tree: a
+    # GUARDED_BY access outside its MutexLock is a build failure here.
+    cmake --preset tidy
+    cmake --build --preset tidy -j "$(nproc)"
+    ctest --preset tidy -j "$(nproc)"
+
+    if command -v clang-tidy >/dev/null 2>&1; then
+      echo "=== clang-tidy (bugprone, concurrency, performance) ==="
+      git ls-files 'src/**/*.cc' | \
+        xargs -P "$(nproc)" -n 8 clang-tidy -p build-tidy --quiet
+    else
+      echo "--- clang-tidy not installed; skipping (gate runs where available)"
+    fi
+  else
+    echo "--- clang++ not installed; skipping thread-safety + clang-tidy legs"
+  fi
 fi
 
 echo "=== metrics JSON smoke ==="

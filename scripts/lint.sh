@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Run secmem-lint over the tree with the checked-in allowlist.
+# Builds the linter first if the build directory doesn't have it yet.
+#
+#   scripts/lint.sh            # lint src/, tools/, bench/
+#   BUILD_DIR=build-foo scripts/lint.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+LINT="$BUILD_DIR/tools/secmem-lint"
+
+if [[ ! -x "$LINT" ]]; then
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" --target secmem-lint -j >/dev/null
+fi
+
+exec "$LINT" --root . --allowlist tools/secmem-lint.allow

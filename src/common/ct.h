@@ -1,0 +1,52 @@
+// Constant-time comparisons for secret-dependent data.
+//
+// Every MAC/tag/verified-content comparison on a read path must go
+// through these helpers (policy: SECURITY.md "Constant-time comparison";
+// enforcement: tools/secmem-lint rule `ct-compare` bans memcmp/std::equal
+// in src/{engine,tree,crypto,ecc}). The early-exit of memcmp leaks the
+// index of the first differing byte through timing; against an attacker
+// who can retry tag guesses (bus tampering in this threat model) that is
+// a byte-at-a-time forgery oracle — the SUPERCOP/BearSSL discipline is to
+// accumulate the whole difference and branch exactly once, at the end.
+//
+// These helpers return the same accept/reject verdict as memcmp == 0 /
+// operator== on every input (tests/test_ct.cc proves it exhaustively for
+// small widths and differentially under fuzz); only the time profile
+// changes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace secmem {
+
+/// Constant-time equality of two n-byte buffers. Time depends only on n,
+/// never on the contents or the position of a mismatch.
+[[nodiscard]] inline bool ct_equal(const void* a, const void* b,
+                                   std::size_t n) noexcept {
+  const auto* x = static_cast<const unsigned char*>(a);
+  const auto* y = static_cast<const unsigned char*>(b);
+  unsigned char acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc |= static_cast<unsigned char>(x[i] ^ y[i]);
+  return acc == 0;
+}
+
+/// Constant-time equality of two spans. A length mismatch returns false
+/// immediately — lengths are public (block geometry), contents are not.
+[[nodiscard]] inline bool ct_equal(std::span<const std::uint8_t> a,
+                                   std::span<const std::uint8_t> b) noexcept {
+  if (a.size() != b.size()) return false;
+  return ct_equal(a.data(), b.data(), a.size());
+}
+
+/// Constant-time equality of two 64-bit words (MAC tags, child-MAC slots).
+/// `(d | -d) >> 63` is 1 iff d != 0: either d's top bit is set, or d is a
+/// small nonzero value whose two's complement negation sets the top bit.
+[[nodiscard]] inline bool ct_equal_u64(std::uint64_t a,
+                                       std::uint64_t b) noexcept {
+  const std::uint64_t d = a ^ b;
+  return ((d | (std::uint64_t{0} - d)) >> 63) == 0;
+}
+
+}  // namespace secmem

@@ -114,7 +114,7 @@ const char* trace_kind_name(TraceEvent::Kind kind) noexcept {
 
 void TraceRing::record(TraceEvent::Kind kind, Status outcome,
                        std::uint64_t block, std::uint16_t shard) noexcept {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   TraceEvent& slot = ring_[next_ % ring_.size()];
   slot.kind = kind;
   slot.outcome = outcome;
@@ -125,12 +125,12 @@ void TraceRing::record(TraceEvent::Kind kind, Status outcome,
 }
 
 std::uint64_t TraceRing::recorded() const noexcept {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return next_;
 }
 
 std::vector<TraceEvent> TraceRing::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::vector<TraceEvent> events;
   const std::uint64_t retained =
       std::min<std::uint64_t>(next_, ring_.size());
@@ -141,7 +141,7 @@ std::vector<TraceEvent> TraceRing::snapshot() const {
 }
 
 void TraceRing::clear() noexcept {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   next_ = 0;
 }
 

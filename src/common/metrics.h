@@ -24,12 +24,12 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace secmem {
 
@@ -174,17 +174,20 @@ struct TraceEvent {
 const char* trace_kind_name(TraceEvent::Kind kind) noexcept;
 
 /// Bounded ring buffer of recent TraceEvents; the newest `capacity`
-/// events win. Thread-safe via a mutex — attach one only when debugging
-/// (engines test a single pointer when no ring is attached).
+/// events win. Thread-safe via a mutex (the ring state is
+/// SECMEM_GUARDED_BY it, so lock-free access is a clang build error) —
+/// attach one only when debugging (engines test a single pointer when no
+/// ring is attached).
 class TraceRing {
  public:
-  explicit TraceRing(std::size_t capacity)
-      : ring_(capacity ? capacity : 1) {}
+  explicit TraceRing(std::size_t capacity) : capacity_(capacity ? capacity : 1) {
+    ring_.resize(capacity_);
+  }
 
   void record(TraceEvent::Kind kind, Status outcome, std::uint64_t block,
               std::uint16_t shard = 0) noexcept;
 
-  std::size_t capacity() const noexcept { return ring_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
   /// Total events ever recorded (>= size of snapshot()).
   std::uint64_t recorded() const noexcept;
   /// Retained events, oldest first.
@@ -195,9 +198,10 @@ class TraceRing {
   void dump(std::ostream& os) const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;
-  std::uint64_t next_ = 0;  ///< total recorded; next_ % size is the head
+  const std::size_t capacity_;  ///< immutable — readable without the lock
+  mutable Mutex mu_;
+  std::vector<TraceEvent> ring_ SECMEM_GUARDED_BY(mu_);
+  std::uint64_t next_ SECMEM_GUARDED_BY(mu_) = 0;  ///< total recorded
 };
 
 }  // namespace secmem

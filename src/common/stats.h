@@ -5,7 +5,12 @@
 // explicitly.
 //
 // Names are dotted hierarchical paths ("dram.ch0.row_hits",
-// "engine.shard3.reads"); metric_path() builds them from segments.
+// "engine.shard3.reads"); metric_path() builds them from segments. The
+// first segment is the namespace, and literal names must use a
+// registered one (engine, tree_cache, cache, metacache, reenc, dram,
+// sim, trace, bench) — enforced by the `stat-name` rule of
+// tools/secmem-lint, so exported JSON stays greppable and dashboards
+// don't chase typo'd prefixes.
 // snapshot() captures the registry's current values as plain data;
 // snapshot_diff() subtracts two captures, which is how benches report
 // per-phase deltas without resetting live counters.

@@ -12,7 +12,7 @@
 
 namespace secmem {
 
-enum class Status : std::uint8_t {
+enum class [[nodiscard]] Status : std::uint8_t {
   kOk = 0,              ///< verified clean
   kCorrectedMacField,   ///< single-bit flip in the MAC lane repaired
   kCorrectedData,       ///< 1-2 data bits repaired by flip-and-check

@@ -24,6 +24,7 @@
 #include <memory>
 #include <span>
 
+#include "common/ct.h"
 #include "crypto/aes128.h"
 #include "crypto/ctr_keystream.h"
 #include "crypto/gf64.h"
@@ -75,11 +76,13 @@ class CwMac {
                      std::span<const DataBlock> blocks,
                      std::span<std::uint64_t> tags) const noexcept;
 
-  /// Constant-pattern check: true if tag matches the recomputed value.
-  bool verify(std::uint64_t addr, std::uint64_t counter,
-              std::span<const std::uint8_t> message,
-              std::uint64_t tag) const noexcept {
-    return compute(addr, counter, message) == (tag & kMacMask);
+  /// True if tag matches the recomputed value. Constant-time in the tag
+  /// contents (ct_equal_u64): a mismatch reveals nothing about *which*
+  /// bits differ, closing the byte-at-a-time forgery oracle.
+  [[nodiscard]] bool verify(std::uint64_t addr, std::uint64_t counter,
+                            std::span<const std::uint8_t> message,
+                            std::uint64_t tag) const noexcept {
+    return ct_equal_u64(compute(addr, counter, message), tag & kMacMask);
   }
 
   /// The AES one-time pad for (addr, counter). The pad is independent of
@@ -101,10 +104,10 @@ class CwMac {
     return (polyhash(message) ^ pad) & kMacMask;
   }
 
-  bool verify_with_pad(std::uint64_t pad,
-                       std::span<const std::uint8_t> message,
-                       std::uint64_t tag) const noexcept {
-    return compute_with_pad(pad, message) == (tag & kMacMask);
+  [[nodiscard]] bool verify_with_pad(std::uint64_t pad,
+                                     std::span<const std::uint8_t> message,
+                                     std::uint64_t tag) const noexcept {
+    return ct_equal_u64(compute_with_pad(pad, message), tag & kMacMask);
   }
 
   /// Full (unmasked) 64-bit universal hash of a 64-byte block:

@@ -40,7 +40,7 @@ enum class CorrectionStatus : std::uint8_t {
   kUncorrectable,  ///< no 0/1/2-bit variant verified
 };
 
-struct CorrectionResult {
+struct [[nodiscard]] CorrectionResult {
   CorrectionStatus status;
   DataBlock data;                 ///< repaired block (valid unless kUncorrectable)
   std::uint64_t mac_evaluations;  ///< verification attempts performed

@@ -40,7 +40,7 @@ class HammingSecDed {
     kDetectedDouble,   ///< two flipped bits, not correctable
   };
 
-  struct Decoded {
+  struct [[nodiscard]] Decoded {
     Status status;
     std::uint64_t data;    ///< corrected data (valid unless kDetectedDouble)
     std::uint64_t parity;  ///< corrected parity field

@@ -47,7 +47,7 @@ class MacEccCodec {
     kUncorrectable,    ///< >=2 bit flips within the MAC field
   };
 
-  struct Unpacked {
+  struct [[nodiscard]] Unpacked {
     std::uint64_t mac;    ///< corrected 56-bit MAC
     MacStatus status;     ///< health of the MAC field itself
     bool scrub_bit;       ///< stored ciphertext-parity bit (as read)

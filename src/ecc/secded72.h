@@ -33,7 +33,7 @@ class Secded72 {
     kDetectedDouble,  ///< uncorrectable within this word
   };
 
-  struct BlockResult {
+  struct [[nodiscard]] BlockResult {
     DataBlock data;                                 ///< corrected data
     EccLane ecc;                                    ///< corrected lane
     std::array<WordStatus, kWordsPerBlock> words;   ///< per-word outcome

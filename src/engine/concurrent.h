@@ -3,15 +3,20 @@
 // SecureMemory itself is single-threaded by design (a memory controller
 // serializes at the DRAM channel anyway); multi-threaded applications
 // wrap it in this coarse-grained monitor. Every operation takes the one
-// lock-table entry — simple, correct, and adequate for software use of a
-// functional model; see engine/sharded_memory.h for the facade that
-// actually scales with threads. The untrusted attack surface is
-// deliberately NOT re-exported: concurrent attacker simulation must
-// synchronize explicitly via with_exclusive().
+// mutex — simple, correct, and adequate for software use of a functional
+// model; see engine/sharded_memory.h for the facade that actually scales
+// with threads. The untrusted attack surface is deliberately NOT
+// re-exported: concurrent attacker simulation must synchronize explicitly
+// via with_exclusive().
+//
+// The wrapped engine is SECMEM_GUARDED_BY(mu_): under clang's thread
+// safety analysis (scripts/ci.sh, -Wthread-safety -Werror) an access
+// outside a MutexLock is a build error, not a review comment.
 //
 // Metrics bypass the lock entirely: the wrapped engine records into
 // relaxed atomics, so stats()/publish_metrics() never contend with the
-// datapath.
+// datapath (those accessors carry SECMEM_NO_THREAD_SAFETY_ANALYSIS — the
+// lock-freedom is the contract, see common/metrics.h).
 //
 // The wrapped engine's verified-frontier tree cache (tree/tree_cache.h)
 // mutates on every read; holding the one lock for reads too is what
@@ -21,7 +26,7 @@
 #include <iosfwd>
 #include <utility>
 
-#include "engine/lock_table.h"
+#include "common/thread_annotations.h"
 #include "engine/secure_memory.h"
 #include "engine/secure_memory_like.h"
 
@@ -30,86 +35,95 @@ namespace secmem {
 class ConcurrentSecureMemory : public SecureMemoryLike {
  public:
   explicit ConcurrentSecureMemory(const SecureMemoryConfig& config)
-      : locks_(1), memory_(config) {}
+      : memory_(config),
+        size_bytes_(memory_.size_bytes()),
+        num_blocks_(memory_.num_blocks()) {}
 
-  std::uint64_t size_bytes() const noexcept override {
-    return memory_.size_bytes();
-  }
-  std::uint64_t num_blocks() const noexcept override {
-    return memory_.num_blocks();
-  }
+  /// Immutable geometry, cached at construction — readable lock-free.
+  std::uint64_t size_bytes() const noexcept override { return size_bytes_; }
+  std::uint64_t num_blocks() const noexcept override { return num_blocks_; }
 
   void write_block(std::uint64_t block, const DataBlock& plaintext) override {
-    const auto lock = locks_.lock(0);
+    const MutexLock lock(mu_);
     memory_.write_block(block, plaintext);
   }
 
   ReadResult read_block(std::uint64_t block) override {
-    const auto lock = locks_.lock(0);
+    const MutexLock lock(mu_);
     return memory_.read_block(block);
   }
 
   /// Batch I/O under one lock acquisition — the batch crypto kernels run
   /// in the wrapped engine.
-  std::vector<ReadResult> read_blocks(
+  [[nodiscard]] std::vector<ReadResult> read_blocks(
       std::span<const std::uint64_t> blocks) override {
-    const auto lock = locks_.lock(0);
+    const MutexLock lock(mu_);
     return memory_.read_blocks(blocks);
   }
 
   void write_blocks(std::span<const BlockWrite> writes) override {
-    const auto lock = locks_.lock(0);
+    const MutexLock lock(mu_);
     memory_.write_blocks(writes);
   }
 
   Status write_bytes(std::uint64_t addr,
                      std::span<const std::uint8_t> bytes) override {
-    const auto lock = locks_.lock(0);
+    const MutexLock lock(mu_);
     return memory_.write_bytes(addr, bytes);
   }
 
   Status read_bytes(std::uint64_t addr,
                     std::span<std::uint8_t> out) override {
-    const auto lock = locks_.lock(0);
+    const MutexLock lock(mu_);
     return memory_.read_bytes(addr, out);
   }
 
   ScrubStatus scrub_block(std::uint64_t block, bool deep = false) override {
-    const auto lock = locks_.lock(0);
+    const MutexLock lock(mu_);
     return memory_.scrub_block(block, deep);
   }
 
   ScrubReport scrub_all(bool deep = false) override {
-    const auto lock = locks_.lock(0);
+    const MutexLock lock(mu_);
     return memory_.scrub_all(deep);
   }
 
-  bool rotate_master_key(std::uint64_t new_master) override {
-    const auto lock = locks_.lock(0);
+  [[nodiscard]] bool rotate_master_key(std::uint64_t new_master) override {
+    const MutexLock lock(mu_);
     return memory_.rotate_master_key(new_master);
   }
 
-  /// Lock-free: reads the wrapped engine's relaxed-atomic cell directly.
-  EngineStats stats() const noexcept override { return memory_.stats(); }
-  void reset_stats() noexcept override { memory_.reset_stats(); }
+  /// Lock-free by contract: reads the wrapped engine's relaxed-atomic
+  /// cell directly, never contending with the datapath.
+  EngineStats stats() const noexcept override
+      SECMEM_NO_THREAD_SAFETY_ANALYSIS {
+    return memory_.stats();
+  }
+  void reset_stats() noexcept override SECMEM_NO_THREAD_SAFETY_ANALYSIS {
+    memory_.reset_stats();
+  }
 
   void publish_metrics(StatRegistry& registry,
-                       const std::string& prefix = "engine") const override {
+                       const std::string& prefix = "engine") const override
+      SECMEM_NO_THREAD_SAFETY_ANALYSIS {
     memory_.publish_metrics(registry, prefix);
   }
 
-  void attach_trace(TraceRing* ring) override { memory_.attach_trace(ring); }
+  void attach_trace(TraceRing* ring) override {
+    const MutexLock lock(mu_);
+    memory_.attach_trace(ring);
+  }
 
   /// Persistence under the lock. Note the stream I/O happens while the
   /// lock is held — that is the point: a save must observe a quiescent
   /// region, and a restore must not race concurrent readers.
   void save(std::ostream& out) override {
-    const auto lock = locks_.lock(0);
+    const MutexLock lock(mu_);
     memory_.save(out);
   }
 
-  bool restore(std::istream& in) override {
-    const auto lock = locks_.lock(0);
+  [[nodiscard]] bool restore(std::istream& in) override {
+    const MutexLock lock(mu_);
     return memory_.restore(in);
   }
 
@@ -117,13 +131,15 @@ class ConcurrentSecureMemory : public SecureMemoryLike {
   /// does not wrap (the untrusted view in tests, ...).
   template <typename Fn>
   auto with_exclusive(Fn&& fn) {
-    const auto lock = locks_.lock(0);
+    const MutexLock lock(mu_);
     return std::forward<Fn>(fn)(memory_);
   }
 
  private:
-  ShardLockTable locks_;
-  SecureMemory memory_;
+  mutable Mutex mu_;
+  SecureMemory memory_ SECMEM_GUARDED_BY(mu_);
+  std::uint64_t size_bytes_;
+  std::uint64_t num_blocks_;
 };
 
 }  // namespace secmem

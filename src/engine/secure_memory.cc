@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "common/bitops.h"
+#include "common/ct.h"
 #include "common/rng.h"
 #include "counters/delta_counter.h"
 #include "counters/dual_length_delta.h"
@@ -654,8 +655,7 @@ bool SecureMemory::restore(std::istream& in) {
     std::array<std::uint8_t, 64> sealed{};
     in.read(reinterpret_cast<char*>(sealed.data()), 64);
     const auto computed = rebuilt.read_node(top, node);
-    if (!in ||
-        !std::equal(computed.begin(), computed.end(), sealed.begin()))
+    if (!in || !ct_equal(computed.data(), sealed.data(), sealed.size()))
       return fail();
   }
 

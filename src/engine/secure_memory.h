@@ -105,7 +105,7 @@ class SecureMemory : public SecureMemoryLike {
   /// 4-wide kernel, and counter-line/tree syncs coalesce per dirty line.
   /// Any block that needs more than the clean verify path (corrections,
   /// tampering) falls back to the scalar routine for that block.
-  std::vector<ReadResult> read_blocks(
+  [[nodiscard]] std::vector<ReadResult> read_blocks(
       std::span<const std::uint64_t> blocks) override;
   void write_blocks(std::span<const BlockWrite> writes) override;
 
@@ -145,7 +145,7 @@ class SecureMemory : public SecureMemoryLike {
   /// makes every (addr, counter) nonce fresh again), and all data is
   /// re-encrypted. Returns false — leaving the region untouched — if any
   /// block fails verification under the old keys.
-  bool rotate_master_key(std::uint64_t new_master) override;
+  [[nodiscard]] bool rotate_master_key(std::uint64_t new_master) override;
 
   /// ------------------------------------------------------------------
   /// Persistence (NVMM / hibernate model).
@@ -165,7 +165,7 @@ class SecureMemory : public SecureMemoryLike {
   /// On any failure the region re-initializes to zeros and restore
   /// returns false.
   void save(std::ostream& out) override;
-  bool restore(std::istream& in) override;
+  [[nodiscard]] bool restore(std::istream& in) override;
 
   /// ------------------------------------------------------------------
   /// Observability.
@@ -277,7 +277,7 @@ class SecureMemory : public SecureMemoryLike {
   /// Authenticate stored counter line `line` through the verified
   /// frontier — the single tree-read entry point for read_block and the
   /// batch paths.
-  bool verify_counter_line(std::uint64_t line);
+  [[nodiscard]] bool verify_counter_line(std::uint64_t line);
   /// Metrics/trace bookkeeping shared by read_block and the batch fast
   /// path.
   void account_read(const ReadResult& result, std::uint64_t block) noexcept;

@@ -28,7 +28,7 @@ using ReadStatus = Status;
 
 const char* read_status_name(ReadStatus status) noexcept;
 
-struct ReadResult {
+struct [[nodiscard]] ReadResult {
   ReadStatus status = Status::kOk;
   DataBlock data{};  ///< plaintext; zeroed unless status is kOk/kCorrected*
   std::uint64_t mac_evaluations = 0;  ///< flip-and-check work performed
@@ -41,7 +41,7 @@ struct BlockWrite {
 };
 
 /// Outcome of scrubbing one block (paper §3.3).
-enum class ScrubStatus : std::uint8_t {
+enum class [[nodiscard]] ScrubStatus : std::uint8_t {
   kClean,            ///< quick parity checks passed (or full check did)
   kRepairedMacField, ///< single-bit MAC-lane fault healed
   kRepairedData,     ///< 1-2 bit data fault healed
@@ -117,7 +117,7 @@ class SecureMemoryLike {
   /// engines take each shard lock once per batch. Unlike the single-block
   /// calls, ALL block indices are validated up front — std::out_of_range
   /// is thrown before anything is mutated.
-  virtual std::vector<ReadResult> read_blocks(
+  [[nodiscard]] virtual std::vector<ReadResult> read_blocks(
       std::span<const std::uint64_t> blocks);
   virtual void write_blocks(std::span<const BlockWrite> writes);
 
@@ -127,12 +127,16 @@ class SecureMemoryLike {
   virtual ScrubReport scrub_all(bool deep = false) = 0;
 
   /// Re-key under a new master secret; false leaves the region intact.
-  virtual bool rotate_master_key(std::uint64_t new_master) = 0;
+  /// The verdict must be consumed — a caller that assumes success after a
+  /// refused rotation keeps serving data under the key it meant to retire.
+  [[nodiscard]] virtual bool rotate_master_key(std::uint64_t new_master) = 0;
 
   /// Persistence (NVMM / hibernate model); see SecureMemory for the
-  /// image-format and threat-model contract.
+  /// image-format and threat-model contract. A false restore means the
+  /// image was rejected (tamper, truncation) — the region contents are
+  /// unspecified and the verdict must be consumed.
   virtual void save(std::ostream& out) = 0;
-  virtual bool restore(std::istream& in) = 0;
+  [[nodiscard]] virtual bool restore(std::istream& in) = 0;
 
   /// ------------------------------------------------------------------
   /// Observability.

@@ -5,10 +5,19 @@
 // operation, so adding threads adds zero throughput. This engine instead
 // partitions the region across N independent SecureMemory shards — each
 // with its own working keys, counter scheme, Bonsai tree, and backing
-// store — guarded by one ShardLockTable entry per shard. Operations on
-// different shards proceed fully in parallel; the cryptographic work
-// (AES-CTR, Carter-Wegman, tree walks) dominates the lock cost, so read
-// throughput scales with min(threads, shards).
+// store. Operations on different shards proceed fully in parallel; the
+// cryptographic work (AES-CTR, Carter-Wegman, tree walks) dominates the
+// lock cost, so read throughput scales with min(threads, shards).
+//
+// Locking discipline — machine-checked under clang -Wthread-safety:
+// every shard is a Shard struct carrying its own cache-line-aligned
+// secmem::Mutex, and the shard's engine is SECMEM_GUARDED_BY that mutex,
+// so a single-shard operation that touches an engine without a MutexLock
+// on the owning shard is a *build error*. Cross-shard paths (the byte
+// API) acquire their runtime-selected lock sets in fixed ascending table
+// order via lock_in_order (engine/lock_table.h); those few functions are
+// beyond static analysis and carry SECMEM_NO_THREAD_SAFETY_ANALYSIS plus
+// TSan coverage.
 //
 // Routing granularity is the *block-group* (4 KB for the paper's delta
 // schemes): groups are striped round-robin across shards. A group is the
@@ -38,6 +47,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/thread_annotations.h"
 #include "engine/lock_table.h"
 #include "engine/secure_memory.h"
 #include "engine/secure_memory_like.h"
@@ -79,7 +89,7 @@ class ShardedSecureMemory : public SecureMemoryLike {
   /// whole is NOT a cross-shard snapshot.
   /// ------------------------------------------------------------------
   using BlockWrite = secmem::BlockWrite;
-  std::vector<ReadResult> read_blocks(
+  [[nodiscard]] std::vector<ReadResult> read_blocks(
       std::span<const std::uint64_t> blocks) override;
   void write_blocks(std::span<const BlockWrite> writes) override;
 
@@ -105,7 +115,7 @@ class ShardedSecureMemory : public SecureMemoryLike {
   /// `new_master`. All-or-nothing across shards: if any shard fails
   /// verification, already-rotated shards are rotated back to the old
   /// master and false is returned with the region's contents intact.
-  bool rotate_master_key(std::uint64_t new_master) override;
+  [[nodiscard]] bool rotate_master_key(std::uint64_t new_master) override;
 
   /// Aggregated operational statistics across all shards — lock-free:
   /// sums the shards' relaxed-atomic cells without touching the locks.
@@ -127,17 +137,29 @@ class ShardedSecureMemory : public SecureMemoryLike {
   /// valid but unspecified mix of restored/re-zeroed shards — treat the
   /// contents as lost, exactly as SecureMemory::restore does.
   void save(std::ostream& out) override;
-  bool restore(std::istream& in) override;
+  [[nodiscard]] bool restore(std::istream& in) override;
 
   /// Run `fn(SecureMemory&)` against one shard under its lock — for
   /// tests and attacker simulation (the untrusted view is per shard).
   template <typename Fn>
   auto with_shard_exclusive(unsigned shard, Fn&& fn) {
-    const auto lock = locks_.lock(shard);
-    return std::forward<Fn>(fn)(*shards_[shard]);
+    Shard& s = shards_[shard];
+    const MutexLock lock(s.mu);
+    return std::forward<Fn>(fn)(*s.engine);
   }
 
  private:
+  /// One partition: the lock and the state it guards live side by side so
+  /// thread-safety analysis can tie them together, and each shard's hot
+  /// mutex sits on its own cache line (fixed 64 rather than
+  /// std::hardware_destructive_interference_size: the constant must not
+  /// vary across TUs compiled with different tuning flags).
+  struct alignas(64) Shard {
+    mutable Mutex mu;
+    std::unique_ptr<SecureMemory> engine SECMEM_GUARDED_BY(mu)
+        SECMEM_PT_GUARDED_BY(mu);
+  };
+
   struct Route {
     unsigned shard;
     std::uint64_t local_block;
@@ -147,6 +169,8 @@ class ShardedSecureMemory : public SecureMemoryLike {
   /// Sorted, duplicate-free shard ids touched by blocks [first, last].
   std::vector<std::size_t> shards_in_range(std::uint64_t first_block,
                                            std::uint64_t last_block) const;
+  /// Mutexes of `shards` (table order preserved) for lock_in_order.
+  std::vector<Mutex*> mutexes_of(std::span<const std::size_t> shards) const;
   /// Every cell backing this region: each shard's, then the region's own.
   std::vector<const MetricsCell*> all_cells() const;
 
@@ -154,8 +178,8 @@ class ShardedSecureMemory : public SecureMemoryLike {
   unsigned num_shards_;
   unsigned granule_blocks_;
   std::uint64_t num_blocks_;
-  ShardLockTable locks_;
-  std::vector<std::unique_ptr<SecureMemory>> shards_;
+  /// Fixed-size at construction; Shard is neither movable nor copyable.
+  std::unique_ptr<Shard[]> shards_;
   MetricsCell metrics_;  ///< region-level (byte-op) counters
   TraceRing* trace_ = nullptr;
 };

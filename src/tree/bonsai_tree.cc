@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/bitops.h"
+#include "common/ct.h"
 
 namespace secmem {
 
@@ -77,7 +78,8 @@ bool BonsaiTree::verify_leaf(std::uint64_t line, LineView content) const {
       0, line, mac_of(0, line, content),
       [this](unsigned lvl, std::uint64_t node, unsigned slot,
              std::uint64_t tag) {
-        return load_le64(node_span(lvl, node).data() + 8 * slot) == tag
+        return ct_equal_u64(load_le64(node_span(lvl, node).data() + 8 * slot),
+                            tag)
                    ? StepAction::kContinue
                    : StepAction::kStopFail;
       });

@@ -31,7 +31,7 @@ class BonsaiTree {
   /// Check `content` (as read back from untrusted storage) against the
   /// tree. Walks leaf MAC -> parent -> ... -> on-chip root level; false on
   /// any mismatch (tamper or replay).
-  bool verify_leaf(std::uint64_t line, LineView content) const;
+  [[nodiscard]] bool verify_leaf(std::uint64_t line, LineView content) const;
 
   const BonsaiGeometry& geometry() const noexcept { return geometry_; }
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/bitops.h"
+#include "common/ct.h"
 
 namespace secmem {
 
@@ -100,11 +101,13 @@ bool VerifiedTreeCache::verify(std::uint64_t line,
 
   if (Entry* leaf = find(0, line)) {
     // The resident copy was authenticated on fill and tracks every
-    // update, so a byte compare IS the verification — zero MACs.
+    // update, so a byte compare IS the verification — zero MACs. It is
+    // still an accept/reject decision over attacker-influenced bytes, so
+    // it gets the constant-time compare like every other verification.
     touch(*leaf);
     count(MetricId::kTreeCacheHits);
-    return std::memcmp(leaf->content.data(), content.data(),
-                       BonsaiTree::kLineBytes) == 0;
+    return ct_equal(leaf->content.data(), content.data(),
+                    BonsaiTree::kLineBytes);
   }
 
   path_.clear();
@@ -117,13 +120,16 @@ bool VerifiedTreeCache::verify(std::uint64_t line,
           if (Entry* anc = find(lvl, node)) {
             touch(*anc);
             truncated = true;
-            return load_le64(anc->content.data() + 8 * slot) == tag
+            return ct_equal_u64(load_le64(anc->content.data() + 8 * slot),
+                                tag)
                        ? BonsaiTree::StepAction::kStopOk
                        : BonsaiTree::StepAction::kStopFail;
           }
           path_.emplace_back(lvl, node);
         }
-        return load_le64(tree_.node_span(lvl, node).data() + 8 * slot) == tag
+        return ct_equal_u64(
+                   load_le64(tree_.node_span(lvl, node).data() + 8 * slot),
+                   tag)
                    ? BonsaiTree::StepAction::kContinue
                    : BonsaiTree::StepAction::kStopFail;
       });

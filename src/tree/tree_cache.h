@@ -33,11 +33,14 @@
 // every untrusted-surface excursion in a flush barrier — see
 // SecureMemory::UntrustedView::tree().
 //
-// Thread safety: none. The cache mutates on every operation (LRU,
-// fills); engines use it under the same lock as the tree it fronts
-// (sharded engines keep one cache per shard inside the shard lock).
-// Metrics go to an optional MetricsCell (relaxed atomics), so the
-// observability plane reads them without touching that lock.
+// Thread safety: none, on purpose — and statically enforced one level
+// up. The cache mutates on every operation (LRU, fills), so it must only
+// be reached through a lock-holding owner: each engine's cache lives
+// inside a SecureMemory that is itself SECMEM_GUARDED_BY the owning
+// facade/shard mutex (engine/concurrent.h, engine/sharded_memory.h), so
+// under clang -Wthread-safety an unlocked path to this class does not
+// compile. Metrics go to an optional MetricsCell (relaxed atomics), so
+// the observability plane reads them without touching that lock.
 #pragma once
 
 #include <array>
@@ -69,8 +72,9 @@ class VerifiedTreeCache {
   bool enabled() const noexcept { return !entries_.empty(); }
 
   /// Cache-accelerated BonsaiTree::verify_leaf — identical outcome for
-  /// any state reachable through the engine API.
-  bool verify(std::uint64_t line, BonsaiTree::LineView content);
+  /// any state reachable through the engine API. The verdict must be
+  /// consumed: ignoring it is accepting unauthenticated data.
+  [[nodiscard]] bool verify(std::uint64_t line, BonsaiTree::LineView content);
 
   /// Cache-accelerated BonsaiTree::update_leaf. `content` must already
   /// be the line's current backing bytes (engines serialize into counter

@@ -1,0 +1,8 @@
+// Fixture: stat names outside the registered namespaces.
+#include "common/stats.h"
+
+void publish(secmem::StatRegistry& registry) {
+  registry.counter("bogus.reads");       // rule: stat-name
+  registry.scalar("typo_engine.ipc");    // rule: stat-name
+  registry.histogram("dram.latency");    // fine: registered namespace
+}

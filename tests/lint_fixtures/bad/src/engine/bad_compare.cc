@@ -1,0 +1,16 @@
+// Fixture: every way to write a variable-time verification compare.
+// Never compiled — scanned by secmem-lint in tests/test_lint.cc.
+#include <algorithm>
+#include <cstring>
+
+bool check_tag(const unsigned char* a, const unsigned char* b) {
+  return std::memcmp(a, b, 7) == 0;  // rule: ct-compare
+}
+
+bool check_tag_unqualified(const unsigned char* a, const unsigned char* b) {
+  return memcmp(a, b, 7) == 0;  // rule: ct-compare
+}
+
+bool check_line(const unsigned char* a, const unsigned char* b) {
+  return std::equal(a, a + 64, b);  // rule: ct-compare
+}

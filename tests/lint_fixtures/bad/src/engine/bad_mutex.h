@@ -1,0 +1,9 @@
+// Fixture: a naked standard mutex that thread-safety analysis cannot see.
+#pragma once
+#include <mutex>
+#include <shared_mutex>
+
+class BadEngine {
+  mutable std::mutex mu_;               // rule: raw-mutex
+  mutable std::shared_mutex table_mu_;  // rule: raw-mutex
+};

@@ -1,0 +1,9 @@
+// Fixture: non-reproducible randomness in simulator code.
+#include <cstdlib>
+#include <random>
+
+unsigned roll() {
+  std::random_device rd;            // rule: sim-rand
+  std::mt19937 gen(rd());           // rule: sim-rand
+  return gen() + rand();            // rule: sim-rand
+}

@@ -1,0 +1,4 @@
+// Fixture: reaching around the crypto_backend seam.
+#include <immintrin.h>          // rule: crypto-include
+#include "crypto/aes128_ni.cc"  // rule: crypto-include
+#include "crypto/gf64_clmul.cc" // rule: crypto-include

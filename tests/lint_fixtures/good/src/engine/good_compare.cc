@@ -1,0 +1,19 @@
+// Fixture: everything here must lint clean.
+//
+// A comment mentioning memcmp and std::mutex must not fire — the linter
+// strips comments before token matching.
+#include "common/ct.h"
+#include "common/thread_annotations.h"
+
+static const char* kDoc = "prefer ct_equal over memcmp";  // string, no hit
+
+bool check_tag(const unsigned char* a, const unsigned char* b) {
+  return secmem::ct_equal(a, b, 7);
+}
+
+bool magic_header(const char* a, const char* b) {
+  // Public framing bytes: exempted at the call site.
+  return std::memcmp(a, b, 8) == 0;  // secmem-lint: allow(ct-compare)
+}
+
+const char* doc() { return kDoc; }

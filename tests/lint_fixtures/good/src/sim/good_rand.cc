@@ -1,0 +1,11 @@
+// Fixture: seeded, reproducible randomness — and identifiers that merely
+// contain rule substrings (w_random, operand) must not fire.
+#include "common/rng.h"
+
+struct Params {
+  double w_random = 0.2;  // substring "random" inside an identifier: fine
+};
+
+unsigned roll(secmem::Xoshiro256& rng, unsigned operand) {
+  return static_cast<unsigned>(rng.next_below(6)) + operand;
+}

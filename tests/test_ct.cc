@@ -1,0 +1,150 @@
+// common/ct.h — the constant-time comparison helpers every MAC/tag
+// verification goes through. The contract under test: bit-identical
+// accept/reject verdicts to memcmp/operator== on every input (only the
+// time profile differs, which a unit test cannot observe), plus the
+// engine-level differential check that a save-image round trip accepts
+// and rejects exactly as the variable-time implementation did.
+#include "common/ct.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/secure_memory.h"
+
+namespace secmem {
+namespace {
+
+TEST(CtEqual, ExhaustiveOneByte) {
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      const std::uint8_t x = static_cast<std::uint8_t>(a);
+      const std::uint8_t y = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(ct_equal(&x, &y, 1), std::memcmp(&x, &y, 1) == 0)
+          << a << " vs " << b;
+    }
+  }
+}
+
+TEST(CtEqual, ZeroLengthAlwaysEqual) {
+  const std::uint8_t x = 0xAA;
+  const std::uint8_t y = 0x55;
+  EXPECT_TRUE(ct_equal(&x, &y, 0));
+}
+
+TEST(CtEqual, SingleBitDifferenceAtEveryPosition) {
+  // The classic failure mode of a broken accumulator is losing high or
+  // low bits; prove every bit of every byte position is load-bearing.
+  for (std::size_t n : {1u, 2u, 7u, 8u, 16u, 56u, 64u}) {
+    std::vector<std::uint8_t> a(n, 0x5C);
+    for (std::size_t byte = 0; byte < n; ++byte) {
+      for (unsigned bit = 0; bit < 8; ++bit) {
+        std::vector<std::uint8_t> b = a;
+        b[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        EXPECT_FALSE(ct_equal(a.data(), b.data(), n))
+            << "n=" << n << " byte=" << byte << " bit=" << bit;
+      }
+    }
+    EXPECT_TRUE(ct_equal(a.data(), a.data(), n));
+  }
+}
+
+TEST(CtEqual, FuzzAgainstMemcmp) {
+  Xoshiro256 rng(0xC7E9UL);
+  for (int iter = 0; iter < 20000; ++iter) {
+    const std::size_t n = 1 + rng.next_below(64);
+    std::vector<std::uint8_t> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i)
+      a[i] = static_cast<std::uint8_t>(rng.next());
+    // Mix of equal, near-equal (1 flipped bit), and unrelated buffers.
+    switch (rng.next_below(3)) {
+      case 0:
+        b = a;
+        break;
+      case 1:
+        b = a;
+        b[rng.next_below(n)] ^=
+            static_cast<std::uint8_t>(1u << rng.next_below(8));
+        break;
+      default:
+        for (std::size_t i = 0; i < n; ++i)
+          b[i] = static_cast<std::uint8_t>(rng.next());
+        break;
+    }
+    EXPECT_EQ(ct_equal(a.data(), b.data(), n),
+              std::memcmp(a.data(), b.data(), n) == 0);
+    EXPECT_EQ(ct_equal(std::span<const std::uint8_t>(a),
+                       std::span<const std::uint8_t>(b)),
+              std::memcmp(a.data(), b.data(), n) == 0);
+  }
+}
+
+TEST(CtEqual, SpanLengthMismatchIsUnequal) {
+  const std::vector<std::uint8_t> a(8, 0);
+  const std::vector<std::uint8_t> b(9, 0);
+  EXPECT_FALSE(ct_equal(std::span<const std::uint8_t>(a),
+                        std::span<const std::uint8_t>(b)));
+}
+
+TEST(CtEqualU64, EveryOneAndTwoBitDifference) {
+  const std::uint64_t base = 0x0123'4567'89AB'CDEFULL;
+  EXPECT_TRUE(ct_equal_u64(base, base));
+  EXPECT_TRUE(ct_equal_u64(0, 0));
+  EXPECT_TRUE(ct_equal_u64(~0ULL, ~0ULL));
+  for (unsigned i = 0; i < 64; ++i) {
+    EXPECT_FALSE(ct_equal_u64(base, base ^ (1ULL << i))) << i;
+    for (unsigned j = i + 1; j < 64; ++j)
+      EXPECT_FALSE(ct_equal_u64(base, base ^ (1ULL << i) ^ (1ULL << j)))
+          << i << "," << j;
+  }
+}
+
+TEST(CtEqualU64, FuzzAgainstOperatorEq) {
+  Xoshiro256 rng(987654321);
+  for (int iter = 0; iter < 100000; ++iter) {
+    const std::uint64_t a = rng.next();
+    const std::uint64_t b = rng.next_below(4) == 0 ? a : rng.next();
+    EXPECT_EQ(ct_equal_u64(a, b), a == b);
+  }
+}
+
+// Engine-level differential: the ct_equal conversion of the sealed-root
+// check (SecureMemory::restore) must keep accept/reject behavior
+// bit-identical — a pristine image restores, and any flipped byte in the
+// sealed-root region is rejected, exactly as std::equal did.
+TEST(CtEqual, SaveImageSealedRootAcceptReject) {
+  SecureMemoryConfig config;
+  config.size_bytes = 16 * 1024;
+  SecureMemory memory(config);
+  Xoshiro256 rng(42);
+  for (std::uint64_t b = 0; b < memory.num_blocks(); b += 7) {
+    DataBlock block;
+    for (auto& byte : block) byte = static_cast<std::uint8_t>(rng.next());
+    memory.write_block(b, block);
+  }
+  std::ostringstream out;
+  memory.save(out);
+  const std::string image = out.str();
+
+  {
+    SecureMemory other(config);
+    std::istringstream in(image);
+    EXPECT_TRUE(other.restore(in));
+    EXPECT_EQ(other.read_block(7).status, Status::kOk);
+  }
+  // The sealed root level is the image's trailing bytes; every corrupted
+  // byte there must be rejected.
+  for (std::size_t back = 1; back <= 64; back += 13) {
+    std::string tampered = image;
+    tampered[tampered.size() - back] ^= 0x01;
+    SecureMemory other(config);
+    std::istringstream in(tampered);
+    EXPECT_FALSE(other.restore(in)) << "offset -" << back;
+  }
+}
+
+}  // namespace
+}  // namespace secmem

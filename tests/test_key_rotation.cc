@@ -89,15 +89,15 @@ TEST(SecureMemoryStats, CountsEveryOutcome) {
   SecureMemory memory(small_config());
   memory.reset_stats();
   memory.write_block(1, pattern(1));
-  memory.read_block(1);                                  // ok
+  EXPECT_EQ(memory.read_block(1).status, ReadStatus::kOk);
   memory.untrusted().flip_ciphertext_bit(1, 5);
-  memory.read_block(1);                                  // corrected-data
-  memory.write_block(1, pattern(2));                     // heals
+  EXPECT_EQ(memory.read_block(1).status, ReadStatus::kCorrectedData);
+  memory.write_block(1, pattern(2));  // heals
   memory.untrusted().flip_lane_bit(1, 10);
-  memory.read_block(1);                                  // corrected-mac
+  EXPECT_EQ(memory.read_block(1).status, ReadStatus::kCorrectedMacField);
   for (unsigned bit : {100u, 101u, 102u})
     memory.untrusted().flip_ciphertext_bit(1, bit);
-  memory.read_block(1);                                  // violation
+  EXPECT_EQ(memory.read_block(1).status, ReadStatus::kIntegrityViolation);
   const auto& stats = memory.stats();
   EXPECT_EQ(stats.writes, 2u);
   EXPECT_EQ(stats.reads, 4u);

@@ -245,14 +245,14 @@ TEST(SecureMemoryBounds, OutOfRangeAccessesThrow) {
   config.size_bytes = 16 * 1024;
   SecureMemory memory(config);
   const std::uint64_t blocks = memory.num_blocks();
-  EXPECT_THROW(memory.read_block(blocks), std::out_of_range);
+  EXPECT_THROW((void)memory.read_block(blocks), std::out_of_range);
   EXPECT_THROW(memory.write_block(blocks + 5, DataBlock{}),
                std::out_of_range);
-  EXPECT_THROW(memory.scrub_block(blocks), std::out_of_range);
+  EXPECT_THROW((void)memory.scrub_block(blocks), std::out_of_range);
   std::vector<std::uint8_t> buffer(128);
-  EXPECT_THROW(memory.read_bytes(config.size_bytes - 64, buffer),
+  EXPECT_THROW((void)memory.read_bytes(config.size_bytes - 64, buffer),
                std::out_of_range);
-  EXPECT_THROW(memory.write_bytes(config.size_bytes - 64, buffer),
+  EXPECT_THROW((void)memory.write_bytes(config.size_bytes - 64, buffer),
                std::out_of_range);
   // The last valid block / byte range still work.
   EXPECT_EQ(memory.read_block(blocks - 1).status, ReadStatus::kOk);
@@ -268,14 +268,14 @@ TEST(SecureMemoryBounds, OverflowingByteRangesThrowInsteadOfWrapping) {
   SecureMemory memory(config);
   std::vector<std::uint8_t> buffer(128);
   const std::uint64_t wrap_addr = UINT64_MAX - 63;  // addr + 128 wraps to 64
-  EXPECT_THROW(memory.read_bytes(wrap_addr, buffer), std::out_of_range);
-  EXPECT_THROW(memory.write_bytes(wrap_addr, buffer), std::out_of_range);
-  EXPECT_THROW(memory.read_bytes(UINT64_MAX, buffer), std::out_of_range);
-  EXPECT_THROW(memory.write_bytes(UINT64_MAX, buffer), std::out_of_range);
+  EXPECT_THROW((void)memory.read_bytes(wrap_addr, buffer), std::out_of_range);
+  EXPECT_THROW((void)memory.write_bytes(wrap_addr, buffer), std::out_of_range);
+  EXPECT_THROW((void)memory.read_bytes(UINT64_MAX, buffer), std::out_of_range);
+  EXPECT_THROW((void)memory.write_bytes(UINT64_MAX, buffer), std::out_of_range);
   // Zero-length ranges: fine at the end of the region, rejected past it.
   std::span<std::uint8_t> empty;
   EXPECT_EQ(Status::kOk, memory.read_bytes(config.size_bytes, empty));
-  EXPECT_THROW(memory.read_bytes(config.size_bytes + 1, empty), std::out_of_range);
+  EXPECT_THROW((void)memory.read_bytes(config.size_bytes + 1, empty), std::out_of_range);
 }
 
 // ------------------------------------------------ byte-API atomicity

@@ -57,7 +57,7 @@ TEST(ShardedSecureMemory, InvalidGeometryThrows) {
   EXPECT_THROW(ShardedSecureMemory(region_config(256 * 1024), 5),
                std::invalid_argument);
   ShardedSecureMemory memory(region_config(256 * 1024), 8);
-  EXPECT_THROW(memory.read_block(memory.num_blocks()), std::out_of_range);
+  EXPECT_THROW((void)memory.read_block(memory.num_blocks()), std::out_of_range);
   EXPECT_THROW(memory.write_block(memory.num_blocks(), DataBlock{}),
                std::out_of_range);
 }
@@ -123,8 +123,8 @@ TEST(ShardedSecureMemory, ByteRangeSpanningShardsRoundTrips) {
   EXPECT_EQ(readback, incoming);
 
   std::vector<std::uint8_t> buffer(128);
-  EXPECT_THROW(memory.read_bytes(UINT64_MAX - 63, buffer), std::out_of_range);
-  EXPECT_THROW(memory.write_bytes(UINT64_MAX - 63, buffer), std::out_of_range);
+  EXPECT_THROW((void)memory.read_bytes(UINT64_MAX - 63, buffer), std::out_of_range);
+  EXPECT_THROW((void)memory.write_bytes(UINT64_MAX - 63, buffer), std::out_of_range);
 }
 
 TEST(ShardedSecureMemory, CrossShardWriteIsAllOrNothing) {

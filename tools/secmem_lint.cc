@@ -1,0 +1,512 @@
+// secmem-lint — repository invariant checker for the secure-memory tree.
+//
+// The analyses clang gives us (-Wthread-safety, clang-tidy) are gated on
+// clang being installed; these project-specific rules must hold on every
+// build, so they are enforced by this dependency-free checker that runs
+// in CI (scripts/lint.sh) under any toolchain.
+//
+// Rules (see ARCHITECTURE.md "Static analysis & enforced invariants"):
+//
+//   ct-compare      src/{engine,tree,crypto,ecc}: no memcmp / bcmp /
+//                   std::equal / std::ranges::equal — accept/reject
+//                   decisions over MAC/tag/verified bytes must go through
+//                   common/ct.h (ct_equal / ct_equal_u64), which never
+//                   early-exits on the first differing byte.
+//   raw-mutex       src/ outside common/thread_annotations.h: no naked
+//                   std::mutex family — use secmem::Mutex / MutexLock so
+//                   clang thread-safety analysis can see the capability.
+//   sim-rand        src/sim/: no rand()/std::random_device/std::mt19937 —
+//                   simulator runs must replay bit-identically from a
+//                   seed; use common/rng.h (Xoshiro256).
+//   stat-name       src/, tools/, bench/: string literals passed to
+//                   StatRegistry counter()/scalar()/histogram() must live
+//                   in a registered namespace (first dotted segment).
+//   crypto-include  outside src/crypto/: no <immintrin.h>-family includes
+//                   and no includes of the *_ni.cc / gf64_clmul.cc
+//                   backend internals — intrinsics stay behind the
+//                   runtime-dispatched crypto_backend seam.
+//
+// Suppression:
+//   - inline, same line:            // secmem-lint: allow(rule-id)
+//   - checked-in allowlist file:    <path>: <rule-id>   (one per line,
+//     path relative to --root, '#' comments) — tools/secmem-lint.allow
+//
+// Output: one `file:line: rule-id: message` per finding, sorted.
+// Exit status: 0 clean, 1 findings, 2 usage/configuration error.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string path;  // relative, forward slashes
+  std::size_t line;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Finding& o) const {
+    return std::tie(path, line, rule) < std::tie(o.path, o.line, o.rule);
+  }
+};
+
+/// The two derived views of a source file, same length / line structure
+/// as the original: `code` has comments and string/char literals blanked
+/// (token rules), `code_strings` has only comments blanked (rules that
+/// need literal contents or #include targets).
+struct Views {
+  std::string code;
+  std::string code_strings;
+};
+
+/// One pass over the text, preserving newlines so offsets map to lines.
+Views strip(const std::string& text) {
+  Views v;
+  v.code.assign(text.size(), ' ');
+  v.code_strings.assign(text.size(), ' ');
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {  // newlines survive every state
+      v.code[i] = '\n';
+      v.code_strings[i] = '\n';
+      if (state == State::kLineComment) state = State::kCode;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          // R"delim( ... opens a raw string when the quote follows an R
+          // that is not part of a longer identifier.
+          const bool raw =
+              i > 0 && text[i - 1] == 'R' &&
+              (i < 2 || (!std::isalnum(static_cast<unsigned char>(
+                             text[i - 2])) &&
+                         text[i - 2] != '_'));
+          v.code_strings[i] = '"';
+          if (raw) {
+            raw_delim.clear();
+            std::size_t j = i + 1;
+            while (j < text.size() && text[j] != '(')
+              raw_delim += text[j++];
+            state = State::kRawString;
+          } else {
+            state = State::kString;
+          }
+        } else if (c == '\'') {
+          state = State::kChar;
+        } else {
+          v.code[i] = c;
+          v.code_strings[i] = c;
+        }
+        break;
+      case State::kLineComment:
+      case State::kBlockComment:
+        if (state == State::kBlockComment && c == '*' &&
+            i + 1 < text.size() && text[i + 1] == '/') {
+          state = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kString:
+        v.code_strings[i] = c;
+        if (c == '\\' && i + 1 < text.size()) {
+          if (text[i + 1] != '\n') v.code_strings[i + 1] = text[i + 1];
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < text.size())
+          ++i;
+        else if (c == '\'')
+          state = State::kCode;
+        break;
+      case State::kRawString: {
+        v.code_strings[i] = c;
+        const std::string close = ")" + raw_delim + "\"";
+        if (c == ')' && text.compare(i, close.size(), close) == 0) {
+          for (std::size_t k = 0; k < close.size() && i + k < text.size();
+               ++k)
+            v.code_strings[i + k] = text[i + k];
+          i += close.size() - 1;
+          state = State::kCode;
+        }
+        break;
+      }
+    }
+  }
+  return v;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::size_t line_of(const std::string& text, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + pos, '\n'));
+}
+
+/// All positions where `name` appears as a complete identifier.
+std::vector<std::size_t> find_idents(const std::string& code,
+                                     std::string_view name) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
+    const std::size_t end = pos + name.size();
+    const bool right_ok = end >= code.size() || !ident_char(code[end]);
+    if (left_ok && right_ok) hits.push_back(pos);
+    pos = end;
+  }
+  return hits;
+}
+
+/// True if the identifier at `pos` is qualified as std:: (possibly
+/// ::std:: or std::ranges::).
+bool std_qualified(const std::string& code, std::size_t pos) {
+  auto skip_ws_back = [&](std::size_t p) {
+    while (p > 0 && std::isspace(static_cast<unsigned char>(code[p - 1])))
+      --p;
+    return p;
+  };
+  std::size_t p = skip_ws_back(pos);
+  if (p < 2 || code[p - 1] != ':' || code[p - 2] != ':') return false;
+  p = skip_ws_back(p - 2);
+  std::size_t end = p;
+  while (p > 0 && ident_char(code[p - 1])) --p;
+  const std::string_view qual(code.data() + p, end - p);
+  if (qual == "std") return true;
+  if (qual == "ranges") return std_qualified(code, p);
+  return false;
+}
+
+struct Rule {
+  const char* id;
+  const char* message;
+};
+
+constexpr Rule kCtCompare = {
+    "ct-compare",
+    "variable-time compare on a verification path; use "
+    "secmem::ct_equal/ct_equal_u64 (common/ct.h)"};
+constexpr Rule kRawMutex = {
+    "raw-mutex",
+    "naked std mutex invisible to thread-safety analysis; use "
+    "secmem::Mutex/MutexLock (common/thread_annotations.h)"};
+constexpr Rule kSimRand = {
+    "sim-rand",
+    "non-reproducible randomness in simulator code; use "
+    "secmem::Xoshiro256 (common/rng.h)"};
+constexpr Rule kStatName = {"stat-name",
+                            "stat name outside the registered namespaces"};
+constexpr Rule kCryptoInclude = {
+    "crypto-include",
+    "intrinsics / crypto-backend internals included outside src/crypto; "
+    "go through crypto_backend.h"};
+
+/// First dotted segment of a stat name ("engine.reads" -> "engine").
+const std::set<std::string, std::less<>> kStatNamespaces = {
+    "bench", "cache", "dram",  "engine", "metacache",
+    "reenc", "sim",   "trace", "tree_cache"};
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+class Linter {
+ public:
+  explicit Linter(fs::path root) : root_(std::move(root)) {}
+
+  bool load_allowlist(const fs::path& file) {
+    std::ifstream in(file);
+    if (!in) return false;
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::size_t hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      const std::size_t colon = line.rfind(':');
+      if (colon == std::string::npos) continue;  // blank / comment
+      auto trim = [](std::string s) {
+        const auto b = s.find_first_not_of(" \t");
+        const auto e = s.find_last_not_of(" \t");
+        return b == std::string::npos ? std::string()
+                                      : s.substr(b, e - b + 1);
+      };
+      const std::string path = trim(line.substr(0, colon));
+      const std::string rule = trim(line.substr(colon + 1));
+      if (!path.empty() && !rule.empty()) allow_.insert(path + ":" + rule);
+    }
+    return true;
+  }
+
+  void lint_file(const fs::path& abs) {
+    std::ifstream in(abs, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "secmem-lint: cannot read %s\n",
+                   abs.string().c_str());
+      io_error_ = true;
+      return;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    const std::string rel =
+        fs::relative(abs, root_).generic_string();
+    const Views v = strip(text);
+
+    if (starts_with(rel, "src/engine/") || starts_with(rel, "src/tree/") ||
+        starts_with(rel, "src/crypto/") || starts_with(rel, "src/ecc/")) {
+      if (rel != "src/common/ct.h") check_ct_compare(rel, text, v);
+    }
+    if (starts_with(rel, "src/") &&
+        rel != "src/common/thread_annotations.h") {
+      check_raw_mutex(rel, text, v);
+    }
+    if (starts_with(rel, "src/sim/")) check_sim_rand(rel, text, v);
+    if (starts_with(rel, "src/") || starts_with(rel, "tools/") ||
+        starts_with(rel, "bench/")) {
+      check_stat_name(rel, text, v);
+    }
+    if (!starts_with(rel, "src/crypto/"))
+      check_crypto_include(rel, text, v);
+  }
+
+  int report() {
+    std::sort(findings_.begin(), findings_.end());
+    for (const Finding& f : findings_) {
+      std::printf("%s:%zu: %s: %s\n", f.path.c_str(), f.line,
+                  f.rule.c_str(), f.message.c_str());
+    }
+    if (io_error_) return 2;
+    return findings_.empty() ? 0 : 1;
+  }
+
+ private:
+  void add(const std::string& rel, const std::string& text, std::size_t pos,
+           const Rule& rule, const std::string& detail = "") {
+    if (allow_.count(rel + ":" + rule.id)) return;
+    const std::size_t line = line_of(text, pos);
+    if (inline_allowed(text, line, rule.id)) return;
+    std::string message = rule.message;
+    if (!detail.empty()) message += " [" + detail + "]";
+    findings_.push_back({rel, line, rule.id, std::move(message)});
+  }
+
+  /// `// secmem-lint: allow(rule-id)` anywhere on the finding's line.
+  static bool inline_allowed(const std::string& text, std::size_t line,
+                             std::string_view rule) {
+    std::size_t start = 0;
+    for (std::size_t n = 1; n < line; ++n) {
+      start = text.find('\n', start);
+      if (start == std::string::npos) return false;
+      ++start;
+    }
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view l(text.data() + start, end - start);
+    const std::size_t tag = l.find("secmem-lint:");
+    if (tag == std::string_view::npos) return false;
+    const std::string want = "allow(" + std::string(rule) + ")";
+    return l.find(want, tag) != std::string_view::npos;
+  }
+
+  void check_ct_compare(const std::string& rel, const std::string& text,
+                        const Views& v) {
+    for (const char* name : {"memcmp", "bcmp"}) {
+      for (const std::size_t pos : find_idents(v.code, name))
+        add(rel, text, pos, kCtCompare, name);
+    }
+    for (const std::size_t pos : find_idents(v.code, "equal")) {
+      if (std_qualified(v.code, pos)) add(rel, text, pos, kCtCompare, "std::equal");
+    }
+  }
+
+  void check_raw_mutex(const std::string& rel, const std::string& text,
+                       const Views& v) {
+    for (const char* name :
+         {"mutex", "recursive_mutex", "timed_mutex",
+          "recursive_timed_mutex", "shared_mutex", "shared_timed_mutex"}) {
+      for (const std::size_t pos : find_idents(v.code, name)) {
+        if (std_qualified(v.code, pos))
+          add(rel, text, pos, kRawMutex, std::string("std::") + name);
+      }
+    }
+  }
+
+  void check_sim_rand(const std::string& rel, const std::string& text,
+                      const Views& v) {
+    for (const char* name :
+         {"rand", "srand", "rand_r", "drand48", "random_device", "mt19937",
+          "mt19937_64", "minstd_rand", "minstd_rand0",
+          "default_random_engine", "knuth_b"}) {
+      for (const std::size_t pos : find_idents(v.code, name))
+        add(rel, text, pos, kSimRand, name);
+    }
+  }
+
+  void check_stat_name(const std::string& rel, const std::string& text,
+                       const Views& v) {
+    for (const char* method : {"counter", "scalar", "histogram"}) {
+      for (const std::size_t pos : find_idents(v.code, method)) {
+        // Match a call whose first argument is a string literal:
+        //   counter ( "name...
+        std::size_t p = pos + std::string_view(method).size();
+        while (p < v.code.size() &&
+               std::isspace(static_cast<unsigned char>(v.code[p])))
+          ++p;
+        if (p >= v.code.size() || v.code[p] != '(') continue;
+        ++p;
+        // Skip whitespace in the strings-kept view: in `code` the literal
+        // itself is blanked to spaces and would be skipped right over.
+        while (p < v.code_strings.size() &&
+               std::isspace(static_cast<unsigned char>(v.code_strings[p])))
+          ++p;
+        if (p >= v.code_strings.size() || v.code_strings[p] != '"') continue;
+        std::string name;
+        for (std::size_t q = p + 1;
+             q < v.code_strings.size() && v.code_strings[q] != '"'; ++q) {
+          if (v.code_strings[q] == '\\') break;  // escapes: give up, skip
+          name += v.code_strings[q];
+        }
+        const std::string head = name.substr(0, name.find('.'));
+        if (kStatNamespaces.count(head) == 0)
+          add(rel, text, p, kStatName,
+              "\"" + name + "\" via " + method + "()");
+      }
+    }
+  }
+
+  void check_crypto_include(const std::string& rel, const std::string& text,
+                            const Views& v) {
+    std::size_t pos = 0;
+    const std::string& code = v.code_strings;
+    while ((pos = code.find("#", pos)) != std::string::npos) {
+      std::size_t p = pos + 1;
+      while (p < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[p])) &&
+             code[p] != '\n')
+        ++p;
+      if (code.compare(p, 7, "include") != 0) {
+        ++pos;
+        continue;
+      }
+      std::size_t end = code.find('\n', p);
+      if (end == std::string::npos) end = code.size();
+      const std::string target = code.substr(p + 7, end - p - 7);
+      for (const char* banned :
+           {"immintrin", "wmmintrin", "x86intrin", "emmintrin", "tmmintrin",
+            "smmintrin", "nmmintrin", "arm_neon", "_ni.", "gf64_clmul"}) {
+        if (target.find(banned) != std::string::npos) {
+          add(rel, text, pos, kCryptoInclude, banned);
+          break;
+        }
+      }
+      pos = end;
+    }
+  }
+
+  fs::path root_;
+  std::set<std::string> allow_;
+  std::vector<Finding> findings_;
+  bool io_error_ = false;
+};
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: secmem-lint [--root DIR] [--allowlist FILE] [path...]\n"
+      "  Lints src/, tools/, bench/ under --root (default: cwd), or the\n"
+      "  given files/directories. Paths outside the rule scopes lint\n"
+      "  clean by construction.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  fs::path allowlist;
+  std::vector<fs::path> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  std::error_code ec;
+  root = fs::canonical(root, ec);
+  if (ec) {
+    std::fprintf(stderr, "secmem-lint: bad --root: %s\n",
+                 ec.message().c_str());
+    return 2;
+  }
+
+  Linter linter(root);
+  if (!allowlist.empty() && !linter.load_allowlist(allowlist)) {
+    std::fprintf(stderr, "secmem-lint: cannot read allowlist %s\n",
+                 allowlist.string().c_str());
+    return 2;
+  }
+
+  if (paths.empty())
+    for (const char* dir : {"src", "tools", "bench"})
+      if (fs::is_directory(root / dir)) paths.emplace_back(root / dir);
+
+  for (const fs::path& p : paths) {
+    if (fs::is_directory(p)) {
+      for (auto it = fs::recursive_directory_iterator(p);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() && lintable(it->path()))
+          linter.lint_file(it->path());
+      }
+    } else if (fs::is_regular_file(p)) {
+      linter.lint_file(p);
+    } else {
+      std::fprintf(stderr, "secmem-lint: no such path: %s\n",
+                   p.string().c_str());
+      return 2;
+    }
+  }
+  return linter.report();
+}
