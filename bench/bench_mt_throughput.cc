@@ -14,6 +14,11 @@
 // lines verify by compare). This isolates the tree-walk cost the cache
 // removes, the functional analog of the paper's metadata-cache argument.
 //
+// A final 95/5 read-mostly phase compares the sharded engine's seqlock
+// shared-read fast path against the same engine constructed with
+// SECMEM_SEQLOCK=0 (every read on the exclusive side, the pre-seqlock
+// behavior) — what reader/writer locking buys when readers dominate.
+//
 //   bench_mt_throughput [--mib N] [--shards N] [--reads-per-thread N]
 //                       [--hot-mib N] [--hot-blocks N] [--hot-reads N]
 //                       [--out FILE]
@@ -61,6 +66,38 @@ double timed_reads(Engine& engine, unsigned threads,
       for (std::uint64_t i = 0; i < reads_per_thread; ++i) {
         const auto result = engine.read_block(rng.next_below(blocks));
         if (result.status != ReadStatus::kOk) ++bad;
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+/// Read-mostly 95/5 mix — the seqlock fast path's target scenario: 95%
+/// verified single-block reads (shared lock side) with a 5% sprinkle of
+/// writes so shard generations keep moving and the exclusive side stays
+/// exercised. Reads check status only; concurrent writers make content
+/// nondeterministic by design.
+template <typename Engine>
+double timed_mixed(Engine& engine, unsigned threads,
+                   std::uint64_t ops_per_thread, std::atomic<int>& bad) {
+  const std::uint64_t blocks = engine.num_blocks();
+  std::vector<std::thread> workers;
+  const auto start = std::chrono::steady_clock::now();
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&engine, &bad, blocks, ops_per_thread, t] {
+      Xoshiro256 rng(0x95f5 + t);
+      DataBlock block{};
+      for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
+        if (i % 20 == 19) {
+          block[0] = static_cast<std::uint8_t>(i);
+          engine.write_block(rng.next_below(blocks), block);
+        } else {
+          const auto result = engine.read_block(rng.next_below(blocks));
+          if (result.status != ReadStatus::kOk) ++bad;
+        }
       }
     });
   }
@@ -185,15 +222,28 @@ int main(int argc, char** argv) {
   config.size_bytes = mib << 20;
   std::optional<ConcurrentSecureMemory> single_mem;
   std::optional<ShardedSecureMemory> sharded_mem;
+  std::optional<ShardedSecureMemory> sharded_excl_mem;
   try {
     single_mem.emplace(config);
     sharded_mem.emplace(config, shards);
+    // Exclusive-lock baseline for the 95/5 phase: identical engine, but
+    // constructed with the seqlock kill switch thrown, so every read
+    // takes the writer lock — the pre-seqlock behavior.
+    const char* prev = std::getenv("SECMEM_SEQLOCK");
+    const std::string saved = prev ? prev : "";
+    setenv("SECMEM_SEQLOCK", "0", 1);
+    sharded_excl_mem.emplace(config, shards);
+    if (prev)
+      setenv("SECMEM_SEQLOCK", saved.c_str(), 1);
+    else
+      unsetenv("SECMEM_SEQLOCK");
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
   ConcurrentSecureMemory& single = *single_mem;
   ShardedSecureMemory& sharded = *sharded_mem;
+  ShardedSecureMemory& sharded_excl = *sharded_excl_mem;
 
   // Touch a spread of blocks so reads hit written (non-zero) lines too.
   Xoshiro256 rng(7);
@@ -203,6 +253,7 @@ int main(int argc, char** argv) {
     const std::uint64_t target = rng.next_below(single.num_blocks());
     single.write_block(target, block);
     sharded.write_block(target, block);
+    sharded_excl.write_block(target, block);
   }
 
   std::vector<Sample> samples;
@@ -260,6 +311,23 @@ int main(int argc, char** argv) {
                  "(%.2fx) | batch %.0f ops/s (%.2fx)\n",
                  threads, total / base_s, total / shard_s,
                  base_s / shard_s, total / batch_s, base_s / batch_s);
+  }
+
+  // Phase 2: the 95/5 read-mostly mix, seqlock shared reads vs the
+  // exclusive-lock baseline on the SAME sharded geometry.
+  for (const unsigned threads : thread_counts) {
+    const std::uint64_t total = threads * reads_per_thread;
+    const double excl_s =
+        timed_mixed(sharded_excl, threads, reads_per_thread, bad);
+    samples.push_back(
+        {"mixed95-exclusive", threads, total, excl_s, total / excl_s});
+    const double seq_s = timed_mixed(sharded, threads, reads_per_thread, bad);
+    samples.push_back(
+        {"mixed95-seqlock", threads, total, seq_s, total / seq_s});
+    std::fprintf(stderr,
+                 "95/5 mix, %u thread(s): exclusive %.0f ops/s | "
+                 "seqlock %.0f ops/s (%.2fx)\n",
+                 threads, total / excl_s, total / seq_s, excl_s / seq_s);
   }
   if (bad.load() != 0) {
     std::fprintf(stderr, "FAIL: %d reads did not verify\n", bad.load());

@@ -34,6 +34,12 @@ echo "=== tier 1: eager tree walks (SECMEM_TREE_CACHE=0) ==="
 # above covers the cached path).
 SECMEM_TREE_CACHE=0 ctest --preset default -j "$(nproc)"
 
+echo "=== tier 1: exclusive-only locking (SECMEM_SEQLOCK=0) ==="
+# Same binaries with the seqlock shared-read fast path kill-switched:
+# every verified read takes the exclusive lock, the pre-seqlock
+# behavior (the default run above covers the shared/optimistic paths).
+SECMEM_SEQLOCK=0 ctest --preset default -j "$(nproc)"
+
 if [ "$fast" -eq 0 ]; then
   echo "=== ASan + UBSan ==="
   ASAN_OPTIONS="halt_on_error=1:abort_on_error=1" \

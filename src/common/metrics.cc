@@ -29,6 +29,12 @@ const char* metric_name(MetricId id) noexcept {
     case MetricId::kTreeCacheFills: return "tree_cache.fills";
     case MetricId::kTreeCacheWritebacks: return "tree_cache.writebacks";
     case MetricId::kTreeCacheFlushes: return "tree_cache.flushes";
+    case MetricId::kTreeCacheProbeHits: return "tree_cache.probe_hits";
+    case MetricId::kTreeCacheProbeMisses: return "tree_cache.probe_misses";
+    case MetricId::kSharedReads: return "shared_reads";
+    case MetricId::kSharedReadDeclines: return "shared_read_declines";
+    case MetricId::kRotateRollbackFailures:
+      return "rotate_rollback_failures";
     case MetricId::kCount_: break;
   }
   return "?";

@@ -57,6 +57,11 @@ enum class MetricId : unsigned {
   kTreeCacheFills,       ///< nodes installed into the verified frontier
   kTreeCacheWritebacks,  ///< dirty nodes written back (evict or flush)
   kTreeCacheFlushes,     ///< explicit flush barriers
+  kTreeCacheProbeHits,   ///< read-side probes answered by a resident line
+  kTreeCacheProbeMisses, ///< read-side probes that walked to the root
+  kSharedReads,          ///< reads served on the seqlock shared fast path
+  kSharedReadDeclines,   ///< shared-path reads bounced to the writer lock
+  kRotateRollbackFailures,  ///< failed rollback of a failed key rotation
   kCount_,               ///< sentinel
 };
 inline constexpr std::size_t kMetricCount =

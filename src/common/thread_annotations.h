@@ -25,6 +25,8 @@
 // with a comment saying why, and keep them covered by the TSan preset.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <shared_mutex>
 
@@ -172,6 +174,102 @@ class SECMEM_SCOPED_CAPABILITY WriterMutexLock {
 
  private:
   SharedMutex& mu_;
+};
+
+/// Capability-annotated seqlock: a reader/writer mutex plus a published
+/// generation counter. This is the read-mostly tier of the lock
+/// vocabulary (engine/sharded_memory.h): readers take the shared side
+/// (so every data access is lock-synchronized — no racy textbook-seqlock
+/// reads, TSan- and standards-clean), writers take the exclusive side,
+/// and the generation gives lock-free *observers* a way to detect
+/// writer activity without touching the mutex at all:
+///
+///  - generation() is odd while a writer holds the lock (bumped to odd
+///    on acquire, even on release), so write_in_progress(g) is `g & 1`.
+///  - Two equal, even generations bracket a span with no completed or
+///    in-flight write — the optimistic-snapshot validation the
+///    cross-shard read path uses: snapshot each shard's generation,
+///    read shard by shard under short shared locks, and accept iff
+///    every generation is unchanged (retry otherwise).
+///
+/// Satisfies BasicLockable on its exclusive side, so the ordered
+/// multi-lock machinery (std::unique_lock via engine/lock_table.h)
+/// bumps generations exactly like a SeqWriteLock does.
+class SECMEM_CAPABILITY("seqlock") SeqLock {
+ public:
+  SeqLock() = default;
+  SeqLock(const SeqLock&) = delete;
+  SeqLock& operator=(const SeqLock&) = delete;
+
+  void lock() SECMEM_ACQUIRE() {
+    mu_.lock();
+    bump();  // odd: write in progress
+  }
+  void unlock() SECMEM_RELEASE() {
+    bump();  // even: quiescent
+    mu_.unlock();
+  }
+  bool try_lock() SECMEM_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    bump();
+    return true;
+  }
+  void lock_shared() SECMEM_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() SECMEM_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() SECMEM_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+  /// Lock-free probe of writer activity; pairs with the release store in
+  /// bump() so a reader that sees generation G also sees every write the
+  /// G-bumping writer made before publishing G.
+  std::uint64_t generation() const noexcept {
+    return gen_.load(std::memory_order_acquire);
+  }
+  static bool write_in_progress(std::uint64_t generation) noexcept {
+    return (generation & 1) != 0;
+  }
+
+ private:
+  void bump() noexcept {
+    // Only ever called with the exclusive side held, so the load cannot
+    // race another bump; the release publishes the writer's mutations.
+    gen_.store(gen_.load(std::memory_order_relaxed) + 1,
+               std::memory_order_release);
+  }
+
+  std::shared_mutex mu_;
+  std::atomic<std::uint64_t> gen_{0};
+};
+
+/// RAII shared (reader) lock over a SeqLock — the checked fast path for
+/// read-mostly data.
+class SECMEM_SCOPED_CAPABILITY SeqReadLock {
+ public:
+  explicit SeqReadLock(SeqLock& mu) SECMEM_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~SeqReadLock() SECMEM_RELEASE() { mu_.unlock_shared(); }
+  SeqReadLock(const SeqReadLock&) = delete;
+  SeqReadLock& operator=(const SeqReadLock&) = delete;
+
+ private:
+  SeqLock& mu_;
+};
+
+/// RAII exclusive (writer) lock over a SeqLock; bumps the generation on
+/// both edges via SeqLock::lock()/unlock().
+class SECMEM_SCOPED_CAPABILITY SeqWriteLock {
+ public:
+  explicit SeqWriteLock(SeqLock& mu) SECMEM_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~SeqWriteLock() SECMEM_RELEASE() { mu_.unlock(); }
+  SeqWriteLock(const SeqWriteLock&) = delete;
+  SeqWriteLock& operator=(const SeqWriteLock&) = delete;
+
+ private:
+  SeqLock& mu_;
 };
 
 }  // namespace secmem

@@ -4,11 +4,12 @@
 // Locking discipline (machine-checked where clang's Thread Safety
 // Analysis can reach, TSan-covered everywhere):
 //
-//  - Every shard's state is SECMEM_GUARDED_BY its own secmem::Mutex
-//    (engine/sharded_memory.h keeps the mutex *inside* the Shard struct so
+//  - Every shard's state is SECMEM_GUARDED_BY its own secmem::SeqLock
+//    (engine/sharded_memory.h keeps the lock *inside* the Shard struct so
 //    the analysis can unify "this shard's lock" with "this shard's
-//    engine"); single-shard operations take a MutexLock and are fully
-//    statically checked.
+//    engine"); single-shard operations take a SeqWriteLock (or a
+//    SeqReadLock on the const read fast path) and are fully statically
+//    checked.
 //
 //  - Operations that span shards (cross-shard byte ranges) acquire their
 //    runtime-selected set of locks through lock_in_order() below: strictly
@@ -22,7 +23,6 @@
 #include <cassert>
 #include <cstddef>
 #include <mutex>
-#include <span>
 #include <vector>
 
 #include "common/thread_annotations.h"
@@ -34,11 +34,17 @@ namespace secmem {
 /// pass the sorted output of a shards_in_range-style routing computation.
 /// The returned guards release in reverse order on destruction.
 ///
+/// Works for any exclusive capability lock (secmem::Mutex, or
+/// secmem::SeqLock — whose lock()/unlock() also bump the generation, so
+/// ordered multi-shard writers invalidate optimistic readers exactly
+/// like single-shard SeqWriteLock writers do).
+///
 /// Invisible to thread-safety analysis (the lock set is runtime data);
 /// callers must be SECMEM_NO_THREAD_SAFETY_ANALYSIS.
-inline std::vector<std::unique_lock<Mutex>> lock_in_order(
-    std::span<Mutex* const> mutexes) {
-  std::vector<std::unique_lock<Mutex>> held;
+template <typename LockT>
+inline std::vector<std::unique_lock<LockT>> lock_in_order(
+    const std::vector<LockT*>& mutexes) {
+  std::vector<std::unique_lock<LockT>> held;
   held.reserve(mutexes.size());
   for (std::size_t i = 0; i < mutexes.size(); ++i) {
     assert(mutexes[i] != nullptr);

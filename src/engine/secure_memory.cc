@@ -323,7 +323,7 @@ ReadResult SecureMemory::read_block(std::uint64_t block) {
 }
 
 void SecureMemory::account_read(const ReadResult& result,
-                                std::uint64_t block) noexcept {
+                                std::uint64_t block) const noexcept {
   metrics_.add(MetricId::kReads);
   if (result.mac_evaluations != 0) {
     metrics_.add(MetricId::kMacEvaluations, result.mac_evaluations);
@@ -349,6 +349,161 @@ void SecureMemory::account_read(const ReadResult& result,
       break;
   }
   trace(TraceEvent::Kind::kRead, result.status, block);
+}
+
+namespace {
+/// Every Nth non-resident shared read declines to the exclusive path so
+/// verify() can install the line into the verified frontier. 8 keeps the
+/// steady state overwhelmingly shared while still warming a shifting
+/// working set within a few touches per line.
+constexpr std::uint64_t kSharedProbePulse = 8;
+}  // namespace
+
+std::optional<ReadResult> SecureMemory::read_block_shared(std::uint64_t block,
+                                                          bool account) const {
+  if (block >= layout_.num_blocks())
+    throw std::out_of_range("SecureMemory::read_block_shared: block " +
+                            std::to_string(block) + " out of range");
+  const OpTimer timer(config_.time_ops, metrics_,
+                      EngineHistId::kReadLatencyNs);
+  ReadResult result{ReadStatus::kOk, {}, 0};
+
+  // 1. Authenticate the stored counter line through the read-side probe
+  // (no fills, no LRU reordering — see VerifiedTreeCache::probe).
+  const std::uint64_t line = scheme_->storage_line_of(block);
+  bool resident = false;
+  const bool line_ok = tree_cache_.probe(
+      line,
+      BonsaiTree::LineView(counter_store_.data() + line * 64, 64),
+      resident);
+  if (!resident &&
+      shared_cold_reads_.fetch_add(1, std::memory_order_relaxed) %
+              kSharedProbePulse ==
+          kSharedProbePulse - 1) {
+    // Promotion pulse: bounce to the exclusive path, whose verify() may
+    // install the line. Nothing is accounted — the caller's retry does
+    // the read (and the books) for real.
+    metrics_.add(MetricId::kSharedReadDeclines);
+    return std::nullopt;
+  }
+  if (!line_ok) {
+    result.status = ReadStatus::kCounterTampered;
+    metrics_.add(MetricId::kSharedReads);
+    if (account) account_read(result, block);
+    return result;
+  }
+
+  // 2..4: identical to read_block() — every step below is const.
+  const std::uint64_t counter = scheme_->read_counter(block);
+  const std::uint64_t addr = layout_.block_addr(block);
+  DataBlock ct = ciphertext_[block];
+
+  if (config_.mac_placement == MacPlacement::kEccLane) {
+    const auto unpacked = mac_ecc_.unpack_lane(lanes_[block]);
+    if (unpacked.status == MacEccCodec::MacStatus::kUncorrectable) {
+      result.status = ReadStatus::kIntegrityViolation;
+    } else {
+      const std::uint64_t tag = unpacked.mac;
+      const bool corrected_mac =
+          unpacked.status == MacEccCodec::MacStatus::kCorrectedSingle;
+      const std::uint64_t pad = mac_.pad_for(addr, counter);
+      if (!mac_.verify_with_pad(pad, ct, tag)) {
+        const CorrectionResult fix =
+            corrector_.correct_incremental(ct, mac_, pad, tag);
+        result.mac_evaluations = fix.mac_evaluations;
+        if (fix.status == CorrectionStatus::kUncorrectable) {
+          result.status = ReadStatus::kIntegrityViolation;
+        } else {
+          ct = fix.data;
+          result.status = ReadStatus::kCorrectedData;
+        }
+      } else if (corrected_mac) {
+        result.status = ReadStatus::kCorrectedMacField;
+      }
+    }
+  } else {
+    const auto decoded = secded_.decode(ct, lanes_[block]);
+    if (decoded.any_uncorrectable) {
+      result.status = ReadStatus::kIntegrityViolation;
+    } else {
+      ct = decoded.data;
+      if (!mac_.verify(addr, counter, ct, macs_[block])) {
+        result.status = ReadStatus::kIntegrityViolation;
+      } else if (decoded.any_corrected) {
+        result.status = ReadStatus::kCorrectedWord;
+      }
+    }
+  }
+
+  if (status_ok(result.status)) {
+    keystream_.crypt(addr, counter, ct);
+    result.data = ct;
+  }
+  metrics_.add(MetricId::kSharedReads);
+  if (account) account_read(result, block);
+  return result;
+}
+
+void SecureMemory::read_blocks_shared(std::span<const std::uint64_t> blocks,
+                                      std::span<ReadResult> results,
+                                      std::vector<std::uint32_t>& declined)
+    const {
+  assert(results.size() == blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (const auto r = read_block_shared(blocks[i])) {
+      results[i] = *r;
+    } else {
+      declined.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+}
+
+std::optional<Status> SecureMemory::read_bytes_shared(
+    std::uint64_t addr, std::span<std::uint8_t> out) const {
+  if (addr > config_.size_bytes || out.size() > config_.size_bytes - addr)
+    throw std::out_of_range(
+        "SecureMemory::read_bytes_shared: range exceeds region");
+
+  // Gather first, account after: a decline must leave zero footprint so
+  // the exclusive retry's books match a single read_bytes() call.
+  struct Pending {
+    std::uint64_t block;
+    ReadResult result;
+  };
+  std::vector<Pending> pending;
+  Status folded = Status::kOk;
+  std::uint64_t pos = addr;
+  std::size_t done = 0;
+  bool failed = false;
+  std::uint64_t failed_block = 0;
+  while (done < out.size()) {
+    const std::uint64_t block = pos / 64;
+    const std::size_t offset = pos % 64;
+    const std::size_t chunk =
+        std::min<std::size_t>(64 - offset, out.size() - done);
+    const auto r = read_block_shared(block, /*account=*/false);
+    if (!r) return std::nullopt;
+    pending.push_back({block, *r});
+    folded = worse(folded, r->status);
+    if (!status_ok(r->status)) {
+      failed = true;
+      failed_block = block;
+      break;
+    }
+    std::memcpy(out.data() + done, r->data.data() + offset, chunk);
+    pos += chunk;
+    done += chunk;
+  }
+
+  metrics_.add(MetricId::kByteReads);
+  metrics_.sample(EngineHistId::kByteReadBytes, out.size());
+  for (const Pending& p : pending) account_read(p.result, p.block);
+  if (failed) {
+    trace(TraceEvent::Kind::kByteRead, folded, failed_block);
+    return folded;
+  }
+  trace(TraceEvent::Kind::kByteRead, folded, addr / 64);
+  return folded;
 }
 
 std::vector<ReadResult> SecureMemory::read_blocks(
@@ -602,69 +757,76 @@ void SecureMemory::save(std::ostream& out) {
   }
 }
 
-bool SecureMemory::restore(std::istream& in) {
-  auto fail = [this] {
-    // Leave the region in a valid, freshly-zeroed state. The cache is
-    // dropped without write-back: it describes the pre-restore tree,
-    // which is being discarded either way.
-    scheme_ = make_scheme(config_);
-    tree_ =
-        BonsaiTree(layout_.tree(), derive_keys(config_.master_key).tree_key);
-    tree_cache_.invalidate_all();
-    reset_all_blocks({}, 0);
-    trace(TraceEvent::Kind::kRestore, Status::kIntegrityViolation, 0);
-    return false;
-  };
+std::optional<SecureMemory::StagedRestore> SecureMemory::stage_restore(
+    std::istream& in) const {
+  return stage_restore(in, config_.master_key);
+}
 
+std::optional<SecureMemory::StagedRestore> SecureMemory::stage_restore(
+    std::istream& in, std::uint64_t master_key) const {
   char magic[8] = {};
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kImageMagic, sizeof(magic)) != 0)
-    return fail();
-  if (read_u64(in) != config_.size_bytes) return fail();
+    return std::nullopt;
+  if (read_u64(in) != config_.size_bytes) return std::nullopt;
   if (read_u64(in) != static_cast<std::uint64_t>(config_.scheme))
-    return fail();
+    return std::nullopt;
   if (read_u64(in) != static_cast<std::uint64_t>(config_.mac_placement))
-    return fail();
-  if (read_u64(in) != config_.generic_delta_bits) return fail();
+    return std::nullopt;
+  if (read_u64(in) != config_.generic_delta_bits) return std::nullopt;
 
-  // Read the off-chip image.
-  std::vector<DataBlock> ciphertext(layout_.num_blocks());
-  std::vector<EccLane> lanes(layout_.num_blocks());
-  std::vector<std::uint64_t> macs(macs_.size());
-  std::vector<std::uint8_t> counter_store(counter_store_.size());
-  for (DataBlock& ct : ciphertext)
+  // Read the off-chip image into staging storage — engine state is not
+  // touched anywhere in this function.
+  StagedRestore staged{
+      master_key,
+      std::vector<DataBlock>(layout_.num_blocks()),
+      std::vector<EccLane>(layout_.num_blocks()),
+      std::vector<std::uint64_t>(macs_.size()),
+      std::vector<std::uint8_t>(counter_store_.size()),
+      BonsaiTree(layout_.tree(), derive_keys(master_key).tree_key)};
+  for (DataBlock& ct : staged.ciphertext)
     in.read(reinterpret_cast<char*>(ct.data()), 64);
-  for (EccLane& lane : lanes)
+  for (EccLane& lane : staged.lanes)
     in.read(reinterpret_cast<char*>(lane.data()), 8);
-  for (std::uint64_t& mac : macs) mac = read_u64(in);
-  in.read(reinterpret_cast<char*>(counter_store.data()),
-          static_cast<std::streamsize>(counter_store.size()));
-  if (!in) return fail();
+  for (std::uint64_t& mac : staged.macs) mac = read_u64(in);
+  in.read(reinterpret_cast<char*>(staged.counter_store.data()),
+          static_cast<std::streamsize>(staged.counter_store.size()));
+  if (!in) return std::nullopt;
 
   // Rebuild the tree from the image's counter lines and check its root
   // level against the sealed snapshot — offline counter tamper dies here.
-  BonsaiTree rebuilt(layout_.tree(),
-                     derive_keys(config_.master_key).tree_key);
   for (std::uint64_t line = 0; line < layout_.num_counter_lines(); ++line) {
-    rebuilt.update_leaf(
-        line, BonsaiTree::LineView(counter_store.data() + line * 64, 64));
+    staged.tree.update_leaf(
+        line,
+        BonsaiTree::LineView(staged.counter_store.data() + line * 64, 64));
   }
   const unsigned top = layout_.tree().total_levels() - 1;
   for (std::uint64_t node = 0; node < layout_.tree().nodes_at[top];
        ++node) {
     std::array<std::uint8_t, 64> sealed{};
     in.read(reinterpret_cast<char*>(sealed.data()), 64);
-    const auto computed = rebuilt.read_node(top, node);
+    const auto computed = staged.tree.read_node(top, node);
     if (!in || !ct_equal(computed.data(), sealed.data(), sealed.size()))
-      return fail();
+      return std::nullopt;
   }
+  return staged;
+}
 
-  // Commit: adopt the image.
-  ciphertext_ = std::move(ciphertext);
-  lanes_ = std::move(lanes);
-  macs_ = std::move(macs);
-  counter_store_ = std::move(counter_store);
-  tree_ = std::move(rebuilt);
+void SecureMemory::commit_restore(StagedRestore&& staged) {
+  if (staged.master_key != config_.master_key) {
+    // The image was staged under a different master (a shard stranded
+    // mid-rotation being recovered): adopt it and re-derive the working
+    // keys the ciphertext/MACs/tree in the image were produced with.
+    config_.master_key = staged.master_key;
+    const DerivedKeys keys = derive_keys(staged.master_key);
+    keystream_ = CtrKeystream(keys.data_key);
+    mac_ = CwMac(keys.mac_key);
+  }
+  ciphertext_ = std::move(staged.ciphertext);
+  lanes_ = std::move(staged.lanes);
+  macs_ = std::move(staged.macs);
+  counter_store_ = std::move(staged.counter_store);
+  tree_ = std::move(staged.tree);
   tree_cache_.invalidate_all();  // cached state described the old tree
   for (std::uint64_t line = 0; line < layout_.num_counter_lines(); ++line) {
     scheme_->deserialize_line(
@@ -675,6 +837,23 @@ bool SecureMemory::restore(std::istream& in) {
     shadow_ctr_[b] = scheme_->read_counter(b);
   metrics_.add(MetricId::kRestores);
   trace(TraceEvent::Kind::kRestore, Status::kOk, 0);
+}
+
+bool SecureMemory::restore(std::istream& in) {
+  std::optional<StagedRestore> staged = stage_restore(in);
+  if (!staged) {
+    // Leave the region in a valid, freshly-zeroed state. The cache is
+    // dropped without write-back: it describes the pre-restore tree,
+    // which is being discarded either way.
+    scheme_ = make_scheme(config_);
+    tree_ =
+        BonsaiTree(layout_.tree(), derive_keys(config_.master_key).tree_key);
+    tree_cache_.invalidate_all();
+    reset_all_blocks({}, 0);
+    trace(TraceEvent::Kind::kRestore, Status::kIntegrityViolation, 0);
+    return false;
+  }
+  commit_restore(std::move(*staged));
   return true;
 }
 

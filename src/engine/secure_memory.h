@@ -21,9 +21,11 @@
 // post-mortem analysis of integrity violations.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -109,6 +111,51 @@ class SecureMemory : public SecureMemoryLike {
       std::span<const std::uint64_t> blocks) override;
   void write_blocks(std::span<const BlockWrite> writes) override;
 
+  /// ------------------------------------------------------------------
+  /// Shared (const) read fast path — the seqlock tier's workhorse.
+  /// ------------------------------------------------------------------
+  /// A verified read identical in verdict and plaintext to read_block(),
+  /// but const: counter authentication goes through the tree cache's
+  /// read-side probe() (no fills, no LRU reordering beyond the relaxed
+  /// touch), and the only engine state touched is the relaxed-atomic
+  /// metrics cell. Concurrency facades call this under a SHARED shard
+  /// lock, so any number of readers proceed in parallel.
+  ///
+  /// Returns nullopt when the read *declines*: the counter line was not
+  /// resident and the promotion pulse elected to bounce this read to the
+  /// exclusive path, where read_block()'s verify() can install the line
+  /// into the verified frontier (a shared reader must not mutate the
+  /// cache, so without the pulse a cold line would walk to the root
+  /// forever). Callers retry declined blocks under the exclusive lock.
+  ///
+  /// `account` false defers metrics/trace to an explicit account_read()
+  /// call — the cross-shard byte-read path validates a whole optimistic
+  /// snapshot before committing any accounting, so retries don't
+  /// double-count.
+  [[nodiscard]] std::optional<ReadResult> read_block_shared(
+      std::uint64_t block, bool account = true) const;
+
+  /// Batch read_block_shared over `blocks` into `results` (same size).
+  /// Indices that declined are appended to `declined` and their result
+  /// slot is untouched — callers re-read those under the exclusive lock.
+  void read_blocks_shared(std::span<const std::uint64_t> blocks,
+                          std::span<ReadResult> results,
+                          std::vector<std::uint32_t>& declined) const;
+
+  /// Whole-range shared read with read_bytes() semantics (same statuses,
+  /// same partial-output behavior on failure). nullopt when any block
+  /// declines — in that case NOTHING has been accounted, so the caller's
+  /// exclusive read_bytes() retry keeps the books identical to a single
+  /// call. All metrics/trace commit only once the attempt stands.
+  [[nodiscard]] std::optional<Status> read_bytes_shared(
+      std::uint64_t addr, std::span<std::uint8_t> out) const;
+
+  /// Metrics/trace bookkeeping for one read outcome. Public and const so
+  /// facades running deferred-accounting shared reads (account=false)
+  /// can commit the books once the whole operation is known to stick.
+  void account_read(const ReadResult& result, std::uint64_t block)
+      const noexcept;
+
   /// Byte-level API; see SecureMemoryLike for the Status contract.
   /// `write_bytes` is all-or-nothing: the partial blocks at the edges of
   /// the range (the only blocks whose old contents must still verify) are
@@ -166,6 +213,35 @@ class SecureMemory : public SecureMemoryLike {
   /// returns false.
   void save(std::ostream& out) override;
   [[nodiscard]] bool restore(std::istream& in) override;
+
+  /// Two-phase restore, for facades that need all-or-nothing semantics
+  /// across several engines (ShardedSecureMemory stages every shard's
+  /// image before committing any). stage_restore() parses and fully
+  /// validates an image — including the sealed-root check — without
+  /// touching engine state; nullopt means the image is unusable and the
+  /// region is EXACTLY as it was. commit_restore() adopts a staged image;
+  /// it cannot fail. restore() above is stage + commit under the current
+  /// master, plus the single-engine wipe-to-zeros policy on failure.
+  ///
+  /// `master_key` is the secret the image is interpreted under —
+  /// normally the engine's current one, but a caller that knows the
+  /// engine's key no longer matches the image (ShardedSecureMemory
+  /// recovering a shard stranded on a half-rotated key) passes the
+  /// master the image was saved with; commit then re-derives the
+  /// engine's working keys from it.
+  struct StagedRestore {
+    std::uint64_t master_key;  ///< master the image decodes under
+    std::vector<DataBlock> ciphertext;
+    std::vector<EccLane> lanes;
+    std::vector<std::uint64_t> macs;
+    std::vector<std::uint8_t> counter_store;
+    BonsaiTree tree;
+  };
+  [[nodiscard]] std::optional<StagedRestore> stage_restore(
+      std::istream& in) const;
+  [[nodiscard]] std::optional<StagedRestore> stage_restore(
+      std::istream& in, std::uint64_t master_key) const;
+  void commit_restore(StagedRestore&& staged);
 
   /// ------------------------------------------------------------------
   /// Observability.
@@ -278,13 +354,10 @@ class SecureMemory : public SecureMemoryLike {
   /// frontier — the single tree-read entry point for read_block and the
   /// batch paths.
   [[nodiscard]] bool verify_counter_line(std::uint64_t line);
-  /// Metrics/trace bookkeeping shared by read_block and the batch fast
-  /// path.
-  void account_read(const ReadResult& result, std::uint64_t block) noexcept;
   std::uint64_t data_mac(std::uint64_t block, std::uint64_t counter,
                          const DataBlock& ciphertext) const;
   void trace(TraceEvent::Kind kind, Status outcome,
-             std::uint64_t block) noexcept {
+             std::uint64_t block) const noexcept {
     if (trace_) trace_->record(kind, outcome, block, trace_shard_);
   }
 
@@ -306,7 +379,13 @@ class SecureMemory : public SecureMemoryLike {
   std::vector<std::uint64_t> macs_;          ///< separate-MAC mode
   std::vector<std::uint8_t> counter_store_;  ///< serialized counter lines
   std::vector<std::uint64_t> shadow_ctr_;    ///< current counter per block
-  MetricsCell metrics_;
+  /// Mutable: relaxed-atomic observability is written from the const
+  /// shared read path (the cell's own contract — see common/metrics.h).
+  mutable MetricsCell metrics_;
+  /// Promotion pulse for read_block_shared: a relaxed counter of
+  /// non-resident shared reads; every kSharedProbePulse-th one declines
+  /// so the exclusive retry warms the verified frontier.
+  mutable std::atomic<std::uint64_t> shared_cold_reads_{0};
   TraceRing* trace_ = nullptr;
   std::uint16_t trace_shard_ = 0;
 };

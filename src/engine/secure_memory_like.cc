@@ -1,5 +1,7 @@
 #include "engine/secure_memory_like.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #include "engine/concurrent.h"
@@ -95,6 +97,11 @@ bool parse_engine_kind(const std::string& text, EngineKind& out) noexcept {
     return false;
   }
   return true;
+}
+
+bool seqlock_reads_enabled() noexcept {
+  const char* env = std::getenv("SECMEM_SEQLOCK");
+  return env == nullptr || std::strcmp(env, "0") != 0;
 }
 
 std::unique_ptr<SecureMemoryLike> make_engine(const SecureMemoryConfig& config,

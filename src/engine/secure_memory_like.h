@@ -169,6 +169,13 @@ const char* engine_kind_name(EngineKind kind) noexcept;
 /// Parse "plain" | "concurrent" | "sharded"; false on anything else.
 bool parse_engine_kind(const std::string& text, EngineKind& out) noexcept;
 
+/// Kill switch for the concurrency facades' shared-lock read fast path:
+/// SECMEM_SEQLOCK=0 in the environment disables it (every read takes the
+/// exclusive lock, the pre-seqlock behavior); anything else — including
+/// unset — enables it. Sampled once at engine construction, like
+/// SECMEM_TREE_CACHE.
+bool seqlock_reads_enabled() noexcept;
+
 /// Instantiate an engine. `shards` only matters for kSharded (0 picks 8).
 std::unique_ptr<SecureMemoryLike> make_engine(
     const struct SecureMemoryConfig& config, EngineKind kind,

@@ -1,6 +1,7 @@
 #include "engine/sharded_memory.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <istream>
 #include <numeric>
@@ -53,6 +54,36 @@ std::uint64_t read_u64(std::istream& in) {
   return load_le64(buf);
 }
 
+/// Run fn(shard_index) for every shard on a bounded worker pool:
+/// min(shards, hardware_concurrency) threads draining an atomic cursor.
+/// The old one-thread-per-shard policy oversubscribed badly (a 64-shard
+/// region on a 4-core box spawned 64 threads that mostly context-switch);
+/// the cap keeps maintenance sweeps at hardware parallelism while the
+/// cursor still load-balances uneven shards.
+template <typename Fn>
+void parallel_over_shards(unsigned num_shards, Fn&& fn) {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;  // unknown topology: stay sequential
+  const unsigned workers = std::min(num_shards, hw);
+  if (workers <= 1) {
+    for (unsigned s = 0; s < num_shards; ++s) fn(s);
+    return;
+  }
+  std::atomic<unsigned> cursor{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&cursor, &fn, num_shards] {
+      for (unsigned s = cursor.fetch_add(1, std::memory_order_relaxed);
+           s < num_shards;
+           s = cursor.fetch_add(1, std::memory_order_relaxed)) {
+        fn(s);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
 }  // namespace
 
 ShardedSecureMemory::ShardedSecureMemory(const SecureMemoryConfig& config,
@@ -60,7 +91,8 @@ ShardedSecureMemory::ShardedSecureMemory(const SecureMemoryConfig& config,
     : config_(config),
       num_shards_(num_shards),
       granule_blocks_(routing_granule_blocks(config)),
-      num_blocks_(config.size_bytes / 64) {
+      num_blocks_(config.size_bytes / 64),
+      seqlock_reads_(seqlock_reads_enabled()) {
   if (num_shards == 0)
     throw std::invalid_argument("ShardedSecureMemory: need >= 1 shard");
   const std::uint64_t granule_bytes = granule_blocks_ * 64ULL;
@@ -95,36 +127,70 @@ ShardedSecureMemory::Route ShardedSecureMemory::route(
       (granule / num_shards_) * granule_blocks_ + block % granule_blocks_};
 }
 
+SecureMemory::ReadResult ShardedSecureMemory::poisoned_read()
+    const noexcept {
+  // Fail closed: a split-keyed region must not decrypt anything — half
+  // of it would be served under keys the caller meant to retire.
+  metrics_.add(MetricId::kIntegrityViolations);
+  return ReadResult{Status::kIntegrityViolation, {}, 0};
+}
+
+void ShardedSecureMemory::throw_if_poisoned(const char* op) const {
+  if (poisoned()) {
+    throw std::runtime_error(
+        std::string("ShardedSecureMemory::") + op +
+        ": region poisoned by a failed key-rotation rollback "
+        "(split-keyed shards); restore() a known-good image");
+  }
+}
+
 void ShardedSecureMemory::write_block(std::uint64_t block,
                                       const DataBlock& plaintext) {
   check_block(block);
+  throw_if_poisoned("write_block");
   const Route r = route(block);
   Shard& s = shards_[r.shard];
-  const MutexLock lock(s.mu);
+  const SeqWriteLock lock(s.mu);
   s.engine->write_block(r.local_block, plaintext);
 }
 
 SecureMemory::ReadResult ShardedSecureMemory::read_block(
     std::uint64_t block) {
   check_block(block);
+  if (poisoned()) return poisoned_read();
   const Route r = route(block);
   Shard& s = shards_[r.shard];
-  const MutexLock lock(s.mu);
+  if (seqlock_reads_) {
+    // Shared fast path: any number of readers verify in parallel under
+    // the shard's reader lock; nullopt is the promotion pulse declining
+    // (cold counter line) — fall through to the exclusive path, whose
+    // verify() installs the line into the verified frontier.
+    const SeqReadLock lock(s.mu);
+    if (const auto res = s.engine->read_block_shared(r.local_block))
+      return *res;
+  }
+  const SeqWriteLock lock(s.mu);
   return s.engine->read_block(r.local_block);
 }
 
 SecureMemory::ScrubStatus ShardedSecureMemory::scrub_block(
     std::uint64_t block, bool deep) {
   check_block(block);
+  throw_if_poisoned("scrub_block");
   const Route r = route(block);
   Shard& s = shards_[r.shard];
-  const MutexLock lock(s.mu);
+  const SeqWriteLock lock(s.mu);
   return s.engine->scrub_block(r.local_block, deep);
 }
 
 std::vector<SecureMemory::ReadResult> ShardedSecureMemory::read_blocks(
     std::span<const std::uint64_t> blocks) {
   for (const std::uint64_t block : blocks) check_block(block);
+  if (poisoned()) {
+    std::vector<SecureMemory::ReadResult> results(blocks.size());
+    for (auto& r : results) r = poisoned_read();
+    return results;
+  }
 
   // Visit requests grouped by shard so each shard lock is taken once per
   // batch; a stable sort keeps same-shard requests in caller order.
@@ -138,6 +204,8 @@ std::vector<SecureMemory::ReadResult> ShardedSecureMemory::read_blocks(
 
   std::vector<SecureMemory::ReadResult> results(blocks.size());
   std::vector<std::uint64_t> local_blocks;
+  std::vector<SecureMemory::ReadResult> shard_results;
+  std::vector<std::uint32_t> declined;
   std::size_t i = 0;
   while (i < order.size()) {
     const unsigned shard = shard_of_block(blocks[order[i]]);
@@ -148,8 +216,24 @@ std::vector<SecureMemory::ReadResult> ShardedSecureMemory::read_blocks(
       local_blocks.push_back(route(blocks[order[i]]).local_block);
     }
     Shard& s = shards_[shard];
-    const MutexLock lock(s.mu);
-    auto shard_results = s.engine->read_blocks(local_blocks);
+    if (seqlock_reads_) {
+      // Shared batch fast path; only the declined indices (cold counter
+      // lines bounced by the promotion pulse) pay the exclusive lock.
+      shard_results.assign(local_blocks.size(), {});
+      declined.clear();
+      {
+        const SeqReadLock lock(s.mu);
+        s.engine->read_blocks_shared(local_blocks, shard_results, declined);
+      }
+      if (!declined.empty()) {
+        const SeqWriteLock lock(s.mu);
+        for (const std::uint32_t d : declined)
+          shard_results[d] = s.engine->read_block(local_blocks[d]);
+      }
+    } else {
+      const SeqWriteLock lock(s.mu);
+      shard_results = s.engine->read_blocks(local_blocks);
+    }
     for (std::size_t k = 0; k < shard_results.size(); ++k)
       results[order[run_start + k]] = std::move(shard_results[k]);
   }
@@ -158,6 +242,7 @@ std::vector<SecureMemory::ReadResult> ShardedSecureMemory::read_blocks(
 
 void ShardedSecureMemory::write_blocks(std::span<const BlockWrite> writes) {
   for (const BlockWrite& w : writes) check_block(w.block);
+  throw_if_poisoned("write_blocks");
 
   std::vector<std::uint32_t> order(writes.size());
   std::iota(order.begin(), order.end(), 0);
@@ -179,7 +264,7 @@ void ShardedSecureMemory::write_blocks(std::span<const BlockWrite> writes) {
       local_writes.push_back({route(w.block).local_block, w.data});
     }
     Shard& s = shards_[shard];
-    const MutexLock lock(s.mu);
+    const SeqWriteLock lock(s.mu);
     s.engine->write_blocks(local_writes);
   }
 }
@@ -201,9 +286,9 @@ std::vector<std::size_t> ShardedSecureMemory::shards_in_range(
   return shards;
 }
 
-std::vector<Mutex*> ShardedSecureMemory::mutexes_of(
+std::vector<SeqLock*> ShardedSecureMemory::mutexes_of(
     std::span<const std::size_t> shards) const {
-  std::vector<Mutex*> mutexes;
+  std::vector<SeqLock*> mutexes;
   mutexes.reserve(shards.size());
   for (const std::size_t s : shards) mutexes.push_back(&shards_[s].mu);
   return mutexes;
@@ -220,6 +305,10 @@ Status ShardedSecureMemory::write_bytes(std::uint64_t addr,
         "ShardedSecureMemory::write_bytes: range exceeds region");
   metrics_.add(MetricId::kByteWrites);
   metrics_.sample(EngineHistId::kByteWriteBytes, bytes.size());
+  if (poisoned()) {
+    metrics_.add(MetricId::kIntegrityViolations);
+    return Status::kIntegrityViolation;
+  }
   if (bytes.empty()) return Status::kOk;
 
   const std::uint64_t first_block = addr / 64;
@@ -276,6 +365,85 @@ Status ShardedSecureMemory::write_bytes(std::uint64_t addr,
   return trace_result(folded);
 }
 
+// Optimistic cross-shard snapshot read — the seqlock generation protocol
+// in full. No locks are held across blocks: each block is read under a
+// short SHARED lock on its owning shard, and the bracketing generation
+// check proves no writer committed (or ran) anywhere in the involved
+// set between the first and last read — i.e. the assembled range equals
+// what an all-locks reader would have seen at one instant. Accounting is
+// deferred (read_block_shared(account=false)) and committed only when
+// the snapshot validates, so a torn attempt that gets retried never
+// double-counts reads. Beyond static analysis (runtime shard set,
+// optimistic validation); TSan-covered.
+std::optional<Status> ShardedSecureMemory::try_read_bytes_optimistic(
+    std::uint64_t addr, std::span<std::uint8_t> out,
+    std::span<const std::size_t> involved)
+    SECMEM_NO_THREAD_SAFETY_ANALYSIS {
+  std::vector<std::uint64_t> gens(involved.size());
+  for (std::size_t i = 0; i < involved.size(); ++i) {
+    gens[i] = shards_[involved[i]].mu.generation();
+    if (SeqLock::write_in_progress(gens[i])) return std::nullopt;
+  }
+  const auto unchanged = [&] {
+    for (std::size_t i = 0; i < involved.size(); ++i)
+      if (shards_[involved[i]].mu.generation() != gens[i]) return false;
+    return true;
+  };
+
+  const std::uint64_t first_block = addr / 64;
+  const std::uint16_t owner =
+      static_cast<std::uint16_t>(shard_of_block(first_block));
+  struct PendingAccount {
+    const SecureMemory* engine;
+    std::uint64_t local_block;
+    ReadResult result;
+  };
+  std::vector<PendingAccount> pending;
+  const auto commit_accounting = [&] {
+    for (const PendingAccount& p : pending)
+      p.engine->account_read(p.result, p.local_block);
+  };
+
+  Status folded = Status::kOk;
+  std::uint64_t pos = addr;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::uint64_t block = pos / 64;
+    const std::size_t offset = pos % 64;
+    const std::size_t chunk =
+        std::min<std::size_t>(64 - offset, out.size() - done);
+    const Route r = route(block);
+    Shard& s = shards_[r.shard];
+    std::optional<ReadResult> res;
+    {
+      const SeqReadLock lock(s.mu);
+      res = s.engine->read_block_shared(r.local_block, /*account=*/false);
+    }
+    if (!res) return std::nullopt;  // declined: warm via exclusive path
+    pending.push_back({s.engine.get(), r.local_block, *res});
+    if (!status_ok(res->status)) {
+      // A failure verdict is only reportable if it belongs to a
+      // consistent instant — a writer racing this range could otherwise
+      // manufacture one out of a half-updated group.
+      if (!unchanged()) return std::nullopt;
+      commit_accounting();
+      if (trace_)
+        trace_->record(TraceEvent::Kind::kByteRead, res->status, first_block,
+                       owner);
+      return res->status;
+    }
+    folded = worse(folded, res->status);
+    std::memcpy(out.data() + done, res->data.data() + offset, chunk);
+    pos += chunk;
+    done += chunk;
+  }
+  if (!unchanged()) return std::nullopt;
+  commit_accounting();
+  if (trace_)
+    trace_->record(TraceEvent::Kind::kByteRead, folded, first_block, owner);
+  return folded;
+}
+
 // See write_bytes: runtime-selected lock set, ordered acquisition,
 // TSan-covered.
 Status ShardedSecureMemory::read_bytes(std::uint64_t addr,
@@ -286,11 +454,26 @@ Status ShardedSecureMemory::read_bytes(std::uint64_t addr,
         "ShardedSecureMemory::read_bytes: range exceeds region");
   metrics_.add(MetricId::kByteReads);
   metrics_.sample(EngineHistId::kByteReadBytes, out.size());
+  if (poisoned()) {
+    metrics_.add(MetricId::kIntegrityViolations);
+    return Status::kIntegrityViolation;
+  }
   if (out.empty()) return Status::kOk;
 
   const std::uint64_t first_block = addr / 64;
   const std::uint64_t last_block = (addr + out.size() - 1) / 64;
   const auto involved = shards_in_range(first_block, last_block);
+
+  if (seqlock_reads_) {
+    // Two optimistic attempts, then the exclusive fallback — bounded
+    // retries so a write-heavy phase degrades to the old protocol
+    // instead of livelocking readers.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      if (const auto verdict = try_read_bytes_optimistic(addr, out, involved))
+        return *verdict;
+    }
+  }
+
   const auto locks = lock_in_order(mutexes_of(involved));
   const std::uint16_t owner =
       static_cast<std::uint16_t>(shard_of_block(first_block));
@@ -320,17 +503,13 @@ Status ShardedSecureMemory::read_bytes(std::uint64_t addr,
 }
 
 SecureMemory::ScrubReport ShardedSecureMemory::scrub_all(bool deep) {
+  throw_if_poisoned("scrub_all");
   std::vector<SecureMemory::ScrubReport> reports(num_shards_);
-  std::vector<std::thread> sweepers;
-  sweepers.reserve(num_shards_);
-  for (unsigned s = 0; s < num_shards_; ++s) {
-    sweepers.emplace_back([this, s, deep, &reports] {
-      Shard& shard = shards_[s];
-      const MutexLock lock(shard.mu);
-      reports[s] = shard.engine->scrub_all(deep);
-    });
-  }
-  for (std::thread& t : sweepers) t.join();
+  parallel_over_shards(num_shards_, [this, deep, &reports](unsigned s) {
+    Shard& shard = shards_[s];
+    const SeqWriteLock lock(shard.mu);
+    reports[s] = shard.engine->scrub_all(deep);
+  });
 
   SecureMemory::ScrubReport total;
   for (const SecureMemory::ScrubReport& r : reports) {
@@ -345,25 +524,17 @@ SecureMemory::ScrubReport ShardedSecureMemory::scrub_all(bool deep) {
 }
 
 bool ShardedSecureMemory::rotate_master_key(std::uint64_t new_master) {
+  if (poisoned()) return false;  // split-keyed state: nothing to rotate from
   const std::uint64_t old_master = config_.master_key;
-  const auto rotate_all_to = [this](std::uint64_t master,
-                                    std::vector<char>& ok) {
-    std::vector<std::thread> rotators;
-    rotators.reserve(num_shards_);
-    for (unsigned s = 0; s < num_shards_; ++s) {
-      rotators.emplace_back([this, s, master, &ok] {
-        Shard& shard = shards_[s];
-        const MutexLock lock(shard.mu);
-        ok[s] =
-            shard.engine->rotate_master_key(shard_master_key(master, s)) ? 1
-                                                                         : 0;
-      });
-    }
-    for (std::thread& t : rotators) t.join();
-  };
 
   std::vector<char> rotated(num_shards_, 0);
-  rotate_all_to(new_master, rotated);
+  parallel_over_shards(num_shards_, [this, new_master, &rotated](unsigned s) {
+    Shard& shard = shards_[s];
+    const SeqWriteLock lock(shard.mu);
+    rotated[s] =
+        shard.engine->rotate_master_key(shard_master_key(new_master, s)) ? 1
+                                                                         : 0;
+  });
   if (std::all_of(rotated.begin(), rotated.end(),
                   [](char ok) { return ok != 0; })) {
     config_.master_key = new_master;
@@ -372,22 +543,38 @@ bool ShardedSecureMemory::rotate_master_key(std::uint64_t new_master) {
 
   // Partial failure: a shard refused (verification failed under its old
   // keys) and is untouched. Roll the shards that DID rotate back to the
-  // old master so the region stays uniformly keyed. Rolling back re-reads
-  // freshly re-encrypted data, so it cannot fail.
+  // old master so the region stays uniformly keyed.
+  if (rotate_rollback_fault_hook_) rotate_rollback_fault_hook_();
   std::vector<char> rolled_back(num_shards_, 1);
-  std::vector<std::thread> rollback;
+  parallel_over_shards(
+      num_shards_, [this, old_master, &rotated, &rolled_back](unsigned s) {
+        if (!rotated[s]) return;
+        Shard& shard = shards_[s];
+        const SeqWriteLock lock(shard.mu);
+        rolled_back[s] =
+            shard.engine->rotate_master_key(shard_master_key(old_master, s))
+                ? 1
+                : 0;
+      });
+
+  // Rolling back re-reads data this very call just re-encrypted, so it
+  // normally succeeds — but "normally" is not a guarantee: a fault or
+  // tamper landing inside the rollback window makes a shard refuse, and
+  // ignoring that verdict (the old behavior) silently left the region
+  // split-keyed while reporting a clean abort. Check every shard, put
+  // the failure on the record, and poison the region so nothing serves
+  // from a half-rotated key set.
+  bool rollback_ok = true;
   for (unsigned s = 0; s < num_shards_; ++s) {
-    if (!rotated[s]) continue;
-    rollback.emplace_back([this, s, old_master, &rolled_back] {
-      Shard& shard = shards_[s];
-      const MutexLock lock(shard.mu);
-      rolled_back[s] =
-          shard.engine->rotate_master_key(shard_master_key(old_master, s))
-              ? 1
-              : 0;
-    });
+    if (rolled_back[s]) continue;
+    rollback_ok = false;
+    metrics_.add(MetricId::kRotateRollbackFailures);
+    if (trace_)
+      trace_->record(TraceEvent::Kind::kKeyRotation,
+                     Status::kIntegrityViolation, 0,
+                     static_cast<std::uint16_t>(s));
   }
-  for (std::thread& t : rollback) t.join();
+  if (!rollback_ok) poisoned_.store(true, std::memory_order_release);
   return false;
 }
 
@@ -431,23 +618,28 @@ void ShardedSecureMemory::attach_trace(TraceRing* ring) {
   trace_ = ring;
   for (unsigned s = 0; s < num_shards_; ++s) {
     Shard& shard = shards_[s];
-    const MutexLock lock(shard.mu);
+    const SeqWriteLock lock(shard.mu);
     shard.engine->attach_trace(ring, static_cast<std::uint16_t>(s));
   }
 }
 
 void ShardedSecureMemory::save(std::ostream& out) {
+  throw_if_poisoned("save");
   out.write(kShardMagic, sizeof(kShardMagic));
   write_u64(out, num_shards_);
   write_u64(out, granule_blocks_);
   for (unsigned s = 0; s < num_shards_; ++s) {
     Shard& shard = shards_[s];
-    const MutexLock lock(shard.mu);
+    const SeqWriteLock lock(shard.mu);
     shard.engine->save(out);
   }
 }
 
-bool ShardedSecureMemory::restore(std::istream& in) {
+// All shard locks for the duration, in table order (runtime lock set —
+// outside static analysis, TSan-covered): a restore must be atomic
+// against every concurrent operation.
+bool ShardedSecureMemory::restore(std::istream& in)
+    SECMEM_NO_THREAD_SAFETY_ANALYSIS {
   char magic[8] = {};
   in.read(magic, sizeof(magic));
   // Public image magic, not secret material.
@@ -455,13 +647,43 @@ bool ShardedSecureMemory::restore(std::istream& in) {
     return false;
   if (read_u64(in) != num_shards_) return false;
   if (read_u64(in) != granule_blocks_) return false;
-  bool all_ok = true;
+
+  std::vector<std::size_t> all(num_shards_);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto locks = lock_in_order(mutexes_of(all));
+
+  // Stage-then-commit, mirroring write_bytes' all-or-nothing protocol.
+  // The old per-shard engine->restore() loop committed (or wiped!) each
+  // shard as it went, so a truncated or tampered image left a mix of
+  // restored and re-zeroed shards behind a false return. Phase 1 fully
+  // validates every shard's image — sealed-root check included —
+  // against staging storage; the first bad shard aborts with the region
+  // EXACTLY as it was. Phase 2 cannot fail.
+  //
+  // Each shard's image is staged under the master derived from the
+  // REGION key, not the shard engine's current one: after a failed
+  // rollback a shard can be stranded on a half-rotated key, and this is
+  // exactly how restore() un-poisons it — commit_restore re-derives that
+  // shard's working keys from the image's master.
+  std::vector<SecureMemory::StagedRestore> staged;
+  staged.reserve(num_shards_);
   for (unsigned s = 0; s < num_shards_; ++s) {
-    Shard& shard = shards_[s];
-    const MutexLock lock(shard.mu);
-    all_ok = shard.engine->restore(in) && all_ok;
+    auto image = shards_[s].engine->stage_restore(
+        in, shard_master_key(config_.master_key, s));
+    if (!image) {
+      if (trace_)
+        trace_->record(TraceEvent::Kind::kRestore,
+                       Status::kIntegrityViolation, 0,
+                       static_cast<std::uint16_t>(s));
+      return false;
+    }
+    staged.push_back(std::move(*image));
   }
-  return all_ok;
+  for (unsigned s = 0; s < num_shards_; ++s)
+    shards_[s].engine->commit_restore(std::move(staged[s]));
+  // A fully-restored region is uniformly keyed again by construction.
+  poisoned_.store(false, std::memory_order_release);
+  return true;
 }
 
 }  // namespace secmem

@@ -11,13 +11,25 @@
 //
 // Locking discipline — machine-checked under clang -Wthread-safety:
 // every shard is a Shard struct carrying its own cache-line-aligned
-// secmem::Mutex, and the shard's engine is SECMEM_GUARDED_BY that mutex,
-// so a single-shard operation that touches an engine without a MutexLock
-// on the owning shard is a *build error*. Cross-shard paths (the byte
-// API) acquire their runtime-selected lock sets in fixed ascending table
-// order via lock_in_order (engine/lock_table.h); those few functions are
-// beyond static analysis and carry SECMEM_NO_THREAD_SAFETY_ANALYSIS plus
-// TSan coverage.
+// secmem::SeqLock (a reader/writer mutex publishing a generation
+// counter, common/thread_annotations.h), and the shard's engine is
+// SECMEM_GUARDED_BY that lock, so touching an engine without holding it
+// is a *build error*. Writers and every mutating maintenance operation
+// take the exclusive side (SeqWriteLock); verified reads take the shared
+// side (SeqReadLock) and run through SecureMemory's const
+// read_block_shared() fast path, so a read-mostly workload is limited by
+// crypto throughput, not lock convoys — with N readers on one hot shard
+// the old per-shard std::mutex serialized them all. Cross-shard paths
+// acquire runtime-selected exclusive lock sets in fixed ascending table
+// order via lock_in_order (engine/lock_table.h) — except read_bytes,
+// which first attempts an optimistic generation-validated snapshot:
+// capture each involved shard's generation, read block by block under
+// short shared locks, and accept iff every generation is unchanged
+// (equal and even), retrying through the exclusive path otherwise. The
+// runtime-lock-set and optimistic functions are beyond static analysis
+// and carry SECMEM_NO_THREAD_SAFETY_ANALYSIS plus TSan coverage.
+// SECMEM_SEQLOCK=0 in the environment (sampled at construction) disables
+// every shared/optimistic path — the pre-seqlock all-exclusive behavior.
 //
 // Routing granularity is the *block-group* (4 KB for the paper's delta
 // schemes): groups are striped round-robin across shards. A group is the
@@ -39,9 +51,12 @@
 // taking any shard lock, so observability never stalls the datapath.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -94,11 +109,17 @@ class ShardedSecureMemory : public SecureMemoryLike {
   void write_blocks(std::span<const BlockWrite> writes) override;
 
   /// ------------------------------------------------------------------
-  /// Byte-level API. Locks every shard the range touches (in table
-  /// order) for the duration, so ranges are read/written atomically even
-  /// across shard boundaries. `write_bytes` keeps SecureMemory's
+  /// Byte-level API. Ranges are read/written atomically even across
+  /// shard boundaries. `write_bytes` exclusively locks every shard the
+  /// range touches (in table order) and keeps SecureMemory's
   /// all-or-nothing guarantee: edge blocks are pre-verified before any
-  /// shard is mutated.
+  /// shard is mutated. `read_bytes` first tries the optimistic
+  /// generation-validated snapshot (short shared locks, no writer
+  /// exclusion — see the file comment); equal generations before and
+  /// after prove the range was read at one consistent instant. Torn
+  /// snapshots retry, then fall back to the exclusive protocol, with
+  /// read accounting deferred until a pass commits so retries never
+  /// double-count.
   /// ------------------------------------------------------------------
   Status write_bytes(std::uint64_t addr,
                      std::span<const std::uint8_t> bytes) override;
@@ -106,8 +127,10 @@ class ShardedSecureMemory : public SecureMemoryLike {
                     std::span<std::uint8_t> out) override;
 
   /// ------------------------------------------------------------------
-  /// Region-wide maintenance, shard-parallel: each shard is swept by its
-  /// own thread while the other shards keep serving their callers.
+  /// Region-wide maintenance, shard-parallel on a bounded worker pool
+  /// (min(shards, hardware_concurrency) threads sharing an atomic shard
+  /// cursor — a 64-shard region on a 4-core box used to spawn 64
+  /// threads). Unswept shards keep serving their callers.
   /// ------------------------------------------------------------------
   ScrubReport scrub_all(bool deep = false) override;
 
@@ -115,7 +138,36 @@ class ShardedSecureMemory : public SecureMemoryLike {
   /// `new_master`. All-or-nothing across shards: if any shard fails
   /// verification, already-rotated shards are rotated back to the old
   /// master and false is returned with the region's contents intact.
+  ///
+  /// The rollback itself re-reads freshly re-encrypted data, so it
+  /// *normally* cannot fail — but a fault or active tamper landing in
+  /// the rollback window can still make a shard refuse, leaving the
+  /// region split-keyed (some shards under the old master, some under
+  /// the new). That outcome is checked, not assumed: each failed
+  /// rollback records kRotateRollbackFailures plus a key-rotation trace
+  /// event against the shard, and the region is *poisoned* — see
+  /// poisoned() — so split-keyed state can never be silently served.
   [[nodiscard]] bool rotate_master_key(std::uint64_t new_master) override;
+
+  /// True after a key-rotation rollback failure left shards under
+  /// different masters. While poisoned, every verified read returns
+  /// kIntegrityViolation (reads fail closed rather than decrypt half the
+  /// region with retired keys), byte writes return kIntegrityViolation,
+  /// mutating maintenance (write_block/write_blocks/scrub/save) throws
+  /// std::runtime_error, and rotate_master_key refuses. The only way
+  /// out is a successful restore() of a known-good image, which clears
+  /// the flag.
+  bool poisoned() const noexcept {
+    return poisoned_.load(std::memory_order_acquire);
+  }
+
+  /// Test-only fault injection: invoked (with no shard locks held)
+  /// between a failed forward rotation pass and the rollback pass — the
+  /// window in which tests tamper a rotated shard so its rollback
+  /// verification fails. Never used in production paths.
+  void set_rotate_rollback_fault_hook(std::function<void()> hook) {
+    rotate_rollback_fault_hook_ = std::move(hook);
+  }
 
   /// Aggregated operational statistics across all shards — lock-free:
   /// sums the shards' relaxed-atomic cells without touching the locks.
@@ -133,18 +185,23 @@ class ShardedSecureMemory : public SecureMemoryLike {
   void attach_trace(TraceRing* ring) override;
 
   /// Persistence: a shard-count-tagged container of per-shard images.
-  /// On restore failure, false is returned and the region is left in a
-  /// valid but unspecified mix of restored/re-zeroed shards — treat the
-  /// contents as lost, exactly as SecureMemory::restore does.
+  /// restore() is all-or-nothing across shards: every shard's image is
+  /// staged and fully validated (sealed-root check included) while all
+  /// shard locks are held, and only then are the shards committed —
+  /// mirroring write_bytes' pre-verify-then-mutate protocol. A false
+  /// return means the region is EXACTLY as it was, including a poisoned
+  /// flag; a true return restores every shard and clears poisoning.
   void save(std::ostream& out) override;
   [[nodiscard]] bool restore(std::istream& in) override;
 
-  /// Run `fn(SecureMemory&)` against one shard under its lock — for
-  /// tests and attacker simulation (the untrusted view is per shard).
+  /// Run `fn(SecureMemory&)` against one shard under its exclusive lock
+  /// — for tests and attacker simulation (the untrusted view is per
+  /// shard). Bumps the shard's generation like any writer, so optimistic
+  /// readers never consume a half-tampered snapshot.
   template <typename Fn>
   auto with_shard_exclusive(unsigned shard, Fn&& fn) {
     Shard& s = shards_[shard];
-    const MutexLock lock(s.mu);
+    const SeqWriteLock lock(s.mu);
     return std::forward<Fn>(fn)(*s.engine);
   }
 
@@ -155,7 +212,7 @@ class ShardedSecureMemory : public SecureMemoryLike {
   /// std::hardware_destructive_interference_size: the constant must not
   /// vary across TUs compiled with different tuning flags).
   struct alignas(64) Shard {
-    mutable Mutex mu;
+    mutable SeqLock mu;
     std::unique_ptr<SecureMemory> engine SECMEM_GUARDED_BY(mu)
         SECMEM_PT_GUARDED_BY(mu);
   };
@@ -170,17 +227,33 @@ class ShardedSecureMemory : public SecureMemoryLike {
   std::vector<std::size_t> shards_in_range(std::uint64_t first_block,
                                            std::uint64_t last_block) const;
   /// Mutexes of `shards` (table order preserved) for lock_in_order.
-  std::vector<Mutex*> mutexes_of(std::span<const std::size_t> shards) const;
+  std::vector<SeqLock*> mutexes_of(std::span<const std::size_t> shards) const;
   /// Every cell backing this region: each shard's, then the region's own.
   std::vector<const MetricsCell*> all_cells() const;
+  /// One optimistic generation-validated attempt at a cross-shard byte
+  /// read; nullopt means torn-or-declined (caller retries / falls back).
+  std::optional<Status> try_read_bytes_optimistic(
+      std::uint64_t addr, std::span<std::uint8_t> out,
+      std::span<const std::size_t> involved);
+  /// Fail-closed verified-read outcome while poisoned.
+  ReadResult poisoned_read() const noexcept;
+  /// Throw for mutating operations while poisoned.
+  void throw_if_poisoned(const char* op) const;
 
   SecureMemoryConfig config_;  ///< region-level config (total size)
   unsigned num_shards_;
   unsigned granule_blocks_;
   std::uint64_t num_blocks_;
+  /// Shared-read fast path enabled (SECMEM_SEQLOCK, construction-time).
+  bool seqlock_reads_;
   /// Fixed-size at construction; Shard is neither movable nor copyable.
   std::unique_ptr<Shard[]> shards_;
-  MetricsCell metrics_;  ///< region-level (byte-op) counters
+  /// Set on key-rotation rollback failure; cleared by successful
+  /// restore(). Acquire/release so the thread observing the flag also
+  /// observes the trace/metric records that explain it.
+  std::atomic<bool> poisoned_{false};
+  std::function<void()> rotate_rollback_fault_hook_;  ///< test-only seam
+  mutable MetricsCell metrics_;  ///< region-level (byte-op) counters
   TraceRing* trace_ = nullptr;
 };
 

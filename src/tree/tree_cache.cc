@@ -1,6 +1,7 @@
 #include "tree/tree_cache.h"
 
 #include <cstring>
+#include <utility>
 
 #include "common/bitops.h"
 #include "common/ct.h"
@@ -20,7 +21,8 @@ VerifiedTreeCache::VerifiedTreeCache(BonsaiTree& tree,
   // Power-of-two sets so set_of() is a mask; round down, never below 1.
   sets_ = 1;
   while (sets_ * 2 * ways_ <= total) sets_ *= 2;
-  entries_.resize(sets_ * ways_);
+  entry_count_ = sets_ * ways_;
+  entries_ = std::make_unique<Entry[]>(entry_count_);
   path_.reserve(tree_.geometry().total_levels());
 }
 
@@ -31,32 +33,39 @@ std::size_t VerifiedTreeCache::set_of(std::uint64_t key) const noexcept {
          (sets_ - 1);
 }
 
-VerifiedTreeCache::Entry* VerifiedTreeCache::find(
-    unsigned level, std::uint64_t node) noexcept {
+const VerifiedTreeCache::Entry* VerifiedTreeCache::find(
+    unsigned level, std::uint64_t node) const noexcept {
   const std::uint64_t key = key_of(level, node);
-  Entry* row = entries_.data() + set_of(key) * ways_;
+  const Entry* row = entries_.get() + set_of(key) * ways_;
   for (unsigned w = 0; w < ways_; ++w)
     if (row[w].valid && row[w].key == key) return &row[w];
   return nullptr;
 }
 
+VerifiedTreeCache::Entry* VerifiedTreeCache::find(
+    unsigned level, std::uint64_t node) noexcept {
+  return const_cast<Entry*>(std::as_const(*this).find(level, node));
+}
+
 std::size_t VerifiedTreeCache::occupied() const noexcept {
   std::size_t n = 0;
-  for (const Entry& e : entries_) n += e.valid;
+  for (const Entry& e : entries()) n += e.valid;
   return n;
 }
 
 void VerifiedTreeCache::install(unsigned level, std::uint64_t node,
                                 const std::uint8_t* content, bool dirty) {
   const std::uint64_t key = key_of(level, node);
-  Entry* row = entries_.data() + set_of(key) * ways_;
+  Entry* row = entries_.get() + set_of(key) * ways_;
   Entry* victim = &row[0];
   for (unsigned w = 0; w < ways_; ++w) {
     if (!row[w].valid) {
       victim = &row[w];
       break;
     }
-    if (row[w].lru < victim->lru) victim = &row[w];
+    if (row[w].lru.load(std::memory_order_relaxed) <
+        victim->lru.load(std::memory_order_relaxed))
+      victim = &row[w];
   }
   if (victim->valid && victim->dirty) {
     write_back(*victim);
@@ -146,6 +155,52 @@ bool VerifiedTreeCache::verify(std::uint64_t line,
   return true;
 }
 
+bool VerifiedTreeCache::probe(std::uint64_t line,
+                              BonsaiTree::LineView content,
+                              bool& resident) const {
+  if (!enabled()) {
+    resident = true;  // nothing to warm — never bounce to the writer path
+    return tree_.verify_leaf(line, content);
+  }
+
+  if (const Entry* leaf = find(0, line)) {
+    // Same verdict as verify()'s resident hit; the LRU touch is the sole
+    // mutation (relaxed atomic, see Entry::lru).
+    touch(*leaf);
+    count(MetricId::kTreeCacheProbeHits);
+    resident = true;
+    return ct_equal(leaf->content.data(), content.data(),
+                    BonsaiTree::kLineBytes);
+  }
+
+  // Cold line: authenticate via the walk, truncating at any cached
+  // ancestor exactly like verify() — but install nothing. `resident`
+  // stays false so the caller can occasionally route the line through
+  // the exclusive path, where verify() warms the frontier.
+  resident = false;
+  const unsigned top = tree_.top_level();
+  const bool ok = tree_.walk_from(
+      0, line, tree_.mac_of(0, line, content),
+      [&](unsigned lvl, std::uint64_t node, unsigned slot, std::uint64_t tag) {
+        if (lvl < top) {
+          if (const Entry* anc = find(lvl, node)) {
+            touch(*anc);
+            return ct_equal_u64(load_le64(anc->content.data() + 8 * slot),
+                                tag)
+                       ? BonsaiTree::StepAction::kStopOk
+                       : BonsaiTree::StepAction::kStopFail;
+          }
+        }
+        return ct_equal_u64(
+                   load_le64(tree_.node_span(lvl, node).data() + 8 * slot),
+                   tag)
+                   ? BonsaiTree::StepAction::kContinue
+                   : BonsaiTree::StepAction::kStopFail;
+      });
+  count(MetricId::kTreeCacheProbeMisses);
+  return ok;
+}
+
 void VerifiedTreeCache::update(std::uint64_t line,
                                BonsaiTree::LineView content) {
   if (!enabled()) {
@@ -197,7 +252,7 @@ void VerifiedTreeCache::flush() {
   // ancestor at L+1, which a later pass then picks up.
   const unsigned top = tree_.top_level();
   for (unsigned lvl = 0; lvl < top; ++lvl) {
-    for (Entry& e : entries_) {
+    for (Entry& e : entries()) {
       if (e.valid && e.dirty && level_of(e.key) == lvl) {
         write_back(e);
         e.dirty = false;
@@ -209,7 +264,7 @@ void VerifiedTreeCache::flush() {
 }
 
 void VerifiedTreeCache::invalidate_all() noexcept {
-  for (Entry& e : entries_) {
+  for (Entry& e : entries()) {
     e.valid = false;
     e.dirty = false;
   }

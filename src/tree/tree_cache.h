@@ -33,18 +33,25 @@
 // every untrusted-surface excursion in a flush barrier — see
 // SecureMemory::UntrustedView::tree().
 //
-// Thread safety: none, on purpose — and statically enforced one level
-// up. The cache mutates on every operation (LRU, fills), so it must only
-// be reached through a lock-holding owner: each engine's cache lives
-// inside a SecureMemory that is itself SECMEM_GUARDED_BY the owning
-// facade/shard mutex (engine/concurrent.h, engine/sharded_memory.h), so
-// under clang -Wthread-safety an unlocked path to this class does not
-// compile. Metrics go to an optional MetricsCell (relaxed atomics), so
-// the observability plane reads them without touching that lock.
+// Thread safety: the mutating operations (verify/update/flush/...) need
+// exclusive ownership, statically enforced one level up: each engine's
+// cache lives inside a SecureMemory that is itself SECMEM_GUARDED_BY the
+// owning facade/shard lock (engine/concurrent.h, engine/sharded_memory.h),
+// so under clang -Wthread-safety an unlocked path to them does not
+// compile. `probe()` is the one concurrent entry point: a const read-side
+// verify that any number of shared-lock holders may run at once — it
+// never fills, never reorders, and its only cache mutation is the
+// relaxed-atomic LRU touch (so residency decisions still see read-path
+// recency once a writer takes over). Metrics go to an optional
+// MetricsCell (relaxed atomics), so the observability plane reads them
+// without touching any lock.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "common/metrics.h"
@@ -69,12 +76,23 @@ class VerifiedTreeCache {
   VerifiedTreeCache(const VerifiedTreeCache&) = delete;
   VerifiedTreeCache& operator=(const VerifiedTreeCache&) = delete;
 
-  bool enabled() const noexcept { return !entries_.empty(); }
+  bool enabled() const noexcept { return entry_count_ != 0; }
 
   /// Cache-accelerated BonsaiTree::verify_leaf — identical outcome for
   /// any state reachable through the engine API. The verdict must be
   /// consumed: ignoring it is accepting unauthenticated data.
   [[nodiscard]] bool verify(std::uint64_t line, BonsaiTree::LineView content);
+
+  /// Read-side verify: the identical accept/reject verdict to verify(),
+  /// but const — no fills, no path installation, no dirty-state changes;
+  /// the only cache mutation is the relaxed-atomic LRU touch. Safe to
+  /// call from any number of threads holding the owning lock SHARED
+  /// (engines' seqlock read fast path). `resident` reports whether a
+  /// verified level-0 copy answered the probe (true) or the walk had to
+  /// recompute MACs (false) — callers use a false to occasionally bounce
+  /// the read to the exclusive path so verify() can warm the frontier.
+  [[nodiscard]] bool probe(std::uint64_t line, BonsaiTree::LineView content,
+                           bool& resident) const;
 
   /// Cache-accelerated BonsaiTree::update_leaf. `content` must already
   /// be the line's current backing bytes (engines serialize into counter
@@ -100,7 +118,12 @@ class VerifiedTreeCache {
  private:
   struct Entry {
     std::uint64_t key = 0;  ///< (level << 48) | node
-    std::uint64_t lru = 0;  ///< higher = more recently used
+    /// Higher = more recently used. Atomic (relaxed) because probe()
+    /// touches recency from shared-lock readers while no writer can run;
+    /// every other field is written under the owner's exclusive lock
+    /// only. Mutable: recency is metadata, not cached content — touching
+    /// it is the one mutation the const read path performs.
+    mutable std::atomic<std::uint64_t> lru{0};
     bool valid = false;
     bool dirty = false;  ///< ancestor MACs (and possibly backing) stale
     std::array<std::uint8_t, BonsaiTree::kLineBytes> content;
@@ -117,10 +140,18 @@ class VerifiedTreeCache {
   }
 
   std::size_t set_of(std::uint64_t key) const noexcept;
+  const Entry* find(unsigned level, std::uint64_t node) const noexcept;
   Entry* find(unsigned level, std::uint64_t node) noexcept;
-  void touch(Entry& e) noexcept { e.lru = next_lru_++; }
-  void count(MetricId id) noexcept {
+  void touch(const Entry& e) const noexcept {
+    e.lru.store(next_lru_.fetch_add(1, std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
+  void count(MetricId id) const noexcept {
     if (metrics_) metrics_->add(id);
+  }
+  std::span<Entry> entries() noexcept { return {entries_.get(), entry_count_}; }
+  std::span<const Entry> entries() const noexcept {
+    return {entries_.get(), entry_count_};
   }
 
   /// Install (level, node) with `content`, evicting (and writing back, if
@@ -138,8 +169,13 @@ class VerifiedTreeCache {
   MetricsCell* metrics_;
   std::size_t sets_ = 0;
   unsigned ways_ = 0;
-  std::uint64_t next_lru_ = 1;
-  std::vector<Entry> entries_;  ///< sets_ x ways_, row-major
+  /// Atomic for the same reason as Entry::lru: probe() advances recency
+  /// from concurrent shared-lock readers.
+  mutable std::atomic<std::uint64_t> next_lru_{1};
+  /// sets_ x ways_, row-major. A raw array (not std::vector): entries
+  /// hold atomics and are neither movable nor copyable.
+  std::unique_ptr<Entry[]> entries_;
+  std::size_t entry_count_ = 0;
   /// Scratch for verify(): interior nodes the walk authenticated, to be
   /// installed on success.
   std::vector<std::pair<unsigned, std::uint64_t>> path_;

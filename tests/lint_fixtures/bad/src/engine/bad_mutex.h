@@ -6,4 +6,13 @@
 class BadEngine {
   mutable std::mutex mu_;               // rule: raw-mutex
   mutable std::shared_mutex table_mu_;  // rule: raw-mutex
+
+  int peek() const {
+    std::shared_lock guard(table_mu_);  // rule: raw-mutex
+    return 0;
+  }
+  void raw_reader() const {
+    table_mu_.lock_shared();    // rule: raw-mutex
+    table_mu_.unlock_shared();  // rule: raw-mutex
+  }
 };

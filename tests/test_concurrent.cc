@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/stats.h"
+
 namespace secmem {
 namespace {
 
@@ -108,6 +110,56 @@ TEST(ConcurrentSecureMemory, FacadeWrapsScrubStatsAndPersistence) {
   const auto result = memory.read_block(2);
   EXPECT_EQ(result.status, ReadStatus::kOk);
   EXPECT_EQ(result.data, stamp(3, 4));
+}
+
+TEST(ConcurrentSecureMemoryStress, ReadMostlySharedReadersStayConsistent) {
+  // The single-lock facade's seqlock gate: readers verify in parallel
+  // under the shared side while one writer cycles blocks it owns alone.
+  // Fixed per-block content makes every read's one acceptable value
+  // computable; the TSan preset runs this too.
+  SecureMemoryConfig config;
+  config.size_bytes = 64 * 1024;
+  ConcurrentSecureMemory memory(config);
+  const std::uint64_t blocks = memory.num_blocks();
+  const auto fixed = [](std::uint64_t block) {
+    return stamp(static_cast<unsigned>(block % 199), 0);
+  };
+  for (std::uint64_t b = 0; b < blocks; ++b) memory.write_block(b, fixed(b));
+
+  constexpr unsigned kReaders = 6;
+  constexpr unsigned kRounds = 300;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.emplace_back([&memory, &fixed, blocks] {
+    for (unsigned round = 0; round < kRounds / 2; ++round) {
+      const std::uint64_t block = (round * 11) % blocks;
+      memory.write_block(block, fixed(block));
+    }
+  });
+  for (unsigned t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&memory, &fixed, &failures, blocks, t] {
+      for (unsigned round = 0; round < kRounds; ++round) {
+        const std::uint64_t block = (round * 7 + t * 13) % blocks;
+        const auto result = memory.read_block(block);
+        if (result.status != ReadStatus::kOk || result.data != fixed(block))
+          ++failures;
+        if (round % 16 == 0) {
+          std::vector<std::uint8_t> buffer(256);
+          const std::uint64_t addr =
+              (round * 977 + t * 131) % (memory.size_bytes() - buffer.size());
+          if (!status_ok(memory.read_bytes(addr, buffer))) ++failures;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(memory.stats().integrity_violations, 0u);
+  if (seqlock_reads_enabled()) {
+    StatRegistry registry;
+    memory.publish_metrics(registry);
+    EXPECT_GT(registry.counter_value("engine.shared_reads"), 0u);
+  }
 }
 
 TEST(ConcurrentSecureMemory, WithExclusiveExposesFullApi) {

@@ -65,6 +65,9 @@ TEST(SecmemLint, BadFixtureTripsEveryRule) {
   EXPECT_TRUE(run.has("src/engine/bad_compare.cc:15: ct-compare"));
   EXPECT_TRUE(run.has("src/engine/bad_mutex.h:7: raw-mutex"));
   EXPECT_TRUE(run.has("src/engine/bad_mutex.h:8: raw-mutex"));
+  EXPECT_TRUE(run.has("src/engine/bad_mutex.h:11: raw-mutex"));
+  EXPECT_TRUE(run.has("src/engine/bad_mutex.h:15: raw-mutex"));
+  EXPECT_TRUE(run.has("src/engine/bad_mutex.h:16: raw-mutex"));
   EXPECT_TRUE(run.has("src/sim/bad_rand.cc:6: sim-rand"));
   EXPECT_TRUE(run.has("src/sim/bad_rand.cc:7: sim-rand"));
   EXPECT_TRUE(run.has("src/sim/bad_rand.cc:8: sim-rand"));

@@ -7,12 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/stats.h"
 #include "engine/concurrent.h"
 
 namespace secmem {
@@ -199,6 +202,74 @@ TEST(ShardedSecureMemory, RotateMasterKeyIsAllOrNothingAcrossShards) {
   EXPECT_EQ(memory.read_block(0).data, pattern(1));
   EXPECT_EQ(memory.read_block(2 * granule).status,
             ReadStatus::kIntegrityViolation);
+  // The rollback succeeded, so the clean abort must NOT poison.
+  EXPECT_FALSE(memory.poisoned());
+  StatRegistry registry;
+  memory.publish_metrics(registry);
+  EXPECT_EQ(registry.counter_value("engine.rotate_rollback_failures"), 0u);
+}
+
+TEST(ShardedSecureMemory, RotateRollbackFailurePoisonsRegion) {
+  // Regression: rotate_master_key collected per-shard rollback verdicts
+  // into rolled_back[] and never read them — a rollback failure left the
+  // region split-keyed (some shards old master, some new) while the call
+  // reported a clean abort. Now the verdict is checked: the failure is
+  // recorded and the region poisons, failing closed until restored.
+  ShardedSecureMemory memory(region_config(256 * 1024), 4);
+  const unsigned granule = memory.granule_blocks();
+  memory.write_block(0, pattern(1));         // shard 0
+  memory.write_block(granule, pattern(2));   // shard 1
+  std::stringstream image;
+  memory.save(image);  // known-good image, taken before the damage
+
+  // Shard 1 carries an uncorrectable fault: the forward rotation pass
+  // fails there and the region must roll the other shards back...
+  memory.with_shard_exclusive(1, [](SecureMemory& shard) {
+    shard.untrusted().flip_ciphertext_bit(0, 1);
+    shard.untrusted().flip_ciphertext_bit(0, 2);
+    shard.untrusted().flip_ciphertext_bit(0, 3);
+  });
+  // ...and a tamper landing inside the rollback window (injected via the
+  // test-only hook, which runs between the failed forward pass and the
+  // rollback pass) makes shard 0 — already re-keyed forward — refuse to
+  // rotate back. The region is now split-keyed.
+  memory.set_rotate_rollback_fault_hook([&memory] {
+    memory.with_shard_exclusive(0, [](SecureMemory& shard) {
+      shard.untrusted().flip_ciphertext_bit(0, 1);
+      shard.untrusted().flip_ciphertext_bit(0, 2);
+      shard.untrusted().flip_ciphertext_bit(0, 3);
+    });
+  });
+  EXPECT_FALSE(memory.rotate_master_key(0xdeadbeef));
+
+  // The failure is on the record, not silently swallowed...
+  EXPECT_TRUE(memory.poisoned());
+  StatRegistry registry;
+  memory.publish_metrics(registry);
+  EXPECT_EQ(registry.counter_value("engine.rotate_rollback_failures"), 1u);
+
+  // ...and the split-keyed region fails closed in every direction.
+  EXPECT_EQ(memory.read_block(0).status, ReadStatus::kIntegrityViolation);
+  const std::vector<std::uint64_t> batch{0, granule};
+  for (const auto& result : memory.read_blocks(batch))
+    EXPECT_EQ(result.status, ReadStatus::kIntegrityViolation);
+  std::vector<std::uint8_t> buffer(128);
+  EXPECT_EQ(memory.read_bytes(0, buffer), Status::kIntegrityViolation);
+  EXPECT_EQ(memory.write_bytes(0, buffer), Status::kIntegrityViolation);
+  EXPECT_THROW(memory.write_block(0, pattern(9)), std::runtime_error);
+  EXPECT_THROW(memory.scrub_all(), std::runtime_error);
+  std::stringstream sink;
+  EXPECT_THROW(memory.save(sink), std::runtime_error);
+  EXPECT_FALSE(memory.rotate_master_key(0xfeedface));
+  EXPECT_GT(memory.stats().integrity_violations, 0u);
+
+  // The documented exit: restoring a known-good image clears the poison
+  // and the region serves again.
+  ASSERT_TRUE(memory.restore(image));
+  EXPECT_FALSE(memory.poisoned());
+  EXPECT_EQ(memory.read_block(0).status, ReadStatus::kOk);
+  EXPECT_EQ(memory.read_block(0).data, pattern(1));
+  EXPECT_EQ(memory.read_block(granule).data, pattern(2));
 }
 
 TEST(ShardedSecureMemory, SaveRestoreRoundTripsAllShards) {
@@ -219,6 +290,93 @@ TEST(ShardedSecureMemory, SaveRestoreRoundTripsAllShards) {
   }
   std::stringstream garbage("not an image");
   EXPECT_FALSE(memory.restore(garbage));
+}
+
+TEST(ShardedSecureMemory, RestoreFailureLeavesEveryShardIntact) {
+  // Regression: restore() used to commit shard by shard as it streamed
+  // the container, so a truncated or tampered image left a mix of
+  // restored and wiped shards behind a false return. Staging makes a
+  // false return mean "the region is EXACTLY as it was".
+  ShardedSecureMemory memory(region_config(256 * 1024), 4);
+  const unsigned granule = memory.granule_blocks();
+  for (unsigned g = 0; g < 8; ++g)
+    memory.write_block(g * granule, pattern(static_cast<std::uint8_t>(g)));
+  std::stringstream image;
+  memory.save(image);
+  const std::string full = image.str();
+
+  // The region moves on; these contents must survive every failed
+  // restore below, bit for bit.
+  for (unsigned g = 0; g < 8; ++g)
+    memory.write_block(g * granule,
+                       pattern(static_cast<std::uint8_t>(0xA0 + g)));
+  const auto expect_untouched = [&] {
+    for (unsigned g = 0; g < 8; ++g) {
+      const auto result = memory.read_block(g * granule);
+      EXPECT_EQ(result.status, ReadStatus::kOk);
+      EXPECT_EQ(result.data, pattern(static_cast<std::uint8_t>(0xA0 + g)));
+    }
+  };
+
+  // Truncated image: the first shards stage fine, then a later shard's
+  // image runs out mid-read. Nothing may commit.
+  std::stringstream truncated(full.substr(0, full.size() - full.size() / 4));
+  EXPECT_FALSE(memory.restore(truncated));
+  expect_untouched();
+
+  // Tampered image: flip a bit in the LAST shard's sealed-root snapshot
+  // (the container's final bytes), so shards 0..2 stage successfully and
+  // shard 3 is rejected by the offline-tamper check. Still nothing
+  // commits.
+  std::string tampered = full;
+  tampered[tampered.size() - 10] ^= 0x01;
+  std::stringstream bad(tampered);
+  EXPECT_FALSE(memory.restore(bad));
+  expect_untouched();
+
+  // And the untampered image still restores in full afterwards.
+  std::stringstream good(full);
+  ASSERT_TRUE(memory.restore(good));
+  for (unsigned g = 0; g < 8; ++g)
+    EXPECT_EQ(memory.read_block(g * granule).data,
+              pattern(static_cast<std::uint8_t>(g)));
+}
+
+TEST(ShardedSecureMemory, SeqlockKillSwitchDisablesSharedReads) {
+  const char* prev = std::getenv("SECMEM_SEQLOCK");
+  const std::string saved = prev ? prev : "";
+
+  // SECMEM_SEQLOCK=0 at construction: every read takes the exclusive
+  // lock and the shared-read counters stay at zero.
+  setenv("SECMEM_SEQLOCK", "0", 1);
+  {
+    ShardedSecureMemory memory(region_config(256 * 1024), 4);
+    memory.write_block(7, pattern(3));
+    for (int i = 0; i < 8; ++i)
+      EXPECT_EQ(memory.read_block(7).data, pattern(3));
+    StatRegistry registry;
+    memory.publish_metrics(registry);
+    EXPECT_EQ(registry.counter_value("engine.shared_reads"), 0u);
+    EXPECT_EQ(memory.stats().reads, 8u);
+  }
+
+  // Default (enabled): verified reads run the shared fast path.
+  setenv("SECMEM_SEQLOCK", "1", 1);
+  {
+    ShardedSecureMemory memory(region_config(256 * 1024), 4);
+    memory.write_block(7, pattern(4));
+    for (int i = 0; i < 8; ++i)
+      EXPECT_EQ(memory.read_block(7).data, pattern(4));
+    StatRegistry registry;
+    memory.publish_metrics(registry);
+    EXPECT_GT(registry.counter_value("engine.shared_reads"), 0u);
+    EXPECT_EQ(memory.stats().reads, 8u);
+  }
+
+  if (prev)
+    setenv("SECMEM_SEQLOCK", saved.c_str(), 1);
+  else
+    unsetenv("SECMEM_SEQLOCK");
 }
 
 // ----------------------------------------------------------- stress
@@ -322,6 +480,70 @@ TEST(ShardedSecureMemoryStress, ConcurrentBatchesAndCrossShardWrites) {
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(memory.stats().integrity_violations, 0u);
+}
+
+TEST(ShardedSecureMemoryStress, ReadMostlySharedReadersStayConsistent) {
+  // The seqlock gate: many readers on the shared fast path (plus the
+  // optimistic cross-shard byte protocol) racing one writer. Content is
+  // deterministic per block, so every read — single-block or torn-range
+  // candidate — has exactly one acceptable value; TSan runs this too.
+  ShardedSecureMemory memory(region_config(256 * 1024), 8);
+  const std::uint64_t blocks = memory.num_blocks();
+  for (std::uint64_t b = 0; b < blocks; ++b)
+    memory.write_block(b, pattern(static_cast<std::uint8_t>(b)));
+
+  constexpr unsigned kReaders = 6;
+  constexpr unsigned kRounds = 300;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+
+  // One writer keeps generations moving (a ~95/5 mix overall), always
+  // re-writing the block's fixed pattern so readers stay checkable.
+  threads.emplace_back([&memory, blocks] {
+    Xoshiro256 rng(7);
+    for (unsigned round = 0; round < kRounds / 2; ++round) {
+      const std::uint64_t block = rng.next_below(blocks);
+      memory.write_block(block, pattern(static_cast<std::uint8_t>(block)));
+    }
+  });
+  for (unsigned t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&memory, &failures, blocks, t] {
+      Xoshiro256 rng(4000 + t);
+      for (unsigned round = 0; round < kRounds; ++round) {
+        const std::uint64_t block = rng.next_below(blocks);
+        const auto result = memory.read_block(block);
+        if (result.status != ReadStatus::kOk ||
+            result.data != pattern(static_cast<std::uint8_t>(block)))
+          ++failures;
+        if (round % 16 == 0) {
+          // Cross-shard range via the optimistic snapshot protocol; the
+          // expected bytes are computable because content is fixed.
+          std::vector<std::uint8_t> buffer(256);
+          const std::uint64_t addr =
+              rng.next_below(memory.size_bytes() - buffer.size());
+          if (!status_ok(memory.read_bytes(addr, buffer))) {
+            ++failures;
+          } else {
+            for (std::size_t i = 0; i < buffer.size(); ++i) {
+              const std::uint64_t byte_block = (addr + i) / 64;
+              const std::size_t off = (addr + i) % 64;
+              const auto expected = static_cast<std::uint8_t>(
+                  static_cast<std::uint8_t>(byte_block) ^ (off * 13));
+              if (buffer[i] != expected) ++failures;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(memory.stats().integrity_violations, 0u);
+  if (seqlock_reads_enabled()) {
+    StatRegistry registry;
+    memory.publish_metrics(registry);
+    EXPECT_GT(registry.counter_value("engine.shared_reads"), 0u);
+  }
 }
 
 }  // namespace

@@ -13,8 +13,12 @@
 //                   common/ct.h (ct_equal / ct_equal_u64), which never
 //                   early-exits on the first differing byte.
 //   raw-mutex       src/ outside common/thread_annotations.h: no naked
-//                   std::mutex family — use secmem::Mutex / MutexLock so
-//                   clang thread-safety analysis can see the capability.
+//                   std::mutex family / std::shared_lock, and no direct
+//                   lock_shared()/unlock_shared()/try_lock_shared() calls
+//                   — use secmem::Mutex/MutexLock/SeqLock/SeqReadLock so
+//                   clang thread-safety analysis can see the capability
+//                   and shared readers go through the SeqLock generation
+//                   protocol.
 //   sim-rand        src/sim/: no rand()/std::random_device/std::mt19937 —
 //                   simulator runs must replay bit-identically from a
 //                   seed; use common/rng.h (Xoshiro256).
@@ -353,11 +357,20 @@ class Linter {
                        const Views& v) {
     for (const char* name :
          {"mutex", "recursive_mutex", "timed_mutex",
-          "recursive_timed_mutex", "shared_mutex", "shared_timed_mutex"}) {
+          "recursive_timed_mutex", "shared_mutex", "shared_timed_mutex",
+          "shared_lock"}) {
       for (const std::size_t pos : find_idents(v.code, name)) {
         if (std_qualified(v.code, pos))
           add(rel, text, pos, kRawMutex, std::string("std::") + name);
       }
+    }
+    // Reader-side primitives called directly (mu.lock_shared() etc.)
+    // bypass both the capability annotations and the SeqLock generation
+    // protocol; only thread_annotations.h itself may touch them.
+    for (const char* name :
+         {"lock_shared", "unlock_shared", "try_lock_shared"}) {
+      for (const std::size_t pos : find_idents(v.code, name))
+        add(rel, text, pos, kRawMutex, name);
     }
   }
 
