@@ -93,7 +93,8 @@ double timed_mixed(Engine& engine, unsigned threads,
       for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
         if (i % 20 == 19) {
           block[0] = static_cast<std::uint8_t>(i);
-          engine.write_block(rng.next_below(blocks), block);
+          if (engine.write_block(rng.next_below(blocks), block) != Status::kOk)
+            ++bad;
         } else {
           const auto result = engine.read_block(rng.next_below(blocks));
           if (result.status != ReadStatus::kOk) ++bad;
@@ -245,19 +246,20 @@ int main(int argc, char** argv) {
   ShardedSecureMemory& sharded = *sharded_mem;
   ShardedSecureMemory& sharded_excl = *sharded_excl_mem;
 
+  std::atomic<int> bad{0};
+
   // Touch a spread of blocks so reads hit written (non-zero) lines too.
   Xoshiro256 rng(7);
   for (unsigned i = 0; i < 512; ++i) {
     DataBlock block{};
     block[0] = static_cast<std::uint8_t>(i);
     const std::uint64_t target = rng.next_below(single.num_blocks());
-    single.write_block(target, block);
-    sharded.write_block(target, block);
-    sharded_excl.write_block(target, block);
+    bad += single.write_block(target, block) != Status::kOk;
+    bad += sharded.write_block(target, block) != Status::kOk;
+    bad += sharded_excl.write_block(target, block) != Status::kOk;
   }
 
   std::vector<Sample> samples;
-  std::atomic<int> bad{0};
 
   // Phase 0: hot-set reads, eager vs verified-frontier, single thread.
   {
@@ -271,8 +273,8 @@ int main(int argc, char** argv) {
     DataBlock block{};
     for (std::uint64_t b = 0; b < hot_blocks; ++b) {
       block[0] = static_cast<std::uint8_t>(b);
-      eager.write_block(b, block);
-      cached.write_block(b, block);
+      bad += eager.write_block(b, block) != Status::kOk;
+      bad += cached.write_block(b, block) != Status::kOk;
     }
     const double eager_s = timed_hot_reads(eager, hot_blocks, hot_reads, bad);
     const double cached_s =

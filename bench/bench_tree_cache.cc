@@ -57,7 +57,7 @@ Sample run_reads(const char* workload, SecureMemoryConfig config,
   for (std::uint64_t b = 0; b < std::min<std::uint64_t>(span_blocks, 4096);
        ++b) {
     block[0] = static_cast<std::uint8_t>(b);
-    mem.write_block(b, block);
+    if (mem.write_block(b, block) != Status::kOk) ++bad;
   }
   Xoshiro256 rng(0x7ee);
   // Warm-up pass populates the frontier so the timed loop measures the
@@ -77,19 +77,20 @@ Sample run_reads(const char* workload, SecureMemoryConfig config,
 }
 
 Sample run_writes(const char* workload, SecureMemoryConfig config,
-                  std::uint64_t span_blocks, std::uint64_t ops) {
+                  std::uint64_t span_blocks, std::uint64_t ops, int& bad) {
   SecureMemory mem(config);
   if (span_blocks == 0 || span_blocks > mem.num_blocks())
     span_blocks = mem.num_blocks();
   Xoshiro256 rng(0x3a1);
   DataBlock block{};
   for (std::uint64_t i = 0; i < std::min<std::uint64_t>(ops / 10, 20000); ++i)
-    mem.write_block(rng.next_below(span_blocks), block);
+    if (mem.write_block(rng.next_below(span_blocks), block) != Status::kOk)
+      ++bad;
   mem.reset_stats();
   const auto start = std::chrono::steady_clock::now();
   for (std::uint64_t i = 0; i < ops; ++i) {
     block[0] = static_cast<std::uint8_t>(i);
-    mem.write_block(rng.next_below(span_blocks), block);
+    bad += mem.write_block(rng.next_below(span_blocks), block) != Status::kOk;
   }
   const double s = seconds_since(start);
   const EngineStats stats = mem.stats();
@@ -161,7 +162,7 @@ int main(int argc, char** argv) {
     config.tree_cache_kb = kb;
     samples.push_back(run_reads("hot-read", config, hot_blocks, reads, bad));
     samples.push_back(run_reads("uniform-read", config, 0, reads, bad));
-    samples.push_back(run_writes("hot-write", config, hot_blocks, writes));
+    samples.push_back(run_writes("hot-write", config, hot_blocks, writes, bad));
     const Sample& hot = samples[samples.size() - 3];
     const Sample& uni = samples[samples.size() - 2];
     const Sample& wr = samples.back();
@@ -171,7 +172,7 @@ int main(int argc, char** argv) {
                  kb, hot.ns_per_op, uni.ns_per_op, wr.ns_per_op);
   }
   if (bad != 0) {
-    std::fprintf(stderr, "FAIL: %d reads did not verify\n", bad);
+    std::fprintf(stderr, "FAIL: %d ops did not verify\n", bad);
     return 1;
   }
 

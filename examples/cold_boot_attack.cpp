@@ -38,6 +38,17 @@ DataBlock message_block(const char* text) {
 
 }  // namespace
 
+// Every victim-side write in this drill is expected to land; a Status
+// other than kOk means the drill itself is broken, not the attacker.
+void must_write(SecureMemory& memory, std::uint64_t block,
+                const DataBlock& data) {
+  if (memory.write_block(block, data) != Status::kOk) {
+    std::fprintf(stderr, "victim write to block %llu failed\n",
+                 static_cast<unsigned long long>(block));
+    std::exit(1);
+  }
+}
+
 int main() {
   SecureMemoryConfig config;
   config.size_bytes = 256 * 1024;
@@ -50,8 +61,8 @@ int main() {
               static_cast<unsigned long long>(memory.size_bytes() / 1024));
 
   // The victim stores two sensitive records.
-  memory.write_block(10, message_block("account balance: $1,000,000"));
-  memory.write_block(20, message_block("admin password hash: deadbeef"));
+  must_write(memory, 10, message_block("account balance: $1,000,000"));
+  must_write(memory, 20, message_block("admin password hash: deadbeef"));
 
   // -- attack 1: dump the DIMM and look for plaintext -------------------
   {
@@ -73,7 +84,7 @@ int main() {
     const bool detected =
         memory.read_block(10).status != ReadStatus::kOk;
     verdict("3-bit data tamper", detected);
-    memory.write_block(10, message_block("account balance: $1,000,000"));
+    must_write(memory, 10, message_block("account balance: $1,000,000"));
   }
 
   // -- attack 3: splice block 20's (ciphertext, MAC) into block 10 -------
@@ -83,7 +94,7 @@ int main() {
     for (int i = 0; i < 8; ++i) attacker.ecc_lane(10)[i] = donor.lane[i];
     const bool detected = memory.read_block(10).status != ReadStatus::kOk;
     verdict("cross-address splice", detected);
-    memory.write_block(10, message_block("account balance: $1,000,000"));
+    must_write(memory, 10, message_block("account balance: $1,000,000"));
   }
 
   // -- attack 4: full replay of (data, MAC, counter) ---------------------
@@ -91,12 +102,12 @@ int main() {
     // Snapshot the "rich" state, let the victim spend the money, then
     // roll everything the attacker can reach back.
     const auto rich = attacker.snapshot(10);
-    memory.write_block(10, message_block("account balance: $0.37"));
+    must_write(memory, 10, message_block("account balance: $0.37"));
     attacker.restore(10, rich);
     const auto result = memory.read_block(10);
     const bool detected = result.status != ReadStatus::kOk;
     verdict("replay of data+MAC+counter", detected);
-    memory.write_block(10, message_block("account balance: $0.37"));
+    must_write(memory, 10, message_block("account balance: $0.37"));
   }
 
   // -- attack 5: roll back just the counter line --------------------------

@@ -36,7 +36,9 @@ void run(SecureMemory& memory, const char* label,
   std::printf("%s\n", label);
   std::uint64_t block = 40;
   for (const Scenario& s : scenarios) {
-    memory.write_block(block, pattern(static_cast<std::uint8_t>(block)));
+    if (memory.write_block(block, pattern(static_cast<std::uint8_t>(block))) !=
+        Status::kOk)
+      std::abort();
     auto view = memory.untrusted();
     for (unsigned bit : s.data_bits) view.flip_ciphertext_bit(block, bit);
     for (unsigned bit : s.lane_bits) view.flip_lane_bit(block, bit);

@@ -74,7 +74,7 @@ int main() {
   DataBlock plain{};
   std::memcpy(plain.data(), secret.data(),
               std::min<std::size_t>(secret.size(), 64));
-  memory.write_block(block, plain);
+  if (memory.write_block(block, plain) != Status::kOk) return 1;
   view.flip_ciphertext_bit(block, 100);
   const auto fixed = memory.read_block(block);
   std::printf("after 1-bit DRAM fault: %s (%llu MAC evaluations)\n",

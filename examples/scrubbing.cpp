@@ -59,7 +59,7 @@ void simulate_year(bool scrub_monthly, unsigned faults_per_month,
   config.mac_placement = MacPlacement::kEccLane;
   SecureMemory memory(config);
   for (std::uint64_t b = 0; b < memory.num_blocks(); ++b)
-    memory.write_block(b, pattern(b));
+    if (memory.write_block(b, pattern(b)) != Status::kOk) std::abort();
 
   Xoshiro256 rng(seed);
   std::uint64_t scrub_repairs = 0;

@@ -50,8 +50,7 @@ class SecureKvStore {
         fresh[2] = static_cast<std::uint8_t>(value.size());
         std::memcpy(fresh.data() + 4, key.data(), key.size());
         std::memcpy(fresh.data() + 4 + kMaxKey, value.data(), value.size());
-        memory_->write_block(bucket, fresh);
-        return true;
+        return memory_->write_block(bucket, fresh) == Status::kOk;
       }
     }
     return false;  // table full

@@ -86,6 +86,10 @@ trap 'rm -rf "$tmp"' EXIT
 # Benches default their export to the build tree; pin it into $tmp here.
 SECMEM_METRICS_JSON="$tmp/fig1_storage.metrics.json" \
   ./build/bench/bench_fig1_storage >/dev/null
+# Small-args smoke of the re-encryption bench: exercises the batched vs
+# scalar group-drain phase end to end and must export valid metrics.
+SECMEM_METRICS_JSON="$tmp/table2_reencryption.metrics.json" \
+  ./build/bench/bench_table2_reencryption 20000 1 >/dev/null
 for f in "$tmp"/*.metrics.json; do
   python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$f"
   echo "ok: $f"

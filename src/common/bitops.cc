@@ -3,9 +3,15 @@
 namespace secmem {
 
 unsigned parity_bytes(std::span<const std::uint8_t> bytes) noexcept {
-  unsigned p = 0;
-  for (std::uint8_t b : bytes) p ^= static_cast<unsigned>(std::popcount(b) & 1);
-  return p;
+  // XOR-fold eight bytes at a time into one word, then a single parity64:
+  // parity is XOR-linear, so folding first changes nothing but the cost.
+  std::uint64_t acc = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= bytes.size(); i += 8) acc ^= load_le64(bytes.data() + i);
+  std::uint64_t tail = 0;
+  for (unsigned shift = 0; i < bytes.size(); ++i, shift += 8)
+    tail |= std::uint64_t{bytes[i]} << shift;
+  return parity64(acc ^ tail);
 }
 
 bool get_bit(std::span<const std::uint8_t> bytes, std::size_t pos) noexcept {
@@ -33,16 +39,56 @@ std::size_t popcount_bytes(std::span<const std::uint8_t> bytes) noexcept {
 
 std::uint64_t extract_field(std::span<const std::uint8_t> bytes,
                             std::size_t bit_pos, unsigned width) noexcept {
-  std::uint64_t v = 0;
-  for (unsigned i = 0; i < width; ++i)
-    if (get_bit(bytes, bit_pos + i)) v |= std::uint64_t{1} << i;
+  if (width == 0) return 0;
+  const std::size_t first = bit_pos >> 3;
+  const unsigned shift = static_cast<unsigned>(bit_pos & 7);
+  // The field spans at most 9 bytes (shift <= 7, width <= 64). Assemble the
+  // low 8 covered bytes into one word; a 9th byte, if any, tops up the high
+  // bits. Loads stay within the buffer: only bytes the field covers are read.
+  const std::size_t span_bytes = ((bit_pos + width - 1) >> 3) - first + 1;
+  const std::size_t lo_n = span_bytes < 8 ? span_bytes : 8;
+  std::uint64_t word;
+  if (first + 8 <= bytes.size()) {
+    word = load_le64(bytes.data() + first);
+  } else {
+    word = 0;
+    for (std::size_t i = 0; i < lo_n; ++i)
+      word |= std::uint64_t{bytes[first + i]} << (8 * i);
+  }
+  std::uint64_t v = word >> shift;
+  if (span_bytes == 9)
+    v |= std::uint64_t{bytes[first + 8]} << (64u - shift);
+  if (width < 64) v &= (std::uint64_t{1} << width) - 1;
   return v;
 }
 
 void insert_field(std::span<std::uint8_t> bytes, std::size_t bit_pos,
                   unsigned width, std::uint64_t field) noexcept {
-  for (unsigned i = 0; i < width; ++i)
-    set_bit(bytes, bit_pos + i, (field >> i) & 1);
+  if (width == 0) return;
+  const std::uint64_t mask =
+      width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  field &= mask;
+  const std::size_t first = bit_pos >> 3;
+  const unsigned shift = static_cast<unsigned>(bit_pos & 7);
+  const std::size_t span_bytes = ((bit_pos + width - 1) >> 3) - first + 1;
+  const std::size_t lo_n = span_bytes < 8 ? span_bytes : 8;
+  // Read-modify-write the low (up to 8) covered bytes as one word. When the
+  // field runs into a 9th byte, `mask << shift` / `field << shift` truncate
+  // to exactly the low-word portion; the spill is patched separately.
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < lo_n; ++i)
+    word |= std::uint64_t{bytes[first + i]} << (8 * i);
+  word = (word & ~(mask << shift)) | (field << shift);
+  for (std::size_t i = 0; i < lo_n; ++i)
+    bytes[first + i] = static_cast<std::uint8_t>(word >> (8 * i));
+  if (span_bytes == 9) {
+    const unsigned hi_bits = static_cast<unsigned>(shift + width - 64u);
+    const std::uint8_t hi_mask =
+        static_cast<std::uint8_t>((1u << hi_bits) - 1u);
+    bytes[first + 8] = static_cast<std::uint8_t>(
+        (bytes[first + 8] & ~hi_mask) |
+        static_cast<std::uint8_t>(field >> (64u - shift)));
+  }
 }
 
 }  // namespace secmem

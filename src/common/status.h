@@ -19,6 +19,9 @@ enum class [[nodiscard]] Status : std::uint8_t {
   kCorrectedWord,       ///< SEC-DED corrected word(s) (separate-MAC mode)
   kIntegrityViolation,  ///< tamper or uncorrectable fault in data/MAC
   kCounterTampered,     ///< counter storage failed tree authentication
+  kRegionPoisoned,      ///< engine fail-closed (e.g. rotation rollback
+                        ///< failure left shards split-keyed); restore()
+                        ///< from a good image is the only way out
 };
 
 constexpr const char* to_string(Status status) noexcept {
@@ -29,6 +32,7 @@ constexpr const char* to_string(Status status) noexcept {
     case Status::kCorrectedWord: return "corrected-word";
     case Status::kIntegrityViolation: return "integrity-violation";
     case Status::kCounterTampered: return "counter-tampered";
+    case Status::kRegionPoisoned: return "region-poisoned";
   }
   return "?";
 }

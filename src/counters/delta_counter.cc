@@ -19,12 +19,21 @@ std::uint64_t DeltaCounters::read_counter(BlockIndex block) const {
 void DeltaCounters::serialize_line(std::uint64_t line,
                                    std::span<std::uint8_t, 64> out) const {
   // Layout (Figure 4/5): [ref:56][delta:7 x64] = 504 bits; 8 spare.
+  //
+  // The layout is byte-periodic: 8 deltas x 7 bits = 56 bits = 7 bytes, so
+  // delta chunk k (deltas 8k..8k+7 packed low-to-high) starts at byte
+  // 7*(k+1) exactly. Each chunk is emitted with one 8-byte store whose
+  // spare high byte is zero — overwritten by the next chunk's low byte, and
+  // for the last chunk (offset 56) it lands on spare byte 63, which the
+  // layout defines as zero. Bit-identical to the insert_field loop.
   const Group& g = groups_.at(line);
-  std::fill(out.begin(), out.end(), 0);
-  std::span<std::uint8_t> bytes(out);
-  insert_field(bytes, 0, 56, g.ref);
-  for (unsigned i = 0; i < kGroupBlocks; ++i)
-    insert_field(bytes, 56 + i * kDeltaBits, kDeltaBits, g.delta[i]);
+  store_le64(out.data(), g.ref & ((std::uint64_t{1} << 56) - 1));
+  for (unsigned k = 0; k < kGroupBlocks / 8; ++k) {
+    std::uint64_t chunk = 0;
+    for (unsigned j = 0; j < 8; ++j)
+      chunk |= std::uint64_t{g.delta[8 * k + j]} << (kDeltaBits * j);
+    store_le64(out.data() + 7 * (k + 1), chunk);
+  }
 }
 
 WriteOutcome DeltaCounters::on_write(BlockIndex block) {
@@ -76,12 +85,17 @@ WriteOutcome DeltaCounters::on_write(BlockIndex block) {
 
 void DeltaCounters::deserialize_line(std::uint64_t line,
                                      std::span<const std::uint8_t, 64> in) {
+  // Mirror of serialize_line's byte-periodic layout: one 8-byte load per
+  // 8-delta chunk (the extra high byte read belongs to the next chunk and
+  // is simply ignored by the 7-bit masks).
   Group& g = groups_.at(line);
-  std::span<const std::uint8_t> bytes(in);
-  g.ref = extract_field(bytes, 0, 56);
-  for (unsigned i = 0; i < kGroupBlocks; ++i)
-    g.delta[i] = static_cast<std::uint8_t>(
-        extract_field(bytes, 56 + i * kDeltaBits, kDeltaBits));
+  g.ref = load_le64(in.data()) & ((std::uint64_t{1} << 56) - 1);
+  for (unsigned k = 0; k < kGroupBlocks / 8; ++k) {
+    const std::uint64_t chunk = load_le64(in.data() + 7 * (k + 1));
+    for (unsigned j = 0; j < 8; ++j)
+      g.delta[8 * k + j] = static_cast<std::uint8_t>(
+          (chunk >> (kDeltaBits * j)) & kDeltaMax);
+  }
 }
 
 }  // namespace secmem

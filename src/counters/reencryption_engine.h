@@ -57,6 +57,15 @@ class ReencryptionEngine {
   /// which is how re-encryption pressure becomes visible to the cores.
   std::uint64_t drain(std::uint64_t now);
 
+  /// Re-encrypt one group as a read burst followed by a write burst:
+  /// all of the group's reads issue back-to-back at `now` (overlapping
+  /// across channels/banks), the batched AES kernel consumes the whole
+  /// gather, and the writes issue once the last read returns. This is the
+  /// timing counterpart of the software engines' gather → crypt_batch →
+  /// store_blocks write path, and what drain() runs per job. Returns the
+  /// cycle the last writeback completes.
+  std::uint64_t reencrypt_group(const Job& job, std::uint64_t now);
+
   std::size_t pending() const noexcept { return queue_.size(); }
   std::size_t capacity() const noexcept { return capacity_; }
   std::size_t high_water() const noexcept { return high_water_; }

@@ -25,6 +25,10 @@ class Aes128 {
   static constexpr int kRounds = 10;
   /// Width of the interleaved multi-block kernel (one CTR keystream).
   static constexpr std::size_t kParallelBlocks = 4;
+  /// Width of the wide kernel (two CTR keystreams) used by the batch
+  /// paths: eight in-flight AESENC chains saturate the AES unit where
+  /// four only half-fill it (latency ~4 cycles, throughput ~2/cycle).
+  static constexpr std::size_t kWideParallelBlocks = 8;
 
   using Block = std::array<std::uint8_t, kBlockBytes>;
   using Key = std::array<std::uint8_t, kKeyBytes>;
@@ -52,6 +56,14 @@ class Aes128 {
   void encrypt_blocks4(
       std::span<const std::uint8_t, kParallelBlocks * kBlockBytes> in,
       std::span<std::uint8_t, kParallelBlocks * kBlockBytes> out)
+      const noexcept;
+
+  /// Encrypt eight independent 16-byte blocks in one call (128 bytes
+  /// in/out; in == out allowed) — two CTR keystreams. The batch paths
+  /// use this to keep eight AESENC chains in flight.
+  void encrypt_blocks8(
+      std::span<const std::uint8_t, kWideParallelBlocks * kBlockBytes> in,
+      std::span<std::uint8_t, kWideParallelBlocks * kBlockBytes> out)
       const noexcept;
 
   /// Convenience: encrypt a Block value.

@@ -89,6 +89,49 @@ void ni_encrypt4(const std::uint8_t* rk, const std::uint8_t* in,
   _mm_storeu_si128(dst + 3, _mm_aesenclast_si128(s3, k));
 }
 
+void ni_encrypt8(const std::uint8_t* rk, const std::uint8_t* in,
+                 std::uint8_t* out) {
+  const __m128i* src = reinterpret_cast<const __m128i*>(in);
+  __m128i s0 = _mm_loadu_si128(src + 0);
+  __m128i s1 = _mm_loadu_si128(src + 1);
+  __m128i s2 = _mm_loadu_si128(src + 2);
+  __m128i s3 = _mm_loadu_si128(src + 3);
+  __m128i s4 = _mm_loadu_si128(src + 4);
+  __m128i s5 = _mm_loadu_si128(src + 5);
+  __m128i s6 = _mm_loadu_si128(src + 6);
+  __m128i s7 = _mm_loadu_si128(src + 7);
+  __m128i k = round_key(rk, 0);
+  s0 = _mm_xor_si128(s0, k);
+  s1 = _mm_xor_si128(s1, k);
+  s2 = _mm_xor_si128(s2, k);
+  s3 = _mm_xor_si128(s3, k);
+  s4 = _mm_xor_si128(s4, k);
+  s5 = _mm_xor_si128(s5, k);
+  s6 = _mm_xor_si128(s6, k);
+  s7 = _mm_xor_si128(s7, k);
+  for (int round = 1; round < 10; ++round) {
+    k = round_key(rk, round);
+    s0 = _mm_aesenc_si128(s0, k);
+    s1 = _mm_aesenc_si128(s1, k);
+    s2 = _mm_aesenc_si128(s2, k);
+    s3 = _mm_aesenc_si128(s3, k);
+    s4 = _mm_aesenc_si128(s4, k);
+    s5 = _mm_aesenc_si128(s5, k);
+    s6 = _mm_aesenc_si128(s6, k);
+    s7 = _mm_aesenc_si128(s7, k);
+  }
+  k = round_key(rk, 10);
+  __m128i* dst = reinterpret_cast<__m128i*>(out);
+  _mm_storeu_si128(dst + 0, _mm_aesenclast_si128(s0, k));
+  _mm_storeu_si128(dst + 1, _mm_aesenclast_si128(s1, k));
+  _mm_storeu_si128(dst + 2, _mm_aesenclast_si128(s2, k));
+  _mm_storeu_si128(dst + 3, _mm_aesenclast_si128(s3, k));
+  _mm_storeu_si128(dst + 4, _mm_aesenclast_si128(s4, k));
+  _mm_storeu_si128(dst + 5, _mm_aesenclast_si128(s5, k));
+  _mm_storeu_si128(dst + 6, _mm_aesenclast_si128(s6, k));
+  _mm_storeu_si128(dst + 7, _mm_aesenclast_si128(s7, k));
+}
+
 // Equivalent inverse cipher: AESDEC expects InvMixColumns-transformed
 // round keys. Decryption is off the hot path (CTR mode and the MAC pad
 // only ever encrypt), so the AESIMC transforms run per call instead of
@@ -104,7 +147,8 @@ void ni_decrypt1(const std::uint8_t* rk, const std::uint8_t* in,
 }
 
 constexpr Aes128Ops kNiOps = {
-    "aes-ni", ni_expand_key, ni_encrypt1, ni_encrypt4, ni_decrypt1,
+    "aes-ni",    ni_expand_key, ni_encrypt1,
+    ni_encrypt4, ni_encrypt8,   ni_decrypt1,
 };
 
 }  // namespace

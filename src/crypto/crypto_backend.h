@@ -33,6 +33,13 @@ struct Aes128Ops {
   /// pipeline; portable falls back to four sequential encryptions.
   void (*encrypt4)(const std::uint8_t* rk, const std::uint8_t* in,
                    std::uint8_t* out);
+  /// Encrypt eight independent 16-byte blocks (128 bytes in/out) — two
+  /// 64-byte CTR keystreams per call. AESENC retires ~2/cycle with ~4
+  /// cycles latency, so four chains only half-fill the unit; the batch
+  /// paths (crypt_batch, group re-encryption) use eight chains to
+  /// saturate it. Portable falls back to eight sequential encryptions.
+  void (*encrypt8)(const std::uint8_t* rk, const std::uint8_t* in,
+                   std::uint8_t* out);
   /// Decrypt one 16-byte block (in == out allowed).
   void (*decrypt1)(const std::uint8_t* rk, const std::uint8_t* in,
                    std::uint8_t* out);

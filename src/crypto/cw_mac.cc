@@ -85,7 +85,7 @@ void CwMac::pad_batch(std::span<const std::uint64_t> addrs,
                       std::span<const std::uint64_t> counters,
                       std::span<std::uint64_t> pads) const noexcept {
   assert(addrs.size() == counters.size() && addrs.size() == pads.size());
-  constexpr std::size_t kLane = Aes128::kParallelBlocks;
+  constexpr std::size_t kLane = Aes128::kWideParallelBlocks;
   std::size_t i = 0;
   std::array<std::uint8_t, kLane * Aes128::kBlockBytes> tweaks{};
   std::array<std::uint8_t, kLane * Aes128::kBlockBytes> enc;
@@ -93,7 +93,7 @@ void CwMac::pad_batch(std::span<const std::uint64_t> addrs,
     for (std::size_t l = 0; l < kLane; ++l)
       fill_pad_tweak(addrs[i + l], counters[i + l],
                      tweaks.data() + l * Aes128::kBlockBytes);
-    pad_.encrypt_blocks4(tweaks, enc);
+    pad_.encrypt_blocks8(tweaks, enc);
     for (std::size_t l = 0; l < kLane; ++l)
       pads[i + l] = load_le64(enc.data() + l * Aes128::kBlockBytes);
   }

@@ -23,6 +23,16 @@ EccLane MacEccCodec::pack_lane(std::uint64_t mac,
   return bytes;
 }
 
+void MacEccCodec::pack_lane_batch(std::span<const std::uint64_t> macs,
+                                  std::span<const DataBlock> ciphertexts,
+                                  std::span<EccLane> out) const noexcept {
+  std::size_t n = macs.size() < ciphertexts.size() ? macs.size()
+                                                   : ciphertexts.size();
+  if (out.size() < n) n = out.size();
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = pack_lane(macs[i], ciphertexts[i]);
+}
+
 MacEccCodec::Unpacked MacEccCodec::unpack(std::uint64_t lane) const noexcept {
   const std::uint64_t mac = extract_bits(lane, kMacFieldPos, kMacBits);
   const std::uint64_t parity =
@@ -44,6 +54,12 @@ MacEccCodec::Unpacked MacEccCodec::unpack(std::uint64_t lane) const noexcept {
 MacEccCodec::Unpacked MacEccCodec::unpack_lane(
     const EccLane& lane) const noexcept {
   return unpack(load_le64(lane.data()));
+}
+
+void MacEccCodec::unpack_lane_batch(std::span<const EccLane> lanes,
+                                    std::span<Unpacked> out) const noexcept {
+  const std::size_t n = lanes.size() < out.size() ? lanes.size() : out.size();
+  for (std::size_t i = 0; i < n; ++i) out[i] = unpack_lane(lanes[i]);
 }
 
 bool MacEccCodec::scrub_ok(std::uint64_t lane,

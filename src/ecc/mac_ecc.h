@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "crypto/ctr_keystream.h"
 #include "crypto/cw_mac.h"
@@ -41,6 +42,16 @@ class MacEccCodec {
   EccLane pack_lane(std::uint64_t mac, const DataBlock& ciphertext)
       const noexcept;
 
+  /// Batch lane packing for group-granular writes: packs
+  /// `(macs[i], ciphertexts[i])` into `out[i]`. Each lane goes through the
+  /// same precomputed syndrome-mask Hamming encode and XOR-folded scrub
+  /// parity as `pack_lane`, so the output is bit-identical to per-block
+  /// calls; the batch shape lets re-encryption hand a whole 64-block group
+  /// to the codec at once. Spans must be the same length.
+  void pack_lane_batch(std::span<const std::uint64_t> macs,
+                       std::span<const DataBlock> ciphertexts,
+                       std::span<EccLane> out) const noexcept;
+
   enum class MacStatus : std::uint8_t {
     kOk,               ///< MAC field clean
     kCorrectedSingle,  ///< single-bit flip in MAC/parity repaired
@@ -56,6 +67,11 @@ class MacEccCodec {
   /// Extract and self-check the MAC using its 7-bit Hamming code.
   Unpacked unpack(std::uint64_t lane) const noexcept;
   Unpacked unpack_lane(const EccLane& lane) const noexcept;
+
+  /// Batch unpack: `out[i] = unpack_lane(lanes[i])`, bit-identical to the
+  /// scalar call. Spans must be the same length.
+  void unpack_lane_batch(std::span<const EccLane> lanes,
+                         std::span<Unpacked> out) const noexcept;
 
   /// Scrubbing check (paper §3.3 "Enabling Efficient Scrubbing"): compare
   /// the stored ciphertext-parity bit against the ciphertext. A mismatch

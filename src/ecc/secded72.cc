@@ -13,6 +13,12 @@ EccLane Secded72::encode(const DataBlock& block) const noexcept {
   return lane;
 }
 
+void Secded72::encode_batch(std::span<const DataBlock> blocks,
+                            std::span<EccLane> out) const noexcept {
+  const std::size_t n = blocks.size() < out.size() ? blocks.size() : out.size();
+  for (std::size_t i = 0; i < n; ++i) out[i] = encode(blocks[i]);
+}
+
 Secded72::BlockResult Secded72::decode(const DataBlock& block,
                                        const EccLane& ecc) const noexcept {
   BlockResult result;

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "crypto/ctr_keystream.h"  // DataBlock, kBlockBytes
 #include "ecc/hamming.h"
@@ -26,6 +27,16 @@ class Secded72 {
 
   /// ECC lane for a block: one SEC-DED parity byte per 8-byte word.
   EccLane encode(const DataBlock& block) const noexcept;
+
+  /// Batch entry point for group-granular writes (re-encryption, batched
+  /// stores): encodes `blocks[i]` into `out[i]`. Every word goes through
+  /// the same precomputed syndrome-mask path as `encode`, so results are
+  /// bit-identical to calling `encode` per block; batching exists so
+  /// callers can express a whole block-group in one call and the hot loop
+  /// stays free of per-block virtual/setup overhead. Spans must be the
+  /// same length.
+  void encode_batch(std::span<const DataBlock> blocks,
+                    std::span<EccLane> out) const noexcept;
 
   enum class WordStatus : std::uint8_t {
     kOk,

@@ -50,9 +50,10 @@ class ConcurrentSecureMemory : public SecureMemoryLike {
   std::uint64_t size_bytes() const noexcept override { return size_bytes_; }
   std::uint64_t num_blocks() const noexcept override { return num_blocks_; }
 
-  void write_block(std::uint64_t block, const DataBlock& plaintext) override {
+  [[nodiscard]] Status write_block(std::uint64_t block,
+                                   const DataBlock& plaintext) override {
     const SeqWriteLock lock(mu_);
-    memory_.write_block(block, plaintext);
+    return memory_.write_block(block, plaintext);
   }
 
   ReadResult read_block(std::uint64_t block) override {
@@ -89,9 +90,10 @@ class ConcurrentSecureMemory : public SecureMemoryLike {
     return memory_.read_blocks(blocks);
   }
 
-  void write_blocks(std::span<const BlockWrite> writes) override {
+  [[nodiscard]] Status write_blocks(std::span<const BlockWrite> writes)
+      override {
     const SeqWriteLock lock(mu_);
-    memory_.write_blocks(writes);
+    return memory_.write_blocks(writes);
   }
 
   Status write_bytes(std::uint64_t addr,
@@ -154,15 +156,21 @@ class ConcurrentSecureMemory : public SecureMemoryLike {
   /// Persistence under the lock. Note the stream I/O happens while the
   /// lock is held — that is the point: a save must observe a quiescent
   /// region, and a restore must not race concurrent readers.
-  void save(std::ostream& out) override {
+  [[nodiscard]] Status save(std::ostream& out) override {
     const SeqWriteLock lock(mu_);
-    memory_.save(out);
+    return memory_.save(out);
   }
 
   [[nodiscard]] bool restore(std::istream& in) override {
     const SeqWriteLock lock(mu_);
     return memory_.restore(in);
   }
+
+  // Re-expose the base class's std::byte-span / buffer overloads.
+  using SecureMemoryLike::read_bytes;
+  using SecureMemoryLike::restore;
+  using SecureMemoryLike::save;
+  using SecureMemoryLike::write_bytes;
 
   /// Run `fn(SecureMemory&)` under the exclusive lock — for anything the
   /// facade does not wrap (the untrusted view in tests, ...). Bumps the

@@ -41,6 +41,14 @@ unsigned resolved_tree_cache_kb(const SecureMemoryConfig& config) {
   return config.tree_cache_kb;
 }
 
+/// SECMEM_BATCH_REENC=0 forces the scalar re-encryption loop; anything
+/// else — including unset — takes the batched path. Sampled once at
+/// engine construction, like SECMEM_TREE_CACHE.
+bool resolved_batch_reencrypt() {
+  const char* env = std::getenv("SECMEM_BATCH_REENC");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
 DerivedKeys derive_keys(std::uint64_t master) {
   DerivedKeys keys{};
   std::uint64_t state = master;
@@ -114,7 +122,8 @@ SecureMemory::SecureMemory(const SecureMemoryConfig& config)
       ciphertext_(layout_.num_blocks()),
       lanes_(layout_.num_blocks()),
       counter_store_(layout_.num_counter_lines() * 64, 0),
-      shadow_ctr_(layout_.num_blocks(), 0) {
+      shadow_ctr_(layout_.num_blocks(), 0),
+      batch_reencrypt_(resolved_batch_reencrypt()) {
   assert(config.size_bytes % 64 == 0 && config.size_bytes > 0);
   if (config.mac_placement == MacPlacement::kSeparate)
     macs_.resize(layout_.num_blocks(), 0);
@@ -153,21 +162,30 @@ void SecureMemory::store_blocks(std::span<const std::uint64_t> blocks,
                                 std::span<const std::uint64_t> counters) {
   const std::size_t n = blocks.size();
   assert(plaintexts.size() == n && counters.size() == n);
-  std::vector<std::uint64_t> addrs(n);
+  std::vector<std::uint64_t>& addrs = scratch_.store_addrs;
+  addrs.resize(n);
   for (std::size_t i = 0; i < n; ++i) addrs[i] = layout_.block_addr(blocks[i]);
-  std::vector<DataBlock> cts(plaintexts.begin(), plaintexts.end());
+  std::vector<DataBlock>& cts = scratch_.cts;
+  cts.assign(plaintexts.begin(), plaintexts.end());
   keystream_.crypt_batch(addrs, counters, cts);
-  std::vector<std::uint64_t> tags(n);
+  std::vector<std::uint64_t>& tags = scratch_.tags;
+  tags.resize(n);
   mac_.compute_batch(addrs, counters, cts, tags);
+  // Lane packing runs batched too (one codec call per store batch), then
+  // scatters to each block's slot. Bit-identical to per-block pack_lane/
+  // encode — see the batch codec contracts in src/ecc/.
+  std::vector<EccLane>& packed = scratch_.packed;
+  packed.resize(n);
+  if (config_.mac_placement == MacPlacement::kEccLane) {
+    mac_ecc_.pack_lane_batch(tags, cts, packed);
+  } else {
+    secded_.encode_batch(cts, packed);
+  }
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint64_t b = blocks[i];
     ciphertext_[b] = cts[i];
-    if (config_.mac_placement == MacPlacement::kEccLane) {
-      lanes_[b] = mac_ecc_.pack_lane(tags[i], cts[i]);
-    } else {
-      macs_[b] = tags[i];
-      lanes_[b] = secded_.encode(cts[i]);
-    }
+    lanes_[b] = packed[i];
+    if (config_.mac_placement != MacPlacement::kEccLane) macs_[b] = tags[i];
     shadow_ctr_[b] = counters[i];
   }
 }
@@ -206,8 +224,62 @@ bool SecureMemory::verify_counter_line(std::uint64_t line) {
   return tree_cache_.verify(line, line_bytes);
 }
 
-void SecureMemory::write_block(std::uint64_t block,
-                               const DataBlock& plaintext) {
+std::uint64_t SecureMemory::reencrypt_group(std::uint64_t group,
+                                            std::uint64_t skip_block,
+                                            std::uint64_t new_counter) {
+  const unsigned group_blocks = scheme_->blocks_per_group();
+  const std::uint64_t first = group * group_blocks;
+  const std::uint64_t end =
+      std::min<std::uint64_t>(first + group_blocks, layout_.num_blocks());
+
+  if (!batch_reencrypt_) {
+    // Scalar reference path (SECMEM_BATCH_REENC=0): decrypt and re-store
+    // one block at a time. The batched path below must leave bit-identical
+    // state — the differential tests diff whole save images against this.
+    std::uint64_t rewritten = 0;
+    for (std::uint64_t b = first; b < end; ++b) {
+      if (b == skip_block) continue;
+      DataBlock plain = ciphertext_[b];
+      keystream_.crypt(layout_.block_addr(b), shadow_ctr_[b], plain);
+      store_block(b, plain, new_counter);
+      ++rewritten;
+    }
+    return rewritten;
+  }
+
+  // Batched: gather the group's stale ciphertexts and old counters, run
+  // ONE crypt_batch decrypt over the 4-wide AES kernel, then re-store the
+  // lot through store_blocks (batched encrypt + compute_batch MACs +
+  // pack_lane_batch/encode_batch lanes).
+  const std::size_t cap = static_cast<std::size_t>(end - first);
+  std::vector<std::uint64_t>& blocks = scratch_.blocks;
+  std::vector<std::uint64_t>& addrs = scratch_.addrs;
+  std::vector<std::uint64_t>& old_ctrs = scratch_.old_ctrs;
+  std::vector<DataBlock>& plains = scratch_.plains;
+  blocks.clear();
+  addrs.clear();
+  old_ctrs.clear();
+  plains.clear();
+  blocks.reserve(cap);
+  addrs.reserve(cap);
+  old_ctrs.reserve(cap);
+  plains.reserve(cap);
+  for (std::uint64_t b = first; b < end; ++b) {
+    if (b == skip_block) continue;
+    blocks.push_back(b);
+    addrs.push_back(layout_.block_addr(b));
+    old_ctrs.push_back(shadow_ctr_[b]);
+    plains.push_back(ciphertext_[b]);
+  }
+  keystream_.crypt_batch(addrs, old_ctrs, plains);  // CTR: decrypt == crypt
+  std::vector<std::uint64_t>& new_ctrs = scratch_.new_ctrs;
+  new_ctrs.assign(blocks.size(), new_counter);
+  store_blocks(blocks, plains, new_ctrs);
+  return blocks.size();
+}
+
+Status SecureMemory::write_block(std::uint64_t block,
+                                 const DataBlock& plaintext) {
   if (block >= layout_.num_blocks())
     throw std::out_of_range("SecureMemory::write_block: block " +
                             std::to_string(block) + " out of range");
@@ -217,21 +289,12 @@ void SecureMemory::write_block(std::uint64_t block,
   const WriteOutcome outcome = scheme_->on_write(block);
 
   if (outcome.event == CounterEvent::kReencrypt) {
-    metrics_.add(MetricId::kGroupReencryptions);
     // Re-encrypt every other block in the group under the new common
-    // counter (paper Fig 5a). Decrypt with each block's old counter from
-    // the shadow array, re-encrypt with outcome.counter.
-    const unsigned group_blocks = scheme_->blocks_per_group();
-    const std::uint64_t first = outcome.group * group_blocks;
-    std::uint64_t rewritten = 0;
-    for (std::uint64_t b = first;
-         b < first + group_blocks && b < layout_.num_blocks(); ++b) {
-      if (b == block) continue;
-      DataBlock plain = ciphertext_[b];
-      keystream_.crypt(layout_.block_addr(b), shadow_ctr_[b], plain);
-      store_block(b, plain, outcome.counter);
-      ++rewritten;
-    }
+    // counter (paper Fig 5a) in one batched pass; the counter-line/tree
+    // sync below covers the whole group (one update_leaf per group).
+    metrics_.add(MetricId::kGroupReencryptions);
+    const std::uint64_t rewritten =
+        reencrypt_group(outcome.group, block, outcome.counter);
     metrics_.sample(EngineHistId::kReencryptedBlocks, rewritten);
     trace(TraceEvent::Kind::kReencrypt, Status::kOk, block);
   }
@@ -239,6 +302,7 @@ void SecureMemory::write_block(std::uint64_t block,
   store_block(block, plaintext, outcome.counter);
   sync_counter_line(scheme_->storage_line_of(block));
   trace(TraceEvent::Kind::kWrite, Status::kOk, block);
+  return Status::kOk;
 }
 
 ReadResult SecureMemory::read_block(std::uint64_t block) {
@@ -346,6 +410,9 @@ void SecureMemory::account_read(const ReadResult& result,
       break;
     case ReadStatus::kCounterTampered:
       metrics_.add(MetricId::kCounterTampers);
+      break;
+    case ReadStatus::kRegionPoisoned:
+      metrics_.add(MetricId::kIntegrityViolations);
       break;
   }
   trace(TraceEvent::Kind::kRead, result.status, block);
@@ -577,14 +644,16 @@ std::vector<ReadResult> SecureMemory::read_blocks(
   return results;
 }
 
-void SecureMemory::write_blocks(std::span<const BlockWrite> writes) {
+Status SecureMemory::write_blocks(std::span<const BlockWrite> writes) {
   for (const BlockWrite& w : writes)
     if (w.block >= layout_.num_blocks())
       throw std::out_of_range("SecureMemory::write_blocks: block " +
                               std::to_string(w.block) + " out of range");
   if (config_.time_ops) {
-    for (const BlockWrite& w : writes) write_block(w.block, w.data);
-    return;
+    Status folded = Status::kOk;
+    for (const BlockWrite& w : writes)
+      folded = worse(folded, write_block(w.block, w.data));
+    return folded;
   }
 
   // Counter-scheme events are processed strictly in request order;
@@ -608,17 +677,8 @@ void SecureMemory::write_blocks(std::span<const BlockWrite> writes) {
     if (outcome.event == CounterEvent::kReencrypt) {
       flush();
       metrics_.add(MetricId::kGroupReencryptions);
-      const unsigned group_blocks = scheme_->blocks_per_group();
-      const std::uint64_t first = outcome.group * group_blocks;
-      std::uint64_t rewritten = 0;
-      for (std::uint64_t b = first;
-           b < first + group_blocks && b < layout_.num_blocks(); ++b) {
-        if (b == w.block) continue;
-        DataBlock plain = ciphertext_[b];
-        keystream_.crypt(layout_.block_addr(b), shadow_ctr_[b], plain);
-        store_block(b, plain, outcome.counter);
-        ++rewritten;
-      }
+      const std::uint64_t rewritten =
+          reencrypt_group(outcome.group, w.block, outcome.counter);
       metrics_.sample(EngineHistId::kReencryptedBlocks, rewritten);
       trace(TraceEvent::Kind::kReencrypt, Status::kOk, w.block);
     }
@@ -637,6 +697,7 @@ void SecureMemory::write_blocks(std::span<const BlockWrite> writes) {
   dirty_lines.erase(std::unique(dirty_lines.begin(), dirty_lines.end()),
                     dirty_lines.end());
   for (const std::uint64_t line : dirty_lines) sync_counter_line(line);
+  return Status::kOk;
 }
 
 ScrubStatus SecureMemory::scrub_block(std::uint64_t block, bool deep) {
@@ -683,6 +744,7 @@ ScrubStatus SecureMemory::scrub_block(std::uint64_t block, bool deep) {
       scrubbed = ScrubStatus::kCounterTampered;
       break;
     case ReadStatus::kIntegrityViolation:
+    case ReadStatus::kRegionPoisoned:
       scrubbed = ScrubStatus::kUncorrectable;
       break;
   }
@@ -707,6 +769,7 @@ ScrubReport SecureMemory::scrub_all(bool deep) {
       case ScrubStatus::kRepairedData: ++report.repaired_data; break;
       case ScrubStatus::kUncorrectable: ++report.uncorrectable; break;
       case ScrubStatus::kCounterTampered: ++report.counter_tampered; break;
+      case ScrubStatus::kRegionPoisoned: report.region_poisoned = true; break;
     }
   }
   return report;
@@ -728,7 +791,7 @@ std::uint64_t read_u64(std::istream& in) {
 }
 }  // namespace
 
-void SecureMemory::save(std::ostream& out) {
+Status SecureMemory::save(std::ostream& out) {
   // Flush barrier: write-back the deferred MAC propagation so the image
   // is bit-identical to what the eager path would persist.
   tree_cache_.flush();
@@ -755,6 +818,7 @@ void SecureMemory::save(std::ostream& out) {
     out.write(reinterpret_cast<const char*>(bytes.data()),
               static_cast<std::streamsize>(bytes.size()));
   }
+  return Status::kOk;
 }
 
 std::optional<SecureMemory::StagedRestore> SecureMemory::stage_restore(
@@ -958,7 +1022,7 @@ Status SecureMemory::write_bytes(std::uint64_t addr,
     if (chunk != 64)
       plain = block == first_block ? head_plain : tail_plain;
     std::memcpy(plain.data() + offset, bytes.data() + done, chunk);
-    write_block(block, plain);
+    folded = worse(folded, write_block(block, plain));
     pos += chunk;
     done += chunk;
   }

@@ -94,8 +94,19 @@ class SecureMemory : public SecureMemoryLike {
   const SecureRegionLayout& layout() const noexcept { return layout_; }
   const CounterScheme& counters() const noexcept { return *scheme_; }
 
-  /// Write one 64-byte block of plaintext.
-  void write_block(std::uint64_t block, const DataBlock& plaintext) override;
+  /// Write one 64-byte block of plaintext. Always kOk here — the plain
+  /// engine has no fail-closed state — but callers consume the Status so
+  /// they behave identically against the poisoning-capable facades.
+  ///
+  /// When a write overflows its delta group, the whole group re-encrypts
+  /// through one batched pass: one crypt_batch decrypt of the stale
+  /// ciphertexts, one crypt_batch + compute_batch + pack_lane_batch
+  /// re-store, and one counter-line/tree sync for the group. The
+  /// SECMEM_BATCH_REENC environment variable ("0" at construction) forces
+  /// the scalar block-at-a-time loop — bit-identical state, used by the
+  /// differential tests.
+  [[nodiscard]] Status write_block(std::uint64_t block,
+                                   const DataBlock& plaintext) override;
 
   /// Verified read of one 64-byte block.
   ReadResult read_block(std::uint64_t block) override;
@@ -109,7 +120,8 @@ class SecureMemory : public SecureMemoryLike {
   /// tampering) falls back to the scalar routine for that block.
   [[nodiscard]] std::vector<ReadResult> read_blocks(
       std::span<const std::uint64_t> blocks) override;
-  void write_blocks(std::span<const BlockWrite> writes) override;
+  [[nodiscard]] Status write_blocks(std::span<const BlockWrite> writes)
+      override;
 
   /// ------------------------------------------------------------------
   /// Shared (const) read fast path — the seqlock tier's workhorse.
@@ -211,8 +223,15 @@ class SecureMemory : public SecureMemoryLike {
   /// freshness requires a fresh root store, see SECURITY.md.)
   /// On any failure the region re-initializes to zeros and restore
   /// returns false.
-  void save(std::ostream& out) override;
+  [[nodiscard]] Status save(std::ostream& out) override;
   [[nodiscard]] bool restore(std::istream& in) override;
+
+  // Keep the base class's std::byte-span / buffer overloads visible next
+  // to the overrides above.
+  using SecureMemoryLike::read_bytes;
+  using SecureMemoryLike::restore;
+  using SecureMemoryLike::save;
+  using SecureMemoryLike::write_bytes;
 
   /// Two-phase restore, for facades that need all-or-nothing semantics
   /// across several engines (ShardedSecureMemory stages every shard's
@@ -347,6 +366,15 @@ class SecureMemory : public SecureMemoryLike {
   /// all counter lines afterwards.
   void reset_all_blocks(std::span<const DataBlock> plaintexts,
                         std::uint64_t counter);
+  /// Re-encrypt every block of `group` except `skip_block` under the
+  /// fresh group counter `new_counter` (paper Fig 5a). The batched path
+  /// gathers the group's stale ciphertexts, decrypts them with their
+  /// shadow counters through one crypt_batch, and re-stores through the
+  /// batched store_blocks (4-wide AES + compute_batch + lane-pack batch).
+  /// Counter lines are NOT synced — the caller owns the one sync per
+  /// group. Returns the number of blocks rewritten.
+  std::uint64_t reencrypt_group(std::uint64_t group, std::uint64_t skip_block,
+                                std::uint64_t new_counter);
   /// Refresh stored counter line `line` and its tree path (write-back:
   /// ancestor MAC propagation defers to the tree cache when enabled).
   void sync_counter_line(std::uint64_t line);
@@ -388,6 +416,23 @@ class SecureMemory : public SecureMemoryLike {
   mutable std::atomic<std::uint64_t> shared_cold_reads_{0};
   TraceRing* trace_ = nullptr;
   std::uint16_t trace_shard_ = 0;
+  /// Batch-path scratch, reused across calls so a group drain performs
+  /// no heap allocation in steady state (capacity sticks at the group
+  /// size after the first overflow). Guarded by the engine's external
+  /// synchronization contract — store_blocks/reencrypt_group run only
+  /// under the exclusive write path.
+  struct BatchScratch {
+    std::vector<std::uint64_t> blocks, addrs, old_ctrs, new_ctrs;
+    std::vector<DataBlock> plains;
+    std::vector<std::uint64_t> store_addrs, tags;
+    std::vector<DataBlock> cts;
+    std::vector<EccLane> packed;
+  };
+  BatchScratch scratch_;
+  /// SECMEM_BATCH_REENC kill switch, sampled at construction: false
+  /// forces the scalar block-at-a-time re-encryption loop (differential
+  /// reference for the batched path).
+  bool batch_reencrypt_ = true;
 };
 
 }  // namespace secmem

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <stdexcept>
 
 #include "engine/concurrent.h"
@@ -26,13 +27,65 @@ std::vector<ReadResult> SecureMemoryLike::read_blocks(
   return results;
 }
 
-void SecureMemoryLike::write_blocks(std::span<const BlockWrite> writes) {
+Status SecureMemoryLike::write_blocks(std::span<const BlockWrite> writes) {
   for (const BlockWrite& w : writes)
     if (w.block >= num_blocks())
       throw std::out_of_range("write_blocks: block " +
                               std::to_string(w.block) + " out of range");
-  for (const BlockWrite& w : writes) write_block(w.block, w.data);
+  Status folded = Status::kOk;
+  for (const BlockWrite& w : writes)
+    folded = worse(folded, write_block(w.block, w.data));
+  return folded;
 }
+
+Status SecureMemoryLike::save(std::vector<std::byte>& image) {
+  std::ostringstream out(std::ios::binary);
+  const Status status = save(out);
+  image.clear();
+  if (status_ok(status)) {
+    const std::string bytes = std::move(out).str();
+    image.resize(bytes.size());
+    std::memcpy(image.data(), bytes.data(), bytes.size());
+  }
+  return status;
+}
+
+bool SecureMemoryLike::restore(std::span<const std::byte> image) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(image.data()), image.size()),
+      std::ios::binary);
+  return restore(in);
+}
+
+// Pre-Status compatibility shims (one-PR lifetime). They reproduce the
+// PR-6 throwing contract on top of the Status returns; the deprecation
+// warning is silenced locally because defining/forwarding to them here is
+// the whole point.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+void SecureMemoryLike::write_block_or_throw(std::uint64_t block,
+                                            const DataBlock& plaintext) {
+  if (write_block(block, plaintext) == Status::kRegionPoisoned)
+    // Deprecated pre-Status contract; the shim dies with the next PR.
+    throw std::runtime_error(  // secmem-lint: allow(no-throw-engine)
+        "write_block: region poisoned");
+}
+
+void SecureMemoryLike::write_blocks_or_throw(
+    std::span<const BlockWrite> writes) {
+  if (write_blocks(writes) == Status::kRegionPoisoned)
+    // Deprecated pre-Status contract; the shim dies with the next PR.
+    throw std::runtime_error(  // secmem-lint: allow(no-throw-engine)
+        "write_blocks: region poisoned");
+}
+
+void SecureMemoryLike::save_or_throw(std::ostream& out) {
+  if (save(out) == Status::kRegionPoisoned)
+    // Deprecated pre-Status contract; the shim dies with the next PR.
+    throw std::runtime_error(  // secmem-lint: allow(no-throw-engine)
+        "save: region poisoned");
+}
+#pragma GCC diagnostic pop
 
 const char* scrub_status_name(ScrubStatus status) noexcept {
   switch (status) {
@@ -41,6 +94,7 @@ const char* scrub_status_name(ScrubStatus status) noexcept {
     case ScrubStatus::kRepairedData: return "repaired-data";
     case ScrubStatus::kUncorrectable: return "uncorrectable";
     case ScrubStatus::kCounterTampered: return "counter-tampered";
+    case ScrubStatus::kRegionPoisoned: return "region-poisoned";
   }
   return "?";
 }
@@ -52,6 +106,7 @@ Status to_status(ScrubStatus status) noexcept {
     case ScrubStatus::kRepairedData: return Status::kCorrectedData;
     case ScrubStatus::kUncorrectable: return Status::kIntegrityViolation;
     case ScrubStatus::kCounterTampered: return Status::kCounterTampered;
+    case ScrubStatus::kRegionPoisoned: return Status::kRegionPoisoned;
   }
   return Status::kIntegrityViolation;
 }

@@ -10,6 +10,7 @@
 // aliases (SecureMemory::ReadResult, ...) for source compatibility.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -47,6 +48,7 @@ enum class [[nodiscard]] ScrubStatus : std::uint8_t {
   kRepairedData,     ///< 1-2 bit data fault healed
   kUncorrectable,    ///< fault beyond correction; data NOT healed
   kCounterTampered,  ///< counter storage failed tree authentication
+  kRegionPoisoned,   ///< engine fail-closed; nothing was scanned
 };
 
 const char* scrub_status_name(ScrubStatus status) noexcept;
@@ -59,6 +61,7 @@ struct ScrubReport {
   std::uint64_t repaired_data = 0;
   std::uint64_t uncorrectable = 0;
   std::uint64_t counter_tampered = 0;
+  bool region_poisoned = false;    ///< engine was fail-closed; no sweep ran
 };
 
 /// Aggregate operational counters — a point-in-time copy assembled from
@@ -89,9 +92,12 @@ class SecureMemoryLike {
   virtual std::uint64_t size_bytes() const noexcept = 0;
   virtual std::uint64_t num_blocks() const noexcept = 0;
 
-  /// Write one 64-byte block of plaintext.
-  virtual void write_block(std::uint64_t block,
-                           const DataBlock& plaintext) = 0;
+  /// Write one 64-byte block of plaintext. Returns the outcome: kOk from
+  /// a healthy engine; kRegionPoisoned from a fail-closed one (the write
+  /// did not happen). No mutation path throws on engine state — only
+  /// argument errors (out-of-range blocks) do.
+  [[nodiscard]] virtual Status write_block(std::uint64_t block,
+                                           const DataBlock& plaintext) = 0;
   /// Verified read of one 64-byte block.
   virtual ReadResult read_block(std::uint64_t block) = 0;
 
@@ -106,6 +112,25 @@ class SecureMemoryLike {
   virtual Status read_bytes(std::uint64_t addr,
                             std::span<std::uint8_t> out) = 0;
 
+  /// std::byte spans are the preferred signature for new callers — byte
+  /// buffers in application code are std::byte/char, and the uint8_t
+  /// overloads above remain as the implementation surface. Non-virtual:
+  /// they forward after a reinterpret, so every engine gets them for
+  /// free. (Derived classes re-expose the full overload set with
+  /// `using SecureMemoryLike::write_bytes;` etc.)
+  Status write_bytes(std::uint64_t addr, std::span<const std::byte> bytes) {
+    return write_bytes(
+        addr, std::span<const std::uint8_t>(
+                  reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                  bytes.size()));
+  }
+  Status read_bytes(std::uint64_t addr, std::span<std::byte> out) {
+    return read_bytes(addr,
+                      std::span<std::uint8_t>(
+                          reinterpret_cast<std::uint8_t*>(out.data()),
+                          out.size()));
+  }
+
   /// ------------------------------------------------------------------
   /// Batch block I/O.
   /// ------------------------------------------------------------------
@@ -119,7 +144,10 @@ class SecureMemoryLike {
   /// is thrown before anything is mutated.
   [[nodiscard]] virtual std::vector<ReadResult> read_blocks(
       std::span<const std::uint64_t> blocks);
-  virtual void write_blocks(std::span<const BlockWrite> writes);
+  /// Returns the most severe per-write outcome (kOk, or kRegionPoisoned
+  /// from a fail-closed engine, in which case nothing was written).
+  [[nodiscard]] virtual Status write_blocks(
+      std::span<const BlockWrite> writes);
 
   /// Scrubbing sweep (paper §3.3): quick parity scan unless `deep`.
   virtual ScrubStatus scrub_block(std::uint64_t block,
@@ -132,11 +160,32 @@ class SecureMemoryLike {
   [[nodiscard]] virtual bool rotate_master_key(std::uint64_t new_master) = 0;
 
   /// Persistence (NVMM / hibernate model); see SecureMemory for the
-  /// image-format and threat-model contract. A false restore means the
-  /// image was rejected (tamper, truncation) — the region contents are
-  /// unspecified and the verdict must be consumed.
-  virtual void save(std::ostream& out) = 0;
+  /// image-format and threat-model contract. `save` returns kOk when the
+  /// full image was emitted and kRegionPoisoned from a fail-closed engine
+  /// (nothing is written — a poisoned region must not serialize state
+  /// that could be mistaken for a good snapshot). A false restore means
+  /// the image was rejected (tamper, truncation) — the region contents
+  /// are unspecified and the verdict must be consumed.
+  [[nodiscard]] virtual Status save(std::ostream& out) = 0;
   [[nodiscard]] virtual bool restore(std::istream& in) = 0;
+
+  /// Buffer-based persistence conveniences over the stream virtuals:
+  /// save() fills `image` (cleared first), restore() consumes a span.
+  [[nodiscard]] Status save(std::vector<std::byte>& image);
+  [[nodiscard]] bool restore(std::span<const std::byte> image);
+
+  /// ------------------------------------------------------------------
+  /// Deprecated pre-Status shims — removed next PR.
+  /// ------------------------------------------------------------------
+  /// The PR-6 surface threw std::runtime_error from a poisoned engine;
+  /// the Status returns above replaced that. These shims reproduce the
+  /// old throwing contract for callers mid-migration.
+  [[deprecated("use the Status-returning write_block")]]
+  void write_block_or_throw(std::uint64_t block, const DataBlock& plaintext);
+  [[deprecated("use the Status-returning write_blocks")]]
+  void write_blocks_or_throw(std::span<const BlockWrite> writes);
+  [[deprecated("use the Status-returning save")]]
+  void save_or_throw(std::ostream& out);
 
   /// ------------------------------------------------------------------
   /// Observability.

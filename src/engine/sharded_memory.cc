@@ -132,26 +132,29 @@ SecureMemory::ReadResult ShardedSecureMemory::poisoned_read()
   // Fail closed: a split-keyed region must not decrypt anything — half
   // of it would be served under keys the caller meant to retire.
   metrics_.add(MetricId::kIntegrityViolations);
-  return ReadResult{Status::kIntegrityViolation, {}, 0};
+  return ReadResult{Status::kRegionPoisoned, {}, 0};
 }
 
-void ShardedSecureMemory::throw_if_poisoned(const char* op) const {
-  if (poisoned()) {
-    throw std::runtime_error(
-        std::string("ShardedSecureMemory::") + op +
-        ": region poisoned by a failed key-rotation rollback "
-        "(split-keyed shards); restore() a known-good image");
-  }
+Status ShardedSecureMemory::poisoned_mutation(
+    std::uint64_t block) const noexcept {
+  // Refused mutations count as integrity violations (the region cannot
+  // accept state) and leave a trace event, but — unlike the pre-Status
+  // surface — they REPORT instead of throw.
+  metrics_.add(MetricId::kIntegrityViolations);
+  if (trace_)
+    trace_->record(TraceEvent::Kind::kWrite, Status::kRegionPoisoned, block,
+                   static_cast<std::uint16_t>(shard_of_block(block)));
+  return Status::kRegionPoisoned;
 }
 
-void ShardedSecureMemory::write_block(std::uint64_t block,
-                                      const DataBlock& plaintext) {
+Status ShardedSecureMemory::write_block(std::uint64_t block,
+                                        const DataBlock& plaintext) {
   check_block(block);
-  throw_if_poisoned("write_block");
+  if (poisoned()) return poisoned_mutation(block);
   const Route r = route(block);
   Shard& s = shards_[r.shard];
   const SeqWriteLock lock(s.mu);
-  s.engine->write_block(r.local_block, plaintext);
+  return s.engine->write_block(r.local_block, plaintext);
 }
 
 SecureMemory::ReadResult ShardedSecureMemory::read_block(
@@ -176,7 +179,10 @@ SecureMemory::ReadResult ShardedSecureMemory::read_block(
 SecureMemory::ScrubStatus ShardedSecureMemory::scrub_block(
     std::uint64_t block, bool deep) {
   check_block(block);
-  throw_if_poisoned("scrub_block");
+  if (poisoned()) {
+    (void)poisoned_mutation(block);
+    return ScrubStatus::kRegionPoisoned;
+  }
   const Route r = route(block);
   Shard& s = shards_[r.shard];
   const SeqWriteLock lock(s.mu);
@@ -240,9 +246,10 @@ std::vector<SecureMemory::ReadResult> ShardedSecureMemory::read_blocks(
   return results;
 }
 
-void ShardedSecureMemory::write_blocks(std::span<const BlockWrite> writes) {
+Status ShardedSecureMemory::write_blocks(std::span<const BlockWrite> writes) {
   for (const BlockWrite& w : writes) check_block(w.block);
-  throw_if_poisoned("write_blocks");
+  if (poisoned())
+    return poisoned_mutation(writes.empty() ? 0 : writes.front().block);
 
   std::vector<std::uint32_t> order(writes.size());
   std::iota(order.begin(), order.end(), 0);
@@ -252,6 +259,7 @@ void ShardedSecureMemory::write_blocks(std::span<const BlockWrite> writes) {
                             shard_of_block(writes[b].block);
                    });
 
+  Status folded = Status::kOk;
   std::vector<BlockWrite> local_writes;
   std::size_t i = 0;
   while (i < order.size()) {
@@ -265,8 +273,9 @@ void ShardedSecureMemory::write_blocks(std::span<const BlockWrite> writes) {
     }
     Shard& s = shards_[shard];
     const SeqWriteLock lock(s.mu);
-    s.engine->write_blocks(local_writes);
+    folded = worse(folded, s.engine->write_blocks(local_writes));
   }
+  return folded;
 }
 
 std::vector<std::size_t> ShardedSecureMemory::shards_in_range(
@@ -307,7 +316,7 @@ Status ShardedSecureMemory::write_bytes(std::uint64_t addr,
   metrics_.sample(EngineHistId::kByteWriteBytes, bytes.size());
   if (poisoned()) {
     metrics_.add(MetricId::kIntegrityViolations);
-    return Status::kIntegrityViolation;
+    return Status::kRegionPoisoned;
   }
   if (bytes.empty()) return Status::kOk;
 
@@ -358,7 +367,9 @@ Status ShardedSecureMemory::write_bytes(std::uint64_t addr,
       plain = block == first_block ? head_plain : tail_plain;
     std::memcpy(plain.data() + offset, bytes.data() + done, chunk);
     const Route r = route(block);
-    shards_[r.shard].engine->write_block(r.local_block, plain);
+    folded =
+        worse(folded, shards_[r.shard].engine->write_block(r.local_block,
+                                                           plain));
     pos += chunk;
     done += chunk;
   }
@@ -456,7 +467,7 @@ Status ShardedSecureMemory::read_bytes(std::uint64_t addr,
   metrics_.sample(EngineHistId::kByteReadBytes, out.size());
   if (poisoned()) {
     metrics_.add(MetricId::kIntegrityViolations);
-    return Status::kIntegrityViolation;
+    return Status::kRegionPoisoned;
   }
   if (out.empty()) return Status::kOk;
 
@@ -503,7 +514,12 @@ Status ShardedSecureMemory::read_bytes(std::uint64_t addr,
 }
 
 SecureMemory::ScrubReport ShardedSecureMemory::scrub_all(bool deep) {
-  throw_if_poisoned("scrub_all");
+  if (poisoned()) {
+    (void)poisoned_mutation(0);
+    SecureMemory::ScrubReport refused;
+    refused.region_poisoned = true;
+    return refused;
+  }
   std::vector<SecureMemory::ScrubReport> reports(num_shards_);
   parallel_over_shards(num_shards_, [this, deep, &reports](unsigned s) {
     Shard& shard = shards_[s];
@@ -623,16 +639,20 @@ void ShardedSecureMemory::attach_trace(TraceRing* ring) {
   }
 }
 
-void ShardedSecureMemory::save(std::ostream& out) {
-  throw_if_poisoned("save");
+Status ShardedSecureMemory::save(std::ostream& out) {
+  // A poisoned region writes NOTHING: a partial or split-keyed image
+  // must never be mistakable for a good snapshot.
+  if (poisoned()) return poisoned_mutation(0);
   out.write(kShardMagic, sizeof(kShardMagic));
   write_u64(out, num_shards_);
   write_u64(out, granule_blocks_);
+  Status folded = Status::kOk;
   for (unsigned s = 0; s < num_shards_; ++s) {
     Shard& shard = shards_[s];
     const SeqWriteLock lock(shard.mu);
-    shard.engine->save(out);
+    folded = worse(folded, shard.engine->save(out));
   }
+  return folded;
 }
 
 // All shard locks for the duration, in table order (runtime lock set —

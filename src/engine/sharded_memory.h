@@ -91,7 +91,8 @@ class ShardedSecureMemory : public SecureMemoryLike {
   /// ------------------------------------------------------------------
   /// Single-block operations (lock the owning shard only).
   /// ------------------------------------------------------------------
-  void write_block(std::uint64_t block, const DataBlock& plaintext) override;
+  [[nodiscard]] Status write_block(std::uint64_t block,
+                                   const DataBlock& plaintext) override;
   ReadResult read_block(std::uint64_t block) override;
   ScrubStatus scrub_block(std::uint64_t block, bool deep = false) override;
 
@@ -106,7 +107,8 @@ class ShardedSecureMemory : public SecureMemoryLike {
   using BlockWrite = secmem::BlockWrite;
   [[nodiscard]] std::vector<ReadResult> read_blocks(
       std::span<const std::uint64_t> blocks) override;
-  void write_blocks(std::span<const BlockWrite> writes) override;
+  [[nodiscard]] Status write_blocks(std::span<const BlockWrite> writes)
+      override;
 
   /// ------------------------------------------------------------------
   /// Byte-level API. Ranges are read/written atomically even across
@@ -150,13 +152,15 @@ class ShardedSecureMemory : public SecureMemoryLike {
   [[nodiscard]] bool rotate_master_key(std::uint64_t new_master) override;
 
   /// True after a key-rotation rollback failure left shards under
-  /// different masters. While poisoned, every verified read returns
-  /// kIntegrityViolation (reads fail closed rather than decrypt half the
-  /// region with retired keys), byte writes return kIntegrityViolation,
-  /// mutating maintenance (write_block/write_blocks/scrub/save) throws
-  /// std::runtime_error, and rotate_master_key refuses. The only way
-  /// out is a successful restore() of a known-good image, which clears
-  /// the flag.
+  /// different masters. While poisoned, every operation reports
+  /// Status::kRegionPoisoned — verified reads fail closed rather than
+  /// decrypt half the region with retired keys, byte I/O and every
+  /// mutation path (write_block/write_blocks/write_bytes/save) return
+  /// the status without touching any shard, scrubs report
+  /// ScrubStatus::kRegionPoisoned, and rotate_master_key refuses. No
+  /// path throws on poisoning (the pre-Status behavior survives one PR
+  /// behind the *_or_throw shims). The only way out is a successful
+  /// restore() of a known-good image, which clears the flag.
   bool poisoned() const noexcept {
     return poisoned_.load(std::memory_order_acquire);
   }
@@ -191,8 +195,14 @@ class ShardedSecureMemory : public SecureMemoryLike {
   /// mirroring write_bytes' pre-verify-then-mutate protocol. A false
   /// return means the region is EXACTLY as it was, including a poisoned
   /// flag; a true return restores every shard and clears poisoning.
-  void save(std::ostream& out) override;
+  [[nodiscard]] Status save(std::ostream& out) override;
   [[nodiscard]] bool restore(std::istream& in) override;
+
+  // Re-expose the base class's std::byte-span / buffer overloads.
+  using SecureMemoryLike::read_bytes;
+  using SecureMemoryLike::restore;
+  using SecureMemoryLike::save;
+  using SecureMemoryLike::write_bytes;
 
   /// Run `fn(SecureMemory&)` against one shard under its exclusive lock
   /// — for tests and attacker simulation (the untrusted view is per
@@ -237,8 +247,9 @@ class ShardedSecureMemory : public SecureMemoryLike {
       std::span<const std::size_t> involved);
   /// Fail-closed verified-read outcome while poisoned.
   ReadResult poisoned_read() const noexcept;
-  /// Throw for mutating operations while poisoned.
-  void throw_if_poisoned(const char* op) const;
+  /// Account + trace one refused mutation on a poisoned region; returns
+  /// Status::kRegionPoisoned for the caller to propagate.
+  Status poisoned_mutation(std::uint64_t block) const noexcept;
 
   SecureMemoryConfig config_;  ///< region-level config (total size)
   unsigned num_shards_;

@@ -1,0 +1,6 @@
+// Fixture: the no-throw-engine scope covers src/counters/ too.
+struct OverflowError {};
+
+void delta_overflow() {
+  throw OverflowError{};  // rule: no-throw-engine
+}

@@ -1,0 +1,19 @@
+// Fixture: engine-datapath throws that must trip no-throw-engine.
+// Never compiled — scanned by secmem-lint in tests/test_lint.cc.
+#include <stdexcept>
+
+void poisoned_write() {
+  throw std::runtime_error("region poisoned");  // rule: no-throw-engine
+}
+
+void tampered_read() {
+  throw std::logic_error("counter tampered");  // rule: no-throw-engine
+}
+
+void rethrow_to_caller() {
+  try {
+    poisoned_write();
+  } catch (...) {
+    throw;  // rule: no-throw-engine (rethrow still crosses the boundary)
+  }
+}

@@ -1,0 +1,26 @@
+// Fixture: argument-contract throws and near-misses lint clean.
+//
+// A comment mentioning `throw std::runtime_error` must not fire — the
+// linter strips comments before token matching.
+#include <stdexcept>
+#include <string>
+
+void bounds_check(unsigned long long block, unsigned long long limit) {
+  if (block >= limit)
+    throw std::out_of_range("block " + std::to_string(block));
+}
+
+void geometry_check(unsigned shards) {
+  if (shards == 0) throw std::invalid_argument("need >= 1 shard");
+}
+
+void image_check(unsigned long long bytes) {
+  if (bytes > (1ULL << 32)) throw std::length_error("image too large");
+}
+
+void deprecated_shim() {
+  // Pre-Status contract kept alive for one PR behind an explicit allow.
+  throw std::runtime_error("legacy");  // secmem-lint: allow(no-throw-engine)
+}
+
+const char* doc() { return "callers migrate to secmem::Status, not throw"; }

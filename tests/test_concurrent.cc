@@ -35,7 +35,7 @@ TEST(ConcurrentSecureMemory, ParallelDisjointWritersRoundTrip) {
       // Each thread owns blocks t, t+8, t+16, ... — plus reads others.
       for (unsigned round = 0; round < kRounds; ++round) {
         const std::uint64_t block = t + 8 * (round % 16);
-        memory.write_block(block, stamp(t, round));
+        EXPECT_EQ(memory.write_block(block, stamp(t, round)), Status::kOk);
         const auto result = memory.read_block(block);
         if (result.status != ReadStatus::kOk ||
             result.data != stamp(t, round))
@@ -68,7 +68,7 @@ TEST(ConcurrentSecureMemory, ContendedSameGroupWritesStayConsistent) {
   for (unsigned t = 0; t < 4; ++t) {
     threads.emplace_back([&memory, &bad_reads, t] {
       for (unsigned round = 0; round < 200; ++round) {
-        memory.write_block(t, stamp(t, round));
+        EXPECT_EQ(memory.write_block(t, stamp(t, round)), Status::kOk);
         const auto result = memory.read_block(t);
         if (result.status != ReadStatus::kOk ||
             result.data != stamp(t, round))
@@ -88,7 +88,7 @@ TEST(ConcurrentSecureMemory, FacadeWrapsScrubStatsAndPersistence) {
   SecureMemoryConfig config;
   config.size_bytes = 16 * 1024;
   ConcurrentSecureMemory memory(config);
-  memory.write_block(2, stamp(3, 4));
+  EXPECT_EQ(memory.write_block(2, stamp(3, 4)), Status::kOk);
 
   // scrub_block heals a planted single-bit fault.
   memory.with_exclusive([](SecureMemory& inner) {
@@ -104,8 +104,8 @@ TEST(ConcurrentSecureMemory, FacadeWrapsScrubStatsAndPersistence) {
 
   // save / restore round-trip through the locked wrappers.
   std::stringstream image;
-  memory.save(image);
-  memory.write_block(2, stamp(9, 9));
+  EXPECT_EQ(memory.save(image), Status::kOk);
+  EXPECT_EQ(memory.write_block(2, stamp(9, 9)), Status::kOk);
   ASSERT_TRUE(memory.restore(image));
   const auto result = memory.read_block(2);
   EXPECT_EQ(result.status, ReadStatus::kOk);
@@ -124,7 +124,8 @@ TEST(ConcurrentSecureMemoryStress, ReadMostlySharedReadersStayConsistent) {
   const auto fixed = [](std::uint64_t block) {
     return stamp(static_cast<unsigned>(block % 199), 0);
   };
-  for (std::uint64_t b = 0; b < blocks; ++b) memory.write_block(b, fixed(b));
+  for (std::uint64_t b = 0; b < blocks; ++b)
+    EXPECT_EQ(memory.write_block(b, fixed(b)), Status::kOk);
 
   constexpr unsigned kReaders = 6;
   constexpr unsigned kRounds = 300;
@@ -133,7 +134,7 @@ TEST(ConcurrentSecureMemoryStress, ReadMostlySharedReadersStayConsistent) {
   threads.emplace_back([&memory, &fixed, blocks] {
     for (unsigned round = 0; round < kRounds / 2; ++round) {
       const std::uint64_t block = (round * 11) % blocks;
-      memory.write_block(block, fixed(block));
+      EXPECT_EQ(memory.write_block(block, fixed(block)), Status::kOk);
     }
   });
   for (unsigned t = 0; t < kReaders; ++t) {
@@ -166,7 +167,7 @@ TEST(ConcurrentSecureMemory, WithExclusiveExposesFullApi) {
   SecureMemoryConfig config;
   config.size_bytes = 16 * 1024;
   ConcurrentSecureMemory memory(config);
-  memory.write_block(3, stamp(1, 1));
+  EXPECT_EQ(memory.write_block(3, stamp(1, 1)), Status::kOk);
   const bool tampered = memory.with_exclusive([](SecureMemory& inner) {
     inner.untrusted().flip_ciphertext_bit(3, 1);
     inner.untrusted().flip_ciphertext_bit(3, 2);

@@ -341,10 +341,10 @@ TEST(CryptoDispatch, EngineSaveImagesIdenticalAcrossBackends) {
     for (int i = 0; i < 300; ++i) {
       DataBlock block;
       for (auto& b : block) b = static_cast<std::uint8_t>(rng.next());
-      memory.write_block(rng.next_below(memory.num_blocks()), block);
+      EXPECT_EQ(memory.write_block(rng.next_below(memory.num_blocks()), block), Status::kOk);
     }
     std::ostringstream image;
-    memory.save(image);
+    EXPECT_EQ(memory.save(image), Status::kOk);
     return image.str();
   };
   const std::string portable_image = run(CryptoBackendChoice::kPortable);
@@ -374,9 +374,9 @@ TEST(CryptoDispatch, EngineBatchIoMatchesScalarAcrossBackends) {
       writes.push_back(w);
       blocks.push_back(w.block);
     }
-    batch_engine.write_blocks(writes);
+    EXPECT_EQ(batch_engine.write_blocks(writes), Status::kOk);
     for (const BlockWrite& w : writes)
-      scalar_engine.write_block(w.block, w.data);
+      EXPECT_EQ(scalar_engine.write_block(w.block, w.data), Status::kOk);
 
     const auto batch_results = batch_engine.read_blocks(blocks);
     for (std::size_t i = 0; i < blocks.size(); ++i) {
@@ -386,8 +386,8 @@ TEST(CryptoDispatch, EngineBatchIoMatchesScalarAcrossBackends) {
     }
 
     std::ostringstream batch_image, scalar_image;
-    batch_engine.save(batch_image);
-    scalar_engine.save(scalar_image);
+    EXPECT_EQ(batch_engine.save(batch_image), Status::kOk);
+    EXPECT_EQ(scalar_engine.save(scalar_image), Status::kOk);
     EXPECT_EQ(batch_image.str(), scalar_image.str());
   }
 }

@@ -123,10 +123,10 @@ TEST(CtEqual, SaveImageSealedRootAcceptReject) {
   for (std::uint64_t b = 0; b < memory.num_blocks(); b += 7) {
     DataBlock block;
     for (auto& byte : block) byte = static_cast<std::uint8_t>(rng.next());
-    memory.write_block(b, block);
+    EXPECT_EQ(memory.write_block(b, block), Status::kOk);
   }
   std::ostringstream out;
-  memory.save(out);
+  EXPECT_EQ(memory.save(out), Status::kOk);
   const std::string image = out.str();
 
   {

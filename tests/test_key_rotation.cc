@@ -24,7 +24,7 @@ SecureMemoryConfig small_config() {
 TEST(KeyRotation, DataSurvivesRekey) {
   SecureMemory memory(small_config());
   for (std::uint64_t b = 0; b < 64; ++b)
-    memory.write_block(b, pattern(static_cast<std::uint8_t>(b)));
+    EXPECT_EQ(memory.write_block(b, pattern(static_cast<std::uint8_t>(b))), Status::kOk);
   ASSERT_TRUE(memory.rotate_master_key(0xD00DULL));
   for (std::uint64_t b = 0; b < 64; ++b) {
     const auto result = memory.read_block(b);
@@ -35,7 +35,7 @@ TEST(KeyRotation, DataSurvivesRekey) {
 
 TEST(KeyRotation, CiphertextActuallyChanges) {
   SecureMemory memory(small_config());
-  memory.write_block(3, pattern(9));
+  EXPECT_EQ(memory.write_block(3, pattern(9)), Status::kOk);
   DataBlock before;
   std::memcpy(before.data(), memory.untrusted().ciphertext(3).data(), 64);
   ASSERT_TRUE(memory.rotate_master_key(0x12345));
@@ -46,18 +46,19 @@ TEST(KeyRotation, CiphertextActuallyChanges) {
 
 TEST(KeyRotation, CountersRestartAtZero) {
   SecureMemory memory(small_config());
-  for (int i = 0; i < 50; ++i) memory.write_block(4, pattern(1));
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(memory.write_block(4, pattern(1)), Status::kOk);
   EXPECT_GT(memory.counters().read_counter(4), 0u);
   ASSERT_TRUE(memory.rotate_master_key(0x777));
   EXPECT_EQ(memory.counters().read_counter(4), 0u);
   // And the region still works.
-  memory.write_block(4, pattern(2));
+  EXPECT_EQ(memory.write_block(4, pattern(2)), Status::kOk);
   EXPECT_EQ(memory.read_block(4).data, pattern(2));
 }
 
 TEST(KeyRotation, RefusesToLaunderTamperedData) {
   SecureMemory memory(small_config());
-  memory.write_block(5, pattern(3));
+  EXPECT_EQ(memory.write_block(5, pattern(3)), Status::kOk);
   for (unsigned bit : {1u, 2u, 3u})
     memory.untrusted().flip_ciphertext_bit(5, bit);
   EXPECT_FALSE(memory.rotate_master_key(0xBAD));
@@ -67,7 +68,7 @@ TEST(KeyRotation, RefusesToLaunderTamperedData) {
 
 TEST(KeyRotation, HealsCorrectableFaultsWhileRekeying) {
   SecureMemory memory(small_config());
-  memory.write_block(6, pattern(4));
+  EXPECT_EQ(memory.write_block(6, pattern(4)), Status::kOk);
   memory.untrusted().flip_ciphertext_bit(6, 77);  // correctable
   ASSERT_TRUE(memory.rotate_master_key(0x600D));
   const auto result = memory.read_block(6);
@@ -77,7 +78,7 @@ TEST(KeyRotation, HealsCorrectableFaultsWhileRekeying) {
 
 TEST(KeyRotation, OldSnapshotsUselessAfterRekey) {
   SecureMemory memory(small_config());
-  memory.write_block(7, pattern(5));
+  EXPECT_EQ(memory.write_block(7, pattern(5)), Status::kOk);
   const auto snapshot = memory.untrusted().snapshot(7);
   ASSERT_TRUE(memory.rotate_master_key(0xF00));
   memory.untrusted().restore(7, snapshot);
@@ -88,11 +89,11 @@ TEST(KeyRotation, OldSnapshotsUselessAfterRekey) {
 TEST(SecureMemoryStats, CountsEveryOutcome) {
   SecureMemory memory(small_config());
   memory.reset_stats();
-  memory.write_block(1, pattern(1));
+  EXPECT_EQ(memory.write_block(1, pattern(1)), Status::kOk);
   EXPECT_EQ(memory.read_block(1).status, ReadStatus::kOk);
   memory.untrusted().flip_ciphertext_bit(1, 5);
   EXPECT_EQ(memory.read_block(1).status, ReadStatus::kCorrectedData);
-  memory.write_block(1, pattern(2));  // heals
+  EXPECT_EQ(memory.write_block(1, pattern(2)), Status::kOk);  // heals
   memory.untrusted().flip_lane_bit(1, 10);
   EXPECT_EQ(memory.read_block(1).status, ReadStatus::kCorrectedMacField);
   for (unsigned bit : {100u, 101u, 102u})
@@ -112,13 +113,14 @@ TEST(SecureMemoryStats, GroupReencryptionsCounted) {
   config.scheme = CounterSchemeKind::kSplit;
   SecureMemory memory(config);
   memory.reset_stats();
-  for (int i = 0; i < 128; ++i) memory.write_block(0, pattern(1));
+  for (int i = 0; i < 128; ++i)
+    EXPECT_EQ(memory.write_block(0, pattern(1)), Status::kOk);
   EXPECT_EQ(memory.stats().group_reencryptions, 1u);
 }
 
 TEST(SecureMemoryStats, ResetClears) {
   SecureMemory memory(small_config());
-  memory.write_block(1, pattern(1));
+  EXPECT_EQ(memory.write_block(1, pattern(1)), Status::kOk);
   memory.reset_stats();
   EXPECT_EQ(memory.stats().writes, 0u);
   EXPECT_EQ(memory.stats().reads, 0u);

@@ -76,8 +76,15 @@ TEST(SecmemLint, BadFixtureTripsEveryRule) {
   EXPECT_TRUE(run.has("src/tree/bad_include.cc:2: crypto-include"));
   EXPECT_TRUE(run.has("src/tree/bad_include.cc:3: crypto-include"));
   EXPECT_TRUE(run.has("src/tree/bad_include.cc:4: crypto-include"));
+  EXPECT_TRUE(run.has("src/engine/bad_throw.cc:6: no-throw-engine"));
+  EXPECT_TRUE(run.has("src/engine/bad_throw.cc:10: no-throw-engine"));
+  EXPECT_TRUE(run.has("src/engine/bad_throw.cc:17: no-throw-engine"));
+  EXPECT_TRUE(run.has("src/counters/bad_throw.cc:5: no-throw-engine"));
   // The registered-namespace call must NOT fire.
   EXPECT_EQ(run.count_rule("stat-name"), 2u);
+  // Exactly the four demonstration throws — argument-contract types in
+  // the good tree stay silent (covered by GoodFixtureLintsClean).
+  EXPECT_EQ(run.count_rule("no-throw-engine"), 4u);
 }
 
 TEST(SecmemLint, GoodFixtureLintsClean) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/bitops.h"
 #include "common/rng.h"
 
@@ -34,6 +36,55 @@ TEST(MacEcc, LaneBytesRoundTrip) {
   const DataBlock ct = random_block(rng);
   const EccLane lane = codec.pack_lane(mac, ct);
   EXPECT_EQ(codec.unpack_lane(lane).mac, mac);
+}
+
+TEST(MacEcc, BatchPackMatchesScalarPack) {
+  // The batch entry points exist for the group write path; their contract
+  // is bit-identity with per-block calls, checked here over random inputs
+  // and the all-zeros / all-ones corners.
+  MacEccCodec codec;
+  Xoshiro256 rng(31);
+  constexpr std::size_t kN = 64;
+  std::vector<std::uint64_t> macs(kN);
+  std::vector<DataBlock> cts(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    macs[i] = rng.next() & kMacMask;
+    cts[i] = random_block(rng);
+  }
+  macs[0] = 0;
+  cts[0] = DataBlock{};
+  macs[1] = kMacMask;
+  cts[1].fill(0xFF);
+
+  std::vector<EccLane> batch(kN);
+  codec.pack_lane_batch(macs, cts, batch);
+  for (std::size_t i = 0; i < kN; ++i)
+    EXPECT_EQ(batch[i], codec.pack_lane(macs[i], cts[i])) << "lane " << i;
+}
+
+TEST(MacEcc, BatchUnpackMatchesScalarUnpack) {
+  // Including damaged lanes: correction decisions must not change shape
+  // under batching.
+  MacEccCodec codec;
+  Xoshiro256 rng(32);
+  constexpr std::size_t kN = 48;
+  std::vector<EccLane> lanes(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    lanes[i] = codec.pack_lane(rng.next() & kMacMask, random_block(rng));
+    if (i % 3 == 1)  // single-bit MAC damage: corrected
+      lanes[i][i % 7] ^= static_cast<std::uint8_t>(1u << (i % 8));
+    if (i % 3 == 2) {  // double-bit MAC damage: uncorrectable
+      lanes[i][0] ^= 0x05;
+    }
+  }
+  std::vector<MacEccCodec::Unpacked> batch(kN);
+  codec.unpack_lane_batch(lanes, batch);
+  for (std::size_t i = 0; i < kN; ++i) {
+    const auto scalar = codec.unpack_lane(lanes[i]);
+    EXPECT_EQ(batch[i].mac, scalar.mac) << "lane " << i;
+    EXPECT_EQ(batch[i].status, scalar.status) << "lane " << i;
+    EXPECT_EQ(batch[i].scrub_bit, scalar.scrub_bit) << "lane " << i;
+  }
 }
 
 TEST(MacEcc, EverySingleMacBitFlipRepaired) {

@@ -40,7 +40,7 @@ void run_workload(SecureMemoryLike& memory, std::uint64_t ops) {
   for (std::uint64_t i = 0; i < ops; ++i) {
     const std::uint64_t block = rng.next_below(blocks);
     if (i % 3 == 0) {
-      memory.write_block(block, pattern_block(static_cast<std::uint8_t>(i)));
+      EXPECT_EQ(memory.write_block(block, pattern_block(static_cast<std::uint8_t>(i))), Status::kOk);
     } else {
       ASSERT_TRUE(status_ok(memory.read_block(block).status));
     }
@@ -68,7 +68,7 @@ TEST(EngineFactoryTest, MakesWorkingEnginesOfEachKind) {
        {EngineKind::kPlain, EngineKind::kConcurrent, EngineKind::kSharded}) {
     const auto memory = make_engine(small_config(), kind, 4);
     ASSERT_NE(nullptr, memory) << engine_kind_name(kind);
-    memory->write_block(7, pattern_block(0xAB));
+    EXPECT_EQ(memory->write_block(7, pattern_block(0xAB)), Status::kOk);
     const ReadResult result = memory->read_block(7);
     EXPECT_EQ(Status::kOk, result.status) << engine_kind_name(kind);
     EXPECT_EQ(pattern_block(0xAB), result.data) << engine_kind_name(kind);
@@ -178,7 +178,7 @@ TEST(StatusByteApiTest, TimeOpsPopulatesLatencyHistograms) {
   SecureMemoryConfig config = small_config();
   config.time_ops = true;
   SecureMemory memory(config);
-  memory.write_block(0, pattern_block(1));
+  EXPECT_EQ(memory.write_block(0, pattern_block(1)), Status::kOk);
   (void)memory.read_block(0);
 
   StatRegistry registry;
@@ -205,7 +205,7 @@ TEST(TraceTest, PlainEngineRecordsOutcomesIncludingCorrections) {
   TraceRing ring(128);
   memory.attach_trace(&ring);
 
-  memory.write_block(3, pattern_block(9));
+  EXPECT_EQ(memory.write_block(3, pattern_block(9)), Status::kOk);
   memory.untrusted().flip_ciphertext_bit(3, 100);
   const ReadResult result = memory.read_block(3);
   ASSERT_EQ(Status::kCorrectedData, result.status);
@@ -231,8 +231,9 @@ TEST(TraceTest, ShardedEngineTagsEventsWithOwningShard) {
 
   // One write per routing granule so all four shards see traffic.
   for (std::uint64_t g = 0; g < 16; ++g)
-    memory.write_block(g * memory.granule_blocks(),
-                       pattern_block(static_cast<std::uint8_t>(g)));
+    EXPECT_EQ(memory.write_block(g * memory.granule_blocks(),
+                                 pattern_block(static_cast<std::uint8_t>(g))),
+              Status::kOk);
   std::vector<std::uint8_t> buf(100);
   ASSERT_EQ(Status::kOk, memory.read_bytes(0, buf));
 
@@ -255,7 +256,7 @@ TEST(ShardedObservabilityConcurrentTest, StatsAndTraceUnderParallelLoad) {
   std::vector<std::uint64_t> hot(64);
   for (std::uint64_t i = 0; i < hot.size(); ++i) {
     hot[i] = (i * memory.granule_blocks()) % memory.num_blocks();
-    memory.write_block(hot[i], pattern_block(static_cast<std::uint8_t>(i)));
+    EXPECT_EQ(memory.write_block(hot[i], pattern_block(static_cast<std::uint8_t>(i))), Status::kOk);
   }
   TraceRing ring(512);
   memory.attach_trace(&ring);

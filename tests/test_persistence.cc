@@ -40,13 +40,14 @@ TEST_P(PersistenceContract, SaveRestoreRoundTrip) {
   Xoshiro256 rng(3);
   // Interesting counter state: hot rewrites trigger maintenance events.
   for (int i = 0; i < 400; ++i)
-    original.write_block(rng.next_below(16),
-                         pattern(static_cast<std::uint8_t>(i)));
+    EXPECT_EQ(original.write_block(rng.next_below(16),
+                                   pattern(static_cast<std::uint8_t>(i))),
+              Status::kOk);
   for (std::uint64_t b = 0; b < 32; ++b)
-    original.write_block(b, pattern(static_cast<std::uint8_t>(b)));
+    EXPECT_EQ(original.write_block(b, pattern(static_cast<std::uint8_t>(b))), Status::kOk);
 
   std::stringstream image;
-  original.save(image);
+  EXPECT_EQ(original.save(image), Status::kOk);
 
   SecureMemory restored(config);
   ASSERT_TRUE(restored.restore(image));
@@ -58,7 +59,7 @@ TEST_P(PersistenceContract, SaveRestoreRoundTrip) {
   // Counter continuity: a write after restore must use a fresh nonce
   // (counter strictly above the pre-save value).
   const std::uint64_t before = restored.counters().read_counter(0);
-  restored.write_block(0, pattern(0xAB));
+  EXPECT_EQ(restored.write_block(0, pattern(0xAB)), Status::kOk);
   EXPECT_GT(restored.counters().read_counter(0), before);
   EXPECT_EQ(restored.read_block(0).data, pattern(0xAB));
 }
@@ -67,9 +68,9 @@ TEST_P(PersistenceContract, OfflineCounterTamperRejected) {
   const auto config =
       config_for(std::get<0>(GetParam()), std::get<1>(GetParam()));
   SecureMemory memory(config);
-  memory.write_block(1, pattern(1));
+  EXPECT_EQ(memory.write_block(1, pattern(1)), Status::kOk);
   std::stringstream image;
-  memory.save(image);
+  EXPECT_EQ(memory.save(image), Status::kOk);
 
   // Flip one bit inside the counter-storage section of the image.
   std::string bytes = image.str();
@@ -110,9 +111,9 @@ TEST(Persistence, WrongKeyImageRejectedAtFirstRead) {
   SecureMemoryConfig config = config_for(CounterSchemeKind::kDelta,
                                          MacPlacement::kEccLane);
   SecureMemory original(config);
-  original.write_block(5, pattern(9));
+  EXPECT_EQ(original.write_block(5, pattern(9)), Status::kOk);
   std::stringstream image;
-  original.save(image);
+  EXPECT_EQ(original.save(image), Status::kOk);
 
   SecureMemoryConfig other = config;
   other.master_key = 0xDEADBEEF;  // different on-chip secret
@@ -125,7 +126,7 @@ TEST(Persistence, ConfigMismatchRejected) {
   SecureMemory original(
       config_for(CounterSchemeKind::kDelta, MacPlacement::kEccLane));
   std::stringstream image;
-  original.save(image);
+  EXPECT_EQ(original.save(image), Status::kOk);
   SecureMemory other(
       config_for(CounterSchemeKind::kSplit, MacPlacement::kEccLane));
   EXPECT_FALSE(other.restore(image));
@@ -135,7 +136,7 @@ TEST(Persistence, TruncatedImageRejected) {
   SecureMemory original(
       config_for(CounterSchemeKind::kDelta, MacPlacement::kEccLane));
   std::stringstream image;
-  original.save(image);
+  EXPECT_EQ(original.save(image), Status::kOk);
   std::stringstream truncated(image.str().substr(0, 1000));
   SecureMemory victim(
       config_for(CounterSchemeKind::kDelta, MacPlacement::kEccLane));
@@ -148,10 +149,10 @@ TEST(Persistence, WholeImageReplayIsAcceptedStale) {
   const auto config =
       config_for(CounterSchemeKind::kDelta, MacPlacement::kEccLane);
   SecureMemory memory(config);
-  memory.write_block(2, pattern(1));
+  EXPECT_EQ(memory.write_block(2, pattern(1)), Status::kOk);
   std::stringstream old_image;
-  memory.save(old_image);
-  memory.write_block(2, pattern(2));  // progress after the snapshot
+  EXPECT_EQ(memory.save(old_image), Status::kOk);
+  EXPECT_EQ(memory.write_block(2, pattern(2)), Status::kOk);  // progress after the snapshot
 
   SecureMemory rebooted(config);
   ASSERT_TRUE(rebooted.restore(old_image));

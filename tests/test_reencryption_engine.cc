@@ -54,6 +54,28 @@ TEST_F(ReencryptionEngineTest, HighWaterTracksPeakOccupancy) {
   EXPECT_EQ(engine.high_water(), 2u);
 }
 
+TEST_F(ReencryptionEngineTest, GroupBurstCompletesNoLaterThanSerialChain) {
+  // reencrypt_group issues the whole read burst at once and the write
+  // burst after the last read — it must never finish later than the old
+  // fully serialized read→write→read→write chain, and it still moves
+  // exactly one read and one write per block.
+  StatRegistry serial_stats;
+  DramSystem serial_dram(DramConfig{}, serial_stats);
+  std::uint64_t serial_done = 0;
+  for (unsigned b = 0; b < 64; ++b) {
+    const std::uint64_t addr = 0x10000 + b * 64ULL;
+    const std::uint64_t read_done = serial_dram.access(serial_done, addr, false);
+    serial_done = serial_dram.access(read_done, addr, true);
+  }
+
+  const std::uint64_t burst_done = engine.reencrypt_group({0x10000, 64}, 0);
+  EXPECT_GT(burst_done, 0u);
+  EXPECT_LE(burst_done, serial_done);
+  EXPECT_EQ(engine.blocks_reencrypted(), 64u);
+  EXPECT_EQ(stats.counter_value("dram.reads"), 64u);
+  EXPECT_EQ(stats.counter_value("dram.writes"), 64u);
+}
+
 TEST_F(ReencryptionEngineTest, TrafficOccupiesDramChannels) {
   // A core access issued after a drain must see busier channels than one
   // issued on an idle system.

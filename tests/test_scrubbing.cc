@@ -28,7 +28,7 @@ class ScrubbingTest : public ::testing::Test {
 
 TEST_F(ScrubbingTest, CleanRegionScrubsClean) {
   for (std::uint64_t b = 0; b < 32; ++b)
-    memory.write_block(b, pattern(static_cast<std::uint8_t>(b)));
+    EXPECT_EQ(memory.write_block(b, pattern(static_cast<std::uint8_t>(b))), Status::kOk);
   const auto report = memory.scrub_all();
   EXPECT_EQ(report.scanned, memory.num_blocks());
   EXPECT_EQ(report.quick_clean, memory.num_blocks());
@@ -37,7 +37,7 @@ TEST_F(ScrubbingTest, CleanRegionScrubsClean) {
 }
 
 TEST_F(ScrubbingTest, SingleDataBitFaultHealed) {
-  memory.write_block(5, pattern(1));
+  EXPECT_EQ(memory.write_block(5, pattern(1)), Status::kOk);
   memory.untrusted().flip_ciphertext_bit(5, 123);
   EXPECT_EQ(memory.scrub_block(5),
             SecureMemory::ScrubStatus::kRepairedData);
@@ -50,7 +50,7 @@ TEST_F(ScrubbingTest, SingleDataBitFaultHealed) {
 }
 
 TEST_F(ScrubbingTest, MacLaneFaultHealed) {
-  memory.write_block(6, pattern(2));
+  EXPECT_EQ(memory.write_block(6, pattern(2)), Status::kOk);
   memory.untrusted().flip_lane_bit(6, 30);
   EXPECT_EQ(memory.scrub_block(6),
             SecureMemory::ScrubStatus::kRepairedMacField);
@@ -60,7 +60,7 @@ TEST_F(ScrubbingTest, MacLaneFaultHealed) {
 }
 
 TEST_F(ScrubbingTest, ScrubBitFlipAloneHealed) {
-  memory.write_block(7, pattern(3));
+  EXPECT_EQ(memory.write_block(7, pattern(3)), Status::kOk);
   memory.untrusted().flip_lane_bit(7, kScrubBitPos);
   // Parity mismatch triggers the full check, which finds the data+MAC
   // fine and rewrites a consistent lane.
@@ -72,7 +72,7 @@ TEST_F(ScrubbingTest, ScrubBitFlipAloneHealed) {
 TEST_F(ScrubbingTest, QuickScanIsBlindToEvenFlips_DeepScanIsNot) {
   // Two ciphertext flips keep the parity bit happy — the paper's quick
   // scrub cannot see them. A deep scrub runs the MAC and heals.
-  memory.write_block(8, pattern(4));
+  EXPECT_EQ(memory.write_block(8, pattern(4)), Status::kOk);
   memory.untrusted().flip_ciphertext_bit(8, 10);
   memory.untrusted().flip_ciphertext_bit(8, 20);
   EXPECT_EQ(memory.scrub_block(8, /*deep=*/false),
@@ -84,7 +84,7 @@ TEST_F(ScrubbingTest, QuickScanIsBlindToEvenFlips_DeepScanIsNot) {
 }
 
 TEST_F(ScrubbingTest, UncorrectableFaultReportedNotHidden) {
-  memory.write_block(9, pattern(5));
+  EXPECT_EQ(memory.write_block(9, pattern(5)), Status::kOk);
   for (unsigned bit : {1u, 2u, 3u})
     memory.untrusted().flip_ciphertext_bit(9, bit);
   EXPECT_EQ(memory.scrub_block(9, true),
@@ -94,7 +94,7 @@ TEST_F(ScrubbingTest, UncorrectableFaultReportedNotHidden) {
 }
 
 TEST_F(ScrubbingTest, TamperedCounterSurfacesDuringScrub) {
-  memory.write_block(10, pattern(6));
+  EXPECT_EQ(memory.write_block(10, pattern(6)), Status::kOk);
   memory.untrusted().flip_counter_bit(
       memory.counters().storage_line_of(10), 7);
   const auto report = memory.scrub_all(true);
@@ -104,7 +104,7 @@ TEST_F(ScrubbingTest, TamperedCounterSurfacesDuringScrub) {
 TEST_F(ScrubbingTest, SweepHealsScatteredFaults) {
   Xoshiro256 rng(44);
   for (std::uint64_t b = 0; b < memory.num_blocks(); ++b)
-    memory.write_block(b, pattern(static_cast<std::uint8_t>(b)));
+    EXPECT_EQ(memory.write_block(b, pattern(static_cast<std::uint8_t>(b))), Status::kOk);
   // Rain single-bit faults over 20 random blocks. Two faults may land on
   // one block (even parity hides them from the quick scan), so sweep deep.
   for (int i = 0; i < 20; ++i) {
@@ -128,7 +128,7 @@ TEST(ScrubbingSeparateMac, SecDedQuickScanAndHeal) {
   config.size_bytes = 16 * 1024;
   config.mac_placement = MacPlacement::kSeparate;
   SecureMemory memory(config);
-  memory.write_block(3, pattern(7));
+  EXPECT_EQ(memory.write_block(3, pattern(7)), Status::kOk);
   EXPECT_EQ(memory.scrub_block(3), SecureMemory::ScrubStatus::kClean);
   memory.untrusted().flip_ciphertext_bit(3, 99);
   EXPECT_EQ(memory.scrub_block(3),

@@ -46,7 +46,7 @@ TEST_P(SecureMemoryContract, FreshMemoryReadsZero) {
 
 TEST_P(SecureMemoryContract, ReadAfterWriteRoundTrip) {
   const DataBlock plain = pattern(0x5A);
-  memory.write_block(7, plain);
+  EXPECT_EQ(memory.write_block(7, plain), Status::kOk);
   const auto result = memory.read_block(7);
   EXPECT_EQ(result.status, ReadStatus::kOk);
   EXPECT_EQ(result.data, plain);
@@ -54,7 +54,7 @@ TEST_P(SecureMemoryContract, ReadAfterWriteRoundTrip) {
 
 TEST_P(SecureMemoryContract, CiphertextIsNotPlaintext) {
   const DataBlock plain = pattern(0x33);
-  memory.write_block(3, plain);
+  EXPECT_EQ(memory.write_block(3, plain), Status::kOk);
   EXPECT_NE(std::memcmp(memory.untrusted().ciphertext(3).data(),
                         plain.data(), 64),
             0)
@@ -65,17 +65,17 @@ TEST_P(SecureMemoryContract, RewriteChangesCiphertextEvenForSameData) {
   // Counter-mode freshness: identical plaintext written twice must yield
   // different ciphertext (the counter advanced).
   const DataBlock plain = pattern(0x77);
-  memory.write_block(9, plain);
+  EXPECT_EQ(memory.write_block(9, plain), Status::kOk);
   DataBlock ct1;
   std::memcpy(ct1.data(), memory.untrusted().ciphertext(9).data(), 64);
-  memory.write_block(9, plain);
+  EXPECT_EQ(memory.write_block(9, plain), Status::kOk);
   DataBlock ct2;
   std::memcpy(ct2.data(), memory.untrusted().ciphertext(9).data(), 64);
   EXPECT_NE(ct1, ct2);
 }
 
 TEST_P(SecureMemoryContract, CiphertextTamperDetected) {
-  memory.write_block(5, pattern(1));
+  EXPECT_EQ(memory.write_block(5, pattern(1)), Status::kOk);
   // >2 flipped bits within one 8-byte word defeats both correction
   // schemes (flip-and-check caps at 2; per-word SEC-DED at 1): flagged.
   for (unsigned bit : {3u, 5u, 9u}) {
@@ -85,7 +85,7 @@ TEST_P(SecureMemoryContract, CiphertextTamperDetected) {
 }
 
 TEST_P(SecureMemoryContract, CounterStorageTamperDetected) {
-  memory.write_block(5, pattern(2));
+  EXPECT_EQ(memory.write_block(5, pattern(2)), Status::kOk);
   const std::uint64_t line = memory.counters().storage_line_of(5);
   memory.untrusted().flip_counter_bit(line, 13);
   EXPECT_EQ(memory.read_block(5).status, ReadStatus::kCounterTampered);
@@ -95,10 +95,10 @@ TEST_P(SecureMemoryContract, ReplayAttackDetected) {
   // The headline attack (paper §1): snapshot (data, MAC, counter) and
   // roll all three back after newer writes.
   const DataBlock old_data = pattern(3);
-  memory.write_block(5, old_data);
+  EXPECT_EQ(memory.write_block(5, old_data), Status::kOk);
   const auto snapshot = memory.untrusted().snapshot(5);
 
-  memory.write_block(5, pattern(4));  // victim makes progress
+  EXPECT_EQ(memory.write_block(5, pattern(4)), Status::kOk);  // victim makes progress
 
   memory.untrusted().restore(5, snapshot);
   const auto result = memory.read_block(5);
@@ -107,9 +107,9 @@ TEST_P(SecureMemoryContract, ReplayAttackDetected) {
 }
 
 TEST_P(SecureMemoryContract, ReplayOfDataAloneDetected) {
-  memory.write_block(8, pattern(5));
+  EXPECT_EQ(memory.write_block(8, pattern(5)), Status::kOk);
   const auto snapshot = memory.untrusted().snapshot(8);
-  memory.write_block(8, pattern(6));
+  EXPECT_EQ(memory.write_block(8, pattern(6)), Status::kOk);
   // Restore only the data + MAC lane, not the counter line: the MAC is
   // bound to the counter (Bonsai construction), so this must also fail.
   auto view = memory.untrusted();
@@ -123,8 +123,8 @@ TEST_P(SecureMemoryContract, ReplayOfDataAloneDetected) {
 TEST_P(SecureMemoryContract, CrossBlockSplicingDetected) {
   // Swap two blocks' ciphertext+MAC wholesale: address binding in the MAC
   // must reject data moved to a different location.
-  memory.write_block(10, pattern(7));
-  memory.write_block(20, pattern(8));
+  EXPECT_EQ(memory.write_block(10, pattern(7)), Status::kOk);
+  EXPECT_EQ(memory.write_block(20, pattern(8)), Status::kOk);
   const auto snap10 = memory.untrusted().snapshot(10);
   auto view = memory.untrusted();
   const auto snap20 = view.snapshot(20);
@@ -160,8 +160,9 @@ TEST_P(SecureMemoryContract, GroupReencryptionPreservesAllPlaintext) {
   // Force re-encryption by hammering one block past its overflow point;
   // every sibling must still decrypt to its own data afterwards.
   for (std::uint64_t b = 64; b < 128; ++b)
-    memory.write_block(b, pattern(static_cast<std::uint8_t>(b)));
-  for (int i = 0; i < 1100; ++i) memory.write_block(70, pattern(0xEE));
+    EXPECT_EQ(memory.write_block(b, pattern(static_cast<std::uint8_t>(b))), Status::kOk);
+  for (int i = 0; i < 1100; ++i)
+    EXPECT_EQ(memory.write_block(70, pattern(0xEE)), Status::kOk);
   for (std::uint64_t b = 64; b < 128; ++b) {
     const auto result = memory.read_block(b);
     EXPECT_EQ(result.status, ReadStatus::kOk) << "block " << b;
@@ -196,7 +197,7 @@ class MacEccModeTest : public ::testing::Test {
 };
 
 TEST_F(MacEccModeTest, SingleDataBitFaultCorrected) {
-  memory.write_block(4, pattern(9));
+  EXPECT_EQ(memory.write_block(4, pattern(9)), Status::kOk);
   memory.untrusted().flip_ciphertext_bit(4, 250);
   const auto result = memory.read_block(4);
   EXPECT_EQ(result.status, ReadStatus::kCorrectedData);
@@ -207,7 +208,7 @@ TEST_F(MacEccModeTest, SingleDataBitFaultCorrected) {
 TEST_F(MacEccModeTest, DoubleDataBitFaultCorrectedEvenInSameWord) {
   // Standard SEC-DED cannot fix 2 flips in one 8-byte word; flip-and-check
   // can (paper Figure 3).
-  memory.write_block(4, pattern(10));
+  EXPECT_EQ(memory.write_block(4, pattern(10)), Status::kOk);
   memory.untrusted().flip_ciphertext_bit(4, 8);
   memory.untrusted().flip_ciphertext_bit(4, 55);  // same word
   const auto result = memory.read_block(4);
@@ -216,7 +217,7 @@ TEST_F(MacEccModeTest, DoubleDataBitFaultCorrectedEvenInSameWord) {
 }
 
 TEST_F(MacEccModeTest, SingleMacLaneBitFaultRepairedInline) {
-  memory.write_block(6, pattern(11));
+  EXPECT_EQ(memory.write_block(6, pattern(11)), Status::kOk);
   memory.untrusted().flip_lane_bit(6, 20);  // inside the 56-bit MAC field
   const auto result = memory.read_block(6);
   EXPECT_EQ(result.status, ReadStatus::kCorrectedMacField);
@@ -224,14 +225,14 @@ TEST_F(MacEccModeTest, SingleMacLaneBitFaultRepairedInline) {
 }
 
 TEST_F(MacEccModeTest, DoubleMacLaneFaultReported) {
-  memory.write_block(6, pattern(12));
+  EXPECT_EQ(memory.write_block(6, pattern(12)), Status::kOk);
   memory.untrusted().flip_lane_bit(6, 20);
   memory.untrusted().flip_lane_bit(6, 41);
   EXPECT_EQ(memory.read_block(6).status, ReadStatus::kIntegrityViolation);
 }
 
 TEST_F(MacEccModeTest, TripleDataFaultBeyondCorrectionBudget) {
-  memory.write_block(4, pattern(13));
+  EXPECT_EQ(memory.write_block(4, pattern(13)), Status::kOk);
   memory.untrusted().flip_ciphertext_bit(4, 1);
   memory.untrusted().flip_ciphertext_bit(4, 2);
   memory.untrusted().flip_ciphertext_bit(4, 3);
@@ -246,7 +247,7 @@ TEST(SecureMemoryBounds, OutOfRangeAccessesThrow) {
   SecureMemory memory(config);
   const std::uint64_t blocks = memory.num_blocks();
   EXPECT_THROW((void)memory.read_block(blocks), std::out_of_range);
-  EXPECT_THROW(memory.write_block(blocks + 5, DataBlock{}),
+  EXPECT_THROW((void)memory.write_block(blocks + 5, DataBlock{}),
                std::out_of_range);
   EXPECT_THROW((void)memory.scrub_block(blocks), std::out_of_range);
   std::vector<std::uint8_t> buffer(128);
@@ -284,8 +285,8 @@ TEST(SecureMemoryByteApi, UnalignedWriteReadRoundTrip) {
   SecureMemoryConfig config;
   config.size_bytes = 16 * 1024;
   SecureMemory memory(config);
-  memory.write_block(0, pattern(0x21));
-  memory.write_block(3, pattern(0x22));
+  EXPECT_EQ(memory.write_block(0, pattern(0x21)), Status::kOk);
+  EXPECT_EQ(memory.write_block(3, pattern(0x22)), Status::kOk);
   std::vector<std::uint8_t> incoming(3 * 64 + 17);
   for (std::size_t i = 0; i < incoming.size(); ++i)
     incoming[i] = static_cast<std::uint8_t>(i * 7 + 1);
@@ -305,9 +306,9 @@ TEST(SecureMemoryByteApi, FailedWriteWithTamperedTailIsAllOrNothing) {
   SecureMemoryConfig config;
   config.size_bytes = 16 * 1024;
   SecureMemory memory(config);
-  memory.write_block(0, pattern(1));
-  memory.write_block(1, pattern(2));
-  memory.write_block(2, pattern(3));
+  EXPECT_EQ(memory.write_block(0, pattern(1)), Status::kOk);
+  EXPECT_EQ(memory.write_block(1, pattern(2)), Status::kOk);
+  EXPECT_EQ(memory.write_block(2, pattern(3)), Status::kOk);
   // Three flips exceed the correction budget: block 2 cannot verify.
   memory.untrusted().flip_ciphertext_bit(2, 1);
   memory.untrusted().flip_ciphertext_bit(2, 2);
@@ -324,8 +325,8 @@ TEST(SecureMemoryByteApi, FailedWriteWithTamperedHeadIsAllOrNothing) {
   SecureMemoryConfig config;
   config.size_bytes = 16 * 1024;
   SecureMemory memory(config);
-  memory.write_block(0, pattern(4));
-  memory.write_block(1, pattern(5));
+  EXPECT_EQ(memory.write_block(0, pattern(4)), Status::kOk);
+  EXPECT_EQ(memory.write_block(1, pattern(5)), Status::kOk);
   memory.untrusted().flip_ciphertext_bit(0, 1);
   memory.untrusted().flip_ciphertext_bit(0, 2);
   memory.untrusted().flip_ciphertext_bit(0, 3);
@@ -344,7 +345,8 @@ TEST(GenericWidthSecureMemory, RoundTripAndReencryptAtWidth5) {
   SecureMemory memory(config);
   EXPECT_EQ(memory.counters().name(), "delta-5bit-g64");
   const DataBlock plain = pattern(0x42);
-  for (int i = 0; i < 100; ++i) memory.write_block(3, plain);  // >3 overflows
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(memory.write_block(3, plain), Status::kOk);  // >3 overflows
   const auto result = memory.read_block(3);
   EXPECT_EQ(result.status, ReadStatus::kOk);
   EXPECT_EQ(result.data, plain);
@@ -357,7 +359,7 @@ TEST(GenericWidthSecureMemory, TamperStillDetected) {
   config.size_bytes = 16 * 1024;
   config.generic_delta_bits = 9;
   SecureMemory memory(config);
-  memory.write_block(2, pattern(0x13));
+  EXPECT_EQ(memory.write_block(2, pattern(0x13)), Status::kOk);
   memory.untrusted().flip_counter_bit(
       memory.counters().storage_line_of(2), 40);
   EXPECT_EQ(memory.read_block(2).status, ReadStatus::kCounterTampered);
@@ -372,7 +374,7 @@ class SeparateMacModeTest : public ::testing::Test {
 };
 
 TEST_F(SeparateMacModeTest, SingleBitFaultCorrectedBySecDed) {
-  memory.write_block(4, pattern(14));
+  EXPECT_EQ(memory.write_block(4, pattern(14)), Status::kOk);
   memory.untrusted().flip_ciphertext_bit(4, 77);
   const auto result = memory.read_block(4);
   EXPECT_EQ(result.status, ReadStatus::kCorrectedWord);
@@ -381,14 +383,14 @@ TEST_F(SeparateMacModeTest, SingleBitFaultCorrectedBySecDed) {
 }
 
 TEST_F(SeparateMacModeTest, DoubleBitSameWordUncorrectable) {
-  memory.write_block(4, pattern(15));
+  EXPECT_EQ(memory.write_block(4, pattern(15)), Status::kOk);
   memory.untrusted().flip_ciphertext_bit(4, 8);
   memory.untrusted().flip_ciphertext_bit(4, 55);  // same 8-byte word
   EXPECT_EQ(memory.read_block(4).status, ReadStatus::kIntegrityViolation);
 }
 
 TEST_F(SeparateMacModeTest, SpreadFaultsAcrossWordsAllCorrected) {
-  memory.write_block(4, pattern(16));
+  EXPECT_EQ(memory.write_block(4, pattern(16)), Status::kOk);
   memory.untrusted().flip_ciphertext_bit(4, 10);    // word 0
   memory.untrusted().flip_ciphertext_bit(4, 200);   // word 3
   memory.untrusted().flip_ciphertext_bit(4, 460);   // word 7
@@ -398,7 +400,7 @@ TEST_F(SeparateMacModeTest, SpreadFaultsAcrossWordsAllCorrected) {
 }
 
 TEST_F(SeparateMacModeTest, StoredMacTamperDetected) {
-  memory.write_block(4, pattern(17));
+  EXPECT_EQ(memory.write_block(4, pattern(17)), Status::kOk);
   memory.untrusted().macs()[4] ^= 0x100;
   EXPECT_EQ(memory.read_block(4).status, ReadStatus::kIntegrityViolation);
 }

@@ -64,7 +64,7 @@ TEST_P(SecureMemoryFuzz, NoSilentCorruptionUnderRandomTampering) {
   std::vector<DataBlock> truth(memory.num_blocks());
   for (std::uint64_t b = 0; b < memory.num_blocks(); ++b) {
     for (auto& byte : truth[b]) byte = static_cast<std::uint8_t>(rng.next());
-    memory.write_block(b, truth[b]);
+    EXPECT_EQ(memory.write_block(b, truth[b]), Status::kOk);
   }
 
   auto attacker = memory.untrusted();
@@ -106,10 +106,13 @@ TEST_P(SecureMemoryFuzz, NoSilentCorruptionUnderRandomTampering) {
       case ReadStatus::kCounterTampered:
         ++violations;
         break;
+      case ReadStatus::kRegionPoisoned:
+        FAIL() << "single engines never poison (sharded-only state)";
+        break;
     }
     // Restore a clean state for the next round (rewrite block and heal
     // counter storage by rewriting a block in the same line's group).
-    memory.write_block(block, truth[block]);
+    EXPECT_EQ(memory.write_block(block, truth[block]), Status::kOk);
   }
   // Both outcomes should occur across the adversarial rounds.
   EXPECT_GT(corrected + violations, 0);
@@ -124,13 +127,13 @@ TEST_P(SecureMemoryFuzz, HeavyRewriteTrafficKeepsVerifying) {
   Xoshiro256 rng(77);
   std::vector<DataBlock> last(memory.num_blocks());
   for (std::uint64_t b = 0; b < 64; ++b) {
-    memory.write_block(b, DataBlock{});
+    EXPECT_EQ(memory.write_block(b, DataBlock{}), Status::kOk);
   }
   for (int i = 0; i < 5000; ++i) {
     const std::uint64_t block = rng.next_below(8);  // all in group 0
     for (auto& byte : last[block])
       byte = static_cast<std::uint8_t>(rng.next());
-    memory.write_block(block, last[block]);
+    EXPECT_EQ(memory.write_block(block, last[block]), Status::kOk);
   }
   for (std::uint64_t b = 0; b < 8; ++b) {
     const auto result = memory.read_block(b);

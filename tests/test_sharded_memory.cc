@@ -61,7 +61,7 @@ TEST(ShardedSecureMemory, InvalidGeometryThrows) {
                std::invalid_argument);
   ShardedSecureMemory memory(region_config(256 * 1024), 8);
   EXPECT_THROW((void)memory.read_block(memory.num_blocks()), std::out_of_range);
-  EXPECT_THROW(memory.write_block(memory.num_blocks(), DataBlock{}),
+  EXPECT_THROW((void)memory.write_block(memory.num_blocks(), DataBlock{}),
                std::out_of_range);
 }
 
@@ -70,7 +70,7 @@ TEST(ShardedSecureMemory, BlockRoundTripAcrossEveryShard) {
   const unsigned granule = memory.granule_blocks();
   // One block in each of the first 16 granules: hits every shard twice.
   for (unsigned g = 0; g < 16; ++g)
-    memory.write_block(g * granule + 3, pattern(static_cast<std::uint8_t>(g)));
+    EXPECT_EQ(memory.write_block(g * granule + 3, pattern(static_cast<std::uint8_t>(g))), Status::kOk);
   for (unsigned g = 0; g < 16; ++g) {
     const auto result = memory.read_block(g * granule + 3);
     EXPECT_EQ(result.status, ReadStatus::kOk);
@@ -96,7 +96,7 @@ TEST(ShardedSecureMemory, BatchIoMatchesSingleOpsInRequestOrder) {
     writes.push_back({block, pattern(static_cast<std::uint8_t>(i))});
   }
   blocks.push_back(blocks.front());  // duplicate read request
-  memory.write_blocks(writes);
+  EXPECT_EQ(memory.write_blocks(writes), Status::kOk);
 
   const auto results = memory.read_blocks(blocks);
   ASSERT_EQ(results.size(), blocks.size());
@@ -134,8 +134,8 @@ TEST(ShardedSecureMemory, CrossShardWriteIsAllOrNothing) {
   ShardedSecureMemory memory(region_config(256 * 1024), 8);
   const unsigned granule = memory.granule_blocks();
   const std::uint64_t tail_block = granule;  // first block of shard 1
-  memory.write_block(0, pattern(1));
-  memory.write_block(tail_block, pattern(2));
+  EXPECT_EQ(memory.write_block(0, pattern(1)), Status::kOk);
+  EXPECT_EQ(memory.write_block(tail_block, pattern(2)), Status::kOk);
   // Make the tail block unreadable in its own shard.
   memory.with_shard_exclusive(1, [](SecureMemory& shard) {
     shard.untrusted().flip_ciphertext_bit(0, 1);
@@ -152,7 +152,7 @@ TEST(ShardedSecureMemory, CrossShardWriteIsAllOrNothing) {
 
 TEST(ShardedSecureMemory, ScrubAllSweepsAndHealsEveryShard) {
   ShardedSecureMemory memory(region_config(256 * 1024), 8);
-  memory.write_block(5, pattern(9));
+  EXPECT_EQ(memory.write_block(5, pattern(9)), Status::kOk);
   // Plant a single-bit ciphertext fault in two different shards.
   memory.with_shard_exclusive(0, [](SecureMemory& shard) {
     shard.untrusted().flip_ciphertext_bit(5, 100);
@@ -174,7 +174,7 @@ TEST(ShardedSecureMemory, RotateMasterKeyPreservesContents) {
   ShardedSecureMemory memory(region_config(256 * 1024), 4);
   const unsigned granule = memory.granule_blocks();
   for (unsigned g = 0; g < 8; ++g)
-    memory.write_block(g * granule, pattern(static_cast<std::uint8_t>(g)));
+    EXPECT_EQ(memory.write_block(g * granule, pattern(static_cast<std::uint8_t>(g))), Status::kOk);
   ASSERT_TRUE(memory.rotate_master_key(0xfeedface));
   for (unsigned g = 0; g < 8; ++g) {
     const auto result = memory.read_block(g * granule);
@@ -186,8 +186,8 @@ TEST(ShardedSecureMemory, RotateMasterKeyPreservesContents) {
 TEST(ShardedSecureMemory, RotateMasterKeyIsAllOrNothingAcrossShards) {
   ShardedSecureMemory memory(region_config(256 * 1024), 4);
   const unsigned granule = memory.granule_blocks();
-  memory.write_block(0, pattern(1));               // shard 0
-  memory.write_block(2 * granule, pattern(2));     // shard 2
+  EXPECT_EQ(memory.write_block(0, pattern(1)), Status::kOk);               // shard 0
+  EXPECT_EQ(memory.write_block(2 * granule, pattern(2)), Status::kOk);     // shard 2
   // Shard 2 has an uncorrectable fault: its rotation must refuse.
   memory.with_shard_exclusive(2, [](SecureMemory& shard) {
     shard.untrusted().flip_ciphertext_bit(0, 1);
@@ -217,10 +217,10 @@ TEST(ShardedSecureMemory, RotateRollbackFailurePoisonsRegion) {
   // recorded and the region poisons, failing closed until restored.
   ShardedSecureMemory memory(region_config(256 * 1024), 4);
   const unsigned granule = memory.granule_blocks();
-  memory.write_block(0, pattern(1));         // shard 0
-  memory.write_block(granule, pattern(2));   // shard 1
+  EXPECT_EQ(memory.write_block(0, pattern(1)), Status::kOk);         // shard 0
+  EXPECT_EQ(memory.write_block(granule, pattern(2)), Status::kOk);   // shard 1
   std::stringstream image;
-  memory.save(image);  // known-good image, taken before the damage
+  EXPECT_EQ(memory.save(image), Status::kOk);  // known-good image, taken before the damage
 
   // Shard 1 carries an uncorrectable fault: the forward rotation pass
   // fails there and the region must roll the other shards back...
@@ -248,18 +248,22 @@ TEST(ShardedSecureMemory, RotateRollbackFailurePoisonsRegion) {
   memory.publish_metrics(registry);
   EXPECT_EQ(registry.counter_value("engine.rotate_rollback_failures"), 1u);
 
-  // ...and the split-keyed region fails closed in every direction.
-  EXPECT_EQ(memory.read_block(0).status, ReadStatus::kIntegrityViolation);
+  // ...and the split-keyed region fails closed in every direction: every
+  // entry point REPORTS kRegionPoisoned instead of throwing (issue 7's
+  // Status contract — callers that cannot handle a Status can opt back
+  // into exceptions via the deprecated *_or_throw shims).
+  EXPECT_EQ(memory.read_block(0).status, ReadStatus::kRegionPoisoned);
   const std::vector<std::uint64_t> batch{0, granule};
   for (const auto& result : memory.read_blocks(batch))
-    EXPECT_EQ(result.status, ReadStatus::kIntegrityViolation);
+    EXPECT_EQ(result.status, ReadStatus::kRegionPoisoned);
   std::vector<std::uint8_t> buffer(128);
-  EXPECT_EQ(memory.read_bytes(0, buffer), Status::kIntegrityViolation);
-  EXPECT_EQ(memory.write_bytes(0, buffer), Status::kIntegrityViolation);
-  EXPECT_THROW(memory.write_block(0, pattern(9)), std::runtime_error);
-  EXPECT_THROW(memory.scrub_all(), std::runtime_error);
+  EXPECT_EQ(memory.read_bytes(0, buffer), Status::kRegionPoisoned);
+  EXPECT_EQ(memory.write_bytes(0, buffer), Status::kRegionPoisoned);
+  EXPECT_EQ(memory.write_block(0, pattern(9)), Status::kRegionPoisoned);
+  EXPECT_TRUE(memory.scrub_all().region_poisoned);
   std::stringstream sink;
-  EXPECT_THROW(memory.save(sink), std::runtime_error);
+  EXPECT_EQ(memory.save(sink), Status::kRegionPoisoned);
+  EXPECT_TRUE(sink.str().empty());  // a poisoned save writes NOTHING
   EXPECT_FALSE(memory.rotate_master_key(0xfeedface));
   EXPECT_GT(memory.stats().integrity_violations, 0u);
 
@@ -276,12 +280,13 @@ TEST(ShardedSecureMemory, SaveRestoreRoundTripsAllShards) {
   ShardedSecureMemory memory(region_config(256 * 1024), 4);
   const unsigned granule = memory.granule_blocks();
   for (unsigned g = 0; g < 6; ++g)
-    memory.write_block(g * granule + g,
-                       pattern(static_cast<std::uint8_t>(0x40 + g)));
+    EXPECT_EQ(memory.write_block(g * granule + g,
+                                 pattern(static_cast<std::uint8_t>(0x40 + g))),
+              Status::kOk);
   std::stringstream image;
-  memory.save(image);
+  EXPECT_EQ(memory.save(image), Status::kOk);
   for (unsigned g = 0; g < 6; ++g)
-    memory.write_block(g * granule + g, pattern(0x77));
+    EXPECT_EQ(memory.write_block(g * granule + g, pattern(0x77)), Status::kOk);
   ASSERT_TRUE(memory.restore(image));
   for (unsigned g = 0; g < 6; ++g) {
     const auto result = memory.read_block(g * granule + g);
@@ -300,16 +305,17 @@ TEST(ShardedSecureMemory, RestoreFailureLeavesEveryShardIntact) {
   ShardedSecureMemory memory(region_config(256 * 1024), 4);
   const unsigned granule = memory.granule_blocks();
   for (unsigned g = 0; g < 8; ++g)
-    memory.write_block(g * granule, pattern(static_cast<std::uint8_t>(g)));
+    EXPECT_EQ(memory.write_block(g * granule, pattern(static_cast<std::uint8_t>(g))), Status::kOk);
   std::stringstream image;
-  memory.save(image);
+  EXPECT_EQ(memory.save(image), Status::kOk);
   const std::string full = image.str();
 
   // The region moves on; these contents must survive every failed
   // restore below, bit for bit.
   for (unsigned g = 0; g < 8; ++g)
-    memory.write_block(g * granule,
-                       pattern(static_cast<std::uint8_t>(0xA0 + g)));
+    EXPECT_EQ(memory.write_block(g * granule,
+                                 pattern(static_cast<std::uint8_t>(0xA0 + g))),
+              Status::kOk);
   const auto expect_untouched = [&] {
     for (unsigned g = 0; g < 8; ++g) {
       const auto result = memory.read_block(g * granule);
@@ -351,7 +357,7 @@ TEST(ShardedSecureMemory, SeqlockKillSwitchDisablesSharedReads) {
   setenv("SECMEM_SEQLOCK", "0", 1);
   {
     ShardedSecureMemory memory(region_config(256 * 1024), 4);
-    memory.write_block(7, pattern(3));
+    EXPECT_EQ(memory.write_block(7, pattern(3)), Status::kOk);
     for (int i = 0; i < 8; ++i)
       EXPECT_EQ(memory.read_block(7).data, pattern(3));
     StatRegistry registry;
@@ -364,7 +370,7 @@ TEST(ShardedSecureMemory, SeqlockKillSwitchDisablesSharedReads) {
   setenv("SECMEM_SEQLOCK", "1", 1);
   {
     ShardedSecureMemory memory(region_config(256 * 1024), 4);
-    memory.write_block(7, pattern(4));
+    EXPECT_EQ(memory.write_block(7, pattern(4)), Status::kOk);
     for (int i = 0; i < 8; ++i)
       EXPECT_EQ(memory.read_block(7).data, pattern(4));
     StatRegistry registry;
@@ -401,7 +407,7 @@ TEST(ShardedSecureMemoryStress, ReadersWritersAndScrubAcrossShards) {
         const std::uint64_t block =
             (rng.next_below(blocks / kWriters) * kWriters + t) % blocks;
         const auto stamp = pattern(static_cast<std::uint8_t>(t * 16 + 1));
-        memory.write_block(block, stamp);
+        EXPECT_EQ(memory.write_block(block, stamp), Status::kOk);
         const auto result = memory.read_block(block);
         if (result.status != ReadStatus::kOk || result.data != stamp)
           ++failures;
@@ -473,7 +479,7 @@ TEST(ShardedSecureMemoryStress, ConcurrentBatchesAndCrossShardWrites) {
           writes.push_back(
               {block, pattern(static_cast<std::uint8_t>(round + i))});
         }
-        memory.write_blocks(writes);
+        EXPECT_EQ(memory.write_blocks(writes), Status::kOk);
       }
     });
   }
@@ -490,7 +496,7 @@ TEST(ShardedSecureMemoryStress, ReadMostlySharedReadersStayConsistent) {
   ShardedSecureMemory memory(region_config(256 * 1024), 8);
   const std::uint64_t blocks = memory.num_blocks();
   for (std::uint64_t b = 0; b < blocks; ++b)
-    memory.write_block(b, pattern(static_cast<std::uint8_t>(b)));
+    EXPECT_EQ(memory.write_block(b, pattern(static_cast<std::uint8_t>(b))), Status::kOk);
 
   constexpr unsigned kReaders = 6;
   constexpr unsigned kRounds = 300;
@@ -503,7 +509,7 @@ TEST(ShardedSecureMemoryStress, ReadMostlySharedReadersStayConsistent) {
     Xoshiro256 rng(7);
     for (unsigned round = 0; round < kRounds / 2; ++round) {
       const std::uint64_t block = rng.next_below(blocks);
-      memory.write_block(block, pattern(static_cast<std::uint8_t>(block)));
+      EXPECT_EQ(memory.write_block(block, pattern(static_cast<std::uint8_t>(block))), Status::kOk);
     }
   });
   for (unsigned t = 0; t < kReaders; ++t) {

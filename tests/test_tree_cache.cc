@@ -229,8 +229,8 @@ TEST(TreeCacheEngine, SaveImagesBitIdenticalUnderFuzz) {
       if (rng.chance(0.6)) {
         DataBlock block{};
         for (auto& byte : block) byte = static_cast<std::uint8_t>(rng.next());
-        eager.write_block(b, block);
-        cached.write_block(b, block);
+        EXPECT_EQ(eager.write_block(b, block), Status::kOk);
+        EXPECT_EQ(cached.write_block(b, block), Status::kOk);
       } else {
         const auto e = eager.read_block(b);
         const auto c = cached.read_block(b);
@@ -241,11 +241,13 @@ TEST(TreeCacheEngine, SaveImagesBitIdenticalUnderFuzz) {
     // save() is a flush barrier: the cached engine's image must come out
     // byte-for-byte identical to the eager one, every round.
     std::ostringstream eager_img, cached_img;
-    eager.save(eager_img);
-    cached.save(cached_img);
+    EXPECT_EQ(eager.save(eager_img), Status::kOk);
+    EXPECT_EQ(cached.save(cached_img), Status::kOk);
     ASSERT_EQ(eager_img.str(), cached_img.str()) << "round " << round;
   }
-  if (!env_disables_cache()) EXPECT_GT(cached.stats().tree_cache_hits, 0u);
+  if (!env_disables_cache()) {
+    EXPECT_GT(cached.stats().tree_cache_hits, 0u);
+  }
   EXPECT_EQ(eager.stats().tree_cache_hits, 0u);
 }
 
@@ -257,8 +259,8 @@ TEST(TreeCacheEngine, ScrubRotateRestoreStayEquivalent) {
     DataBlock block{};
     for (auto& byte : block) byte = static_cast<std::uint8_t>(rng.next());
     const std::uint64_t b = rng.next_below(eager.num_blocks());
-    eager.write_block(b, block);
-    cached.write_block(b, block);
+    EXPECT_EQ(eager.write_block(b, block), Status::kOk);
+    EXPECT_EQ(cached.write_block(b, block), Status::kOk);
   }
   // scrub_all flushes first so it sweeps the true off-chip state.
   EXPECT_EQ(eager.scrub_all().scanned, cached.scrub_all().scanned);
@@ -267,8 +269,8 @@ TEST(TreeCacheEngine, ScrubRotateRestoreStayEquivalent) {
   ASSERT_TRUE(eager.rotate_master_key(0xd00d));
   ASSERT_TRUE(cached.rotate_master_key(0xd00d));
   std::ostringstream eager_img, cached_img;
-  eager.save(eager_img);
-  cached.save(cached_img);
+  EXPECT_EQ(eager.save(eager_img), Status::kOk);
+  EXPECT_EQ(cached.save(cached_img), Status::kOk);
   EXPECT_EQ(eager_img.str(), cached_img.str());
   // Round-trip the cached engine through restore (which invalidates the
   // cache: the rebuilt tree shares no state with the old one).
@@ -291,8 +293,8 @@ TEST(TreeCacheEngine, TamperDetectionMatchesEagerThroughFlushBarrier) {
   for (std::uint64_t b = 0; b < 64; ++b) {
     DataBlock block{};
     block[0] = static_cast<std::uint8_t>(b);
-    eager.write_block(b, block);
-    cached.write_block(b, block);
+    EXPECT_EQ(eager.write_block(b, block), Status::kOk);
+    EXPECT_EQ(cached.write_block(b, block), Status::kOk);
     // Warm the cached engine's frontier so the tamper lands while the
     // path is resident — the untrusted() accessor is the flush barrier
     // that ends residency before the attacker touches anything.
@@ -315,7 +317,7 @@ TEST(TreeCacheEngine, EnvKillSwitchAndCapacityOverride) {
   {
     SecureMemory mem(engine_config(8));  // config says on; env wins
     DataBlock block{};
-    mem.write_block(1, block);
+    EXPECT_EQ(mem.write_block(1, block), Status::kOk);
     for (int i = 0; i < 32; ++i) EXPECT_EQ(mem.read_block(1).status,
                                            ReadStatus::kOk);
     const EngineStats stats = mem.stats();
@@ -325,7 +327,7 @@ TEST(TreeCacheEngine, EnvKillSwitchAndCapacityOverride) {
   {
     SecureMemory mem(engine_config(0));  // config says off; env wins
     DataBlock block{};
-    mem.write_block(1, block);
+    EXPECT_EQ(mem.write_block(1, block), Status::kOk);
     for (int i = 0; i < 32; ++i) EXPECT_EQ(mem.read_block(1).status,
                                            ReadStatus::kOk);
     EXPECT_GT(mem.stats().tree_cache_hits, 0u);
@@ -351,7 +353,7 @@ TEST(TreeCacheEngine, ShardedStressWithPerShardCaches) {
           const std::uint64_t b = base + rng.next_below(kPerThread);
           block[0] = static_cast<std::uint8_t>(b);
           block[1] = static_cast<std::uint8_t>(t);
-          mem.write_block(b, block);
+          EXPECT_EQ(mem.write_block(b, block), Status::kOk);
         } else {
           // Read anywhere, including other threads' hot blocks.
           const std::uint64_t b = rng.next_below(kThreads * kPerThread);
@@ -362,7 +364,9 @@ TEST(TreeCacheEngine, ShardedStressWithPerShardCaches) {
   }
   for (std::thread& w : workers) w.join();
   EXPECT_EQ(bad.load(), 0);
-  if (!env_disables_cache()) EXPECT_GT(mem.stats().tree_cache_hits, 0u);
+  if (!env_disables_cache()) {
+    EXPECT_GT(mem.stats().tree_cache_hits, 0u);
+  }
   // Quiescent readback: last writer's value, verified, for every block.
   for (std::uint64_t b = 0; b < kThreads * kPerThread; ++b) {
     const auto result = mem.read_block(b);

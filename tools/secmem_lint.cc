@@ -29,6 +29,13 @@
 //                   and no includes of the *_ni.cc / gf64_clmul.cc
 //                   backend internals — intrinsics stay behind the
 //                   runtime-dispatched crypto_backend seam.
+//   no-throw-engine src/engine/, src/counters/: datapath failures are
+//                   reported through secmem::Status, never thrown — a
+//                   throw across the engine boundary loses the poisoned /
+//                   tampered distinction and skips the metrics/trace
+//                   accounting. Only argument-contract throws
+//                   (std::out_of_range, std::invalid_argument,
+//                   std::length_error) are allowed.
 //
 // Suppression:
 //   - inline, same line:            // secmem-lint: allow(rule-id)
@@ -235,6 +242,11 @@ constexpr Rule kCryptoInclude = {
     "crypto-include",
     "intrinsics / crypto-backend internals included outside src/crypto; "
     "go through crypto_backend.h"};
+constexpr Rule kNoThrowEngine = {
+    "no-throw-engine",
+    "engine/counter datapaths report failures via secmem::Status, not "
+    "exceptions; only argument-contract throws (std::out_of_range, "
+    "std::invalid_argument, std::length_error) are allowed"};
 
 /// First dotted segment of a stat name ("engine.reads" -> "engine").
 const std::set<std::string, std::less<>> kStatNamespaces = {
@@ -295,6 +307,8 @@ class Linter {
       check_raw_mutex(rel, text, v);
     }
     if (starts_with(rel, "src/sim/")) check_sim_rand(rel, text, v);
+    if (starts_with(rel, "src/engine/") || starts_with(rel, "src/counters/"))
+      check_no_throw_engine(rel, text, v);
     if (starts_with(rel, "src/") || starts_with(rel, "tools/") ||
         starts_with(rel, "bench/")) {
       check_stat_name(rel, text, v);
@@ -382,6 +396,31 @@ class Linter {
           "default_random_engine", "knuth_b"}) {
       for (const std::size_t pos : find_idents(v.code, name))
         add(rel, text, pos, kSimRand, name);
+    }
+  }
+
+  void check_no_throw_engine(const std::string& rel, const std::string& text,
+                             const Views& v) {
+    for (const std::size_t pos : find_idents(v.code, "throw")) {
+      // The thrown expression's head: a possibly std::-qualified type
+      // name right after the keyword. `throw;` (rethrow) and non-type
+      // heads fall through to a finding — the rule is about what leaves
+      // the engine, and anything but the whitelisted argument-contract
+      // types does.
+      std::size_t p = pos + 5;
+      while (p < v.code.size() &&
+             std::isspace(static_cast<unsigned char>(v.code[p])))
+        ++p;
+      std::string head;
+      while (p < v.code.size() &&
+             (ident_char(v.code[p]) || v.code[p] == ':'))
+        head += v.code[p++];
+      if (starts_with(head, "std::")) head.erase(0, 5);
+      if (head == "out_of_range" || head == "invalid_argument" ||
+          head == "length_error")
+        continue;
+      add(rel, text, pos, kNoThrowEngine,
+          head.empty() ? "throw" : "throw " + head);
     }
   }
 

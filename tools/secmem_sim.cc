@@ -109,7 +109,8 @@ int run_functional_engine(const SystemConfig& config,
       for (std::uint64_t i = 0; i < refs_per_thread; ++i) {
         const std::uint64_t block = rng.next_below(hot_blocks);
         if (rng.chance(write_fraction)) {
-          memory->write_block(block, block_data);
+          if (memory->write_block(block, block_data) != Status::kOk)
+            ++failures;
         } else if (memory->read_block(block).status != ReadStatus::kOk) {
           ++failures;
         }
