@@ -40,6 +40,12 @@ echo "=== tier 1: exclusive-only locking (SECMEM_SEQLOCK=0) ==="
 # behavior (the default run above covers the shared/optimistic paths).
 SECMEM_SEQLOCK=0 ctest --preset default -j "$(nproc)"
 
+echo "=== tier 1: scalar snapshot pipeline (SECMEM_BATCH_SNAPSHOT=0) ==="
+# Same binaries with the streaming snapshot pipeline kill-switched:
+# per-element save/restore I/O and update_leaf-per-line tree rebuild,
+# the scalar reference the batched images must stay bit-identical to.
+SECMEM_BATCH_SNAPSHOT=0 ctest --preset default -j "$(nproc)"
+
 if [ "$fast" -eq 0 ]; then
   echo "=== ASan + UBSan ==="
   ASAN_OPTIONS="halt_on_error=1:abort_on_error=1" \
@@ -90,6 +96,14 @@ SECMEM_METRICS_JSON="$tmp/fig1_storage.metrics.json" \
 # scalar group-drain phase end to end and must export valid metrics.
 SECMEM_METRICS_JSON="$tmp/table2_reencryption.metrics.json" \
   ./build/bench/bench_table2_reencryption 20000 1 >/dev/null
+# Snapshot-pipeline smoke: one save/restore pass per engine and mode
+# (batched and the SECMEM_BATCH_SNAPSHOT=0 reference both run inside the
+# bench) with the metrics export validated like the rest.
+SECMEM_METRICS_JSON="$tmp/snapshot.metrics.json" \
+  ./build/bench/bench_snapshot --quick --out "$tmp/snapshot.bench.json" \
+  >/dev/null
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+  "$tmp/snapshot.bench.json"
 for f in "$tmp"/*.metrics.json; do
   python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$f"
   echo "ok: $f"

@@ -32,6 +32,19 @@ std::unique_ptr<CounterScheme> make_counter_scheme(CounterSchemeKind kind,
   return nullptr;
 }
 
+void CounterScheme::deserialize_all(std::span<const std::uint8_t> store) {
+  const std::uint64_t lines = num_storage_lines();
+  for (std::uint64_t line = 0; line < lines; ++line) {
+    deserialize_line(line, std::span<const std::uint8_t, 64>(
+                               store.data() + line * 64, 64));
+  }
+}
+
+void CounterScheme::read_counters(std::span<std::uint64_t> counters) const {
+  for (std::uint64_t b = 0; b < counters.size(); ++b)
+    counters[b] = read_counter(b);
+}
+
 const char* counter_event_name(CounterEvent event) noexcept {
   switch (event) {
     case CounterEvent::kIncrement: return "increment";

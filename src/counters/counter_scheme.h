@@ -93,6 +93,19 @@ class CounterScheme {
   virtual void deserialize_line(std::uint64_t line,
                                 std::span<const std::uint8_t, 64> in) = 0;
 
+  /// Bulk deserialize: adopt a complete serialized counter region
+  /// (`store` = num_storage_lines() x 64 bytes, already authenticated by
+  /// the caller) as this scheme's state. One virtual dispatch per region
+  /// instead of one per line; the default loops deserialize_line.
+  virtual void deserialize_all(std::span<const std::uint8_t> store);
+
+  /// Bulk read_counter over every block: counters[b] = read_counter(b)
+  /// for b in [0, num_blocks()). `counters` must hold num_blocks()
+  /// entries. Schemes with direct representations override this to skip
+  /// the per-block virtual dispatch (the restore commit path reads the
+  /// whole region's counters in one go).
+  virtual void read_counters(std::span<std::uint64_t> counters) const;
+
   /// Index of the 64-byte counter-storage line holding `block`'s counter.
   std::uint64_t storage_line_of(BlockIndex block) const {
     return block / blocks_per_storage_line();

@@ -16,6 +16,16 @@ std::uint64_t DeltaCounters::read_counter(BlockIndex block) const {
   return g.ref + g.delta[block % kGroupBlocks];
 }
 
+void DeltaCounters::read_counters(std::span<std::uint64_t> counters) const {
+  for (BlockIndex b = 0; b < counters.size();) {
+    const Group& g = groups_[b / kGroupBlocks];
+    const unsigned n = static_cast<unsigned>(std::min<std::uint64_t>(
+        kGroupBlocks - b % kGroupBlocks, counters.size() - b));
+    for (unsigned j = 0; j < n; ++j, ++b)
+      counters[b] = g.ref + g.delta[b % kGroupBlocks];
+  }
+}
+
 void DeltaCounters::serialize_line(std::uint64_t line,
                                    std::span<std::uint8_t, 64> out) const {
   // Layout (Figure 4/5): [ref:56][delta:7 x64] = 504 bits; 8 spare.

@@ -52,6 +52,9 @@ class DeltaCounters final : public CounterScheme {
                       std::span<std::uint8_t, 64> out) const override;
   void deserialize_line(std::uint64_t line,
                         std::span<const std::uint8_t, 64> in) override;
+  /// Direct group-walk bulk read: one ref load per group instead of one
+  /// virtual read_counter dispatch per block (restore commit path).
+  void read_counters(std::span<std::uint64_t> counters) const override;
 
   std::uint64_t reencryptions() const noexcept { return reencryptions_; }
   std::uint64_t resets() const noexcept { return resets_; }

@@ -123,4 +123,24 @@ void CwMac::compute_batch(std::span<const std::uint64_t> addrs,
   }
 }
 
+void CwMac::compute_batch(std::span<const std::uint64_t> addrs,
+                          std::span<const std::uint64_t> counters,
+                          std::span<const std::uint8_t> lines,
+                          std::span<std::uint64_t> tags) const noexcept {
+  assert(addrs.size() == counters.size() && addrs.size() == tags.size() &&
+         lines.size() == addrs.size() * kBlockBytes);
+  constexpr std::size_t kChunk = 32;
+  std::array<std::uint64_t, kChunk> pads;
+  for (std::size_t base = 0; base < addrs.size(); base += kChunk) {
+    const std::size_t n = std::min(kChunk, addrs.size() - base);
+    pad_batch(addrs.subspan(base, n), counters.subspan(base, n),
+              std::span<std::uint64_t>(pads.data(), n));
+    for (std::size_t i = 0; i < n; ++i)
+      tags[base + i] =
+          (polyhash(lines.subspan((base + i) * kBlockBytes, kBlockBytes)) ^
+           pads[i]) &
+          kMacMask;
+  }
+}
+
 }  // namespace secmem

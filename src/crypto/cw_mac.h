@@ -76,6 +76,15 @@ class CwMac {
                      std::span<const DataBlock> blocks,
                      std::span<std::uint64_t> tags) const noexcept;
 
+  /// compute_batch over packed 64-byte messages: `lines` holds
+  /// addrs.size() consecutive blocks (addrs.size() * 64 bytes). Lets
+  /// callers whose messages already sit contiguously (Bonsai levels,
+  /// counter-storage images) batch without staging into DataBlock copies.
+  void compute_batch(std::span<const std::uint64_t> addrs,
+                     std::span<const std::uint64_t> counters,
+                     std::span<const std::uint8_t> lines,
+                     std::span<std::uint64_t> tags) const noexcept;
+
   /// True if tag matches the recomputed value. Constant-time in the tag
   /// contents (ct_equal_u64): a mismatch reveals nothing about *which*
   /// bits differ, closing the byte-at-a-time forgery oracle.

@@ -123,7 +123,8 @@ SecureMemory::SecureMemory(const SecureMemoryConfig& config)
       lanes_(layout_.num_blocks()),
       counter_store_(layout_.num_counter_lines() * 64, 0),
       shadow_ctr_(layout_.num_blocks(), 0),
-      batch_reencrypt_(resolved_batch_reencrypt()) {
+      batch_reencrypt_(resolved_batch_reencrypt()),
+      batch_snapshot_(batch_snapshot_enabled()) {
   assert(config.size_bytes % 64 == 0 && config.size_bytes > 0);
   if (config.mac_placement == MacPlacement::kSeparate)
     macs_.resize(layout_.num_blocks(), 0);
@@ -516,12 +517,118 @@ void SecureMemory::read_blocks_shared(std::span<const std::uint64_t> blocks,
                                       std::vector<std::uint32_t>& declined)
     const {
   assert(results.size() == blocks.size());
-  for (std::size_t i = 0; i < blocks.size(); ++i) {
-    if (const auto r = read_block_shared(blocks[i])) {
-      results[i] = *r;
-    } else {
-      declined.push_back(static_cast<std::uint32_t>(i));
+  if (config_.time_ops) {
+    // Per-op latency sampling needs per-op boundaries — scalar wholesale.
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      if (const auto r = read_block_shared(blocks[i])) {
+        results[i] = *r;
+      } else {
+        declined.push_back(static_cast<std::uint32_t>(i));
+      }
     }
+    return;
+  }
+
+  // Batched mirror of read_blocks() on the const shared path. Each
+  // distinct counter line is probed once — under the shared lock the
+  // line bytes cannot change within the batch, so one read-side verify
+  // per line is observationally equivalent to one per block. The line
+  // table is a flat array with linear scan for the common case (shard
+  // runs of a few dozen blocks — where one node-based map allocation
+  // per distinct line costs more than every lookup it saves) and an
+  // unordered_map above that.
+  struct LineState {
+    std::uint64_t line;
+    bool ok;
+    bool resident;
+  };
+  const bool flat = blocks.size() <= 256;
+  std::vector<LineState> line_vec;
+  std::unordered_map<std::uint64_t, std::pair<bool, bool>> line_map;
+  if (flat) line_vec.reserve(blocks.size());
+  auto line_state = [&](std::uint64_t line) -> std::pair<bool, bool> {
+    if (flat) {
+      for (const LineState& ls : line_vec)
+        if (ls.line == line) return {ls.ok, ls.resident};
+    } else if (const auto it = line_map.find(line); it != line_map.end()) {
+      return it->second;
+    }
+    bool resident = false;
+    const bool ok = tree_cache_.probe(
+        line, BonsaiTree::LineView(counter_store_.data() + line * 64, 64),
+        resident);
+    if (flat)
+      line_vec.push_back({line, ok, resident});
+    else
+      line_map.emplace(line, std::make_pair(ok, resident));
+    return {ok, resident};
+  };
+
+  // MAC pads for the whole batch through the 8-wide AES kernel; one
+  // allocation carries all three lanes.
+  const std::size_t n = blocks.size();
+  std::vector<std::uint64_t> lanes_buf(3 * n);
+  const std::span<std::uint64_t> addrs(lanes_buf.data(), n);
+  const std::span<std::uint64_t> counters(lanes_buf.data() + n, n);
+  const std::span<std::uint64_t> pads(lanes_buf.data() + 2 * n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    addrs[i] = layout_.block_addr(blocks[i]);
+    counters[i] = scheme_->read_counter(blocks[i]);
+  }
+  mac_.pad_batch(addrs, counters, pads);
+
+  // Per block, preserving read_block_shared's ordering exactly —
+  // promotion pulse first (each cold-line read ticks the pulse counter,
+  // every kSharedProbePulse-th declines), then the tamper verdict, then
+  // the clean verify; anything that is not a clean verify falls back to
+  // the scalar routine for identical corrections/statuses/accounting.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t block = blocks[i];
+    const auto [line_ok, resident] =
+        line_state(scheme_->storage_line_of(block));
+    if (!resident &&
+        shared_cold_reads_.fetch_add(1, std::memory_order_relaxed) %
+                kSharedProbePulse ==
+            kSharedProbePulse - 1) {
+      metrics_.add(MetricId::kSharedReadDeclines);
+      declined.push_back(static_cast<std::uint32_t>(i));
+      continue;
+    }
+    if (!line_ok) {
+      results[i] = ReadResult{ReadStatus::kCounterTampered, {}, 0};
+      metrics_.add(MetricId::kSharedReads);
+      account_read(results[i], block);
+      continue;
+    }
+    DataBlock ct = ciphertext_[block];
+    if (config_.mac_placement == MacPlacement::kEccLane) {
+      const auto unpacked = mac_ecc_.unpack_lane(lanes_[block]);
+      if (unpacked.status != MacEccCodec::MacStatus::kOk ||
+          !mac_.verify_with_pad(pads[i], ct, unpacked.mac)) {
+        if (const auto r = read_block_shared(block)) {
+          results[i] = *r;
+        } else {
+          declined.push_back(static_cast<std::uint32_t>(i));
+        }
+        continue;
+      }
+    } else {
+      const auto decoded = secded_.decode(ct, lanes_[block]);
+      if (decoded.any_corrected || decoded.any_uncorrectable ||
+          !mac_.verify_with_pad(pads[i], decoded.data,
+                                macs_[block] & kMacMask)) {
+        if (const auto r = read_block_shared(block)) {
+          results[i] = *r;
+        } else {
+          declined.push_back(static_cast<std::uint32_t>(i));
+        }
+        continue;
+      }
+    }
+    keystream_.crypt(addrs[i], counters[i], ct);
+    results[i] = ReadResult{ReadStatus::kOk, ct, 0};
+    metrics_.add(MetricId::kSharedReads);
+    account_read(results[i], block);
   }
 }
 
@@ -591,17 +698,39 @@ std::vector<ReadResult> SecureMemory::read_blocks(
   // Phase 1: authenticate each distinct counter line once. Sequentially
   // every read re-verifies its line; within one batch the line bytes
   // cannot change, so one tree walk per line is observationally
-  // equivalent.
-  std::unordered_map<std::uint64_t, bool> line_ok;
-  for (const std::uint64_t block : blocks) {
-    const std::uint64_t line = scheme_->storage_line_of(block);
-    if (line_ok.contains(line)) continue;
-    line_ok.emplace(line, verify_counter_line(line));
-  }
+  // equivalent. Flat table + linear scan for typical batch sizes (one
+  // node-based map allocation per distinct line costs more than every
+  // lookup it saves), map above that.
+  struct LineOk {
+    std::uint64_t line;
+    bool ok;
+  };
+  const bool flat = blocks.size() <= 256;
+  std::vector<LineOk> line_vec;
+  std::unordered_map<std::uint64_t, bool> line_map;
+  if (flat) line_vec.reserve(blocks.size());
+  auto line_ok = [&](std::uint64_t line) -> bool {
+    if (flat) {
+      for (const LineOk& ls : line_vec)
+        if (ls.line == line) return ls.ok;
+    } else if (const auto it = line_map.find(line); it != line_map.end()) {
+      return it->second;
+    }
+    const bool ok = verify_counter_line(line);
+    if (flat)
+      line_vec.push_back({line, ok});
+    else
+      line_map.emplace(line, ok);
+    return ok;
+  };
 
-  // Phase 2: MAC pads for the whole batch through the 4-wide AES kernel.
+  // Phase 2: MAC pads for the whole batch through the 4-wide AES kernel;
+  // one allocation carries all three lanes.
   const std::size_t n = blocks.size();
-  std::vector<std::uint64_t> addrs(n), counters(n), pads(n);
+  std::vector<std::uint64_t> lanes_buf(3 * n);
+  const std::span<std::uint64_t> addrs(lanes_buf.data(), n);
+  const std::span<std::uint64_t> counters(lanes_buf.data() + n, n);
+  const std::span<std::uint64_t> pads(lanes_buf.data() + 2 * n, n);
   for (std::size_t i = 0; i < n; ++i) {
     addrs[i] = layout_.block_addr(blocks[i]);
     counters[i] = scheme_->read_counter(blocks[i]);
@@ -614,7 +743,7 @@ std::vector<ReadResult> SecureMemory::read_blocks(
   // with identical corrections, statuses, metrics, and trace events.
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint64_t block = blocks[i];
-    if (!line_ok.at(scheme_->storage_line_of(block))) {
+    if (!line_ok(scheme_->storage_line_of(block))) {
       results[i] = read_block(block);
       continue;
     }
@@ -789,7 +918,23 @@ std::uint64_t read_u64(std::istream& in) {
   in.read(reinterpret_cast<char*>(buf), 8);
   return load_le64(buf);
 }
+
+// The contiguous vectors ARE the serialized layout: one bulk stream call
+// per section depends on the element types packing without padding.
+static_assert(sizeof(DataBlock) == kBlockBytes);
+static_assert(sizeof(EccLane) == kEccLaneBytes);
+
+/// MACs per endian-conversion chunk (64 KiB of stream traffic a flush).
+constexpr std::size_t kMacChunk = 8192;
 }  // namespace
+
+std::uint64_t SecureMemory::image_bytes() const noexcept {
+  const unsigned top = layout_.tree().total_levels() - 1;
+  return sizeof(kImageMagic) + 4 * 8 +
+         layout_.num_blocks() * (kBlockBytes + kEccLaneBytes) +
+         macs_.size() * 8 + counter_store_.size() +
+         layout_.tree().nodes_at[top] * 64;
+}
 
 Status SecureMemory::save(std::ostream& out) {
   // Flush barrier: write-back the deferred MAC propagation so the image
@@ -802,15 +947,42 @@ Status SecureMemory::save(std::ostream& out) {
   write_u64(out, config_.generic_delta_bits);
 
   // Off-chip state, exactly what sits on the (NV)DIMMs.
-  for (const DataBlock& ct : ciphertext_)
-    out.write(reinterpret_cast<const char*>(ct.data()), 64);
-  for (const EccLane& lane : lanes_)
-    out.write(reinterpret_cast<const char*>(lane.data()), 8);
-  for (const std::uint64_t mac : macs_) write_u64(out, mac);
+  if (batch_snapshot_) {
+    // Chunked path: ciphertext and lane vectors are contiguous and
+    // byte-identical to the per-element layout (static_asserts above),
+    // so each section is one stream call; the MAC words stream through
+    // the engine-owned chunk buffer with store_le64 conversion.
+    out.write(reinterpret_cast<const char*>(ciphertext_.data()),
+              static_cast<std::streamsize>(ciphertext_.size() *
+                                           sizeof(DataBlock)));
+    out.write(reinterpret_cast<const char*>(lanes_.data()),
+              static_cast<std::streamsize>(lanes_.size() * sizeof(EccLane)));
+    if (!macs_.empty()) {
+      std::vector<std::uint8_t>& buf = scratch_.io_bytes;
+      buf.resize(std::min(macs_.size(), kMacChunk) * 8);
+      for (std::size_t base = 0; base < macs_.size(); base += kMacChunk) {
+        const std::size_t n = std::min(kMacChunk, macs_.size() - base);
+        for (std::size_t i = 0; i < n; ++i)
+          store_le64(buf.data() + 8 * i, macs_[base + i]);
+        out.write(reinterpret_cast<const char*>(buf.data()),
+                  static_cast<std::streamsize>(8 * n));
+      }
+    }
+  } else {
+    // Scalar reference (SECMEM_BATCH_SNAPSHOT=0): one stream call per
+    // element. The chunked path above must emit bit-identical bytes —
+    // the differential tests diff whole images across the two.
+    for (const DataBlock& ct : ciphertext_)
+      out.write(reinterpret_cast<const char*>(ct.data()), 64);
+    for (const EccLane& lane : lanes_)
+      out.write(reinterpret_cast<const char*>(lane.data()), 8);
+    for (const std::uint64_t mac : macs_) write_u64(out, mac);
+  }
   out.write(reinterpret_cast<const char*>(counter_store_.data()),
             static_cast<std::streamsize>(counter_store_.size()));
 
-  // Sealed root snapshot: the on-chip root level of the tree.
+  // Sealed root snapshot: the on-chip root level of the tree (a handful
+  // of nodes — never the bandwidth term).
   const unsigned top = layout_.tree().total_levels() - 1;
   for (std::uint64_t node = 0; node < layout_.tree().nodes_at[top];
        ++node) {
@@ -840,29 +1012,75 @@ std::optional<SecureMemory::StagedRestore> SecureMemory::stage_restore(
   if (read_u64(in) != config_.generic_delta_bits) return std::nullopt;
 
   // Read the off-chip image into staging storage — engine state is not
-  // touched anywhere in this function.
-  StagedRestore staged{
-      master_key,
-      std::vector<DataBlock>(layout_.num_blocks()),
-      std::vector<EccLane>(layout_.num_blocks()),
-      std::vector<std::uint64_t>(macs_.size()),
-      std::vector<std::uint8_t>(counter_store_.size()),
-      BonsaiTree(layout_.tree(), derive_keys(master_key).tree_key)};
-  for (DataBlock& ct : staged.ciphertext)
-    in.read(reinterpret_cast<char*>(ct.data()), 64);
-  for (EccLane& lane : staged.lanes)
-    in.read(reinterpret_cast<char*>(lane.data()), 8);
-  for (std::uint64_t& mac : staged.macs) mac = read_u64(in);
+  // touched anywhere in this function. The batched path defers the
+  // tree's zero-leaf build: rebuild_from_lines below overwrites every
+  // slot the image's leaves reach, so building zero MACs first would be
+  // pure waste (the scalar path keeps the zero build its update_leaf
+  // walks patch).
+  const CwMacKey tree_key = derive_keys(master_key).tree_key;
+  // Staging storage is adopted from the arena (the state vectors the
+  // last commit replaced — right-sized and page-warm; empty vectors on
+  // the first restore or in scalar mode, where resize allocates). Every
+  // byte of every section is overwritten by the reads below, so stale
+  // recycled contents can never leak into a staged image.
+  StagedRestore staged{master_key,
+                       std::move(snap_arena_.ciphertext),
+                       std::move(snap_arena_.lanes),
+                       std::move(snap_arena_.macs),
+                       std::move(snap_arena_.counter_store),
+                       batch_snapshot_
+                           ? BonsaiTree(layout_.tree(), tree_key,
+                                        BonsaiTree::DeferredBuild{})
+                           : BonsaiTree(layout_.tree(), tree_key)};
+  staged.ciphertext.resize(layout_.num_blocks());
+  staged.lanes.resize(layout_.num_blocks());
+  staged.macs.resize(macs_.size());
+  staged.counter_store.resize(counter_store_.size());
+  if (batch_snapshot_) {
+    // Chunked reads, mirroring save(): contiguous sections in one stream
+    // call each; the MAC words land in their own storage and convert
+    // endianness in place (each element independently re-read through
+    // load_le64 — the identity on little-endian hosts).
+    in.read(reinterpret_cast<char*>(staged.ciphertext.data()),
+            static_cast<std::streamsize>(staged.ciphertext.size() *
+                                         sizeof(DataBlock)));
+    in.read(reinterpret_cast<char*>(staged.lanes.data()),
+            static_cast<std::streamsize>(staged.lanes.size() *
+                                         sizeof(EccLane)));
+    if (!staged.macs.empty()) {
+      in.read(reinterpret_cast<char*>(staged.macs.data()),
+              static_cast<std::streamsize>(staged.macs.size() * 8));
+      for (std::uint64_t& mac : staged.macs) {
+        std::uint8_t raw[8];
+        std::memcpy(raw, &mac, 8);
+        mac = load_le64(raw);
+      }
+    }
+  } else {
+    for (DataBlock& ct : staged.ciphertext)
+      in.read(reinterpret_cast<char*>(ct.data()), 64);
+    for (EccLane& lane : staged.lanes)
+      in.read(reinterpret_cast<char*>(lane.data()), 8);
+    for (std::uint64_t& mac : staged.macs) mac = read_u64(in);
+  }
   in.read(reinterpret_cast<char*>(staged.counter_store.data()),
           static_cast<std::streamsize>(staged.counter_store.size()));
   if (!in) return std::nullopt;
 
   // Rebuild the tree from the image's counter lines and check its root
   // level against the sealed snapshot — offline counter tamper dies here.
-  for (std::uint64_t line = 0; line < layout_.num_counter_lines(); ++line) {
-    staged.tree.update_leaf(
-        line,
-        BonsaiTree::LineView(staged.counter_store.data() + line * 64, 64));
+  if (batch_snapshot_) {
+    // Bottom-up bulk rebuild: O(lines) batched MACs instead of the
+    // O(lines x depth) scalar MACs of per-leaf root walks. Bit-identical
+    // final tree (see BonsaiTree::rebuild_from_lines).
+    staged.tree.rebuild_from_lines(staged.counter_store);
+  } else {
+    for (std::uint64_t line = 0; line < layout_.num_counter_lines();
+         ++line) {
+      staged.tree.update_leaf(
+          line,
+          BonsaiTree::LineView(staged.counter_store.data() + line * 64, 64));
+    }
   }
   const unsigned top = layout_.tree().total_levels() - 1;
   for (std::uint64_t node = 0; node < layout_.tree().nodes_at[top];
@@ -886,19 +1104,37 @@ void SecureMemory::commit_restore(StagedRestore&& staged) {
     keystream_ = CtrKeystream(keys.data_key);
     mac_ = CwMac(keys.mac_key);
   }
-  ciphertext_ = std::move(staged.ciphertext);
-  lanes_ = std::move(staged.lanes);
-  macs_ = std::move(staged.macs);
-  counter_store_ = std::move(staged.counter_store);
+  // Swap rather than move-assign: the replaced state vectors survive in
+  // `staged` and are parked in the arena below, so the next
+  // stage_restore reuses their (right-sized, already-faulted) pages.
+  std::swap(ciphertext_, staged.ciphertext);
+  std::swap(lanes_, staged.lanes);
+  std::swap(macs_, staged.macs);
+  std::swap(counter_store_, staged.counter_store);
   tree_ = std::move(staged.tree);
   tree_cache_.invalidate_all();  // cached state described the old tree
-  for (std::uint64_t line = 0; line < layout_.num_counter_lines(); ++line) {
-    scheme_->deserialize_line(
-        line, std::span<const std::uint8_t, 64>(
-                  counter_store_.data() + line * 64, 64));
+  if (batch_snapshot_) {
+    // One virtual dispatch per region for the line decode and the shadow
+    // counter refill (schemes override read_counters with direct group
+    // walks) — same state as the per-line/per-block loops below.
+    scheme_->deserialize_all(counter_store_);
+    scheme_->read_counters(shadow_ctr_);
+  } else {
+    for (std::uint64_t line = 0; line < layout_.num_counter_lines();
+         ++line) {
+      scheme_->deserialize_line(
+          line, std::span<const std::uint8_t, 64>(
+                    counter_store_.data() + line * 64, 64));
+    }
+    for (std::uint64_t b = 0; b < layout_.num_blocks(); ++b)
+      shadow_ctr_[b] = scheme_->read_counter(b);
   }
-  for (std::uint64_t b = 0; b < layout_.num_blocks(); ++b)
-    shadow_ctr_[b] = scheme_->read_counter(b);
+  if (batch_snapshot_) {
+    snap_arena_.ciphertext = std::move(staged.ciphertext);
+    snap_arena_.lanes = std::move(staged.lanes);
+    snap_arena_.macs = std::move(staged.macs);
+    snap_arena_.counter_store = std::move(staged.counter_store);
+  }
   metrics_.add(MetricId::kRestores);
   trace(TraceEvent::Kind::kRestore, Status::kOk, 0);
 }

@@ -223,8 +223,21 @@ class SecureMemory : public SecureMemoryLike {
   /// freshness requires a fresh root store, see SECURITY.md.)
   /// On any failure the region re-initializes to zeros and restore
   /// returns false.
+  /// Both directions stream in bulk: ciphertext, ECC lanes, and counter
+  /// storage are contiguous and byte-identical to the serialized layout,
+  /// so they move through single large writes/reads; stored MACs convert
+  /// endianness through a reusable engine-owned chunk buffer; and restore
+  /// rebuilds the tree level-by-level through the batched MAC kernel
+  /// (BonsaiTree::rebuild_from_lines). SECMEM_BATCH_SNAPSHOT=0 at
+  /// construction pins the scalar per-element reference — bit-identical
+  /// images either way.
   [[nodiscard]] Status save(std::ostream& out) override;
   [[nodiscard]] bool restore(std::istream& in) override;
+
+  /// Exact byte size of the image save() emits for this engine —
+  /// facades slicing a concatenated multi-engine image (the sharded
+  /// container's parallel restore) size their cuts with this.
+  std::uint64_t image_bytes() const noexcept;
 
   // Keep the base class's std::byte-span / buffer overloads visible next
   // to the overrides above.
@@ -427,12 +440,37 @@ class SecureMemory : public SecureMemoryLike {
     std::vector<std::uint64_t> store_addrs, tags;
     std::vector<DataBlock> cts;
     std::vector<EccLane> packed;
+    /// Serialization chunk buffer for save()'s endian-converted MAC
+    /// stream; capacity sticks after the first save, so steady-state
+    /// snapshots allocate nothing.
+    std::vector<std::uint8_t> io_bytes;
   };
   BatchScratch scratch_;
+  /// Staging-storage recycler for the batched restore path:
+  /// commit_restore parks the replaced state vectors here and the next
+  /// stage_restore adopts them, so steady-state crash/restore loops
+  /// allocate (and page-fault) nothing — the dominant cost of a large
+  /// restore once the stream calls are chunked. Mutable because
+  /// stage_restore is const by contract (it never changes engine
+  /// *state*) yet runs only under the engine's exclusive
+  /// synchronization, like every snapshot entry point. Stays empty in
+  /// scalar mode (SECMEM_BATCH_SNAPSHOT=0 preserves the
+  /// allocate-per-restore reference behavior).
+  struct SnapshotArena {
+    std::vector<DataBlock> ciphertext;
+    std::vector<EccLane> lanes;
+    std::vector<std::uint64_t> macs;
+    std::vector<std::uint8_t> counter_store;
+  };
+  mutable SnapshotArena snap_arena_;
   /// SECMEM_BATCH_REENC kill switch, sampled at construction: false
   /// forces the scalar block-at-a-time re-encryption loop (differential
   /// reference for the batched path).
   bool batch_reencrypt_ = true;
+  /// SECMEM_BATCH_SNAPSHOT kill switch, sampled at construction: false
+  /// pins save/stage_restore/commit_restore to the scalar per-element
+  /// reference paths (differential reference for the snapshot pipeline).
+  bool batch_snapshot_ = true;
 };
 
 }  // namespace secmem

@@ -57,36 +57,6 @@ bool SecureMemoryLike::restore(std::span<const std::byte> image) {
   return restore(in);
 }
 
-// Pre-Status compatibility shims (one-PR lifetime). They reproduce the
-// PR-6 throwing contract on top of the Status returns; the deprecation
-// warning is silenced locally because defining/forwarding to them here is
-// the whole point.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-void SecureMemoryLike::write_block_or_throw(std::uint64_t block,
-                                            const DataBlock& plaintext) {
-  if (write_block(block, plaintext) == Status::kRegionPoisoned)
-    // Deprecated pre-Status contract; the shim dies with the next PR.
-    throw std::runtime_error(  // secmem-lint: allow(no-throw-engine)
-        "write_block: region poisoned");
-}
-
-void SecureMemoryLike::write_blocks_or_throw(
-    std::span<const BlockWrite> writes) {
-  if (write_blocks(writes) == Status::kRegionPoisoned)
-    // Deprecated pre-Status contract; the shim dies with the next PR.
-    throw std::runtime_error(  // secmem-lint: allow(no-throw-engine)
-        "write_blocks: region poisoned");
-}
-
-void SecureMemoryLike::save_or_throw(std::ostream& out) {
-  if (save(out) == Status::kRegionPoisoned)
-    // Deprecated pre-Status contract; the shim dies with the next PR.
-    throw std::runtime_error(  // secmem-lint: allow(no-throw-engine)
-        "save: region poisoned");
-}
-#pragma GCC diagnostic pop
-
 const char* scrub_status_name(ScrubStatus status) noexcept {
   switch (status) {
     case ScrubStatus::kClean: return "clean";
@@ -156,6 +126,11 @@ bool parse_engine_kind(const std::string& text, EngineKind& out) noexcept {
 
 bool seqlock_reads_enabled() noexcept {
   const char* env = std::getenv("SECMEM_SEQLOCK");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+bool batch_snapshot_enabled() noexcept {
+  const char* env = std::getenv("SECMEM_BATCH_SNAPSHOT");
   return env == nullptr || std::strcmp(env, "0") != 0;
 }
 

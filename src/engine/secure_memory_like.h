@@ -175,19 +175,6 @@ class SecureMemoryLike {
   [[nodiscard]] bool restore(std::span<const std::byte> image);
 
   /// ------------------------------------------------------------------
-  /// Deprecated pre-Status shims — removed next PR.
-  /// ------------------------------------------------------------------
-  /// The PR-6 surface threw std::runtime_error from a poisoned engine;
-  /// the Status returns above replaced that. These shims reproduce the
-  /// old throwing contract for callers mid-migration.
-  [[deprecated("use the Status-returning write_block")]]
-  void write_block_or_throw(std::uint64_t block, const DataBlock& plaintext);
-  [[deprecated("use the Status-returning write_blocks")]]
-  void write_blocks_or_throw(std::span<const BlockWrite> writes);
-  [[deprecated("use the Status-returning save")]]
-  void save_or_throw(std::ostream& out);
-
-  /// ------------------------------------------------------------------
   /// Observability.
   /// ------------------------------------------------------------------
   /// Point-in-time aggregate counters (lock-free; see EngineStats).
@@ -224,6 +211,15 @@ bool parse_engine_kind(const std::string& text, EngineKind& out) noexcept;
 /// unset — enables it. Sampled once at engine construction, like
 /// SECMEM_TREE_CACHE.
 bool seqlock_reads_enabled() noexcept;
+
+/// Kill switch for the batched snapshot pipeline: SECMEM_BATCH_SNAPSHOT=0
+/// in the environment pins save/restore to the scalar per-element
+/// reference (one stream call per block/lane/MAC, leaf-by-leaf tree
+/// rebuild, sequential shard staging); anything else — including unset —
+/// takes the chunked/batched path. The two paths produce bit-identical
+/// images and accept exactly the same ones. Sampled once at engine
+/// construction, like SECMEM_SEQLOCK.
+bool batch_snapshot_enabled() noexcept;
 
 /// Instantiate an engine. `shards` only matters for kSharded (0 picks 8).
 std::unique_ptr<SecureMemoryLike> make_engine(

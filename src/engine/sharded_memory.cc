@@ -7,6 +7,7 @@
 #include <numeric>
 #include <ostream>
 #include <stdexcept>
+#include <streambuf>
 #include <string>
 #include <thread>
 
@@ -42,6 +43,41 @@ unsigned routing_granule_blocks(const SecureMemoryConfig& config) {
 
 constexpr char kShardMagic[8] = {'S', 'E', 'C', 'S', 'H', 'R', 'D', '1'};
 
+/// ostream sink appending straight into a caller-owned byte vector, so
+/// the parallel save workers each serialize into private storage instead
+/// of contending on one shared stream. reserve() up front makes xsputn
+/// a memcpy-and-bump in steady state.
+class VectorSink final : public std::streambuf {
+ public:
+  explicit VectorSink(std::vector<char>& out) : out_(out) {}
+
+ protected:
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    out_.insert(out_.end(), s, s + n);
+    return n;
+  }
+  int_type overflow(int_type ch) override {
+    if (!traits_type::eq_int_type(ch, traits_type::eof()))
+      out_.push_back(traits_type::to_char_type(ch));
+    return ch;
+  }
+
+ private:
+  std::vector<char>& out_;
+};
+
+/// istream source over a borrowed byte slice — each parallel restore
+/// worker parses its cut of the bulk-read container without copying it.
+/// The const_cast is the std::streambuf get-area API's; the get area is
+/// never written through.
+class SpanSource final : public std::streambuf {
+ public:
+  SpanSource(const char* data, std::size_t size) {
+    char* p = const_cast<char*>(data);
+    setg(p, p, p + size);
+  }
+};
+
 void write_u64(std::ostream& out, std::uint64_t v) {
   std::uint8_t buf[8];
   store_le64(buf, v);
@@ -60,11 +96,19 @@ std::uint64_t read_u64(std::istream& in) {
 /// region on a 4-core box spawned 64 threads that mostly context-switch);
 /// the cap keeps maintenance sweeps at hardware parallelism while the
 /// cursor still load-balances uneven shards.
-template <typename Fn>
-void parallel_over_shards(unsigned num_shards, Fn&& fn) {
+/// Worker count parallel_over_shards will use. The snapshot paths probe
+/// it to pick the buffered shard-parallel pipeline only when there is
+/// actual parallelism to buy — with one worker, per-shard buffers would
+/// add a full extra image copy for nothing, so they stream directly.
+unsigned shard_pool_workers(unsigned num_shards) {
   unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;  // unknown topology: stay sequential
-  const unsigned workers = std::min(num_shards, hw);
+  return std::min(num_shards, hw);
+}
+
+template <typename Fn>
+void parallel_over_shards(unsigned num_shards, Fn&& fn) {
+  const unsigned workers = shard_pool_workers(num_shards);
   if (workers <= 1) {
     for (unsigned s = 0; s < num_shards; ++s) fn(s);
     return;
@@ -92,7 +136,8 @@ ShardedSecureMemory::ShardedSecureMemory(const SecureMemoryConfig& config,
       num_shards_(num_shards),
       granule_blocks_(routing_granule_blocks(config)),
       num_blocks_(config.size_bytes / 64),
-      seqlock_reads_(seqlock_reads_enabled()) {
+      seqlock_reads_(seqlock_reads_enabled()),
+      batch_snapshot_(batch_snapshot_enabled()) {
   if (num_shards == 0)
     throw std::invalid_argument("ShardedSecureMemory: need >= 1 shard");
   const std::uint64_t granule_bytes = granule_blocks_ * 64ULL;
@@ -199,14 +244,17 @@ std::vector<SecureMemory::ReadResult> ShardedSecureMemory::read_blocks(
   }
 
   // Visit requests grouped by shard so each shard lock is taken once per
-  // batch; a stable sort keeps same-shard requests in caller order.
+  // batch. Shard ids are small and dense, so a two-pass counting sort
+  // builds the visit order in O(n + shards) — the old indirect
+  // stable_sort was a measurable per-batch tax on single-shard hot
+  // batches — and keeps same-shard requests in caller order (the
+  // scatter pass below is stable by construction).
   std::vector<std::uint32_t> order(blocks.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::uint32_t a, std::uint32_t b) {
-                     return shard_of_block(blocks[a]) <
-                            shard_of_block(blocks[b]);
-                   });
+  std::vector<std::uint32_t> cursor(num_shards_ + 1, 0);
+  for (const std::uint64_t block : blocks) ++cursor[shard_of_block(block) + 1];
+  for (unsigned s = 0; s < num_shards_; ++s) cursor[s + 1] += cursor[s];
+  for (std::uint32_t i = 0; i < blocks.size(); ++i)
+    order[cursor[shard_of_block(blocks[i])]++] = i;
 
   std::vector<SecureMemory::ReadResult> results(blocks.size());
   std::vector<std::uint64_t> local_blocks;
@@ -251,13 +299,13 @@ Status ShardedSecureMemory::write_blocks(std::span<const BlockWrite> writes) {
   if (poisoned())
     return poisoned_mutation(writes.empty() ? 0 : writes.front().block);
 
+  // Same counting-sort grouping as read_blocks (stable, O(n + shards)).
   std::vector<std::uint32_t> order(writes.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::uint32_t a, std::uint32_t b) {
-                     return shard_of_block(writes[a].block) <
-                            shard_of_block(writes[b].block);
-                   });
+  std::vector<std::uint32_t> cursor(num_shards_ + 1, 0);
+  for (const BlockWrite& w : writes) ++cursor[shard_of_block(w.block) + 1];
+  for (unsigned s = 0; s < num_shards_; ++s) cursor[s + 1] += cursor[s];
+  for (std::uint32_t i = 0; i < writes.size(); ++i)
+    order[cursor[shard_of_block(writes[i].block)]++] = i;
 
   Status folded = Status::kOk;
   std::vector<BlockWrite> local_writes;
@@ -646,11 +694,43 @@ Status ShardedSecureMemory::save(std::ostream& out) {
   out.write(kShardMagic, sizeof(kShardMagic));
   write_u64(out, num_shards_);
   write_u64(out, granule_blocks_);
-  Status folded = Status::kOk;
-  for (unsigned s = 0; s < num_shards_; ++s) {
+  if (!batch_snapshot_ || shard_pool_workers(num_shards_) <= 1) {
+    // Direct-to-stream, shard by shard: the scalar reference
+    // (SECMEM_BATCH_SNAPSHOT=0), and also the batched path's shape when
+    // the worker pool is sequential anyway — the shard engines still
+    // stream chunked internally, and skipping the per-shard buffers
+    // skips a whole extra image copy. The buffered path below must emit
+    // bit-identical bytes.
+    Status folded = Status::kOk;
+    for (unsigned s = 0; s < num_shards_; ++s) {
+      Shard& shard = shards_[s];
+      const SeqWriteLock lock(shard.mu);
+      folded = worse(folded, shard.engine->save(out));
+    }
+    return folded;
+  }
+
+  // Shard-parallel: each worker serializes its shard into an
+  // exactly-sized private buffer under that shard's lock; concatenating
+  // in shard order afterwards reproduces the sequential stream byte for
+  // byte. Shards not yet serialized keep serving their callers — the
+  // sequential loop above holds each lock anyway, so parallelism only
+  // shortens the total window.
+  std::vector<std::vector<char>> images(num_shards_);
+  std::vector<Status> statuses(num_shards_, Status::kOk);
+  parallel_over_shards(num_shards_, [this, &images, &statuses](unsigned s) {
     Shard& shard = shards_[s];
     const SeqWriteLock lock(shard.mu);
-    folded = worse(folded, shard.engine->save(out));
+    images[s].reserve(shard.engine->image_bytes());
+    VectorSink sink(images[s]);
+    std::ostream shard_out(&sink);
+    statuses[s] = shard.engine->save(shard_out);
+  });
+  Status folded = Status::kOk;
+  for (unsigned s = 0; s < num_shards_; ++s) {
+    folded = worse(folded, statuses[s]);
+    out.write(images[s].data(),
+              static_cast<std::streamsize>(images[s].size()));
   }
   return folded;
 }
@@ -685,22 +765,79 @@ bool ShardedSecureMemory::restore(std::istream& in)
   // rollback a shard can be stranded on a half-rotated key, and this is
   // exactly how restore() un-poisons it — commit_restore re-derives that
   // shard's working keys from the image's master.
-  std::vector<SecureMemory::StagedRestore> staged;
-  staged.reserve(num_shards_);
-  for (unsigned s = 0; s < num_shards_; ++s) {
-    auto image = shards_[s].engine->stage_restore(
-        in, shard_master_key(config_.master_key, s));
-    if (!image) {
-      if (trace_)
-        trace_->record(TraceEvent::Kind::kRestore,
-                       Status::kIntegrityViolation, 0,
-                       static_cast<std::uint16_t>(s));
-      return false;
+  if (!batch_snapshot_ || shard_pool_workers(num_shards_) <= 1) {
+    // Straight off the stream, shard by shard: the scalar reference
+    // (SECMEM_BATCH_SNAPSHOT=0), and also the batched path's shape when
+    // the worker pool is sequential — same staging-then-commit
+    // atomicity, no bulk payload copy. In batched mode the shard
+    // engines still stage through their chunked readers and bulk tree
+    // rebuilds.
+    std::vector<SecureMemory::StagedRestore> staged;
+    staged.reserve(num_shards_);
+    for (unsigned s = 0; s < num_shards_; ++s) {
+      auto image = shards_[s].engine->stage_restore(
+          in, shard_master_key(config_.master_key, s));
+      if (!image) {
+        if (trace_)
+          trace_->record(TraceEvent::Kind::kRestore,
+                         Status::kIntegrityViolation, 0,
+                         static_cast<std::uint16_t>(s));
+        return false;
+      }
+      staged.push_back(std::move(*image));
     }
-    staged.push_back(std::move(*image));
+    for (unsigned s = 0; s < num_shards_; ++s)
+      shards_[s].engine->commit_restore(std::move(staged[s]));
+    // A fully-restored region is uniformly keyed again by construction.
+    poisoned_.store(false, std::memory_order_release);
+    return true;
   }
+
+  // Shard-parallel staging. The per-shard payload is fixed-size (every
+  // shard shares one config), so one bulk read cuts the container into
+  // N independent slices and the maintenance pool stages them
+  // concurrently — each worker parses, MACs, and sealed-root-checks its
+  // own shard via a SpanSource over its slice. All locks stay held, so
+  // the all-or-nothing contract is exactly the sequential path's: a
+  // short or tampered image leaves every shard untouched.
+  // The workers receive raw engine pointers gathered here, where the
+  // analysis already knows this runtime lock set is beyond it: every
+  // shard lock is held for the whole function, and each worker touches
+  // only its own shard's engine.
+  std::vector<SecureMemory*> engines(num_shards_);
   for (unsigned s = 0; s < num_shards_; ++s)
-    shards_[s].engine->commit_restore(std::move(staged[s]));
+    engines[s] = shards_[s].engine.get();
+
+  const std::uint64_t per_shard = engines[0]->image_bytes();
+  std::vector<char> payload;
+  payload.resize(static_cast<std::size_t>(per_shard) * num_shards_);
+  in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!in || static_cast<std::uint64_t>(in.gcount()) != payload.size()) {
+    if (trace_)
+      trace_->record(TraceEvent::Kind::kRestore, Status::kIntegrityViolation,
+                     0, 0);
+    return false;
+  }
+
+  std::vector<std::optional<SecureMemory::StagedRestore>> staged(num_shards_);
+  parallel_over_shards(num_shards_, [this, &payload, per_shard, &engines,
+                                     &staged](unsigned s) {
+    SpanSource source(payload.data() + s * per_shard,
+                      static_cast<std::size_t>(per_shard));
+    std::istream shard_in(&source);
+    staged[s] = engines[s]->stage_restore(
+        shard_in, shard_master_key(config_.master_key, s));
+  });
+  for (unsigned s = 0; s < num_shards_; ++s) {
+    if (staged[s]) continue;
+    if (trace_)
+      trace_->record(TraceEvent::Kind::kRestore, Status::kIntegrityViolation,
+                     0, static_cast<std::uint16_t>(s));
+    return false;
+  }
+  parallel_over_shards(num_shards_, [&engines, &staged](unsigned s) {
+    engines[s]->commit_restore(std::move(*staged[s]));
+  });
   // A fully-restored region is uniformly keyed again by construction.
   poisoned_.store(false, std::memory_order_release);
   return true;

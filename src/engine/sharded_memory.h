@@ -158,8 +158,7 @@ class ShardedSecureMemory : public SecureMemoryLike {
   /// mutation path (write_block/write_blocks/write_bytes/save) return
   /// the status without touching any shard, scrubs report
   /// ScrubStatus::kRegionPoisoned, and rotate_master_key refuses. No
-  /// path throws on poisoning (the pre-Status behavior survives one PR
-  /// behind the *_or_throw shims). The only way out is a successful
+  /// path throws on poisoning. The only way out is a successful
   /// restore() of a known-good image, which clears the flag.
   bool poisoned() const noexcept {
     return poisoned_.load(std::memory_order_acquire);
@@ -195,6 +194,15 @@ class ShardedSecureMemory : public SecureMemoryLike {
   /// mirroring write_bytes' pre-verify-then-mutate protocol. A false
   /// return means the region is EXACTLY as it was, including a poisoned
   /// flag; a true return restores every shard and clears poisoning.
+  ///
+  /// Both directions are shard-parallel on the maintenance worker pool
+  /// (see scrub_all): save() serializes each shard into its own
+  /// exactly-sized buffer under that shard's lock and concatenates them
+  /// in shard order — byte-identical to the sequential stream; restore()
+  /// bulk-reads the whole per-shard payload once and stages every
+  /// shard's slice concurrently, all locks held throughout, so the
+  /// atomicity contract above is unchanged. SECMEM_BATCH_SNAPSHOT=0 at
+  /// construction pins the sequential scalar reference.
   [[nodiscard]] Status save(std::ostream& out) override;
   [[nodiscard]] bool restore(std::istream& in) override;
 
@@ -257,6 +265,10 @@ class ShardedSecureMemory : public SecureMemoryLike {
   std::uint64_t num_blocks_;
   /// Shared-read fast path enabled (SECMEM_SEQLOCK, construction-time).
   bool seqlock_reads_;
+  /// Shard-parallel snapshot pipeline enabled (SECMEM_BATCH_SNAPSHOT,
+  /// construction-time; the shard engines sample the same switch for
+  /// their own chunked-I/O and bulk-tree-rebuild paths).
+  bool batch_snapshot_;
   /// Fixed-size at construction; Shard is neither movable nor copyable.
   std::unique_ptr<Shard[]> shards_;
   /// Set on key-rotation rollback failure; cleared by successful

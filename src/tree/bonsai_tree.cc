@@ -1,5 +1,7 @@
 #include "tree/bonsai_tree.h"
 
+#include <algorithm>
+#include <array>
 #include <cassert>
 #include <cstring>
 
@@ -9,26 +11,54 @@
 namespace secmem {
 
 BonsaiTree::BonsaiTree(const BonsaiGeometry& geometry, const CwMacKey& mac_key)
+    : BonsaiTree(geometry, mac_key, DeferredBuild{}) {
+  // Initialize bottom-up so an all-zero counter region verifies from the
+  // start: every slot holds the MAC of an all-zero child.
+  const std::vector<std::uint8_t> zero_lines(
+      geometry_.nodes_at[0] * kLineBytes, 0);
+  rebuild_from_lines(zero_lines);
+}
+
+BonsaiTree::BonsaiTree(const BonsaiGeometry& geometry, const CwMacKey& mac_key,
+                       DeferredBuild)
     : geometry_(geometry), mac_(mac_key) {
   // Allocate interior levels 1..top. Level 0 (counter lines) belongs to
   // the counter-storage owner.
   for (std::size_t lvl = 1; lvl < geometry_.nodes_at.size(); ++lvl)
     levels_.emplace_back(geometry_.nodes_at[lvl] * kLineBytes, 0);
+}
 
-  // Initialize bottom-up so an all-zero counter region verifies from the
-  // start: every slot holds the MAC of an all-zero child.
-  std::vector<std::uint8_t> zero_line(kLineBytes, 0);
+void BonsaiTree::rebuild_from_lines(std::span<const std::uint8_t> lines) {
+  assert(lines.size() == geometry_.nodes_at[0] * kLineBytes);
+  constexpr std::size_t kBatch = 256;
+  std::array<std::uint64_t, kBatch> ids;
+  std::array<std::uint64_t, kBatch> zero_ctrs{};  // node MACs bind ctr 0
+  std::array<std::uint64_t, kBatch> tags;
   for (std::size_t lvl = 1; lvl < geometry_.nodes_at.size(); ++lvl) {
+    // A level's children sit contiguously: the counter-storage image for
+    // level 1, the previous interior level's backing bytes above that —
+    // so each batched MAC pass reads the packed lines in place.
     const std::uint64_t children = geometry_.nodes_at[lvl - 1];
-    for (std::uint64_t child = 0; child < children; ++child) {
-      const LineView child_view(
-          lvl == 1 ? zero_line.data() : node_ptr(static_cast<unsigned>(lvl - 1), child),
-          kLineBytes);
-      const std::uint64_t tag =
-          mac_of(static_cast<unsigned>(lvl - 1), child, child_view);
-      std::uint8_t* parent = node_ptr(static_cast<unsigned>(lvl),
-                                      BonsaiGeometry::parent_of(child));
-      store_le64(parent + 8 * BonsaiGeometry::slot_in_parent(child), tag);
+    const std::uint8_t* child_base =
+        lvl == 1 ? lines.data() : levels_[lvl - 2].data();
+    for (std::uint64_t first = 0; first < children; first += kBatch) {
+      const std::size_t n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(kBatch, children - first));
+      for (std::size_t i = 0; i < n; ++i)
+        ids[i] = node_id(static_cast<unsigned>(lvl - 1), first + i);
+      mac_.compute_batch(
+          std::span<const std::uint64_t>(ids.data(), n),
+          std::span<const std::uint64_t>(zero_ctrs.data(), n),
+          std::span<const std::uint8_t>(child_base + first * kLineBytes,
+                                        n * kLineBytes),
+          std::span<std::uint64_t>(tags.data(), n));
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t child = first + i;
+        std::uint8_t* parent = node_ptr(static_cast<unsigned>(lvl),
+                                        BonsaiGeometry::parent_of(child));
+        store_le64(parent + 8 * BonsaiGeometry::slot_in_parent(child),
+                   tags[i]);
+      }
     }
   }
 }
@@ -46,10 +76,7 @@ const std::uint8_t* BonsaiTree::node_ptr(unsigned level,
 
 std::uint64_t BonsaiTree::mac_of(unsigned level, std::uint64_t index,
                                  LineView content) const {
-  // Domain-separate node identities: (level, index) -> synthetic address.
-  const std::uint64_t node_id =
-      (static_cast<std::uint64_t>(level) << 48) | index;
-  return mac_.compute(node_id, /*counter=*/0, content);
+  return mac_.compute(node_id(level, index), /*counter=*/0, content);
 }
 
 std::span<std::uint8_t, BonsaiTree::kLineBytes> BonsaiTree::node_span(

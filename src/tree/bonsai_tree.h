@@ -24,9 +24,28 @@ class BonsaiTree {
 
   BonsaiTree(const BonsaiGeometry& geometry, const CwMacKey& mac_key);
 
+  /// Tag selecting the deferred-build constructor: interior levels are
+  /// allocated zero-filled but NOT initialized — nothing verifies until
+  /// the caller runs rebuild_from_lines() over the full leaf image.
+  /// Restore staging uses this to pay for exactly one bottom-up build.
+  struct DeferredBuild {};
+  BonsaiTree(const BonsaiGeometry& geometry, const CwMacKey& mac_key,
+             DeferredBuild);
+
   /// Recompute the authentication path after counter line `line` changed
   /// to `content`. Must be called for every counter-storage mutation.
   void update_leaf(std::uint64_t line, LineView content);
+
+  /// Rebuild every interior level bottom-up from the complete leaf image
+  /// `lines` (nodes_at[0] x 64 bytes of counter storage): each level's
+  /// node MACs run through one batched Carter-Wegman pass over all of the
+  /// level's children, so a full rebuild costs O(N) batched MACs instead
+  /// of the O(N log N) scalar MACs of N leaf-to-root update_leaf walks.
+  /// The resulting tree is bit-identical to calling update_leaf for every
+  /// line in order (on either a zero-built or a deferred-build tree —
+  /// every slot backing an existing child is overwritten, and slots past
+  /// the last child are zero in both).
+  void rebuild_from_lines(std::span<const std::uint8_t> lines);
 
   /// Check `content` (as read back from untrusted storage) against the
   /// tree. Walks leaf MAC -> parent -> ... -> on-chip root level; false on
@@ -99,6 +118,14 @@ class BonsaiTree {
  private:
   std::uint8_t* node_ptr(unsigned level, std::uint64_t node);
   const std::uint8_t* node_ptr(unsigned level, std::uint64_t node) const;
+
+  /// Domain-separated node identity: (level, index) -> synthetic address
+  /// fed to the MAC (the single definition mac_of and the batched rebuild
+  /// share).
+  static constexpr std::uint64_t node_id(unsigned level,
+                                         std::uint64_t index) noexcept {
+    return (static_cast<std::uint64_t>(level) << 48) | index;
+  }
 
   BonsaiGeometry geometry_;
   CwMac mac_;

@@ -249,9 +249,8 @@ TEST(ShardedSecureMemory, RotateRollbackFailurePoisonsRegion) {
   EXPECT_EQ(registry.counter_value("engine.rotate_rollback_failures"), 1u);
 
   // ...and the split-keyed region fails closed in every direction: every
-  // entry point REPORTS kRegionPoisoned instead of throwing (issue 7's
-  // Status contract — callers that cannot handle a Status can opt back
-  // into exceptions via the deprecated *_or_throw shims).
+  // entry point REPORTS kRegionPoisoned instead of throwing (the Status
+  // contract — no engine path throws on poisoning).
   EXPECT_EQ(memory.read_block(0).status, ReadStatus::kRegionPoisoned);
   const std::vector<std::uint64_t> batch{0, granule};
   for (const auto& result : memory.read_blocks(batch))

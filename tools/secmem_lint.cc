@@ -250,8 +250,8 @@ constexpr Rule kNoThrowEngine = {
 
 /// First dotted segment of a stat name ("engine.reads" -> "engine").
 const std::set<std::string, std::less<>> kStatNamespaces = {
-    "bench", "cache", "dram",  "engine", "metacache",
-    "reenc", "sim",   "trace", "tree_cache"};
+    "bench", "cache", "dram",     "engine", "metacache",
+    "reenc", "sim",   "snapshot", "trace",  "tree_cache"};
 
 bool starts_with(std::string_view s, std::string_view prefix) {
   return s.substr(0, prefix.size()) == prefix;
