@@ -1,17 +1,26 @@
 // Snapshot pipeline throughput: save / restore bandwidth for the plain
 // and sharded engines, batched (default) vs the SECMEM_BATCH_SNAPSHOT=0
-// scalar reference — the before/after for the streaming snapshot ISSUE.
+// scalar reference — the before/after for the streaming snapshot ISSUE —
+// plus the delta phase: steady-state incremental snapshots
+// (save_delta / restore_delta) over a 2% hot set, rolled source→replica
+// so every delta applies on its exact base.
 //
 // save() and restore() move the whole off-chip image (ciphertext, ECC
 // lanes, MACs, counter storage, sealed root), so bandwidth is reported
-// as image GiB/s. The plain engine additionally splits restore into its
-// two phases: stage_restore (parse + MAC the counter tree + sealed-root
-// check — all the cryptographic cost) and commit_restore (adopt staged
-// state + counter-scheme rebuild). Streams are fixed preallocated
-// buffers, so the numbers measure the pipeline, not allocator churn.
+// as image GiB/s. Both engines also split restore into its two phases:
+// staging (parse + MAC the counter tree + sealed-root check — all the
+// cryptographic cost) and commit (adopt staged state + counter-scheme
+// rebuild) — the plain engine through stage_restore/commit_restore, the
+// sharded one through restore_timed(). Delta rows report EFFECTIVE
+// bandwidth — full-image GiB over the delta's wall time — so
+// delta_save_gibps / save_gibps reads directly as the speedup, and
+// delta_bytes / image_bytes as the size ratio. Streams are fixed
+// preallocated buffers, so the numbers measure the pipeline, not
+// allocator churn.
 //
 //   bench_snapshot [--mib N[,N...]] [--shards N] [--reps N] [--quick]
 //                  [--out FILE]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -75,14 +84,39 @@ class MemSource final : public std::streambuf {
   }
 };
 
+/// ostream sink appending into a caller-owned growable vector — for the
+/// image-sizing pass and the variable-sized delta images.
+class VectorSink final : public std::streambuf {
+ public:
+  explicit VectorSink(std::vector<char>& out) : out_(out) {}
+
+ protected:
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    out_.insert(out_.end(), s, s + n);
+    return n;
+  }
+  int_type overflow(int_type ch) override {
+    if (!traits_type::eq_int_type(ch, traits_type::eof()))
+      out_.push_back(traits_type::to_char_type(ch));
+    return ch;
+  }
+
+ private:
+  std::vector<char>& out_;
+};
+
 struct Sample {
   std::string engine;  ///< "plain" | "sharded"
   std::string mode;    ///< "batched" | "scalar"
   std::uint64_t mib;
   double save_gibps;
   double restore_gibps;
-  double stage_gibps;   ///< plain only; 0 otherwise
-  double commit_gibps;  ///< plain only; 0 otherwise
+  double stage_gibps;   ///< restore staging phase
+  double commit_gibps;  ///< restore commit phase
+  std::uint64_t image_bytes;  ///< full image size
+  std::uint64_t delta_bytes;  ///< 2%-hot-set delta image size
+  double delta_save_gibps;    ///< effective: full-image GiB / delta time
+  double delta_restore_gibps;
 };
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
@@ -108,10 +142,13 @@ void dirty_region(Engine& engine, int& bad) {
 }
 
 /// One engine x mode x size measurement. `reps` timed passes each for
-/// save and restore (plus the stage/commit split when `split` is set);
-/// returns image-bandwidth samples.
+/// save and restore (plus the stage/commit split when `split` is set),
+/// then the delta phase: a 2% hot set re-dirtied (untimed) before each
+/// timed save_delta, every delta applied (timed) to `replica` — which
+/// rolls along the chain so each delta lands on its exact base. Returns
+/// image-bandwidth samples.
 template <typename Engine>
-Sample measure(Engine& engine, const std::string& name,
+Sample measure(Engine& engine, Engine& replica, const std::string& name,
                const std::string& mode, std::uint64_t mib, unsigned reps,
                bool split, int& bad) {
   dirty_region(engine, bad);
@@ -121,19 +158,7 @@ Sample measure(Engine& engine, const std::string& name,
   {
     std::vector<char> grow;
     grow.reserve((mib << 20) * 2);
-    struct GrowSink final : std::streambuf {
-      explicit GrowSink(std::vector<char>& out) : out_(out) {}
-      std::streamsize xsputn(const char* s, std::streamsize n) override {
-        out_.insert(out_.end(), s, s + n);
-        return n;
-      }
-      int_type overflow(int_type ch) override {
-        if (!traits_type::eq_int_type(ch, traits_type::eof()))
-          out_.push_back(traits_type::to_char_type(ch));
-        return ch;
-      }
-      std::vector<char>& out_;
-    } sink(grow);
+    VectorSink sink(grow);
     std::ostream out(&sink);
     bad += engine.save(out) != Status::kOk;
     image = std::move(grow);
@@ -149,7 +174,8 @@ Sample measure(Engine& engine, const std::string& name,
     bad += !engine.restore(in);
   }
 
-  Sample s{name, mode, mib, 0, 0, 0, 0};
+  Sample s{name, mode, mib, 0, 0, 0, 0, 0, 0, 0, 0};
+  s.image_bytes = image.size();
   {
     const auto start = std::chrono::steady_clock::now();
     for (unsigned r = 0; r < reps; ++r) {
@@ -188,7 +214,66 @@ Sample measure(Engine& engine, const std::string& name,
       }
       s.stage_gibps = reps * gib / stage_s;
       s.commit_gibps = reps * gib / commit_s;
+    } else if constexpr (std::is_same_v<Engine, ShardedSecureMemory>) {
+      double stage_s = 0, commit_s = 0;
+      for (unsigned r = 0; r < reps; ++r) {
+        MemSource source(image.data(), image.size());
+        std::istream in(&source);
+        SnapshotTiming t;
+        bad += !engine.restore_timed(in, t);
+        stage_s += t.stage_s;
+        commit_s += t.commit_s;
+      }
+      s.stage_gibps = reps * gib / stage_s;
+      s.commit_gibps = reps * gib / commit_s;
     }
+  }
+
+  // Delta phase: chain replica onto the engine's current base (the
+  // restores above re-aligned both sides to `image`), then per rep
+  // re-dirty a 2% hot set (untimed), seal a delta (timed), and roll it
+  // onto the replica (timed). Skipped when the kill switch has the
+  // engine emitting full images — the full rows above already cover it.
+  if (delta_snapshot_enabled()) {
+    {
+      MemSource source(image.data(), image.size());
+      std::istream in(&source);
+      bad += !replica.restore(in);
+    }
+    const std::uint64_t hot_blocks =
+        std::max<std::uint64_t>(1, engine.num_blocks() / 50);
+    std::vector<char> delta;
+    delta.reserve(image.size() / 8);
+    double dsave_s = 0, drestore_s = 0;
+    for (unsigned r = 0; r < reps; ++r) {
+      std::vector<BlockWrite> writes;
+      writes.reserve(256);
+      for (std::uint64_t b = 0; b < hot_blocks;) {
+        writes.clear();
+        for (; b < hot_blocks && writes.size() < 256; ++b) {
+          BlockWrite w;
+          w.block = b;
+          w.data[0] = static_cast<std::uint8_t>(r + 1);
+          w.data[1] = static_cast<std::uint8_t>(b);
+          writes.push_back(w);
+        }
+        bad += engine.write_blocks(writes) != Status::kOk;
+      }
+      delta.clear();
+      VectorSink sink(delta);
+      std::ostream out(&sink);
+      const auto t0 = std::chrono::steady_clock::now();
+      bad += engine.save_delta(out) != Status::kOk;
+      dsave_s += seconds_since(t0);
+      MemSource source(delta.data(), delta.size());
+      std::istream in(&source);
+      const auto t1 = std::chrono::steady_clock::now();
+      bad += !replica.restore_delta(in);
+      drestore_s += seconds_since(t1);
+    }
+    s.delta_bytes = delta.size();
+    s.delta_save_gibps = reps * gib / dsave_s;
+    s.delta_restore_gibps = reps * gib / drestore_s;
   }
   return s;
 }
@@ -205,10 +290,15 @@ void emit_json(std::FILE* out, const std::vector<Sample>& samples,
                  "    {\"engine\": \"%s\", \"mode\": \"%s\", "
                  "\"region_mib\": %llu, \"save_gibps\": %.3f, "
                  "\"restore_gibps\": %.3f, \"stage_gibps\": %.3f, "
-                 "\"commit_gibps\": %.3f}%s\n",
+                 "\"commit_gibps\": %.3f, \"image_bytes\": %llu, "
+                 "\"delta_bytes\": %llu, \"delta_save_gibps\": %.3f, "
+                 "\"delta_restore_gibps\": %.3f}%s\n",
                  s.engine.c_str(), s.mode.c_str(),
                  static_cast<unsigned long long>(s.mib), s.save_gibps,
                  s.restore_gibps, s.stage_gibps, s.commit_gibps,
+                 static_cast<unsigned long long>(s.image_bytes),
+                 static_cast<unsigned long long>(s.delta_bytes),
+                 s.delta_save_gibps, s.delta_restore_gibps,
                  i + 1 < samples.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
@@ -271,28 +361,33 @@ int main(int argc, char** argv) {
       if (!batched) pin.emplace("SECMEM_BATCH_SNAPSHOT", "0");
       try {
         SecureMemory plain(config);
-        samples.push_back(measure(plain, "plain", mode, mib, mode_reps,
-                                  /*split=*/true, bad));
+        SecureMemory plain_replica(config);
+        samples.push_back(measure(plain, plain_replica, "plain", mode, mib,
+                                  mode_reps, /*split=*/true, bad));
         ShardedSecureMemory sharded(config, shards);
-        samples.push_back(measure(sharded, "sharded", mode, mib, mode_reps,
-                                  /*split=*/false, bad));
+        ShardedSecureMemory sharded_replica(config, shards);
+        samples.push_back(measure(sharded, sharded_replica, "sharded", mode,
+                                  mib, mode_reps, /*split=*/true, bad));
       } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
       }
-      for (auto it = samples.end() - 2; it != samples.end(); ++it)
+      for (auto it = samples.end() - 2; it != samples.end(); ++it) {
+        std::string extra;
+        if (it->stage_gibps > 0)
+          extra += " (stage " + std::to_string(it->stage_gibps) + " / commit " +
+                   std::to_string(it->commit_gibps) + ")";
+        if (it->delta_bytes > 0)
+          extra += " | delta save " + std::to_string(it->delta_save_gibps) +
+                   " / restore " + std::to_string(it->delta_restore_gibps) +
+                   " eff GiB/s, " + std::to_string(it->delta_bytes) + " B";
         std::fprintf(stderr,
                      "%7s %7s %3llu MiB: save %.3f GiB/s | restore %.3f "
                      "GiB/s%s\n",
                      it->engine.c_str(), mode.c_str(),
                      static_cast<unsigned long long>(mib), it->save_gibps,
-                     it->restore_gibps,
-                     it->stage_gibps > 0
-                         ? (" (stage " + std::to_string(it->stage_gibps) +
-                            " / commit " + std::to_string(it->commit_gibps) +
-                            ")")
-                               .c_str()
-                         : "");
+                     it->restore_gibps, extra.c_str());
+      }
     }
   }
   if (bad != 0) {
@@ -313,6 +408,14 @@ int main(int argc, char** argv) {
           .sample(s.stage_gibps);
       metrics.registry().scalar(metric_path({base, "commit_gibps"}))
           .sample(s.commit_gibps);
+    }
+    if (s.delta_bytes > 0) {
+      metrics.registry().scalar(metric_path({base, "delta_save_gibps"}))
+          .sample(s.delta_save_gibps);
+      metrics.registry().scalar(metric_path({base, "delta_restore_gibps"}))
+          .sample(s.delta_restore_gibps);
+      metrics.registry().scalar(metric_path({base, "delta_bytes"}))
+          .sample(static_cast<double>(s.delta_bytes));
     }
   }
   if (!metrics.write()) return 1;

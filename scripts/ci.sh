@@ -46,6 +46,12 @@ echo "=== tier 1: scalar snapshot pipeline (SECMEM_BATCH_SNAPSHOT=0) ==="
 # the scalar reference the batched images must stay bit-identical to.
 SECMEM_BATCH_SNAPSHOT=0 ctest --preset default -j "$(nproc)"
 
+echo "=== tier 1: full-image snapshots only (SECMEM_DELTA_SNAPSHOT=0) ==="
+# Same binaries with delta snapshots kill-switched: save_delta emits
+# full images and restore_delta only accepts them — the pre-delta
+# posture every delta-aware caller must degrade to cleanly.
+SECMEM_DELTA_SNAPSHOT=0 ctest --preset default -j "$(nproc)"
+
 if [ "$fast" -eq 0 ]; then
   echo "=== ASan + UBSan ==="
   ASAN_OPTIONS="halt_on_error=1:abort_on_error=1" \
@@ -98,12 +104,21 @@ SECMEM_METRICS_JSON="$tmp/table2_reencryption.metrics.json" \
   ./build/bench/bench_table2_reencryption 20000 1 >/dev/null
 # Snapshot-pipeline smoke: one save/restore pass per engine and mode
 # (batched and the SECMEM_BATCH_SNAPSHOT=0 reference both run inside the
-# bench) with the metrics export validated like the rest.
+# bench) with the metrics export validated like the rest. The delta
+# phase must report nonzero delta rows for both engines.
 SECMEM_METRICS_JSON="$tmp/snapshot.metrics.json" \
   ./build/bench/bench_snapshot --quick --out "$tmp/snapshot.bench.json" \
   >/dev/null
-python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
-  "$tmp/snapshot.bench.json"
+python3 - "$tmp/snapshot.bench.json" <<'EOF'
+import json, sys
+results = json.load(open(sys.argv[1]))["results"]
+for row in results:
+    for key in ("delta_bytes", "delta_save_gibps", "delta_restore_gibps"):
+        assert row[key] > 0, f"{row['engine']}/{row['mode']}: {key} is zero"
+    assert 0 < row["delta_bytes"] < row["image_bytes"], \
+        f"{row['engine']}/{row['mode']}: delta not smaller than full image"
+print(f"ok: delta rows in {sys.argv[1]} ({len(results)} samples)")
+EOF
 for f in "$tmp"/*.metrics.json; do
   python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$f"
   echo "ok: $f"

@@ -35,6 +35,11 @@ const char* metric_name(MetricId id) noexcept {
     case MetricId::kSharedReadDeclines: return "shared_read_declines";
     case MetricId::kRotateRollbackFailures:
       return "rotate_rollback_failures";
+    case MetricId::kDeltaSaves: return "snapshot.delta.saves";
+    case MetricId::kDeltaSaveFallbacks:
+      return "snapshot.delta.save_fallbacks";
+    case MetricId::kDeltaRestores: return "snapshot.delta.restores";
+    case MetricId::kDeltaRejects: return "snapshot.delta.rejects";
     case MetricId::kCount_: break;
   }
   return "?";
@@ -49,6 +54,9 @@ const char* engine_hist_name(EngineHistId id) noexcept {
     case EngineHistId::kByteReadBytes: return "byte_read_bytes";
     case EngineHistId::kByteWriteBytes: return "byte_write_bytes";
     case EngineHistId::kReencryptedBlocks: return "reencrypted_blocks";
+    case EngineHistId::kDeltaImageBytes: return "snapshot.delta.bytes";
+    case EngineHistId::kDeltaDirtyGranules:
+      return "snapshot.delta.dirty_granules";
     case EngineHistId::kCount_: break;
   }
   return "?";

@@ -62,6 +62,10 @@ enum class MetricId : unsigned {
   kSharedReads,          ///< reads served on the seqlock shared fast path
   kSharedReadDeclines,   ///< shared-path reads bounced to the writer lock
   kRotateRollbackFailures,  ///< failed rollback of a failed key rotation
+  kDeltaSaves,           ///< incremental (COPY/ADD) snapshot images emitted
+  kDeltaSaveFallbacks,   ///< save_delta calls that emitted a full image
+  kDeltaRestores,        ///< delta images verified and applied in place
+  kDeltaRejects,         ///< delta images rejected before any byte applied
   kCount_,               ///< sentinel
 };
 inline constexpr std::size_t kMetricCount =
@@ -77,6 +81,8 @@ enum class EngineHistId : unsigned {
   kByteReadBytes,          ///< byte-level read() request size
   kByteWriteBytes,         ///< byte-level write() request size
   kReencryptedBlocks,      ///< blocks rewritten per group re-encryption
+  kDeltaImageBytes,        ///< bytes per emitted delta image
+  kDeltaDirtyGranules,     ///< dirty granules encoded per delta save
   kCount_,                 ///< sentinel
 };
 inline constexpr std::size_t kEngineHistCount =

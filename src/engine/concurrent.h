@@ -166,10 +166,23 @@ class ConcurrentSecureMemory : public SecureMemoryLike {
     return memory_.restore(in);
   }
 
+  /// Delta persistence — same quiescence contract as save/restore.
+  [[nodiscard]] Status save_delta(std::ostream& out) override {
+    const SeqWriteLock lock(mu_);
+    return memory_.save_delta(out);
+  }
+
+  [[nodiscard]] bool restore_delta(std::istream& in) override {
+    const SeqWriteLock lock(mu_);
+    return memory_.restore_delta(in);
+  }
+
   // Re-expose the base class's std::byte-span / buffer overloads.
   using SecureMemoryLike::read_bytes;
   using SecureMemoryLike::restore;
+  using SecureMemoryLike::restore_delta;
   using SecureMemoryLike::save;
+  using SecureMemoryLike::save_delta;
   using SecureMemoryLike::write_bytes;
 
   /// Run `fn(SecureMemory&)` under the exclusive lock — for anything the

@@ -1,0 +1,160 @@
+// secmem::delta — the engine-independent codec behind incremental
+// snapshots (save_delta / restore_delta).
+//
+// A secure-memory image is four flat sections — ciphertext blocks, ECC
+// lanes, separate MACs (when the placement keeps them out of the lanes)
+// and serialized counter lines. This module carves those sections into
+// fixed *granules* (the engine picks lcm(blocks_per_group,
+// blocks_per_storage_line) blocks, so a granule always holds whole
+// re-encryption groups and whole counter lines) and expresses one image
+// as a VCDIFF-style COPY/ADD command stream against another:
+//
+//   COPY dst n src   — granules [dst, dst+n) equal base [src, src+n);
+//                      src == dst is the "unchanged" fast case and
+//                      carries zero payload
+//   ADD  dst n data  — granules [dst, dst+n) ship verbatim (ciphertext,
+//                      lanes, MACs little-endian, counter lines — in
+//                      that order, per granule)
+//
+// Two encoders produce such streams:
+//  - encode_from_dirty: the hot path. The engine's dirty-granule bitmap
+//    says exactly which granules changed since the base snapshot; clean
+//    runs become self-COPYs, dirty runs become ADDs. O(dirty) payload.
+//  - encode_from_diff: the cold path for diffing two arbitrary images
+//    (e.g. cross-instance replication) with no dirty information. A
+//    one-pass block-hash diff (hash table over base granules, verified
+//    byte compare, self-match preferred — the Correcting-1.5-Pass
+//    refinement) finds COPYs; everything else ships as ADD.
+//
+// Streams are applied IN PLACE over the base (Burns/Long/Stockmeyer):
+// a cross-COPY must read its source granule before any command
+// overwrites it, so encode_from_diff topologically orders the emitted
+// commands (Kahn over read-before-write edges) and breaks the rare
+// cycle by demoting one cross-COPY to an ADD. apply() then just walks
+// the stream in order. Decoders must parse() first: it bounds-checks
+// every command and enforces exact coverage (each granule written
+// exactly once), so a validated stream always reconstructs a complete
+// image. Authentication of the stream (command-section MAC, base seal)
+// is the engine's job — this module moves bytes only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/ctr_keystream.h"  // DataBlock
+#include "ecc/secded72.h"          // EccLane
+
+namespace secmem::delta {
+
+/// Section shape shared by encoder and decoder. Both sides derive it
+/// from the same engine geometry, and the image header pins it, so a
+/// mismatch is caught before any command is parsed.
+struct Geometry {
+  std::uint64_t num_blocks = 0;
+  std::uint64_t blocks_per_line = 0;  ///< blocks per 64-byte counter line
+  std::uint64_t num_lines = 0;        ///< serialized counter lines
+  std::uint64_t granule_blocks = 0;   ///< multiple of blocks_per_line
+  bool separate_macs = false;         ///< MAC section present in payloads
+
+  std::uint64_t num_granules() const noexcept {
+    return (num_blocks + granule_blocks - 1) / granule_blocks;
+  }
+  std::uint64_t lines_per_granule() const noexcept {
+    return granule_blocks / blocks_per_line;
+  }
+  std::uint64_t block_start(std::uint64_t g) const noexcept {
+    return g * granule_blocks;
+  }
+  std::uint64_t blocks_in(std::uint64_t g) const noexcept {
+    const std::uint64_t start = block_start(g);
+    return start < num_blocks
+               ? (num_blocks - start < granule_blocks ? num_blocks - start
+                                                      : granule_blocks)
+               : 0;
+  }
+  std::uint64_t line_start(std::uint64_t g) const noexcept {
+    return g * lines_per_granule();
+  }
+  std::uint64_t lines_in(std::uint64_t g) const noexcept {
+    const std::uint64_t start = line_start(g);
+    const std::uint64_t per = lines_per_granule();
+    return start < num_lines
+               ? (num_lines - start < per ? num_lines - start : per)
+               : 0;
+  }
+  /// ADD payload bytes for one granule: ciphertext + lanes [+ MACs] +
+  /// counter lines.
+  std::uint64_t payload_bytes(std::uint64_t g) const noexcept;
+
+  std::uint64_t dirty_words() const noexcept {
+    return (num_granules() + 63) / 64;
+  }
+};
+
+/// The four image sections, read-only (encoder view).
+struct ConstSections {
+  std::span<const DataBlock> ciphertext;
+  std::span<const EccLane> lanes;
+  std::span<const std::uint64_t> macs;     ///< empty unless separate_macs
+  std::span<const std::uint8_t> counters;  ///< num_lines * 64 bytes
+};
+
+/// The four image sections, mutable (in-place apply target).
+struct MutSections {
+  std::span<DataBlock> ciphertext;
+  std::span<EccLane> lanes;
+  std::span<std::uint64_t> macs;
+  std::span<std::uint8_t> counters;
+
+  ConstSections as_const() const noexcept {
+    return {ciphertext, lanes, macs, counters};
+  }
+};
+
+/// One parsed command. Wire form (all fields little-endian u64 after a
+/// 1-byte opcode): COPY = op,dst,n,src; ADD = op,dst,n,payload.
+struct Command {
+  enum : std::uint8_t { kCopy = 1, kAdd = 2 };
+  std::uint8_t op = kCopy;
+  std::uint64_t dst = 0;
+  std::uint64_t n = 0;
+  std::uint64_t src = 0;          ///< kCopy only
+  std::size_t payload_off = 0;    ///< kAdd only: offset into the stream
+};
+
+/// Encode target state against the in-memory base using the dirty
+/// bitmap (bit g set = granule g changed since the base snapshot).
+/// Appends the command stream to `out`; returns the dirty-granule count
+/// (== granules shipped as ADD payload).
+std::uint64_t encode_from_dirty(const Geometry& geo,
+                                const ConstSections& target,
+                                std::span<const std::uint64_t> dirty_words,
+                                std::vector<std::uint8_t>& out);
+
+/// Encode `target` against `base` with no dirty information: one-pass
+/// hash diff, byte-verified matches, self-match preferred, commands
+/// topologically ordered for in-place apply. Returns the number of
+/// granules shipped as ADD payload.
+std::uint64_t encode_from_diff(const Geometry& geo,
+                               const ConstSections& base,
+                               const ConstSections& target,
+                               std::vector<std::uint8_t>& out);
+
+/// Validate a command stream: opcode, bounds, payload sizes, matching
+/// src/dst shapes for cross-COPYs, and exact coverage of all granules.
+/// False leaves `cmds` unspecified and means the stream must not be
+/// applied.
+[[nodiscard]] bool parse(const Geometry& geo,
+                         std::span<const std::uint8_t> cmd_bytes,
+                         std::vector<Command>& cmds);
+
+/// Apply a parse()-validated stream in place over the base sections, in
+/// stream order. Self-COPYs are no-ops; cross-COPYs move section
+/// slices; ADDs splat payload bytes (MACs decoded little-endian).
+void apply(const Geometry& geo, std::span<const Command> cmds,
+           std::span<const std::uint8_t> cmd_bytes,
+           const MutSections& sections);
+
+}  // namespace secmem::delta

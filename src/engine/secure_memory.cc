@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cassert>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <istream>
+#include <numeric>
 #include <ostream>
 #include <stdexcept>
 #include <unordered_map>
@@ -28,6 +30,7 @@ struct DerivedKeys {
   Aes128::Key data_key;
   CwMacKey mac_key;
   CwMacKey tree_key;
+  CwMacKey seal_key;  ///< snapshot-chain seals + delta command MACs
 };
 
 /// Resolve the tree-cache capacity: SECMEM_TREE_CACHE (an integer KB
@@ -61,6 +64,11 @@ DerivedKeys derive_keys(std::uint64_t master) {
   next_key(keys.mac_key.pad_key);
   keys.tree_key.hash_key = splitmix64(state);
   next_key(keys.tree_key.pad_key);
+  // Appended to the derivation chain LAST: the keys above must stay
+  // bit-identical to the pre-delta derivation so full save() images and
+  // all on-DIMM state are unchanged by the delta-snapshot feature.
+  keys.seal_key.hash_key = splitmix64(state);
+  next_key(keys.seal_key.pad_key);
   return keys;
 }
 
@@ -115,6 +123,7 @@ SecureMemory::SecureMemory(const SecureMemoryConfig& config)
       layout_(layout_params(config, *scheme_)),
       keystream_(derive_keys(config.master_key).data_key),
       mac_(derive_keys(config.master_key).mac_key),
+      seal_mac_(derive_keys(config.master_key).seal_key),
       corrector_(FlipAndCheck::Config{config.max_correctable_errors, 1}),
       tree_(layout_.tree(), derive_keys(config.master_key).tree_key),
       tree_cache_(tree_, TreeCacheConfig{resolved_tree_cache_kb(config), 8},
@@ -124,10 +133,23 @@ SecureMemory::SecureMemory(const SecureMemoryConfig& config)
       counter_store_(layout_.num_counter_lines() * 64, 0),
       shadow_ctr_(layout_.num_blocks(), 0),
       batch_reencrypt_(resolved_batch_reencrypt()),
-      batch_snapshot_(batch_snapshot_enabled()) {
+      batch_snapshot_(batch_snapshot_enabled()),
+      delta_snapshot_(delta_snapshot_enabled()) {
   assert(config.size_bytes % 64 == 0 && config.size_bytes > 0);
   if (config.mac_placement == MacPlacement::kSeparate)
     macs_.resize(layout_.num_blocks(), 0);
+
+  // Delta granule: whole re-encryption groups AND whole counter lines,
+  // so a granule's ciphertext/lane/MAC/counter payload is
+  // self-contained. Allocated before the first store below — every
+  // store marks its granule dirty.
+  granule_blocks_ = std::lcm<std::uint64_t>(scheme_->blocks_per_group(),
+                                            scheme_->blocks_per_storage_line());
+  num_granules_ =
+      (layout_.num_blocks() + granule_blocks_ - 1) / granule_blocks_;
+  dirty_word_count_ = (num_granules_ + 63) / 64;
+  dirty_words_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(dirty_word_count_);
 
   // Initialize every block as encrypted zeros under counter 0, so reads
   // before the first write still verify.
@@ -156,6 +178,7 @@ void SecureMemory::store_block(std::uint64_t block, const DataBlock& plaintext,
     lanes_[block] = secded_.encode(ct);
   }
   shadow_ctr_[block] = counter;
+  mark_dirty(block);
 }
 
 void SecureMemory::store_blocks(std::span<const std::uint64_t> blocks,
@@ -188,6 +211,7 @@ void SecureMemory::store_blocks(std::span<const std::uint64_t> blocks,
     lanes_[b] = packed[i];
     if (config_.mac_placement != MacPlacement::kEccLane) macs_[b] = tags[i];
     shadow_ctr_[b] = counters[i];
+    mark_dirty(b);
   }
 }
 
@@ -906,6 +930,12 @@ ScrubReport SecureMemory::scrub_all(bool deep) {
 
 namespace {
 constexpr char kImageMagic[8] = {'S', 'E', 'C', 'M', 'E', 'M', '0', '1'};
+constexpr char kDeltaMagic[8] = {'S', 'E', 'C', 'M', 'D', 'L', 'T', '1'};
+
+/// Domain-separation addresses for the snapshot-chain MACs (never valid
+/// block addresses — block addrs are region offsets).
+constexpr std::uint64_t kSealAddr = 0x5ea1'0000'0000'0001ULL;
+constexpr std::uint64_t kCmdMacAddr = 0x5ea1'0000'0000'0002ULL;
 
 void write_u64(std::ostream& out, std::uint64_t v) {
   std::uint8_t buf[8];
@@ -990,6 +1020,9 @@ Status SecureMemory::save(std::ostream& out) {
     out.write(reinterpret_cast<const char*>(bytes.data()),
               static_cast<std::streamsize>(bytes.size()));
   }
+  // A full image is always a valid delta base: align the chain so the
+  // next save_delta diffs against exactly what was just persisted.
+  align_chain();
   return Status::kOk;
 }
 
@@ -1004,6 +1037,11 @@ std::optional<SecureMemory::StagedRestore> SecureMemory::stage_restore(
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kImageMagic, sizeof(magic)) != 0)
     return std::nullopt;
+  return stage_restore_tail(in, master_key);
+}
+
+std::optional<SecureMemory::StagedRestore> SecureMemory::stage_restore_tail(
+    std::istream& in, std::uint64_t master_key) const {
   if (read_u64(in) != config_.size_bytes) return std::nullopt;
   if (read_u64(in) != static_cast<std::uint64_t>(config_.scheme))
     return std::nullopt;
@@ -1103,6 +1141,7 @@ void SecureMemory::commit_restore(StagedRestore&& staged) {
     const DerivedKeys keys = derive_keys(staged.master_key);
     keystream_ = CtrKeystream(keys.data_key);
     mac_ = CwMac(keys.mac_key);
+    seal_mac_ = CwMac(keys.seal_key);
   }
   // Swap rather than move-assign: the replaced state vectors survive in
   // `staged` and are parked in the arena below, so the next
@@ -1137,24 +1176,402 @@ void SecureMemory::commit_restore(StagedRestore&& staged) {
   }
   metrics_.add(MetricId::kRestores);
   trace(TraceEvent::Kind::kRestore, Status::kOk, 0);
+  // Full images carry no chain state: the restored image becomes epoch
+  // 0's base, and a delta sealed against it applies on any instance
+  // that restored it (the seal covers the root level, not the epoch).
+  snap_epoch_ = 0;
+  align_chain();
+}
+
+void SecureMemory::wipe_to_zeros() {
+  // Leave the region in a valid, freshly-zeroed state. The cache is
+  // dropped without write-back: it describes the pre-wipe tree, which
+  // is being discarded either way.
+  scheme_ = make_scheme(config_);
+  tree_ =
+      BonsaiTree(layout_.tree(), derive_keys(config_.master_key).tree_key);
+  tree_cache_.invalidate_all();
+  reset_all_blocks({}, 0);
+  // The delta chain is broken: nothing will ever have this wiped state
+  // as its base, so the next save_delta must emit a full image.
+  snap_epoch_ = 0;
+  has_base_ = false;
+  mark_all_dirty();
 }
 
 bool SecureMemory::restore(std::istream& in) {
   std::optional<StagedRestore> staged = stage_restore(in);
   if (!staged) {
-    // Leave the region in a valid, freshly-zeroed state. The cache is
-    // dropped without write-back: it describes the pre-restore tree,
-    // which is being discarded either way.
-    scheme_ = make_scheme(config_);
-    tree_ =
-        BonsaiTree(layout_.tree(), derive_keys(config_.master_key).tree_key);
-    tree_cache_.invalidate_all();
-    reset_all_blocks({}, 0);
+    wipe_to_zeros();
     trace(TraceEvent::Kind::kRestore, Status::kIntegrityViolation, 0);
     return false;
   }
   commit_restore(std::move(*staged));
   return true;
+}
+
+/// ---------------------------------------------------------------------
+/// Incremental (delta) snapshots.
+/// ---------------------------------------------------------------------
+namespace {
+/// Concatenated root-level bytes — the material both chain seals and
+/// delta trailers are built from.
+void append_root_level(const SecureRegionLayout& layout,
+                       const BonsaiTree& tree,
+                       std::vector<std::uint8_t>& out) {
+  const unsigned top = layout.tree().total_levels() - 1;
+  for (std::uint64_t node = 0; node < layout.tree().nodes_at[top]; ++node) {
+    const auto bytes = tree.read_node(top, node);
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  }
+}
+}  // namespace
+
+void SecureMemory::mark_all_dirty() noexcept {
+  for (std::uint64_t w = 0; w < dirty_word_count_; ++w)
+    dirty_words_[w].store(~std::uint64_t{0}, std::memory_order_relaxed);
+}
+
+void SecureMemory::clear_dirty() noexcept {
+  for (std::uint64_t w = 0; w < dirty_word_count_; ++w)
+    dirty_words_[w].store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t SecureMemory::dirty_granules() const noexcept {
+  std::uint64_t count = 0;
+  for (std::uint64_t w = 0; w < dirty_word_count_; ++w) {
+    std::uint64_t word = dirty_words_[w].load(std::memory_order_relaxed);
+    if (w == dirty_word_count_ - 1 && num_granules_ % 64 != 0)
+      word &= (std::uint64_t{1} << (num_granules_ % 64)) - 1;
+    count += static_cast<std::uint64_t>(std::popcount(word));
+  }
+  return count;
+}
+
+delta::Geometry SecureMemory::delta_geometry() const noexcept {
+  delta::Geometry geo;
+  geo.num_blocks = layout_.num_blocks();
+  geo.blocks_per_line = scheme_->blocks_per_storage_line();
+  geo.num_lines = layout_.num_counter_lines();
+  geo.granule_blocks = granule_blocks_;
+  geo.separate_macs = !macs_.empty();
+  return geo;
+}
+
+delta::ConstSections SecureMemory::delta_sections() const noexcept {
+  return {ciphertext_, lanes_, macs_, counter_store_};
+}
+
+std::uint64_t SecureMemory::seal_root_bytes(
+    std::span<const std::uint8_t> root_bytes) const noexcept {
+  return seal_mac_.compute(kSealAddr, 0, root_bytes);
+}
+
+std::uint64_t SecureMemory::root_seal() {
+  tree_cache_.flush();
+  std::vector<std::uint8_t> root;
+  append_root_level(layout_, tree_, root);
+  return seal_root_bytes(root);
+}
+
+void SecureMemory::align_chain() {
+  base_seal_ = root_seal();
+  has_base_ = true;
+  clear_dirty();
+}
+
+std::uint64_t SecureMemory::delta_cmd_mac(
+    std::uint64_t base_epoch, std::uint64_t new_epoch,
+    std::uint64_t base_seal, std::span<const std::uint8_t> cmd,
+    std::span<const std::uint8_t> trailer) const noexcept {
+  // The MAC covers everything a decoder acts on: the geometry header,
+  // both epochs, the base seal, the command length, the command bytes,
+  // and the expected-root trailer. Only the magic and the MAC itself
+  // stay outside. new_epoch doubles as the MAC counter.
+  std::vector<std::uint8_t> message;
+  message.reserve(8 * 8 + cmd.size() + trailer.size());
+  const auto put = [&message](std::uint64_t v) {
+    std::uint8_t le[8];
+    store_le64(le, v);
+    message.insert(message.end(), le, le + 8);
+  };
+  put(config_.size_bytes);
+  put(static_cast<std::uint64_t>(config_.scheme));
+  put(static_cast<std::uint64_t>(config_.mac_placement));
+  put(config_.generic_delta_bits);
+  put(base_epoch);
+  put(new_epoch);
+  put(base_seal);
+  put(cmd.size());
+  message.insert(message.end(), cmd.begin(), cmd.end());
+  message.insert(message.end(), trailer.begin(), trailer.end());
+  return seal_mac_.compute(kCmdMacAddr, new_epoch, message);
+}
+
+Status SecureMemory::save_delta(std::ostream& out) {
+  if (!delta_snapshot_ || !has_base_) {
+    // No usable base (kill switch, fresh engine, broken chain): fall
+    // back to a full image — which save() re-bases the chain on, so the
+    // NEXT save_delta is incremental again.
+    metrics_.add(MetricId::kDeltaSaveFallbacks);
+    return save(out);
+  }
+  tree_cache_.flush();
+
+  // Drain the dirty bitmap (relaxed loads: snapshot entry points run
+  // under the engine's exclusive synchronization contract).
+  std::vector<std::uint64_t> dirty(dirty_word_count_);
+  for (std::uint64_t w = 0; w < dirty_word_count_; ++w)
+    dirty[w] = dirty_words_[w].load(std::memory_order_relaxed);
+
+  const delta::Geometry geo = delta_geometry();
+  std::vector<std::uint8_t> cmd;
+  const std::uint64_t dirty_count =
+      delta::encode_from_dirty(geo, delta_sections(), dirty, cmd);
+
+  std::vector<std::uint8_t> trailer;
+  append_root_level(layout_, tree_, trailer);
+  const std::uint64_t new_epoch = snap_epoch_ + 1;
+  const std::uint64_t mac =
+      delta_cmd_mac(snap_epoch_, new_epoch, base_seal_, cmd, trailer);
+
+  out.write(kDeltaMagic, sizeof(kDeltaMagic));
+  write_u64(out, config_.size_bytes);
+  write_u64(out, static_cast<std::uint64_t>(config_.scheme));
+  write_u64(out, static_cast<std::uint64_t>(config_.mac_placement));
+  write_u64(out, config_.generic_delta_bits);
+  write_u64(out, snap_epoch_);
+  write_u64(out, new_epoch);
+  write_u64(out, base_seal_);
+  write_u64(out, cmd.size());
+  write_u64(out, mac);
+  out.write(reinterpret_cast<const char*>(cmd.data()),
+            static_cast<std::streamsize>(cmd.size()));
+  out.write(reinterpret_cast<const char*>(trailer.data()),
+            static_cast<std::streamsize>(trailer.size()));
+
+  snap_epoch_ = new_epoch;
+  align_chain();
+  metrics_.add(MetricId::kDeltaSaves);
+  metrics_.sample(EngineHistId::kDeltaImageBytes,
+                  sizeof(kDeltaMagic) + 9 * 8 + cmd.size() + trailer.size());
+  metrics_.sample(EngineHistId::kDeltaDirtyGranules, dirty_count);
+  return Status::kOk;
+}
+
+std::optional<SecureMemory::StagedDelta> SecureMemory::stage_delta(
+    std::istream& in) {
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kDeltaMagic, sizeof(magic)) != 0)
+    return std::nullopt;
+  return stage_delta_tail(in);
+}
+
+std::optional<SecureMemory::StagedDelta> SecureMemory::stage_delta_tail(
+    std::istream& in) {
+  if (!delta_snapshot_) return std::nullopt;  // kill switch: full only
+  if (read_u64(in) != config_.size_bytes) return std::nullopt;
+  if (read_u64(in) != static_cast<std::uint64_t>(config_.scheme))
+    return std::nullopt;
+  if (read_u64(in) != static_cast<std::uint64_t>(config_.mac_placement))
+    return std::nullopt;
+  if (read_u64(in) != config_.generic_delta_bits) return std::nullopt;
+  const std::uint64_t base_epoch = read_u64(in);
+  const std::uint64_t new_epoch = read_u64(in);
+  const std::uint64_t base_seal = read_u64(in);
+  const std::uint64_t cmd_len = read_u64(in);
+  const std::uint64_t mac = read_u64(in);
+  if (!in) return std::nullopt;
+
+  // Bound the allocation before trusting cmd_len: no valid stream
+  // exceeds one command header plus full payload per granule.
+  const delta::Geometry geo = delta_geometry();
+  std::uint64_t cmd_bound = 0;
+  for (std::uint64_t g = 0; g < geo.num_granules(); ++g)
+    cmd_bound += 25 + geo.payload_bytes(g);
+  if (cmd_len > cmd_bound) return std::nullopt;
+
+  StagedDelta staged;
+  staged.new_epoch = new_epoch;
+  staged.cmd.resize(cmd_len);
+  in.read(reinterpret_cast<char*>(staged.cmd.data()),
+          static_cast<std::streamsize>(staged.cmd.size()));
+  const unsigned top = layout_.tree().total_levels() - 1;
+  staged.trailer.resize(layout_.tree().nodes_at[top] * 64);
+  in.read(reinterpret_cast<char*>(staged.trailer.data()),
+          static_cast<std::streamsize>(staged.trailer.size()));
+  if (!in) return std::nullopt;
+
+  // Verify-before-apply, in authentication order: (1) the command
+  // section MAC — nothing below is interpreted until the whole stream
+  // is known authentic; (2) the base seal against the engine's CURRENT
+  // root — a delta only applies on the exact state it was diffed
+  // against (a stale or cross-chain delta dies here, region intact);
+  // (3) structural validation of the command stream.
+  if (!ct_equal_u64(
+          delta_cmd_mac(base_epoch, new_epoch, base_seal, staged.cmd,
+                        staged.trailer),
+          mac))
+    return std::nullopt;
+  if (!ct_equal_u64(root_seal(), base_seal)) return std::nullopt;
+  if (!delta::parse(geo, staged.cmd, staged.cmds)) return std::nullopt;
+  return staged;
+}
+
+bool SecureMemory::commit_delta(StagedDelta&& staged) {
+  const delta::Geometry geo = delta_geometry();
+  delta::MutSections sections{ciphertext_, lanes_, macs_, counter_store_};
+  delta::apply(geo, staged.cmds, staged.cmd, sections);
+
+  // Refresh the derived state of every granule the stream wrote:
+  // counter-scheme registers from the new line bytes, tree leaves
+  // through the verified-frontier update path (O(dirty x depth), not a
+  // full rebuild — the in-place payoff on restore), and the per-block
+  // shadow counters.
+  for (const delta::Command& cmd : staged.cmds) {
+    if (cmd.op == delta::Command::kCopy && cmd.src == cmd.dst) continue;
+    for (std::uint64_t g = cmd.dst; g < cmd.dst + cmd.n; ++g) {
+      const std::uint64_t line0 = geo.line_start(g);
+      for (std::uint64_t line = line0; line < line0 + geo.lines_in(g);
+           ++line) {
+        const std::span<std::uint8_t, 64> bytes(
+            counter_store_.data() + line * 64, 64);
+        scheme_->deserialize_line(line, bytes);
+        tree_cache_.update(line, bytes);
+      }
+      const std::uint64_t b0 = geo.block_start(g);
+      for (std::uint64_t b = b0; b < b0 + geo.blocks_in(g); ++b)
+        shadow_ctr_[b] = scheme_->read_counter(b);
+    }
+  }
+
+  // Defense-in-depth: the MAC-covered trailer pins the post-apply root.
+  // A mismatch can only mean the base seal collided (negligible), but
+  // serving data off a mismatched tree is never acceptable — wipe.
+  tree_cache_.flush();
+  std::vector<std::uint8_t> root;
+  root.reserve(staged.trailer.size());
+  append_root_level(layout_, tree_, root);
+  if (root.size() != staged.trailer.size() ||
+      !ct_equal(root.data(), staged.trailer.data(), root.size())) {
+    wipe_to_zeros();
+    metrics_.add(MetricId::kDeltaRejects);
+    trace(TraceEvent::Kind::kRestore, Status::kIntegrityViolation, 0);
+    return false;
+  }
+
+  snap_epoch_ = staged.new_epoch;
+  align_chain();
+  metrics_.add(MetricId::kDeltaRestores);
+  trace(TraceEvent::Kind::kRestore, Status::kOk, 0);
+  return true;
+}
+
+bool SecureMemory::restore_delta(std::istream& in) {
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  if (in && std::memcmp(magic, kImageMagic, sizeof(magic)) == 0) {
+    // Full image: ordinary restore semantics, including wipe-on-failure.
+    std::optional<StagedRestore> staged =
+        stage_restore_tail(in, config_.master_key);
+    if (!staged) {
+      wipe_to_zeros();
+      trace(TraceEvent::Kind::kRestore, Status::kIntegrityViolation, 0);
+      return false;
+    }
+    commit_restore(std::move(*staged));
+    return true;
+  }
+  if (!in || std::memcmp(magic, kDeltaMagic, sizeof(magic)) != 0) {
+    metrics_.add(MetricId::kDeltaRejects);
+    trace(TraceEvent::Kind::kRestore, Status::kIntegrityViolation, 0);
+    return false;
+  }
+  // Delta image: verified in full before any byte lands, so a rejection
+  // leaves the region EXACTLY as it was (crash/restore-loop contract).
+  std::optional<StagedDelta> staged = stage_delta_tail(in);
+  if (!staged) {
+    metrics_.add(MetricId::kDeltaRejects);
+    trace(TraceEvent::Kind::kRestore, Status::kIntegrityViolation, 0);
+    return false;
+  }
+  return commit_delta(std::move(*staged));
+}
+
+Status SecureMemory::encode_delta(std::span<const std::uint8_t> base_image,
+                                  std::span<const std::uint8_t> target_image,
+                                  std::ostream& out) const {
+  struct Parsed {
+    delta::ConstSections sections;
+    std::span<const std::uint8_t> root;
+    std::vector<std::uint64_t> mac_words;
+  };
+  const std::uint64_t nb = layout_.num_blocks();
+  const auto slice = [&](std::span<const std::uint8_t> img,
+                         Parsed& parsed) -> bool {
+    if (img.size() != image_bytes()) return false;
+    if (std::memcmp(img.data(), kImageMagic, sizeof(kImageMagic)) != 0)
+      return false;
+    std::size_t off = sizeof(kImageMagic);
+    const auto field = [&img, &off] {
+      const std::uint64_t v = load_le64(img.data() + off);
+      off += 8;
+      return v;
+    };
+    if (field() != config_.size_bytes ||
+        field() != static_cast<std::uint64_t>(config_.scheme) ||
+        field() != static_cast<std::uint64_t>(config_.mac_placement) ||
+        field() != config_.generic_delta_bits)
+      return false;
+    // DataBlock/EccLane are byte arrays (alignment 1), so the image's
+    // contiguous sections reinterpret directly; MAC words decode into
+    // owned storage.
+    parsed.sections.ciphertext = std::span<const DataBlock>(
+        reinterpret_cast<const DataBlock*>(img.data() + off), nb);
+    off += nb * sizeof(DataBlock);
+    parsed.sections.lanes = std::span<const EccLane>(
+        reinterpret_cast<const EccLane*>(img.data() + off), nb);
+    off += nb * sizeof(EccLane);
+    parsed.mac_words.resize(macs_.size());
+    for (std::uint64_t& w : parsed.mac_words) {
+      w = load_le64(img.data() + off);
+      off += 8;
+    }
+    parsed.sections.macs = parsed.mac_words;
+    parsed.sections.counters = img.subspan(off, counter_store_.size());
+    off += counter_store_.size();
+    parsed.root = img.subspan(off);
+    return true;
+  };
+
+  Parsed base, target;
+  if (!slice(base_image, base) || !slice(target_image, target))
+    return Status::kIntegrityViolation;
+
+  std::vector<std::uint8_t> cmd;
+  delta::encode_from_diff(delta_geometry(), base.sections, target.sections,
+                          cmd);
+  const std::uint64_t base_seal = seal_root_bytes(base.root);
+  const std::uint64_t mac =
+      delta_cmd_mac(0, 1, base_seal, cmd,
+                    {target.root.data(), target.root.size()});
+
+  out.write(kDeltaMagic, sizeof(kDeltaMagic));
+  write_u64(out, config_.size_bytes);
+  write_u64(out, static_cast<std::uint64_t>(config_.scheme));
+  write_u64(out, static_cast<std::uint64_t>(config_.mac_placement));
+  write_u64(out, config_.generic_delta_bits);
+  write_u64(out, 0);  // base epoch (informational — acceptance is by seal)
+  write_u64(out, 1);  // new epoch
+  write_u64(out, base_seal);
+  write_u64(out, cmd.size());
+  write_u64(out, mac);
+  out.write(reinterpret_cast<const char*>(cmd.data()),
+            static_cast<std::streamsize>(cmd.size()));
+  out.write(reinterpret_cast<const char*>(target.root.data()),
+            static_cast<std::streamsize>(target.root.size()));
+  return Status::kOk;
 }
 
 bool SecureMemory::rotate_master_key(std::uint64_t new_master) {
@@ -1190,10 +1607,17 @@ bool SecureMemory::rotate_master_key(std::uint64_t new_master) {
   const DerivedKeys keys = derive_keys(new_master);
   keystream_ = CtrKeystream(keys.data_key);
   mac_ = CwMac(keys.mac_key);
+  seal_mac_ = CwMac(keys.seal_key);
   tree_ = BonsaiTree(layout_.tree(), keys.tree_key);
   tree_cache_.invalidate_all();  // phase-1 reads refilled it; old tree
   scheme_ = make_scheme(config_);
   std::fill(shadow_ctr_.begin(), shadow_ctr_.end(), 0);
+  // The rotation breaks the snapshot chain: every byte re-encrypts and
+  // the seal key itself changed, so no prior base exists. The next
+  // save_delta emits a full image and re-bases the chain under the new
+  // key — the rolling-rotation-across-a-chain contract.
+  has_base_ = false;
+  mark_all_dirty();
 
   // Phase 3: re-encrypt everything and re-authenticate counter storage.
   reset_all_blocks(plaintexts, 0);

@@ -39,6 +39,7 @@
 #include "ecc/flip_and_check.h"
 #include "ecc/mac_ecc.h"
 #include "ecc/secded72.h"
+#include "engine/delta_image.h"
 #include "engine/encryption_engine.h"  // MacPlacement
 #include "engine/layout.h"
 #include "engine/secure_memory_like.h"
@@ -234,6 +235,51 @@ class SecureMemory : public SecureMemoryLike {
   [[nodiscard]] Status save(std::ostream& out) override;
   [[nodiscard]] bool restore(std::istream& in) override;
 
+  /// ------------------------------------------------------------------
+  /// Incremental (delta) persistence — see SecureMemoryLike for the
+  /// interface contract and src/engine/delta_image.h for the codec.
+  /// ------------------------------------------------------------------
+  /// Every block store sets the owning granule's bit in a relaxed-atomic
+  /// dirty bitmap (a granule = lcm(blocks_per_group,
+  /// blocks_per_storage_line) blocks — whole re-encryption groups and
+  /// whole counter lines, so a granule's payload is self-contained).
+  /// save_delta drains that bitmap into a COPY/ADD stream sealed by a
+  /// MAC over the header + commands + expected-root trailer, bound to
+  /// the *base seal* — a MAC over the tree's root level at the last
+  /// alignment point — so a delta only ever applies on top of the exact
+  /// state it was diffed against. Tampering through the UntrustedView
+  /// is deliberately NOT tracked: it models an attacker, and anything it
+  /// corrupts inside a clean granule is covered by the base-seal check
+  /// (the granule's counter lines feed the root) or by the per-block
+  /// MACs once the block is read.
+  ///
+  /// Chain alignment points (save, save_delta, restore, restore_delta
+  /// successes) update {epoch, base seal} and clear the bitmap;
+  /// rotate_master_key breaks the chain (fresh seal key), so the next
+  /// save_delta falls back to a full image and re-bases it.
+  [[nodiscard]] Status save_delta(std::ostream& out) override;
+  [[nodiscard]] bool restore_delta(std::istream& in) override;
+
+  /// Diff two full save() images of THIS engine's geometry into a delta
+  /// stream restore_delta accepts (cross-instance replication under the
+  /// same master secret — the command MAC and seals derive from it). No
+  /// dirty information: a one-pass block-hash diff finds the COPYs.
+  /// kIntegrityViolation if either buffer is not a full image of this
+  /// geometry; nothing is written in that case.
+  [[nodiscard]] Status encode_delta(std::span<const std::uint8_t> base_image,
+                                    std::span<const std::uint8_t> target_image,
+                                    std::ostream& out) const;
+
+  /// Dirty-plane observability: granule size in blocks, granules touched
+  /// since the last alignment point, the chain epoch, and whether a
+  /// delta base exists (false on fresh engines and after rotations).
+  std::uint64_t delta_granule_blocks() const noexcept {
+    return granule_blocks_;
+  }
+  std::uint64_t dirty_granules() const noexcept;
+  std::uint64_t snapshot_epoch() const noexcept { return snap_epoch_; }
+  bool has_snapshot_base() const noexcept { return has_base_; }
+
   /// Exact byte size of the image save() emits for this engine —
   /// facades slicing a concatenated multi-engine image (the sharded
   /// container's parallel restore) size their cuts with this.
@@ -243,7 +289,9 @@ class SecureMemory : public SecureMemoryLike {
   // to the overrides above.
   using SecureMemoryLike::read_bytes;
   using SecureMemoryLike::restore;
+  using SecureMemoryLike::restore_delta;
   using SecureMemoryLike::save;
+  using SecureMemoryLike::save_delta;
   using SecureMemoryLike::write_bytes;
 
   /// Two-phase restore, for facades that need all-or-nothing semantics
@@ -274,6 +322,27 @@ class SecureMemory : public SecureMemoryLike {
   [[nodiscard]] std::optional<StagedRestore> stage_restore(
       std::istream& in, std::uint64_t master_key) const;
   void commit_restore(StagedRestore&& staged);
+
+  /// Two-phase delta restore, mirroring stage_restore/commit_restore for
+  /// the sharded all-or-nothing path. stage_delta consumes a delta image
+  /// (magic onward) and performs EVERY check — geometry, command-section
+  /// MAC (ct_equal), base seal against the engine's current root,
+  /// command-stream validation — without touching engine state; nullopt
+  /// means rejected and the region is exactly as it was. commit_delta
+  /// applies the commands in place, refreshes scheme/tree/shadow state
+  /// for the written granules, and advances the chain. Its bool is a
+  /// defense-in-depth verdict: the post-apply root is re-checked against
+  /// the image's MAC-covered trailer, and a mismatch (a base-seal
+  /// collision — cryptographically negligible) wipes the region to
+  /// zeros and returns false.
+  struct StagedDelta {
+    std::uint64_t new_epoch = 0;
+    std::vector<std::uint8_t> cmd;      ///< raw command-stream bytes
+    std::vector<delta::Command> cmds;   ///< parsed + validated commands
+    std::vector<std::uint8_t> trailer;  ///< expected post-apply root level
+  };
+  [[nodiscard]] std::optional<StagedDelta> stage_delta(std::istream& in);
+  [[nodiscard]] bool commit_delta(StagedDelta&& staged);
 
   /// ------------------------------------------------------------------
   /// Observability.
@@ -391,6 +460,16 @@ class SecureMemory : public SecureMemoryLike {
   /// Refresh stored counter line `line` and its tree path (write-back:
   /// ancestor MAC propagation defers to the tree cache when enabled).
   void sync_counter_line(std::uint64_t line);
+  /// Re-initialize to encrypted zeros under fresh state — the
+  /// single-engine failure posture shared by restore() and a
+  /// commit_delta root mismatch.
+  void wipe_to_zeros();
+  /// stage_restore minus the magic bytes — restore_delta dispatches on
+  /// the magic itself and hands the stream tail here.
+  [[nodiscard]] std::optional<StagedRestore> stage_restore_tail(
+      std::istream& in, std::uint64_t master_key) const;
+  /// stage_delta minus the magic bytes.
+  [[nodiscard]] std::optional<StagedDelta> stage_delta_tail(std::istream& in);
   /// Authenticate stored counter line `line` through the verified
   /// frontier — the single tree-read entry point for read_block and the
   /// batch paths.
@@ -402,11 +481,48 @@ class SecureMemory : public SecureMemoryLike {
     if (trace_) trace_->record(kind, outcome, block, trace_shard_);
   }
 
+  /// ------------------------------------------------------------------
+  /// Delta-snapshot plane.
+  /// ------------------------------------------------------------------
+  /// One relaxed fetch_or per block store — the entire steady-state cost
+  /// of dirty tracking. Covers every backing-store mutation path
+  /// (writes, group re-encryptions, scrub heals, rotations, restores)
+  /// because they all funnel through store_block/store_blocks.
+  void mark_dirty(std::uint64_t block) noexcept {
+    const std::uint64_t g = block / granule_blocks_;
+    dirty_words_[g >> 6].fetch_or(std::uint64_t{1} << (g & 63),
+                                  std::memory_order_relaxed);
+  }
+  void mark_all_dirty() noexcept;
+  void clear_dirty() noexcept;
+  delta::Geometry delta_geometry() const noexcept;
+  delta::ConstSections delta_sections() const noexcept;
+  /// Seal over a root-level byte string (the delta chain's base digest).
+  std::uint64_t seal_root_bytes(
+      std::span<const std::uint8_t> root_bytes) const noexcept;
+  /// Seal of the engine's CURRENT root level (flushes the tree cache).
+  std::uint64_t root_seal();
+  /// Establish the current state as the delta base: record its seal,
+  /// clear the dirty bitmap. Every successful snapshot operation ends
+  /// here.
+  void align_chain();
+  /// Command-section MAC over header fields + commands + trailer.
+  std::uint64_t delta_cmd_mac(std::uint64_t base_epoch,
+                              std::uint64_t new_epoch,
+                              std::uint64_t base_seal,
+                              std::span<const std::uint8_t> cmd,
+                              std::span<const std::uint8_t> trailer)
+      const noexcept;
+
   SecureMemoryConfig config_;
   std::unique_ptr<CounterScheme> scheme_;
   SecureRegionLayout layout_;
   CtrKeystream keystream_;
   CwMac mac_;
+  /// Keys the snapshot-chain seals (root digests, delta command MACs) —
+  /// derived from the master AFTER the existing keys, so adding it left
+  /// every pre-delta key bit-identical (full images are unchanged).
+  CwMac seal_mac_;
   MacEccCodec mac_ecc_;
   Secded72 secded_;
   FlipAndCheck corrector_;
@@ -471,6 +587,26 @@ class SecureMemory : public SecureMemoryLike {
   /// pins save/stage_restore/commit_restore to the scalar per-element
   /// reference paths (differential reference for the snapshot pipeline).
   bool batch_snapshot_ = true;
+  /// SECMEM_DELTA_SNAPSHOT kill switch, sampled at construction: false
+  /// makes save_delta emit full images and restore_delta reject
+  /// delta-format ones (dirty tracking still runs — it is one relaxed
+  /// fetch_or per store and keeping it unconditional means the kill
+  /// switch changes emitted bytes, never engine state).
+  bool delta_snapshot_ = true;
+
+  /// Dirty plane: bit per granule, relaxed atomics so the const shared
+  /// read path's facades never contend with it (only store paths touch
+  /// it, and those run under exclusive synchronization anyway).
+  std::uint64_t granule_blocks_ = 1;
+  std::uint64_t num_granules_ = 0;
+  std::uint64_t dirty_word_count_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> dirty_words_;
+  /// Chain state: epoch counts alignment points; base_seal_ is the root
+  /// seal at the last one; has_base_ false = no delta base (fresh
+  /// engine, broken chain after rotation or failed restore).
+  std::uint64_t snap_epoch_ = 0;
+  std::uint64_t base_seal_ = 0;
+  bool has_base_ = false;
 };
 
 }  // namespace secmem

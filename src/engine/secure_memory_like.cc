@@ -57,6 +57,25 @@ bool SecureMemoryLike::restore(std::span<const std::byte> image) {
   return restore(in);
 }
 
+Status SecureMemoryLike::save_delta(std::vector<std::byte>& image) {
+  std::ostringstream out(std::ios::binary);
+  const Status status = save_delta(out);
+  image.clear();
+  if (status_ok(status)) {
+    const std::string bytes = std::move(out).str();
+    image.resize(bytes.size());
+    std::memcpy(image.data(), bytes.data(), bytes.size());
+  }
+  return status;
+}
+
+bool SecureMemoryLike::restore_delta(std::span<const std::byte> image) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(image.data()), image.size()),
+      std::ios::binary);
+  return restore_delta(in);
+}
+
 const char* scrub_status_name(ScrubStatus status) noexcept {
   switch (status) {
     case ScrubStatus::kClean: return "clean";
@@ -131,6 +150,11 @@ bool seqlock_reads_enabled() noexcept {
 
 bool batch_snapshot_enabled() noexcept {
   const char* env = std::getenv("SECMEM_BATCH_SNAPSHOT");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+bool delta_snapshot_enabled() noexcept {
+  const char* env = std::getenv("SECMEM_DELTA_SNAPSHOT");
   return env == nullptr || std::strcmp(env, "0") != 0;
 }
 

@@ -169,10 +169,34 @@ class SecureMemoryLike {
   [[nodiscard]] virtual Status save(std::ostream& out) = 0;
   [[nodiscard]] virtual bool restore(std::istream& in) = 0;
 
+  /// ------------------------------------------------------------------
+  /// Incremental (delta) persistence.
+  /// ------------------------------------------------------------------
+  /// `save_delta` emits a COPY/ADD delta image against the engine's last
+  /// snapshot alignment point (the most recent save/restore/
+  /// save_delta/restore_delta) from the dirty-granule bitmap: only the
+  /// block groups touched since that point ship as payload. When no base
+  /// is known (fresh engine, after a key rotation, or with
+  /// SECMEM_DELTA_SNAPSHOT=0) it falls back to a full save() image —
+  /// callers always get something restore_delta accepts.
+  ///
+  /// `restore_delta` accepts both image kinds, dispatching on the magic:
+  /// a full image takes the ordinary restore path (including its
+  /// wipe-on-failure posture, where the engine has one); a delta image
+  /// is verified *in full* — header/command-stream MAC, base seal,
+  /// command validation — before a single byte is applied, so a false
+  /// return for a delta leaves the region EXACTLY as it was (the
+  /// crash/restore-loop contract: a failed restore of delta N never
+  /// invalidates applying a clean delta N afterwards). See SECURITY.md.
+  [[nodiscard]] virtual Status save_delta(std::ostream& out) = 0;
+  [[nodiscard]] virtual bool restore_delta(std::istream& in) = 0;
+
   /// Buffer-based persistence conveniences over the stream virtuals:
   /// save() fills `image` (cleared first), restore() consumes a span.
   [[nodiscard]] Status save(std::vector<std::byte>& image);
   [[nodiscard]] bool restore(std::span<const std::byte> image);
+  [[nodiscard]] Status save_delta(std::vector<std::byte>& image);
+  [[nodiscard]] bool restore_delta(std::span<const std::byte> image);
 
   /// ------------------------------------------------------------------
   /// Observability.
@@ -220,6 +244,13 @@ bool seqlock_reads_enabled() noexcept;
 /// images and accept exactly the same ones. Sampled once at engine
 /// construction, like SECMEM_SEQLOCK.
 bool batch_snapshot_enabled() noexcept;
+
+/// Kill switch for delta-encoded snapshots: SECMEM_DELTA_SNAPSHOT=0 in
+/// the environment makes save_delta emit full images and restore_delta
+/// reject delta-format images (full images are still accepted); anything
+/// else — including unset — enables the incremental pipeline. Sampled
+/// once at engine construction, like SECMEM_BATCH_SNAPSHOT.
+bool delta_snapshot_enabled() noexcept;
 
 /// Instantiate an engine. `shards` only matters for kSharded (0 picks 8).
 std::unique_ptr<SecureMemoryLike> make_engine(

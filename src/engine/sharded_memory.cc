@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <istream>
 #include <numeric>
@@ -42,6 +43,19 @@ unsigned routing_granule_blocks(const SecureMemoryConfig& config) {
 }
 
 constexpr char kShardMagic[8] = {'S', 'E', 'C', 'S', 'H', 'R', 'D', '1'};
+/// Delta-container magic: header + per-shard length table + per-shard
+/// payloads (each a SecureMemory full OR delta image, sniffed on its
+/// own magic below — a shard with a broken chain falls back to full).
+constexpr char kShardDeltaMagic[8] = {'S', 'E', 'C', 'S', 'H', 'D', 'L', '1'};
+/// The per-engine image magics (owned by secure_memory.cc, which
+/// validates them again when staging — these copies only route slices).
+constexpr char kEngineImageMagic[8] = {'S', 'E', 'C', 'M', 'E', 'M', '0', '1'};
+constexpr char kEngineDeltaMagic[8] = {'S', 'E', 'C', 'M', 'D', 'L', 'T', '1'};
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
 
 /// ostream sink appending straight into a caller-owned byte vector, so
 /// the parallel save workers each serialize into private storage instead
@@ -735,16 +749,45 @@ Status ShardedSecureMemory::save(std::ostream& out) {
   return folded;
 }
 
-// All shard locks for the duration, in table order (runtime lock set —
-// outside static analysis, TSan-covered): a restore must be atomic
-// against every concurrent operation.
-bool ShardedSecureMemory::restore(std::istream& in)
-    SECMEM_NO_THREAD_SAFETY_ANALYSIS {
+bool ShardedSecureMemory::restore(std::istream& in) {
   char magic[8] = {};
   in.read(magic, sizeof(magic));
   // Public image magic, not secret material.
   if (!in || std::memcmp(magic, kShardMagic, sizeof(magic)) != 0)
     return false;
+  return restore_full_tail(in, nullptr);
+}
+
+bool ShardedSecureMemory::restore_delta(std::istream& in) {
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  if (!in) return false;
+  if (std::memcmp(magic, kShardMagic, sizeof(magic)) == 0)
+    return restore_full_tail(in, nullptr);
+  if (std::memcmp(magic, kShardDeltaMagic, sizeof(magic)) == 0)
+    return restore_delta_tail(in, nullptr);
+  return false;
+}
+
+bool ShardedSecureMemory::restore_timed(std::istream& in,
+                                        SnapshotTiming& timing) {
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  if (!in) return false;
+  if (std::memcmp(magic, kShardMagic, sizeof(magic)) == 0)
+    return restore_full_tail(in, &timing);
+  if (std::memcmp(magic, kShardDeltaMagic, sizeof(magic)) == 0)
+    return restore_delta_tail(in, &timing);
+  return false;
+}
+
+// All shard locks for the duration, in table order (runtime lock set —
+// outside static analysis, TSan-covered): a restore must be atomic
+// against every concurrent operation.
+bool ShardedSecureMemory::restore_full_tail(std::istream& in,
+                                            SnapshotTiming* timing)
+    SECMEM_NO_THREAD_SAFETY_ANALYSIS {
+  const auto t0 = std::chrono::steady_clock::now();
   if (read_u64(in) != num_shards_) return false;
   if (read_u64(in) != granule_blocks_) return false;
 
@@ -786,8 +829,14 @@ bool ShardedSecureMemory::restore(std::istream& in)
       }
       staged.push_back(std::move(*image));
     }
+    const auto t1 = std::chrono::steady_clock::now();
     for (unsigned s = 0; s < num_shards_; ++s)
       shards_[s].engine->commit_restore(std::move(staged[s]));
+    if (timing) {
+      timing->stage_s = seconds_between(t0, t1);
+      timing->commit_s =
+          seconds_between(t1, std::chrono::steady_clock::now());
+    }
     // A fully-restored region is uniformly keyed again by construction.
     poisoned_.store(false, std::memory_order_release);
     return true;
@@ -835,12 +884,193 @@ bool ShardedSecureMemory::restore(std::istream& in)
                      0, static_cast<std::uint16_t>(s));
     return false;
   }
+  const auto t1 = std::chrono::steady_clock::now();
   parallel_over_shards(num_shards_, [&engines, &staged](unsigned s) {
     engines[s]->commit_restore(std::move(*staged[s]));
   });
+  if (timing) {
+    timing->stage_s = seconds_between(t0, t1);
+    timing->commit_s = seconds_between(t1, std::chrono::steady_clock::now());
+  }
   // A fully-restored region is uniformly keyed again by construction.
   poisoned_.store(false, std::memory_order_release);
   return true;
+}
+
+Status ShardedSecureMemory::save_delta(std::ostream& out) {
+  // Same posture as save(): a poisoned region writes nothing.
+  if (poisoned()) return poisoned_mutation(0);
+
+  // Per-shard deltas are variable-sized (and a broken-chain shard falls
+  // back to its full image), so the container needs a length table
+  // ahead of the payloads — every shard therefore serializes into a
+  // private buffer; the batch switch only decides whether the buffers
+  // fill in parallel. Unlike save(), the sequential shape buffers too:
+  // a delta buffer is a few percent of the image, so the copy the full
+  // path avoids is noise here.
+  std::vector<std::vector<char>> images(num_shards_);
+  std::vector<Status> statuses(num_shards_, Status::kOk);
+  const auto save_one = [this, &images, &statuses](unsigned s) {
+    Shard& shard = shards_[s];
+    const SeqWriteLock lock(shard.mu);
+    VectorSink sink(images[s]);
+    std::ostream shard_out(&sink);
+    statuses[s] = shard.engine->save_delta(shard_out);
+  };
+  if (!batch_snapshot_ || shard_pool_workers(num_shards_) <= 1) {
+    for (unsigned s = 0; s < num_shards_; ++s) save_one(s);
+  } else {
+    parallel_over_shards(num_shards_, save_one);
+  }
+
+  out.write(kShardDeltaMagic, sizeof(kShardDeltaMagic));
+  write_u64(out, num_shards_);
+  write_u64(out, granule_blocks_);
+  for (unsigned s = 0; s < num_shards_; ++s) write_u64(out, images[s].size());
+  Status folded = Status::kOk;
+  for (unsigned s = 0; s < num_shards_; ++s) {
+    folded = worse(folded, statuses[s]);
+    out.write(images[s].data(),
+              static_cast<std::streamsize>(images[s].size()));
+  }
+  return folded;
+}
+
+// All shard locks held from before the bulk payload read to the last
+// commit, exactly like restore_full_tail (runtime lock set — outside
+// static analysis, TSan-covered).
+bool ShardedSecureMemory::restore_delta_tail(std::istream& in,
+                                             SnapshotTiming* timing)
+    SECMEM_NO_THREAD_SAFETY_ANALYSIS {
+  const auto t0 = std::chrono::steady_clock::now();
+  if (read_u64(in) != num_shards_) return false;
+  if (read_u64(in) != granule_blocks_) return false;
+
+  // Length table. Each slice must at least hold a magic and can never
+  // exceed a full image plus the delta framing (header + worst-case
+  // all-ADD command stream) — a hostile table must not size the bulk
+  // read.
+  const std::uint64_t blocks_per_shard = num_blocks_ / num_shards_;
+  const std::uint64_t slice_cap = shards_[0].engine->image_bytes() +
+                                  25 * blocks_per_shard + 4096;
+  std::vector<std::uint64_t> lengths(num_shards_);
+  std::uint64_t total = 0;
+  for (unsigned s = 0; s < num_shards_; ++s) {
+    lengths[s] = read_u64(in);
+    if (lengths[s] < 8 || lengths[s] > slice_cap) return false;
+    total += lengths[s];
+  }
+  if (!in) return false;
+
+  std::vector<std::size_t> all(num_shards_);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto locks = lock_in_order(mutexes_of(all));
+
+  std::vector<SecureMemory*> engines(num_shards_);
+  for (unsigned s = 0; s < num_shards_; ++s)
+    engines[s] = shards_[s].engine.get();
+
+  // One bulk read, sliced by the length table (slices are
+  // variable-sized, so unlike the full path there is no streamed
+  // sequential variant: a short-reading stager would desync every
+  // following shard's cut).
+  std::vector<char> payload(static_cast<std::size_t>(total));
+  in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!in || static_cast<std::uint64_t>(in.gcount()) != payload.size()) {
+    if (trace_)
+      trace_->record(TraceEvent::Kind::kRestore, Status::kIntegrityViolation,
+                     0, 0);
+    return false;
+  }
+  std::vector<std::size_t> offsets(num_shards_, 0);
+  for (unsigned s = 1; s < num_shards_; ++s)
+    offsets[s] = offsets[s - 1] + static_cast<std::size_t>(lengths[s - 1]);
+
+  // Stage every slice — sniffing each on ITS magic: kEngineDeltaMagic
+  // is a delta against that shard's current chain, kEngineImageMagic a
+  // full fallback image (staged under the REGION-derived master, the
+  // same un-poisoning rule as restore_full_tail). All checks — command
+  // MAC, base seal, command-stream validation, sealed root — happen
+  // here, before any shard is touched.
+  struct StagedShard {
+    std::optional<SecureMemory::StagedRestore> full;
+    std::optional<SecureMemory::StagedDelta> delta;
+    bool ok = false;
+  };
+  std::vector<StagedShard> staged(num_shards_);
+  const auto stage_one = [this, &payload, &offsets, &lengths, &engines,
+                          &staged](unsigned s) {
+    const char* slice = payload.data() + offsets[s];
+    const auto len = static_cast<std::size_t>(lengths[s]);
+    SpanSource source(slice, len);
+    std::istream shard_in(&source);
+    if (std::memcmp(slice, kEngineDeltaMagic, 8) == 0) {
+      staged[s].delta = engines[s]->stage_delta(shard_in);
+      staged[s].ok = staged[s].delta.has_value();
+    } else if (std::memcmp(slice, kEngineImageMagic, 8) == 0) {
+      staged[s].full = engines[s]->stage_restore(
+          shard_in, shard_master_key(config_.master_key, s));
+      staged[s].ok = staged[s].full.has_value();
+    }
+  };
+  if (!batch_snapshot_ || shard_pool_workers(num_shards_) <= 1) {
+    for (unsigned s = 0; s < num_shards_; ++s) stage_one(s);
+  } else {
+    parallel_over_shards(num_shards_, stage_one);
+  }
+  for (unsigned s = 0; s < num_shards_; ++s) {
+    if (staged[s].ok) continue;
+    if (trace_)
+      trace_->record(TraceEvent::Kind::kRestore, Status::kIntegrityViolation,
+                     0, static_cast<std::uint16_t>(s));
+    return false;
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  std::vector<char> commit_failed(num_shards_, 0);
+  const auto commit_one = [&engines, &staged, &commit_failed](unsigned s) {
+    if (staged[s].full) {
+      engines[s]->commit_restore(std::move(*staged[s].full));
+    } else if (!engines[s]->commit_delta(std::move(*staged[s].delta))) {
+      commit_failed[s] = 1;
+    }
+  };
+  if (!batch_snapshot_ || shard_pool_workers(num_shards_) <= 1) {
+    for (unsigned s = 0; s < num_shards_; ++s) commit_one(s);
+  } else {
+    parallel_over_shards(num_shards_, commit_one);
+  }
+  for (unsigned s = 0; s < num_shards_; ++s) {
+    if (!commit_failed[s]) continue;
+    // commit_delta's defense-in-depth verdict fired (a base-seal
+    // collision — cryptographically negligible): that shard wiped
+    // itself, so the region is part old, part zeroed. Poison it; the
+    // way out is a full-image restore, as with a rollback failure.
+    if (trace_)
+      trace_->record(TraceEvent::Kind::kRestore, Status::kIntegrityViolation,
+                     0, static_cast<std::uint16_t>(s));
+    poisoned_.store(true, std::memory_order_release);
+    return false;
+  }
+  if (timing) {
+    timing->stage_s = seconds_between(t0, t1);
+    timing->commit_s = seconds_between(t1, std::chrono::steady_clock::now());
+  }
+  // Every shard proved it sits on the region-keyed chain (delta slices)
+  // or was re-keyed from the region master (full slices) — uniformly
+  // keyed again.
+  poisoned_.store(false, std::memory_order_release);
+  return true;
+}
+
+std::uint64_t ShardedSecureMemory::dirty_granules() const noexcept
+    SECMEM_NO_THREAD_SAFETY_ANALYSIS {
+  // Relaxed-atomic bitmap popcounts — lock-free by contract, like
+  // stats(); the sum is monotonic per shard, not a cross-shard snapshot.
+  std::uint64_t total = 0;
+  for (unsigned s = 0; s < num_shards_; ++s)
+    total += shards_[s].engine->dirty_granules();
+  return total;
 }
 
 }  // namespace secmem

@@ -69,6 +69,14 @@
 
 namespace secmem {
 
+/// Wall-time split of a staged restore, for benchmarks: seconds spent
+/// parsing/validating (staging — the parallelizable half) versus
+/// adopting the staged state (commit). Filled by restore_timed().
+struct SnapshotTiming {
+  double stage_s = 0.0;
+  double commit_s = 0.0;
+};
+
 class ShardedSecureMemory : public SecureMemoryLike {
  public:
   /// `config.size_bytes` is the TOTAL region size; it must divide evenly
@@ -206,10 +214,45 @@ class ShardedSecureMemory : public SecureMemoryLike {
   [[nodiscard]] Status save(std::ostream& out) override;
   [[nodiscard]] bool restore(std::istream& in) override;
 
+  /// Delta persistence: a shard-count-tagged container of per-shard
+  /// delta images (see SecureMemory::save_delta). Unlike the full
+  /// container, per-shard payloads are variable-sized — a shard with a
+  /// hot working set emits a small COPY/ADD delta while a shard with a
+  /// broken chain (fresh, just rotated) falls back to its full image —
+  /// so a length table sits between the header and the payloads, and
+  /// every shard serializes into a private buffer regardless of the
+  /// batch switch (the switch only decides whether those buffers fill
+  /// in parallel).
+  ///
+  /// restore_delta() accepts BOTH container kinds, dispatching on the
+  /// magic: a full container (save()'s output) takes the full-restore
+  /// path; a delta container bulk-reads the payload once, slices it by
+  /// the length table, and stages every shard's slice — itself sniffed
+  /// as a full image or a delta on ITS magic — with all shard locks
+  /// held, then commits. Same all-or-nothing contract as restore(): any
+  /// staging failure (container damage, one tampered shard, one stale
+  /// base seal) returns false with the region EXACTLY as it was. The
+  /// one exception mirrors SecureMemory::commit_delta's
+  /// defense-in-depth verdict: a post-apply root mismatch on a shard
+  /// (cryptographically negligible) wipes that shard and POISONS the
+  /// region rather than serve a half-applied state.
+  [[nodiscard]] Status save_delta(std::ostream& out) override;
+  [[nodiscard]] bool restore_delta(std::istream& in) override;
+
+  /// restore_delta() plus a stage/commit wall-time split for the
+  /// snapshot benchmark. Accepts both container kinds.
+  [[nodiscard]] bool restore_timed(std::istream& in, SnapshotTiming& timing);
+
+  /// Total dirty delta-granules across shards — a relaxed-atomic
+  /// snapshot, lock-free like stats().
+  std::uint64_t dirty_granules() const noexcept;
+
   // Re-expose the base class's std::byte-span / buffer overloads.
   using SecureMemoryLike::read_bytes;
   using SecureMemoryLike::restore;
+  using SecureMemoryLike::restore_delta;
   using SecureMemoryLike::save;
+  using SecureMemoryLike::save_delta;
   using SecureMemoryLike::write_bytes;
 
   /// Run `fn(SecureMemory&)` against one shard under its exclusive lock
@@ -253,6 +296,11 @@ class ShardedSecureMemory : public SecureMemoryLike {
   std::optional<Status> try_read_bytes_optimistic(
       std::uint64_t addr, std::span<std::uint8_t> out,
       std::span<const std::size_t> involved);
+  /// restore() / restore_delta() bodies past the container magic, with
+  /// optional stage/commit timing. Callers have consumed the 8 magic
+  /// bytes and hold no locks yet.
+  bool restore_full_tail(std::istream& in, SnapshotTiming* timing);
+  bool restore_delta_tail(std::istream& in, SnapshotTiming* timing);
   /// Fail-closed verified-read outcome while poisoned.
   ReadResult poisoned_read() const noexcept;
   /// Account + trace one refused mutation on a poisoned region; returns

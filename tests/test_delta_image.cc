@@ -1,0 +1,318 @@
+// secmem::delta codec unit tests: geometry math (tail granules), both
+// encoders round-tripping through parse + in-place apply, the
+// topological ordering of cross-COPYs (including the swap cycle the
+// encoder must break by demoting a COPY to an ADD), and the parser's
+// rejection contract — truncation, bad opcodes, bounds, double cover,
+// incomplete cover. The engine-level sealing/authentication sits on top
+// of this codec and is covered by test_delta_snapshot.cc.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "engine/delta_image.h"
+
+namespace secmem::delta {
+namespace {
+
+/// Owned backing storage for one image's four sections.
+struct Image {
+  std::vector<DataBlock> ciphertext;
+  std::vector<EccLane> lanes;
+  std::vector<std::uint64_t> macs;
+  std::vector<std::uint8_t> counters;
+
+  ConstSections view() const {
+    return {ciphertext, lanes, macs, counters};
+  }
+  MutSections mut() {
+    return {ciphertext, lanes, macs, counters};
+  }
+  bool operator==(const Image& o) const {
+    return ciphertext == o.ciphertext && lanes == o.lanes &&
+           macs == o.macs && counters == o.counters;
+  }
+};
+
+Image make_image(const Geometry& geo, std::uint64_t seed) {
+  Image img;
+  img.ciphertext.resize(geo.num_blocks);
+  img.lanes.resize(geo.num_blocks);
+  if (geo.separate_macs) img.macs.resize(geo.num_blocks);
+  img.counters.resize(geo.num_lines * 64);
+  std::uint64_t state = seed;
+  const auto next = [&state] { return splitmix64(state); };
+  for (auto& b : img.ciphertext)
+    for (auto& byte : b) byte = static_cast<std::uint8_t>(next());
+  for (auto& l : img.lanes)
+    for (auto& byte : l) byte = static_cast<std::uint8_t>(next());
+  for (auto& m : img.macs) m = next();
+  for (auto& c : img.counters) c = static_cast<std::uint8_t>(next());
+  return img;
+}
+
+/// Copy granule `src` of `from` over granule `dst` of `to` (same shape).
+void copy_granule(const Geometry& geo, const Image& from, std::uint64_t src,
+                  Image& to, std::uint64_t dst) {
+  const std::uint64_t nb = geo.blocks_in(src);
+  ASSERT_EQ(nb, geo.blocks_in(dst));
+  for (std::uint64_t b = 0; b < nb; ++b) {
+    to.ciphertext[geo.block_start(dst) + b] =
+        from.ciphertext[geo.block_start(src) + b];
+    to.lanes[geo.block_start(dst) + b] =
+        from.lanes[geo.block_start(src) + b];
+    if (geo.separate_macs)
+      to.macs[geo.block_start(dst) + b] =
+          from.macs[geo.block_start(src) + b];
+  }
+  std::memcpy(to.counters.data() + geo.line_start(dst) * 64,
+              from.counters.data() + geo.line_start(src) * 64,
+              geo.lines_in(src) * 64);
+}
+
+/// Round-trip helper: encode target-vs-base, parse, apply over a copy of
+/// base, expect the reconstruction to equal target bit for bit.
+void expect_roundtrip(const Geometry& geo, const Image& base,
+                      const Image& target,
+                      const std::vector<std::uint8_t>& cmd) {
+  std::vector<Command> cmds;
+  ASSERT_TRUE(parse(geo, cmd, cmds));
+  Image work = base;
+  apply(geo, cmds, cmd, work.mut());
+  EXPECT_TRUE(work == target);
+}
+
+/// 36 blocks of 4-block counter lines in 8-block granules: 5 granules,
+/// the last a short tail (4 blocks, 1 line) — both section-slicing edge
+/// cases in one shape.
+Geometry tail_geometry(bool separate_macs) {
+  Geometry geo;
+  geo.num_blocks = 36;
+  geo.blocks_per_line = 4;
+  geo.num_lines = 9;
+  geo.granule_blocks = 8;
+  geo.separate_macs = separate_macs;
+  return geo;
+}
+
+TEST(DeltaGeometry, TailGranuleMath) {
+  const Geometry geo = tail_geometry(true);
+  EXPECT_EQ(geo.num_granules(), 5u);
+  EXPECT_EQ(geo.lines_per_granule(), 2u);
+  EXPECT_EQ(geo.blocks_in(3), 8u);
+  EXPECT_EQ(geo.blocks_in(4), 4u);  // tail
+  EXPECT_EQ(geo.lines_in(3), 2u);
+  EXPECT_EQ(geo.lines_in(4), 1u);  // tail
+  EXPECT_EQ(geo.dirty_words(), 1u);
+  // Full granule: 8 x (64 ciphertext + 8 lane + 8 mac) + 2 x 64 counters.
+  EXPECT_EQ(geo.payload_bytes(0), 8 * (64 + 8 + 8) + 2 * 64u);
+  EXPECT_EQ(geo.payload_bytes(4), 4 * (64 + 8 + 8) + 1 * 64u);
+  Geometry no_macs = geo;
+  no_macs.separate_macs = false;
+  EXPECT_EQ(no_macs.payload_bytes(0), 8 * (64 + 8) + 2 * 64u);
+}
+
+TEST(DeltaDirtyEncode, CleanBitmapIsAllSelfCopy) {
+  const Geometry geo = tail_geometry(false);
+  const Image base = make_image(geo, 1);
+  std::vector<std::uint64_t> dirty(geo.dirty_words(), 0);
+  std::vector<std::uint8_t> cmd;
+  EXPECT_EQ(encode_from_dirty(geo, base.view(), dirty, cmd), 0u);
+  // One coalesced self-COPY covering everything: 25 wire bytes.
+  EXPECT_EQ(cmd.size(), 25u);
+  expect_roundtrip(geo, base, base, cmd);
+}
+
+TEST(DeltaDirtyEncode, DirtyGranulesShipAsAdds) {
+  for (const bool macs : {false, true}) {
+    const Geometry geo = tail_geometry(macs);
+    const Image base = make_image(geo, 2);
+    Image target = base;
+    // Mutate granules 1 and 4 (the tail) — including a counter byte, so
+    // every section's splice is exercised.
+    target.ciphertext[geo.block_start(1)][0] ^= 0xA5;
+    target.counters[geo.line_start(4) * 64] ^= 0x5A;
+    if (macs) target.macs[geo.block_start(4)] ^= 1;
+    std::vector<std::uint64_t> dirty(geo.dirty_words(), 0);
+    dirty[0] = (1u << 1) | (1u << 4);
+    std::vector<std::uint8_t> cmd;
+    EXPECT_EQ(encode_from_dirty(geo, target.view(), dirty, cmd), 2u);
+    expect_roundtrip(geo, base, target, cmd);
+  }
+}
+
+TEST(DeltaDirtyEncode, AllDirtyShipsWholeImage) {
+  const Geometry geo = tail_geometry(true);
+  const Image base = make_image(geo, 3);
+  const Image target = make_image(geo, 4);
+  std::vector<std::uint64_t> dirty(geo.dirty_words(), ~0ull);
+  std::vector<std::uint8_t> cmd;
+  EXPECT_EQ(encode_from_dirty(geo, target.view(), dirty, cmd),
+            geo.num_granules());
+  expect_roundtrip(geo, base, target, cmd);
+}
+
+TEST(DeltaDiffEncode, IdenticalImagesNeedZeroAdds) {
+  const Geometry geo = tail_geometry(true);
+  const Image base = make_image(geo, 5);
+  std::vector<std::uint8_t> cmd;
+  EXPECT_EQ(encode_from_diff(geo, base.view(), base.view(), cmd), 0u);
+  // Self-match preferred: one coalesced self-COPY, no payload.
+  EXPECT_EQ(cmd.size(), 25u);
+  expect_roundtrip(geo, base, base, cmd);
+}
+
+TEST(DeltaDiffEncode, FindsCrossCopiesAndAdds) {
+  const Geometry geo = tail_geometry(false);
+  const Image base = make_image(geo, 6);
+  Image target = make_image(geo, 7);
+  // Target granule 0 = base granule 2 (a cross-COPY the hash diff must
+  // find); granule 1 = base granule 1 (self); granules 2..4 are new.
+  copy_granule(geo, base, 2, target, 0);
+  copy_granule(geo, base, 1, target, 1);
+  std::vector<std::uint8_t> cmd;
+  const std::uint64_t adds =
+      encode_from_diff(geo, base.view(), target.view(), cmd);
+  EXPECT_EQ(adds, 3u);
+  expect_roundtrip(geo, base, target, cmd);
+}
+
+TEST(DeltaDiffEncode, SwapCycleBrokenByDemotion) {
+  // Granules 0 and 1 swap: COPY 0<-1 and COPY 1<-0 form a cycle no
+  // in-place order satisfies, so the encoder must demote one to an ADD.
+  const Geometry geo = tail_geometry(true);
+  const Image base = make_image(geo, 8);
+  Image target = base;
+  copy_granule(geo, base, 1, target, 0);
+  copy_granule(geo, base, 0, target, 1);
+  std::vector<std::uint8_t> cmd;
+  const std::uint64_t adds =
+      encode_from_diff(geo, base.view(), target.view(), cmd);
+  EXPECT_EQ(adds, 1u) << "exactly one side of the swap ships as payload";
+  expect_roundtrip(geo, base, target, cmd);
+}
+
+TEST(DeltaDiffEncode, ChainedMoveOrderedForInPlaceApply) {
+  // Target: 0 <- base1, 1 <- base2, 2 <- new. An in-place apply must
+  // read base granule 1 before overwriting it — acyclic, but order
+  // matters; a stream-order apply only works if Kahn emitted it right.
+  const Geometry geo = tail_geometry(false);
+  const Image base = make_image(geo, 9);
+  Image target = make_image(geo, 10);
+  copy_granule(geo, base, 1, target, 0);
+  copy_granule(geo, base, 2, target, 1);
+  std::vector<std::uint8_t> cmd;
+  encode_from_diff(geo, base.view(), target.view(), cmd);
+  expect_roundtrip(geo, base, target, cmd);
+}
+
+TEST(DeltaDiffEncode, RandomizedRoundTrips) {
+  Xoshiro256 rng(0xD17F);
+  for (int trial = 0; trial < 20; ++trial) {
+    Geometry geo;
+    geo.num_blocks = 8 + rng.next_below(64);
+    geo.blocks_per_line = 4;
+    geo.num_lines = (geo.num_blocks + 3) / 4;
+    geo.granule_blocks = 8;
+    geo.separate_macs = (trial & 1) != 0;
+    const Image base = make_image(geo, 100 + trial);
+    Image target = make_image(geo, 200 + trial);
+    // Random granule-level mixture of self, cross, and fresh content.
+    for (std::uint64_t g = 0; g < geo.num_granules(); ++g) {
+      const std::uint64_t pick = rng.next_below(3);
+      const std::uint64_t src = rng.next_below(geo.num_granules());
+      if (pick == 0 && geo.blocks_in(src) == geo.blocks_in(g))
+        copy_granule(geo, base, src, target, g);
+      else if (pick == 1)
+        copy_granule(geo, base, g, target, g);
+    }
+    std::vector<std::uint8_t> cmd;
+    encode_from_diff(geo, base.view(), target.view(), cmd);
+    expect_roundtrip(geo, base, target, cmd);
+  }
+}
+
+// ----------------------------------------------------- parser rejection
+
+/// Hand-rolled wire helpers for malformed-stream tests.
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  std::uint8_t le[8];
+  store_le64(le, v);
+  out.insert(out.end(), le, le + 8);
+}
+void put_copy(std::vector<std::uint8_t>& out, std::uint64_t dst,
+              std::uint64_t n, std::uint64_t src) {
+  out.push_back(Command::kCopy);
+  put_u64(out, dst);
+  put_u64(out, n);
+  put_u64(out, src);
+}
+
+TEST(DeltaParse, RejectsMalformedStreams) {
+  const Geometry geo = tail_geometry(false);
+  std::vector<Command> cmds;
+
+  // Valid baseline: one self-COPY over all 5 granules.
+  std::vector<std::uint8_t> ok;
+  put_copy(ok, 0, geo.num_granules(), 0);
+  ASSERT_TRUE(parse(geo, ok, cmds));
+
+  // Every proper prefix is a truncation.
+  for (std::size_t keep = 0; keep < ok.size(); ++keep) {
+    EXPECT_FALSE(parse(
+        geo, std::span<const std::uint8_t>(ok.data(), keep), cmds))
+        << "kept " << keep;
+  }
+
+  std::vector<std::uint8_t> bad;
+  // Unknown opcode.
+  bad = ok;
+  bad[0] = 7;
+  EXPECT_FALSE(parse(geo, bad, cmds));
+  // Zero-length command.
+  bad.clear();
+  put_copy(bad, 0, 0, 0);
+  put_copy(bad, 0, geo.num_granules(), 0);
+  EXPECT_FALSE(parse(geo, bad, cmds));
+  // Destination out of bounds.
+  bad.clear();
+  put_copy(bad, 1, geo.num_granules(), 1);
+  EXPECT_FALSE(parse(geo, bad, cmds));
+  // Source out of bounds.
+  bad.clear();
+  put_copy(bad, 0, geo.num_granules(), 1);
+  EXPECT_FALSE(parse(geo, bad, cmds));
+  // Double cover.
+  bad.clear();
+  put_copy(bad, 0, geo.num_granules(), 0);
+  put_copy(bad, 2, 1, 2);
+  EXPECT_FALSE(parse(geo, bad, cmds));
+  // Incomplete cover.
+  bad.clear();
+  put_copy(bad, 0, geo.num_granules() - 1, 0);
+  EXPECT_FALSE(parse(geo, bad, cmds));
+  // Cross-COPY pairing a full source with the short tail destination:
+  // shapes differ, so the parser must refuse even though both indices
+  // are in range.
+  bad.clear();
+  put_copy(bad, 0, geo.num_granules() - 1, 0);
+  put_copy(bad, 4, 1, 0);
+  EXPECT_FALSE(parse(geo, bad, cmds));
+  // ADD whose payload is cut short.
+  bad.clear();
+  put_copy(bad, 0, geo.num_granules() - 1, 0);
+  bad.push_back(Command::kAdd);
+  put_u64(bad, 4);
+  put_u64(bad, 1);
+  bad.resize(bad.size() + geo.payload_bytes(4) - 1, 0xEE);
+  EXPECT_FALSE(parse(geo, bad, cmds));
+  // ...and whole again with the last payload byte present.
+  bad.push_back(0xEE);
+  EXPECT_TRUE(parse(geo, bad, cmds));
+}
+
+}  // namespace
+}  // namespace secmem::delta

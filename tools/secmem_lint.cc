@@ -248,10 +248,14 @@ constexpr Rule kNoThrowEngine = {
     "exceptions; only argument-contract throws (std::out_of_range, "
     "std::invalid_argument, std::length_error) are allowed"};
 
-/// First dotted segment of a stat name ("engine.reads" -> "engine").
+/// Registered stat namespaces. Entries may themselves be dotted
+/// ("snapshot.delta"): a stat name passes if its first segment OR its
+/// first two segments match an entry, so sub-namespaces can be carved
+/// out without opening the whole parent.
 const std::set<std::string, std::less<>> kStatNamespaces = {
-    "bench", "cache", "dram",     "engine", "metacache",
-    "reenc", "sim",   "snapshot", "trace",  "tree_cache"};
+    "bench",     "cache", "dram",     "engine",        "metacache",
+    "reenc",     "sim",   "snapshot", "snapshot.delta", "trace",
+    "tree_cache"};
 
 bool starts_with(std::string_view s, std::string_view prefix) {
   return s.substr(0, prefix.size()) == prefix;
@@ -448,8 +452,15 @@ class Linter {
           if (v.code_strings[q] == '\\') break;  // escapes: give up, skip
           name += v.code_strings[q];
         }
-        const std::string head = name.substr(0, name.find('.'));
-        if (kStatNamespaces.count(head) == 0)
+        const std::size_t dot1 = name.find('.');
+        const std::string head = name.substr(0, dot1);
+        bool known = kStatNamespaces.count(head) != 0;
+        if (!known && dot1 != std::string::npos) {
+          const std::string head2 =
+              name.substr(0, name.find('.', dot1 + 1));
+          known = kStatNamespaces.count(head2) != 0;
+        }
+        if (!known)
           add(rel, text, p, kStatName,
               "\"" + name + "\" via " + method + "()");
       }

@@ -57,7 +57,12 @@ void usage(const char* argv0) {
       "                      forced to 1 for --engine plain)\n"
       "  --tree-cache-kb N   verified-frontier tree cache per engine/shard\n"
       "                      in KB; 0 = eager tree walks  (default 8;\n"
-      "                      SECMEM_TREE_CACHE env var wins)\n",
+      "                      SECMEM_TREE_CACHE env var wins)\n"
+      "  --delta-save FILE   engine mode: after the run, seal a full base\n"
+      "                      image, re-dirty the hot set, and write the\n"
+      "                      incremental delta image to FILE (implies\n"
+      "                      --engine; SECMEM_DELTA_SNAPSHOT=0 falls back\n"
+      "                      to a full image)\n",
       argv0);
 }
 
@@ -84,7 +89,8 @@ int run_functional_engine(const SystemConfig& config,
                           unsigned shards, unsigned threads,
                           std::uint64_t refs_per_thread, bool dump_stats,
                           const std::string& metrics_json,
-                          unsigned tree_cache_kb) {
+                          unsigned tree_cache_kb,
+                          const std::string& delta_save_path) {
   SecureMemoryConfig mem_config;
   mem_config.size_bytes = config.protected_bytes;
   mem_config.scheme = config.scheme;
@@ -156,6 +162,39 @@ int run_functional_engine(const SystemConfig& config,
                 static_cast<unsigned long long>(stats.tree_cache_hits),
                 static_cast<unsigned long long>(stats.tree_cache_misses));
   }
+  if (!delta_save_path.empty()) {
+    // Seal a full base image (aligns the engine's snapshot chain), touch
+    // the hot set again, then emit the incremental image: the on-disk
+    // artifact a crash/restore loop would ship per checkpoint.
+    std::vector<std::byte> base;
+    if (memory->save(base) != Status::kOk) {
+      std::fprintf(stderr, "error: base save failed\n");
+      return 1;
+    }
+    Xoshiro256 rng(config.seed ^ 0xde17a);
+    DataBlock block_data{};
+    block_data[0] = 0xd1;
+    for (unsigned i = 0; i < 1024; ++i) {
+      if (memory->write_block(rng.next_below(hot_blocks), block_data) !=
+          Status::kOk)
+        ++failures;
+    }
+    std::ofstream delta_out(delta_save_path, std::ios::binary);
+    if (!delta_out || memory->save_delta(delta_out) != Status::kOk ||
+        !delta_out.good()) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   delta_save_path.c_str());
+      return 1;
+    }
+    const auto delta_bytes =
+        static_cast<unsigned long long>(delta_out.tellp());
+    std::printf("full image      %llu bytes\n",
+                static_cast<unsigned long long>(base.size()));
+    std::printf("delta image     %llu bytes -> %s (%.1fx smaller)\n",
+                delta_bytes, delta_save_path.c_str(),
+                delta_bytes ? static_cast<double>(base.size()) / delta_bytes
+                            : 0.0);
+  }
   if (!metrics_json.empty()) {
     StatRegistry registry;
     memory->publish_metrics(registry);
@@ -200,6 +239,7 @@ int main(int argc, char** argv) {
   unsigned threads = 4;
   unsigned tree_cache_kb = SecureMemoryConfig{}.tree_cache_kb;
   bool protected_mb_given = false;
+  std::string delta_save_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -255,6 +295,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--tree-cache-kb") {
       tree_cache_kb = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
       engine_mode = true;
+    } else if (arg == "--delta-save") {
+      delta_save_path = value();
+      engine_mode = true;
     } else if (arg == "--seed") {
       config.seed = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--stats") {
@@ -291,7 +334,8 @@ int main(int argc, char** argv) {
       if (engine_kind == EngineKind::kPlain) threads = 1;
       return run_functional_engine(config, profile_by_name(workload),
                                    engine_kind, shards, threads, refs,
-                                   dump_stats, metrics_json, tree_cache_kb);
+                                   dump_stats, metrics_json, tree_cache_kb,
+                                   delta_save_path);
     }
     const WorkloadProfile& profile = profile_by_name(workload);
     SystemSimulator sim(config, profile);
