@@ -18,6 +18,8 @@ enum class [[nodiscard]] Status : std::uint8_t {
   kCorrectedData,       ///< 1-2 data bits repaired by flip-and-check
   kCorrectedWord,       ///< SEC-DED corrected word(s) (separate-MAC mode)
   kIntegrityViolation,  ///< tamper or uncorrectable fault in data/MAC
+  kSnapshotIoError,     ///< snapshot stream write failed; the chain did
+                        ///< not advance — retry or fall back to save()
   kCounterTampered,     ///< counter storage failed tree authentication
   kRegionPoisoned,      ///< engine fail-closed (e.g. rotation rollback
                         ///< failure left shards split-keyed); restore()
@@ -31,6 +33,7 @@ constexpr const char* to_string(Status status) noexcept {
     case Status::kCorrectedData: return "corrected-data";
     case Status::kCorrectedWord: return "corrected-word";
     case Status::kIntegrityViolation: return "integrity-violation";
+    case Status::kSnapshotIoError: return "snapshot-io-error";
     case Status::kCounterTampered: return "counter-tampered";
     case Status::kRegionPoisoned: return "region-poisoned";
   }

@@ -106,6 +106,22 @@ std::uint64_t CwMac::compute(
   return compute_with_pad(pad_for(addr, counter), message);
 }
 
+std::uint64_t CwMac::compute_prf(
+    std::uint64_t domain,
+    std::span<const std::uint8_t> message) const noexcept {
+  // PRF tweak: [ hash(8B) | domain(7B) | 0x5A ]. The final byte
+  // domain-separates PRF inputs from pad tweaks (0xA5) and keystream
+  // chunk bytes (0..3); the hash rides INSIDE the AES input, so the
+  // tag is a PRP image of the message digest, not an XOR mask of it.
+  assert(domain < (std::uint64_t{1} << 56));
+  Aes128::Block in{};
+  store_le64(in.data(), polyhash(message));
+  for (int i = 0; i < 7; ++i)
+    in[8 + i] = static_cast<std::uint8_t>(domain >> (8 * i));
+  in[15] = 0x5A;
+  return load_le64(pad_.encrypt(in).data());
+}
+
 void CwMac::compute_batch(std::span<const std::uint64_t> addrs,
                           std::span<const std::uint64_t> counters,
                           std::span<const DataBlock> blocks,

@@ -63,6 +63,26 @@ class CwMac {
   std::uint64_t compute(std::uint64_t addr, std::uint64_t counter,
                         std::span<const std::uint8_t> message) const noexcept;
 
+  /// Nonce-free PRF-style tag, bound to a domain constant instead of an
+  /// (addr, counter) pad:
+  ///
+  ///   tag = AES_k2( polyhash_h(message) ‖ domain ‖ PRF_DOMAIN )
+  ///
+  /// The universal-hash output is ENCRYPTED rather than XOR-masked, so
+  /// two tags never leak a hash-key equation no matter how many
+  /// messages share the domain — the standard hash-then-PRF
+  /// composition (an ε-almost-universal hash fed into a PRP is a
+  /// secure MAC with no counter discipline). Use this wherever tweak
+  /// uniqueness cannot be structurally guaranteed (snapshot-chain
+  /// seals, delta command MACs — chain roots repeat per alignment and
+  /// epochs reset on restore); the data path keeps the cheaper XOR
+  /// construction, whose (addr, counter) freshness the write-counter
+  /// scheme enforces. `domain` must fit 56 bits; returns the full
+  /// 64-bit tag (these never share an ECC lane with code bits).
+  std::uint64_t compute_prf(std::uint64_t domain,
+                            std::span<const std::uint8_t> message)
+      const noexcept;
+
   /// Convenience for 64-byte data blocks.
   std::uint64_t compute_block(std::uint64_t addr, std::uint64_t counter,
                               const DataBlock& block) const noexcept {

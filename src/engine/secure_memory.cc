@@ -932,10 +932,13 @@ namespace {
 constexpr char kImageMagic[8] = {'S', 'E', 'C', 'M', 'E', 'M', '0', '1'};
 constexpr char kDeltaMagic[8] = {'S', 'E', 'C', 'M', 'D', 'L', 'T', '1'};
 
-/// Domain-separation addresses for the snapshot-chain MACs (never valid
-/// block addresses — block addrs are region offsets).
-constexpr std::uint64_t kSealAddr = 0x5ea1'0000'0000'0001ULL;
-constexpr std::uint64_t kCmdMacAddr = 0x5ea1'0000'0000'0002ULL;
+/// Domain constants for the snapshot-chain MACs (CwMac::compute_prf,
+/// ≤56 bits). These MACs are nonce-FREE by construction: chain roots
+/// repeat at every alignment point and epochs reset on restore, so the
+/// data path's XOR-pad Carter-Wegman form — whose security dies with
+/// the first reused (addr, counter) pad — must never be used here.
+constexpr std::uint64_t kSealDomain = 0x5ea1'0000'0001ULL;
+constexpr std::uint64_t kCmdMacDomain = 0x5ea1'0000'0002ULL;
 
 void write_u64(std::ostream& out, std::uint64_t v) {
   std::uint8_t buf[8];
@@ -1020,8 +1023,14 @@ Status SecureMemory::save(std::ostream& out) {
     out.write(reinterpret_cast<const char*>(bytes.data()),
               static_cast<std::streamsize>(bytes.size()));
   }
-  // A full image is always a valid delta base: align the chain so the
-  // next save_delta diffs against exactly what was just persisted.
+  // A full image is always a valid delta base — but only if it actually
+  // persisted. On stream failure keep the previous alignment point (it
+  // still describes the last image that made it out) and surface the
+  // error; a silent kOk here would chain future deltas on a lost base.
+  out.flush();
+  if (!out) return Status::kSnapshotIoError;
+  // Align so the next save_delta diffs against exactly what was just
+  // persisted.
   align_chain();
   return Status::kOk;
 }
@@ -1264,7 +1273,12 @@ delta::ConstSections SecureMemory::delta_sections() const noexcept {
 
 std::uint64_t SecureMemory::seal_root_bytes(
     std::span<const std::uint8_t> root_bytes) const noexcept {
-  return seal_mac_.compute(kSealAddr, 0, root_bytes);
+  // PRF mode, not the XOR-pad data MAC: every alignment point seals a
+  // different root byte string under this one key, and both the seal
+  // (delta header, plaintext) and the root bytes (trailer/full image)
+  // are attacker-visible — XOR-pad reuse would hand out known-plaintext
+  // hash-key equations. The PRF form has no uniqueness requirement.
+  return seal_mac_.compute_prf(kSealDomain, root_bytes);
 }
 
 std::uint64_t SecureMemory::root_seal() {
@@ -1287,7 +1301,10 @@ std::uint64_t SecureMemory::delta_cmd_mac(
   // The MAC covers everything a decoder acts on: the geometry header,
   // both epochs, the base seal, the command length, the command bytes,
   // and the expected-root trailer. Only the magic and the MAC itself
-  // stay outside. new_epoch doubles as the MAC counter.
+  // stay outside. The epochs are authenticated METADATA only, never a
+  // MAC nonce — the epoch space is reused under one seal key (restore
+  // resets it, encode_delta pins 0→1), so only the nonce-free PRF form
+  // below is sound here.
   std::vector<std::uint8_t> message;
   message.reserve(8 * 8 + cmd.size() + trailer.size());
   const auto put = [&message](std::uint64_t v) {
@@ -1305,7 +1322,7 @@ std::uint64_t SecureMemory::delta_cmd_mac(
   put(cmd.size());
   message.insert(message.end(), cmd.begin(), cmd.end());
   message.insert(message.end(), trailer.begin(), trailer.end());
-  return seal_mac_.compute(kCmdMacAddr, new_epoch, message);
+  return seal_mac_.compute_prf(kCmdMacDomain, message);
 }
 
 Status SecureMemory::save_delta(std::ostream& out) {
@@ -1349,6 +1366,14 @@ Status SecureMemory::save_delta(std::ostream& out) {
             static_cast<std::streamsize>(cmd.size()));
   out.write(reinterpret_cast<const char*>(trailer.data()),
             static_cast<std::streamsize>(trailer.size()));
+
+  // A lost delta breaks the chain SILENTLY — every later delta would
+  // seal against a base that never persisted — so a stream failure must
+  // not advance it. Epoch, base seal, and dirty bitmap stay put: the
+  // next save_delta re-emits everything since the last good alignment
+  // point against the still-valid old base.
+  out.flush();
+  if (!out) return Status::kSnapshotIoError;
 
   snap_epoch_ = new_epoch;
   align_chain();
@@ -1562,8 +1587,8 @@ Status SecureMemory::encode_delta(std::span<const std::uint8_t> base_image,
   write_u64(out, static_cast<std::uint64_t>(config_.scheme));
   write_u64(out, static_cast<std::uint64_t>(config_.mac_placement));
   write_u64(out, config_.generic_delta_bits);
-  write_u64(out, 0);  // base epoch (informational — acceptance is by seal)
-  write_u64(out, 1);  // new epoch
+  write_u64(out, 0);  // base epoch (informational — acceptance is by seal,
+  write_u64(out, 1);  // and the epochs are MAC'd metadata, not nonces)
   write_u64(out, base_seal);
   write_u64(out, cmd.size());
   write_u64(out, mac);
@@ -1571,7 +1596,8 @@ Status SecureMemory::encode_delta(std::span<const std::uint8_t> base_image,
             static_cast<std::streamsize>(cmd.size()));
   out.write(reinterpret_cast<const char*>(target.root.data()),
             static_cast<std::streamsize>(target.root.size()));
-  return Status::kOk;
+  out.flush();
+  return out ? Status::kOk : Status::kSnapshotIoError;
 }
 
 bool SecureMemory::rotate_master_key(std::uint64_t new_master) {

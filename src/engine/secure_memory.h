@@ -280,6 +280,18 @@ class SecureMemory : public SecureMemoryLike {
   std::uint64_t snapshot_epoch() const noexcept { return snap_epoch_; }
   bool has_snapshot_base() const noexcept { return has_base_; }
 
+  /// Invalidate the delta base so the next save_delta emits a full
+  /// image. For facades whose container-level stream write can fail
+  /// AFTER the shard engines already aligned their chains into private
+  /// buffers (ShardedSecureMemory::save/save_delta): the aligned bases
+  /// describe an image that never persisted, so deltas against them
+  /// would apply nowhere — breaking the chain restores coherence at the
+  /// cost of one full fallback image.
+  void break_chain() noexcept {
+    has_base_ = false;
+    mark_all_dirty();
+  }
+
   /// Exact byte size of the image save() emits for this engine —
   /// facades slicing a concatenated multi-engine image (the sharded
   /// container's parallel restore) size their cuts with this.

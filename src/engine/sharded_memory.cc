@@ -701,6 +701,14 @@ void ShardedSecureMemory::attach_trace(TraceRing* ring) {
   }
 }
 
+void ShardedSecureMemory::break_shard_chains() {
+  for (unsigned s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    const SeqWriteLock lock(shard.mu);
+    shard.engine->break_chain();
+  }
+}
+
 Status ShardedSecureMemory::save(std::ostream& out) {
   // A poisoned region writes NOTHING: a partial or split-keyed image
   // must never be mistakable for a good snapshot.
@@ -721,6 +729,7 @@ Status ShardedSecureMemory::save(std::ostream& out) {
       const SeqWriteLock lock(shard.mu);
       folded = worse(folded, shard.engine->save(out));
     }
+    if (!status_ok(folded)) break_shard_chains();
     return folded;
   }
 
@@ -745,6 +754,15 @@ Status ShardedSecureMemory::save(std::ostream& out) {
     folded = worse(folded, statuses[s]);
     out.write(images[s].data(),
               static_cast<std::streamsize>(images[s].size()));
+  }
+  // The shard engines aligned their chains into the private buffers; if
+  // the container-level write then failed, those bases describe an image
+  // that never persisted. Break the chains so the next save_delta falls
+  // back to a full image instead of sealing deltas nothing can apply.
+  out.flush();
+  if (!out) {
+    break_shard_chains();
+    folded = worse(folded, Status::kSnapshotIoError);
   }
   return folded;
 }
@@ -932,6 +950,15 @@ Status ShardedSecureMemory::save_delta(std::ostream& out) {
     folded = worse(folded, statuses[s]);
     out.write(images[s].data(),
               static_cast<std::streamsize>(images[s].size()));
+  }
+  // The shard engines aligned their chains into the private buffers; if
+  // the container-level write then failed, those bases describe an image
+  // that never persisted. Break the chains so the next save_delta falls
+  // back to a full image instead of sealing deltas nothing can apply.
+  out.flush();
+  if (!out) {
+    break_shard_chains();
+    folded = worse(folded, Status::kSnapshotIoError);
   }
   return folded;
 }

@@ -301,6 +301,11 @@ class ShardedSecureMemory : public SecureMemoryLike {
   /// bytes and hold no locks yet.
   bool restore_full_tail(std::istream& in, SnapshotTiming* timing);
   bool restore_delta_tail(std::istream& in, SnapshotTiming* timing);
+  /// Invalidate every shard's delta base (see SecureMemory::break_chain)
+  /// after a container-level snapshot stream failure: the shards aligned
+  /// on an image that never persisted, so the next save_delta must fall
+  /// back to a full image.
+  void break_shard_chains();
   /// Fail-closed verified-read outcome while poisoned.
   ReadResult poisoned_read() const noexcept;
   /// Account + trace one refused mutation on a poisoned region; returns

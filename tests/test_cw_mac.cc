@@ -138,6 +138,48 @@ TEST(CwMac, NonceReuseLeaksHashDifference) {
   EXPECT_NE((t1 ^ t2_fresh) & kMacMask, actual);
 }
 
+TEST(CwMac, PrfModeDeterministicAndDomainSeparated) {
+  CwMac mac(test_key());
+  const DataBlock m = pattern_block(3);
+  EXPECT_EQ(mac.compute_prf(1, m), mac.compute_prf(1, m));
+  EXPECT_NE(mac.compute_prf(1, m), mac.compute_prf(2, m));
+  // Disjoint from the XOR-pad tag family over the same bytes: the AES
+  // inputs differ in the 0x5A/0xA5 separator byte.
+  EXPECT_NE(mac.compute_prf(1, m), mac.compute_block(1, 0, m));
+}
+
+TEST(CwMac, PrfModeSensitiveToMessageAndLength) {
+  CwMac mac(test_key());
+  DataBlock m = pattern_block(4);
+  const std::uint64_t base = mac.compute_prf(7, m);
+  for (std::size_t bit = 0; bit < 512; bit += 31) {
+    m[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_NE(mac.compute_prf(7, m), base) << "bit " << bit;
+    m[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+  const std::uint8_t s1[] = {'a', 'b', 'c'};
+  const std::uint8_t s2[] = {'a', 'b', 'c', 0};
+  EXPECT_NE(mac.compute_prf(7, s1), mac.compute_prf(7, s2));
+}
+
+TEST(CwMac, PrfModeDomainReuseDoesNotLeakHashDifference) {
+  // The snapshot layer MACs MANY messages under one fixed domain —
+  // exactly the pad-reuse setting NonceReuseLeaksHashDifference above
+  // shows is fatal for the XOR construction (tag XORs hand out hash-key
+  // equations). In PRF mode the hash output is encrypted, not masked,
+  // so the tag difference never equals the hash difference.
+  CwMac mac(test_key());
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 64; ++i) {
+    DataBlock m1, m2;
+    for (auto& b : m1) b = static_cast<std::uint8_t>(rng.next());
+    for (auto& b : m2) b = static_cast<std::uint8_t>(rng.next());
+    const std::uint64_t hash_diff =
+        mac.block_polyhash(m1) ^ mac.block_polyhash(m2);
+    EXPECT_NE(mac.compute_prf(5, m1) ^ mac.compute_prf(5, m2), hash_diff);
+  }
+}
+
 TEST(CwMac, CollisionRateSanity) {
   // 56-bit tags over random blocks should essentially never collide in a
   // small sample.

@@ -12,8 +12,10 @@
 #include <cstdlib>
 #include <memory>
 #include <optional>
+#include <ostream>
 #include <span>
 #include <sstream>
+#include <streambuf>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -415,6 +417,96 @@ TEST(DeltaSharded, AggregatesDirtyGranulesAndTimesRestores) {
   ASSERT_TRUE(replica.restore_timed(full_in, full_timing));
   EXPECT_GT(full_timing.stage_s, 0.0);
   EXPECT_GT(full_timing.commit_s, 0.0);
+}
+
+// --------------------------------------------- snapshot IO failures
+
+/// A streambuf that accepts `capacity` bytes and then fails every
+/// further write — a full disk / closed pipe stand-in.
+class TruncatingSink : public std::streambuf {
+ public:
+  explicit TruncatingSink(std::size_t capacity) : capacity_(capacity) {}
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (traits_type::eq_int_type(ch, traits_type::eof()))
+      return traits_type::not_eof(ch);
+    if (written_ >= capacity_) return traits_type::eof();
+    ++written_;
+    return ch;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t written_ = 0;
+};
+
+TEST(DeltaSaveIoFailure, FailedDeltaSaveDoesNotAdvanceChain) {
+  EnvOverride pin("SECMEM_DELTA_SNAPSHOT", "1");
+  SecureMemory source(small_config());
+  SecureMemory replica(small_config());
+  populate(source, 41);
+  ASSERT_TRUE(apply_delta(replica, delta_of(source)));
+
+  ASSERT_EQ(source.write_block(8, pattern(0x88)), Status::kOk);
+  const std::uint64_t epoch = source.snapshot_epoch();
+  const std::uint64_t dirty = source.dirty_granules();
+  ASSERT_GE(dirty, 1u);
+
+  // A lost delta must not advance the chain: otherwise every later
+  // delta seals against a base no replica ever saw.
+  TruncatingSink sink(32);  // dies mid-header
+  std::ostream bad(&sink);
+  EXPECT_EQ(source.save_delta(bad), Status::kSnapshotIoError);
+  EXPECT_EQ(source.snapshot_epoch(), epoch);
+  EXPECT_EQ(source.dirty_granules(), dirty);
+  EXPECT_TRUE(source.has_snapshot_base());
+
+  // The chain still points at the replica's state, so the retry lands.
+  ASSERT_TRUE(apply_delta(replica, delta_of(source)));
+  EXPECT_EQ(image_of(source), image_of(replica));
+  EXPECT_EQ(replica.read_block(8).data, pattern(0x88));
+}
+
+TEST(DeltaSaveIoFailure, FailedFullSaveKeepsPreviousAlignmentPoint) {
+  EnvOverride pin("SECMEM_DELTA_SNAPSHOT", "1");
+  SecureMemory source(small_config());
+  SecureMemory replica(small_config());
+  populate(source, 43);
+  ASSERT_TRUE(apply_delta(replica, delta_of(source)));
+  ASSERT_EQ(source.write_block(12, pattern(0x21)), Status::kOk);
+
+  TruncatingSink sink(1000);  // well short of a full image
+  std::ostream bad(&sink);
+  EXPECT_EQ(source.save(bad), Status::kSnapshotIoError);
+
+  // The failed full save did NOT re-base the chain, so the next delta
+  // still chains on the replica's state.
+  ASSERT_TRUE(apply_delta(replica, delta_of(source)));
+  EXPECT_EQ(image_of(source), image_of(replica));
+  EXPECT_EQ(replica.read_block(12).data, pattern(0x21));
+}
+
+TEST(DeltaSaveIoFailure, ShardedContainerFailureBreaksChainsAndRecovers) {
+  EnvOverride pin("SECMEM_DELTA_SNAPSHOT", "1");
+  ShardedSecureMemory source(small_config(), 4);
+  ShardedSecureMemory replica(small_config(), 4);
+  populate(source, 47);
+  ASSERT_TRUE(apply_delta(replica, delta_of(source)));
+
+  ASSERT_EQ(source.write_block(5, pattern(0x51)), Status::kOk);
+  // The shard engines align their chains into private buffers BEFORE
+  // the container write can fail, so a container-level failure must
+  // break the chains: those bases describe an image nothing ever saw.
+  TruncatingSink sink(64);  // survives the header, dies in the payloads
+  std::ostream bad(&sink);
+  EXPECT_EQ(source.save_delta(bad), Status::kSnapshotIoError);
+
+  // The retry falls back to full shard images and still lands the
+  // replica on the source's exact state.
+  ASSERT_TRUE(apply_delta(replica, delta_of(source)));
+  EXPECT_EQ(image_of(source), image_of(replica));
+  EXPECT_EQ(replica.read_block(5).data, pattern(0x51));
 }
 
 // --------------------------------------------- cross-instance diffing
