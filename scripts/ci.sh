@@ -12,16 +12,19 @@ cd "$(dirname "$0")/.."
 fast=0
 [ "${1:-}" = "--fast" ] && fast=1
 
+echo "=== tier 1: secmem-lint (repository invariants) ==="
+# First, before any test leg: the linter builds in seconds and runs in
+# milliseconds, so invariant violations (variable-time compares, naked
+# mutexes, unverified snapshot applies, discarded Status, undocumented
+# env knobs, stale allowlist entries) fail the run before the expensive
+# presets start — see tools/lint/ and ARCHITECTURE.md "Static analysis
+# & enforced invariants".
+scripts/lint.sh
+
 echo "=== tier 1: default preset build + ctest ==="
 cmake --preset default
 cmake --build --preset default -j "$(nproc)"
 ctest --preset default -j "$(nproc)"
-
-echo "=== tier 1: secmem-lint (repository invariants) ==="
-# Constant-time compares, annotated mutexes, seeded sim randomness, stat
-# namespaces, crypto-backend seam — see tools/secmem_lint.cc and
-# ARCHITECTURE.md "Static analysis & enforced invariants".
-scripts/lint.sh
 
 echo "=== tier 1: portable crypto kernels (SECMEM_FORCE_PORTABLE=1) ==="
 # Same binaries, dispatch pinned to the scalar reference kernels — the
@@ -51,6 +54,12 @@ echo "=== tier 1: full-image snapshots only (SECMEM_DELTA_SNAPSHOT=0) ==="
 # full images and restore_delta only accepts them — the pre-delta
 # posture every delta-aware caller must degrade to cleanly.
 SECMEM_DELTA_SNAPSHOT=0 ctest --preset default -j "$(nproc)"
+
+echo "=== tier 1: scalar group re-encryption (SECMEM_BATCH_REENC=0) ==="
+# Same binaries with the batched re-encryption kernels kill-switched:
+# group drains re-encrypt block by block through the scalar path the
+# SIMD kernels must stay bit-identical to.
+SECMEM_BATCH_REENC=0 ctest --preset default -j "$(nproc)"
 
 if [ "$fast" -eq 0 ]; then
   echo "=== ASan + UBSan ==="

@@ -2,8 +2,12 @@
 # Run secmem-lint over the tree with the checked-in allowlist.
 # Builds the linter first if the build directory doesn't have it yet.
 #
-#   scripts/lint.sh            # lint src/, tools/, bench/
+#   scripts/lint.sh            # lint src/, tools/, bench/, examples/, tests/
+#   scripts/lint.sh --json     # same findings, machine-readable
 #   BUILD_DIR=build-foo scripts/lint.sh
+#
+# Always runs with --check-allowlist: a suppression that no longer
+# suppresses anything fails the run, so the allowlist can only shrink.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,4 +19,5 @@ if [[ ! -x "$LINT" ]]; then
   cmake --build "$BUILD_DIR" --target secmem-lint -j >/dev/null
 fi
 
-exec "$LINT" --root . --allowlist tools/secmem-lint.allow
+exec "$LINT" --root . --allowlist tools/secmem-lint.allow \
+  --check-allowlist "$@"

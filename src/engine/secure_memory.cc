@@ -1447,7 +1447,11 @@ std::optional<SecureMemory::StagedDelta> SecureMemory::stage_delta_tail(
 bool SecureMemory::commit_delta(StagedDelta&& staged) {
   const delta::Geometry geo = delta_geometry();
   delta::MutSections sections{ciphertext_, lanes_, macs_, counter_store_};
-  delta::apply(geo, staged.cmds, staged.cmd, sections);
+  // The staged delta was authenticated in stage_delta_tail (command MAC
+  // + base-seal ct_equal_u64, then delta::parse) before this commit ran;
+  // the stage/commit split is the verify-before-apply boundary itself.
+  delta::apply(geo, staged.cmds,  // secmem-lint: allow(verify-before-apply)
+               staged.cmd, sections);
 
   // Refresh the derived state of every granule the stream wrote:
   // counter-scheme registers from the new line bytes, tree leaves

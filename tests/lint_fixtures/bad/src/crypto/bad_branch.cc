@@ -1,0 +1,13 @@
+// Fixture: data-dependent control flow on secret-named values in
+// crypto code.
+// Never compiled — scanned by secmem-lint in tests/test_lint.cc.
+#include <cstdint>
+
+std::uint64_t leak_if(const std::uint8_t* key, std::uint64_t tag) {
+  if (key[0] & 1) return 3;  // rule: secret-branch
+  return tag ? 1 : 2;        // rule: secret-branch (ternary)
+}
+
+bool leak_short_circuit(std::uint64_t tag, std::uint64_t pad) {
+  return tag != 0 && pad != 0;  // rule: secret-branch (both operands)
+}

@@ -1,0 +1,9 @@
+// Fixture: an env knob with no CI leg and no documentation (this
+// fixture root has neither scripts/ci.sh nor README/ARCHITECTURE).
+// Never compiled — scanned by secmem-lint in tests/test_lint.cc.
+#include <cstdlib>
+
+bool rogue_enabled() {
+  const char* v = std::getenv("SECMEM_ROGUE_KNOB");  // rule: knob-registry (x2)
+  return v && v[0] == '1';
+}

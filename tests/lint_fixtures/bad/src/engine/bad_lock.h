@@ -1,0 +1,20 @@
+// Fixture: SECMEM_GUARDED_BY members touched in member functions that
+// construct no lock guard and carry no annotation.
+// Never compiled — scanned by secmem-lint in tests/test_lint.cc.
+#pragma once
+#include "common/thread_annotations.h"
+
+class BadLocked {
+ public:
+  int unguarded_peek() const {
+    return gen_;  // rule: lock-discipline
+  }
+  void unguarded_bump() {
+    table_ = gen_;  // rule: lock-discipline (both members)
+  }
+
+ private:
+  mutable secmem::Mutex mu_;
+  int gen_ SECMEM_GUARDED_BY(mu_);
+  int table_ SECMEM_GUARDED_BY(mu_);
+};

@@ -1,0 +1,6 @@
+// Fixture: an inline suppression that suppresses nothing — stale under
+// --check-allowlist, invisible without it.
+// Never compiled — scanned by secmem-lint in tests/test_lint.cc.
+int nothing_to_suppress() {
+  return 0;  // secmem-lint: allow(sim-rand)
+}

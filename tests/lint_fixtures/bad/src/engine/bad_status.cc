@@ -1,0 +1,25 @@
+// Fixture: Status results silently discarded.
+// Never compiled — scanned by secmem-lint in tests/test_lint.cc.
+#include "common/status.h"
+
+secmem::Status do_work();
+secmem::Status do_more();
+bool status_ok(secmem::Status s);
+void consume(secmem::Status s);
+
+void discard_entirely() {
+  secmem::Status st = do_work();  // rule: status-discard (never consulted)
+}
+
+void overwrite_before_read() {
+  secmem::Status st = do_work();
+  st = do_more();  // rule: status-discard (first result lost)
+  consume(st);
+}
+
+int trailing_dead_write() {
+  secmem::Status st = do_work();
+  if (!status_ok(st)) return 1;
+  st = do_more();  // rule: status-discard (value never read)
+  return 0;
+}

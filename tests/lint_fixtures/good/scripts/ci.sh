@@ -1,0 +1,4 @@
+#!/usr/bin/env bash
+# Fixture CI script: gives good_knob.cc's knob the required leg.
+set -euo pipefail
+SECMEM_GOOD_KNOB=0 ctest --preset default

@@ -1,0 +1,29 @@
+// Fixture: branch-free crypto shapes and the public-shape exemptions
+// the secret-branch rule must NOT fire on.
+// Never compiled — scanned by secmem-lint in tests/test_lint.cc.
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+// Straight-line XOR: secrets flow through data, never control.
+void xor_pad(std::uint8_t* out, const std::uint8_t* pad, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = out[i] ^ pad[i];
+}
+
+// Sizes are public; assert arguments are contract checks, compiled out.
+std::uint64_t fold_tags(const std::vector<std::uint64_t>& tags,
+                        const std::vector<std::uint64_t>& pads) {
+  assert(tags.size() == pads.size() && !tags.empty());
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < tags.size(); ++i) acc ^= tags[i] ^ pads[i];
+  return acc;
+}
+
+// Range-for over a secret container: the iteration count is its public
+// size, the values never steer control flow.
+std::uint64_t sum_keys(const std::vector<std::uint64_t>& keys) {
+  std::uint64_t acc = 0;
+  for (const std::uint64_t k : keys) acc += k;
+  return acc;
+}

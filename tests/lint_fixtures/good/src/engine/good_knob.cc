@@ -1,0 +1,9 @@
+// Fixture: a fully registered env knob — this fixture root's
+// scripts/ci.sh has a leg for it and README.md documents it.
+// Never compiled — scanned by secmem-lint in tests/test_lint.cc.
+#include <cstdlib>
+
+bool good_knob_enabled() {
+  const char* v = std::getenv("SECMEM_GOOD_KNOB");
+  return v == nullptr || v[0] != '0';
+}

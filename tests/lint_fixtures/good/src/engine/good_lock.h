@@ -1,0 +1,25 @@
+// Fixture: every sanctioned way to touch a guarded member.
+// Never compiled — scanned by secmem-lint in tests/test_lint.cc.
+#pragma once
+#include "common/thread_annotations.h"
+
+class GoodLocked {
+ public:
+  GoodLocked() { gen_ = 0; }  // constructors own the object exclusively
+
+  int peek() const {
+    const secmem::MutexLock lock(&mu_);
+    return gen_;
+  }
+
+  int caller_locked_peek() const SECMEM_REQUIRES(mu_) { return gen_; }
+
+  // Runtime lock set beyond the analysis — explicit opt-out.
+  int racy_stats_peek() const SECMEM_NO_THREAD_SAFETY_ANALYSIS {
+    return gen_;
+  }
+
+ private:
+  mutable secmem::Mutex mu_;
+  int gen_ SECMEM_GUARDED_BY(mu_);
+};

@@ -1,0 +1,29 @@
+// Fixture: Status flows the discard rule must NOT fire on.
+// Never compiled — scanned by secmem-lint in tests/test_lint.cc.
+#include "common/status.h"
+
+secmem::Status first();
+secmem::Status next();
+bool status_ok(secmem::Status s);
+
+// Both arms write, the join reads: not an overwrite.
+secmem::Status branches(bool flip) {
+  secmem::Status st = first();
+  if (flip)
+    st = next();
+  else
+    st = first();
+  return st;
+}
+
+// The loop back edge carries the last write into the next iteration's
+// read: not a trailing dead write.
+int loop_back_edge() {
+  secmem::Status st = first();
+  int bad = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (!status_ok(st)) ++bad;
+    st = next();
+  }
+  return bad;
+}

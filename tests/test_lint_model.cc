@@ -1,0 +1,284 @@
+// Direct unit tests of the secmem-lint lexer and function model — the
+// substrate every dataflow rule (verify-before-apply, status-discard,
+// lock-discipline, secret-branch, knob-registry) is written against.
+// These link secmem_lint_core and feed it source snippets as strings;
+// the end-to-end fixture runs live in test_lint.cc.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "func_model.h"
+#include "lexer.h"
+
+namespace {
+
+using secmem_lint::AssignSite;
+using secmem_lint::build_model;
+using secmem_lint::CallSite;
+using secmem_lint::extract_assigns;
+using secmem_lint::extract_calls;
+using secmem_lint::extract_local_decls;
+using secmem_lint::FileModel;
+using secmem_lint::FuncInfo;
+using secmem_lint::lex;
+using secmem_lint::LexedFile;
+using secmem_lint::LocalDecl;
+using secmem_lint::Tok;
+
+// ---------------------------------------------------------------- lexer
+
+TEST(LintLexer, StripBlanksCommentsAndStrings) {
+  const std::string src =
+      "int a; // memcmp in a comment\n"
+      "const char* s = \"memcmp(x, y)\"; /* and\n"
+      "memcmp here */ int b;\n";
+  const auto views = secmem_lint::strip(src);
+  // Same length and line structure as the original.
+  ASSERT_EQ(views.code.size(), src.size());
+  ASSERT_EQ(views.code_strings.size(), src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (src[i] == '\n') {
+      EXPECT_EQ(views.code[i], '\n');
+      EXPECT_EQ(views.code_strings[i], '\n');
+    }
+  }
+  // `code` hides all three memcmps; `code_strings` keeps the literal one.
+  EXPECT_EQ(views.code.find("memcmp"), std::string::npos);
+  EXPECT_NE(views.code_strings.find("memcmp"), std::string::npos);
+  EXPECT_EQ(views.code_strings.find("comment"), std::string::npos);
+}
+
+TEST(LintLexer, TokenKindsOffsetsAndLines) {
+  const LexedFile f = lex(
+      "x += 0x1fULL; // gone\n"
+      "s = \"lit\";\n"
+      "c = 'q';\n");
+  ASSERT_GE(f.tokens.size(), 11u);
+  EXPECT_EQ(f.tokens[0].kind, Tok::kIdent);
+  EXPECT_EQ(f.tokens[0].text, "x");
+  EXPECT_EQ(f.tokens[1].kind, Tok::kPunct);
+  EXPECT_EQ(f.tokens[1].text, "+=");  // greedy punctuator match
+  EXPECT_EQ(f.tokens[2].kind, Tok::kNumber);
+  EXPECT_EQ(f.tokens[2].text, "0x1fULL");
+  EXPECT_EQ(f.tokens[0].line, 1u);
+  bool saw_string = false, saw_char = false;
+  for (const auto& t : f.tokens) {
+    if (t.kind == Tok::kString) {
+      saw_string = true;
+      EXPECT_EQ(t.text, "\"lit\"");
+      EXPECT_EQ(t.line, 2u);
+    }
+    if (t.kind == Tok::kChar) {
+      saw_char = true;
+      EXPECT_EQ(t.line, 3u);
+    }
+    EXPECT_EQ(f.text.compare(t.pos, t.text.size(), t.text), 0)
+        << "token text must view its own offset";
+  }
+  EXPECT_TRUE(saw_string);
+  EXPECT_TRUE(saw_char);
+  // The comment produced no token.
+  for (const auto& t : f.tokens) EXPECT_NE(t.text, "gone");
+}
+
+TEST(LintLexer, RawStringsAreSingleTokens) {
+  const LexedFile f = lex("auto s = R\"(a \"quoted\" ) almost)\";\n");
+  int strings = 0;
+  for (const auto& t : f.tokens)
+    if (t.kind == Tok::kString) ++strings;
+  EXPECT_EQ(strings, 1);
+}
+
+// ----------------------------------------------------------- file model
+
+constexpr const char* kClassSrc = R"cc(
+class Engine {
+ public:
+  Engine() { gen_ = 0; }
+  int read(int addr) const;
+  void write(int addr, int v) { table_[addr] = v; }
+
+ private:
+  int gen_ SECMEM_GUARDED_BY(mu_);
+  int table_[16] SECMEM_GUARDED_BY(mu_);
+  Mutex mu_;
+};
+
+int Engine::read(int addr) const { return table_[addr]; }
+
+static int helper(std::istream& in, int n) {
+  int x = n;
+  return x;
+}
+)cc";
+
+TEST(LintModel, FindsFunctionsClassesAndParams) {
+  const LexedFile f = lex(kClassSrc);
+  const FileModel m = build_model(f);
+
+  const FuncInfo* ctor = nullptr;
+  const FuncInfo* write = nullptr;
+  const FuncInfo* read = nullptr;
+  const FuncInfo* helper = nullptr;
+  for (const FuncInfo& fn : m.funcs) {
+    if (fn.name == "Engine") ctor = &fn;
+    if (fn.name == "write") write = &fn;
+    if (fn.name == "read") read = &fn;
+    if (fn.name == "helper") helper = &fn;
+  }
+  ASSERT_NE(ctor, nullptr);
+  EXPECT_TRUE(ctor->is_ctor_or_dtor);
+  EXPECT_EQ(ctor->class_name, "Engine");
+
+  ASSERT_NE(write, nullptr);
+  EXPECT_FALSE(write->is_ctor_or_dtor);
+  EXPECT_EQ(write->class_name, "Engine");
+  ASSERT_EQ(write->params.size(), 2u);
+  EXPECT_EQ(write->params[0].name, "addr");
+  EXPECT_EQ(write->params[1].name, "v");
+
+  // Out-of-line definition: class name recovered from the qualifier.
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->class_name, "Engine");
+
+  ASSERT_NE(helper, nullptr);
+  EXPECT_EQ(helper->class_name, "");
+  ASSERT_EQ(helper->params.size(), 2u);
+  EXPECT_NE(helper->params[0].type.find("istream"), std::string::npos);
+  EXPECT_EQ(helper->params[0].name, "in");
+}
+
+TEST(LintModel, HarvestsGuardedMembers) {
+  const LexedFile f = lex(kClassSrc);
+  const FileModel m = build_model(f);
+  ASSERT_EQ(m.guarded.size(), 2u);
+  EXPECT_EQ(m.guarded[0].class_name, "Engine");
+  EXPECT_EQ(m.guarded[0].member, "gen_");
+  EXPECT_EQ(m.guarded[0].mutex, "mu_");
+  EXPECT_EQ(m.guarded[1].member, "table_");
+}
+
+TEST(LintModel, AnnotationFlagsAndLoops) {
+  const LexedFile f = lex(R"cc(
+struct S {
+  void locked() SECMEM_REQUIRES(mu_) { n_ = 1; }
+  void racy() SECMEM_NO_THREAD_SAFETY_ANALYSIS { n_ = 2; }
+  void spin() {
+    while (n_ < 3) { n_ = n_ + 1; }
+  }
+  int n_ SECMEM_GUARDED_BY(mu_);
+};
+)cc");
+  const FileModel m = build_model(f);
+  const FuncInfo* locked = nullptr;
+  const FuncInfo* racy = nullptr;
+  for (const FuncInfo& fn : m.funcs) {
+    if (fn.name == "locked") locked = &fn;
+    if (fn.name == "racy") racy = &fn;
+  }
+  ASSERT_NE(locked, nullptr);
+  EXPECT_TRUE(locked->requires_lock);
+  EXPECT_FALSE(locked->no_thread_safety);
+  ASSERT_NE(racy, nullptr);
+  EXPECT_TRUE(racy->no_thread_safety);
+  // The while body registered as a loop body (status-discard liveness).
+  EXPECT_FALSE(m.loop_bodies.empty());
+}
+
+// ------------------------------------------------------------ extractors
+
+TEST(LintExtract, CallsWithReceiverAndArgs) {
+  const LexedFile f = lex(R"cc(
+void fn(Engine& e, const char* p, char* q) {
+  std::memcpy(q, p, 8);
+  e.commit(p, 1 + (2 * 3));
+  delta::apply(geo, cmds);
+}
+)cc");
+  const FileModel m = build_model(f);
+  ASSERT_EQ(m.funcs.size(), 1u);
+  const auto calls =
+      extract_calls(f, m.funcs[0].body_begin, m.funcs[0].body_end);
+
+  const CallSite* memcpy_c = nullptr;
+  const CallSite* commit_c = nullptr;
+  const CallSite* apply_c = nullptr;
+  for (const CallSite& c : calls) {
+    if (c.callee_last == "memcpy") memcpy_c = &c;
+    if (c.callee_last == "commit") commit_c = &c;
+    if (c.callee_last == "apply") apply_c = &c;
+  }
+  ASSERT_NE(memcpy_c, nullptr);
+  EXPECT_EQ(memcpy_c->callee, "std::memcpy");
+  EXPECT_EQ(memcpy_c->args.size(), 3u);
+  ASSERT_NE(commit_c, nullptr);
+  ASSERT_NE(commit_c->recv_tok, SIZE_MAX);
+  EXPECT_EQ(f.tokens[commit_c->recv_tok].text, "e");
+  // Parenthesized commas stay inside one argument span.
+  EXPECT_EQ(commit_c->args.size(), 2u);
+  ASSERT_NE(apply_c, nullptr);
+  EXPECT_EQ(apply_c->callee, "delta::apply");
+}
+
+TEST(LintExtract, LocalDeclsIncludingRangeFor) {
+  const LexedFile f = lex(R"cc(
+void fn(const std::vector<int>& xs) {
+  Status st = load();
+  std::vector<unsigned char> buf(n);
+  Sections alias{sections_};
+  int plain;
+  for (const int& x : xs) use(x);
+}
+)cc");
+  const FileModel m = build_model(f);
+  ASSERT_EQ(m.funcs.size(), 1u);
+  const auto decls = extract_local_decls(f, m, m.funcs[0]);
+
+  const LocalDecl* st = nullptr;
+  const LocalDecl* buf = nullptr;
+  const LocalDecl* alias = nullptr;
+  const LocalDecl* plain = nullptr;
+  const LocalDecl* x = nullptr;
+  for (const LocalDecl& d : decls) {
+    if (d.name == "st") st = &d;
+    if (d.name == "buf") buf = &d;
+    if (d.name == "alias") alias = &d;
+    if (d.name == "plain") plain = &d;
+    if (d.name == "x") x = &d;
+  }
+  ASSERT_NE(st, nullptr);
+  EXPECT_TRUE(st->has_init);
+  EXPECT_EQ(st->type, "Status");
+  ASSERT_NE(buf, nullptr);
+  EXPECT_TRUE(buf->has_init);
+  // Paren-init: the initializer span starts at the '(' itself — the
+  // verify-before-apply alias heuristic depends on this distinction.
+  EXPECT_TRUE(secmem_lint::punct_is(f, buf->init.begin, "("));
+  ASSERT_NE(alias, nullptr);
+  EXPECT_TRUE(secmem_lint::punct_is(f, alias->init.begin, "{"));
+  ASSERT_NE(plain, nullptr);
+  EXPECT_FALSE(plain->has_init);
+  // Range-for binding surfaces as a declaration too.
+  ASSERT_NE(x, nullptr);
+}
+
+TEST(LintExtract, AssignsSkipComparisonsAndCompounds) {
+  const LexedFile f = lex(R"cc(
+void fn() {
+  st = load();
+  if (st == other) { n += 1; }
+  obj.field = 2;
+}
+)cc");
+  const FileModel m = build_model(f);
+  ASSERT_EQ(m.funcs.size(), 1u);
+  const auto assigns =
+      extract_assigns(f, m.funcs[0].body_begin, m.funcs[0].body_end);
+  ASSERT_EQ(assigns.size(), 2u);
+  EXPECT_EQ(f.tokens[assigns[0].lhs_base_tok].text, "st");
+  // `obj.field = 2` bases on the first identifier of the statement.
+  EXPECT_EQ(f.tokens[assigns[1].lhs_base_tok].text, "obj");
+  EXPECT_GT(assigns[1].rhs.end, assigns[1].rhs.begin);
+}
+
+}  // namespace

@@ -1,0 +1,353 @@
+// secmem-lint driver — loads files, builds the per-file model and the
+// cross-file RepoContext, dispatches rules by path scope, and owns
+// suppression (inline allow comments and the checked-in allowlist),
+// stale-suppression detection, and output.
+//
+//   secmem-lint [--root DIR] [--allowlist FILE] [--json]
+//               [--check-allowlist] [path...]
+//
+// Exit codes: 0 clean, 1 findings (stale suppressions count under
+// --check-allowlist), 2 usage/IO error.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rules.h"
+
+namespace fs = std::filesystem;
+
+namespace secmem_lint {
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+struct Finding {
+  std::string path;
+  std::size_t line;
+  std::string rule;
+  std::string message;
+  bool operator<(const Finding& o) const {
+    if (path != o.path) return path < o.path;
+    if (line != o.line) return line < o.line;
+    if (rule != o.rule) return rule < o.rule;
+    return message < o.message;
+  }
+};
+
+struct InlineAllow {
+  std::string path;
+  std::size_t line;
+  std::string rule;
+  bool operator<(const InlineAllow& o) const {
+    if (path != o.path) return path < o.path;
+    if (line != o.line) return line < o.line;
+    return rule < o.rule;
+  }
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+class Driver {
+ public:
+  explicit Driver(fs::path root) : root_(std::move(root)) {}
+
+  bool load_allowlist(const fs::path& file) {
+    std::ifstream in(file);
+    if (!in) return false;
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::size_t hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      const std::size_t colon = line.rfind(':');
+      if (colon == std::string::npos) continue;  // blank / comment
+      auto trim = [](std::string s) {
+        const auto b = s.find_first_not_of(" \t");
+        const auto e = s.find_last_not_of(" \t");
+        return b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
+      };
+      const std::string path = trim(line.substr(0, colon));
+      const std::string rule = trim(line.substr(colon + 1));
+      if (!path.empty() && !rule.empty()) allow_[path + ":" + rule] = false;
+    }
+    return true;
+  }
+
+  void load_file(const fs::path& abs) {
+    std::ifstream in(abs, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "secmem-lint: cannot read %s\n",
+                   abs.string().c_str());
+      io_error_ = true;
+      return;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    SourceFile sf;
+    sf.rel = fs::relative(abs, root_).generic_string();
+    sf.lexed = lex(buf.str());
+    sf.model = build_model(sf.lexed);
+    scan_inline_allows(sf);
+    files_.push_back(std::move(sf));
+  }
+
+  int run(bool check_allowlist, bool json) {
+    RepoContext ctx;
+    for (const SourceFile& sf : files_) {
+      if (sf.model.guarded.empty()) continue;
+      auto& dst = ctx.guarded_by_stem[file_stem(sf.rel)];
+      dst.insert(dst.end(), sf.model.guarded.begin(), sf.model.guarded.end());
+    }
+    ctx.ci_text = slurp(root_ / "scripts" / "ci.sh");
+    ctx.readme_text = slurp(root_ / "README.md");
+    ctx.arch_text = slurp(root_ / "ARCHITECTURE.md");
+
+    for (const SourceFile& sf : files_) lint(sf, ctx);
+
+    if (check_allowlist) {
+      for (const auto& [entry, used] : allow_) {
+        if (used) continue;
+        const std::size_t colon = entry.rfind(':');
+        findings_.push_back({entry.substr(0, colon), 0, "stale-allow",
+                             "allowlist entry '" + entry.substr(0, colon) +
+                                 ": " + entry.substr(colon + 1) +
+                                 "' matched no finding; remove it"});
+      }
+      for (const auto& [ia, used] : inline_allows_) {
+        if (used) continue;
+        const bool known = all_rule_ids().count(ia.rule) != 0;
+        findings_.push_back(
+            {ia.path, ia.line, "stale-allow",
+             known ? "inline allow(" + ia.rule +
+                         ") suppressed no finding; remove it"
+                   : "inline allow(" + ia.rule + ") names an unknown rule"});
+      }
+    }
+
+    std::sort(findings_.begin(), findings_.end());
+    findings_.erase(std::unique(findings_.begin(), findings_.end(),
+                                [](const Finding& a, const Finding& b) {
+                                  return !(a < b) && !(b < a);
+                                }),
+                    findings_.end());
+    if (json) {
+      std::printf("[");
+      for (std::size_t i = 0; i < findings_.size(); ++i) {
+        const Finding& f = findings_[i];
+        std::printf(
+            "%s\n  {\"file\": \"%s\", \"line\": %zu, \"rule\": \"%s\", "
+            "\"message\": \"%s\"}",
+            i ? "," : "", json_escape(f.path).c_str(), f.line,
+            json_escape(f.rule).c_str(), json_escape(f.message).c_str());
+      }
+      std::printf("%s]\n", findings_.empty() ? "" : "\n");
+    } else {
+      for (const Finding& f : findings_)
+        std::printf("%s:%zu: %s: %s\n", f.path.c_str(), f.line,
+                    f.rule.c_str(), f.message.c_str());
+    }
+    if (io_error_) return 2;
+    return findings_.empty() ? 0 : 1;
+  }
+
+ private:
+  static std::string slurp(const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) return "";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+
+  /// Record every inline allow comment (the `secmem-lint:` tag followed
+  /// by one or more parenthesized rule ids on the same line) for stale
+  /// detection; the lexer blanks comments, so scan the raw text.
+  void scan_inline_allows(const SourceFile& sf) {
+    const std::string& text = sf.lexed.text;
+    std::size_t start = 0, line = 1;
+    while (start < text.size()) {
+      std::size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      const std::string_view l(text.data() + start, end - start);
+      std::size_t tag = l.find("secmem-lint:");
+      if (tag != std::string_view::npos) {
+        std::size_t p = tag;
+        while ((p = l.find("allow(", p)) != std::string_view::npos) {
+          p += 6;
+          const std::size_t close = l.find(')', p);
+          if (close == std::string_view::npos) break;
+          inline_allows_[{sf.rel, line,
+                          std::string(l.substr(p, close - p))}] |= false;
+          p = close;
+        }
+      }
+      start = end + 1;
+      ++line;
+    }
+  }
+
+  void lint(const SourceFile& sf, const RepoContext& ctx) {
+    const std::string& rel = sf.rel;
+    auto emit = [&](std::size_t pos, const char* rule, std::string msg) {
+      const std::size_t line = line_of(sf.lexed.text, pos);
+      const auto allow_it = allow_.find(rel + ":" + rule);
+      if (allow_it != allow_.end()) {
+        allow_it->second = true;
+        return;
+      }
+      const auto inline_it = inline_allows_.find({rel, line, rule});
+      if (inline_it != inline_allows_.end()) {
+        inline_it->second = true;
+        return;
+      }
+      findings_.push_back({rel, line, rule, std::move(msg)});
+    };
+
+    const bool in_src = starts_with(rel, "src/");
+    const bool in_engine = starts_with(rel, "src/engine/");
+    const bool in_crypto = starts_with(rel, "src/crypto/");
+
+    if ((in_engine || starts_with(rel, "src/tree/") || in_crypto ||
+         starts_with(rel, "src/ecc/")) &&
+        rel != "src/common/ct.h")
+      check_ct_compare(sf, emit);
+    if (in_src && rel != "src/common/thread_annotations.h")
+      check_raw_mutex(sf, emit);
+    if (starts_with(rel, "src/sim/")) check_sim_rand(sf, emit);
+    if (in_engine || starts_with(rel, "src/counters/"))
+      check_no_throw_engine(sf, emit);
+    if (in_src || starts_with(rel, "tools/") || starts_with(rel, "bench/") ||
+        starts_with(rel, "examples/") || starts_with(rel, "tests/"))
+      check_stat_name(sf, emit);
+    if (!in_crypto) check_crypto_include(sf, emit);
+
+    if (in_engine) check_verify_before_apply(sf, emit);
+    if (in_src) check_status_discard(sf, emit);
+    if (in_src) check_lock_discipline(sf, ctx, emit);
+    if (in_crypto) check_secret_branch(sf, emit);
+    if (in_src) check_knob_registry(sf, ctx, emit);
+  }
+
+  fs::path root_;
+  std::map<std::string, bool> allow_;  // "path:rule" -> used
+  std::map<InlineAllow, bool> inline_allows_;
+  std::vector<SourceFile> files_;
+  std::vector<Finding> findings_;
+  bool io_error_ = false;
+};
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: secmem-lint [--root DIR] [--allowlist FILE] [--json]\n"
+      "                   [--check-allowlist] [path...]\n"
+      "  Lints src/, tools/, bench/, examples/, tests/ under --root\n"
+      "  (default: cwd), or the given files/directories. Paths outside\n"
+      "  the rule scopes lint clean by construction.\n"
+      "  --json             machine-readable findings\n"
+      "  --check-allowlist  fail on allowlist entries or inline allow()\n"
+      "                     comments that no longer suppress anything\n");
+  return 2;
+}
+
+int run_main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  fs::path allowlist;
+  std::vector<fs::path> paths;
+  bool json = false, check_allowlist = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--check-allowlist") {
+      check_allowlist = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  std::error_code ec;
+  root = fs::canonical(root, ec);
+  if (ec) {
+    std::fprintf(stderr, "secmem-lint: bad --root: %s\n",
+                 ec.message().c_str());
+    return 2;
+  }
+
+  Driver driver(root);
+  if (!allowlist.empty() && !driver.load_allowlist(allowlist)) {
+    std::fprintf(stderr, "secmem-lint: cannot read allowlist %s\n",
+                 allowlist.string().c_str());
+    return 2;
+  }
+
+  if (paths.empty())
+    for (const char* dir : {"src", "tools", "bench", "examples", "tests"})
+      if (fs::is_directory(root / dir)) paths.emplace_back(root / dir);
+
+  for (const fs::path& p : paths) {
+    if (fs::is_directory(p)) {
+      for (auto it = fs::recursive_directory_iterator(p);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (!it->is_regular_file() || !lintable(it->path())) continue;
+        // The deliberate-violation fixture trees lint via explicit
+        // paths from tests/test_lint.cc, never via the default walk.
+        const std::string rel =
+            fs::relative(it->path(), root).generic_string();
+        if (starts_with(rel, "tests/lint_fixtures/")) continue;
+        driver.load_file(it->path());
+      }
+    } else if (fs::is_regular_file(p)) {
+      driver.load_file(p);
+    } else {
+      std::fprintf(stderr, "secmem-lint: no such path: %s\n",
+                   p.string().c_str());
+      return 2;
+    }
+  }
+  return driver.run(check_allowlist, json);
+}
+
+}  // namespace
+}  // namespace secmem_lint
+
+int main(int argc, char** argv) { return secmem_lint::run_main(argc, argv); }

@@ -1,0 +1,683 @@
+#include "func_model.h"
+
+#include <algorithm>
+#include <set>
+
+namespace secmem_lint {
+
+namespace {
+
+const std::set<std::string_view> kControlKeywords = {
+    "if", "for", "while", "switch", "catch", "return", "do", "else",
+    "sizeof", "alignof", "decltype", "new", "delete", "throw", "case"};
+
+const std::set<std::string_view> kDeclSpecifiers = {
+    "static", "constexpr", "const", "mutable", "volatile", "inline",
+    "thread_local", "register", "unsigned", "signed", "auto"};
+
+bool is_ident(const Token& t) { return t.kind == Tok::kIdent; }
+
+/// Skip a preprocessor directive starting at the '#' token: consume to
+/// the end of the (possibly backslash-continued) line.
+std::size_t skip_directive(const LexedFile& f, std::size_t i) {
+  const auto& toks = f.tokens;
+  std::uint32_t line = toks[i].line;
+  ++i;
+  while (i < toks.size()) {
+    if (toks[i].line != line) {
+      // Continued if the previous token was a backslash at line end.
+      if (i > 0 && toks[i - 1].kind == Tok::kPunct &&
+          toks[i - 1].text == "\\") {
+        line = toks[i].line;
+        continue;
+      }
+      break;
+    }
+    ++i;
+  }
+  return i;
+}
+
+}  // namespace
+
+bool tok_is(const LexedFile& f, std::size_t i, std::string_view ident) {
+  return i < f.tokens.size() && f.tokens[i].kind == Tok::kIdent &&
+         f.tokens[i].text == ident;
+}
+
+bool punct_is(const LexedFile& f, std::size_t i, std::string_view p) {
+  return i < f.tokens.size() && f.tokens[i].kind == Tok::kPunct &&
+         f.tokens[i].text == p;
+}
+
+std::size_t match_close(const LexedFile& f, std::size_t open,
+                        std::size_t end) {
+  const std::string_view o = f.tokens[open].text;
+  const std::string_view c = o == "(" ? ")" : o == "{" ? "}" : "]";
+  int depth = 0;
+  for (std::size_t i = open; i < end && i < f.tokens.size(); ++i) {
+    if (f.tokens[i].kind != Tok::kPunct) continue;
+    if (f.tokens[i].text == o)
+      ++depth;
+    else if (f.tokens[i].text == c && --depth == 0)
+      return i;
+  }
+  return end;
+}
+
+namespace {
+
+struct Scope {
+  enum Kind { kNamespace, kClass, kFunction, kBlock, kOther } kind;
+  std::string name;       // class / namespace name
+  std::size_t func_index; // index into FileModel::funcs for kFunction
+};
+
+/// Analyze the statement-head token buffer that ended at a '{' and, if
+/// it is a function definition, fill `out`. `buffer` holds token
+/// indices. Returns true on match.
+bool match_function(const LexedFile& f, const std::vector<std::size_t>& buf,
+                    const std::string& enclosing_class, FuncInfo& out) {
+  if (buf.empty()) return false;
+  // Reject obvious non-functions early.
+  const std::string_view head = f.tokens[buf[0]].text;
+  if (head == "class" || head == "struct" || head == "union" ||
+      head == "enum" || head == "namespace")
+    return false;
+  // Find the first top-level '(' — the parameter list. Track template
+  // angle depth so `std::function<void(int)>` return types don't trip it.
+  int angle = 0;
+  std::size_t lparen_at = SIZE_MAX;  // position within buf
+  for (std::size_t k = 0; k < buf.size(); ++k) {
+    const Token& t = f.tokens[buf[k]];
+    if (t.kind != Tok::kPunct) continue;
+    if (t.text == "<" && k > 0 && is_ident(f.tokens[buf[k - 1]]))
+      ++angle;
+    else if (t.text == ">" && angle > 0)
+      --angle;
+    else if (t.text == ">>" && angle > 0)
+      angle = std::max(0, angle - 2);
+    else if (t.text == "(" && angle == 0) {
+      lparen_at = k;
+      break;
+    }
+  }
+  if (lparen_at == SIZE_MAX || lparen_at == 0) return false;
+  const std::size_t name_at = lparen_at - 1;
+  const Token& name_tok = f.tokens[buf[name_at]];
+  if (!is_ident(name_tok)) return false;
+  if (kControlKeywords.count(name_tok.text)) return false;
+  // A top-level `=` before the paren means a variable initializer.
+  for (std::size_t k = 0; k < lparen_at; ++k)
+    if (punct_is(f, buf[k], "=")) return false;
+
+  out.name = std::string(name_tok.text);
+  out.name_tok = buf[name_at];
+  out.line = name_tok.line;
+
+  // Qualified name `Class::name`? Walk back through `A::B::` pairs.
+  std::string qual;
+  std::size_t k = name_at;
+  while (k >= 2 && punct_is(f, buf[k - 1], "::") &&
+         is_ident(f.tokens[buf[k - 2]])) {
+    qual = std::string(f.tokens[buf[k - 2]].text);
+    k -= 2;
+  }
+  out.class_name = !qual.empty() ? qual : enclosing_class;
+
+  // Destructor: `~Class(`; constructor: name == class.
+  const bool is_dtor = name_at >= 1 && punct_is(f, buf[name_at - 1], "~");
+  out.is_ctor_or_dtor = is_dtor || out.name == out.class_name;
+
+  // Parameter list: tokens strictly between the '(' and its match.
+  const std::size_t lparen_tok = buf[lparen_at];
+  const std::size_t rparen_tok =
+      match_close(f, lparen_tok, buf.back() + 1);
+  {
+    std::size_t i = lparen_tok + 1;
+    while (i < rparen_tok) {
+      // One parameter: scan to the next top-level comma.
+      int depth = 0, ang = 0;
+      std::size_t begin = i;
+      while (i < rparen_tok) {
+        const Token& t = f.tokens[i];
+        if (t.kind == Tok::kPunct) {
+          if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+          if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+          if (t.text == "<" && i > begin && is_ident(f.tokens[i - 1]))
+            ++ang;
+          if (t.text == ">" && ang > 0) --ang;
+          if (t.text == ">>" && ang > 0) ang = std::max(0, ang - 2);
+          if (t.text == "," && depth == 0 && ang == 0) break;
+        }
+        ++i;
+      }
+      if (i > begin) {
+        Param p;
+        // Drop a trailing `= default-arg` from consideration.
+        std::size_t stop = i;
+        for (std::size_t j = begin; j < i; ++j)
+          if (punct_is(f, j, "=")) {
+            stop = j;
+            break;
+          }
+        // Name = last identifier, unless it directly follows `::` (then
+        // the parameter is unnamed and that ident is part of the type).
+        std::size_t last_ident = SIZE_MAX;
+        for (std::size_t j = begin; j < stop; ++j)
+          if (is_ident(f.tokens[j])) last_ident = j;
+        if (last_ident != SIZE_MAX && last_ident > begin &&
+            !punct_is(f, last_ident - 1, "::") &&
+            !(last_ident == begin)) {
+          p.name = std::string(f.tokens[last_ident].text);
+        }
+        for (std::size_t j = begin; j < stop; ++j) {
+          if (j == last_ident && !p.name.empty()) continue;
+          if (!p.type.empty()) p.type += ' ';
+          p.type += std::string(f.tokens[j].text);
+        }
+        // Single-token "type-only" params (e.g. `int`) keep type there.
+        if (p.type.empty() && !p.name.empty()) std::swap(p.type, p.name);
+        out.params.push_back(std::move(p));
+      }
+      if (i < rparen_tok) ++i;  // skip ','
+    }
+  }
+
+  // Signature qualifiers between ')' and '{': annotations we honor.
+  for (std::size_t j = rparen_tok; j <= buf.back(); ++j) {
+    if (tok_is(f, j, "SECMEM_NO_THREAD_SAFETY_ANALYSIS"))
+      out.no_thread_safety = true;
+    if (tok_is(f, j, "SECMEM_REQUIRES") ||
+        tok_is(f, j, "SECMEM_REQUIRES_SHARED"))
+      out.requires_lock = true;
+  }
+  return true;
+}
+
+/// Extract `Type member SECMEM_GUARDED_BY(mu)...;` from a class-scope
+/// statement buffer.
+void match_guarded(const LexedFile& f, const std::vector<std::size_t>& buf,
+                   const std::string& class_name,
+                   std::vector<GuardedMember>& out) {
+  for (std::size_t k = 0; k < buf.size(); ++k) {
+    if (!tok_is(f, buf[k], "SECMEM_GUARDED_BY") &&
+        !tok_is(f, buf[k], "SECMEM_PT_GUARDED_BY"))
+      continue;
+    // Member name: nearest identifier before the macro.
+    std::string member;
+    for (std::size_t j = k; j-- > 0;) {
+      if (is_ident(f.tokens[buf[j]])) {
+        member = std::string(f.tokens[buf[j]].text);
+        break;
+      }
+    }
+    if (member.empty()) continue;
+    // Mutex expression: tokens inside the macro's parens.
+    std::string mutex;
+    if (k + 1 < buf.size() && punct_is(f, buf[k + 1], "(")) {
+      const std::size_t close = match_close(f, buf[k + 1], buf.back() + 1);
+      for (std::size_t t = buf[k + 1] + 1; t < close; ++t) {
+        mutex += std::string(f.tokens[t].text);
+      }
+    }
+    const bool dup =
+        std::any_of(out.begin(), out.end(), [&](const GuardedMember& g) {
+          return g.class_name == class_name && g.member == member;
+        });
+    if (!dup)
+      out.push_back(
+          {class_name, member, mutex, f.tokens[buf[k]].line});
+  }
+}
+
+/// Scan a function body for loop bodies and nested class definitions.
+void scan_body(const LexedFile& f, std::size_t body_begin,
+               std::size_t body_end, FileModel& model) {
+  const auto& toks = f.tokens;
+  for (std::size_t i = body_begin; i < body_end; ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+    const std::string_view w = toks[i].text;
+    if (w == "for" || w == "while") {
+      // `for (...) { body }` / `while (...) { body }`
+      std::size_t j = i + 1;
+      if (j < body_end && punct_is(f, j, "(")) {
+        j = match_close(f, j, body_end);
+        ++j;
+      }
+      if (j < body_end && punct_is(f, j, "{")) {
+        const std::size_t close = match_close(f, j, body_end);
+        model.loop_bodies.push_back({j, close + 1});
+      }
+    } else if (w == "do") {
+      if (i + 1 < body_end && punct_is(f, i + 1, "{")) {
+        const std::size_t close = match_close(f, i + 1, body_end);
+        model.loop_bodies.push_back({i + 1, close + 1});
+      }
+    } else if (w == "struct" || w == "class") {
+      // `struct Name { ... };` nested in a function body.
+      std::size_t j = i + 1;
+      while (j < body_end && toks[j].kind == Tok::kIdent) ++j;
+      if (j < body_end && punct_is(f, j, "{")) {
+        const std::size_t close = match_close(f, j, body_end);
+        model.local_class_bodies.push_back({j, close + 1});
+        i = close;  // don't re-scan the class body for loops at this level
+      }
+    }
+  }
+}
+
+}  // namespace
+
+FileModel build_model(const LexedFile& f) {
+  FileModel model;
+  const auto& toks = f.tokens;
+  std::vector<Scope> stack;
+  std::vector<std::size_t> buf;  // statement-head tokens since boundary
+
+  auto enclosing_class = [&]() -> std::string {
+    for (std::size_t s = stack.size(); s-- > 0;)
+      if (stack[s].kind == Scope::kClass) return stack[s].name;
+    return "";
+  };
+  auto in_function = [&]() {
+    return std::any_of(stack.begin(), stack.end(), [](const Scope& s) {
+      return s.kind == Scope::kFunction;
+    });
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == Tok::kPunct && t.text == "#") {
+      i = skip_directive(f, i) - 1;
+      continue;
+    }
+    if (in_function()) {
+      // Inside a function body we only need to find the matching close;
+      // sub-scope structure is extracted by scan_body afterwards.
+      if (t.kind == Tok::kPunct && t.text == "{") {
+        stack.push_back({Scope::kBlock, "", SIZE_MAX});
+      } else if (t.kind == Tok::kPunct && t.text == "}") {
+        const Scope done = stack.back();
+        stack.pop_back();
+        if (done.kind == Scope::kFunction) {
+          FuncInfo& fn = model.funcs[done.func_index];
+          fn.body_end = i + 1;
+          scan_body(f, fn.body_begin, fn.body_end, model);
+          buf.clear();
+        }
+      }
+      continue;
+    }
+    if (t.kind == Tok::kPunct && t.text == "{") {
+      // Initializer brace? (`= {...}`, `x{...}` member-init in a ctor
+      // list, brace after `,`/`(`/`[`): consume without opening a scope.
+      const bool after_eq = std::any_of(
+          buf.begin(), buf.end(),
+          [&](std::size_t b) { return punct_is(f, b, "="); });
+      const bool prev_opens_init =
+          i > 0 && toks[i - 1].kind == Tok::kPunct &&
+          (toks[i - 1].text == "," || toks[i - 1].text == "(" ||
+           toks[i - 1].text == "[");
+      bool ctor_member_init = false;
+      if (i > 0 && is_ident(toks[i - 1])) {
+        // `: member{...}` inside a ctor init list — only when the buffer
+        // has a top-level ':' following a ')' (the parameter list).
+        for (std::size_t k = 1; k < buf.size(); ++k)
+          if (punct_is(f, buf[k], ":") && punct_is(f, buf[k - 1], ")"))
+            ctor_member_init = true;
+        // Also `: member{...}` directly after the colon mid-list.
+        if (!buf.empty() && punct_is(f, buf[buf.size() - 1] - 1, ","))
+          ctor_member_init = ctor_member_init || after_eq;
+      }
+      if (after_eq || prev_opens_init || ctor_member_init) {
+        const std::size_t close = match_close(f, i, toks.size());
+        for (std::size_t k = i; k <= close && k < toks.size(); ++k)
+          buf.push_back(k);
+        i = close;
+        continue;
+      }
+      // Classify the scope this brace opens.
+      FuncInfo fn;
+      std::string_view head = buf.empty() ? "" : toks[buf[0]].text;
+      if (head == "template") {
+        // Skip the template<...> prefix for classification purposes.
+        std::size_t k = 1;
+        int ang = 0;
+        for (; k < buf.size(); ++k) {
+          if (punct_is(f, buf[k], "<")) ++ang;
+          if (punct_is(f, buf[k], ">") && --ang == 0) {
+            ++k;
+            break;
+          }
+        }
+        std::vector<std::size_t> rest(buf.begin() + k, buf.end());
+        buf = std::move(rest);
+        head = buf.empty() ? "" : std::string_view(toks[buf[0]].text);
+      }
+      if (head == "namespace") {
+        std::string name;
+        for (std::size_t k = 1; k < buf.size(); ++k)
+          if (is_ident(toks[buf[k]])) name = std::string(toks[buf[k]].text);
+        stack.push_back({Scope::kNamespace, name, SIZE_MAX});
+      } else if (head == "class" || head == "struct" || head == "union") {
+        // Name: last identifier before a top-level ':' (base clause),
+        // else the last identifier; `final` stripped.
+        std::string name;
+        for (std::size_t k = 1; k < buf.size(); ++k) {
+          if (punct_is(f, buf[k], ":")) break;
+          if (is_ident(toks[buf[k]]) && toks[buf[k]].text != "final" &&
+              toks[buf[k]].text != "alignas")
+            name = std::string(toks[buf[k]].text);
+        }
+        stack.push_back({Scope::kClass, name, SIZE_MAX});
+      } else if (head == "enum") {
+        stack.push_back({Scope::kOther, "", SIZE_MAX});
+      } else if (match_function(f, buf, enclosing_class(), fn)) {
+        fn.body_begin = i;
+        model.funcs.push_back(std::move(fn));
+        stack.push_back(
+            {Scope::kFunction, "", model.funcs.size() - 1});
+      } else {
+        stack.push_back({Scope::kOther, "", SIZE_MAX});
+      }
+      buf.clear();
+      continue;
+    }
+    if (t.kind == Tok::kPunct && t.text == "}") {
+      if (!stack.empty()) stack.pop_back();
+      buf.clear();
+      continue;
+    }
+    if (t.kind == Tok::kPunct && t.text == ";") {
+      // Class-scope member declaration: harvest GUARDED_BY annotations.
+      if (!stack.empty() && stack.back().kind == Scope::kClass)
+        match_guarded(f, buf, stack.back().name, model.guarded);
+      buf.clear();
+      continue;
+    }
+    // Access specifiers end a statement-head too.
+    if (t.kind == Tok::kIdent &&
+        (t.text == "public" || t.text == "private" ||
+         t.text == "protected") &&
+        punct_is(f, i + 1, ":")) {
+      ++i;
+      buf.clear();
+      continue;
+    }
+    buf.push_back(i);
+  }
+  return model;
+}
+
+std::vector<CallSite> extract_calls(const LexedFile& f, std::size_t begin,
+                                    std::size_t end) {
+  std::vector<CallSite> calls;
+  const auto& toks = f.tokens;
+  end = std::min(end, toks.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    if (toks[i].kind != Tok::kIdent || i + 1 >= end ||
+        !punct_is(f, i + 1, "("))
+      continue;
+    if (kControlKeywords.count(toks[i].text)) continue;
+    CallSite c;
+    c.callee_tok = i;
+    c.callee_last = std::string(toks[i].text);
+    // Walk back through `A::B::name`.
+    std::string qual;
+    std::size_t k = i;
+    while (k >= 2 && punct_is(f, k - 1, "::") && is_ident(toks[k - 2])) {
+      qual = std::string(toks[k - 2].text) + "::" + qual;
+      k -= 2;
+    }
+    c.callee = qual + c.callee_last;
+    // Receiver: ident before `.` / `->` preceding the (possibly
+    // qualified) callee.
+    if (k >= 2 &&
+        (punct_is(f, k - 1, ".") || punct_is(f, k - 1, "->")) &&
+        is_ident(toks[k - 2]))
+      c.recv_tok = k - 2;
+    c.lparen = i + 1;
+    c.rparen = match_close(f, c.lparen, end);
+    // Split args at top-level commas.
+    int depth = 0, ang = 0;
+    std::size_t arg_begin = c.lparen + 1;
+    for (std::size_t j = c.lparen + 1; j < c.rparen; ++j) {
+      const Token& t = toks[j];
+      if (t.kind == Tok::kPunct) {
+        if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+        if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+        if (t.text == "<" && j > arg_begin && is_ident(toks[j - 1])) ++ang;
+        if (t.text == ">" && ang > 0) --ang;
+        if (t.text == ">>" && ang > 0) ang = std::max(0, ang - 2);
+        if (t.text == "," && depth == 0 && ang == 0) {
+          if (j > arg_begin) c.args.push_back({arg_begin, j});
+          arg_begin = j + 1;
+        }
+      }
+    }
+    if (c.rparen > arg_begin) c.args.push_back({arg_begin, c.rparen});
+    calls.push_back(std::move(c));
+  }
+  return calls;
+}
+
+std::vector<AssignSite> extract_assigns(const LexedFile& f,
+                                        std::size_t begin, std::size_t end) {
+  std::vector<AssignSite> out;
+  const auto& toks = f.tokens;
+  end = std::min(end, toks.size());
+  int depth = 0;
+  std::size_t stmt_begin = begin;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::kPunct) continue;
+    if (t.text == "(" || t.text == "[") ++depth;
+    if (t.text == ")" || t.text == "]") --depth;
+    if (t.text == ";" || t.text == "{" || t.text == "}") {
+      stmt_begin = i + 1;
+      depth = 0;
+      continue;
+    }
+    if (t.text != "=" || depth != 0) continue;
+    // First identifier of the statement = the LHS base.
+    std::size_t base = SIZE_MAX;
+    for (std::size_t j = stmt_begin; j < i; ++j)
+      if (is_ident(toks[j])) {
+        base = j;
+        break;
+      }
+    if (base == SIZE_MAX) continue;
+    AssignSite a;
+    a.lhs_base_tok = base;
+    a.eq_tok = i;
+    std::size_t j = i + 1;
+    int d2 = 0;
+    while (j < end) {
+      const Token& u = toks[j];
+      if (u.kind == Tok::kPunct) {
+        if (u.text == "(" || u.text == "[" || u.text == "{") ++d2;
+        if (u.text == ")" || u.text == "]" || u.text == "}") --d2;
+        if ((u.text == ";" && d2 == 0) || d2 < 0) break;
+      }
+      ++j;
+    }
+    a.rhs = {i + 1, j};
+    out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<LocalDecl> extract_local_decls(const LexedFile& f,
+                                           const FileModel& model,
+                                           const FuncInfo& fn) {
+  std::vector<LocalDecl> decls;
+  const auto& toks = f.tokens;
+  const std::size_t end = std::min(fn.body_end, toks.size());
+
+  auto in_local_class = [&](std::size_t i) {
+    return std::any_of(
+        model.local_class_bodies.begin(), model.local_class_bodies.end(),
+        [&](const TokenSpan& s) { return i > s.begin && i < s.end; });
+  };
+
+  // Statement-start declaration parse.
+  auto try_decl = [&](std::size_t i, std::size_t stop) -> std::size_t {
+    // Returns one past the declaration, or `i` when not a declaration.
+    std::size_t j = i;
+    std::string type;
+    // specifiers
+    while (j < stop && toks[j].kind == Tok::kIdent &&
+           kDeclSpecifiers.count(toks[j].text)) {
+      type += std::string(toks[j].text) + ' ';
+      ++j;
+    }
+    // type: ident (:: ident)* <...>? then any of & && *
+    if (j >= stop || toks[j].kind != Tok::kIdent ||
+        kControlKeywords.count(toks[j].text))
+      return i;
+    type += std::string(toks[j].text);
+    ++j;
+    while (j + 1 < stop && punct_is(f, j, "::") &&
+           toks[j + 1].kind == Tok::kIdent) {
+      type += "::" + std::string(toks[j + 1].text);
+      j += 2;
+    }
+    if (j < stop && punct_is(f, j, "<")) {
+      int ang = 1;
+      type += '<';
+      ++j;
+      while (j < stop && ang > 0) {
+        if (punct_is(f, j, "<")) ++ang;
+        if (punct_is(f, j, ">")) --ang;
+        if (punct_is(f, j, ">>")) ang -= 2;
+        type += std::string(toks[j].text);
+        ++j;
+      }
+      if (ang < 0) return i;  // `a < b >> 2` style arithmetic, not a type
+    }
+    while (j < stop && toks[j].kind == Tok::kPunct &&
+           (toks[j].text == "&" || toks[j].text == "&&" ||
+            toks[j].text == "*")) {
+      type += std::string(toks[j].text);
+      ++j;
+    }
+    if (j >= stop || toks[j].kind != Tok::kIdent ||
+        kDeclSpecifiers.count(toks[j].text) ||
+        kControlKeywords.count(toks[j].text))
+      return i;
+    const std::size_t name_at = j;
+    ++j;
+    if (j >= stop) return i;
+    // Array declarator `name[N]`.
+    while (j < stop && punct_is(f, j, "["))
+      j = match_close(f, j, stop) + 1;
+    if (j >= stop) return i;
+    const std::string_view nxt = toks[j].text;
+    if (toks[j].kind != Tok::kPunct ||
+        (nxt != "=" && nxt != "{" && nxt != "(" && nxt != ";" &&
+         nxt != ":" && nxt != ","))
+      return i;
+    LocalDecl d;
+    d.type = type;
+    d.name = std::string(toks[name_at].text);
+    d.name_tok = name_at;
+    if (nxt == "=" || nxt == "{" || nxt == "(" || nxt == ":") {
+      d.has_init = true;
+      std::size_t k = nxt == "=" || nxt == ":" ? j + 1 : j;
+      std::size_t init_end = k;
+      int depth = 0;
+      while (init_end < stop) {
+        const Token& u = toks[init_end];
+        if (u.kind == Tok::kPunct) {
+          if (u.text == "(" || u.text == "[" || u.text == "{") ++depth;
+          if (u.text == ")" || u.text == "]" || u.text == "}") --depth;
+          if (depth < 0) break;
+          if ((u.text == ";" || u.text == ",") && depth == 0) break;
+        }
+        ++init_end;
+      }
+      d.init = {k, init_end};
+    }
+    decls.push_back(std::move(d));
+    return j;
+  };
+
+  // Walk statements: a statement starts after ; { } and inside
+  // `for (decl : range)` / `if (decl)` heads.
+  bool at_stmt_start = true;
+  for (std::size_t i = fn.body_begin + 1; i < end; ++i) {
+    if (in_local_class(i)) {
+      at_stmt_start = false;
+      continue;
+    }
+    const Token& t = toks[i];
+    if (t.kind == Tok::kPunct &&
+        (t.text == ";" || t.text == "{" || t.text == "}")) {
+      at_stmt_start = true;
+      continue;
+    }
+    if (t.kind == Tok::kIdent && (t.text == "for")) {
+      // Range-for: `for ( decl : range )`
+      if (i + 1 < end && punct_is(f, i + 1, "(")) {
+        const std::size_t close = match_close(f, i + 1, end);
+        // Top-level ':' inside the parens?
+        int depth = 0;
+        std::size_t colon = SIZE_MAX;
+        for (std::size_t j = i + 2; j < close; ++j) {
+          if (toks[j].kind != Tok::kPunct) continue;
+          if (toks[j].text == "(" || toks[j].text == "[" ||
+              toks[j].text == "{")
+            ++depth;
+          if (toks[j].text == ")" || toks[j].text == "]" ||
+              toks[j].text == "}")
+            --depth;
+          if (toks[j].text == ":" && depth == 0) {
+            colon = j;
+            break;
+          }
+        }
+        if (colon != SIZE_MAX) {
+          // Parse the binding before ':' — name is the last identifier.
+          std::size_t name_at = SIZE_MAX;
+          std::string type;
+          for (std::size_t j = i + 2; j < colon; ++j) {
+            if (is_ident(toks[j])) name_at = j;
+          }
+          if (name_at != SIZE_MAX) {
+            for (std::size_t j = i + 2; j < colon; ++j) {
+              if (j == name_at) continue;
+              if (!type.empty()) type += ' ';
+              type += std::string(toks[j].text);
+            }
+            LocalDecl d;
+            d.type = type;
+            d.name = std::string(toks[name_at].text);
+            d.name_tok = name_at;
+            d.has_init = true;
+            d.init = {colon + 1, close};
+            decls.push_back(std::move(d));
+          }
+          i = close;
+          at_stmt_start = true;
+          continue;
+        }
+        // Classic for: the init clause is a statement of its own.
+        at_stmt_start = true;
+        continue;
+      }
+    }
+    if (at_stmt_start) {
+      const std::size_t adv = try_decl(i, end);
+      if (adv != i) {
+        i = adv - 1;
+        at_stmt_start = false;
+        continue;
+      }
+    }
+    at_stmt_start = false;
+  }
+  return decls;
+}
+
+}  // namespace secmem_lint

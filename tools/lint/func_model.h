@@ -1,0 +1,121 @@
+// secmem-lint function model — a brace/statement-level view of one
+// source file built from the token stream: function definitions with
+// their enclosing class, parameters and body spans; SECMEM_GUARDED_BY
+// member annotations; and per-function fact extractors (calls with
+// argument spans, local declarations including range-for bindings,
+// assignments) the dataflow rules are written against.
+//
+// Approximations, by design (this is a linter, not a front end):
+//  - both arms of an #if are modeled; preprocessor directives themselves
+//    are skipped line-wise,
+//  - template angle brackets are tracked heuristically,
+//  - lambdas are part of their enclosing function's body (their
+//    statements show up as the enclosing function's facts),
+//  - a local whose declaration we cannot parse simply produces no facts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lexer.h"
+
+namespace secmem_lint {
+
+struct Param {
+  std::string type;  // joined type tokens, e.g. "std::istream &"
+  std::string name;  // "" when unnamed / unparsable
+};
+
+struct FuncInfo {
+  std::string class_name;  // enclosing class or "Qual::" scope, "" = free
+  std::string name;        // unqualified
+  std::vector<Param> params;
+  std::size_t name_tok = 0;   // token index of the name
+  std::size_t body_begin = 0; // token index of the opening '{'
+  std::size_t body_end = 0;   // one past the matching '}'
+  std::size_t line = 0;       // line of the name token
+  bool is_ctor_or_dtor = false;
+  bool no_thread_safety = false;  // SECMEM_NO_THREAD_SAFETY_ANALYSIS
+  bool requires_lock = false;     // SECMEM_REQUIRES(...) on the signature
+};
+
+struct GuardedMember {
+  std::string class_name;
+  std::string member;
+  std::string mutex;  // joined tokens of the capability expression
+  std::size_t line = 0;
+};
+
+struct TokenSpan {
+  std::size_t begin = 0;  // token index, inclusive
+  std::size_t end = 0;    // token index, exclusive
+};
+
+struct FileModel {
+  std::vector<FuncInfo> funcs;
+  std::vector<GuardedMember> guarded;
+  /// Bodies of for/while/do statements inside functions ('{' spans).
+  std::vector<TokenSpan> loop_bodies;
+  /// Bodies of struct/class definitions nested inside function bodies —
+  /// their "statements" are member declarations, not executable code.
+  std::vector<TokenSpan> local_class_bodies;
+};
+
+FileModel build_model(const LexedFile& f);
+
+/// A call site: `callee(args...)`, with the receiver when the callee is
+/// reached through `recv.callee(...)` or `recv->callee(...)`.
+struct CallSite {
+  std::string callee;          // qualified, e.g. "std::memcpy", "delta::apply"
+  std::string callee_last;     // last component, e.g. "memcpy"
+  std::size_t callee_tok = 0;  // token index of the last name component
+  std::size_t lparen = 0;      // token index of '('
+  std::size_t rparen = 0;      // token index of the matching ')'
+  std::size_t recv_tok = SIZE_MAX;  // ident before '.'/'->', or SIZE_MAX
+  std::vector<TokenSpan> args;      // top-level comma-separated spans
+};
+
+/// All call sites in [begin, end). Constructor-style declarations
+/// (`Foo bar(args)`) surface as calls named `bar` — callers filter by
+/// callee name, so this is harmless in practice.
+std::vector<CallSite> extract_calls(const LexedFile& f, std::size_t begin,
+                                    std::size_t end);
+
+struct LocalDecl {
+  std::string type;  // joined declaration-specifier tokens
+  std::string name;
+  std::size_t name_tok = 0;
+  bool has_init = false;
+  TokenSpan init;  // tokens of the initializer (empty when !has_init)
+};
+
+/// Local declarations in a function body, range-for bindings included,
+/// declarations inside nested struct/class definitions excluded.
+std::vector<LocalDecl> extract_local_decls(const LexedFile& f,
+                                           const FileModel& model,
+                                           const FuncInfo& fn);
+
+/// Simple assignments `lhs... = rhs...;` (excluding ==, <=, etc. and
+/// compound operators). `lhs_base_tok` is the first identifier of the
+/// left-hand side; `rhs` runs to the statement end.
+struct AssignSite {
+  std::size_t lhs_base_tok = 0;
+  std::size_t eq_tok = 0;
+  TokenSpan rhs;
+};
+std::vector<AssignSite> extract_assigns(const LexedFile& f, std::size_t begin,
+                                        std::size_t end);
+
+/// Token index of the matching ')' / '}' / ']' for the opener at `open`,
+/// or `end` if unbalanced.
+std::size_t match_close(const LexedFile& f, std::size_t open,
+                        std::size_t end);
+
+/// True if tokens[i] is an identifier with the given text.
+bool tok_is(const LexedFile& f, std::size_t i, std::string_view ident);
+/// True if tokens[i] is a punctuator with the given text.
+bool punct_is(const LexedFile& f, std::size_t i, std::string_view p);
+
+}  // namespace secmem_lint

@@ -1,0 +1,242 @@
+#include "lexer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace secmem_lint {
+
+namespace {
+
+bool space_char(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+bool digit_char(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Greedy multi-character punctuator match at text[i]; longest first.
+std::size_t punct_len(const std::string& text, std::size_t i) {
+  static const char* kThree[] = {"<<=", ">>=", "...", "->*"};
+  static const char* kTwo[] = {"::", "->", "==", "!=", "<=", ">=", "&&",
+                               "||", "+=", "-=", "*=", "/=", "%=", "&=",
+                               "|=", "^=", "<<", ">>", "++", "--", ".*"};
+  for (const char* p : kThree)
+    if (text.compare(i, 3, p) == 0) return 3;
+  for (const char* p : kTwo)
+    if (text.compare(i, 2, p) == 0) return 2;
+  return 1;
+}
+
+}  // namespace
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::size_t line_of(const std::string& text, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + pos, '\n'));
+}
+
+Views strip(const std::string& text) {
+  Views v;
+  v.code.assign(text.size(), ' ');
+  v.code_strings.assign(text.size(), ' ');
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {  // newlines survive every state
+      v.code[i] = '\n';
+      v.code_strings[i] = '\n';
+      if (state == State::kLineComment) state = State::kCode;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          // R"delim( ... opens a raw string when the quote follows an R
+          // that is not part of a longer identifier.
+          const bool raw =
+              i > 0 && text[i - 1] == 'R' &&
+              (i < 2 ||
+               (!std::isalnum(static_cast<unsigned char>(text[i - 2])) &&
+                text[i - 2] != '_'));
+          v.code_strings[i] = '"';
+          if (raw) {
+            raw_delim.clear();
+            std::size_t j = i + 1;
+            while (j < text.size() && text[j] != '(') raw_delim += text[j++];
+            state = State::kRawString;
+          } else {
+            state = State::kString;
+          }
+        } else if (c == '\'') {
+          state = State::kChar;
+        } else {
+          v.code[i] = c;
+          v.code_strings[i] = c;
+        }
+        break;
+      case State::kLineComment:
+      case State::kBlockComment:
+        if (state == State::kBlockComment && c == '*' &&
+            i + 1 < text.size() && text[i + 1] == '/') {
+          state = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kString:
+        v.code_strings[i] = c;
+        if (c == '\\' && i + 1 < text.size()) {
+          if (text[i + 1] != '\n') v.code_strings[i + 1] = text[i + 1];
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < text.size())
+          ++i;
+        else if (c == '\'')
+          state = State::kCode;
+        break;
+      case State::kRawString: {
+        v.code_strings[i] = c;
+        const std::string close = ")" + raw_delim + "\"";
+        if (c == ')' && text.compare(i, close.size(), close) == 0) {
+          for (std::size_t k = 0; k < close.size() && i + k < text.size();
+               ++k)
+            v.code_strings[i + k] = text[i + k];
+          i += close.size() - 1;
+          state = State::kCode;
+        }
+        break;
+      }
+    }
+  }
+  return v;
+}
+
+LexedFile lex(std::string text) {
+  LexedFile f;
+  f.text = std::move(text);
+  f.views = strip(f.text);
+  const std::string& t = f.text;
+  std::uint32_t line = 1;
+  std::size_t i = 0;
+  auto emit = [&](Tok kind, std::size_t begin, std::size_t end) {
+    f.tokens.push_back(
+        {kind, std::string_view(t.data() + begin, end - begin), begin, line});
+  };
+  while (i < t.size()) {
+    const char c = t[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (space_char(c)) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < t.size() && t[i + 1] == '/') {
+      while (i < t.size() && t[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < t.size() && t[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < t.size() && !(t[i] == '*' && t[i + 1] == '/')) {
+        if (t[i] == '\n') ++line;
+        ++i;
+      }
+      i = std::min(t.size(), i + 2);
+      continue;
+    }
+    if (c == '"' || (c == 'R' && i + 1 < t.size() && t[i + 1] == '"')) {
+      const std::size_t begin = i;
+      if (c == 'R') {  // raw string: R"delim( ... )delim"
+        std::string delim;
+        std::size_t j = i + 2;
+        while (j < t.size() && t[j] != '(') delim += t[j++];
+        const std::string close = ")" + delim + "\"";
+        std::size_t end = t.find(close, j);
+        end = end == std::string::npos ? t.size() : end + close.size();
+        line += static_cast<std::uint32_t>(
+            std::count(t.begin() + begin, t.begin() + end, '\n'));
+        // Emit with the line of the *start*; recompute after counting.
+        const std::uint32_t start_line =
+            line - static_cast<std::uint32_t>(
+                       std::count(t.begin() + begin, t.begin() + end, '\n'));
+        f.tokens.push_back({Tok::kString,
+                            std::string_view(t.data() + begin, end - begin),
+                            begin, start_line});
+        i = end;
+        continue;
+      }
+      std::size_t j = i + 1;
+      while (j < t.size() && t[j] != '"' && t[j] != '\n') {
+        if (t[j] == '\\' && j + 1 < t.size()) ++j;
+        ++j;
+      }
+      j = std::min(t.size(), j + 1);
+      emit(Tok::kString, begin, j);
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      const std::size_t begin = i;
+      std::size_t j = i + 1;
+      while (j < t.size() && t[j] != '\'' && t[j] != '\n') {
+        if (t[j] == '\\' && j + 1 < t.size()) ++j;
+        ++j;
+      }
+      j = std::min(t.size(), j + 1);
+      emit(Tok::kChar, begin, j);
+      i = j;
+      continue;
+    }
+    if (ident_start(c)) {
+      const std::size_t begin = i;
+      while (i < t.size() && ident_char(t[i])) ++i;
+      emit(Tok::kIdent, begin, i);
+      continue;
+    }
+    if (digit_char(c) || (c == '.' && i + 1 < t.size() && digit_char(t[i + 1]))) {
+      const std::size_t begin = i;
+      while (i < t.size() &&
+             (ident_char(t[i]) || t[i] == '.' || t[i] == '\'' ||
+              ((t[i] == '+' || t[i] == '-') && i > begin &&
+               (t[i - 1] == 'e' || t[i - 1] == 'E' || t[i - 1] == 'p' ||
+                t[i - 1] == 'P'))))
+        ++i;
+      emit(Tok::kNumber, begin, i);
+      continue;
+    }
+    const std::size_t n = punct_len(t, i);
+    emit(Tok::kPunct, i, i + n);
+    i += n;
+  }
+  return f;
+}
+
+}  // namespace secmem_lint

@@ -1,0 +1,60 @@
+// secmem-lint lexer — turns a C++ source file into (a) the two blanked
+// views the original token-scanning rules were built on and (b) a real
+// token stream (identifiers, numbers, literals, multi-char punctuators)
+// with byte offsets and line numbers, which the flow-aware rules and the
+// function model consume.
+//
+// The lexer is deliberately approximate where full C++ lexing would need
+// a preprocessor (it sees both arms of an #if, and keeps tokens from
+// every configuration) — the rules built on top are repository invariant
+// checks, not a compiler.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace secmem_lint {
+
+/// The two derived views of a source file, same length / line structure
+/// as the original: `code` has comments and string/char literals blanked
+/// (token rules), `code_strings` has only comments blanked (rules that
+/// need literal contents or #include targets).
+struct Views {
+  std::string code;
+  std::string code_strings;
+};
+
+/// One pass over the text, preserving newlines so offsets map to lines.
+Views strip(const std::string& text);
+
+enum class Tok : std::uint8_t {
+  kIdent,   // identifiers and keywords (no keyword table — rules decide)
+  kNumber,  // integer / float literals, including suffixes
+  kString,  // "..." and R"d(...)d" — text includes the quotes
+  kChar,    // '...'
+  kPunct,   // operators and punctuation, greedily matched ("::", "->"...)
+};
+
+struct Token {
+  Tok kind;
+  std::string_view text;  // view into LexedFile::text
+  std::size_t pos;        // byte offset of the first character
+  std::uint32_t line;     // 1-based
+};
+
+struct LexedFile {
+  std::string text;
+  Views views;
+  std::vector<Token> tokens;
+};
+
+/// Lex a whole file. Comments disappear; everything else becomes a token.
+LexedFile lex(std::string text);
+
+bool ident_char(char c);
+std::size_t line_of(const std::string& text, std::size_t pos);
+
+}  // namespace secmem_lint

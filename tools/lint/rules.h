@@ -1,0 +1,75 @@
+// secmem-lint rule interface — each rule is a free function over one
+// SourceFile (lexed text + function model) plus the cross-file context
+// (guarded-member table, env-knob registry text), emitting findings
+// through a callback. The driver owns scoping (which rules see which
+// paths), suppression (inline allows + the checked-in allowlist), and
+// output; rules just report byte positions.
+//
+// Rule catalog (see ARCHITECTURE.md "Static analysis & enforced
+// invariants" for the full table):
+//
+//   token-level:  ct-compare, raw-mutex, sim-rand, stat-name,
+//                 crypto-include, no-throw-engine
+//   flow-aware:   verify-before-apply, status-discard, lock-discipline,
+//                 secret-branch, knob-registry
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "func_model.h"
+#include "lexer.h"
+
+namespace secmem_lint {
+
+struct SourceFile {
+  std::string rel;  // forward-slash path relative to --root
+  LexedFile lexed;
+  FileModel model;
+};
+
+/// Cross-file facts gathered before any rule runs.
+struct RepoContext {
+  /// Guarded members keyed by file-pair stem ("src/engine/sharded_memory"
+  /// for both the .h and the .cc) — lock-discipline checks a guarded
+  /// member only in its declaring header and that header's paired source
+  /// file, which is where every access in this codebase lives.
+  std::map<std::string, std::vector<GuardedMember>> guarded_by_stem;
+  /// Knob registry sources (empty when the file does not exist).
+  std::string ci_text;      // scripts/ci.sh
+  std::string readme_text;  // README.md
+  std::string arch_text;    // ARCHITECTURE.md
+};
+
+/// Emit a finding: byte position within the file, rule id, message.
+using Emit =
+    std::function<void(std::size_t pos, const char* rule, std::string msg)>;
+
+/// File-pair stem for lock-discipline scoping: path minus extension.
+std::string file_stem(const std::string& rel);
+
+// --- token-level rules (ported from the original scanner) -------------
+void check_ct_compare(const SourceFile& sf, Emit emit);
+void check_raw_mutex(const SourceFile& sf, Emit emit);
+void check_sim_rand(const SourceFile& sf, Emit emit);
+void check_stat_name(const SourceFile& sf, Emit emit);
+void check_crypto_include(const SourceFile& sf, Emit emit);
+void check_no_throw_engine(const SourceFile& sf, Emit emit);
+
+// --- flow-aware rules --------------------------------------------------
+void check_verify_before_apply(const SourceFile& sf, Emit emit);
+void check_status_discard(const SourceFile& sf, Emit emit);
+void check_lock_discipline(const SourceFile& sf, const RepoContext& ctx,
+                           Emit emit);
+void check_secret_branch(const SourceFile& sf, Emit emit);
+void check_knob_registry(const SourceFile& sf, const RepoContext& ctx,
+                         Emit emit);
+
+/// Every known rule id, for allowlist validation.
+const std::set<std::string>& all_rule_ids();
+
+}  // namespace secmem_lint

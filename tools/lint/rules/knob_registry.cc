@@ -1,0 +1,75 @@
+// knob-registry: every SECMEM_* environment knob read anywhere in src/
+// must have (a) a scripts/ci.sh leg exercising the non-default setting
+// and (b) a mention in README.md or ARCHITECTURE.md. Unregistered knobs
+// are how "the kill switch exists" quietly becomes "the kill switch has
+// never been tested".
+//
+// A knob read is any call through an env-reading function (getenv,
+// secure_getenv, env_* helpers) whose argument list contains a string
+// literal starting with SECMEM_.
+#include <cstddef>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "../rules.h"
+
+namespace secmem_lint {
+
+namespace {
+
+bool env_callee(std::string_view last) {
+  return last == "getenv" || last == "secure_getenv" ||
+         last.rfind("env_", 0) == 0 || last.rfind("getenv_", 0) == 0;
+}
+
+/// SECMEM_* names inside a (quoted) string-literal token.
+std::vector<std::string> knob_names(std::string_view literal) {
+  std::vector<std::string> names;
+  std::size_t pos = 0;
+  while ((pos = literal.find("SECMEM_", pos)) != std::string_view::npos) {
+    std::size_t end = pos;
+    while (end < literal.size() && ident_char(literal[end])) ++end;
+    names.emplace_back(literal.substr(pos, end - pos));
+    pos = end;
+  }
+  return names;
+}
+
+}  // namespace
+
+void check_knob_registry(const SourceFile& sf, const RepoContext& ctx,
+                         Emit emit) {
+  const LexedFile& f = sf.lexed;
+  std::set<std::string> seen;  // one report per knob per file
+  for (const CallSite& c : extract_calls(f, 0, f.tokens.size())) {
+    if (!env_callee(c.callee_last)) continue;
+    for (const TokenSpan& arg : c.args) {
+      for (std::size_t i = arg.begin; i < arg.end; ++i) {
+        const Token& t = f.tokens[i];
+        if (t.kind != Tok::kString) continue;
+        for (const std::string& knob : knob_names(t.text)) {
+          if (!seen.insert(knob).second) continue;
+          const bool in_ci = ctx.ci_text.find(knob) != std::string::npos;
+          const bool in_docs =
+              ctx.readme_text.find(knob) != std::string::npos ||
+              ctx.arch_text.find(knob) != std::string::npos;
+          if (!in_ci)
+            emit(t.pos, "knob-registry",
+                 "env knob " + knob +
+                     " is read here but scripts/ci.sh has no leg "
+                     "exercising it; add a kill-switch leg (see the "
+                     "SECMEM_FORCE_PORTABLE leg for the shape)");
+          if (!in_docs)
+            emit(t.pos, "knob-registry",
+                 "env knob " + knob +
+                     " is read here but documented in neither README.md "
+                     "nor ARCHITECTURE.md");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace secmem_lint

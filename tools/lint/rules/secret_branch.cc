@@ -1,0 +1,137 @@
+// secret-branch: src/crypto code must be branch-free on secret-derived
+// values. Any if/while/switch condition, ternary, or short-circuit
+// expression that mentions an identifier with a secret-ish name (key,
+// tag, pad, secret, nonce-pad...) is a finding — data-dependent control
+// flow is a timing side channel even when each arm "does the same work".
+//
+// Exemptions, because sizes and shapes are public:
+//   secret.size()/.empty()/.capacity()/.length()/.data()
+//   assert(...) argument spans (argument-contract checks, compiled out)
+//   range-for over a secret container (iteration count is its public
+//   size)
+//
+// Known limitation (documented in ARCHITECTURE.md): the heuristic is
+// name-based, so a secret that flows into a blandly named local (e.g.
+// gf64_mul's operand `b`) escapes it. The rule is a tripwire for the
+// common shapes, not an information-flow proof — dudect-style checks in
+// tests/test_ct.cc cover the remainder dynamically.
+#include <cctype>
+#include <cstddef>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "../rules.h"
+
+namespace secmem_lint {
+
+namespace {
+
+bool secret_name(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text)
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (const char* needle : {"key", "tag", "pad", "secret"})
+    if (lower.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+bool accessor_follow(const LexedFile& f, std::size_t i, std::size_t end) {
+  // secret.size() and friends — the value stays secret, the shape is
+  // public.
+  if (i + 2 >= end) return false;
+  const Token& dot = f.tokens[i + 1];
+  if (dot.kind != Tok::kPunct || (dot.text != "." && dot.text != "->"))
+    return false;
+  const Token& m = f.tokens[i + 2];
+  return m.kind == Tok::kIdent &&
+         (m.text == "size" || m.text == "empty" || m.text == "capacity" ||
+          m.text == "length" || m.text == "data");
+}
+
+struct Span {
+  std::size_t begin, end;  // token indices
+};
+
+}  // namespace
+
+void check_secret_branch(const SourceFile& sf, Emit emit) {
+  const LexedFile& f = sf.lexed;
+  for (const FuncInfo& fn : sf.model.funcs) {
+    // assert(...) spans are exempt everywhere inside them.
+    std::vector<Span> asserts;
+    for (const CallSite& c :
+         extract_calls(f, fn.body_begin, fn.body_end))
+      if (c.callee_last == "assert" || c.callee_last == "static_assert")
+        asserts.push_back({c.lparen, c.rparen + 1});
+    auto in_assert = [&](std::size_t i) {
+      for (const Span& a : asserts)
+        if (i >= a.begin && i < a.end) return true;
+      return false;
+    };
+
+    // Condition spans to scan.
+    std::vector<std::pair<Span, const char*>> conds;
+    for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+      const Token& t = f.tokens[i];
+      if (t.kind == Tok::kIdent &&
+          (t.text == "if" || t.text == "while" || t.text == "switch" ||
+           t.text == "for")) {
+        if (i + 1 >= fn.body_end || !punct_is(f, i + 1, "(")) continue;
+        std::size_t close = match_close(f, i + 1, fn.body_end);
+        Span s{i + 2, close};
+        if (t.text == "for") {
+          // Range-for: the range is exempt (public size). Classic for:
+          // only the condition clause (between the two ';') branches.
+          std::size_t semi1 = 0, semi2 = 0, depth = 0;
+          bool range = true;
+          for (std::size_t j = s.begin; j < s.end; ++j) {
+            if (punct_is(f, j, "(") || punct_is(f, j, "[")) ++depth;
+            if (punct_is(f, j, ")") || punct_is(f, j, "]")) --depth;
+            if (depth == 0 && punct_is(f, j, ";")) {
+              range = false;
+              if (!semi1)
+                semi1 = j;
+              else if (!semi2)
+                semi2 = j;
+            }
+          }
+          if (range || !semi1) continue;
+          s = {semi1 + 1, semi2 ? semi2 : s.end};
+        }
+        conds.push_back({s, t.text == "switch" ? "switch" : "condition"});
+      } else if (t.kind == Tok::kPunct &&
+                 (t.text == "?" || t.text == "&&" || t.text == "||")) {
+        // Short-circuit / ternary: scan the containing statement.
+        std::size_t b = i;
+        while (b > fn.body_begin && !punct_is(f, b - 1, ";") &&
+               !punct_is(f, b - 1, "{") && !punct_is(f, b - 1, "}"))
+          --b;
+        std::size_t e = i;
+        while (e < fn.body_end && !punct_is(f, e, ";") &&
+               !punct_is(f, e, "{"))
+          ++e;
+        conds.push_back({{b, e}, t.text == "?" ? "ternary" : "short-circuit"});
+      }
+    }
+
+    std::set<std::size_t> reported;
+    for (const auto& [span, what] : conds) {
+      for (std::size_t i = span.begin; i < span.end; ++i) {
+        const Token& t = f.tokens[i];
+        if (t.kind != Tok::kIdent || !secret_name(t.text)) continue;
+        if (accessor_follow(f, i, span.end) || in_assert(i)) continue;
+        if (!reported.insert(i).second) continue;
+        emit(t.pos, "secret-branch",
+             std::string("crypto ") + what + " depends on secret-named '" +
+                 std::string(t.text) +
+                 "'; make it branch-free (masking/ct_select) or rename if "
+                 "the value is genuinely public");
+      }
+    }
+  }
+}
+
+}  // namespace secmem_lint

@@ -1,0 +1,130 @@
+// status-discard: a local of type secmem::Status (or engine ReadResult)
+// that is assigned but never consulted — never compared, returned,
+// passed on, or member-accessed — silently swallows a failure. Two
+// shapes are reported:
+//
+//   dead variable:        every assignment, zero reads anywhere
+//   overwrite-before-read: two straight-line writes with no read and no
+//                          branch between them (the first result is lost)
+//   trailing dead write:  the last write is never read afterwards
+//
+// Branchy code between writes (if/else/?:/&&/||) suppresses the
+// overwrite report — `if (a) st = f(); else st = g();` is two arms, not
+// a discard. A write inside a loop whose body also reads the variable is
+// live across the back edge and is not a trailing dead write.
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "../rules.h"
+
+namespace secmem_lint {
+
+namespace {
+
+bool status_type(const std::string& type) {
+  // Token-exact match: "Status" / "secmem::Status" / "ReadResult", but
+  // not StatusCode or similar.
+  std::string word;
+  for (std::size_t i = 0; i <= type.size(); ++i) {
+    const char c = i < type.size() ? type[i] : '\0';
+    if (ident_char(c)) {
+      word += c;
+      continue;
+    }
+    if (word == "Status" || word == "ReadResult") return true;
+    word.clear();
+  }
+  return false;
+}
+
+bool branchy(const Token& t) {
+  if (t.kind == Tok::kIdent)
+    return t.text == "if" || t.text == "else" || t.text == "switch" ||
+           t.text == "case" || t.text == "while" || t.text == "for" ||
+           t.text == "do" || t.text == "goto" || t.text == "catch";
+  if (t.kind == Tok::kPunct)
+    return t.text == "?" || t.text == "&&" || t.text == "||";
+  return false;
+}
+
+}  // namespace
+
+void check_status_discard(const SourceFile& sf, Emit emit) {
+  const LexedFile& f = sf.lexed;
+  for (const FuncInfo& fn : sf.model.funcs) {
+    const auto decls = extract_local_decls(f, sf.model, fn);
+    const auto assigns = extract_assigns(f, fn.body_begin, fn.body_end);
+    for (const LocalDecl& d : decls) {
+      if (!status_type(d.type)) continue;
+      // Two sibling-scope locals sharing a name defeat the scope-blind
+      // mention scan; skip the name rather than mix the variables up.
+      std::size_t same_name = 0;
+      for (const LocalDecl& o : decls)
+        if (o.name == d.name) ++same_name;
+      if (same_name > 1) continue;
+
+      // Classify every mention of the name inside the body, in token
+      // order (the declaration's own initializer counts as a write).
+      std::vector<std::size_t> writes;  // token index of the write site
+      std::vector<std::size_t> reads;
+      for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+        const Token& t = f.tokens[i];
+        if (t.kind != Tok::kIdent || t.text != d.name) continue;
+        if (i == d.name_tok) {
+          if (d.has_init) writes.push_back(i);
+          continue;
+        }
+        bool is_write = false;
+        for (const AssignSite& a : assigns)
+          if (a.lhs_base_tok == i && a.eq_tok == i + 1) is_write = true;
+        (is_write ? writes : reads).push_back(i);
+      }
+      if (writes.empty()) continue;
+
+      if (reads.empty()) {
+        emit(f.tokens[d.name_tok].pos, "status-discard",
+             "status local '" + d.name + "' in " + fn.name +
+                 "() is assigned but never consulted; check it, return "
+                 "it, or drop the variable");
+        continue;
+      }
+
+      auto read_between = [&](std::size_t a, std::size_t b) {
+        for (const std::size_t r : reads)
+          if (r > a && r < b) return true;
+        return false;
+      };
+      auto branch_between = [&](std::size_t a, std::size_t b) {
+        for (std::size_t i = a + 1; i < b; ++i)
+          if (branchy(f.tokens[i])) return true;
+        return false;
+      };
+      for (std::size_t w = 0; w + 1 < writes.size(); ++w) {
+        if (!read_between(writes[w], writes[w + 1]) &&
+            !branch_between(writes[w], writes[w + 1]))
+          emit(f.tokens[writes[w + 1]].pos, "status-discard",
+               "status local '" + d.name + "' in " + fn.name +
+                   "() is overwritten before the previous value was "
+                   "read");
+      }
+
+      // Trailing dead write, unless it lives across a loop back edge.
+      const std::size_t last = writes.back();
+      if (!read_between(last, fn.body_end)) {
+        bool loop_live = false;
+        for (const TokenSpan& loop : sf.model.loop_bodies)
+          if (last >= loop.begin && last < loop.end &&
+              read_between(loop.begin - 1, loop.end))
+            loop_live = true;
+        if (!loop_live)
+          emit(f.tokens[last].pos, "status-discard",
+               "status local '" + d.name + "' in " + fn.name +
+                   "(): value assigned here is never read");
+      }
+    }
+  }
+}
+
+}  // namespace secmem_lint
